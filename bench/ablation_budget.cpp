@@ -1,0 +1,12 @@
+// Ablation: fault coverage/efficiency as a function of the per-fault search
+// budget on a retimed circuit — the non-linear CPU/coverage relationship
+// the paper cautions about when reading Table 6.
+#include "bench_main.h"
+
+int main(int argc, char** argv) {
+  return satpg::bench_table_main(
+      argc, argv, "Ablation: per-fault budget vs attained coverage",
+      [](satpg::Suite& suite, const satpg::ExperimentOptions& opts) {
+        return satpg::run_ablation_budget(suite, opts);
+      });
+}

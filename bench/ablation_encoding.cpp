@@ -1,0 +1,12 @@
+// Ablation: density of encoding varied directly through the state encoder
+// (minimum-bit vs one-hot) with NO retiming — isolating the paper's claim
+// that density, not retiming per se, drives ATPG complexity.
+#include "bench_main.h"
+
+int main(int argc, char** argv) {
+  return satpg::bench_table_main(
+      argc, argv, "Ablation: state encoding density without retiming",
+      [](satpg::Suite&, const satpg::ExperimentOptions& opts) {
+        return satpg::run_ablation_encoding(opts);
+      });
+}

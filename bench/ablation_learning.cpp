@@ -1,0 +1,12 @@
+// Ablation (paper §5): does SEST-style dynamic state learning recover the
+// retiming-induced blowup? Compares the base engine against the learning
+// engine on retimed circuits.
+#include "bench_main.h"
+
+int main(int argc, char** argv) {
+  return satpg::bench_table_main(
+      argc, argv, "Ablation: dynamic state learning on retimed circuits",
+      [](satpg::Suite& suite, const satpg::ExperimentOptions& opts) {
+        return satpg::run_ablation_learning(suite, opts);
+      });
+}

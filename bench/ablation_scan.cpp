@@ -1,0 +1,13 @@
+// Extension: the DFT answer the paper's conclusion points at — scan
+// insertion on retimed circuits restores testability that sequential ATPG
+// cannot reach within budget.
+#include "bench_main.h"
+#include "harness/extensions.h"
+
+int main(int argc, char** argv) {
+  return satpg::bench_table_main(
+      argc, argv, "Extension: scan DFT on retimed circuits",
+      [](satpg::Suite& suite, const satpg::ExperimentOptions& opts) {
+        return satpg::run_ablation_scan(suite, opts);
+      });
+}

@@ -1,0 +1,24 @@
+// Shared main() scaffold for the table benches: parse flags, build the
+// suite, print one header + the regenerated table.
+#pragma once
+
+#include <iostream>
+
+#include "harness/experiments.h"
+
+namespace satpg {
+
+template <typename Fn>
+int bench_table_main(int argc, char** argv, const char* title, Fn&& body) {
+  BenchConfig cfg = parse_bench_flags(argc, argv);
+  Suite suite(cfg.suite);
+  std::cout << "=== " << title << " ===\n";
+  std::cout << "(budget=" << cfg.experiment.budget_scale
+            << ", fsm-scale=" << cfg.suite.fsm_scale
+            << ", seed=" << cfg.experiment.seed << ")\n\n";
+  const Table table = body(suite, cfg.experiment);
+  std::cout << table.to_string() << "\n";
+  return 0;
+}
+
+}  // namespace satpg

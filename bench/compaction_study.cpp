@@ -1,0 +1,11 @@
+// Extension: static test-set compaction over suite circuits.
+#include "bench_main.h"
+#include "harness/extensions.h"
+
+int main(int argc, char** argv) {
+  return satpg::bench_table_main(
+      argc, argv, "Extension: reverse-order test-set compaction",
+      [](satpg::Suite& suite, const satpg::ExperimentOptions& opts) {
+        return satpg::run_compaction_study(suite, opts);
+      });
+}

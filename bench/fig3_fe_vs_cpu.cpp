@@ -1,0 +1,12 @@
+// Regenerates the paper's Figure 3: ATPG CPU (work metric) against fault
+// efficiency attained, one series per circuit of the Table 7 ladder. As
+// density of encoding falls, the work needed for a given FE level grows.
+#include "bench_main.h"
+
+int main(int argc, char** argv) {
+  return satpg::bench_table_main(
+      argc, argv, "Figure 3: ATPG performance vs density of encoding",
+      [](satpg::Suite& suite, const satpg::ExperimentOptions& opts) {
+        return satpg::run_fig3_fe_vs_cpu(suite, opts);
+      });
+}

@@ -1,0 +1,125 @@
+// google-benchmark microbenchmarks for the performance-critical substrates:
+// logic simulation, parallel fault simulation, BDD reachability, espresso
+// minimization, and the time-frame model's event propagation. These guard
+// the throughput the experiment harness depends on.
+#include <benchmark/benchmark.h>
+
+#include "analysis/reach.h"
+#include "atpg/engine.h"
+#include "atpg/podem.h"
+#include "atpg/scoap.h"
+#include "atpg/tfm.h"
+#include "base/rng.h"
+#include "fsim/fsim.h"
+#include "fsm/mcnc_suite.h"
+#include "sim/simulator.h"
+#include "synth/cover.h"
+#include "synth/synthesize.h"
+
+namespace satpg {
+namespace {
+
+// One mid-sized circuit shared by the benchmarks (built once).
+const SynthResult& shared_circuit() {
+  static const SynthResult res = [] {
+    FsmGenSpec spec;
+    for (const auto& s : mcnc_specs())
+      if (s.name == "s820") spec = s;
+    const Fsm fsm = generate_control_fsm(scaled_spec(spec, 0.6));
+    SynthOptions so;
+    so.encode = EncodeAlgo::kOutputDominant;
+    return synthesize(fsm, so);
+  }();
+  return res;
+}
+
+void BM_SeqSimulatorStep(benchmark::State& state) {
+  const Netlist& nl = shared_circuit().netlist;
+  SeqSimulator sim(nl);
+  Rng rng(1);
+  std::vector<V3> in(nl.num_inputs(), V3::kZero);
+  for (auto _ : state) {
+    for (auto& v : in) v = rng.next_bool() ? V3::kOne : V3::kZero;
+    benchmark::DoNotOptimize(sim.step(in));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(nl.num_gates()));
+}
+BENCHMARK(BM_SeqSimulatorStep);
+
+void BM_ParallelFaultSim(benchmark::State& state) {
+  const Netlist& nl = shared_circuit().netlist;
+  const auto collapsed = collapse_faults(nl);
+  std::vector<Fault> faults;
+  for (const auto& cf : collapsed) faults.push_back(cf.representative);
+  const auto seqs = make_random_sequences(nl, 2, 32, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_fault_simulation(nl, faults, seqs));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(faults.size()));
+}
+BENCHMARK(BM_ParallelFaultSim);
+
+void BM_BddReachability(benchmark::State& state) {
+  const Netlist& nl = shared_circuit().netlist;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_reachable(nl));
+  }
+}
+BENCHMARK(BM_BddReachability);
+
+void BM_EspressoMinimize(benchmark::State& state) {
+  // Random 8-variable single-output function.
+  Rng rng(3);
+  const std::size_t nv = 8;
+  Cover on, dc;
+  for (std::size_t m = 0; m < (1u << nv); ++m) {
+    const int k = rng.next_int(0, 5);
+    if (k >= 4) continue;
+    Cube c;
+    c.value = BitVec::from_value(nv, m);
+    c.care = BitVec(nv);
+    c.care.set_all();
+    if (k < 2)
+      on.push_back(c);
+    else if (k == 2)
+      dc.push_back(c);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(espresso_lite(on, dc, nv, {}));
+  }
+}
+BENCHMARK(BM_EspressoMinimize);
+
+void BM_TimeFrameAssignUndo(benchmark::State& state) {
+  const Netlist& nl = shared_circuit().netlist;
+  TimeFrameModel tfm(nl, std::nullopt, 4);
+  Rng rng(5);
+  for (auto _ : state) {
+    const std::size_t mark = tfm.trail_mark();
+    for (int k = 0; k < 8; ++k) {
+      const NodeId pi = nl.inputs()[static_cast<std::size_t>(rng.next_int(
+          0, static_cast<int>(nl.num_inputs()) - 1))];
+      const int frame = rng.next_int(0, 3);
+      if (tfm.decision_value(frame, pi) == V3::kX)
+        tfm.assign(frame, pi, rng.next_bool() ? V3::kOne : V3::kZero);
+    }
+    tfm.undo_to(mark);
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_TimeFrameAssignUndo);
+
+void BM_ScoapAnalysis(benchmark::State& state) {
+  const Netlist& nl = shared_circuit().netlist;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_scoap(nl));
+  }
+}
+BENCHMARK(BM_ScoapAnalysis);
+
+}  // namespace
+}  // namespace satpg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,14 @@
+// Extension: exact product-machine detectability census over an
+// original/retimed pair — machine-checks the paper's §4.1 argument that
+// retiming does not inject sequentially redundant faults (Theorem 1); the
+// ATPG blowup is search cost on a sparse state encoding, not redundancy.
+#include "bench_main.h"
+#include "harness/extensions.h"
+
+int main(int argc, char** argv) {
+  return satpg::bench_table_main(
+      argc, argv, "Extension: exact SRF census (original vs retimed)",
+      [](satpg::Suite&, const satpg::ExperimentOptions& opts) {
+        return satpg::run_srf_census(opts);
+      });
+}

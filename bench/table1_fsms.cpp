@@ -1,0 +1,12 @@
+// Regenerates the paper's Table 1: the FSM population used to synthesize
+// every circuit in the study (PI/PO/state counts; the min-states column
+// shows what the stamina-substitute collapses each machine to).
+#include "bench_main.h"
+
+int main(int argc, char** argv) {
+  return satpg::bench_table_main(
+      argc, argv, "Table 1: finite state machines used to synthesize circuits",
+      [](satpg::Suite& suite, const satpg::ExperimentOptions&) {
+        return satpg::run_table1_fsms(suite);
+      });
+}

@@ -1,0 +1,12 @@
+// Regenerates the paper's Table 2: HITEC-substitute results on every
+// original/retimed circuit pair — fault coverage, fault efficiency, the
+// deterministic CPU metric, and the retimed/original CPU ratio.
+#include "bench_main.h"
+
+int main(int argc, char** argv) {
+  return satpg::bench_table_main(
+      argc, argv, "Table 2: HITEC-substitute ATPG results",
+      [](satpg::Suite& suite, const satpg::ExperimentOptions& opts) {
+        return satpg::run_table2_hitec(suite, opts);
+      });
+}

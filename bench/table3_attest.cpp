@@ -1,0 +1,11 @@
+// Regenerates the paper's Table 3: the forward-time engine (Attest
+// stand-in) on the five pairs with the most dramatic differences.
+#include "bench_main.h"
+
+int main(int argc, char** argv) {
+  return satpg::bench_table_main(
+      argc, argv, "Table 3: Attest-substitute (forward-time engine) results",
+      [](satpg::Suite& suite, const satpg::ExperimentOptions& opts) {
+        return satpg::run_table3_attest(suite, opts);
+      });
+}

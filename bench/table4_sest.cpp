@@ -1,0 +1,11 @@
+// Regenerates the paper's Table 4: the state-learning engine (Sequential
+// EST stand-in) on five circuit pairs.
+#include "bench_main.h"
+
+int main(int argc, char** argv) {
+  return satpg::bench_table_main(
+      argc, argv, "Table 4: SEST-substitute (state-learning engine) results",
+      [](satpg::Suite& suite, const satpg::ExperimentOptions& opts) {
+        return satpg::run_table4_sest(suite, opts);
+      });
+}

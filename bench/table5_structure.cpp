@@ -1,0 +1,12 @@
+// Regenerates the paper's Table 5: maximum sequential depth, maximum cycle
+// length, and the DFF-subset cycle census for every pair — the structural
+// attributes that do NOT explain the ATPG blowup (Theorems 2-4).
+#include "bench_main.h"
+
+int main(int argc, char** argv) {
+  return satpg::bench_table_main(
+      argc, argv, "Table 5: structural attributes of each circuit",
+      [](satpg::Suite& suite, const satpg::ExperimentOptions& opts) {
+        return satpg::run_table5_structure(suite, opts);
+      });
+}

@@ -1,0 +1,12 @@
+// Regenerates the paper's Table 6: states traversed by the ATPG, exact
+// valid-state counts (BDD reachability), total state-space size, and the
+// paper's headline metric — density of encoding.
+#include "bench_main.h"
+
+int main(int argc, char** argv) {
+  return satpg::bench_table_main(
+      argc, argv, "Table 6: HITEC-substitute state traversal information",
+      [](satpg::Suite& suite, const satpg::ExperimentOptions& opts) {
+        return satpg::run_table6_density(suite, opts);
+      });
+}

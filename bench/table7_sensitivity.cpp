@@ -1,0 +1,11 @@
+// Regenerates the paper's Table 7: the s510.jo.sr retiming ladder
+// (.v1/.v2/.v3/.re) — delay, #DFF, valid states, and density of encoding.
+#include "bench_main.h"
+
+int main(int argc, char** argv) {
+  return satpg::bench_table_main(
+      argc, argv, "Table 7: density of encoding sensitivity analysis",
+      [](satpg::Suite& suite, const satpg::ExperimentOptions& opts) {
+        return satpg::run_table7_sensitivity(suite, opts);
+      });
+}

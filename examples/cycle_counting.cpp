@@ -1,0 +1,67 @@
+// The paper's Figure 2, executable: why cycle-counting algorithms report
+// MORE cycles after retiming even though retiming provably creates none
+// (Theorem 3). The backward atomic move splits flip-flop Q1 into Q1a/Q1b
+// on the two branches into gate G3; the census — which counts one cycle per
+// unique DFF subset — then sees two subsets where it saw one.
+//
+//   $ ./cycle_counting
+#include <cstdio>
+
+#include "analysis/structure.h"
+#include "netlist/bench_io.h"
+#include "netlist/netlist.h"
+#include "retime/retime.h"
+
+using namespace satpg;
+
+namespace {
+
+Netlist figure2_circuit() {
+  Netlist nl("fig2");
+  const NodeId a = nl.add_input("a");
+  const NodeId q2 = nl.add_dff("Q2", a, FfInit::kZero);
+  const NodeId g1 = nl.add_gate(GateType::kAnd, "G1", {q2, a});
+  const NodeId gnot = nl.add_gate(GateType::kNot, "Gnot", {q2});
+  const NodeId g2 = nl.add_gate(GateType::kAnd, "G2", {gnot, a});
+  const NodeId g3 = nl.add_gate(GateType::kOr, "G3", {g1, g2});
+  const NodeId q1 = nl.add_dff("Q1", g3, FfInit::kZero);
+  const NodeId gbuf = nl.add_gate(GateType::kBuf, "Gbuf", {q1});
+  nl.set_fanin(q2, 0, gbuf);
+  nl.add_output("o", gbuf);
+  return nl;
+}
+
+void report(const char* tag, const Netlist& nl) {
+  const auto census = count_cycles(nl);
+  const auto depth = max_sequential_depth(nl);
+  std::printf("%s: #DFF=%zu  #cycles=%d  max cycle length=%d  "
+              "max seq depth=%d\n",
+              tag, nl.num_dffs(), census.num_cycles,
+              census.max_cycle_length, depth.max_depth);
+}
+
+}  // namespace
+
+int main() {
+  Netlist before = figure2_circuit();
+  std::printf("Figure 2 circuit (before retiming):\n\n%s\n",
+              write_bench_string(before).c_str());
+  report("before", before);
+
+  Netlist after = before.clone("fig2.re");
+  const NodeId g3 = after.find("G3");
+  if (!can_move_backward(after, g3)) {
+    std::fprintf(stderr, "unexpected: atomic move not applicable\n");
+    return 1;
+  }
+  move_backward(after, g3);
+  std::printf("\nAfter moving Q1 backward across G3:\n\n%s\n",
+              write_bench_string(after).c_str());
+  report("after ", after);
+
+  std::printf(
+      "\nThe counted cycles went up purely because Q1 became two\n"
+      "flip-flops on parallel branches — the circuit's actual cycle\n"
+      "structure (and its sequential depth) did not change.\n");
+  return 0;
+}

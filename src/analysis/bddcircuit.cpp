@@ -1,0 +1,160 @@
+#include "analysis/bddcircuit.h"
+
+namespace satpg {
+
+std::vector<BddRef> build_node_functions(const Netlist& nl, BddMgr& mgr,
+                                         const BddVarMap& vm,
+                                         const std::optional<Fault>& fault) {
+  std::vector<BddRef> fn(nl.num_nodes(), mgr.zero());
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i)
+    fn[static_cast<std::size_t>(nl.inputs()[i])] =
+        mgr.var(vm.in(static_cast<unsigned>(i)));
+  for (std::size_t i = 0; i < nl.dffs().size(); ++i)
+    fn[static_cast<std::size_t>(nl.dffs()[i])] =
+        mgr.var(vm.ps(static_cast<unsigned>(i)));
+
+  // Stem faults on PIs / FFs pin the source itself.
+  if (fault && fault->pin < 0) {
+    const auto& n = nl.node(fault->node);
+    if (n.type == GateType::kInput || n.type == GateType::kDff)
+      fn[static_cast<std::size_t>(fault->node)] =
+          fault->stuck1 ? mgr.one() : mgr.zero();
+  }
+
+  for (NodeId id : nl.topo_order()) {
+    const auto& n = nl.node(id);
+    if (!is_combinational(n.type) && n.type != GateType::kOutput) continue;
+    const bool pin_fault_here =
+        fault && fault->node == id && fault->pin >= 0;
+    auto in = [&](std::size_t k) -> BddRef {
+      if (pin_fault_here && static_cast<int>(k) == fault->pin)
+        return fault->stuck1 ? mgr.one() : mgr.zero();
+      return fn[static_cast<std::size_t>(n.fanins[k])];
+    };
+    BddRef v = mgr.zero();
+    switch (n.type) {
+      case GateType::kConst0:
+        v = mgr.zero();
+        break;
+      case GateType::kConst1:
+        v = mgr.one();
+        break;
+      case GateType::kBuf:
+      case GateType::kOutput:
+        v = in(0);
+        break;
+      case GateType::kNot:
+        v = mgr.bdd_not(in(0));
+        break;
+      case GateType::kAnd:
+      case GateType::kNand:
+        v = in(0);
+        for (std::size_t k = 1; k < n.fanins.size(); ++k)
+          v = mgr.bdd_and(v, in(k));
+        if (n.type == GateType::kNand) v = mgr.bdd_not(v);
+        break;
+      case GateType::kOr:
+      case GateType::kNor:
+        v = in(0);
+        for (std::size_t k = 1; k < n.fanins.size(); ++k)
+          v = mgr.bdd_or(v, in(k));
+        if (n.type == GateType::kNor) v = mgr.bdd_not(v);
+        break;
+      case GateType::kXor:
+      case GateType::kXnor:
+        v = in(0);
+        for (std::size_t k = 1; k < n.fanins.size(); ++k)
+          v = mgr.bdd_xor(v, in(k));
+        if (n.type == GateType::kXnor) v = mgr.bdd_not(v);
+        break;
+      default:
+        SATPG_CHECK(false);
+    }
+    if (fault && fault->pin < 0 && fault->node == id)
+      v = fault->stuck1 ? mgr.one() : mgr.zero();  // comb stem fault
+    fn[static_cast<std::size_t>(id)] = v;
+  }
+  return fn;
+}
+
+BddRef build_transition_relation(const Netlist& nl, BddMgr& mgr,
+                                 const BddVarMap& vm,
+                                 const std::vector<BddRef>& fn) {
+  BddRef tr = mgr.one();
+  for (unsigned i = 0; i < vm.num_ffs; ++i) {
+    const NodeId d =
+        nl.node(nl.dffs()[static_cast<std::size_t>(i)]).fanins[0];
+    const BddRef bit = mgr.bdd_not(
+        mgr.bdd_xor(mgr.var(vm.ns(i)), fn[static_cast<std::size_t>(d)]));
+    tr = mgr.bdd_and(tr, bit);
+  }
+  return tr;
+}
+
+BddRef compute_reached_set(const Netlist& nl, BddMgr& mgr,
+                           const BddVarMap& vm, const std::vector<BddRef>& fn,
+                           const std::string& reset_input, int* iterations) {
+  const BddRef tr = build_transition_relation(nl, mgr, vm, fn);
+
+  std::vector<unsigned> ps_and_inputs;
+  std::vector<unsigned> rename_map(vm.total());
+  for (unsigned v = 0; v < vm.total(); ++v) rename_map[v] = v;
+  for (unsigned i = 0; i < vm.num_ffs; ++i) {
+    ps_and_inputs.push_back(vm.ps(i));
+    rename_map[vm.ns(i)] = vm.ps(i);  // monotone: 2i+1 -> 2i
+  }
+  for (unsigned j = 0; j < vm.num_pis; ++j)
+    ps_and_inputs.push_back(vm.in(j));
+
+  int local_iters = 0;
+  int& iters = iterations ? *iterations : local_iters;
+  auto image = [&](BddRef set, BddRef rel) {
+    const BddRef img_ns = mgr.and_exists(set, rel, ps_and_inputs);
+    return mgr.rename(img_ns, rename_map);
+  };
+
+  // Initial set.
+  BddRef init;
+  const NodeId rst =
+      reset_input.empty() ? kNoNode : nl.find(reset_input);
+  if (rst != kNoNode && nl.node(rst).type == GateType::kInput) {
+    int rst_index = -1;
+    for (std::size_t j = 0; j < nl.inputs().size(); ++j)
+      if (nl.inputs()[j] == rst) rst_index = static_cast<int>(j);
+    SATPG_CHECK(rst_index >= 0);
+    const BddRef rst_on = mgr.var(vm.in(static_cast<unsigned>(rst_index)));
+    const BddRef tr_rst = mgr.bdd_and(tr, rst_on);
+    BddRef s = mgr.one();
+    for (;;) {
+      const BddRef next = image(s, tr_rst);
+      ++iters;
+      if (next == s) break;
+      s = next;
+      SATPG_CHECK_MSG(iters < 100000, "reset fixpoint did not converge");
+    }
+    init = s;
+  } else {
+    init = mgr.one();
+    for (unsigned i = 0; i < vm.num_ffs; ++i) {
+      const auto ff_init =
+          nl.node(nl.dffs()[static_cast<std::size_t>(i)]).init;
+      if (ff_init == FfInit::kZero)
+        init = mgr.bdd_and(init, mgr.nvar(vm.ps(i)));
+      else if (ff_init == FfInit::kOne)
+        init = mgr.bdd_and(init, mgr.var(vm.ps(i)));
+    }
+  }
+
+  BddRef reached = init;
+  for (;;) {
+    const BddRef next = mgr.bdd_or(reached, image(reached, tr));
+    ++iters;
+    if (next == reached) break;
+    reached = next;
+    SATPG_CHECK_MSG(iters < 1000000,
+                    "reachability fixpoint did not converge");
+  }
+  return reached;
+}
+
+}  // namespace satpg

@@ -1,0 +1,68 @@
+// Shared BDD encoding of a sequential netlist over (present-state, input)
+// variables — the substrate for reachability (reach.h), the SRF classifier
+// (srf.h), and the sequential equivalence checker (seqec.h).
+//
+// Variable order: present-state bit i at 2i, next-state bit i at 2i+1
+// (interleaving keeps transition relations small), primary inputs after.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "fault/fault.h"
+#include "netlist/netlist.h"
+
+namespace satpg {
+
+struct BddVarMap {
+  unsigned num_ffs = 0;
+  unsigned num_pis = 0;
+  // Strided layout: present-state bit i at ps_base + i*stride, next-state
+  // at ps + 1. The default (base 0, stride 2) is the single-machine
+  // interleaving; the product-machine analyses place a second machine at
+  // base 2 with stride 4.
+  unsigned ps_base = 0;
+  unsigned stride = 2;
+  unsigned in_base = 0;  ///< set by make()/callers
+  unsigned num_vars = 0;
+
+  static BddVarMap single(unsigned ffs, unsigned pis) {
+    BddVarMap vm;
+    vm.num_ffs = ffs;
+    vm.num_pis = pis;
+    vm.in_base = 2 * ffs;
+    vm.num_vars = 2 * ffs + pis;
+    return vm;
+  }
+
+  unsigned ps(unsigned i) const { return ps_base + i * stride; }
+  unsigned ns(unsigned i) const { return ps(i) + 1; }
+  unsigned in(unsigned j) const { return in_base + j; }
+  unsigned total() const { return num_vars; }
+};
+
+/// Build every node's function over (ps, in) variables. When `fault` is
+/// given, the returned functions are those of the *faulty* machine (the
+/// stuck line is injected; present-state variables still represent the
+/// faulty machine's register contents).
+std::vector<BddRef> build_node_functions(
+    const Netlist& nl, BddMgr& mgr, const BddVarMap& vm,
+    const std::optional<Fault>& fault = std::nullopt);
+
+/// Transition relation ∧_i ns_i ↔ D_i(ps, in) from node functions.
+BddRef build_transition_relation(const Netlist& nl, BddMgr& mgr,
+                                 const BddVarMap& vm,
+                                 const std::vector<BddRef>& fn);
+
+/// Reachable-state fixpoint over present-state variables. Initialization
+/// follows the study's convention: when `reset_input` names a PI, the
+/// initial set is the rst=1 image fixpoint from the universal set;
+/// otherwise the DFF init-value cube. `iterations`, when non-null,
+/// accumulates fixpoint steps.
+BddRef compute_reached_set(const Netlist& nl, BddMgr& mgr,
+                           const BddVarMap& vm, const std::vector<BddRef>& fn,
+                           const std::string& reset_input,
+                           int* iterations = nullptr);
+
+}  // namespace satpg

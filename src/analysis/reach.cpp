@@ -1,0 +1,49 @@
+#include "analysis/reach.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/bddcircuit.h"
+#include "bdd/bdd.h"
+
+namespace satpg {
+
+ReachResult compute_reachable(const Netlist& nl, const ReachOptions& opts) {
+  ReachResult res;
+  res.num_dffs = static_cast<int>(nl.num_dffs());
+  res.total_states = std::pow(2.0, res.num_dffs);
+  if (res.num_dffs == 0) {
+    res.num_valid = 1.0;
+    res.density = 1.0;
+    return res;
+  }
+
+  const BddVarMap vm = BddVarMap::single(
+      static_cast<unsigned>(nl.num_dffs()),
+      static_cast<unsigned>(nl.num_inputs()));
+  BddMgr mgr(vm.total(), opts.bdd_node_limit);
+
+  const auto fn = build_node_functions(nl, mgr, vm);
+  const BddRef reached = compute_reached_set(nl, mgr, vm, fn,
+                                             opts.reset_input,
+                                             &res.fixpoint_iterations);
+
+  res.num_valid = mgr.sat_count(reached, vm.num_ffs);
+  res.density = res.num_valid / res.total_states;
+
+  if (res.num_valid <= static_cast<double>(opts.enumerate_limit) &&
+      vm.num_ffs <= 64) {
+    std::vector<unsigned> ps_vars;
+    for (unsigned i = 0; i < vm.num_ffs; ++i) ps_vars.push_back(vm.ps(i));
+    for (std::uint64_t bits : mgr.enumerate(reached, ps_vars))
+      res.states.push_back(BitVec::from_value(vm.num_ffs, bits));
+    res.enumerated = true;
+  }
+  return res;
+}
+
+double density_of_encoding(const Netlist& nl) {
+  return compute_reachable(nl).density;
+}
+
+}  // namespace satpg

@@ -1,0 +1,55 @@
+// Structural circuit attributes studied by the paper's Table 5.
+//
+// Definitions follow the paper exactly: a path (PI to PO) or cycle visits
+// every *node* at most once, and its sequential depth / length is the
+// number of D flip-flops encountered. Both metrics are evaluated on the
+// gate skeleton — combinational gates as vertices, register chains
+// collapsed onto weighted edges that remember the identity of the DFFs
+// they carry (fanout branches sharing a register chain reference the same
+// DFF nodes). On this representation:
+//
+//   * node-distinctness of the skeleton path == node-distinctness in the
+//     circuit (chain FFs are inline on exactly one connection);
+//   * Theorems 2 and 4 hold *by construction*: retiming redistributes
+//     weights but path/cycle totals between the same endpoints are
+//     invariant, so measured depth and cycle length match across a
+//     retiming pair;
+//   * the cycle census counts one cycle per unique DFF *subset* — the
+//     counting behaviour of the algorithm the paper borrowed from Lioy et
+//     al. and dissects in its Figure 2 (parallel combinational paths
+//     through the same DFFs count once; a retimed FF split into two
+//     parallel FFs makes two subsets and counts twice). This is the value
+//     that *grows* under retiming in Table 5.
+//
+// Longest-simple-path and cycle enumeration are exponential in the worst
+// case; both searches carry explicit work caps and report saturation
+// (values are then lower bounds) instead of silently truncating.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+
+namespace satpg {
+
+struct SeqDepthResult {
+  int max_depth = 0;
+  bool saturated = false;  ///< search hit the work cap; value is a lower bound
+};
+
+/// Maximum sequential depth: most DFFs on any node-distinct PI -> PO path.
+SeqDepthResult max_sequential_depth(const Netlist& nl,
+                                    std::uint64_t step_cap = 20'000'000);
+
+struct CycleCensus {
+  int num_cycles = 0;        ///< distinct DFF subsets forming a cycle
+  int max_cycle_length = 0;  ///< most DFFs in any node-distinct cycle
+  bool saturated = false;    ///< enumeration hit a cap; values lower bounds
+};
+
+/// Cycle census per the subset counting described above.
+CycleCensus count_cycles(const Netlist& nl,
+                         std::uint64_t step_cap = 20'000'000,
+                         std::size_t subset_cap = 1'000'000);
+
+}  // namespace satpg

@@ -1,0 +1,55 @@
+#include "atpg/compact.h"
+
+#include <algorithm>
+
+#include "fault/fault.h"
+
+namespace satpg {
+
+CompactionResult compact_tests(const Netlist& nl,
+                               const std::vector<TestSequence>& tests) {
+  CompactionResult res;
+  res.before = tests.size();
+
+  const auto collapsed = collapse_faults(nl);
+  std::vector<Fault> faults;
+  for (const auto& cf : collapsed) faults.push_back(cf.representative);
+
+  // Baseline coverage.
+  const auto base = run_fault_simulation(nl, faults, tests);
+  res.detected_before = base.num_detected;
+
+  // Reverse order: later (deterministic, targeted) sequences first.
+  std::vector<bool> covered(faults.size(), false);
+  std::vector<const TestSequence*> kept;
+  for (std::size_t k = tests.size(); k-- > 0;) {
+    std::vector<Fault> remaining;
+    std::vector<std::size_t> remap;
+    for (std::size_t i = 0; i < faults.size(); ++i)
+      if (!covered[i] && base.detected_at[i] >= 0) {
+        remaining.push_back(faults[i]);
+        remap.push_back(i);
+      }
+    if (remaining.empty()) break;
+    const auto fr = run_fault_simulation(nl, remaining, {tests[k]});
+    bool useful = false;
+    for (std::size_t i = 0; i < remaining.size(); ++i)
+      if (fr.detected_at[i] >= 0) {
+        covered[remap[i]] = true;
+        useful = true;
+      }
+    if (useful) kept.push_back(&tests[k]);
+  }
+  // Restore original relative order.
+  std::reverse(kept.begin(), kept.end());
+  for (const auto* t : kept) res.tests.push_back(*t);
+  res.after = res.tests.size();
+
+  const auto post = run_fault_simulation(nl, faults, res.tests);
+  res.detected_after = post.num_detected;
+  SATPG_CHECK_MSG(res.detected_after >= res.detected_before,
+                  "compaction lost strict coverage");
+  return res;
+}
+
+}  // namespace satpg

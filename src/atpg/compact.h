@@ -1,0 +1,30 @@
+// Static test-set compaction.
+//
+// ATPG emits one sequence per targeted fault plus random warm-up; many are
+// subsumed by later sequences. Reverse-order compaction replays the test
+// set through the parallel fault simulator, keeping a sequence only if it
+// detects a fault nothing kept so far detects — typically shrinking test
+// sets severalfold without losing coverage (verified by the caller
+// re-grading, and by tests here).
+#pragma once
+
+#include <vector>
+
+#include "fsim/fsim.h"
+#include "netlist/netlist.h"
+
+namespace satpg {
+
+struct CompactionResult {
+  std::vector<TestSequence> tests;
+  std::size_t before = 0;
+  std::size_t after = 0;
+  std::size_t detected_before = 0;  ///< collapsed faults detected
+  std::size_t detected_after = 0;   ///< must equal detected_before
+};
+
+/// Reverse-order compaction against the collapsed fault list of `nl`.
+CompactionResult compact_tests(const Netlist& nl,
+                               const std::vector<TestSequence>& tests);
+
+}  // namespace satpg

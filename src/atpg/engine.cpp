@@ -1,0 +1,359 @@
+#include "atpg/engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "base/rng.h"
+
+namespace satpg {
+
+const char* engine_kind_name(EngineKind k) {
+  switch (k) {
+    case EngineKind::kHitec:
+      return "hitec";
+    case EngineKind::kForward:
+      return "forward";
+    case EngineKind::kLearning:
+      return "learning";
+  }
+  return "?";
+}
+
+AtpgEngine::AtpgEngine(const Netlist& nl, const EngineOptions& opts)
+    : nl_(nl), opts_(opts), scoap_(compute_scoap(nl)) {}
+
+std::string AtpgEngine::cube_key(
+    const std::vector<std::pair<NodeId, V3>>& cube) const {
+  std::string key(nl_.num_dffs(), '-');
+  // nl_.dffs() order defines the key positions.
+  for (const auto& [ff, v] : cube) {
+    for (std::size_t i = 0; i < nl_.dffs().size(); ++i)
+      if (nl_.dffs()[i] == ff) {
+        key[i] = v == V3::kOne ? '1' : '0';
+        break;
+      }
+  }
+  return key;
+}
+
+AtpgEngine::JustifyOutcome AtpgEngine::justify(
+    const std::vector<std::pair<NodeId, V3>>& cube, int depth,
+    std::set<std::string>& on_path, PodemBudget& budget) {
+  if (cube.empty()) return {true, {}};
+  const std::string key = cube_key(cube);
+  cubes_visited_.insert(key);
+  if (depth > opts_.max_backward_frames) return {};
+  if (on_path.count(key)) return {};  // state-requirement loop
+
+  const bool learning = opts_.kind == EngineKind::kLearning;
+  if (learning) {
+    if (auto it = learned_ok_.find(key); it != learned_ok_.end())
+      return {true, it->second};
+    if (learned_fail_.count(key)) return {};
+  }
+
+  on_path.insert(key);
+  JustifyOutcome out;
+
+  TimeFrameModel tfm(nl_, current_fault_, 1);
+  Podem podem(tfm, scoap_, /*allow_state_decisions=*/true,
+              PodemGoal::kJustify, cube);
+  PodemStatus st = podem.search(budget);
+  while (st == PodemStatus::kSuccess) {
+    // Extract this solution: the input vector and the new state demand.
+    std::vector<V3> vec(nl_.num_inputs(), V3::kX);
+    for (std::size_t i = 0; i < nl_.inputs().size(); ++i)
+      vec[i] = podem.pi_value(0, nl_.inputs()[i]);
+    std::vector<std::pair<NodeId, V3>> prev_cube;
+    for (NodeId ff : nl_.dffs()) {
+      const V3 v = podem.state_value(ff);
+      if (v != V3::kX) prev_cube.push_back({ff, v});
+    }
+    auto sub = justify(prev_cube, depth + 1, on_path, budget);
+    total_evals_ += 0;  // sub accounting happens via tfm evals below
+    if (sub.ok) {
+      out.ok = true;
+      out.prefix = std::move(sub.prefix);
+      out.prefix.push_back(std::move(vec));
+      break;
+    }
+    if (budget.exhausted_backtracks() || tfm.evals() > budget.max_evals)
+      break;
+    st = podem.resume(budget);
+  }
+  total_evals_ += tfm.evals();
+  on_path.erase(key);
+
+  if (learning) {
+    if (out.ok)
+      learned_ok_[key] = out.prefix;
+    else if (st == PodemStatus::kExhausted)
+      learned_fail_.insert(key);  // complete search failed (budget-honest)
+  }
+  return out;
+}
+
+FaultAttempt AtpgEngine::generate(const Fault& fault) {
+  FaultAttempt attempt;
+  current_fault_ = fault;
+  const std::uint64_t evals_before = total_evals_;
+  PodemBudget budget;
+  budget.max_backtracks = opts_.backtrack_limit;
+  budget.max_evals = opts_.eval_limit;
+
+  const bool allow_state = opts_.kind != EngineKind::kForward;
+  bool any_aborted = false;
+  int rejects_this_fault = 0;
+
+  for (int frames = 1;
+       frames <= opts_.max_forward_frames && !any_aborted;
+       ++frames) {
+    TimeFrameModel tfm(nl_, fault, frames);
+    Podem podem(tfm, scoap_, allow_state, PodemGoal::kDetect);
+    PodemStatus st = podem.search(budget);
+    while (st == PodemStatus::kSuccess) {
+      // Window vectors.
+      std::vector<std::vector<V3>> window(
+          static_cast<std::size_t>(frames),
+          std::vector<V3>(nl_.num_inputs(), V3::kX));
+      for (int t = 0; t < frames; ++t)
+        for (std::size_t i = 0; i < nl_.inputs().size(); ++i)
+          window[static_cast<std::size_t>(t)][i] =
+              podem.pi_value(t, nl_.inputs()[i]);
+      // Required frame-0 state.
+      std::vector<std::pair<NodeId, V3>> cube;
+      if (allow_state)
+        for (NodeId ff : nl_.dffs()) {
+          const V3 v = podem.state_value(ff);
+          if (v != V3::kX) cube.push_back({ff, v});
+        }
+      std::set<std::string> on_path;
+      auto just = justify(cube, 0, on_path, budget);
+      if (just.ok) {
+        // Candidate sequence; justification ran on the good machine, so
+        // confirm on the faulty machine before declaring success (HITEC
+        // verifies with its fault simulator the same way). On mismatch the
+        // enumeration continues with a different solution.
+        TestSequence candidate = just.prefix;
+        for (const auto& v : window) candidate.push_back(v);
+        for (auto& vec : candidate)
+          for (auto& x : vec)
+            if (x == V3::kX) x = V3::kZero;
+        if (simulate_fault_serial(nl_, fault, candidate) >= 0) {
+          attempt.status = FaultStatus::kDetected;
+          attempt.sequence = std::move(candidate);
+          break;
+        }
+        ++verify_rejects_;
+        if (++rejects_this_fault >= opts_.verify_reject_limit) {
+          any_aborted = true;
+          break;
+        }
+      }
+      if (budget.exhausted_backtracks() || tfm.evals() > budget.max_evals) {
+        any_aborted = true;
+        break;
+      }
+      st = podem.resume(budget);
+    }
+    total_evals_ += tfm.evals();
+    if (attempt.status == FaultStatus::kDetected) break;
+    if (st == PodemStatus::kAborted) any_aborted = true;
+    // kExhausted: no detection within this window from any state; widen.
+  }
+
+  if (attempt.status != FaultStatus::kDetected && !any_aborted) {
+    // Sound redundancy check: complete single-frame search for
+    // excite-and-store from a free state.
+    TimeFrameModel tfm(nl_, fault, 1);
+    Podem podem(tfm, scoap_, /*allow_state=*/true,
+                PodemGoal::kDetectOrStore);
+    PodemBudget red_budget;
+    red_budget.max_backtracks = opts_.backtrack_limit;
+    red_budget.max_evals = opts_.eval_limit;
+    const PodemStatus st = podem.search(red_budget);
+    total_evals_ += tfm.evals();
+    total_backtracks_ += red_budget.backtracks;
+    if (st == PodemStatus::kExhausted)
+      attempt.status = FaultStatus::kRedundant;
+    // kSuccess: storable but not detected within the window — aborted.
+  }
+
+  total_backtracks_ += budget.backtracks;
+  attempt.backtracks = budget.backtracks;
+  attempt.evals = total_evals_ - evals_before;
+  return attempt;
+}
+
+// ---- driver -----------------------------------------------------------------
+
+std::vector<TestSequence> make_random_sequences(const Netlist& nl, int count,
+                                                int length,
+                                                std::uint64_t seed) {
+  Rng rng(seed ^ 0x5eedf00dULL);
+  const NodeId rst = nl.find("rst");
+  int rst_index = -1;
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i)
+    if (nl.inputs()[i] == rst) rst_index = static_cast<int>(i);
+
+  std::vector<TestSequence> seqs;
+  for (int s = 0; s < count; ++s) {
+    TestSequence seq;
+    for (int t = 0; t < length; ++t) {
+      std::vector<V3> v(nl.num_inputs());
+      for (auto& x : v) x = rng.next_bool() ? V3::kOne : V3::kZero;
+      if (rst_index >= 0)
+        v[static_cast<std::size_t>(rst_index)] =
+            (t == 0 || rng.next_bernoulli(0.02)) ? V3::kOne : V3::kZero;
+      seq.push_back(std::move(v));
+    }
+    seqs.push_back(std::move(seq));
+  }
+  return seqs;
+}
+
+namespace {
+
+// Replace X with 0 — deterministic, and keeps the reset line quiet.
+void fill_x(TestSequence& seq) {
+  for (auto& vec : seq)
+    for (auto& v : vec)
+      if (v == V3::kX) v = V3::kZero;
+}
+
+}  // namespace
+
+AtpgRunResult run_atpg(const Netlist& nl, const AtpgRunOptions& opts) {
+  const auto t0 = std::chrono::steady_clock::now();
+  AtpgRunResult res;
+
+  const auto collapsed = collapse_faults(nl);
+  std::vector<Fault> faults;
+  faults.reserve(collapsed.size());
+  for (const auto& cf : collapsed) faults.push_back(cf.representative);
+
+  enum class S { kUndetected, kDetected, kRedundant, kAborted };
+  std::vector<S> status(faults.size(), S::kUndetected);
+  std::vector<bool> potential(faults.size(), false);
+
+  // ---- random phase ----
+  auto random_seqs =
+      make_random_sequences(nl, opts.random_sequences, opts.random_length,
+                            opts.seed);
+  if (!random_seqs.empty()) {
+    const auto fr = run_fault_simulation(nl, faults, random_seqs);
+    std::vector<bool> seq_used(random_seqs.size(), false);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (fr.detected_at[i] >= 0) {
+        status[i] = S::kDetected;
+        seq_used[static_cast<std::size_t>(fr.detected_at[i])] = true;
+      }
+      if (fr.potential_at[i] >= 0) potential[i] = true;
+    }
+    for (std::size_t s = 0; s < random_seqs.size(); ++s)
+      if (seq_used[s]) res.tests.push_back(random_seqs[s]);
+  }
+
+  // ---- deterministic phase ----
+  AtpgEngine engine(nl, opts.engine);
+  std::size_t w_all = 0;
+  for (const auto& cf : collapsed)
+    w_all += static_cast<std::size_t>(cf.class_size);
+  auto current_fe = [&]() {
+    std::size_t w = 0;
+    for (std::size_t j = 0; j < faults.size(); ++j)
+      if (status[j] == S::kDetected || status[j] == S::kRedundant)
+        w += static_cast<std::size_t>(collapsed[j].class_size);
+    return 100.0 * static_cast<double>(w) /
+           static_cast<double>(std::max<std::size_t>(1, w_all));
+  };
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (status[i] != S::kUndetected) continue;
+    if (opts.total_eval_budget &&
+        engine.total_evals() > opts.total_eval_budget) {
+      status[i] = S::kAborted;
+      continue;
+    }
+    FaultAttempt attempt = engine.generate(faults[i]);
+    switch (attempt.status) {
+      case FaultStatus::kRedundant:
+        status[i] = S::kRedundant;
+        break;
+      case FaultStatus::kAborted:
+        status[i] = S::kAborted;
+        break;
+      case FaultStatus::kDetected: {
+        fill_x(attempt.sequence);
+        // Verify and drop everything else this sequence catches.
+        std::vector<Fault> remaining;
+        std::vector<std::size_t> remap;
+        for (std::size_t j = 0; j < faults.size(); ++j)
+          if (j == i || status[j] == S::kUndetected) {
+            remaining.push_back(faults[j]);
+            remap.push_back(j);
+          }
+        const auto fr =
+            run_fault_simulation(nl, remaining, {attempt.sequence});
+        bool target_confirmed = false;
+        for (std::size_t k = 0; k < remaining.size(); ++k) {
+          if (fr.potential_at[k] >= 0) potential[remap[k]] = true;
+          if (fr.detected_at[k] < 0) continue;
+          if (remap[k] == i) target_confirmed = true;
+          status[remap[k]] = S::kDetected;
+        }
+        // The engine verified the target on the faulty machine already;
+        // this is a belt-and-braces check against simulator disagreement.
+        SATPG_CHECK_MSG(target_confirmed,
+                        "engine-verified test rejected by parallel fsim");
+        res.tests.push_back(std::move(attempt.sequence));
+        break;
+      }
+    }
+    res.fe_trace.push_back({engine.total_evals(), current_fe()});
+  }
+
+  // ---- accounting ----
+  std::size_t w_det = 0, w_red = 0, w_abort = 0, w_total = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const std::size_t w = static_cast<std::size_t>(collapsed[i].class_size);
+    w_total += w;
+    S s = status[i];
+    if (opts.count_potential_detections && potential[i] &&
+        (s == S::kUndetected || s == S::kAborted))
+      s = S::kDetected;
+    switch (s) {
+      case S::kDetected:
+        w_det += w;
+        break;
+      case S::kRedundant:
+        w_red += w;
+        break;
+      default:
+        w_abort += w;
+    }
+  }
+  res.total_faults = w_total;
+  res.detected = w_det;
+  res.redundant = w_red;
+  res.aborted = w_abort;
+  res.fault_coverage = 100.0 * static_cast<double>(w_det) /
+                       static_cast<double>(std::max<std::size_t>(1, w_total));
+  res.fault_efficiency =
+      100.0 * static_cast<double>(w_det + w_red) /
+      static_cast<double>(std::max<std::size_t>(1, w_total));
+  res.evals = engine.total_evals();
+  res.backtracks = engine.total_backtracks();
+  res.verify_failures = engine.verify_rejects();
+
+  // Final replay for the state-traversal census.
+  if (!res.tests.empty()) {
+    const auto fr = run_fault_simulation(nl, {}, res.tests);
+    res.states_traversed = fr.good_states;
+  }
+  res.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return res;
+}
+
+}  // namespace satpg

@@ -1,0 +1,156 @@
+// Structural sequential ATPG engines and the per-circuit driver.
+//
+// Three engines reproduce the paper's three tools as algorithm families
+// (DESIGN.md §2 documents the substitution):
+//
+//   kHitec    — iterative-array PODEM with free frame-0 state (pseudo
+//               primary inputs), forward window growth for propagation and
+//               recursive backward state justification. The justification
+//               search over concrete state cubes is precisely the part that
+//               drowns when the density of encoding collapses.
+//   kForward  — forward-time only: the window starts from the all-X
+//               power-up state (no pseudo-PI decisions); tests must
+//               self-initialize through the reset line. Attest stand-in.
+//   kLearning — kHitec plus dynamic state learning: justification outcomes
+//               (success prefixes and budget-failures) are cached across
+//               faults, the distinguishing feature of SEST.
+//
+// Redundancy identification is sound: a fault is labelled redundant only
+// when a complete single-frame search over ALL (state, input) assignments
+// proves the effect can never be excited and reach a PO or any flip-flop.
+// Everything else undetected is aborted (counts against fault efficiency,
+// exactly as in the paper's tables).
+//
+// Every generated sequence is verified by the fault simulator from the
+// all-X power-up state before a fault is declared detected (justification
+// runs on the good machine; verification closes that soundness gap).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "atpg/podem.h"
+#include "atpg/scoap.h"
+#include "fault/fault.h"
+#include "fsim/fsim.h"
+#include "netlist/netlist.h"
+
+namespace satpg {
+
+enum class EngineKind { kHitec, kForward, kLearning };
+
+const char* engine_kind_name(EngineKind k);
+
+struct EngineOptions {
+  EngineKind kind = EngineKind::kHitec;
+  int max_forward_frames = 10;   ///< propagation window growth limit
+  int max_backward_frames = 24;  ///< justification depth limit
+  std::uint64_t backtrack_limit = 4000;    ///< per fault, all phases
+  std::uint64_t eval_limit = 4'000'000;    ///< per fault, node evaluations
+  int verify_reject_limit = 25;  ///< candidate re-derivations per fault
+};
+
+enum class FaultStatus { kDetected, kRedundant, kAborted };
+
+struct FaultAttempt {
+  FaultStatus status = FaultStatus::kAborted;
+  TestSequence sequence;       ///< meaningful when detected
+  std::uint64_t evals = 0;     ///< work spent on this fault
+  std::uint64_t backtracks = 0;
+};
+
+/// Per-circuit deterministic test generator.
+class AtpgEngine {
+ public:
+  AtpgEngine(const Netlist& nl, const EngineOptions& opts);
+
+  FaultAttempt generate(const Fault& fault);
+
+  /// Cumulative work across all generate() calls.
+  std::uint64_t total_evals() const { return total_evals_; }
+  std::uint64_t total_backtracks() const { return total_backtracks_; }
+
+  /// Distinct fully/partially specified state cubes the justification
+  /// search visited (Table 6's "#states traversed" uses the good-machine
+  /// trajectory of the final tests; this is the search-side counterpart).
+  std::size_t justification_cubes_visited() const {
+    return cubes_visited_.size();
+  }
+
+  /// Candidate tests rejected by in-engine faulty-machine verification.
+  std::size_t verify_rejects() const { return verify_rejects_; }
+
+ private:
+  struct JustifyOutcome {
+    bool ok = false;
+    std::vector<std::vector<V3>> prefix;  ///< oldest vector first
+  };
+  JustifyOutcome justify(const std::vector<std::pair<NodeId, V3>>& cube,
+                         int depth, std::set<std::string>& on_path,
+                         PodemBudget& budget);
+  std::string cube_key(const std::vector<std::pair<NodeId, V3>>& cube) const;
+
+  const Netlist& nl_;
+  EngineOptions opts_;
+  Scoap scoap_;
+  std::optional<Fault> current_fault_;  ///< fault modelled by justification
+  std::uint64_t total_evals_ = 0;
+  std::uint64_t total_backtracks_ = 0;
+
+  // Learning caches (kLearning only): cube -> known prefix / known failure.
+  std::map<std::string, std::vector<std::vector<V3>>> learned_ok_;
+  std::set<std::string> learned_fail_;
+  std::set<std::string> cubes_visited_;
+  std::size_t verify_rejects_ = 0;
+};
+
+// ---- driver -----------------------------------------------------------------
+
+struct AtpgRunOptions {
+  EngineOptions engine;
+  int random_sequences = 8;    ///< random-phase warm-up sequences
+  int random_length = 40;
+  std::uint64_t seed = 1;
+  /// Total deterministic-phase evaluation budget (the "CPU time" the run is
+  /// allowed; 0 = unlimited). Faults not reached before exhaustion abort.
+  std::uint64_t total_eval_budget = 0;
+  /// Credit potential detections (good output known, faulty X) toward
+  /// coverage — the PROOFS-era convention, needed chiefly for reset-line
+  /// faults whose faulty machine never initializes. Ablation can turn this
+  /// off for strict-detection numbers.
+  bool count_potential_detections = true;
+};
+
+struct AtpgRunResult {
+  std::vector<TestSequence> tests;
+  // Weighted by equivalence-class sizes (uncollapsed universe).
+  double fault_coverage = 0.0;    ///< percent detected
+  double fault_efficiency = 0.0;  ///< percent detected-or-redundant
+  std::size_t total_faults = 0;   ///< uncollapsed count
+  std::size_t detected = 0, redundant = 0, aborted = 0;  ///< weighted
+  std::uint64_t evals = 0;         ///< deterministic work metric
+  std::uint64_t backtracks = 0;
+  double wall_seconds = 0.0;
+  /// Distinct good-machine states entered while applying the final test
+  /// set (the paper's "#states traversed", Tables 6/8).
+  std::set<std::string> states_traversed;
+  std::size_t verify_failures = 0;  ///< generated tests the fsim rejected
+  /// (cumulative evals, fault efficiency %) after each deterministic-phase
+  /// fault — the series behind the paper's Figure 3. Strict statuses
+  /// (potential-detection credit is applied only in the final numbers).
+  std::vector<std::pair<std::uint64_t, double>> fe_trace;
+};
+
+AtpgRunResult run_atpg(const Netlist& nl, const AtpgRunOptions& opts);
+
+/// Random test sequences in the shape the study's circuits expect: the
+/// first vector asserts the reset line (when present), later vectors pulse
+/// it rarely. Used by the driver's random phase and by experiments.
+std::vector<TestSequence> make_random_sequences(const Netlist& nl, int count,
+                                                int length,
+                                                std::uint64_t seed);
+
+}  // namespace satpg

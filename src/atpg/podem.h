@@ -1,0 +1,98 @@
+// PODEM search over the dual-rail time-frame model.
+//
+// Decision variables are primary inputs (any frame) and — when state
+// decisions are enabled — the frame-0 flip-flop values (pseudo primary
+// inputs). Objectives are met by backtracing through X-valued lines with
+// SCOAP guidance, branch-and-bound with value flipping on backtrack.
+//
+// Three goals cover the engines' needs:
+//   kDetect        — some PO carries D/D' (a test exists within the window)
+//   kDetectOrStore — D/D' at a PO or at a last-frame FF D input (used by
+//                    the sound single-frame redundancy check: a fault that
+//                    can never be excited-and-stored from ANY state/input
+//                    is sequentially redundant)
+//   kJustify       — given (FF, value) targets, make frame-0 next-state
+//                    lines produce them (used frame-by-frame by backward
+//                    state justification)
+//
+// search() runs to the first solution; resume() continues the same search
+// for the next distinct solution (HITEC-style state-cube re-selection when
+// a justification attempt fails).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "atpg/scoap.h"
+#include "atpg/tfm.h"
+
+namespace satpg {
+
+enum class PodemGoal { kDetect, kDetectOrStore, kJustify };
+enum class PodemStatus { kSuccess, kExhausted, kAborted };
+
+struct PodemBudget {
+  std::uint64_t max_backtracks = 1000;
+  std::uint64_t max_evals = 2'000'000;
+  // Consumed counters (shared across phases of one fault).
+  std::uint64_t backtracks = 0;
+
+  bool exhausted_backtracks() const { return backtracks >= max_backtracks; }
+};
+
+class Podem {
+ public:
+  /// `just_targets`: for kJustify, required good values on the D inputs of
+  /// these flip-flops at frame 0.
+  Podem(TimeFrameModel& tfm, const Scoap& scoap, bool allow_state_decisions,
+        PodemGoal goal,
+        std::vector<std::pair<NodeId, V3>> just_targets = {});
+
+  PodemStatus search(PodemBudget& budget);
+  /// After kSuccess: backtrack once and keep searching (next solution).
+  PodemStatus resume(PodemBudget& budget);
+
+  /// Assigned decision values after kSuccess.
+  V3 pi_value(int frame, NodeId pi) const {
+    return tfm_.decision_value(frame, pi);
+  }
+  V3 state_value(NodeId ff) const { return tfm_.decision_value(0, ff); }
+
+  /// Undo every decision this solver made (restores the TFM).
+  void reset();
+
+ private:
+  struct Decision {
+    int frame;
+    NodeId node;
+    V3 value;
+    bool flipped;
+    std::size_t mark;
+  };
+  struct Objective {
+    int frame;
+    NodeId node;
+    V3 value;
+  };
+
+  bool goal_met() const;
+  bool failed() const;
+  std::optional<Objective> pick_objective() const;
+  std::optional<Objective> backtrace(Objective obj) const;
+  /// Returns false when the decision stack is exhausted.
+  bool backtrack(PodemBudget& budget);
+  PodemStatus run(PodemBudget& budget);
+
+  TimeFrameModel& tfm_;
+  const Scoap& scoap_;
+  bool allow_state_;
+  PodemGoal goal_;
+  std::vector<std::pair<NodeId, V3>> just_targets_;
+  std::vector<Decision> stack_;
+  std::size_t base_mark_;
+  std::vector<int> topo_pos_;
+};
+
+}  // namespace satpg

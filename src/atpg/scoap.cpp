@@ -1,0 +1,122 @@
+#include "atpg/scoap.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace satpg {
+
+Scoap compute_scoap(const Netlist& nl, int iterations, double seq_penalty) {
+  const double kBig = 1e9;
+  Scoap s;
+  s.cc0.assign(nl.num_nodes(), kBig);
+  s.cc1.assign(nl.num_nodes(), kBig);
+  // Optimistic flip-flop seed: without it, feedback loops through gates
+  // that need every operand finite (XOR) would stay pinned at kBig and
+  // the fixpoint could never start.
+  for (NodeId ff : nl.dffs()) {
+    s.cc0[static_cast<std::size_t>(ff)] = seq_penalty;
+    s.cc1[static_cast<std::size_t>(ff)] = seq_penalty;
+  }
+
+  for (int round = 0; round < iterations; ++round) {
+    for (NodeId id : nl.topo_order()) {
+      const auto& n = nl.node(id);
+      auto c0 = [&](std::size_t k) {
+        return s.cc0[static_cast<std::size_t>(n.fanins[k])];
+      };
+      auto c1 = [&](std::size_t k) {
+        return s.cc1[static_cast<std::size_t>(n.fanins[k])];
+      };
+      double v0 = kBig, v1 = kBig;
+      switch (n.type) {
+        case GateType::kInput:
+          v0 = v1 = 1.0;
+          break;
+        case GateType::kConst0:
+          v0 = 0.0;
+          v1 = kBig;
+          break;
+        case GateType::kConst1:
+          v0 = kBig;
+          v1 = 0.0;
+          break;
+        case GateType::kDff:
+          // Keep the optimistic seed until the D-cone produces something
+          // better (monotone from below; purely heuristic guidance).
+          v0 = std::min(s.cc0[static_cast<std::size_t>(id)],
+                        c0(0) + seq_penalty);
+          v1 = std::min(s.cc1[static_cast<std::size_t>(id)],
+                        c1(0) + seq_penalty);
+          break;
+        case GateType::kOutput:
+        case GateType::kBuf:
+          v0 = c0(0) + 1.0;
+          v1 = c1(0) + 1.0;
+          break;
+        case GateType::kNot:
+          v0 = c1(0) + 1.0;
+          v1 = c0(0) + 1.0;
+          break;
+        case GateType::kAnd:
+        case GateType::kNand: {
+          double all1 = 1.0, min0 = kBig;
+          for (std::size_t k = 0; k < n.fanins.size(); ++k) {
+            all1 += c1(k);
+            min0 = std::min(min0, c0(k));
+          }
+          all1 = std::min(all1, kBig);
+          const double out1 = all1, out0 = min0 + 1.0;
+          if (n.type == GateType::kAnd) {
+            v1 = out1;
+            v0 = out0;
+          } else {
+            v0 = out1;
+            v1 = out0;
+          }
+          break;
+        }
+        case GateType::kOr:
+        case GateType::kNor: {
+          double all0 = 1.0, min1 = kBig;
+          for (std::size_t k = 0; k < n.fanins.size(); ++k) {
+            all0 += c0(k);
+            min1 = std::min(min1, c1(k));
+          }
+          all0 = std::min(all0, kBig);
+          const double out0 = all0, out1 = min1 + 1.0;
+          if (n.type == GateType::kOr) {
+            v0 = out0;
+            v1 = out1;
+          } else {
+            v1 = out0;
+            v0 = out1;
+          }
+          break;
+        }
+        case GateType::kXor:
+        case GateType::kXnor: {
+          // Two-input approximation folded over the fanins.
+          double e0 = c0(0), e1 = c1(0);
+          for (std::size_t k = 1; k < n.fanins.size(); ++k) {
+            const double a0 = e0, a1 = e1, b0 = c0(k), b1 = c1(k);
+            e0 = std::min(a0 + b0, a1 + b1) + 1.0;
+            e1 = std::min(a0 + b1, a1 + b0) + 1.0;
+          }
+          if (n.type == GateType::kXor) {
+            v0 = e0;
+            v1 = e1;
+          } else {
+            v0 = e1;
+            v1 = e0;
+          }
+          break;
+        }
+      }
+      s.cc0[static_cast<std::size_t>(id)] = std::min(v0, kBig);
+      s.cc1[static_cast<std::size_t>(id)] = std::min(v1, kBig);
+    }
+  }
+  return s;
+}
+
+}  // namespace satpg

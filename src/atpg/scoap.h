@@ -1,0 +1,25 @@
+// SCOAP-style sequential testability measures (backtrace guidance).
+//
+// CC0/CC1 approximate the effort to set a line to 0/1. Primary inputs cost
+// 1; combinational gates follow the classic SCOAP rules; a flip-flop's
+// output costs its D-input controllability plus a sequential penalty —
+// iterated to a fixpoint so state feedback settles. The absolute numbers
+// only steer heuristics (which X input PODEM backtraces through), so
+// convergence tolerance is loose.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace satpg {
+
+struct Scoap {
+  std::vector<double> cc0;  ///< per node
+  std::vector<double> cc1;
+};
+
+Scoap compute_scoap(const Netlist& nl, int iterations = 8,
+                    double seq_penalty = 20.0);
+
+}  // namespace satpg

@@ -1,0 +1,328 @@
+#include "atpg/tfm.h"
+
+#include <algorithm>
+
+namespace satpg {
+
+TimeFrameModel::TimeFrameModel(const Netlist& nl, std::optional<Fault> fault,
+                               int num_frames)
+    : nl_(nl), fault_(std::move(fault)), num_frames_(num_frames) {
+  SATPG_CHECK(num_frames >= 1);
+  const std::size_t total =
+      static_cast<std::size_t>(num_frames) * nl.num_nodes();
+  values_.assign(total, V5{});
+  decisions_.assign(total, V3::kX);
+  topo_pos_.assign(nl.num_nodes(), -1);
+  by_topo_ = nl.topo_order();
+  for (std::size_t i = 0; i < by_topo_.size(); ++i)
+    topo_pos_[static_cast<std::size_t>(by_topo_[i])] = static_cast<int>(i);
+  in_queue_.assign(total, 0);
+  queue_.resize(static_cast<std::size_t>(num_frames));
+
+  // Initial full evaluation (everything X, but faulty-rail pins and
+  // constants must settle).
+  for (int t = 0; t < num_frames_; ++t)
+    for (NodeId id : by_topo_) mark_dirty(t, id);
+  propagate();
+  trail_.clear();  // initial state is the baseline; not undoable
+}
+
+void TimeFrameModel::set_value(std::size_t idx, V5 v) {
+  if (values_[idx] == v) return;
+  trail_.push_back({idx, values_[idx], false});
+  const bool was_d = values_[idx].is_d();
+  values_[idx] = v;
+  if (was_d != v.is_d()) {
+    const int frame = static_cast<int>(idx / nl_.num_nodes());
+    const NodeId node = static_cast<NodeId>(idx % nl_.num_nodes());
+    if (v.is_d())
+      d_set_.insert({frame, node});
+    else
+      d_set_.erase({frame, node});
+  }
+}
+
+void TimeFrameModel::mark_dirty(int frame, NodeId node) {
+  const std::size_t idx = flat(frame, node);
+  if (in_queue_[idx]) return;
+  in_queue_[idx] = 1;
+  auto& q = queue_[static_cast<std::size_t>(frame)];
+  q.push_back(topo_pos_[static_cast<std::size_t>(node)]);
+  std::push_heap(q.begin(), q.end(), std::greater<>());
+}
+
+V3 TimeFrameModel::faulty_eval(int frame, const Node& n, NodeId id) const {
+  // Faulty-rail evaluation of a combinational / OUTPUT node, honouring an
+  // input-pin fault on this node.
+  const bool pin_fault_here =
+      fault_ && fault_->node == id && fault_->pin >= 0;
+  auto in = [&](std::size_t k) -> V3 {
+    if (pin_fault_here && static_cast<int>(k) == fault_->pin)
+      return fault_->stuck1 ? V3::kOne : V3::kZero;
+    return values_[flat(frame, n.fanins[k])].f;
+  };
+  auto fold = [&](V3 (*op)(V3, V3)) {
+    V3 v = in(0);
+    for (std::size_t k = 1; k < n.fanins.size(); ++k) v = op(v, in(k));
+    return v;
+  };
+  switch (n.type) {
+    case GateType::kConst0:
+      return V3::kZero;
+    case GateType::kConst1:
+      return V3::kOne;
+    case GateType::kBuf:
+    case GateType::kOutput:
+      return in(0);
+    case GateType::kNot:
+      return v3_not(in(0));
+    case GateType::kAnd:
+      return fold(v3_and);
+    case GateType::kNand:
+      return v3_not(fold(v3_and));
+    case GateType::kOr:
+      return fold(v3_or);
+    case GateType::kNor:
+      return v3_not(fold(v3_or));
+    case GateType::kXor:
+      return fold(v3_xor);
+    case GateType::kXnor:
+      return v3_not(fold(v3_xor));
+    default:
+      SATPG_CHECK(false);
+  }
+  return V3::kX;
+}
+
+V5 TimeFrameModel::compute(int frame, NodeId node) const {
+  const auto& n = nl_.node(node);
+  const bool stem_fault_here =
+      fault_ && fault_->node == node && fault_->pin < 0;
+  const V3 stuck = fault_ && fault_->stuck1 ? V3::kOne : V3::kZero;
+
+  V5 v;
+  switch (n.type) {
+    case GateType::kInput: {
+      const V3 d = decisions_[flat(frame, node)];
+      v = {d, d};
+      break;
+    }
+    case GateType::kDff: {
+      if (frame == 0) {
+        const V3 d = decisions_[flat(0, node)];
+        v = {d, d};
+      } else {
+        const V5 prev = values_[flat(frame - 1, n.fanins[0])];
+        v.g = prev.g;
+        v.f = prev.f;
+        if (fault_ && fault_->node == node && fault_->pin == 0)
+          v.f = stuck;  // D-pin fault
+      }
+      break;
+    }
+    case GateType::kOutput: {
+      const V5 in = values_[flat(frame, n.fanins[0])];
+      v.g = in.g;
+      v.f = faulty_eval(frame, n, node);
+      break;
+    }
+    default: {
+      // Combinational gate: good rail from fanin good rails.
+      std::vector<NodeId> dummy;  // avoid alloc: inline fold on good rail
+      auto in_g = [&](std::size_t k) {
+        return values_[flat(frame, n.fanins[k])].g;
+      };
+      auto fold_g = [&](V3 (*op)(V3, V3)) {
+        V3 x = in_g(0);
+        for (std::size_t k = 1; k < n.fanins.size(); ++k) x = op(x, in_g(k));
+        return x;
+      };
+      switch (n.type) {
+        case GateType::kConst0:
+          v.g = V3::kZero;
+          break;
+        case GateType::kConst1:
+          v.g = V3::kOne;
+          break;
+        case GateType::kBuf:
+          v.g = in_g(0);
+          break;
+        case GateType::kNot:
+          v.g = v3_not(in_g(0));
+          break;
+        case GateType::kAnd:
+          v.g = fold_g(v3_and);
+          break;
+        case GateType::kNand:
+          v.g = v3_not(fold_g(v3_and));
+          break;
+        case GateType::kOr:
+          v.g = fold_g(v3_or);
+          break;
+        case GateType::kNor:
+          v.g = v3_not(fold_g(v3_or));
+          break;
+        case GateType::kXor:
+          v.g = fold_g(v3_xor);
+          break;
+        case GateType::kXnor:
+          v.g = v3_not(fold_g(v3_xor));
+          break;
+        default:
+          SATPG_CHECK(false);
+      }
+      v.f = faulty_eval(frame, n, node);
+      break;
+    }
+  }
+  if (stem_fault_here) v.f = stuck;
+  return v;
+}
+
+void TimeFrameModel::propagate() {
+  const auto& fanouts = nl_.fanouts();
+  for (int t = 0; t < num_frames_; ++t) {
+    auto& q = queue_[static_cast<std::size_t>(t)];
+    while (!q.empty()) {
+      std::pop_heap(q.begin(), q.end(), std::greater<>());
+      const int pos = q.back();
+      q.pop_back();
+      const NodeId id = by_topo_[static_cast<std::size_t>(pos)];
+      const std::size_t idx = flat(t, id);
+      in_queue_[idx] = 0;
+      ++evals_;
+      const V5 nv = compute(t, id);
+      if (nv == values_[idx]) continue;
+      set_value(idx, nv);
+      for (NodeId s : fanouts[static_cast<std::size_t>(id)]) {
+        const auto& sn = nl_.node(s);
+        if (sn.type == GateType::kDff) {
+          if (t + 1 < num_frames_) mark_dirty(t + 1, s);
+        } else {
+          mark_dirty(t, s);
+        }
+      }
+    }
+  }
+}
+
+std::size_t TimeFrameModel::assign(int frame, NodeId node, V3 v) {
+  SATPG_CHECK(is_decision_var(frame, node));
+  const std::size_t mark = trail_.size();
+  const std::size_t idx = flat(frame, node);
+  SATPG_CHECK_MSG(decisions_[idx] == V3::kX, "reassigning a decision var");
+  trail_.push_back({idx, values_[idx], true});
+  decisions_[idx] = v;
+  mark_dirty(frame, node);
+  propagate();
+  return mark;
+}
+
+void TimeFrameModel::undo_to(std::size_t mark) {
+  while (trail_.size() > mark) {
+    const TrailEntry e = trail_.back();
+    trail_.pop_back();
+    if (e.decision) decisions_[e.idx] = V3::kX;
+    const bool was_d = values_[e.idx].is_d();
+    values_[e.idx] = e.old_value;
+    if (was_d != e.old_value.is_d()) {
+      const int frame = static_cast<int>(e.idx / nl_.num_nodes());
+      const NodeId node = static_cast<NodeId>(e.idx % nl_.num_nodes());
+      if (e.old_value.is_d())
+        d_set_.insert({frame, node});
+      else
+        d_set_.erase({frame, node});
+    }
+  }
+}
+
+bool TimeFrameModel::is_decision_var(int frame, NodeId node) const {
+  const auto& n = nl_.node(node);
+  if (n.type == GateType::kInput) return frame >= 0 && frame < num_frames_;
+  if (n.type == GateType::kDff) return frame == 0;
+  return false;
+}
+
+V3 TimeFrameModel::decision_value(int frame, NodeId node) const {
+  return decisions_[flat(frame, node)];
+}
+
+bool TimeFrameModel::detected_at_po() const {
+  for (int t = 0; t < num_frames_; ++t)
+    for (NodeId po : nl_.outputs())
+      if (values_[flat(t, po)].is_d()) return true;
+  return false;
+}
+
+bool TimeFrameModel::d_reaches_boundary() const {
+  const int last = num_frames_ - 1;
+  for (NodeId ff : nl_.dffs()) {
+    const NodeId d = nl_.node(ff).fanins[0];
+    V5 v = values_[flat(last, d)];
+    if (fault_ && fault_->node == ff && fault_->pin == 0)
+      v.f = fault_->stuck1 ? V3::kOne : V3::kZero;
+    if (v.is_d()) return true;
+  }
+  return false;
+}
+
+bool TimeFrameModel::effect_still_possible(bool allow_boundary) const {
+  if (!fault_) return true;
+  const V3 stuck = fault_->stuck1 ? V3::kOne : V3::kZero;
+
+  // Current D nodes (maintained incrementally by set_value/undo_to).
+  std::vector<std::pair<int, NodeId>> dset(d_set_.begin(), d_set_.end());
+
+  if (dset.empty()) {
+    // Not excited anywhere: excitable iff the faulted line's good value can
+    // still become the opposite of the stuck value in some frame.
+    const NodeId line = fault_->pin >= 0
+                            ? nl_.node(fault_->node)
+                                  .fanins[static_cast<std::size_t>(
+                                      fault_->pin)]
+                            : fault_->node;
+    for (int t = 0; t < num_frames_; ++t) {
+      const V3 g = values_[flat(t, line)].g;
+      if (g == V3::kX || g != stuck) return true;
+    }
+    // A pin fault can also already be "excited" at the gate even when the
+    // line equals stuck... no: excitation requires line good != stuck.
+    return false;
+  }
+
+  // Forward reachability from D nodes through X-capable nodes.
+  const auto& fanouts = nl_.fanouts();
+  std::vector<char> seen(values_.size(), 0);
+  std::vector<std::pair<int, NodeId>> stack = dset;
+  for (const auto& [t, id] : dset) seen[flat(t, id)] = 1;
+  while (!stack.empty()) {
+    const auto [t, id] = stack.back();
+    stack.pop_back();
+    const auto& n = nl_.node(id);
+    if (n.type == GateType::kOutput) return true;  // reachable or already D
+    if (n.type == GateType::kDff && t == num_frames_ - 1) {
+      // Effect sits in a FF that has no next frame; it already crossed.
+    }
+    // Does this node drive a FF into the next frame (or the boundary)?
+    for (NodeId s : fanouts[static_cast<std::size_t>(id)]) {
+      const auto& sn = nl_.node(s);
+      int nt = t;
+      if (sn.type == GateType::kDff) {
+        if (t + 1 >= num_frames_) {
+          if (allow_boundary) return true;
+          continue;
+        }
+        nt = t + 1;
+      }
+      const std::size_t sidx = flat(nt, s);
+      if (seen[sidx]) continue;
+      const V5 sv = values_[sidx];
+      if (!(sv.any_x() || sv.is_d())) continue;  // blocked
+      seen[sidx] = 1;
+      stack.push_back({nt, s});
+    }
+  }
+  return false;
+}
+
+}  // namespace satpg

@@ -1,0 +1,125 @@
+// Dual-rail time-frame model: the iterative-array circuit expansion that
+// every structural sequential ATPG in this study is built on.
+//
+// Values are pairs (good, faulty) of three-valued logic — the classic
+// 5-valued D-calculus {0,1,X,D,D'} plus the partially-known combinations.
+// The target fault (when present) is injected on the faulty rail in every
+// frame: stuck-at faults are permanent.
+//
+// The model holds a window of frames [0, num_frames). Frame 0's flip-flop
+// values are *pseudo primary inputs* — free variables a HITEC-style engine
+// decides on and later justifies. Assignments are made only on decision
+// variables (a PI at any frame, or a frame-0 FF); implication is forward
+// event propagation in (frame, topological) order with a trail for O(1)
+// backtracking.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "fault/fault.h"
+#include "netlist/netlist.h"
+#include "sim/value.h"
+
+namespace satpg {
+
+/// Dual-rail value.
+struct V5 {
+  V3 g = V3::kX;  ///< good machine
+  V3 f = V3::kX;  ///< faulty machine
+  bool operator==(const V5&) const = default;
+
+  bool is_d() const {  // D or D': both known, different
+    return g != V3::kX && f != V3::kX && g != f;
+  }
+  bool any_x() const { return g == V3::kX || f == V3::kX; }
+};
+
+class TimeFrameModel {
+ public:
+  /// `fault` absent models the fault-free machine (used by justification).
+  TimeFrameModel(const Netlist& nl, std::optional<Fault> fault,
+                 int num_frames);
+
+  const Netlist& netlist() const { return nl_; }
+  int num_frames() const { return num_frames_; }
+
+  V5 value(int frame, NodeId node) const {
+    return values_[flat(frame, node)];
+  }
+
+  /// Assign a decision variable: a PI at any frame or a FF at frame 0.
+  /// Both rails take `v` (stem faults on the variable keep the faulty rail
+  /// pinned). Returns the trail mark to undo to.
+  std::size_t assign(int frame, NodeId node, V3 v);
+
+  /// Undo assignments/propagations back to `mark`.
+  void undo_to(std::size_t mark);
+  std::size_t trail_mark() const { return trail_.size(); }
+
+  bool is_decision_var(int frame, NodeId node) const;
+  /// Current decision value (X when unassigned).
+  V3 decision_value(int frame, NodeId node) const;
+
+  /// Total node evaluations performed — the study's deterministic work
+  /// metric ("CPU seconds" proxy).
+  std::uint64_t evals() const { return evals_; }
+
+  /// Fault-effect presence: any D/D' on a PO marker within the window.
+  bool detected_at_po() const;
+  /// Any D/D' on a D-input of the last frame's flip-flops (effect would
+  /// cross into the next frame).
+  bool d_reaches_boundary() const;
+
+  /// Conservative X-path check: can the fault effect still reach a PO in
+  /// the window, or the window boundary (when `allow_boundary`)? Also true
+  /// while the fault is not yet excited but still excitable.
+  bool effect_still_possible(bool allow_boundary) const;
+
+  /// Current (frame, node) pairs carrying D/D' — maintained incrementally
+  /// so the PODEM inner loop never rescans the window.
+  const std::set<std::pair<int, NodeId>>& d_set() const { return d_set_; }
+
+  const std::optional<Fault>& fault() const { return fault_; }
+
+ private:
+  std::size_t flat(int frame, NodeId node) const {
+    return static_cast<std::size_t>(frame) * nl_.num_nodes() +
+           static_cast<std::size_t>(node);
+  }
+  void set_value(std::size_t idx, V5 v);
+  void mark_dirty(int frame, NodeId node);
+  void propagate();
+  V5 compute(int frame, NodeId node) const;
+  V3 faulty_eval(int frame, const Node& n, NodeId id) const;
+
+  const Netlist& nl_;
+  std::optional<Fault> fault_;
+  int num_frames_;
+  std::vector<V5> values_;
+  std::vector<V3> decisions_;  ///< per flat index; X = unassigned
+
+  // topo position per node, and reverse lookup used by the dirty queue.
+  std::vector<int> topo_pos_;
+  std::vector<NodeId> by_topo_;
+
+  struct TrailEntry {
+    std::size_t idx;
+    V5 old_value;
+    bool decision;
+  };
+  std::vector<TrailEntry> trail_;
+
+  // Dirty queue: bucket per (frame, topo position).
+  std::vector<char> in_queue_;
+  std::vector<std::vector<int>> queue_;  // per frame, topo positions (heap)
+
+  std::set<std::pair<int, NodeId>> d_set_;
+
+  std::uint64_t evals_ = 0;
+};
+
+}  // namespace satpg

@@ -1,0 +1,165 @@
+#include "base/bitvec.h"
+
+#include <bit>
+
+namespace satpg {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+std::size_t words_for(std::size_t nbits) {
+  return (nbits + kWordBits - 1) / kWordBits;
+}
+}  // namespace
+
+BitVec::BitVec(std::size_t nbits, bool value)
+    : nbits_(nbits), words_(words_for(nbits), value ? ~0ULL : 0ULL) {
+  trim();
+}
+
+BitVec BitVec::from_string(const std::string& s) {
+  BitVec v(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[s.size() - 1 - i];
+    SATPG_CHECK_MSG(c == '0' || c == '1', "BitVec::from_string: bad char");
+    v.set(i, c == '1');
+  }
+  return v;
+}
+
+BitVec BitVec::from_value(std::size_t nbits, std::uint64_t value) {
+  BitVec v(nbits);
+  for (std::size_t i = 0; i < nbits && i < 64; ++i)
+    v.set(i, (value >> i) & 1u);
+  return v;
+}
+
+void BitVec::resize(std::size_t nbits, bool value) {
+  const std::size_t old_bits = nbits_;
+  words_.resize(words_for(nbits), value ? ~0ULL : 0ULL);
+  nbits_ = nbits;
+  if (value && nbits > old_bits) {
+    // Fill the tail of the previously-last word.
+    for (std::size_t i = old_bits; i < nbits && i < words_for(old_bits) * 64;
+         ++i)
+      set(i, true);
+  }
+  trim();
+}
+
+void BitVec::clear_all() {
+  for (auto& w : words_) w = 0;
+}
+
+void BitVec::set_all() {
+  for (auto& w : words_) w = ~0ULL;
+  trim();
+}
+
+std::size_t BitVec::count() const {
+  std::size_t n = 0;
+  for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool BitVec::any() const {
+  for (auto w : words_)
+    if (w) return true;
+  return false;
+}
+
+std::size_t BitVec::find_first() const {
+  for (std::size_t wi = 0; wi < words_.size(); ++wi)
+    if (words_[wi])
+      return wi * kWordBits +
+             static_cast<std::size_t>(std::countr_zero(words_[wi]));
+  return nbits_;
+}
+
+std::size_t BitVec::find_next(std::size_t i) const {
+  ++i;
+  if (i >= nbits_) return nbits_;
+  std::size_t wi = i >> 6;
+  std::uint64_t w = words_[wi] & (~0ULL << (i & 63));
+  for (;;) {
+    if (w)
+      return wi * kWordBits + static_cast<std::size_t>(std::countr_zero(w));
+    if (++wi >= words_.size()) return nbits_;
+    w = words_[wi];
+  }
+}
+
+BitVec& BitVec::operator&=(const BitVec& o) {
+  SATPG_DCHECK(nbits_ == o.nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator|=(const BitVec& o) {
+  SATPG_DCHECK(nbits_ == o.nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator^=(const BitVec& o) {
+  SATPG_DCHECK(nbits_ == o.nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+  return *this;
+}
+
+BitVec BitVec::operator~() const {
+  BitVec r(*this);
+  for (auto& w : r.words_) w = ~w;
+  r.trim();
+  return r;
+}
+
+bool BitVec::operator==(const BitVec& o) const {
+  return nbits_ == o.nbits_ && words_ == o.words_;
+}
+
+bool BitVec::operator<(const BitVec& o) const {
+  if (nbits_ != o.nbits_) return nbits_ < o.nbits_;
+  // Compare most-significant word first for numeric-like ordering.
+  for (std::size_t i = words_.size(); i-- > 0;)
+    if (words_[i] != o.words_[i]) return words_[i] < o.words_[i];
+  return false;
+}
+
+bool BitVec::is_subset_of(const BitVec& o) const {
+  SATPG_DCHECK(nbits_ == o.nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if (words_[i] & ~o.words_[i]) return false;
+  return true;
+}
+
+std::uint64_t BitVec::to_u64() const {
+  SATPG_CHECK_MSG(nbits_ <= 64, "BitVec::to_u64: too wide");
+  return words_.empty() ? 0 : words_[0];
+}
+
+std::string BitVec::to_string() const {
+  std::string s(nbits_, '0');
+  for (std::size_t i = 0; i < nbits_; ++i)
+    if (get(i)) s[nbits_ - 1 - i] = '1';
+  return s;
+}
+
+std::size_t BitVec::hash() const {
+  // FNV-1a over words plus the size.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(nbits_);
+  for (auto w : words_) mix(w);
+  return static_cast<std::size_t>(h);
+}
+
+void BitVec::trim() {
+  const std::size_t tail = nbits_ & 63;
+  if (!words_.empty() && tail != 0)
+    words_.back() &= (~0ULL >> (kWordBits - tail));
+}
+
+}  // namespace satpg

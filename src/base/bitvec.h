@@ -1,0 +1,94 @@
+// Dynamic bit vector.
+//
+// Used for state codes, cube masks, and visited-state sets. Word-based with
+// the usual bulk operations; comparisons define a total order so BitVec can
+// key ordered containers, and hashing supports unordered sets of states.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+
+namespace satpg {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t nbits, bool value = false);
+
+  /// Parse from a string of '0'/'1', most-significant (index nbits-1) first —
+  /// the conventional way state codes are written.
+  static BitVec from_string(const std::string& s);
+
+  /// Construct the nbits-wide binary code of `value` (bit i = value>>i & 1).
+  static BitVec from_value(std::size_t nbits, std::uint64_t value);
+
+  std::size_t size() const { return nbits_; }
+  bool empty() const { return nbits_ == 0; }
+
+  bool get(std::size_t i) const {
+    SATPG_DCHECK(i < nbits_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void set(std::size_t i, bool v) {
+    SATPG_DCHECK(i < nbits_);
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (v)
+      words_[i >> 6] |= mask;
+    else
+      words_[i >> 6] &= ~mask;
+  }
+
+  void resize(std::size_t nbits, bool value = false);
+  void clear_all();
+  void set_all();
+
+  std::size_t count() const;  ///< population count
+  bool any() const;
+  bool none() const { return !any(); }
+
+  /// First set bit index, or size() if none.
+  std::size_t find_first() const;
+  /// First set bit index > i, or size() if none.
+  std::size_t find_next(std::size_t i) const;
+
+  BitVec& operator&=(const BitVec& o);
+  BitVec& operator|=(const BitVec& o);
+  BitVec& operator^=(const BitVec& o);
+  BitVec operator~() const;
+
+  friend BitVec operator&(BitVec a, const BitVec& b) { return a &= b; }
+  friend BitVec operator|(BitVec a, const BitVec& b) { return a |= b; }
+  friend BitVec operator^(BitVec a, const BitVec& b) { return a ^= b; }
+
+  bool operator==(const BitVec& o) const;
+  bool operator!=(const BitVec& o) const { return !(*this == o); }
+  bool operator<(const BitVec& o) const;  ///< lexicographic on (size, words)
+
+  /// True if every set bit of this is also set in o.
+  bool is_subset_of(const BitVec& o) const;
+
+  /// Interpret as an unsigned integer (requires size() <= 64).
+  std::uint64_t to_u64() const;
+
+  /// Render as '0'/'1' string, most-significant (index size()-1) first.
+  std::string to_string() const;
+
+  std::size_t hash() const;
+
+ private:
+  void trim();  ///< zero bits beyond nbits_ in the last word
+
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+struct BitVecHash {
+  std::size_t operator()(const BitVec& v) const { return v.hash(); }
+};
+
+}  // namespace satpg

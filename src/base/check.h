@@ -1,0 +1,40 @@
+// Lightweight assertion macros used across the library.
+//
+// SATPG_CHECK is always on (it guards structural invariants whose violation
+// would silently corrupt experiment results); SATPG_DCHECK compiles away in
+// release builds and is used on hot simulation/ATPG paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace satpg {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace satpg
+
+#define SATPG_CHECK(cond)                                        \
+  do {                                                           \
+    if (!(cond))                                                 \
+      ::satpg::check_failed(#cond, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define SATPG_CHECK_MSG(cond, msg)                            \
+  do {                                                        \
+    if (!(cond))                                              \
+      ::satpg::check_failed(#cond, __FILE__, __LINE__, msg);  \
+  } while (0)
+
+#ifdef NDEBUG
+#define SATPG_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define SATPG_DCHECK(cond) SATPG_CHECK(cond)
+#endif

@@ -1,0 +1,46 @@
+// Minimal leveled logger.
+//
+// The experiment harness produces its primary output through explicit table
+// printers; the logger is for diagnostics (progress, warnings) and is quiet
+// by default so bench output stays machine-comparable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace satpg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style log statement: LOG(kInfo) << "synthesized " << n << " gates";
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= log_level()) detail::log_emit(level_, os_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (level_ >= log_level()) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace satpg
+
+#define SATPG_LOG(level) ::satpg::LogLine(::satpg::LogLevel::level)

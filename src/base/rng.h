@@ -1,0 +1,91 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic choice in the library (synthetic FSM generation, random
+// test vectors, tie-breaking in heuristics) flows through Rng so that whole
+// experiments are reproducible from a single seed. xoshiro256** seeded via
+// splitmix64, per the reference implementations by Blackman & Vigna.
+#pragma once
+
+#include <cstdint>
+
+#include "base/check.h"
+
+namespace satpg {
+
+/// splitmix64 step; used to expand a single seed into xoshiro state.
+inline std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** deterministic PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedu) {
+    std::uint64_t sm = seed;
+    for (auto& w : state_) w = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0. Uses rejection to avoid
+  /// modulo bias (matters for small bounds used in tie-breaking).
+  std::uint64_t next_below(std::uint64_t bound) {
+    SATPG_DCHECK(bound > 0);
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform int in [lo, hi] inclusive.
+  int next_int(int lo, int hi) {
+    SATPG_DCHECK(lo <= hi);
+    return lo + static_cast<int>(next_below(
+                    static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  bool next_bool() { return (next_u64() >> 63) != 0; }
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool next_bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Derive an independent child stream (for per-circuit determinism that
+  /// does not depend on iteration order elsewhere).
+  Rng fork(std::uint64_t salt) {
+    std::uint64_t s = next_u64() ^ (salt * 0x9e3779b97f4a7c15ULL);
+    return Rng(splitmix64(s));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace satpg

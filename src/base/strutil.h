@@ -1,0 +1,33 @@
+// Small string helpers shared by the parsers and table printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace satpg {
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on any run of whitespace; no empty tokens.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Split on a single delimiter character; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Format a double in the paper's scientific style for tiny values
+/// (e.g. "2.0E-4") and fixed style for values >= 0.01 (e.g. "0.84").
+std::string format_density(double v);
+
+/// Format a count in scientific style when large (e.g. "5.24E5"), plain
+/// integer otherwise — matches the "total #states" column of the paper.
+std::string format_count(double v);
+
+}  // namespace satpg

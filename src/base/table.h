@@ -1,0 +1,33 @@
+// ASCII table printer.
+//
+// The benches regenerate the paper's tables; this gives them a uniform,
+// aligned rendering (header row, separator, right-aligned numeric cells).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace satpg {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment. Cells that parse as numbers are
+  /// right-aligned, text cells left-aligned.
+  std::string to_string() const;
+
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace satpg

@@ -1,0 +1,255 @@
+#include "bdd/bdd.h"
+
+#include <algorithm>
+
+namespace satpg {
+
+BddMgr::BddMgr(unsigned num_vars, std::size_t node_limit)
+    : num_vars_(num_vars), node_limit_(node_limit) {
+  // Terminal sentinels; var = num_vars_ marks "below all variables".
+  nodes_.push_back({num_vars_, 0, 0});  // false
+  nodes_.push_back({num_vars_, 1, 1});  // true
+}
+
+BddRef BddMgr::mk(unsigned var, BddRef lo, BddRef hi) {
+  if (lo == hi) return lo;
+  const NodeKey key{var, lo, hi};
+  auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  if (nodes_.size() >= node_limit_) throw BddOverflow();
+  const BddRef r = static_cast<BddRef>(nodes_.size());
+  nodes_.push_back({var, lo, hi});
+  unique_.emplace(key, r);
+  return r;
+}
+
+BddRef BddMgr::var(unsigned v) {
+  SATPG_CHECK(v < num_vars_);
+  return mk(v, 0, 1);
+}
+
+BddRef BddMgr::nvar(unsigned v) {
+  SATPG_CHECK(v < num_vars_);
+  return mk(v, 1, 0);
+}
+
+BddRef BddMgr::ite(BddRef f, BddRef g, BddRef h) {
+  // Terminal cases.
+  if (f == 1) return g;
+  if (f == 0) return h;
+  if (g == h) return g;
+  if (g == 1 && h == 0) return f;
+  const TripleKey key{f, g, h};
+  auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+
+  const unsigned top = std::min({level(f), level(g), level(h)});
+  auto cofactor = [&](BddRef r, bool hi) -> BddRef {
+    if (level(r) != top) return r;
+    return hi ? nodes_[r].hi : nodes_[r].lo;
+  };
+  const BddRef t = ite(cofactor(f, true), cofactor(g, true), cofactor(h, true));
+  const BddRef e =
+      ite(cofactor(f, false), cofactor(g, false), cofactor(h, false));
+  const BddRef r = mk(top, e, t);
+  ite_cache_.emplace(key, r);
+  return r;
+}
+
+BddRef BddMgr::bdd_not(BddRef f) { return ite(f, 0, 1); }
+BddRef BddMgr::bdd_and(BddRef f, BddRef g) { return ite(f, g, 0); }
+BddRef BddMgr::bdd_or(BddRef f, BddRef g) { return ite(f, 1, g); }
+BddRef BddMgr::bdd_xor(BddRef f, BddRef g) { return ite(f, bdd_not(g), g); }
+
+BddRef BddMgr::exists_rec(BddRef f, const std::vector<bool>& qvars,
+                          std::unordered_map<BddRef, BddRef>& cache) {
+  if (f <= 1) return f;
+  auto it = cache.find(f);
+  if (it != cache.end()) return it->second;
+  const Node n = nodes_[f];
+  const BddRef lo = exists_rec(n.lo, qvars, cache);
+  const BddRef hi = exists_rec(n.hi, qvars, cache);
+  const BddRef r = qvars[n.var] ? bdd_or(lo, hi) : mk(n.var, lo, hi);
+  cache.emplace(f, r);
+  return r;
+}
+
+BddRef BddMgr::exists(BddRef f, const std::vector<unsigned>& vars) {
+  std::vector<bool> qvars(num_vars_, false);
+  for (unsigned v : vars) {
+    SATPG_CHECK(v < num_vars_);
+    qvars[v] = true;
+  }
+  std::unordered_map<BddRef, BddRef> cache;
+  return exists_rec(f, qvars, cache);
+}
+
+BddRef BddMgr::and_exists_rec(
+    BddRef f, BddRef g, const std::vector<bool>& qvars,
+    std::unordered_map<TripleKey, BddRef, TripleKeyHash>& cache) {
+  if (f == 0 || g == 0) return 0;
+  if (f == 1 && g == 1) return 1;
+  if (f > g) std::swap(f, g);  // AND is commutative; canonicalize cache key
+  const TripleKey key{f, g, 0};
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+
+  const unsigned top = std::min(level(f), level(g));
+  auto cofactor = [&](BddRef r, bool hi) -> BddRef {
+    if (level(r) != top) return r;
+    return hi ? nodes_[r].hi : nodes_[r].lo;
+  };
+  const BddRef t = and_exists_rec(cofactor(f, true), cofactor(g, true), qvars,
+                                  cache);
+  BddRef r;
+  if (qvars[top] && t == 1) {
+    r = 1;  // short-circuit: ∃x.(1 ∨ e) = 1
+  } else {
+    const BddRef e = and_exists_rec(cofactor(f, false), cofactor(g, false),
+                                    qvars, cache);
+    r = qvars[top] ? bdd_or(t, e) : mk(top, e, t);
+  }
+  cache.emplace(key, r);
+  return r;
+}
+
+BddRef BddMgr::and_exists(BddRef f, BddRef g,
+                          const std::vector<unsigned>& vars) {
+  std::vector<bool> qvars(num_vars_, false);
+  for (unsigned v : vars) {
+    SATPG_CHECK(v < num_vars_);
+    qvars[v] = true;
+  }
+  std::unordered_map<TripleKey, BddRef, TripleKeyHash> cache;
+  return and_exists_rec(f, g, qvars, cache);
+}
+
+BddRef BddMgr::rename_rec(BddRef f, const std::vector<unsigned>& map,
+                          std::unordered_map<BddRef, BddRef>& cache) {
+  if (f <= 1) return f;
+  auto it = cache.find(f);
+  if (it != cache.end()) return it->second;
+  const Node n = nodes_[f];
+  const BddRef lo = rename_rec(n.lo, map, cache);
+  const BddRef hi = rename_rec(n.hi, map, cache);
+  const unsigned nv = map[n.var];
+  // Monotonicity check: children roots must be strictly below nv.
+  SATPG_CHECK_MSG(level(lo) > nv && level(hi) > nv,
+                  "BddMgr::rename: non-monotone variable map");
+  const BddRef r = mk(nv, lo, hi);
+  cache.emplace(f, r);
+  return r;
+}
+
+BddRef BddMgr::rename(BddRef f, const std::vector<unsigned>& map) {
+  SATPG_CHECK(map.size() == num_vars_);
+  std::unordered_map<BddRef, BddRef> cache;
+  return rename_rec(f, map, cache);
+}
+
+double BddMgr::sat_count_rec(BddRef f,
+                             std::unordered_map<BddRef, double>& cache) {
+  // Returns count over the variables *below* level(f) exclusive — we
+  // normalize: count(f) over remaining vars = ... easier: define weight(f) =
+  // satisfying fraction, then multiply by 2^nvars at the end.
+  if (f == 0) return 0.0;
+  if (f == 1) return 1.0;
+  auto it = cache.find(f);
+  if (it != cache.end()) return it->second;
+  const Node n = nodes_[f];
+  const double lo = sat_count_rec(n.lo, cache);
+  const double hi = sat_count_rec(n.hi, cache);
+  // Each child's fraction already accounts for the vars it skips; skipped
+  // variables halve nothing because both branches average out. Using
+  // fractions makes the skip handling automatic:
+  const double r = 0.5 * lo + 0.5 * hi;
+  cache.emplace(f, r);
+  return r;
+}
+
+double BddMgr::sat_count(BddRef f, unsigned nvars) {
+  std::unordered_map<BddRef, double> cache;
+  const double frac = sat_count_rec(f, cache);
+  double scale = 1.0;
+  for (unsigned i = 0; i < nvars; ++i) scale *= 2.0;
+  return frac * scale;
+}
+
+bool BddMgr::eval(BddRef f, const std::vector<bool>& assignment) const {
+  while (f > 1) {
+    const Node& n = nodes_[f];
+    SATPG_DCHECK(n.var < assignment.size());
+    f = assignment[n.var] ? n.hi : n.lo;
+  }
+  return f == 1;
+}
+
+std::vector<unsigned> BddMgr::support(BddRef f) {
+  std::vector<bool> seen_node(nodes_.size(), false);
+  std::vector<bool> in_support(num_vars_, false);
+  std::vector<BddRef> stack{f};
+  while (!stack.empty()) {
+    const BddRef r = stack.back();
+    stack.pop_back();
+    if (r <= 1 || seen_node[r]) continue;
+    seen_node[r] = true;
+    in_support[nodes_[r].var] = true;
+    stack.push_back(nodes_[r].lo);
+    stack.push_back(nodes_[r].hi);
+  }
+  std::vector<unsigned> out;
+  for (unsigned v = 0; v < num_vars_; ++v)
+    if (in_support[v]) out.push_back(v);
+  return out;
+}
+
+std::vector<std::uint64_t> BddMgr::enumerate(
+    BddRef f, const std::vector<unsigned>& vars) {
+  SATPG_CHECK_MSG(vars.size() <= 64, "enumerate: too many variables");
+  // Verify support ⊆ vars.
+  const auto sup = support(f);
+  std::vector<int> var_pos(num_vars_, -1);
+  for (std::size_t i = 0; i < vars.size(); ++i)
+    var_pos[vars[i]] = static_cast<int>(i);
+  for (unsigned v : sup)
+    SATPG_CHECK_MSG(var_pos[v] >= 0, "enumerate: support exceeds vars");
+
+  // Order vars by level so we can walk the BDD while enumerating skipped
+  // variables explicitly.
+  std::vector<unsigned> ordered(vars);
+  std::sort(ordered.begin(), ordered.end());
+
+  std::vector<std::uint64_t> out;
+  // Recursive descent enumerating assignments to `ordered[idx..]`.
+  struct Frame {
+    BddRef f;
+    std::size_t idx;
+    std::uint64_t bits;
+  };
+  std::vector<Frame> stack{{f, 0, 0}};
+  while (!stack.empty()) {
+    auto [node, idx, bits] = stack.back();
+    stack.pop_back();
+    if (node == 0) continue;
+    if (idx == ordered.size()) {
+      SATPG_CHECK(node == 1);
+      out.push_back(bits);
+      continue;
+    }
+    const unsigned v = ordered[idx];
+    const std::uint64_t bit =
+        1ULL << static_cast<unsigned>(var_pos[v]);
+    if (level(node) == v) {
+      stack.push_back({nodes_[node].lo, idx + 1, bits});
+      stack.push_back({nodes_[node].hi, idx + 1, bits | bit});
+    } else {
+      // Variable skipped: both values lead to the same subgraph.
+      stack.push_back({node, idx + 1, bits});
+      stack.push_back({node, idx + 1, bits | bit});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace satpg

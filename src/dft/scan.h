@@ -1,0 +1,55 @@
+// Scan design-for-testability transformations.
+//
+// The paper's closing argument is that understanding what makes sequential
+// ATPG expensive should drive DFT decisions. This module provides the
+// classic answer the industry converged on: replace flip-flops with scan
+// flip-flops so state becomes directly controllable/observable and the
+// sequential problem collapses to a combinational one.
+//
+// Model: a scan flip-flop is a DFF with a 2:1 mux in front of D —
+//   D' = scan_en ? scan_in : D
+// Scan FFs are stitched into a chain: scan_in of the first is the new
+// primary input "scan_in"; each subsequent FF's scan input is the previous
+// FF's Q; the last Q drives the new primary output "scan_out". The mux is
+// synthesized from library gates (AND/AND/OR + NOT), so the transformed
+// netlist stays in the plain gate vocabulary every analysis understands.
+//
+// Full scan includes every FF; partial scan takes an explicit subset (the
+// classic cycle-breaking heuristic `select_cycle_breaking_ffs` picks FFs
+// whose removal from the FF dependency graph breaks all state cycles —
+// Cheng/Agrawal style).
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace satpg {
+
+struct ScanResult {
+  Netlist netlist;
+  std::vector<NodeId> chain;  ///< scanned FFs in chain order (new netlist ids)
+  NodeId scan_in = kNoNode;   ///< added PI
+  NodeId scan_en = kNoNode;   ///< added PI
+  NodeId scan_out = kNoNode;  ///< added PO marker
+};
+
+/// Full scan: every flip-flop joins the chain.
+ScanResult insert_full_scan(const Netlist& nl);
+
+/// Partial scan over the given FF subset (ids in `nl`; order = chain
+/// order). CHECK-fails on non-DFF ids.
+ScanResult insert_partial_scan(const Netlist& nl,
+                               const std::vector<NodeId>& ffs);
+
+/// Cycle-breaking FF selection: greedily pick flip-flops until the FF
+/// dependency graph (self-loops included) is acyclic. Returns ids in `nl`.
+std::vector<NodeId> select_cycle_breaking_ffs(const Netlist& nl);
+
+/// Number of state cycles remaining if `scanned` were removed from the FF
+/// dependency graph — 0 means combinationally testable with time-frame
+/// count bounded by the remaining depth. (Cheap SCC-based check, exposed
+/// for tests and reports.)
+bool breaks_all_cycles(const Netlist& nl, const std::vector<NodeId>& scanned);
+
+}  // namespace satpg

@@ -1,0 +1,55 @@
+// Single stuck-at fault model.
+//
+// Fault sites follow the classic line-oriented model: every node output
+// (stem) and every gate input pin (branch) can be stuck at 0 or 1. A fault
+// on input pin `pin` of node `n` affects only the value `n` sees on that
+// fanin; the driving node's other fanouts see the good value — this is what
+// distinguishes branch faults on multi-fanout nets.
+//
+// Structural equivalence collapsing implements the standard rules
+// (AND: in-sa0 ≡ out-sa0; OR: in-sa1 ≡ out-sa1; NAND: in-sa0 ≡ out-sa1;
+// NOR: in-sa1 ≡ out-sa0; NOT/BUF/DFF/PO: both polarities pass through;
+// single-fanout stems merge with their branch). One representative per
+// class is kept; coverage accounting weights representatives by class size
+// so reported fault coverage refers to the full uncollapsed universe,
+// matching how HITEC-era tools reported numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace satpg {
+
+struct Fault {
+  NodeId node = kNoNode;
+  int pin = -1;        ///< -1: output stem; >=0: fanin pin index
+  bool stuck1 = false; ///< stuck-at-1 vs stuck-at-0
+
+  bool operator==(const Fault&) const = default;
+  bool operator<(const Fault& o) const {
+    if (node != o.node) return node < o.node;
+    if (pin != o.pin) return pin < o.pin;
+    return stuck1 < o.stuck1;
+  }
+};
+
+std::string fault_name(const Netlist& nl, const Fault& f);
+
+/// All faults on gate/DFF/PO lines: an output fault per driving node (PI,
+/// gate, DFF) and an input fault per (consumer, pin). OUTPUT markers
+/// contribute their input pin only (same line as the driver's stem — kept
+/// collapsible, not duplicated).
+std::vector<Fault> enumerate_faults(const Netlist& nl);
+
+struct CollapsedFault {
+  Fault representative;
+  int class_size = 1;  ///< uncollapsed faults this representative stands for
+};
+
+/// Structural equivalence collapsing over the full universe.
+std::vector<CollapsedFault> collapse_faults(const Netlist& nl);
+
+}  // namespace satpg

@@ -1,0 +1,320 @@
+#include "fsim/fsim.h"
+
+#include <algorithm>
+
+#include "sim/simulator.h"
+
+namespace satpg {
+
+namespace {
+
+// Scalar gate evaluation with one fanin overridden (for input-pin faults).
+V3 eval_with_forced_pin(const Netlist& nl, NodeId id, int pin, V3 forced,
+                        const std::vector<V3>& values) {
+  const auto& n = nl.node(id);
+  std::vector<V3> tmp(n.fanins.size());
+  for (std::size_t k = 0; k < n.fanins.size(); ++k)
+    tmp[k] = values[static_cast<std::size_t>(n.fanins[k])];
+  tmp[static_cast<std::size_t>(pin)] = forced;
+  // Evaluate over the temporary fanin values through a scratch vector
+  // indexed by position: reuse eval_gate_v3 by building a fake fanin list.
+  // Cheaper: inline the fold here.
+  auto fold_and = [&tmp]() {
+    V3 v = tmp[0];
+    for (std::size_t i = 1; i < tmp.size(); ++i) v = v3_and(v, tmp[i]);
+    return v;
+  };
+  auto fold_or = [&tmp]() {
+    V3 v = tmp[0];
+    for (std::size_t i = 1; i < tmp.size(); ++i) v = v3_or(v, tmp[i]);
+    return v;
+  };
+  auto fold_xor = [&tmp]() {
+    V3 v = tmp[0];
+    for (std::size_t i = 1; i < tmp.size(); ++i) v = v3_xor(v, tmp[i]);
+    return v;
+  };
+  switch (n.type) {
+    case GateType::kBuf:
+      return tmp[0];
+    case GateType::kNot:
+      return v3_not(tmp[0]);
+    case GateType::kAnd:
+      return fold_and();
+    case GateType::kNand:
+      return v3_not(fold_and());
+    case GateType::kOr:
+      return fold_or();
+    case GateType::kNor:
+      return v3_not(fold_or());
+    case GateType::kXor:
+      return fold_xor();
+    case GateType::kXnor:
+      return v3_not(fold_xor());
+    case GateType::kDff:
+    case GateType::kOutput:
+      return tmp[0];  // D / PO marker pass-through
+    default:
+      SATPG_CHECK(false);
+  }
+  return V3::kX;
+}
+
+}  // namespace
+
+int simulate_fault_serial(const Netlist& nl, const Fault& fault,
+                          const TestSequence& seq) {
+  // Good and faulty machines in lockstep, all-X initial states.
+  std::vector<V3> gstate(nl.num_dffs(), V3::kX);
+  std::vector<V3> fstate(nl.num_dffs(), V3::kX);
+  std::vector<V3> gval(nl.num_nodes(), V3::kX);
+  std::vector<V3> fval(nl.num_nodes(), V3::kX);
+
+  for (std::size_t t = 0; t < seq.size(); ++t) {
+    const auto& pi = seq[t];
+    SATPG_CHECK(pi.size() == nl.num_inputs());
+    auto eval_machine = [&](std::vector<V3>& val,
+                            const std::vector<V3>& state, bool faulty) {
+      const auto& inputs = nl.inputs();
+      for (std::size_t i = 0; i < inputs.size(); ++i)
+        val[static_cast<std::size_t>(inputs[i])] = pi[i];
+      const auto& dffs = nl.dffs();
+      for (std::size_t i = 0; i < dffs.size(); ++i)
+        val[static_cast<std::size_t>(dffs[i])] = state[i];
+      if (faulty && fault.pin < 0) {
+        // Output fault on a PI or DFF overrides the source value.
+        const auto& fn = nl.node(fault.node);
+        if (fn.type == GateType::kInput || fn.type == GateType::kDff)
+          val[static_cast<std::size_t>(fault.node)] =
+              fault.stuck1 ? V3::kOne : V3::kZero;
+      }
+      for (NodeId id : nl.topo_order()) {
+        const auto& n = nl.node(id);
+        V3 v;
+        if (is_combinational(n.type)) {
+          if (faulty && fault.pin >= 0 && id == fault.node)
+            v = eval_with_forced_pin(nl, id, fault.pin,
+                                     fault.stuck1 ? V3::kOne : V3::kZero,
+                                     val);
+          else
+            v = eval_gate_v3(n.type, n.fanins, val);
+          if (faulty && fault.pin < 0 && id == fault.node)
+            v = fault.stuck1 ? V3::kOne : V3::kZero;
+          val[static_cast<std::size_t>(id)] = v;
+        } else if (n.type == GateType::kOutput) {
+          if (faulty && fault.pin >= 0 && id == fault.node)
+            val[static_cast<std::size_t>(id)] =
+                fault.stuck1 ? V3::kOne : V3::kZero;
+          else
+            val[static_cast<std::size_t>(id)] =
+                val[static_cast<std::size_t>(n.fanins[0])];
+        }
+      }
+    };
+    eval_machine(gval, gstate, false);
+    eval_machine(fval, fstate, true);
+
+    for (NodeId po : nl.outputs()) {
+      const V3 g = gval[static_cast<std::size_t>(po)];
+      const V3 f = fval[static_cast<std::size_t>(po)];
+      if (g != V3::kX && f != V3::kX && g != f)
+        return static_cast<int>(t);
+    }
+
+    auto next_state = [&](const std::vector<V3>& val,
+                          std::vector<V3>& state, bool faulty) {
+      const auto& dffs = nl.dffs();
+      for (std::size_t i = 0; i < dffs.size(); ++i) {
+        const auto& n = nl.node(dffs[i]);
+        V3 v = val[static_cast<std::size_t>(n.fanins[0])];
+        if (faulty && fault.node == dffs[i] && fault.pin == 0)
+          v = fault.stuck1 ? V3::kOne : V3::kZero;  // D-pin fault
+        state[i] = v;
+      }
+    };
+    next_state(gval, gstate, false);
+    next_state(fval, fstate, true);
+  }
+  return -1;
+}
+
+namespace {
+
+// One 63-fault batch simulated against one sequence. Returns per-batch-slot
+// detection flag; also appends good states to `good_states`.
+void simulate_batch(const Netlist& nl, const std::vector<Fault>& faults,
+                    const std::vector<std::size_t>& batch,
+                    const TestSequence& seq, std::vector<bool>& detected_out,
+                    std::vector<bool>& potential_out,
+                    std::set<std::string>* good_states) {
+  // Injection tables.
+  struct Inject {
+    unsigned slot;
+    int pin;
+    bool stuck1;
+  };
+  std::vector<std::vector<Inject>> inj(nl.num_nodes());
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    const Fault& f = faults[batch[k]];
+    inj[static_cast<std::size_t>(f.node)].push_back(
+        {static_cast<unsigned>(k + 1), f.pin, f.stuck1});
+  }
+
+  std::vector<PV> state(nl.num_dffs(), PV::all(V3::kX));
+  std::vector<PV> val(nl.num_nodes(), PV::all(V3::kX));
+  std::vector<bool> det(batch.size(), false);
+  std::vector<bool> pot(batch.size(), false);
+
+  for (std::size_t t = 0; t < seq.size(); ++t) {
+    const auto& pi = seq[t];
+    const auto& inputs = nl.inputs();
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      val[static_cast<std::size_t>(inputs[i])] = PV::all(pi[i]);
+    const auto& dffs = nl.dffs();
+    for (std::size_t i = 0; i < dffs.size(); ++i)
+      val[static_cast<std::size_t>(dffs[i])] = state[i];
+    // Source-node output faults (PI/DFF stems).
+    for (std::size_t i = 0; i < nl.num_nodes(); ++i) {
+      const auto& n = nl.node(static_cast<NodeId>(i));
+      if (n.dead || inj[i].empty()) continue;
+      if (n.type == GateType::kInput || n.type == GateType::kDff) {
+        for (const auto& j : inj[i])
+          if (j.pin < 0)
+            val[i].set_slot(j.slot, j.stuck1 ? V3::kOne : V3::kZero);
+      }
+    }
+
+    for (NodeId id : nl.topo_order()) {
+      const auto& n = nl.node(id);
+      if (is_combinational(n.type)) {
+        PV v = eval_gate_pv(n.type, n.fanins, val);
+        for (const auto& j : inj[static_cast<std::size_t>(id)]) {
+          if (j.pin < 0) {
+            v.set_slot(j.slot, j.stuck1 ? V3::kOne : V3::kZero);
+          } else {
+            // Recompute this slot scalar with the forced pin.
+            std::vector<V3> sc(nl.num_nodes(), V3::kX);
+            for (NodeId f : n.fanins)
+              sc[static_cast<std::size_t>(f)] =
+                  val[static_cast<std::size_t>(f)].slot(j.slot);
+            v.set_slot(j.slot,
+                       eval_with_forced_pin(nl, id, j.pin,
+                                            j.stuck1 ? V3::kOne : V3::kZero,
+                                            sc));
+          }
+        }
+        val[static_cast<std::size_t>(id)] = v;
+      } else if (n.type == GateType::kOutput) {
+        PV v = val[static_cast<std::size_t>(n.fanins[0])];
+        for (const auto& j : inj[static_cast<std::size_t>(id)])
+          if (j.pin == 0)
+            v.set_slot(j.slot, j.stuck1 ? V3::kOne : V3::kZero);
+        val[static_cast<std::size_t>(id)] = v;
+      }
+    }
+
+    // Detection: slot differs from slot 0 with both known. Potential
+    // detection: good known, slot X.
+    for (NodeId po : nl.outputs()) {
+      const PV v = val[static_cast<std::size_t>(po)];
+      const V3 good = v.slot(0);
+      if (good == V3::kX) continue;
+      const std::uint64_t good_mask = good == V3::kOne ? v.zero : v.one;
+      std::uint64_t diff = good_mask & ~1ULL;  // known-opposite slots
+      while (diff) {
+        const unsigned slot =
+            static_cast<unsigned>(__builtin_ctzll(diff));
+        diff &= diff - 1;
+        if (slot >= 1 && slot <= batch.size()) det[slot - 1] = true;
+      }
+      std::uint64_t xs = ~(v.zero | v.one) & ~1ULL;
+      while (xs) {
+        const unsigned slot = static_cast<unsigned>(__builtin_ctzll(xs));
+        xs &= xs - 1;
+        if (slot >= 1 && slot <= batch.size()) pot[slot - 1] = true;
+      }
+    }
+
+    // Clock.
+    for (std::size_t i = 0; i < dffs.size(); ++i) {
+      const auto& n = nl.node(dffs[i]);
+      PV v = val[static_cast<std::size_t>(n.fanins[0])];
+      for (const auto& j : inj[static_cast<std::size_t>(dffs[i])])
+        if (j.pin == 0)
+          v.set_slot(j.slot, j.stuck1 ? V3::kOne : V3::kZero);
+      state[i] = v;
+    }
+    if (good_states) {
+      std::string s;
+      s.reserve(state.size());
+      for (std::size_t i = state.size(); i-- > 0;)
+        s.push_back(v3_char(state[i].slot(0)));
+      if (s.find_first_not_of('X') != std::string::npos)
+        good_states->insert(s);
+    }
+  }
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    if (det[k]) detected_out[batch[k]] = true;
+    if (pot[k]) potential_out[batch[k]] = true;
+  }
+}
+
+}  // namespace
+
+FsimResult run_fault_simulation(const Netlist& nl,
+                                const std::vector<Fault>& faults,
+                                const std::vector<TestSequence>& sequences) {
+  FsimResult res;
+  res.detected_at.assign(faults.size(), -1);
+  res.potential_at.assign(faults.size(), -1);
+  std::vector<bool> detected(faults.size(), false);
+
+  for (std::size_t si = 0; si < sequences.size(); ++si) {
+    // Remaining (undetected) faults, batched 63 at a time.
+    std::vector<std::size_t> remaining;
+    for (std::size_t i = 0; i < faults.size(); ++i)
+      if (!detected[i]) remaining.push_back(i);
+    // Track good states once per sequence (first batch; the good machine is
+    // identical in every batch). When no faults remain we still simulate an
+    // empty batch to record the trajectory.
+    bool first_batch = true;
+    std::size_t at = 0;
+    do {
+      std::vector<std::size_t> batch;
+      for (; at < remaining.size() && batch.size() < 63; ++at)
+        batch.push_back(remaining[at]);
+      std::vector<bool> newly(faults.size(), false);
+      std::vector<bool> newly_pot(faults.size(), false);
+      simulate_batch(nl, faults, batch, sequences[si], newly, newly_pot,
+                     first_batch ? &res.good_states : nullptr);
+      first_batch = false;
+      for (std::size_t i = 0; i < faults.size(); ++i) {
+        if (newly[i] && !detected[i]) {
+          detected[i] = true;
+          res.detected_at[i] = static_cast<int>(si);
+        }
+        if (newly_pot[i] && res.potential_at[i] < 0)
+          res.potential_at[i] = static_cast<int>(si);
+      }
+    } while (at < remaining.size());
+  }
+  res.num_detected =
+      static_cast<std::size_t>(std::count(detected.begin(), detected.end(),
+                                          true));
+  return res;
+}
+
+std::pair<std::size_t, std::size_t> graded_coverage(
+    const std::vector<CollapsedFault>& faults,
+    const std::vector<int>& detected_at) {
+  SATPG_CHECK(faults.size() == detected_at.size());
+  std::size_t det = 0, total = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    total += static_cast<std::size_t>(faults[i].class_size);
+    if (detected_at[i] >= 0)
+      det += static_cast<std::size_t>(faults[i].class_size);
+  }
+  return {det, total};
+}
+
+}  // namespace satpg

@@ -1,0 +1,64 @@
+// Sequential stuck-at fault simulation (PROOFS substitute).
+//
+// Semantics follow the HITEC/PROOFS era conventions:
+//   * every test sequence starts from the unknown (all-X) power-up state —
+//     sequences are self-initializing through the circuit's reset line;
+//   * a fault is detected at cycle t when some primary output is a known
+//     value in both machines and the values differ (conservative X
+//     handling — possible-detects do not count);
+//   * faults are permanent: active in every cycle including initialization.
+//
+// Two engines share the semantics:
+//   * a serial three-valued reference (one fault at a time), used for
+//     cross-checking and small runs;
+//   * a 64-slot bit-parallel engine (slot 0 carries the good machine,
+//     slots 1..63 carry faulty machines), the workhorse for test-set
+//     grading and the Table 8 replay experiment.
+//
+// The good machine's state trajectory is recorded so experiments can count
+// the distinct states a test set traverses (Tables 6 and 8).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fault/fault.h"
+#include "netlist/netlist.h"
+#include "sim/value.h"
+
+namespace satpg {
+
+/// One test sequence: per-cycle primary-input vectors (nl.inputs() order).
+using TestSequence = std::vector<std::vector<V3>>;
+
+/// Serial reference: cycle index of first detection, or -1.
+int simulate_fault_serial(const Netlist& nl, const Fault& fault,
+                          const TestSequence& seq);
+
+struct FsimResult {
+  std::vector<int> detected_at;   ///< per fault: sequence index, or -1
+  /// Potential detections (good output known, faulty output X — the fault
+  /// may or may not be observed on silicon; PROOFS-era tools credited
+  /// these separately).
+  std::vector<int> potential_at;  ///< per fault: sequence index, or -1
+  /// Distinct good-machine states entered across all sequences (state
+  /// strings over {0,1,X}, MSB = last DFF). The all-X power-up state is
+  /// not counted; partially-known states are.
+  std::set<std::string> good_states;
+  std::size_t num_detected = 0;
+};
+
+/// Parallel fault simulation of `faults` against every sequence. A fault
+/// is dropped after its first detecting sequence.
+FsimResult run_fault_simulation(const Netlist& nl,
+                                const std::vector<Fault>& faults,
+                                const std::vector<TestSequence>& sequences);
+
+/// Convenience for graded coverage over a collapsed list: returns
+/// (detected weight, total weight) using class sizes.
+std::pair<std::size_t, std::size_t> graded_coverage(
+    const std::vector<CollapsedFault>& faults,
+    const std::vector<int>& detected_at);
+
+}  // namespace satpg

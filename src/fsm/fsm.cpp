@@ -1,0 +1,208 @@
+#include "fsm/fsm.h"
+
+#include <algorithm>
+
+namespace satpg {
+
+Cube Cube::from_string(const std::string& s) {
+  Cube c;
+  c.value = BitVec(s.size());
+  c.care = BitVec(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char ch = s[s.size() - 1 - i];
+    switch (ch) {
+      case '0':
+        c.care.set(i, true);
+        break;
+      case '1':
+        c.care.set(i, true);
+        c.value.set(i, true);
+        break;
+      case '-':
+        break;
+      default:
+        SATPG_CHECK_MSG(false, "Cube::from_string: bad char");
+    }
+  }
+  return c;
+}
+
+std::string Cube::to_string() const {
+  std::string s(size(), '-');
+  for (std::size_t i = 0; i < size(); ++i)
+    if (care.get(i)) s[size() - 1 - i] = value.get(i) ? '1' : '0';
+  return s;
+}
+
+Fsm::Fsm(std::string name, int num_inputs, int num_outputs)
+    : name_(std::move(name)),
+      num_inputs_(num_inputs),
+      num_outputs_(num_outputs) {
+  SATPG_CHECK(num_inputs >= 0 && num_outputs >= 0);
+}
+
+int Fsm::add_state(const std::string& name) {
+  SATPG_CHECK_MSG(find_state(name) < 0, "duplicate state name");
+  state_names_.push_back(name);
+  index_valid_ = false;
+  return num_states() - 1;
+}
+
+int Fsm::find_state(const std::string& name) const {
+  for (int i = 0; i < num_states(); ++i)
+    if (state_names_[static_cast<std::size_t>(i)] == name) return i;
+  return -1;
+}
+
+void Fsm::set_reset_state(int s) {
+  SATPG_CHECK(s >= 0 && s < num_states());
+  reset_state_ = s;
+}
+
+void Fsm::add_transition(FsmTransition t) {
+  SATPG_CHECK(t.from >= 0 && t.from < num_states());
+  SATPG_CHECK(t.to >= 0 && t.to < num_states());
+  SATPG_CHECK(t.input.size() == static_cast<std::size_t>(num_inputs_));
+  SATPG_CHECK(t.output.size() == static_cast<std::size_t>(num_outputs_));
+  transitions_.push_back(std::move(t));
+  index_valid_ = false;
+}
+
+const std::vector<int>& Fsm::transitions_from(int s) const {
+  if (!index_valid_) {
+    from_index_.assign(static_cast<std::size_t>(num_states()), {});
+    for (std::size_t i = 0; i < transitions_.size(); ++i)
+      from_index_[static_cast<std::size_t>(transitions_[i].from)].push_back(
+          static_cast<int>(i));
+    index_valid_ = true;
+  }
+  return from_index_[static_cast<std::size_t>(s)];
+}
+
+Fsm::StepResult Fsm::step(int state, const BitVec& input) const {
+  SATPG_CHECK(input.size() == static_cast<std::size_t>(num_inputs_));
+  for (int ti : transitions_from(state)) {
+    const auto& t = transitions_[static_cast<std::size_t>(ti)];
+    if (!t.input.matches(input)) continue;
+    StepResult r;
+    r.next_state = t.to;
+    r.specified = true;
+    r.outputs.resize(static_cast<std::size_t>(num_outputs_), V3::kX);
+    for (int b = 0; b < num_outputs_; ++b)
+      if (t.output.care.get(static_cast<std::size_t>(b)))
+        r.outputs[static_cast<std::size_t>(b)] =
+            t.output.value.get(static_cast<std::size_t>(b)) ? V3::kOne
+                                                            : V3::kZero;
+    return r;
+  }
+  StepResult r;
+  r.next_state = state;
+  r.specified = false;
+  r.outputs.assign(static_cast<std::size_t>(num_outputs_), V3::kX);
+  return r;
+}
+
+namespace {
+
+// Recursive cover-tautology over input cubes: true iff the cubes cover all
+// 2^n minterms. Splits on the most-bound variable; prunes with the classic
+// unate checks.
+bool tautology_rec(std::vector<Cube> cubes, std::size_t num_bits,
+                   std::size_t depth) {
+  // A cube with no cared bit covers everything.
+  for (const auto& c : cubes)
+    if (c.care.none()) return true;
+  if (cubes.empty()) return false;
+
+  // Pick the variable appearing (cared) in the most cubes.
+  std::vector<int> freq(num_bits, 0);
+  for (const auto& c : cubes)
+    for (std::size_t b = c.care.find_first(); b < num_bits;
+         b = c.care.find_next(b))
+      ++freq[b];
+  std::size_t var = 0;
+  int best = -1;
+  for (std::size_t b = 0; b < num_bits; ++b)
+    if (freq[b] > best) {
+      best = freq[b];
+      var = b;
+    }
+  if (best <= 0) return false;  // no cared vars and no full cube
+  SATPG_CHECK_MSG(depth <= num_bits, "tautology recursion depth exceeded");
+
+  for (int phase = 0; phase < 2; ++phase) {
+    std::vector<Cube> cof;
+    cof.reserve(cubes.size());
+    const bool v = phase == 1;
+    for (const auto& c : cubes) {
+      if (c.care.get(var)) {
+        if (c.value.get(var) != v) continue;  // cube absent in this cofactor
+        Cube r = c;
+        r.care.set(var, false);
+        r.value.set(var, false);
+        cof.push_back(std::move(r));
+      } else {
+        cof.push_back(c);
+      }
+    }
+    if (!tautology_rec(std::move(cof), num_bits, depth + 1)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool cubes_cover_everything(const std::vector<Cube>& cubes,
+                            std::size_t num_bits) {
+  return tautology_rec(cubes, num_bits, 0);
+}
+
+bool Fsm::check_complete() const {
+  for (int s = 0; s < num_states(); ++s) {
+    std::vector<Cube> cubes;
+    for (int ti : transitions_from(s))
+      cubes.push_back(transitions_[static_cast<std::size_t>(ti)].input);
+    if (!cubes_cover_everything(cubes,
+                                static_cast<std::size_t>(num_inputs_)))
+      return false;
+  }
+  return true;
+}
+
+bool Fsm::check_deterministic() const {
+  for (int s = 0; s < num_states(); ++s) {
+    const auto& idx = transitions_from(s);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      for (std::size_t j = i + 1; j < idx.size(); ++j) {
+        const auto& a = transitions_[static_cast<std::size_t>(idx[i])];
+        const auto& b = transitions_[static_cast<std::size_t>(idx[j])];
+        if (!a.input.intersects(b.input)) continue;
+        if (a.to != b.to) return false;
+        // Output bits cared by both must agree.
+        const BitVec both = a.output.care & b.output.care;
+        if (((a.output.value ^ b.output.value) & both).any()) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<bool> Fsm::reachable_states() const {
+  std::vector<bool> seen(static_cast<std::size_t>(num_states()), false);
+  std::vector<int> stack{reset_state_};
+  seen[static_cast<std::size_t>(reset_state_)] = true;
+  while (!stack.empty()) {
+    const int s = stack.back();
+    stack.pop_back();
+    for (int ti : transitions_from(s)) {
+      const int t = transitions_[static_cast<std::size_t>(ti)].to;
+      if (!seen[static_cast<std::size_t>(t)]) {
+        seen[static_cast<std::size_t>(t)] = true;
+        stack.push_back(t);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace satpg

@@ -1,0 +1,120 @@
+#include "fsm/kiss_io.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "base/strutil.h"
+
+namespace satpg {
+
+namespace {
+[[noreturn]] void kiss_error(int line, const std::string& msg) {
+  throw std::runtime_error("kiss parse error at line " + std::to_string(line) +
+                           ": " + msg);
+}
+}  // namespace
+
+Fsm read_kiss(std::istream& is, const std::string& name) {
+  int ni = -1, no = -1, np = -1, ns = -1;
+  std::string reset_name;
+  struct RawT {
+    std::string in, from, to, out;
+    int line;
+  };
+  std::vector<RawT> raw;
+  std::string line_text;
+  int lineno = 0;
+  bool ended = false;
+  while (std::getline(is, line_text)) {
+    ++lineno;
+    std::string line(trim(line_text));
+    if (line.empty() || line[0] == '#') continue;
+    if (ended) continue;
+    const auto tok = split_ws(line);
+    if (tok[0] == ".i") {
+      if (tok.size() != 2) kiss_error(lineno, ".i needs one argument");
+      ni = std::stoi(tok[1]);
+    } else if (tok[0] == ".o") {
+      if (tok.size() != 2) kiss_error(lineno, ".o needs one argument");
+      no = std::stoi(tok[1]);
+    } else if (tok[0] == ".p") {
+      np = std::stoi(tok[1]);
+    } else if (tok[0] == ".s") {
+      ns = std::stoi(tok[1]);
+    } else if (tok[0] == ".r") {
+      if (tok.size() != 2) kiss_error(lineno, ".r needs one argument");
+      reset_name = tok[1];
+    } else if (tok[0] == ".e" || tok[0] == ".end") {
+      ended = true;
+    } else if (tok[0][0] == '.') {
+      kiss_error(lineno, "unknown directive " + tok[0]);
+    } else {
+      if (tok.size() != 4) kiss_error(lineno, "transition needs 4 fields");
+      raw.push_back({tok[0], tok[1], tok[2], tok[3], lineno});
+    }
+  }
+  if (ni < 0 || no < 0) throw std::runtime_error("kiss: missing .i/.o");
+
+  Fsm fsm(name, ni, no);
+  auto state_of = [&fsm](const std::string& s) {
+    const int found = fsm.find_state(s);
+    return found >= 0 ? found : fsm.add_state(s);
+  };
+  for (const auto& r : raw) {
+    if (static_cast<int>(r.in.size()) != ni)
+      kiss_error(r.line, "input cube width mismatch");
+    if (static_cast<int>(r.out.size()) != no)
+      kiss_error(r.line, "output cube width mismatch");
+    FsmTransition t;
+    t.input = Cube::from_string(r.in);
+    t.from = state_of(r.from);
+    t.to = state_of(r.to);
+    t.output = Cube::from_string(r.out);
+    fsm.add_transition(std::move(t));
+  }
+  if (np >= 0 && np != static_cast<int>(fsm.transitions().size()))
+    throw std::runtime_error("kiss: .p count mismatch");
+  if (ns >= 0 && ns != fsm.num_states())
+    throw std::runtime_error("kiss: .s count mismatch");
+  if (!reset_name.empty()) {
+    const int r = fsm.find_state(reset_name);
+    if (r < 0) throw std::runtime_error("kiss: reset state never used");
+    fsm.set_reset_state(r);
+  }
+  return fsm;
+}
+
+Fsm read_kiss_string(const std::string& text, const std::string& name) {
+  std::istringstream is(text);
+  return read_kiss(is, name);
+}
+
+Fsm read_kiss_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  return read_kiss(is, path);
+}
+
+void write_kiss(const Fsm& fsm, std::ostream& os) {
+  os << "# " << fsm.name() << "\n";
+  os << ".i " << fsm.num_inputs() << "\n";
+  os << ".o " << fsm.num_outputs() << "\n";
+  os << ".p " << fsm.transitions().size() << "\n";
+  os << ".s " << fsm.num_states() << "\n";
+  os << ".r " << fsm.state_name(fsm.reset_state()) << "\n";
+  for (const auto& t : fsm.transitions()) {
+    os << t.input.to_string() << ' ' << fsm.state_name(t.from) << ' '
+       << fsm.state_name(t.to) << ' ' << t.output.to_string() << "\n";
+  }
+  os << ".e\n";
+}
+
+std::string write_kiss_string(const Fsm& fsm) {
+  std::ostringstream os;
+  write_kiss(fsm, os);
+  return os.str();
+}
+
+}  // namespace satpg

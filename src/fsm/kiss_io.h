@@ -1,0 +1,29 @@
+// KISS2 reader/writer (the MCNC FSM benchmark interchange format).
+//
+//   .i 3        number of inputs
+//   .o 3        number of outputs
+//   .p 108      number of transitions (optional, checked when present)
+//   .s 27       number of states (optional, checked when present)
+//   .r s0       reset state (optional; defaults to first-mentioned state)
+//   -01 s1 s2 010-   transitions: input-cube, from, to, output-cube
+//   .e
+//
+// The synthetic MCNC-substitute suite ships through fsm/mcnc_suite.h, but
+// real benchmark files drop straight in via read_kiss_file.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fsm/fsm.h"
+
+namespace satpg {
+
+Fsm read_kiss(std::istream& is, const std::string& name);
+Fsm read_kiss_string(const std::string& text, const std::string& name);
+Fsm read_kiss_file(const std::string& path);
+
+void write_kiss(const Fsm& fsm, std::ostream& os);
+std::string write_kiss_string(const Fsm& fsm);
+
+}  // namespace satpg

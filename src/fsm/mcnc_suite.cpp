@@ -1,0 +1,272 @@
+#include "fsm/mcnc_suite.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "fsm/minimize.h"
+
+namespace satpg {
+
+namespace {
+
+// One decision-tree leaf before materialization.
+struct Leaf {
+  Cube input;  // over all inputs; cares only the tree variables
+  int to;
+  BitVec out;
+};
+
+// Build a full decision tree over `vars` with 2^|vars| leaves.
+std::vector<Cube> tree_cubes(int num_inputs, const std::vector<int>& vars) {
+  const std::size_t leaves = 1ULL << vars.size();
+  std::vector<Cube> cubes;
+  cubes.reserve(leaves);
+  for (std::size_t m = 0; m < leaves; ++m) {
+    Cube c = Cube::all_dontcare(static_cast<std::size_t>(num_inputs));
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      c.care.set(static_cast<std::size_t>(vars[i]), true);
+      c.value.set(static_cast<std::size_t>(vars[i]), (m >> i) & 1);
+    }
+    cubes.push_back(std::move(c));
+  }
+  return cubes;
+}
+
+// Mutable working form of the machine during generation/repair.
+struct Work {
+  int ni, no, ns;
+  std::vector<std::vector<Leaf>> leaves;  // per state
+
+  Fsm materialize(const std::string& name) const {
+    Fsm fsm(name, ni, no);
+    for (int s = 0; s < ns; ++s) fsm.add_state("s" + std::to_string(s));
+    fsm.set_reset_state(0);
+    for (int s = 0; s < ns; ++s) {
+      for (const auto& leaf : leaves[static_cast<std::size_t>(s)]) {
+        FsmTransition t;
+        t.input = leaf.input;
+        t.from = s;
+        t.to = leaf.to;
+        t.output.value = leaf.out;
+        t.output.care = BitVec(static_cast<std::size_t>(no));
+        t.output.care.set_all();
+        fsm.add_transition(std::move(t));
+      }
+    }
+    return fsm;
+  }
+};
+
+// Random next state biased toward a locality window plus the reset state —
+// gives the transition graphs the hub-and-cluster shape of real control
+// FSMs instead of a uniform random digraph.
+int pick_next_state(Rng& rng, int from, int ns) {
+  const double r = rng.next_double();
+  if (r < 0.15) return 0;  // back to reset/idle
+  if (r < 0.55) {
+    const int window = std::max(2, ns / 6);
+    int d = rng.next_int(1, window);
+    if (rng.next_bool()) d = -d;
+    return ((from + d) % ns + ns) % ns;
+  }
+  return rng.next_int(0, ns - 1);
+}
+
+Work generate_raw(const FsmGenSpec& spec, Rng& rng, int ns) {
+  Work w;
+  w.ni = spec.num_inputs;
+  w.no = spec.num_outputs;
+  w.ns = ns;
+  w.leaves.resize(static_cast<std::size_t>(ns));
+
+  // Per-state Moore-ish base output pattern.
+  std::vector<BitVec> base(static_cast<std::size_t>(ns));
+  for (auto& b : base) {
+    b = BitVec(static_cast<std::size_t>(spec.num_outputs));
+    for (std::size_t i = 0; i < b.size(); ++i) b.set(i, rng.next_bool());
+  }
+
+  for (int s = 0; s < ns; ++s) {
+    // 1-3 decision variables, distinct, chosen from the inputs.
+    const int d = std::min(spec.num_inputs, rng.next_int(1, 3));
+    std::vector<int> vars;
+    while (static_cast<int>(vars.size()) < d) {
+      const int v = rng.next_int(0, spec.num_inputs - 1);
+      if (std::find(vars.begin(), vars.end(), v) == vars.end())
+        vars.push_back(v);
+    }
+    for (auto& cube : tree_cubes(spec.num_inputs, vars)) {
+      Leaf leaf;
+      leaf.input = std::move(cube);
+      leaf.to = pick_next_state(rng, s, ns);
+      leaf.out = base[static_cast<std::size_t>(s)];
+      // Mealy flavour: occasionally flip an output bit per leaf.
+      if (spec.num_outputs > 0 && rng.next_bernoulli(0.3)) {
+        const auto bit =
+            static_cast<std::size_t>(rng.next_int(0, spec.num_outputs - 1));
+        leaf.out.set(bit, !leaf.out.get(bit));
+      }
+      w.leaves[static_cast<std::size_t>(s)].push_back(std::move(leaf));
+    }
+  }
+  return w;
+}
+
+// Redirect leaves until every state is reachable from state 0.
+void repair_reachability(Work& w, Rng& rng) {
+  for (int guard = 0; guard < 10000; ++guard) {
+    // BFS over leaf targets.
+    std::vector<bool> seen(static_cast<std::size_t>(w.ns), false);
+    std::vector<int> stack{0};
+    seen[0] = true;
+    while (!stack.empty()) {
+      const int s = stack.back();
+      stack.pop_back();
+      for (const auto& leaf : w.leaves[static_cast<std::size_t>(s)])
+        if (!seen[static_cast<std::size_t>(leaf.to)]) {
+          seen[static_cast<std::size_t>(leaf.to)] = true;
+          stack.push_back(leaf.to);
+        }
+    }
+    int missing = -1;
+    for (int s = 0; s < w.ns; ++s)
+      if (!seen[static_cast<std::size_t>(s)]) {
+        missing = s;
+        break;
+      }
+    if (missing < 0) return;
+    // Redirect a random leaf of a random reachable state to `missing`.
+    for (;;) {
+      const int s = rng.next_int(0, w.ns - 1);
+      if (!seen[static_cast<std::size_t>(s)]) continue;
+      auto& ls = w.leaves[static_cast<std::size_t>(s)];
+      ls[static_cast<std::size_t>(rng.next_int(
+             0, static_cast<int>(ls.size()) - 1))]
+          .to = missing;
+      break;
+    }
+  }
+  SATPG_CHECK_MSG(false, "repair_reachability did not converge");
+}
+
+}  // namespace
+
+Fsm generate_control_fsm(const FsmGenSpec& spec) {
+  SATPG_CHECK(spec.minimal_states >= 1);
+  SATPG_CHECK(spec.padded_states >= spec.minimal_states);
+  SATPG_CHECK(spec.num_inputs >= 1);
+  Rng rng(spec.seed ^ 0xa77e57u);
+
+  // Phase 1: a minimal machine with exactly `minimal_states` classes.
+  Work w;
+  for (int attempt = 0;; ++attempt) {
+    SATPG_CHECK_MSG(attempt < 400, "generate_control_fsm: no minimal machine");
+    w = generate_raw(spec, rng, spec.minimal_states);
+    repair_reachability(w, rng);
+    Fsm probe = w.materialize(spec.name);
+    if (fsm_num_equivalence_classes(probe) == spec.minimal_states) break;
+    // Perturb-by-regenerate: the RNG advances, so the next attempt differs.
+  }
+
+  // Phase 2: pad with behaviourally-equivalent duplicate states, each made
+  // reachable by redirecting one edge that previously targeted the twin
+  // (sound: the duplicate is equivalent, so redirects preserve behaviour).
+  // A redirect can orphan some other state (e.g. steal an earlier
+  // duplicate's only in-edge), so each candidate is validated with a full
+  // reachability sweep and undone if it breaks anything.
+  auto all_reachable = [](const Work& work) {
+    std::vector<bool> seen(static_cast<std::size_t>(work.ns), false);
+    std::vector<int> stack{0};
+    seen[0] = true;
+    while (!stack.empty()) {
+      const int s = stack.back();
+      stack.pop_back();
+      for (const auto& leaf : work.leaves[static_cast<std::size_t>(s)])
+        if (!seen[static_cast<std::size_t>(leaf.to)]) {
+          seen[static_cast<std::size_t>(leaf.to)] = true;
+          stack.push_back(leaf.to);
+        }
+    }
+    for (int s = 0; s < work.ns; ++s)
+      if (!seen[static_cast<std::size_t>(s)]) return false;
+    return true;
+  };
+
+  const int extra = spec.padded_states - spec.minimal_states;
+  int pad_attempts = 0;
+  for (int e = 0; e < extra; ++e) {
+    SATPG_CHECK_MSG(++pad_attempts < 1000 + 50 * extra,
+                    "generate_control_fsm: padding did not converge");
+    const int twin = rng.next_int(0, w.ns - 1);
+    const int dup = w.ns++;
+    w.leaves.push_back(w.leaves[static_cast<std::size_t>(twin)]);
+    // Try random edges into `twin`; accept the first redirect that keeps
+    // every state reachable.
+    bool redirected = false;
+    for (int guard = 0; guard < 2000 && !redirected; ++guard) {
+      const int s = rng.next_int(0, w.ns - 1);
+      if (s == dup) continue;
+      auto& ls = w.leaves[static_cast<std::size_t>(s)];
+      auto& leaf = ls[static_cast<std::size_t>(
+          rng.next_int(0, static_cast<int>(ls.size()) - 1))];
+      if (leaf.to != twin) continue;
+      leaf.to = dup;
+      if (all_reachable(w))
+        redirected = true;
+      else
+        leaf.to = twin;  // undo and keep searching
+    }
+    if (!redirected) {
+      // No workable edge for this twin; drop the duplicate and try a
+      // different twin on the next attempt.
+      --w.ns;
+      w.leaves.pop_back();
+      --e;
+    }
+  }
+
+  Fsm fsm = w.materialize(spec.name);
+  SATPG_CHECK(fsm.check_complete());
+  SATPG_CHECK(fsm.check_deterministic());
+  const auto reach = fsm.reachable_states();
+  for (int s = 0; s < fsm.num_states(); ++s)
+    SATPG_CHECK_MSG(reach[static_cast<std::size_t>(s)],
+                    "generated FSM has unreachable state");
+  SATPG_CHECK(fsm_num_equivalence_classes(fsm) == spec.minimal_states);
+  SATPG_CHECK(fsm.num_states() == spec.padded_states);
+  return fsm;
+}
+
+std::vector<FsmGenSpec> mcnc_specs() {
+  // name, PI, PO, minimized classes, raw file states (paper Table 1; class
+  // counts per Table 6's original-circuit valid states).
+  return {
+      {"dk16", 3, 3, 27, 27, 0xd16u},
+      {"pma", 7, 8, 27, 27, 0x93au},
+      {"s510", 20, 7, 47, 47, 0x510u},
+      {"s820", 18, 19, 24, 25, 0x820u},
+      {"s832", 18, 19, 24, 25, 0x832u},
+      {"scf", 27, 54, 94, 121, 0x5cfu},
+  };
+}
+
+Fsm mcnc_fsm(const std::string& name) {
+  for (const auto& spec : mcnc_specs())
+    if (spec.name == name) return generate_control_fsm(spec);
+  SATPG_CHECK_MSG(false, "mcnc_fsm: unknown machine name");
+  return Fsm("", 0, 0);
+}
+
+FsmGenSpec scaled_spec(const FsmGenSpec& spec, double scale) {
+  FsmGenSpec s = spec;
+  auto shrink = [scale](int v, int floor_v) {
+    return std::max(floor_v, static_cast<int>(v * scale + 0.5));
+  };
+  s.num_inputs = shrink(spec.num_inputs, 1);
+  s.num_outputs = shrink(spec.num_outputs, 1);
+  s.minimal_states = shrink(spec.minimal_states, 2);
+  s.padded_states = std::max(s.minimal_states, shrink(spec.padded_states, 2));
+  return s;
+}
+
+}  // namespace satpg

@@ -1,0 +1,57 @@
+// Synthetic MCNC-suite substitute (see DESIGN.md §2).
+//
+// The paper synthesizes from six MCNC FSM benchmarks; those KISS2 files are
+// not shipped here, so this generator produces deterministic "control
+// logic"-shaped machines with the exact PI/PO/state dimensions of the
+// paper's Table 1. Each state's behaviour is a small decision tree over
+// 1-3 input variables (control logic examines few inputs per state), so
+// transitions are wide cubes exactly as in the real benchmarks.
+//
+// Guarantees (enforced by a repair loop + the minimizer):
+//   * completely specified and deterministic,
+//   * all states reachable from the reset state,
+//   * exactly `minimal_states` equivalence classes,
+//   * `padded_states - minimal_states` extra states that are behaviourally
+//     equivalent duplicates — these model the redundancy that the paper's
+//     stamina pass removes (s820/s832: 25→24, scf: 121→94).
+//
+// Real benchmark files can replace the suite at any time through
+// read_kiss_file(); everything downstream is format-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fsm/fsm.h"
+
+namespace satpg {
+
+struct FsmGenSpec {
+  std::string name;
+  int num_inputs = 2;
+  int num_outputs = 2;
+  int minimal_states = 4;  ///< equivalence classes after minimization
+  int padded_states = 4;   ///< raw state count in the generated file
+  std::uint64_t seed = 1;
+};
+
+/// Generate one machine honouring the guarantees above. CHECK-fails if the
+/// repair loop cannot reach the requested class count (never observed for
+/// sane specs; the loop budget is generous).
+Fsm generate_control_fsm(const FsmGenSpec& spec);
+
+/// The six specs matching the paper's Table 1 (PI, PO, raw states) with
+/// post-minimization class counts matching the paper's Table 6 valid-state
+/// counts for original circuits (dk16 27, pma 27, s510 47, s820 24,
+/// s832 24, scf 94).
+std::vector<FsmGenSpec> mcnc_specs();
+
+/// Generate one suite machine by name ("dk16", "pma", "s510", "s820",
+/// "s832", "scf"). CHECK-fails on unknown names.
+Fsm mcnc_fsm(const std::string& name);
+
+/// Scaled-down spec for fast tests: same shape, fewer states/inputs.
+FsmGenSpec scaled_spec(const FsmGenSpec& spec, double scale);
+
+}  // namespace satpg

@@ -1,0 +1,145 @@
+#include "fsm/minimize.h"
+
+#include <algorithm>
+
+namespace satpg {
+
+namespace {
+
+// Pair-table index for s < t.
+inline std::size_t pair_index(int s, int t, int n) {
+  SATPG_DCHECK(s < t);
+  return static_cast<std::size_t>(s) * static_cast<std::size_t>(n) +
+         static_cast<std::size_t>(t);
+}
+
+}  // namespace
+
+std::vector<int> fsm_equivalence_classes(const Fsm& fsm) {
+  const int n = fsm.num_states();
+  // distinguishable[s][t] for s<t.
+  std::vector<bool> dist(static_cast<std::size_t>(n) *
+                             static_cast<std::size_t>(n),
+                         false);
+
+  // Initial marking: a pair is distinguishable if some intersecting cube
+  // pair disagrees on an output bit cared by both, or if one machine's
+  // specified region is not matched (treated as distinguishable only when
+  // outputs conflict — conservative for incomplete machines).
+  auto outputs_conflict = [&](const FsmTransition& a, const FsmTransition& b) {
+    const BitVec both = a.output.care & b.output.care;
+    return ((a.output.value ^ b.output.value) & both).any();
+  };
+
+  for (int s = 0; s < n; ++s) {
+    for (int t = s + 1; t < n; ++t) {
+      bool marked = false;
+      for (int ai : fsm.transitions_from(s)) {
+        const auto& a = fsm.transitions()[static_cast<std::size_t>(ai)];
+        for (int bi : fsm.transitions_from(t)) {
+          const auto& b = fsm.transitions()[static_cast<std::size_t>(bi)];
+          if (!a.input.intersects(b.input)) continue;
+          if (outputs_conflict(a, b)) {
+            marked = true;
+            break;
+          }
+        }
+        if (marked) break;
+      }
+      if (marked) dist[pair_index(s, t, n)] = true;
+    }
+  }
+
+  // Refinement to fixpoint: (s,t) distinguishable if some intersecting cube
+  // pair leads to a distinguishable successor pair.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int s = 0; s < n; ++s) {
+      for (int t = s + 1; t < n; ++t) {
+        if (dist[pair_index(s, t, n)]) continue;
+        bool marked = false;
+        for (int ai : fsm.transitions_from(s)) {
+          const auto& a = fsm.transitions()[static_cast<std::size_t>(ai)];
+          for (int bi : fsm.transitions_from(t)) {
+            const auto& b = fsm.transitions()[static_cast<std::size_t>(bi)];
+            if (!a.input.intersects(b.input)) continue;
+            const int u = std::min(a.to, b.to);
+            const int v = std::max(a.to, b.to);
+            if (u != v && dist[pair_index(u, v, n)]) {
+              marked = true;
+              break;
+            }
+          }
+          if (marked) break;
+        }
+        if (marked) {
+          dist[pair_index(s, t, n)] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Union undistinguished pairs into classes (equivalence is transitive for
+  // complete deterministic machines).
+  std::vector<int> cls(static_cast<std::size_t>(n), -1);
+  int next_class = 0;
+  for (int s = 0; s < n; ++s) {
+    if (cls[static_cast<std::size_t>(s)] >= 0) continue;
+    cls[static_cast<std::size_t>(s)] = next_class;
+    for (int t = s + 1; t < n; ++t)
+      if (cls[static_cast<std::size_t>(t)] < 0 && !dist[pair_index(s, t, n)])
+        cls[static_cast<std::size_t>(t)] = next_class;
+    ++next_class;
+  }
+  return cls;
+}
+
+int fsm_num_equivalence_classes(const Fsm& fsm) {
+  const auto cls = fsm_equivalence_classes(fsm);
+  return cls.empty() ? 0 : 1 + *std::max_element(cls.begin(), cls.end());
+}
+
+Fsm minimize_fsm(const Fsm& fsm) {
+  const auto cls = fsm_equivalence_classes(fsm);
+  const auto reach = fsm.reachable_states();
+  const int n = fsm.num_states();
+
+  // Representative per class = lowest reachable state index in the class.
+  const int num_cls =
+      cls.empty() ? 0 : 1 + *std::max_element(cls.begin(), cls.end());
+  std::vector<int> rep(static_cast<std::size_t>(num_cls), -1);
+  for (int s = 0; s < n; ++s) {
+    if (!reach[static_cast<std::size_t>(s)]) continue;
+    int& r = rep[static_cast<std::size_t>(cls[static_cast<std::size_t>(s)])];
+    if (r < 0) r = s;
+  }
+
+  Fsm out(fsm.name() + ".min", fsm.num_inputs(), fsm.num_outputs());
+  std::vector<int> new_id(static_cast<std::size_t>(num_cls), -1);
+  for (int c = 0; c < num_cls; ++c)
+    if (rep[static_cast<std::size_t>(c)] >= 0)
+      new_id[static_cast<std::size_t>(c)] = out.add_state(
+          fsm.state_name(rep[static_cast<std::size_t>(c)]));
+
+  for (int c = 0; c < num_cls; ++c) {
+    const int r = rep[static_cast<std::size_t>(c)];
+    if (r < 0) continue;
+    for (int ti : fsm.transitions_from(r)) {
+      FsmTransition t = fsm.transitions()[static_cast<std::size_t>(ti)];
+      t.from = new_id[static_cast<std::size_t>(c)];
+      const int target_cls = cls[static_cast<std::size_t>(t.to)];
+      const int nid = new_id[static_cast<std::size_t>(target_cls)];
+      SATPG_CHECK_MSG(nid >= 0,
+                      "minimize_fsm: reachable state targets dropped class");
+      t.to = nid;
+      out.add_transition(std::move(t));
+    }
+  }
+  const int reset_cls = cls[static_cast<std::size_t>(fsm.reset_state())];
+  out.set_reset_state(new_id[static_cast<std::size_t>(reset_cls)]);
+  return out;
+}
+
+}  // namespace satpg

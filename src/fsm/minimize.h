@@ -1,0 +1,28 @@
+// FSM state minimization (the study's `stamina` substitute).
+//
+// For the completely-specified, deterministic machines used in this study
+// this is exact equivalence-class minimization (Paull-Unger pair marking
+// over transition cubes — no 2^n input enumeration). Incompletely specified
+// machines are handled conservatively: only pairs whose specified behaviour
+// provably agrees everywhere are merged, which is sound but not the NP-hard
+// optimal cover.
+#pragma once
+
+#include <vector>
+
+#include "fsm/fsm.h"
+
+namespace satpg {
+
+/// Equivalence-class id per state (ids are dense, 0-based; representatives
+/// keep the lowest state index in their class).
+std::vector<int> fsm_equivalence_classes(const Fsm& fsm);
+
+/// Number of distinct classes (reachability is NOT considered here).
+int fsm_num_equivalence_classes(const Fsm& fsm);
+
+/// Build the minimized machine: unreachable states dropped, each
+/// equivalence class collapsed to its representative.
+Fsm minimize_fsm(const Fsm& fsm);
+
+}  // namespace satpg

@@ -1,0 +1,69 @@
+#include "fsm/stg_extract.h"
+
+#include "sim/simulator.h"
+
+namespace satpg {
+
+ExtractedStg extract_stg(const Netlist& nl, const BitVec& start,
+                         const StgExtractOptions& opts) {
+  SATPG_CHECK(start.size() == nl.num_dffs());
+  SATPG_CHECK(opts.fixed_inputs.size() == nl.num_inputs());
+  SATPG_CHECK_MSG(opts.probe_inputs.size() <= 20,
+                  "extract_stg: too many probe inputs");
+
+  ExtractedStg out;
+  std::map<std::string, int> id_of;
+  std::vector<int> frontier;
+  auto intern = [&](const BitVec& code) {
+    auto [it, inserted] = id_of.emplace(code.to_string(),
+                                        static_cast<int>(out.states.size()));
+    if (inserted) {
+      out.states.push_back(code);
+      frontier.push_back(it->second);
+    }
+    return it->second;
+  };
+
+  SeqSimulator sim(nl);
+  intern(start);
+  const std::size_t combos = 1ULL << opts.probe_inputs.size();
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const int s = frontier[head];
+    if (out.states.size() > opts.max_states) {
+      out.truncated = true;
+      break;
+    }
+    for (std::size_t m = 0; m < combos; ++m) {
+      // State and inputs for this probe.
+      std::vector<V3> st(nl.num_dffs());
+      for (std::size_t b = 0; b < st.size(); ++b)
+        st[b] = out.states[static_cast<std::size_t>(s)].get(b) ? V3::kOne
+                                                               : V3::kZero;
+      sim.set_state(st);
+      std::vector<V3> in = opts.fixed_inputs;
+      BitVec probe(opts.probe_inputs.size());
+      for (std::size_t k = 0; k < opts.probe_inputs.size(); ++k) {
+        const bool bit = (m >> k) & 1u;
+        probe.set(k, bit);
+        in[opts.probe_inputs[k]] = bit ? V3::kOne : V3::kZero;
+      }
+      const auto po = sim.eval_outputs(in);
+      const auto ns = sim.next_state();
+      BitVec code(nl.num_dffs());
+      bool known = true;
+      for (std::size_t b = 0; b < ns.size(); ++b) {
+        if (ns[b] == V3::kX) {
+          known = false;
+          break;
+        }
+        code.set(b, ns[b] == V3::kOne);
+      }
+      SATPG_CHECK_MSG(known, "extract_stg: X next state from a full state");
+      const int to = intern(code);
+      out.edges.push_back({s, probe, to, po});
+    }
+  }
+  return out;
+}
+
+}  // namespace satpg

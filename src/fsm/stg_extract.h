@@ -1,0 +1,50 @@
+// State-transition-graph extraction: recover a symbolic FSM from a
+// synthesized gate-level netlist by explicit traversal (the inverse of the
+// synthesis flow, for small machines).
+//
+// Starting from a given state code (by convention the reset code reached
+// by asserting the circuit's reset line for one cycle), every reachable
+// state is expanded over the netlist's input space. Exhaustive input
+// enumeration is exponential in PIs, so callers pass `probe_inputs` —
+// which input indices to enumerate — and fixed values for the rest; the
+// generated control FSMs examine 1-3 inputs per state, making a modest
+// probe set exact for them. Primarily a verification aid: the test suite
+// extracts the STG of a synthesized circuit and replays it against the
+// source FSM.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/bitvec.h"
+#include "netlist/netlist.h"
+#include "sim/value.h"
+
+namespace satpg {
+
+struct ExtractedStg {
+  /// Dense state ids in discovery order; code per state.
+  std::vector<BitVec> states;
+  /// (state, input-assignment) -> (next state id, PO values).
+  struct Edge {
+    int from;
+    BitVec input;  ///< over probe inputs only (bit i = probe_inputs[i])
+    int to;
+    std::vector<V3> outputs;
+  };
+  std::vector<Edge> edges;
+  bool truncated = false;  ///< hit the state cap
+};
+
+struct StgExtractOptions {
+  std::vector<std::size_t> probe_inputs;  ///< PI indices to enumerate
+  std::vector<V3> fixed_inputs;           ///< value per PI when not probed
+  std::size_t max_states = 4096;
+};
+
+/// Extract from a known start state (code over nl.dffs()).
+ExtractedStg extract_stg(const Netlist& nl, const BitVec& start,
+                         const StgExtractOptions& opts);
+
+}  // namespace satpg

@@ -1,0 +1,58 @@
+// Experiment drivers: one function per table/figure of the paper.
+//
+// Each returns a formatted Table whose rows mirror the paper's layout.
+// "CPU" columns report the deterministic work metric (kilo node-evaluations
+// — kEv) and wall seconds; ratios are computed on the work metric. See
+// EXPERIMENTS.md for the measured-vs-paper comparison and the rationale for
+// reporting work instead of 1995 DECstation seconds.
+//
+// `budget_scale` scales per-fault backtrack/eval budgets: 1.0 ≈ minutes for
+// the full suite on one core; larger values sharpen the retimed-circuit
+// blowups (the paper burned >5000 CPU hours — the shape, not the absolute
+// magnitude, is the reproduction target).
+#pragma once
+
+#include <string>
+
+#include "atpg/engine.h"
+#include "base/table.h"
+#include "harness/suite.h"
+
+namespace satpg {
+
+struct ExperimentOptions {
+  double budget_scale = 1.0;
+  std::uint64_t seed = 1;
+};
+
+/// Baseline engine budgets used by all experiments, scaled.
+AtpgRunOptions scaled_run_options(const ExperimentOptions& opts,
+                                  EngineKind kind);
+
+Table run_table1_fsms(Suite& suite);
+Table run_table2_hitec(Suite& suite, const ExperimentOptions& opts);
+Table run_table3_attest(Suite& suite, const ExperimentOptions& opts);
+Table run_table4_sest(Suite& suite, const ExperimentOptions& opts);
+Table run_table5_structure(Suite& suite, const ExperimentOptions& opts);
+Table run_table6_density(Suite& suite, const ExperimentOptions& opts);
+Table run_table7_sensitivity(Suite& suite, const ExperimentOptions& opts);
+Table run_table8_replay(Suite& suite, const ExperimentOptions& opts);
+/// Figure 3: per-circuit (cumulative kEv, FE%) series over the Table 7
+/// ladder, printed as aligned columns.
+Table run_fig3_fe_vs_cpu(Suite& suite, const ExperimentOptions& opts);
+
+// Ablations motivated by §5 of the paper.
+Table run_ablation_learning(Suite& suite, const ExperimentOptions& opts);
+Table run_ablation_budget(Suite& suite, const ExperimentOptions& opts);
+Table run_ablation_encoding(const ExperimentOptions& opts);
+
+/// Tiny flag parser shared by the bench mains: recognizes
+/// --budget=<float>, --seed=<n>, --scale=<float> (FSM scale),
+/// --cache=<dir>. Unknown flags abort with a usage message.
+struct BenchConfig {
+  ExperimentOptions experiment;
+  SuiteOptions suite;
+};
+BenchConfig parse_bench_flags(int argc, char** argv);
+
+}  // namespace satpg

@@ -1,0 +1,26 @@
+// Extension experiments beyond the paper's tables: the exact-oracle SRF
+// census (does retiming inject redundancy? — Theorem 1 says no, the
+// product-machine analysis verifies it) and the scan-DFT payoff study the
+// paper's conclusion motivates.
+#pragma once
+
+#include "base/table.h"
+#include "harness/experiments.h"
+
+namespace satpg {
+
+/// Exact detectability census over every collapsed fault of an
+/// original/retimed pair (built at a reduced FSM scale so the product-
+/// machine BDDs stay comfortable). Columns show that the retimed circuit
+/// gains essentially no redundant faults — the blowup is search cost, not
+/// redundancy, which is the paper's §4.1 argument made machine-checkable.
+Table run_srf_census(const ExperimentOptions& opts);
+
+/// Scan DFT ablation: sequential ATPG on a retimed circuit vs the same
+/// circuit with full scan and with cycle-breaking partial scan.
+Table run_ablation_scan(Suite& suite, const ExperimentOptions& opts);
+
+/// Test-set compaction study over a few suite circuits.
+Table run_compaction_study(Suite& suite, const ExperimentOptions& opts);
+
+}  // namespace satpg

@@ -1,0 +1,35 @@
+// ISCAS-89 ".bench" reader/writer.
+//
+// The classic interchange format used by the sequential ATPG community:
+//
+//   INPUT(G0)
+//   OUTPUT(G17)
+//   G10 = DFF(G14)
+//   G11 = NAND(G0, G10)
+//   ...
+//
+// DFF initial state is not expressible in .bench; flip-flops read in are
+// marked FfInit::kUnknown (the paper's circuits likewise power up unknown
+// and rely on an explicit reset input). Gate types supported: AND, NAND,
+// OR, NOR, XOR, XNOR, NOT, BUF(F), DFF.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace satpg {
+
+/// Parse .bench text. Throws std::runtime_error with a line-numbered
+/// message on malformed input.
+Netlist read_bench(std::istream& is, const std::string& name);
+Netlist read_bench_string(const std::string& text, const std::string& name);
+Netlist read_bench_file(const std::string& path);
+
+/// Serialize; reading the result back yields a structurally identical
+/// netlist (up to node numbering).
+void write_bench(const Netlist& nl, std::ostream& os);
+std::string write_bench_string(const Netlist& nl);
+
+}  // namespace satpg

@@ -1,0 +1,329 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+
+namespace satpg {
+
+const char* gate_type_name(GateType t) {
+  switch (t) {
+    case GateType::kInput:
+      return "INPUT";
+    case GateType::kOutput:
+      return "OUTPUT";
+    case GateType::kDff:
+      return "DFF";
+    case GateType::kConst0:
+      return "CONST0";
+    case GateType::kConst1:
+      return "CONST1";
+    case GateType::kBuf:
+      return "BUF";
+    case GateType::kNot:
+      return "NOT";
+    case GateType::kAnd:
+      return "AND";
+    case GateType::kNand:
+      return "NAND";
+    case GateType::kOr:
+      return "OR";
+    case GateType::kNor:
+      return "NOR";
+    case GateType::kXor:
+      return "XOR";
+    case GateType::kXnor:
+      return "XNOR";
+  }
+  return "?";
+}
+
+bool is_combinational(GateType t) {
+  switch (t) {
+    case GateType::kInput:
+    case GateType::kOutput:
+    case GateType::kDff:
+      return false;
+    default:
+      return true;
+  }
+}
+
+NodeId Netlist::new_node(GateType t, const std::string& name,
+                         std::vector<NodeId> fanins) {
+  SATPG_CHECK_MSG(by_name_.find(name) == by_name_.end(),
+                  "duplicate node name");
+  for (NodeId f : fanins) {
+    SATPG_CHECK_MSG(f >= 0 && static_cast<std::size_t>(f) < nodes_.size(),
+                    "fanin id out of range");
+    SATPG_CHECK_MSG(!nodes_[static_cast<std::size_t>(f)].dead,
+                    "fanin references dead node");
+  }
+  Node n;
+  n.type = t;
+  n.fanins = std::move(fanins);
+  n.name = name;
+  if (t == GateType::kDff || t == GateType::kInput || t == GateType::kOutput) {
+    n.delay = 0.0;
+    n.area = (t == GateType::kDff) ? 4.0 : 0.0;  // FFs dominate area
+  }
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(n));
+  by_name_.emplace(name, id);
+  invalidate_caches();
+  return id;
+}
+
+NodeId Netlist::add_input(const std::string& name) {
+  const NodeId id = new_node(GateType::kInput, name, {});
+  inputs_.push_back(id);
+  return id;
+}
+
+NodeId Netlist::add_output(const std::string& name, NodeId driver) {
+  const NodeId id = new_node(GateType::kOutput, name, {driver});
+  outputs_.push_back(id);
+  return id;
+}
+
+NodeId Netlist::add_dff(const std::string& name, NodeId d, FfInit init) {
+  const NodeId id = new_node(GateType::kDff, name, {d});
+  nodes_[static_cast<std::size_t>(id)].init = init;
+  dffs_.push_back(id);
+  return id;
+}
+
+NodeId Netlist::add_gate(GateType t, const std::string& name,
+                         std::vector<NodeId> fanins) {
+  SATPG_CHECK_MSG(is_combinational(t) && t != GateType::kConst0 &&
+                      t != GateType::kConst1,
+                  "add_gate expects a combinational gate type");
+  const std::size_t arity = fanins.size();
+  if (t == GateType::kBuf || t == GateType::kNot)
+    SATPG_CHECK_MSG(arity == 1, "BUF/NOT must have exactly one fanin");
+  else
+    SATPG_CHECK_MSG(arity >= 2, "multi-input gate needs >= 2 fanins");
+  return new_node(t, name, std::move(fanins));
+}
+
+NodeId Netlist::add_const(bool value, const std::string& name) {
+  return new_node(value ? GateType::kConst1 : GateType::kConst0, name, {});
+}
+
+void Netlist::replace_uses(NodeId old_id, NodeId new_id) {
+  for (auto& n : nodes_) {
+    if (n.dead) continue;
+    for (auto& f : n.fanins)
+      if (f == old_id) f = new_id;
+  }
+  invalidate_caches();
+}
+
+void Netlist::set_fanin(NodeId node, std::size_t slot, NodeId driver) {
+  auto& n = nodes_[static_cast<std::size_t>(node)];
+  SATPG_CHECK(slot < n.fanins.size());
+  n.fanins[slot] = driver;
+  invalidate_caches();
+}
+
+void Netlist::kill_node(NodeId id) {
+  auto& n = nodes_[static_cast<std::size_t>(id)];
+  SATPG_CHECK(!n.dead);
+  by_name_.erase(n.name);
+  n.dead = true;
+  n.fanins.clear();
+  n.name.clear();
+  auto drop = [id](std::vector<NodeId>& v) {
+    v.erase(std::remove(v.begin(), v.end(), id), v.end());
+  };
+  drop(inputs_);
+  drop(outputs_);
+  drop(dffs_);
+  invalidate_caches();
+}
+
+void Netlist::compact() {
+  std::vector<NodeId> remap(nodes_.size(), kNoNode);
+  std::vector<Node> live;
+  live.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].dead) continue;
+    remap[i] = static_cast<NodeId>(live.size());
+    live.push_back(std::move(nodes_[i]));
+  }
+  for (auto& n : live)
+    for (auto& f : n.fanins) {
+      SATPG_CHECK_MSG(remap[static_cast<std::size_t>(f)] != kNoNode,
+                      "live node references dead node during compact");
+      f = remap[static_cast<std::size_t>(f)];
+    }
+  auto remap_list = [&remap](std::vector<NodeId>& v) {
+    for (auto& id : v) id = remap[static_cast<std::size_t>(id)];
+  };
+  remap_list(inputs_);
+  remap_list(outputs_);
+  remap_list(dffs_);
+  nodes_ = std::move(live);
+  by_name_.clear();
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    by_name_.emplace(nodes_[i].name, static_cast<NodeId>(i));
+  invalidate_caches();
+}
+
+std::size_t Netlist::num_gates() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_)
+    if (!node.dead && is_combinational(node.type)) ++n;
+  return n;
+}
+
+double Netlist::total_area() const {
+  double a = 0;
+  for (const auto& node : nodes_)
+    if (!node.dead && node.type != GateType::kInput &&
+        node.type != GateType::kOutput)
+      a += node.area;
+  return a;
+}
+
+NodeId Netlist::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kNoNode : it->second;
+}
+
+const std::vector<std::vector<NodeId>>& Netlist::fanouts() const {
+  if (!caches_valid_) {
+    fanouts_.assign(nodes_.size(), {});
+    topo_.clear();
+    // fanouts
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const auto& n = nodes_[i];
+      if (n.dead) continue;
+      for (NodeId f : n.fanins)
+        fanouts_[static_cast<std::size_t>(f)].push_back(
+            static_cast<NodeId>(i));
+    }
+    // topo order: Kahn over combinational edges; PIs, consts, DFFs are
+    // sources. DFF and OUTPUT nodes are appended after all comb nodes.
+    std::vector<int> pending(nodes_.size(), 0);
+    std::vector<NodeId> ready;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const auto& n = nodes_[i];
+      if (n.dead) continue;
+      if (n.type == GateType::kInput || n.type == GateType::kDff ||
+          n.type == GateType::kConst0 || n.type == GateType::kConst1) {
+        ready.push_back(static_cast<NodeId>(i));
+      } else {
+        pending[i] = static_cast<int>(n.fanins.size());
+        if (pending[i] == 0) ready.push_back(static_cast<NodeId>(i));
+      }
+    }
+    std::size_t live_count = 0;
+    for (const auto& n : nodes_)
+      if (!n.dead) ++live_count;
+    std::vector<NodeId> tail;  // OUTPUT marker nodes, appended last
+    std::size_t head = 0;
+    while (head < ready.size()) {
+      const NodeId id = ready[head++];
+      const auto& n = nodes_[static_cast<std::size_t>(id)];
+      if (n.type == GateType::kOutput)
+        tail.push_back(id);
+      else
+        topo_.push_back(id);  // DFF/PI/const sources come out first
+      for (NodeId s : fanouts_[static_cast<std::size_t>(id)]) {
+        const auto& sn = nodes_[static_cast<std::size_t>(s)];
+        if (sn.type == GateType::kDff) continue;  // already a source
+        if (--pending[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+      }
+    }
+    for (NodeId id : tail) topo_.push_back(id);
+    SATPG_CHECK_MSG(topo_.size() == live_count,
+                    "combinational cycle detected in netlist");
+    caches_valid_ = true;
+  }
+  return fanouts_;
+}
+
+const std::vector<NodeId>& Netlist::topo_order() const {
+  fanouts();  // builds both caches
+  return topo_;
+}
+
+std::optional<std::string> Netlist::validate() const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto& n = nodes_[i];
+    if (n.dead) continue;
+    auto it = by_name_.find(n.name);
+    if (it == by_name_.end() || it->second != static_cast<NodeId>(i))
+      return "name map inconsistent at node " + n.name;
+    const std::size_t arity = n.fanins.size();
+    switch (n.type) {
+      case GateType::kInput:
+      case GateType::kConst0:
+      case GateType::kConst1:
+        if (arity != 0) return n.name + ": source node with fanins";
+        break;
+      case GateType::kOutput:
+      case GateType::kDff:
+      case GateType::kBuf:
+      case GateType::kNot:
+        if (arity != 1) return n.name + ": expected exactly one fanin";
+        break;
+      default:
+        if (arity < 2) return n.name + ": gate with < 2 fanins";
+    }
+    for (NodeId f : n.fanins) {
+      if (f < 0 || static_cast<std::size_t>(f) >= nodes_.size())
+        return n.name + ": fanin out of range";
+      if (nodes_[static_cast<std::size_t>(f)].dead)
+        return n.name + ": fanin is dead";
+      const GateType ft = nodes_[static_cast<std::size_t>(f)].type;
+      if (ft == GateType::kOutput) return n.name + ": fans in from OUTPUT";
+    }
+  }
+  // Acyclicity: topo_order CHECK-fails on cycles, so probe via a copy of the
+  // same Kahn logic without aborting.
+  std::vector<int> pending(nodes_.size(), 0);
+  std::vector<NodeId> ready;
+  std::size_t live = 0, emitted = 0;
+  std::vector<std::vector<NodeId>> fo(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto& n = nodes_[i];
+    if (n.dead) continue;
+    ++live;
+    for (NodeId f : n.fanins) fo[static_cast<std::size_t>(f)].push_back(
+        static_cast<NodeId>(i));
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto& n = nodes_[i];
+    if (n.dead) continue;
+    if (n.type == GateType::kInput || n.type == GateType::kDff ||
+        n.type == GateType::kConst0 || n.type == GateType::kConst1 ||
+        n.fanins.empty())
+      ready.push_back(static_cast<NodeId>(i));
+    else
+      pending[i] = static_cast<int>(n.fanins.size());
+  }
+  std::size_t head = 0;
+  while (head < ready.size()) {
+    const NodeId id = ready[head++];
+    ++emitted;
+    const auto& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.type == GateType::kOutput) continue;
+    for (NodeId s : fo[static_cast<std::size_t>(id)]) {
+      const auto& sn = nodes_[static_cast<std::size_t>(s)];
+      if (sn.type == GateType::kDff) continue;
+      if (--pending[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+    }
+  }
+  if (emitted != live) return "combinational cycle present";
+  return std::nullopt;
+}
+
+Netlist Netlist::clone(const std::string& new_name) const {
+  Netlist c(*this);
+  c.name_ = new_name;
+  return c;
+}
+
+void Netlist::invalidate_caches() const { caches_valid_ = false; }
+
+}  // namespace satpg

@@ -1,0 +1,165 @@
+// Gate-level synchronous sequential netlist.
+//
+// The netlist is the common representation shared by synthesis output,
+// retiming, logic/fault simulation, structural analysis, and ATPG. It is a
+// flat node graph:
+//
+//   * kInput nodes are primary inputs (no fanins).
+//   * kOutput nodes are explicit primary-output markers (one fanin). Making
+//     POs real nodes keeps the retiming graph and path analyses uniform.
+//   * kDff nodes are edge-triggered D flip-flops: one fanin (D), the node's
+//     value is Q. Initial (power-up) value is 0/1/X; the paper's circuits
+//     power up unknown and are initialized through an explicit reset line
+//     synthesized into the next-state logic.
+//   * Combinational nodes (BUF/NOT/AND/NAND/OR/NOR/XOR/XNOR, CONST0/1) have
+//     1..k fanins.
+//
+// Node ids are dense indices into nodes(); deleted nodes are tombstoned and
+// removed by compact(). Combinational topological order (DFFs and PIs as
+// sources) is computed on demand and cached.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/check.h"
+
+namespace satpg {
+
+using NodeId = std::int32_t;
+constexpr NodeId kNoNode = -1;
+
+enum class GateType : std::uint8_t {
+  kInput,
+  kOutput,
+  kDff,
+  kConst0,
+  kConst1,
+  kBuf,
+  kNot,
+  kAnd,
+  kNand,
+  kOr,
+  kNor,
+  kXor,
+  kXnor,
+};
+
+/// Human-readable gate-type name ("AND", "DFF", ...).
+const char* gate_type_name(GateType t);
+
+/// True for BUF/NOT/AND/.../XNOR and CONST (anything evaluated by the
+/// combinational simulator).
+bool is_combinational(GateType t);
+
+/// Three-valued initial state of a flip-flop.
+enum class FfInit : std::uint8_t { kZero, kOne, kUnknown };
+
+struct Node {
+  GateType type = GateType::kBuf;
+  std::vector<NodeId> fanins;
+  std::string name;       ///< unique within the netlist; "" for tombstones
+  FfInit init = FfInit::kUnknown;  ///< meaningful for kDff only
+  double delay = 1.0;     ///< propagation delay (library units; 0 for DFF/IO)
+  double area = 1.0;      ///< area contribution (library units)
+  bool dead = false;      ///< tombstone flag (see Netlist::compact)
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  // ---- construction -------------------------------------------------------
+  NodeId add_input(const std::string& name);
+  NodeId add_output(const std::string& name, NodeId driver);
+  NodeId add_dff(const std::string& name, NodeId d, FfInit init);
+  NodeId add_gate(GateType t, const std::string& name,
+                  std::vector<NodeId> fanins);
+  NodeId add_const(bool value, const std::string& name);
+
+  /// Redirect every fanin reference of `old_id` to `new_id` (does not touch
+  /// PI/PO/DFF membership lists). Used by rewriting passes and retiming.
+  void replace_uses(NodeId old_id, NodeId new_id);
+
+  /// Change the driver of a single fanin slot.
+  void set_fanin(NodeId node, std::size_t slot, NodeId driver);
+
+  /// Mark a node dead. Dead nodes are skipped by traversals and dropped by
+  /// compact(); they must no longer be referenced by any live node.
+  void kill_node(NodeId id);
+
+  /// Remove dead nodes and renumber. Invalidates all NodeIds held outside.
+  void compact();
+
+  // ---- access --------------------------------------------------------------
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const Node& node(NodeId id) const {
+    SATPG_DCHECK(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+  Node& node_mut(NodeId id) {
+    invalidate_caches();
+    SATPG_DCHECK(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+
+  const std::vector<NodeId>& inputs() const { return inputs_; }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+  const std::vector<NodeId>& dffs() const { return dffs_; }
+
+  std::size_t num_inputs() const { return inputs_.size(); }
+  std::size_t num_outputs() const { return outputs_.size(); }
+  std::size_t num_dffs() const { return dffs_.size(); }
+
+  /// Count of live combinational gates (excludes PI/PO/DFF markers).
+  std::size_t num_gates() const;
+
+  /// Sum of node areas over live combinational gates and DFFs.
+  double total_area() const;
+
+  /// Lookup by unique name; kNoNode when absent.
+  NodeId find(const std::string& name) const;
+
+  /// Fanout lists (node -> nodes that reference it), computed lazily.
+  const std::vector<std::vector<NodeId>>& fanouts() const;
+
+  /// Topological order of live nodes treating DFF outputs, PIs, and consts
+  /// as sources (they appear first); every combinational node appears after
+  /// all its fanins; OUTPUT marker nodes appear last. A DFF's D fanin
+  /// appears *after* the DFF itself — simulators read D when clocking.
+  /// CHECK-fails on a combinational cycle.
+  const std::vector<NodeId>& topo_order() const;
+
+  /// Validate structural invariants (arity, name uniqueness, reference
+  /// liveness, combinational acyclicity). Returns an error description or
+  /// std::nullopt when well-formed.
+  std::optional<std::string> validate() const;
+
+  /// Deep copy with a fresh name.
+  Netlist clone(const std::string& new_name) const;
+
+ private:
+  NodeId new_node(GateType t, const std::string& name,
+                  std::vector<NodeId> fanins);
+  void invalidate_caches() const;
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+  std::vector<NodeId> dffs_;
+  std::unordered_map<std::string, NodeId> by_name_;
+
+  mutable std::vector<std::vector<NodeId>> fanouts_;  // lazy caches
+  mutable std::vector<NodeId> topo_;
+  mutable bool caches_valid_ = false;
+};
+
+}  // namespace satpg

@@ -1,0 +1,108 @@
+// Logic value domains.
+//
+// V3  — three-valued (0, 1, X) scalar logic used by the sequential
+//       simulator, reachability seeding, and ATPG good-machine values.
+// PV  — 64-way bit-parallel three-valued encoding used by the parallel
+//       fault simulator: bit i of `zero` means "slot i is 0", bit i of
+//       `one` means "slot i is 1"; neither bit set means X. A slot never
+//       has both bits set (checked in debug builds).
+#pragma once
+
+#include <cstdint>
+
+#include "base/check.h"
+
+namespace satpg {
+
+enum class V3 : std::uint8_t { kZero = 0, kOne = 1, kX = 2 };
+
+inline char v3_char(V3 v) {
+  switch (v) {
+    case V3::kZero:
+      return '0';
+    case V3::kOne:
+      return '1';
+    case V3::kX:
+      return 'X';
+  }
+  return '?';
+}
+
+inline V3 v3_not(V3 a) {
+  if (a == V3::kZero) return V3::kOne;
+  if (a == V3::kOne) return V3::kZero;
+  return V3::kX;
+}
+
+inline V3 v3_and(V3 a, V3 b) {
+  if (a == V3::kZero || b == V3::kZero) return V3::kZero;
+  if (a == V3::kOne && b == V3::kOne) return V3::kOne;
+  return V3::kX;
+}
+
+inline V3 v3_or(V3 a, V3 b) {
+  if (a == V3::kOne || b == V3::kOne) return V3::kOne;
+  if (a == V3::kZero && b == V3::kZero) return V3::kZero;
+  return V3::kX;
+}
+
+inline V3 v3_xor(V3 a, V3 b) {
+  if (a == V3::kX || b == V3::kX) return V3::kX;
+  return (a == b) ? V3::kZero : V3::kOne;
+}
+
+/// 64-slot parallel three-valued word.
+struct PV {
+  std::uint64_t zero = 0;
+  std::uint64_t one = 0;
+
+  static PV all(V3 v) {
+    switch (v) {
+      case V3::kZero:
+        return {~0ULL, 0};
+      case V3::kOne:
+        return {0, ~0ULL};
+      default:
+        return {0, 0};
+    }
+  }
+
+  V3 slot(unsigned i) const {
+    const std::uint64_t m = 1ULL << i;
+    if (zero & m) return V3::kZero;
+    if (one & m) return V3::kOne;
+    return V3::kX;
+  }
+
+  void set_slot(unsigned i, V3 v) {
+    const std::uint64_t m = 1ULL << i;
+    zero &= ~m;
+    one &= ~m;
+    if (v == V3::kZero)
+      zero |= m;
+    else if (v == V3::kOne)
+      one |= m;
+  }
+
+  bool well_formed() const { return (zero & one) == 0; }
+
+  bool operator==(const PV& o) const = default;
+};
+
+inline PV pv_not(PV a) { return {a.one, a.zero}; }
+
+inline PV pv_and(PV a, PV b) {
+  return {a.zero | b.zero, a.one & b.one};
+}
+
+inline PV pv_or(PV a, PV b) {
+  return {a.zero & b.zero, a.one | b.one};
+}
+
+inline PV pv_xor(PV a, PV b) {
+  const std::uint64_t known = (a.zero | a.one) & (b.zero | b.one);
+  const std::uint64_t x = (a.one ^ b.one) & known;
+  return {known & ~x, x};
+}
+
+}  // namespace satpg

@@ -1,0 +1,209 @@
+#include "synth/encode.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/rng.h"
+
+namespace satpg {
+
+const char* encode_algo_suffix(EncodeAlgo algo) {
+  switch (algo) {
+    case EncodeAlgo::kInputDominant:
+      return ".ji";
+    case EncodeAlgo::kOutputDominant:
+      return ".jo";
+    case EncodeAlgo::kCombined:
+      return ".jc";
+    case EncodeAlgo::kOneHot:
+      return ".oh";
+    case EncodeAlgo::kNatural:
+      return ".nat";
+  }
+  return "?";
+}
+
+int Encoding::state_of(const BitVec& bits_value) const {
+  for (std::size_t s = 0; s < code.size(); ++s)
+    if (code[s] == bits_value) return static_cast<int>(s);
+  return -1;
+}
+
+namespace {
+
+int min_bits_for(int n) {
+  int b = 0;
+  while ((1 << b) < n) ++b;
+  return std::max(1, b);
+}
+
+// Hamming distance between codes.
+std::size_t hamming(const BitVec& a, const BitVec& b) {
+  return (a ^ b).count();
+}
+
+// Output-similarity between two states: fraction of output bits that agree
+// across their transition cubes (sampled per cube pair on commonly cared
+// bits).
+double output_similarity(const Fsm& fsm, int s, int t) {
+  double agree = 0, total = 0;
+  for (int ai : fsm.transitions_from(s)) {
+    const auto& a = fsm.transitions()[static_cast<std::size_t>(ai)];
+    for (int bi : fsm.transitions_from(t)) {
+      const auto& b = fsm.transitions()[static_cast<std::size_t>(bi)];
+      const BitVec both = a.output.care & b.output.care;
+      const std::size_t n = both.count();
+      if (n == 0) continue;
+      const std::size_t diff = ((a.output.value ^ b.output.value) & both).count();
+      agree += static_cast<double>(n - diff);
+      total += static_cast<double>(n);
+    }
+  }
+  return total > 0 ? agree / total : 0.0;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> state_affinity(const Fsm& fsm,
+                                                EncodeAlgo algo) {
+  const int n = fsm.num_states();
+  std::vector<std::vector<double>> w(
+      static_cast<std::size_t>(n),
+      std::vector<double>(static_cast<std::size_t>(n), 0.0));
+
+  const bool want_input = algo == EncodeAlgo::kInputDominant ||
+                          algo == EncodeAlgo::kCombined;
+  const bool want_output = algo == EncodeAlgo::kOutputDominant ||
+                           algo == EncodeAlgo::kCombined;
+
+  if (want_input) {
+    // Common-predecessor counting: every state u contributes affinity to
+    // each pair of its successor states.
+    for (int u = 0; u < n; ++u) {
+      std::vector<int> succ;
+      for (int ti : fsm.transitions_from(u))
+        succ.push_back(fsm.transitions()[static_cast<std::size_t>(ti)].to);
+      std::sort(succ.begin(), succ.end());
+      succ.erase(std::unique(succ.begin(), succ.end()), succ.end());
+      for (std::size_t i = 0; i < succ.size(); ++i)
+        for (std::size_t j = i + 1; j < succ.size(); ++j) {
+          w[static_cast<std::size_t>(succ[i])]
+           [static_cast<std::size_t>(succ[j])] += 1.0;
+          w[static_cast<std::size_t>(succ[j])]
+           [static_cast<std::size_t>(succ[i])] += 1.0;
+        }
+    }
+  }
+  if (want_output) {
+    // Output-pattern similarity plus common-successor counting.
+    for (int s = 0; s < n; ++s) {
+      for (int t = s + 1; t < n; ++t) {
+        double v = output_similarity(fsm, s, t);
+        // Common successors.
+        std::vector<int> ss, ts;
+        for (int ti : fsm.transitions_from(s))
+          ss.push_back(fsm.transitions()[static_cast<std::size_t>(ti)].to);
+        for (int ti : fsm.transitions_from(t))
+          ts.push_back(fsm.transitions()[static_cast<std::size_t>(ti)].to);
+        std::sort(ss.begin(), ss.end());
+        ss.erase(std::unique(ss.begin(), ss.end()), ss.end());
+        std::sort(ts.begin(), ts.end());
+        ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+        std::vector<int> common;
+        std::set_intersection(ss.begin(), ss.end(), ts.begin(), ts.end(),
+                              std::back_inserter(common));
+        v += static_cast<double>(common.size());
+        w[static_cast<std::size_t>(s)][static_cast<std::size_t>(t)] += v;
+        w[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)] += v;
+      }
+    }
+  }
+  return w;
+}
+
+Encoding assign_states(const Fsm& fsm, EncodeAlgo algo, std::uint64_t seed) {
+  const int n = fsm.num_states();
+  Encoding enc;
+
+  if (algo == EncodeAlgo::kOneHot) {
+    enc.bits = n;
+    enc.code.resize(static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s) {
+      BitVec c(static_cast<std::size_t>(n));
+      c.set(static_cast<std::size_t>(s), true);
+      enc.code[static_cast<std::size_t>(s)] = std::move(c);
+    }
+    return enc;
+  }
+
+  enc.bits = min_bits_for(n);
+  enc.code.assign(static_cast<std::size_t>(n), BitVec());
+
+  if (algo == EncodeAlgo::kNatural) {
+    // Reset state 0, others in index order.
+    std::vector<int> order;
+    order.push_back(fsm.reset_state());
+    for (int s = 0; s < n; ++s)
+      if (s != fsm.reset_state()) order.push_back(s);
+    for (std::size_t i = 0; i < order.size(); ++i)
+      enc.code[static_cast<std::size_t>(order[i])] = BitVec::from_value(
+          static_cast<std::size_t>(enc.bits), i);
+    return enc;
+  }
+
+  const auto w = state_affinity(fsm, algo);
+  Rng rng(seed ^ 0xe4c0deu);
+
+  // Placement order: reset first, then descending total affinity.
+  std::vector<int> order;
+  order.push_back(fsm.reset_state());
+  {
+    std::vector<int> rest;
+    for (int s = 0; s < n; ++s)
+      if (s != fsm.reset_state()) rest.push_back(s);
+    std::sort(rest.begin(), rest.end(), [&w](int a, int b) {
+      double ta = 0, tb = 0;
+      for (double v : w[static_cast<std::size_t>(a)]) ta += v;
+      for (double v : w[static_cast<std::size_t>(b)]) tb += v;
+      if (ta != tb) return ta > tb;
+      return a < b;
+    });
+    order.insert(order.end(), rest.begin(), rest.end());
+  }
+
+  const std::size_t num_codes = 1ULL << enc.bits;
+  std::vector<bool> used(num_codes, false);
+  std::vector<int> placed;
+
+  for (int s : order) {
+    std::size_t best_code = 0;
+    double best_cost = 0;
+    bool have = false;
+    for (std::size_t c = 0; c < num_codes; ++c) {
+      if (used[c]) continue;
+      const BitVec cand =
+          BitVec::from_value(static_cast<std::size_t>(enc.bits), c);
+      double cost = 0;
+      for (int p : placed)
+        cost += w[static_cast<std::size_t>(s)][static_cast<std::size_t>(p)] *
+                static_cast<double>(
+                    hamming(cand, enc.code[static_cast<std::size_t>(p)]));
+      if (!have || cost < best_cost) {
+        have = true;
+        best_cost = cost;
+        best_code = c;
+      }
+    }
+    SATPG_CHECK(have);
+    used[best_code] = true;
+    enc.code[static_cast<std::size_t>(s)] =
+        BitVec::from_value(static_cast<std::size_t>(enc.bits), best_code);
+    placed.push_back(s);
+  }
+  // Reset state ended on code 0 (first placement, zero cost everywhere, and
+  // code 0 is scanned first).
+  SATPG_CHECK(enc.code[static_cast<std::size_t>(fsm.reset_state())].none());
+  return enc;
+}
+
+}  // namespace satpg

@@ -1,0 +1,55 @@
+// State assignment (the study's `jedi` substitute).
+//
+// Three heuristics mirroring jedi's algorithm switch, plus one-hot and
+// natural orderings for ablation studies:
+//
+//   kInputDominant  (.ji) — states sharing predecessors are given close
+//                           codes (their next-state cubes then share input
+//                           literals).
+//   kOutputDominant (.jo) — states with similar output behaviour and shared
+//                           successors are given close codes.
+//   kCombined       (.jc) — sum of the two affinity measures.
+//
+// All minimum-bit encoders place the reset state at code 0 (the explicit
+// reset line synthesized later forces the all-zero state in one cycle) and
+// assign the remaining states by greedy hypercube embedding: highest total
+// affinity first, each taking the free code minimizing
+// Σ affinity(s,placed) · hamming(code, code_placed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/bitvec.h"
+#include "fsm/fsm.h"
+
+namespace satpg {
+
+enum class EncodeAlgo {
+  kInputDominant,
+  kOutputDominant,
+  kCombined,
+  kOneHot,
+  kNatural,  ///< state index in binary; baseline/ablation
+};
+
+/// Paper-style suffix for circuit names (".ji", ".jo", ".jc", ".oh", ".nat").
+const char* encode_algo_suffix(EncodeAlgo algo);
+
+struct Encoding {
+  int bits = 0;
+  std::vector<BitVec> code;  ///< per state, each `bits` wide
+
+  /// State index whose code equals `bits_value`, or -1 (unused code).
+  int state_of(const BitVec& bits_value) const;
+};
+
+Encoding assign_states(const Fsm& fsm, EncodeAlgo algo,
+                       std::uint64_t seed = 1);
+
+/// Pairwise affinity matrix used by the embedding (exposed for tests).
+std::vector<std::vector<double>> state_affinity(const Fsm& fsm,
+                                                EncodeAlgo algo);
+
+}  // namespace satpg

@@ -1,0 +1,64 @@
+#include "synth/library.h"
+
+namespace satpg {
+
+LibCell lib_cell(GateType t, std::size_t arity) {
+  switch (t) {
+    case GateType::kBuf:
+      SATPG_CHECK(arity == 1);
+      return {0.8, 1.0};
+    case GateType::kNot:
+      SATPG_CHECK(arity == 1);
+      return {1.0, 1.0};
+    case GateType::kNand:
+      SATPG_CHECK(arity >= 2 && arity <= 4);
+      return {1.0 + 0.2 * static_cast<double>(arity - 2),
+              2.0 + static_cast<double>(arity - 2)};
+    case GateType::kNor:
+      SATPG_CHECK(arity >= 2 && arity <= 4);
+      return {1.1 + 0.3 * static_cast<double>(arity - 2),
+              2.0 + static_cast<double>(arity - 2)};
+    case GateType::kAnd:
+      SATPG_CHECK(arity >= 2 && arity <= 4);
+      return {1.6 + 0.2 * static_cast<double>(arity - 2),
+              3.0 + static_cast<double>(arity - 2)};
+    case GateType::kOr:
+      SATPG_CHECK(arity >= 2 && arity <= 4);
+      return {1.7 + 0.3 * static_cast<double>(arity - 2),
+              3.0 + static_cast<double>(arity - 2)};
+    case GateType::kXor:
+      SATPG_CHECK(arity == 2);
+      return {1.9, 5.0};
+    case GateType::kXnor:
+      SATPG_CHECK(arity == 2);
+      return {2.0, 5.0};
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return {0.0, 0.0};
+    default:
+      SATPG_CHECK_MSG(false, "lib_cell: unsupported gate type");
+  }
+  return {0, 0};
+}
+
+void annotate_library(Netlist& nl) {
+  for (std::size_t i = 0; i < nl.num_nodes(); ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    const auto& n = nl.node(id);
+    if (n.dead) continue;
+    if (is_combinational(n.type)) {
+      SATPG_CHECK_MSG(n.fanins.size() <= kMaxLibFanin,
+                      "annotate_library: gate exceeds library fan-in");
+      const LibCell cell = lib_cell(n.type, n.fanins.size());
+      auto& m = nl.node_mut(id);
+      m.delay = cell.delay;
+      m.area = cell.area;
+    } else if (n.type == GateType::kDff) {
+      auto& m = nl.node_mut(id);
+      m.delay = 0.0;
+      m.area = 8.0;
+    }
+  }
+}
+
+}  // namespace satpg

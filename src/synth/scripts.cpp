@@ -1,0 +1,78 @@
+#include "synth/scripts.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "synth/techmap.h"
+
+namespace satpg {
+
+const char* script_suffix(ScriptKind kind) {
+  return kind == ScriptKind::kRugged ? ".sr" : ".sd";
+}
+
+EspressoOptions script_espresso_options(ScriptKind kind, std::uint64_t seed) {
+  EspressoOptions opts;
+  opts.passes = kind == ScriptKind::kRugged ? 2 : 1;
+  opts.seed = seed;
+  return opts;
+}
+
+int extract_common_cubes(Netlist& nl) {
+  int extracted = 0;
+  for (int round = 0; round < 1000; ++round) {
+    // Count unordered fanin pairs across AND gates with >= 3 fanins.
+    std::map<std::pair<NodeId, NodeId>, int> freq;
+    for (std::size_t i = 0; i < nl.num_nodes(); ++i) {
+      const auto& n = nl.node(static_cast<NodeId>(i));
+      if (n.dead || n.type != GateType::kAnd || n.fanins.size() < 3) continue;
+      std::vector<NodeId> f = n.fanins;
+      std::sort(f.begin(), f.end());
+      for (std::size_t a = 0; a < f.size(); ++a)
+        for (std::size_t b = a + 1; b < f.size(); ++b)
+          if (f[a] != f[b]) ++freq[{f[a], f[b]}];
+    }
+    std::pair<NodeId, NodeId> best{kNoNode, kNoNode};
+    int best_count = 1;  // require at least 2 occurrences to profit
+    for (const auto& [pair, count] : freq)
+      if (count > best_count) {
+        best_count = count;
+        best = pair;
+      }
+    if (best.first == kNoNode) break;
+
+    // Materialize the shared AND2 and substitute it in every host gate.
+    const NodeId shared = nl.add_gate(
+        GateType::kAnd, "xc_" + std::to_string(extracted) + "_r" +
+                            std::to_string(round),
+        {best.first, best.second});
+    for (std::size_t i = 0; i < nl.num_nodes(); ++i) {
+      const NodeId id = static_cast<NodeId>(i);
+      if (id == shared) continue;
+      const auto& n = nl.node(id);
+      if (n.dead || n.type != GateType::kAnd || n.fanins.size() < 3) continue;
+      auto has = [&n](NodeId x) {
+        return std::find(n.fanins.begin(), n.fanins.end(), x) !=
+               n.fanins.end();
+      };
+      if (!has(best.first) || !has(best.second)) continue;
+      std::vector<NodeId> next;
+      for (NodeId f : n.fanins)
+        if (f != best.first && f != best.second) next.push_back(f);
+      next.push_back(shared);
+      nl.node_mut(id).fanins = next;
+    }
+    ++extracted;
+  }
+  return extracted;
+}
+
+void run_script(Netlist& nl, ScriptKind kind) {
+  TechMapOptions opts;
+  opts.area_mode = kind == ScriptKind::kRugged;
+  if (kind == ScriptKind::kRugged) extract_common_cubes(nl);
+  tech_map(nl, opts);
+}
+
+}  // namespace satpg

@@ -1,0 +1,40 @@
+// Multi-level synthesis scripts (script.rugged / script.delay substitutes).
+//
+// The SIS scripts differ in optimization goal: script.rugged grinds on
+// area (algebraic factoring, sharing), script.delay on speed (balanced
+// structures, duplication tolerated). The substitutes here keep exactly
+// that trade-off:
+//
+//   kRugged (.sr): 2-pass espresso, common-cube extraction across product
+//                  terms, structural sharing, chain decomposition.
+//   kDelay  (.sd): 1-pass espresso, no sharing, balanced-tree
+//                  decomposition.
+//
+// Both end in tech_map() so every circuit is in library gates.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+#include "synth/cover.h"
+
+namespace satpg {
+
+enum class ScriptKind { kRugged, kDelay };
+
+/// Paper-style suffix: ".sr" / ".sd".
+const char* script_suffix(ScriptKind kind);
+
+/// Espresso effort for the script.
+EspressoOptions script_espresso_options(ScriptKind kind, std::uint64_t seed);
+
+/// Multi-level restructuring over a two-level AND-OR netlist, ending in a
+/// mapped, annotated netlist.
+void run_script(Netlist& nl, ScriptKind kind);
+
+/// Common-cube extraction: repeatedly extract the most frequent fanin pair
+/// shared among AND gates (≥3 inputs) into an AND2. Exposed for tests;
+/// returns the number of extractions performed.
+int extract_common_cubes(Netlist& nl);
+
+}  // namespace satpg

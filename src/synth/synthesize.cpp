@@ -1,0 +1,214 @@
+#include "synth/synthesize.h"
+
+#include <algorithm>
+
+#include "fsm/minimize.h"
+
+namespace satpg {
+
+namespace {
+
+// Cube over (inputs + state bits): input part from the transition, state
+// part the full minterm of the present state's code.
+Cube transition_cube(const FsmTransition& t, const Encoding& enc,
+                     std::size_t ni) {
+  const std::size_t nv = ni + static_cast<std::size_t>(enc.bits);
+  Cube c;
+  c.value = BitVec(nv);
+  c.care = BitVec(nv);
+  for (std::size_t i = 0; i < ni; ++i) {
+    if (t.input.care.get(i)) {
+      c.care.set(i, true);
+      c.value.set(i, t.input.value.get(i));
+    }
+  }
+  const BitVec& code = enc.code[static_cast<std::size_t>(t.from)];
+  for (std::size_t b = 0; b < code.size(); ++b) {
+    c.care.set(ni + b, true);
+    c.value.set(ni + b, code.get(b));
+  }
+  return c;
+}
+
+}  // namespace
+
+TwoLevel build_two_level(const Fsm& fsm, const Encoding& enc,
+                         const EspressoOptions& espresso) {
+  const std::size_t ni = static_cast<std::size_t>(fsm.num_inputs());
+  const std::size_t nb = static_cast<std::size_t>(enc.bits);
+  const std::size_t nv = ni + nb;
+
+  // Global DC cubes: unused state codes, any input. (One-hot encodings have
+  // astronomically many unused codes; enumerate only when feasible —
+  // otherwise the DC set is simply smaller and minimization is weaker,
+  // which itself mirrors sparse encodings being harder to optimize.)
+  Cover global_dc;
+  const bool enumerable =
+      nb <= 24 && (1ULL << nb) - enc.code.size() <= 4096;
+  if (enumerable) {
+    std::vector<bool> used(1ULL << nb, false);
+    for (const auto& code : enc.code) used[code.to_u64()] = true;
+    for (std::size_t v = 0; v < used.size(); ++v) {
+      if (used[v]) continue;
+      Cube c;
+      c.value = BitVec(nv);
+      c.care = BitVec(nv);
+      const BitVec code = BitVec::from_value(nb, v);
+      for (std::size_t b = 0; b < nb; ++b) {
+        c.care.set(ni + b, true);
+        c.value.set(ni + b, code.get(b));
+      }
+      global_dc.push_back(std::move(c));
+    }
+  } else if (enc.bits == fsm.num_states()) {
+    // One-hot (or any encoding with a huge unused-code set): enumerating
+    // every invalid code is quadratic suicide — approximate with the
+    // empty-state cube (all state bits 0), the dominant invalid pattern
+    // minimization can exploit. Sparse encodings thus get a weaker DC set,
+    // which itself mirrors how hard they are to optimize.
+    Cube c;
+    c.value = BitVec(nv);
+    c.care = BitVec(nv);
+    for (std::size_t b = 0; b < nb; ++b) c.care.set(ni + b, true);
+    global_dc.push_back(std::move(c));
+  }
+
+  TwoLevel tl;
+  tl.num_vars = nv;
+  tl.next_state.resize(nb);
+  tl.outputs.resize(static_cast<std::size_t>(fsm.num_outputs()));
+
+  // ON sets.
+  std::vector<Cover> ns_on(nb);
+  std::vector<Cover> out_on(static_cast<std::size_t>(fsm.num_outputs()));
+  std::vector<Cover> out_dc(static_cast<std::size_t>(fsm.num_outputs()));
+  for (const auto& t : fsm.transitions()) {
+    const Cube base = transition_cube(t, enc, ni);
+    const BitVec& to_code = enc.code[static_cast<std::size_t>(t.to)];
+    for (std::size_t b = 0; b < nb; ++b)
+      if (to_code.get(b)) ns_on[b].push_back(base);
+    for (std::size_t o = 0; o < out_on.size(); ++o) {
+      if (!t.output.care.get(o))
+        out_dc[o].push_back(base);
+      else if (t.output.value.get(o))
+        out_on[o].push_back(base);
+    }
+  }
+
+  for (std::size_t b = 0; b < nb; ++b)
+    tl.next_state[b] = espresso_lite(ns_on[b], global_dc, nv, espresso);
+  for (std::size_t o = 0; o < out_on.size(); ++o) {
+    Cover dc = global_dc;
+    dc.insert(dc.end(), out_dc[o].begin(), out_dc[o].end());
+    tl.outputs[o] = espresso_lite(out_on[o], dc, nv, espresso);
+  }
+  return tl;
+}
+
+Netlist covers_to_netlist(const Fsm& fsm, const Encoding& enc,
+                          const TwoLevel& tl, bool add_reset,
+                          const std::string& name) {
+  const std::size_t ni = static_cast<std::size_t>(fsm.num_inputs());
+  const std::size_t nb = static_cast<std::size_t>(enc.bits);
+  Netlist nl(name);
+
+  std::vector<NodeId> pis;
+  for (std::size_t i = 0; i < ni; ++i)
+    pis.push_back(nl.add_input("x" + std::to_string(i)));
+  const NodeId rst = add_reset ? nl.add_input("rst") : kNoNode;
+
+  // FFs created with a placeholder driver; patched after covers build.
+  std::vector<NodeId> ffs;
+  const NodeId placeholder =
+      pis.empty() ? nl.add_const(false, "ph") : pis[0];
+  for (std::size_t b = 0; b < nb; ++b)
+    ffs.push_back(
+        nl.add_dff("st" + std::to_string(b), placeholder, FfInit::kUnknown));
+
+  // Literal accessors with shared inverters, created lazily.
+  std::vector<NodeId> inv_cache(ni + nb, kNoNode);
+  auto var_node = [&](std::size_t v) {
+    return v < ni ? pis[v] : ffs[v - ni];
+  };
+  auto literal = [&](std::size_t v, bool positive) -> NodeId {
+    if (positive) return var_node(v);
+    NodeId& slot = inv_cache[v];
+    if (slot == kNoNode)
+      slot = nl.add_gate(GateType::kNot, "n" + std::to_string(v),
+                         {var_node(v)});
+    return slot;
+  };
+
+  NodeId const0 = kNoNode, const1 = kNoNode;
+  auto get_const = [&](bool v) -> NodeId {
+    NodeId& slot = v ? const1 : const0;
+    if (slot == kNoNode) slot = nl.add_const(v, v ? "one" : "zero");
+    return slot;
+  };
+
+  int gate_seq = 0;
+  auto build_cover = [&](const Cover& cover) -> NodeId {
+    std::vector<NodeId> terms;
+    for (const auto& cube : cover) {
+      std::vector<NodeId> lits;
+      for (std::size_t v = cube.care.find_first(); v < cube.care.size();
+           v = cube.care.find_next(v))
+        lits.push_back(literal(v, cube.value.get(v)));
+      if (lits.empty()) return get_const(true);  // tautology cube
+      if (lits.size() == 1) {
+        terms.push_back(lits[0]);
+      } else {
+        terms.push_back(nl.add_gate(GateType::kAnd,
+                                    "p" + std::to_string(gate_seq++), lits));
+      }
+    }
+    if (terms.empty()) return get_const(false);
+    if (terms.size() == 1) return terms[0];
+    return nl.add_gate(GateType::kOr, "s" + std::to_string(gate_seq++),
+                       terms);
+  };
+
+  // Next-state logic with the reset line folded in:
+  //   d_b = rst ? reset_code_b : ns_b
+  // i.e. OR(ns_b, rst) where the reset code bit is 1, AND(ns_b, !rst)
+  // where it is 0. Minimum-bit encoders place reset at all-zero so the OR
+  // branch is exercised only by one-hot/ablation encodings.
+  const BitVec& reset_code =
+      enc.code[static_cast<std::size_t>(fsm.reset_state())];
+  NodeId not_rst = kNoNode;
+  for (std::size_t b = 0; b < nb; ++b) {
+    NodeId d = build_cover(tl.next_state[b]);
+    if (add_reset) {
+      if (reset_code.get(b)) {
+        d = nl.add_gate(GateType::kOr, "rd" + std::to_string(b), {d, rst});
+      } else {
+        if (not_rst == kNoNode)
+          not_rst = nl.add_gate(GateType::kNot, "nrst", {rst});
+        d = nl.add_gate(GateType::kAnd, "rd" + std::to_string(b),
+                        {d, not_rst});
+      }
+    }
+    nl.set_fanin(ffs[b], 0, d);
+  }
+  for (std::size_t o = 0; o < tl.outputs.size(); ++o)
+    nl.add_output("z" + std::to_string(o), build_cover(tl.outputs[o]));
+
+  SATPG_CHECK(nl.validate() == std::nullopt);
+  return nl;
+}
+
+SynthResult synthesize(const Fsm& fsm, const SynthOptions& opts) {
+  SynthResult result{Netlist(""), Encoding{}, minimize_fsm(fsm), ""};
+  const Fsm& m = result.minimized;
+  result.encoding = assign_states(m, opts.encode, opts.seed);
+  const TwoLevel tl = build_two_level(
+      m, result.encoding, script_espresso_options(opts.script, opts.seed));
+  result.name = fsm.name() + std::string(encode_algo_suffix(opts.encode)) +
+                script_suffix(opts.script);
+  result.netlist =
+      covers_to_netlist(m, result.encoding, tl, opts.add_reset, result.name);
+  run_script(result.netlist, opts.script);
+  return result;
+}
+
+}  // namespace satpg

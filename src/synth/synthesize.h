@@ -1,0 +1,62 @@
+// Top-level sequential synthesis flow (the study's SIS substitute).
+//
+// Pipeline (mirrors the paper's §2.1):
+//   1. state minimization                      (fsm/minimize — "stamina")
+//   2. state assignment, minimum-bit           (synth/encode — "jedi")
+//   3. two-level covers for every next-state and output function, with
+//      unused state codes as external don't cares ("extract_seq_dc")
+//   4. espresso-style minimization per function
+//   5. two-level AND-OR netlist + explicit reset line
+//   6. multi-level script + tech map           (synth/scripts)
+//
+// The result powers up unknown; one cycle of rst=1 forces the all-zero
+// state, which is always the reset state's code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fsm/fsm.h"
+#include "netlist/netlist.h"
+#include "synth/cover.h"
+#include "synth/encode.h"
+#include "synth/scripts.h"
+
+namespace satpg {
+
+struct SynthOptions {
+  EncodeAlgo encode = EncodeAlgo::kCombined;
+  ScriptKind script = ScriptKind::kRugged;
+  bool add_reset = true;   ///< synthesize the explicit reset input "rst"
+  std::uint64_t seed = 1;  ///< espresso literal shuffling + encoder ties
+};
+
+struct SynthResult {
+  Netlist netlist;
+  Encoding encoding;
+  Fsm minimized;         ///< post-stamina machine actually implemented
+  std::string name;      ///< e.g. "s510.jc.sd" (paper naming convention)
+};
+
+/// Synthesize a mapped netlist from an FSM. Input/FF/output node names are
+/// "x<i>", "st<b>", "z<i>", plus "rst" when add_reset.
+SynthResult synthesize(const Fsm& fsm, const SynthOptions& opts);
+
+/// The two-level covers (ON minimized against DC) for each next-state bit
+/// and each primary output, over variables [0..ni) = inputs and
+/// [ni..ni+bits) = state bits. Exposed for tests and for the netlist
+/// generator.
+struct TwoLevel {
+  std::size_t num_vars = 0;
+  std::vector<Cover> next_state;  ///< per state bit
+  std::vector<Cover> outputs;     ///< per primary output
+};
+TwoLevel build_two_level(const Fsm& fsm, const Encoding& enc,
+                         const EspressoOptions& espresso);
+
+/// Build the AND-OR netlist from covers (pre-script form).
+Netlist covers_to_netlist(const Fsm& fsm, const Encoding& enc,
+                          const TwoLevel& tl, bool add_reset,
+                          const std::string& name);
+
+}  // namespace satpg

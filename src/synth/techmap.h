@@ -1,0 +1,30 @@
+// Technology mapping onto the mcnc_lite library.
+//
+// Input: a structurally arbitrary netlist (wide AND/OR gates from two-level
+// covers, NOT/BUF chains, constants). Output: a netlist whose every gate is
+// a library cell (fan-in ≤ 4) with delay/area annotated.
+//
+// Passes:
+//   1. constant propagation + double-inverter elimination,
+//   2. fan-in decomposition of wide AND/OR gates — balanced trees in delay
+//      mode (shorter critical path), linear chains in area mode,
+//   3. NOT(AND)→NAND / NOT(OR)→NOR merging (single-fanout inverters only),
+//   4. structural sharing of identical gates (area mode only),
+//   5. dead-gate sweep + library annotation.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace satpg {
+
+struct TechMapOptions {
+  bool area_mode = false;  ///< chains + sharing (rugged) vs. balanced (delay)
+};
+
+void tech_map(Netlist& nl, const TechMapOptions& opts);
+
+/// Longest register-to-register / PI-to-PO combinational delay using the
+/// node delay annotations (the paper's "delay (nsec)" column).
+double critical_path_delay(const Netlist& nl);
+
+}  // namespace satpg

@@ -1,0 +1,227 @@
+// Tests for src/analysis: sequential depth, cycle
+// census (paper Figure 2 semantics), BDD reachability, and the Theorem 2-4
+// retiming-invariance properties over the synthesized suite.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/reach.h"
+#include "analysis/structure.h"
+#include "fsm/mcnc_suite.h"
+#include "netlist/netlist.h"
+#include "retime/retime.h"
+#include "synth/synthesize.h"
+
+namespace satpg {
+namespace {
+
+Netlist figure2_circuit() {
+  Netlist nl("fig2");
+  const NodeId a = nl.add_input("a");
+  const NodeId q2 = nl.add_dff("Q2", a, FfInit::kZero);
+  const NodeId g1 = nl.add_gate(GateType::kAnd, "G1", {q2, a});
+  const NodeId gnot = nl.add_gate(GateType::kNot, "Gnot", {q2});
+  const NodeId g2 = nl.add_gate(GateType::kAnd, "G2", {gnot, a});
+  const NodeId g3 = nl.add_gate(GateType::kOr, "G3", {g1, g2});
+  const NodeId q1 = nl.add_dff("Q1", g3, FfInit::kZero);
+  const NodeId gbuf = nl.add_gate(GateType::kBuf, "Gbuf", {q1});
+  nl.set_fanin(q2, 0, gbuf);
+  nl.add_output("o", gbuf);
+  return nl;
+}
+
+TEST(SeqDepthTest, Figure2DepthIsOne) {
+  // Every PI->PO path funnels through Gbuf exactly once, so at most the Q1
+  // register can be crossed: a -> G1 -> G3 -> [Q1] -> Gbuf -> o. Reaching
+  // Q2 requires leaving Gbuf, and the only way back to the PO revisits it.
+  const auto r = max_sequential_depth(figure2_circuit());
+  EXPECT_FALSE(r.saturated);
+  EXPECT_EQ(r.max_depth, 1);
+}
+
+TEST(SeqDepthTest, ChainDepthCountsAllFfs) {
+  // in -> FF -> FF -> FF -> out: depth 3.
+  Netlist nl("chain");
+  const NodeId in = nl.add_input("in");
+  NodeId prev = in;
+  for (int i = 0; i < 3; ++i) {
+    const NodeId buf = nl.add_gate(GateType::kBuf, "b" + std::to_string(i),
+                                   {prev});
+    prev = nl.add_dff("q" + std::to_string(i), buf, FfInit::kZero);
+  }
+  nl.add_output("o", prev);
+  const auto r = max_sequential_depth(nl);
+  EXPECT_EQ(r.max_depth, 3);
+}
+
+TEST(SeqDepthTest, PicksLongerBranch) {
+  // Two parallel paths: one with 1 FF, one with 2 FFs.
+  Netlist nl("branch");
+  const NodeId in = nl.add_input("in");
+  const NodeId q1 = nl.add_dff("q1", in, FfInit::kZero);
+  const NodeId q2a = nl.add_dff("q2a", in, FfInit::kZero);
+  const NodeId q2b = nl.add_dff("q2b", q2a, FfInit::kZero);
+  const NodeId merge = nl.add_gate(GateType::kOr, "m", {q1, q2b});
+  nl.add_output("o", merge);
+  EXPECT_EQ(max_sequential_depth(nl).max_depth, 2);
+}
+
+TEST(CycleCensusTest, Figure2CountsOneCycleBeforeRetiming) {
+  const Netlist nl = figure2_circuit();
+  const CycleCensus c = count_cycles(nl);
+  EXPECT_FALSE(c.saturated);
+  // Two structural loops share the FF subset {Q1,Q2}: census counts 1.
+  EXPECT_EQ(c.num_cycles, 1);
+  EXPECT_EQ(c.max_cycle_length, 2);
+}
+
+TEST(CycleCensusTest, Figure2CountsTwoCyclesAfterBackwardMove) {
+  Netlist nl = figure2_circuit();
+  move_backward(nl, nl.find("G3"));
+  const CycleCensus c = count_cycles(nl);
+  // Q1 split into Q1a/Q1b: subsets {Q1a,Q2} and {Q1b,Q2}.
+  EXPECT_EQ(c.num_cycles, 2);
+  EXPECT_EQ(c.max_cycle_length, 2);
+}
+
+TEST(CycleCensusTest, SelfLoopCounts) {
+  Netlist nl("self");
+  const NodeId in = nl.add_input("in");
+  const NodeId q = nl.add_dff("q", in, FfInit::kZero);
+  const NodeId g = nl.add_gate(GateType::kXor, "g", {q, in});
+  nl.set_fanin(q, 0, g);
+  nl.add_output("o", g);
+  const CycleCensus c = count_cycles(nl);
+  EXPECT_EQ(c.num_cycles, 1);
+  EXPECT_EQ(c.max_cycle_length, 1);
+}
+
+TEST(CycleCensusTest, AcyclicHasNone) {
+  Netlist nl("acyc");
+  const NodeId in = nl.add_input("in");
+  const NodeId q = nl.add_dff("q", in, FfInit::kZero);
+  nl.add_output("o", q);
+  const CycleCensus c = count_cycles(nl);
+  EXPECT_EQ(c.num_cycles, 0);
+  EXPECT_EQ(c.max_cycle_length, 0);
+}
+
+// ---- reachability ----
+
+// mod-3 counter: 00 -> 01 -> 10 -> 00 (state 11 invalid).
+Netlist mod3_counter() {
+  Netlist nl("mod3");
+  const NodeId tie = nl.add_input("tie");  // unused input keeps PIs nonempty
+  const NodeId q0 = nl.add_dff("q0", tie, FfInit::kZero);
+  const NodeId q1 = nl.add_dff("q1", tie, FfInit::kZero);
+  const NodeId n0 = nl.add_gate(GateType::kNot, "n0", {q0});
+  const NodeId n1 = nl.add_gate(GateType::kNot, "n1", {q1});
+  const NodeId d0 = nl.add_gate(GateType::kAnd, "d0", {n0, n1});
+  nl.set_fanin(q0, 0, d0);
+  nl.set_fanin(q1, 0, q0);
+  nl.add_output("o", q1);
+  return nl;
+}
+
+TEST(ReachTest, Mod3CounterDensity) {
+  const auto r = compute_reachable(mod3_counter());
+  EXPECT_EQ(r.num_dffs, 2);
+  EXPECT_DOUBLE_EQ(r.num_valid, 3.0);
+  EXPECT_DOUBLE_EQ(r.total_states, 4.0);
+  EXPECT_DOUBLE_EQ(r.density, 0.75);
+  ASSERT_TRUE(r.enumerated);
+  std::set<std::string> states;
+  for (const auto& s : r.states) states.insert(s.to_string());
+  EXPECT_EQ(states, (std::set<std::string>{"00", "01", "10"}));
+}
+
+TEST(ReachTest, UnknownInitMakesAllStatesValid) {
+  Netlist nl = mod3_counter();
+  for (NodeId ff : nl.dffs()) nl.node_mut(ff).init = FfInit::kUnknown;
+  const auto r = compute_reachable(nl);
+  // Power-up anywhere: 11 is a valid start (transitions to 00 next).
+  EXPECT_DOUBLE_EQ(r.num_valid, 4.0);
+}
+
+TEST(ReachTest, SynthesizedCircuitValidStatesMatchFsm) {
+  FsmGenSpec spec;
+  for (const auto& s : mcnc_specs())
+    if (s.name == std::string("dk16")) spec = s;
+  const Fsm fsm = generate_control_fsm(scaled_spec(spec, 0.6));
+  const SynthResult res = synthesize(fsm, {});
+  const auto r = compute_reachable(res.netlist);
+  // Valid states == minimized machine states (every state reachable), and
+  // the explicit set is exactly the encoding's codes.
+  EXPECT_DOUBLE_EQ(r.num_valid,
+                   static_cast<double>(res.minimized.num_states()));
+  ASSERT_TRUE(r.enumerated);
+  std::set<std::string> got;
+  for (const auto& s : r.states) got.insert(s.to_string());
+  std::set<std::string> want;
+  for (const auto& c : res.encoding.code) want.insert(c.to_string());
+  EXPECT_EQ(got, want);
+}
+
+TEST(ReachTest, RetimedCircuitDensityDrops) {
+  FsmGenSpec spec;
+  for (const auto& s : mcnc_specs())
+    if (s.name == std::string("s820")) spec = s;
+  const Fsm fsm = generate_control_fsm(scaled_spec(spec, 0.5));
+  SynthOptions opts;
+  opts.script = ScriptKind::kDelay;
+  const SynthResult res = synthesize(fsm, opts);
+  const RetimeResult rt = retime_to_dff_target(res.netlist, 3 * res.netlist.num_dffs(), res.name + ".re");
+  const auto orig = compute_reachable(res.netlist);
+  const auto re = compute_reachable(rt.netlist);
+  EXPECT_GT(re.total_states, orig.total_states);
+  EXPECT_LT(re.density, orig.density);
+  // Valid states grow slower than total states (paper §5).
+  EXPECT_GE(re.num_valid, orig.num_valid);
+}
+
+// ---- Theorems 2-4 over the synthesized suite ----
+
+class TheoremInvariance : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TheoremInvariance, DepthAndCycleLengthSurviveRetiming) {
+  FsmGenSpec spec;
+  for (const auto& s : mcnc_specs())
+    if (s.name == std::string(GetParam())) spec = s;
+  const Fsm fsm = generate_control_fsm(scaled_spec(spec, 0.45));
+  SynthOptions opts;
+  opts.script = ScriptKind::kDelay;
+  const SynthResult res = synthesize(fsm, opts);
+  const RetimeResult rt = retime_to_dff_target(res.netlist, 3 * res.netlist.num_dffs(), res.name + ".re");
+
+  // Theorem 2: max sequential depth invariant. A capped search yields a
+  // lower bound, so saturation weakens the check to <= (the theorem itself
+  // supplies the other direction).
+  const auto d0 = max_sequential_depth(res.netlist);
+  const auto d1 = max_sequential_depth(rt.netlist);
+  ASSERT_FALSE(d0.saturated);
+  if (d1.saturated)
+    EXPECT_LE(d1.max_depth, d0.max_depth);
+  else
+    EXPECT_EQ(d0.max_depth, d1.max_depth);
+
+  // Theorem 4: max cycle length invariant. Theorem 3 + Figure 2: the
+  // subset census may only grow.
+  const auto c0 = count_cycles(res.netlist);
+  const auto c1 = count_cycles(rt.netlist);
+  ASSERT_FALSE(c0.saturated);
+  ASSERT_FALSE(c1.saturated);
+  EXPECT_EQ(c0.max_cycle_length, c1.max_cycle_length);
+  EXPECT_GE(c1.num_cycles, c0.num_cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, TheoremInvariance,
+                         ::testing::Values("dk16", "pma", "s820", "s832"));
+
+TEST(DensityTest, WrapperMatchesFullResult) {
+  const Netlist nl = mod3_counter();
+  EXPECT_DOUBLE_EQ(density_of_encoding(nl), compute_reachable(nl).density);
+}
+
+}  // namespace
+}  // namespace satpg

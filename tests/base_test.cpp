@@ -1,0 +1,204 @@
+// Unit tests for src/base: BitVec, Rng, string utilities, Table.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "base/bitvec.h"
+#include "base/rng.h"
+#include "base/strutil.h"
+#include "base/table.h"
+
+namespace satpg {
+namespace {
+
+TEST(BitVecTest, DefaultIsEmpty) {
+  BitVec v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.none());
+}
+
+TEST(BitVecTest, SetGetAcrossWordBoundary) {
+  BitVec v(130);
+  for (std::size_t i : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    EXPECT_FALSE(v.get(i));
+    v.set(i, true);
+    EXPECT_TRUE(v.get(i));
+  }
+  EXPECT_EQ(v.count(), 8u);
+  v.set(64, false);
+  EXPECT_FALSE(v.get(64));
+  EXPECT_EQ(v.count(), 7u);
+}
+
+TEST(BitVecTest, FromStringMsbFirst) {
+  const BitVec v = BitVec::from_string("1010");
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_TRUE(v.get(3));
+  EXPECT_FALSE(v.get(2));
+  EXPECT_TRUE(v.get(1));
+  EXPECT_FALSE(v.get(0));
+  EXPECT_EQ(v.to_string(), "1010");
+}
+
+TEST(BitVecTest, FromValueRoundTrip) {
+  for (std::uint64_t x : {0ull, 1ull, 5ull, 255ull, 0xdeadbeefull}) {
+    EXPECT_EQ(BitVec::from_value(40, x).to_u64(), x);
+  }
+}
+
+TEST(BitVecTest, LogicOps) {
+  const BitVec a = BitVec::from_string("1100");
+  const BitVec b = BitVec::from_string("1010");
+  EXPECT_EQ((a & b).to_string(), "1000");
+  EXPECT_EQ((a | b).to_string(), "1110");
+  EXPECT_EQ((a ^ b).to_string(), "0110");
+  EXPECT_EQ((~a).to_string(), "0011");
+}
+
+TEST(BitVecTest, ComplementTrimsTail) {
+  BitVec v(70);
+  const BitVec c = ~v;
+  EXPECT_EQ(c.count(), 70u);  // no phantom bits beyond size
+}
+
+TEST(BitVecTest, FindFirstNext) {
+  BitVec v(100);
+  v.set(3, true);
+  v.set(64, true);
+  v.set(99, true);
+  EXPECT_EQ(v.find_first(), 3u);
+  EXPECT_EQ(v.find_next(3), 64u);
+  EXPECT_EQ(v.find_next(64), 99u);
+  EXPECT_EQ(v.find_next(99), 100u);
+}
+
+TEST(BitVecTest, SubsetAndOrdering) {
+  const BitVec a = BitVec::from_string("0100");
+  const BitVec b = BitVec::from_string("0110");
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a < b);
+}
+
+TEST(BitVecTest, HashDistinguishes) {
+  std::unordered_set<BitVec, BitVecHash> set;
+  for (std::uint64_t i = 0; i < 200; ++i)
+    set.insert(BitVec::from_value(16, i));
+  EXPECT_EQ(set.size(), 200u);
+}
+
+TEST(BitVecTest, ResizeGrowsWithValue) {
+  BitVec v(3);
+  v.set(1, true);
+  v.resize(10, false);
+  EXPECT_EQ(v.count(), 1u);
+  EXPECT_TRUE(v.get(1));
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(RngTest, NextIntCoversRange) {
+  Rng rng(9);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_int(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ForkIndependent) {
+  Rng a(5);
+  Rng child = a.fork(1);
+  Rng b(5);
+  Rng child2 = b.fork(1);
+  EXPECT_EQ(child.next_u64(), child2.next_u64());  // fork deterministic
+}
+
+TEST(StrUtilTest, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StrUtilTest, SplitWs) {
+  const auto t = split_ws("  a bb\t ccc \n");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], "a");
+  EXPECT_EQ(t[1], "bb");
+  EXPECT_EQ(t[2], "ccc");
+}
+
+TEST(StrUtilTest, SplitKeepsEmpty) {
+  const auto t = split("a,,b", ',');
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[1], "");
+}
+
+TEST(StrUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("INPUT(a)", "INPUT"));
+  EXPECT_FALSE(starts_with("IN", "INPUT"));
+  EXPECT_TRUE(ends_with("x.re", ".re"));
+  EXPECT_FALSE(ends_with("re", ".re"));
+}
+
+TEST(StrUtilTest, Strprintf) {
+  EXPECT_EQ(strprintf("%d-%s", 42, "x"), "42-x");
+}
+
+TEST(StrUtilTest, FormatDensityMatchesPaperStyle) {
+  EXPECT_EQ(format_density(0.84), "0.84");
+  EXPECT_EQ(format_density(0.73), "0.73");
+  EXPECT_EQ(format_density(2.0e-4), "2.0E-4");
+  EXPECT_EQ(format_density(1.8e-6), "1.8E-6");
+}
+
+TEST(StrUtilTest, FormatCountMatchesPaperStyle) {
+  EXPECT_EQ(format_count(32), "32");
+  EXPECT_EQ(format_count(2048), "2048");
+  EXPECT_EQ(format_count(524288), "5.24E5");
+  EXPECT_EQ(format_count(268435456), "2.68E8");
+}
+
+TEST(TableTest, AlignsAndCounts) {
+  Table t({"circuit", "#DFF"});
+  t.add_row({"dk16.ji.sd", "5"});
+  t.add_row({"dk16.ji.sd.re", "19"});
+  EXPECT_EQ(t.num_rows(), 2u);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("dk16.ji.sd.re"), std::string::npos);
+  EXPECT_NE(s.find("#DFF"), std::string::npos);
+  // Numeric column right-aligned: " 5" appears with leading spaces.
+  EXPECT_NE(s.find("   5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace satpg

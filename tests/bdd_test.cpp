@@ -1,0 +1,220 @@
+// Unit + property tests for the ROBDD package, including a brute-force
+// cross-check of every operator against explicit truth tables.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "bdd/bdd.h"
+
+namespace satpg {
+namespace {
+
+TEST(BddTest, Terminals) {
+  BddMgr m(4);
+  EXPECT_NE(m.zero(), m.one());
+  EXPECT_EQ(m.bdd_not(m.zero()), m.one());
+  EXPECT_EQ(m.bdd_not(m.one()), m.zero());
+}
+
+TEST(BddTest, VarAndNvar) {
+  BddMgr m(4);
+  const BddRef x = m.var(2);
+  EXPECT_EQ(m.bdd_not(x), m.nvar(2));
+  EXPECT_EQ(m.bdd_and(x, m.nvar(2)), m.zero());
+  EXPECT_EQ(m.bdd_or(x, m.nvar(2)), m.one());
+}
+
+TEST(BddTest, CanonicityHashConsing) {
+  BddMgr m(4);
+  const BddRef a = m.bdd_and(m.var(0), m.var(1));
+  const BddRef b = m.bdd_and(m.var(1), m.var(0));
+  EXPECT_EQ(a, b);
+  const BddRef c = m.bdd_or(m.bdd_and(m.var(0), m.var(1)),
+                            m.bdd_and(m.var(0), m.bdd_not(m.var(1))));
+  EXPECT_EQ(c, m.var(0));  // reduction collapses
+}
+
+TEST(BddTest, EvalMatchesSemantics) {
+  BddMgr m(3);
+  // f = (x0 & x1) | !x2
+  const BddRef f = m.bdd_or(m.bdd_and(m.var(0), m.var(1)), m.nvar(2));
+  for (unsigned bits = 0; bits < 8; ++bits) {
+    const std::vector<bool> a{(bits & 1) != 0, (bits & 2) != 0,
+                              (bits & 4) != 0};
+    const bool expect = (a[0] && a[1]) || !a[2];
+    EXPECT_EQ(m.eval(f, a), expect) << bits;
+  }
+}
+
+TEST(BddTest, SatCount) {
+  BddMgr m(4);
+  EXPECT_DOUBLE_EQ(m.sat_count(m.one(), 4), 16.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(m.zero(), 4), 0.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(m.var(1), 4), 8.0);
+  const BddRef f = m.bdd_and(m.var(0), m.var(3));
+  EXPECT_DOUBLE_EQ(m.sat_count(f, 4), 4.0);
+  const BddRef g = m.bdd_xor(m.var(1), m.var(2));
+  EXPECT_DOUBLE_EQ(m.sat_count(g, 4), 8.0);
+}
+
+TEST(BddTest, ExistsQuantification) {
+  BddMgr m(3);
+  // f = x0 & x1; exists x1 . f = x0
+  const BddRef f = m.bdd_and(m.var(0), m.var(1));
+  EXPECT_EQ(m.exists(f, {1}), m.var(0));
+  // exists x0,x1 . f = true
+  EXPECT_EQ(m.exists(f, {0, 1}), m.one());
+  // exists over non-support var is identity
+  EXPECT_EQ(m.exists(f, {2}), f);
+}
+
+TEST(BddTest, AndExistsEqualsComposition) {
+  Rng rng(3);
+  BddMgr m(8);
+  // Property check on random functions: and_exists(f,g,V) == exists(f&g,V).
+  auto random_fn = [&m, &rng]() {
+    BddRef f = rng.next_bool() ? m.one() : m.zero();
+    for (int i = 0; i < 6; ++i) {
+      const BddRef lit = rng.next_bool()
+                             ? m.var(static_cast<unsigned>(rng.next_int(0, 7)))
+                             : m.nvar(static_cast<unsigned>(rng.next_int(0, 7)));
+      switch (rng.next_int(0, 2)) {
+        case 0:
+          f = m.bdd_and(f, lit);
+          break;
+        case 1:
+          f = m.bdd_or(f, lit);
+          break;
+        default:
+          f = m.bdd_xor(f, lit);
+      }
+    }
+    return f;
+  };
+  for (int round = 0; round < 50; ++round) {
+    const BddRef f = random_fn();
+    const BddRef g = random_fn();
+    const std::vector<unsigned> qv{1, 3, 5};
+    EXPECT_EQ(m.and_exists(f, g, qv), m.exists(m.bdd_and(f, g), qv));
+  }
+}
+
+TEST(BddTest, RenameMonotoneShift) {
+  BddMgr m(6);
+  // f over odd variables 1,3,5 -> shift down to 0,2,4.
+  const BddRef f =
+      m.bdd_or(m.bdd_and(m.var(1), m.var(3)), m.nvar(5));
+  std::vector<unsigned> map{0, 0, 2, 2, 4, 4};
+  const BddRef g = m.rename(f, map);
+  const BddRef expect =
+      m.bdd_or(m.bdd_and(m.var(0), m.var(2)), m.nvar(4));
+  EXPECT_EQ(g, expect);
+}
+
+TEST(BddTest, Support) {
+  BddMgr m(5);
+  const BddRef f = m.bdd_xor(m.var(0), m.var(4));
+  const auto sup = m.support(f);
+  ASSERT_EQ(sup.size(), 2u);
+  EXPECT_EQ(sup[0], 0u);
+  EXPECT_EQ(sup[1], 4u);
+}
+
+TEST(BddTest, EnumerateSmallSets) {
+  BddMgr m(3);
+  // f = x0 XOR x1 (x2 unused): assignments over {x0,x1} = {01, 10}.
+  const BddRef f = m.bdd_xor(m.var(0), m.var(1));
+  const auto sols = m.enumerate(f, {0, 1});
+  ASSERT_EQ(sols.size(), 2u);
+  EXPECT_EQ(sols[0], 0b01u);
+  EXPECT_EQ(sols[1], 0b10u);
+}
+
+TEST(BddTest, EnumerateWithSkippedVariable) {
+  BddMgr m(3);
+  const BddRef f = m.var(0);  // x1 free
+  const auto sols = m.enumerate(f, {0, 1});
+  // {x0=1,x1=0} and {x0=1,x1=1}
+  ASSERT_EQ(sols.size(), 2u);
+  EXPECT_EQ(sols[0], 0b01u);
+  EXPECT_EQ(sols[1], 0b11u);
+}
+
+TEST(BddTest, NodeLimitThrows) {
+  BddMgr m(24, /*node_limit=*/64);
+  BddRef f = m.one();
+  EXPECT_THROW(
+      {
+        // Build a function whose BDD needs many nodes.
+        for (unsigned i = 0; i + 1 < 24; i += 2)
+          f = m.bdd_or(f == m.one() ? m.bdd_and(m.var(i), m.var(i + 1)) : f,
+                       m.bdd_and(m.var(i), m.var(i + 1)));
+      },
+      BddOverflow);
+}
+
+// Brute-force cross-check: random expression DAGs evaluated both through
+// the BDD and directly, over all 2^6 assignments.
+TEST(BddTest, RandomExpressionsAgreeWithTruthTable) {
+  Rng rng(99);
+  const unsigned kVars = 6;
+  for (int round = 0; round < 30; ++round) {
+    BddMgr m(kVars);
+    // Random RPN-ish expression over literals.
+    std::vector<BddRef> stack;
+    std::vector<std::vector<bool>> truth;  // parallel truth columns
+    auto lit_column = [&](unsigned v, bool neg) {
+      std::vector<bool> col(64);
+      for (unsigned a = 0; a < 64; ++a)
+        col[a] = (((a >> v) & 1u) != 0) != neg;
+      return col;
+    };
+    for (int step = 0; step < 12; ++step) {
+      if (stack.size() < 2 || rng.next_bool()) {
+        const unsigned v = static_cast<unsigned>(rng.next_int(0, 5));
+        const bool neg = rng.next_bool();
+        stack.push_back(neg ? m.nvar(v) : m.var(v));
+        truth.push_back(lit_column(v, neg));
+      } else {
+        const BddRef b = stack.back();
+        stack.pop_back();
+        const BddRef a = stack.back();
+        stack.pop_back();
+        auto tb = truth.back();
+        truth.pop_back();
+        auto ta = truth.back();
+        truth.pop_back();
+        std::vector<bool> tc(64);
+        BddRef c;
+        switch (rng.next_int(0, 2)) {
+          case 0:
+            c = m.bdd_and(a, b);
+            for (int i = 0; i < 64; ++i) tc[i] = ta[i] && tb[i];
+            break;
+          case 1:
+            c = m.bdd_or(a, b);
+            for (int i = 0; i < 64; ++i) tc[i] = ta[i] || tb[i];
+            break;
+          default:
+            c = m.bdd_xor(a, b);
+            for (int i = 0; i < 64; ++i) tc[i] = ta[i] != tb[i];
+        }
+        stack.push_back(c);
+        truth.push_back(std::move(tc));
+      }
+    }
+    const BddRef f = stack.back();
+    const auto& tf = truth.back();
+    for (unsigned a = 0; a < 64; ++a) {
+      std::vector<bool> assign(kVars);
+      for (unsigned v = 0; v < kVars; ++v) assign[v] = (a >> v) & 1u;
+      EXPECT_EQ(m.eval(f, assign), tf[a]);
+    }
+    // sat_count agrees with the truth table too.
+    int ones = 0;
+    for (unsigned a = 0; a < 64; ++a) ones += tf[a] ? 1 : 0;
+    EXPECT_DOUBLE_EQ(m.sat_count(f, kVars), static_cast<double>(ones));
+  }
+}
+
+}  // namespace
+}  // namespace satpg

@@ -1,0 +1,133 @@
+// Tests for the fault model: enumeration and equivalence collapsing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "fault/fault.h"
+#include "netlist/netlist.h"
+
+namespace satpg {
+namespace {
+
+Netlist tiny() {
+  // a,b -> AND g -> NOT n -> PO; plus a DFF loop off g.
+  Netlist nl("tiny");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g = nl.add_gate(GateType::kAnd, "g", {a, b});
+  const NodeId n = nl.add_gate(GateType::kNot, "n", {g});
+  const NodeId q = nl.add_dff("q", n, FfInit::kZero);
+  (void)q;
+  nl.add_output("o", n);
+  return nl;
+}
+
+TEST(FaultTest, EnumerationCoversAllLines) {
+  const Netlist nl = tiny();
+  const auto faults = enumerate_faults(nl);
+  // Stems: a, b, g, n, q (2 each) = 10. Pins: g(2), n(1), q(1), o(1) = 5
+  // lines * 2 = 10. Total 20.
+  EXPECT_EQ(faults.size(), 20u);
+  std::set<Fault> unique(faults.begin(), faults.end());
+  EXPECT_EQ(unique.size(), faults.size());
+}
+
+TEST(FaultTest, NamesAreReadable) {
+  const Netlist nl = tiny();
+  const Fault f{nl.find("g"), 0, true};
+  const std::string name = fault_name(nl, f);
+  EXPECT_NE(name.find("g"), std::string::npos);
+  EXPECT_NE(name.find("s-a-1"), std::string::npos);
+  EXPECT_NE(name.find("in0"), std::string::npos);
+}
+
+TEST(CollapseTest, ClassSizesSumToUniverse) {
+  const Netlist nl = tiny();
+  const auto all = enumerate_faults(nl);
+  const auto collapsed = collapse_faults(nl);
+  std::size_t total = 0;
+  for (const auto& cf : collapsed)
+    total += static_cast<std::size_t>(cf.class_size);
+  EXPECT_EQ(total, all.size());
+  EXPECT_LT(collapsed.size(), all.size());  // something must collapse
+}
+
+TEST(CollapseTest, AndGateRuleApplies) {
+  // AND input s-a-0 == output s-a-0: the three faults (g,0,0), (g,1,0),
+  // (g,-1,0) share one class (whose representative may even sit on the
+  // PI stems a/b, which chain-merge in through their single fanout).
+  const Netlist nl = tiny();
+  const NodeId g = nl.find("g");
+  const auto collapsed = collapse_faults(nl);
+  int reps_on_g_sa0_family = 0;
+  for (const auto& cf : collapsed) {
+    const auto& f = cf.representative;
+    if (f.node == g && !f.stuck1) ++reps_on_g_sa0_family;
+  }
+  EXPECT_LE(reps_on_g_sa0_family, 1);
+  // The family is at least {a-sa0, b-sa0, g/in0-sa0, g/in1-sa0, g-sa0,
+  // n/in-sa0, n-sa1, ...}: some class must have size >= 5.
+  int max_class = 0;
+  for (const auto& cf : collapsed)
+    max_class = std::max(max_class, cf.class_size);
+  EXPECT_GE(max_class, 5);
+}
+
+TEST(CollapseTest, SingleFanoutStemMergesWithBranch) {
+  // g has a single fanout (n): g's stem faults merge with n's input pin
+  // faults — and through NOT, with n's output faults.
+  Netlist nl("chainy");
+  const NodeId a = nl.add_input("a");
+  const NodeId buf = nl.add_gate(GateType::kBuf, "buf", {a});
+  const NodeId inv = nl.add_gate(GateType::kNot, "inv", {buf});
+  nl.add_output("o", inv);
+  const auto collapsed = collapse_faults(nl);
+  // Universe: stems a/buf/inv (6) + pins buf,inv,o (6) = 12 faults.
+  // All of them chain-collapse into exactly 2 classes (one per polarity).
+  EXPECT_EQ(collapsed.size(), 2u);
+  std::size_t total = 0;
+  for (const auto& cf : collapsed)
+    total += static_cast<std::size_t>(cf.class_size);
+  EXPECT_EQ(total, 12u);
+}
+
+TEST(CollapseTest, MultiFanoutStemStaysSeparate) {
+  Netlist nl("fan");
+  const NodeId a = nl.add_input("a");
+  const NodeId g1 = nl.add_gate(GateType::kBuf, "g1", {a});
+  const NodeId g2 = nl.add_gate(GateType::kNot, "g2", {a});
+  nl.add_output("o1", g1);
+  nl.add_output("o2", g2);
+  const auto collapsed = collapse_faults(nl);
+  // a's stem must not merge with either branch (fanout = 2): classes
+  // include a-sa0/a-sa1 distinct from branch pin faults.
+  const NodeId an = nl.find("a");
+  int stem_classes = 0;
+  for (const auto& cf : collapsed)
+    if (cf.representative.node == an && cf.representative.pin == -1)
+      ++stem_classes;
+  EXPECT_EQ(stem_classes, 2);
+}
+
+TEST(CollapseTest, XorDoesNotCollapseInputs) {
+  Netlist nl("x");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g = nl.add_gate(GateType::kXor, "g", {a, b});
+  nl.add_output("o", g);
+  const auto all = enumerate_faults(nl);
+  const auto collapsed = collapse_faults(nl);
+  // Only stem/branch merges are possible (a->g, b->g single fanout).
+  // XOR input faults never merge with output faults.
+  for (const auto& cf : collapsed) {
+    if (cf.representative.node == g && cf.representative.pin >= 0) {
+      // Pin faults of g merged only with the PI stems (class of 2).
+      EXPECT_LE(cf.class_size, 2);
+    }
+  }
+  EXPECT_GT(collapsed.size(), all.size() / 3);
+}
+
+}  // namespace
+}  // namespace satpg

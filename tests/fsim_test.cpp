@@ -1,0 +1,127 @@
+// Tests for the sequential fault simulators: known detections on a hand
+// circuit, parallel == serial cross-checks on synthesized machines, state
+// tracking, and potential-detection semantics.
+#include <gtest/gtest.h>
+
+#include "atpg/engine.h"
+#include "base/rng.h"
+#include "fsim/fsim.h"
+#include "fsm/mcnc_suite.h"
+#include "synth/synthesize.h"
+
+namespace satpg {
+namespace {
+
+// 1-bit toggle with reset: q' = rst ? 0 : !q ; out = q.
+Netlist toggler() {
+  Netlist nl("tog");
+  const NodeId rst = nl.add_input("rst");
+  const NodeId q = nl.add_dff("q", rst, FfInit::kUnknown);
+  const NodeId nq = nl.add_gate(GateType::kNot, "nq", {q});
+  const NodeId nrst = nl.add_gate(GateType::kNot, "nrst", {rst});
+  const NodeId d = nl.add_gate(GateType::kAnd, "d", {nq, nrst});
+  nl.set_fanin(q, 0, d);
+  nl.add_output("o", q);
+  return nl;
+}
+
+TestSequence seq_of(std::initializer_list<int> rst_bits) {
+  TestSequence s;
+  for (int b : rst_bits) s.push_back({b ? V3::kOne : V3::kZero});
+  return s;
+}
+
+TEST(SerialFsimTest, DetectsStuckToggle) {
+  const Netlist nl = toggler();
+  // Fault: d s-a-0 (q never becomes 1). rst=1, then run: good q goes
+  // 0,1,0,1...; faulty stays 0. First difference at cycle 2 (q==1 good).
+  const Fault f{nl.find("d"), -1, false};
+  const int t = simulate_fault_serial(nl, f, seq_of({1, 0, 0, 0}));
+  EXPECT_EQ(t, 2);
+}
+
+TEST(SerialFsimTest, UndetectedWithoutExcitation) {
+  const Netlist nl = toggler();
+  const Fault f{nl.find("d"), -1, false};
+  // Holding reset forever: q stays 0 in both machines.
+  EXPECT_EQ(simulate_fault_serial(nl, f, seq_of({1, 1, 1, 1})), -1);
+}
+
+TEST(SerialFsimTest, XInitBlocksStrictDetection) {
+  const Netlist nl = toggler();
+  // Without reset the good machine stays X: strict detection impossible.
+  const Fault f{nl.find("d"), -1, false};
+  EXPECT_EQ(simulate_fault_serial(nl, f, seq_of({0, 0, 0, 0})), -1);
+}
+
+TEST(ParallelFsimTest, MatchesSerialOnToggler) {
+  const Netlist nl = toggler();
+  const auto faults = enumerate_faults(nl);
+  const TestSequence seq = seq_of({1, 0, 0, 0, 1, 0, 0});
+  const auto par = run_fault_simulation(nl, faults, {seq});
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const bool serial = simulate_fault_serial(nl, faults[i], seq) >= 0;
+    EXPECT_EQ(par.detected_at[i] >= 0, serial)
+        << fault_name(nl, faults[i]);
+  }
+}
+
+// Property: parallel == serial on a synthesized machine and random tests.
+class FsimEquiv : public ::testing::TestWithParam<int> {};
+
+TEST_P(FsimEquiv, ParallelMatchesSerial) {
+  FsmGenSpec spec;
+  for (const auto& s : mcnc_specs())
+    if (s.name == "dk16") spec = s;
+  spec.seed += static_cast<std::uint64_t>(GetParam());
+  const Fsm fsm = generate_control_fsm(scaled_spec(spec, 0.4));
+  const SynthResult res = synthesize(fsm, {});
+  const Netlist& nl = res.netlist;
+
+  const auto collapsed = collapse_faults(nl);
+  std::vector<Fault> faults;
+  for (const auto& cf : collapsed) faults.push_back(cf.representative);
+  const auto seqs = make_random_sequences(
+      nl, 3, 24, static_cast<std::uint64_t>(GetParam()) * 7 + 1);
+
+  const auto par = run_fault_simulation(nl, faults, seqs);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    int serial_at = -1;
+    for (std::size_t s = 0; s < seqs.size() && serial_at < 0; ++s)
+      if (simulate_fault_serial(nl, faults[i], seqs[s]) >= 0)
+        serial_at = static_cast<int>(s);
+    // Parallel drops faults at first detection, so indices must agree.
+    EXPECT_EQ(par.detected_at[i], serial_at) << fault_name(nl, faults[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FsimEquiv, ::testing::Range(0, 4));
+
+TEST(FsimTest, TracksGoodStates) {
+  const Netlist nl = toggler();
+  const auto r = run_fault_simulation(nl, {}, {seq_of({1, 0, 0, 0})});
+  // States entered after each cycle: 0, 1, 0, 1 -> {"0", "1"}.
+  EXPECT_EQ(r.good_states.size(), 2u);
+  EXPECT_TRUE(r.good_states.count("0"));
+  EXPECT_TRUE(r.good_states.count("1"));
+}
+
+TEST(FsimTest, PotentialDetectionFlagged) {
+  const Netlist nl = toggler();
+  // rst s-a-0: the faulty machine never initializes; its output stays X
+  // while the good machine shows 0/1 — a potential detection only.
+  const Fault f{nl.find("rst"), -1, false};
+  const auto r = run_fault_simulation(nl, {f}, {seq_of({1, 0, 0, 0})});
+  EXPECT_EQ(r.detected_at[0], -1);
+  EXPECT_EQ(r.potential_at[0], 0);
+}
+
+TEST(FsimTest, GradedCoverageWeightsClasses) {
+  std::vector<CollapsedFault> cf{{Fault{}, 3}, {Fault{}, 2}, {Fault{}, 5}};
+  const auto [det, total] = graded_coverage(cf, {0, -1, 2});
+  EXPECT_EQ(det, 8u);
+  EXPECT_EQ(total, 10u);
+}
+
+}  // namespace
+}  // namespace satpg

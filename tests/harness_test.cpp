@@ -1,0 +1,118 @@
+// Tests for the experiment harness: suite construction and caching, the
+// Table 2 population, and smoke runs of the table generators on a
+// scaled-down suite.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "harness/experiments.h"
+#include "harness/suite.h"
+
+namespace satpg {
+namespace {
+
+SuiteOptions tiny_suite_options(const char* tag) {
+  SuiteOptions opts;
+  opts.fsm_scale = 0.35;
+  opts.cache_dir =
+      (std::filesystem::temp_directory_path() /
+       (std::string("satpg_test_cache_") + tag))
+          .string();
+  std::filesystem::remove_all(opts.cache_dir);
+  return opts;
+}
+
+TEST(SuiteTest, Table2SpecsMatchPaperPopulation) {
+  const auto specs = table2_specs();
+  EXPECT_EQ(specs.size(), 16u);
+  EXPECT_EQ(specs[0].name(), "dk16.ji.sd");
+  EXPECT_EQ(specs[0].retimed_name(), "dk16.ji.sd.re");
+  EXPECT_EQ(specs[6].name(), "s510.jo.sr");
+  EXPECT_EQ(specs[6].paper_re_dffs, 28);
+  EXPECT_EQ(specs[15].name(), "scf.jo.sd");
+  // Paper #DFF columns preserved.
+  for (const auto& s : specs) {
+    EXPECT_GE(s.paper_orig_dffs, 5);
+    EXPECT_GT(s.paper_re_dffs, s.paper_orig_dffs);
+  }
+}
+
+TEST(SuiteTest, BuildsOriginalAndRetimedPair) {
+  Suite suite(tiny_suite_options("pair"));
+  const Netlist orig = suite.circuit("dk16.ji.sd");
+  EXPECT_EQ(orig.validate(), std::nullopt);
+  EXPECT_GT(orig.num_gates(), 0u);
+  const Netlist re = suite.circuit("dk16.ji.sd.re");
+  EXPECT_EQ(re.validate(), std::nullopt);
+  EXPECT_GT(re.num_dffs(), orig.num_dffs());
+  EXPECT_EQ(re.num_inputs(), orig.num_inputs());
+  EXPECT_EQ(re.num_outputs(), orig.num_outputs());
+}
+
+TEST(SuiteTest, CacheRoundTripsIdentically) {
+  const auto opts = tiny_suite_options("cache");
+  Suite first(opts);
+  const Netlist a = first.circuit("s820.jc.sr");
+  Suite second(opts);  // warm cache now
+  const Netlist b = second.circuit("s820.jc.sr");
+  EXPECT_EQ(a.num_gates(), b.num_gates());
+  EXPECT_EQ(a.num_dffs(), b.num_dffs());
+  EXPECT_EQ(a.num_inputs(), b.num_inputs());
+  // Library annotation survives the round trip.
+  for (std::size_t i = 0; i < b.num_nodes(); ++i) {
+    const auto& n = b.node(static_cast<NodeId>(i));
+    if (is_combinational(n.type)) EXPECT_GT(n.delay, 0.0);
+  }
+}
+
+TEST(SuiteTest, Table7LadderNamesResolve) {
+  Suite suite(tiny_suite_options("ladder"));
+  std::size_t prev = 0;
+  for (const auto& [suffix, dffs] : table7_ladder()) {
+    const Netlist nl = suite.circuit("s510.jo.sr" + suffix);
+    EXPECT_EQ(nl.validate(), std::nullopt);
+    EXPECT_GE(nl.num_dffs(), prev);  // ladder is monotone
+    prev = nl.num_dffs();
+  }
+}
+
+TEST(SuiteTest, UnknownNameAborts) {
+  Suite suite(tiny_suite_options("bad"));
+  EXPECT_DEATH(suite.circuit("nonexistent.xx.yy"), "unknown circuit");
+}
+
+TEST(ExperimentTest, Table1Runs) {
+  Suite suite(tiny_suite_options("t1"));
+  const Table t = run_table1_fsms(suite);
+  EXPECT_EQ(t.num_rows(), 6u);
+}
+
+TEST(ExperimentTest, EngineTableSmoke) {
+  Suite suite(tiny_suite_options("t2"));
+  ExperimentOptions opts;
+  opts.budget_scale = 0.1;  // keep the smoke test fast
+  // Restrict to one pair by running table3's shape through the public
+  // helper: use the full Table 2 but at tiny scale it stays tractable...
+  // still too slow for a unit test; exercise the options plumbing instead.
+  const auto run_opts = scaled_run_options(opts, EngineKind::kHitec);
+  EXPECT_EQ(run_opts.engine.eval_limit, 100'000u);
+  EXPECT_EQ(run_opts.engine.backtrack_limit, 150u);
+  const Netlist nl = suite.circuit("dk16.ji.sd");
+  const auto run = run_atpg(nl, run_opts);
+  EXPECT_GT(run.fault_coverage, 50.0);
+}
+
+TEST(ExperimentTest, FlagParser) {
+  const char* argv[] = {"bench", "--budget=2.5", "--seed=7",
+                        "--scale=0.5", "--cache=/tmp/x"};
+  const auto cfg =
+      parse_bench_flags(5, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(cfg.experiment.budget_scale, 2.5);
+  EXPECT_EQ(cfg.experiment.seed, 7u);
+  EXPECT_EQ(cfg.suite.seed, 7u);
+  EXPECT_DOUBLE_EQ(cfg.suite.fsm_scale, 0.5);
+  EXPECT_EQ(cfg.suite.cache_dir, "/tmp/x");
+}
+
+}  // namespace
+}  // namespace satpg

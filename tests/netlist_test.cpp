@@ -1,0 +1,198 @@
+// Unit tests for src/netlist: construction, invariants, topological order,
+// and .bench round-tripping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "netlist/bench_io.h"
+#include "netlist/netlist.h"
+
+namespace satpg {
+namespace {
+
+// A tiny 2-bit counter-ish machine used across tests:
+//   d0 = XOR(q0, en); d1 = XOR(q1, AND(q0, en)); out = AND(q0, q1)
+Netlist make_counter() {
+  Netlist nl("counter2");
+  const NodeId en = nl.add_input("en");
+  // Temporary drivers replaced below (DFFs need a driver at creation, so
+  // build q flops on `en` first, then retarget through set_fanin).
+  const NodeId q0 = nl.add_dff("q0", en, FfInit::kZero);
+  const NodeId q1 = nl.add_dff("q1", en, FfInit::kZero);
+  const NodeId d0 = nl.add_gate(GateType::kXor, "d0", {q0, en});
+  const NodeId a = nl.add_gate(GateType::kAnd, "carry", {q0, en});
+  const NodeId d1 = nl.add_gate(GateType::kXor, "d1", {q1, a});
+  nl.set_fanin(q0, 0, d0);
+  nl.set_fanin(q1, 0, d1);
+  const NodeId both = nl.add_gate(GateType::kAnd, "both", {q0, q1});
+  nl.add_output("out", both);
+  return nl;
+}
+
+TEST(NetlistTest, CounterIsValid) {
+  const Netlist nl = make_counter();
+  EXPECT_EQ(nl.validate(), std::nullopt);
+  EXPECT_EQ(nl.num_inputs(), 1u);
+  EXPECT_EQ(nl.num_outputs(), 1u);
+  EXPECT_EQ(nl.num_dffs(), 2u);
+  EXPECT_EQ(nl.num_gates(), 4u);
+}
+
+TEST(NetlistTest, FindByName) {
+  const Netlist nl = make_counter();
+  EXPECT_NE(nl.find("carry"), kNoNode);
+  EXPECT_EQ(nl.find("nonexistent"), kNoNode);
+  EXPECT_EQ(nl.node(nl.find("carry")).type, GateType::kAnd);
+}
+
+TEST(NetlistTest, TopoOrderRespectsDependencies) {
+  const Netlist nl = make_counter();
+  const auto& topo = nl.topo_order();
+  std::vector<int> pos(nl.num_nodes(), -1);
+  for (std::size_t i = 0; i < topo.size(); ++i)
+    pos[static_cast<std::size_t>(topo[i])] = static_cast<int>(i);
+  for (NodeId id : topo) {
+    const auto& n = nl.node(id);
+    if (!is_combinational(n.type)) continue;
+    for (NodeId f : n.fanins)
+      EXPECT_LT(pos[static_cast<std::size_t>(f)],
+                pos[static_cast<std::size_t>(id)])
+          << "node " << n.name;
+  }
+  EXPECT_EQ(topo.size(), nl.num_nodes());
+}
+
+TEST(NetlistTest, FanoutsAreInverseOfFanins) {
+  const Netlist nl = make_counter();
+  const auto& fo = nl.fanouts();
+  for (std::size_t i = 0; i < nl.num_nodes(); ++i) {
+    for (NodeId f : nl.node(static_cast<NodeId>(i)).fanins) {
+      const auto& lst = fo[static_cast<std::size_t>(f)];
+      EXPECT_NE(std::find(lst.begin(), lst.end(), static_cast<NodeId>(i)),
+                lst.end());
+    }
+  }
+}
+
+TEST(NetlistTest, KillAndCompact) {
+  Netlist nl("t");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g = nl.add_gate(GateType::kAnd, "g", {a, b});
+  nl.add_output("o", g);
+  const NodeId dead = nl.add_gate(GateType::kOr, "dead", {a, b});
+  (void)dead;
+  nl.kill_node(dead);
+  nl.compact();
+  EXPECT_EQ(nl.validate(), std::nullopt);
+  EXPECT_EQ(nl.num_gates(), 1u);
+  EXPECT_EQ(nl.find("dead"), kNoNode);
+  EXPECT_NE(nl.find("g"), kNoNode);
+}
+
+TEST(NetlistTest, ValidateCatchesCombinationalCycle) {
+  Netlist nl("cyc");
+  const NodeId a = nl.add_input("a");
+  const NodeId g1 = nl.add_gate(GateType::kAnd, "g1", {a, a});
+  const NodeId g2 = nl.add_gate(GateType::kOr, "g2", {g1, a});
+  nl.set_fanin(g1, 1, g2);  // g1 <-> g2 cycle
+  nl.add_output("o", g2);
+  const auto err = nl.validate();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("cycle"), std::string::npos);
+}
+
+TEST(NetlistTest, DffBreaksCycle) {
+  // A feedback loop through a DFF is legal.
+  Netlist nl("loop");
+  const NodeId a = nl.add_input("a");
+  const NodeId q = nl.add_dff("q", a, FfInit::kZero);
+  const NodeId g = nl.add_gate(GateType::kXor, "g", {q, a});
+  nl.set_fanin(q, 0, g);
+  nl.add_output("o", g);
+  EXPECT_EQ(nl.validate(), std::nullopt);
+}
+
+TEST(NetlistTest, CloneIsDeepAndIndependent) {
+  Netlist nl = make_counter();
+  Netlist c = nl.clone("copy");
+  c.kill_node(c.find("both"));
+  EXPECT_NE(nl.find("both"), kNoNode);
+  EXPECT_EQ(c.name(), "copy");
+}
+
+TEST(NetlistTest, TotalAreaCountsGatesAndFfs) {
+  const Netlist nl = make_counter();
+  // 4 gates at area 1 + 2 DFFs at area 4.
+  EXPECT_DOUBLE_EQ(nl.total_area(), 12.0);
+}
+
+TEST(BenchIoTest, ParseSimpleCircuit) {
+  const std::string text = R"(
+# comment
+INPUT(G0)
+INPUT(G1)
+OUTPUT(G5)
+
+G3 = DFF(G5)
+G4 = NAND(G0, G3)
+G5 = AND(G4, G1)
+)";
+  const Netlist nl = read_bench_string(text, "mini");
+  EXPECT_EQ(nl.validate(), std::nullopt);
+  EXPECT_EQ(nl.num_inputs(), 2u);
+  EXPECT_EQ(nl.num_outputs(), 1u);
+  EXPECT_EQ(nl.num_dffs(), 1u);
+  EXPECT_EQ(nl.num_gates(), 2u);
+  EXPECT_EQ(nl.node(nl.find("G4")).type, GateType::kNand);
+}
+
+TEST(BenchIoTest, ForwardReferencesResolve) {
+  const std::string text = R"(
+INPUT(a)
+OUTPUT(y)
+y = NOT(m)
+m = AND(a, q)
+q = DFF(m)
+)";
+  const Netlist nl = read_bench_string(text, "fwd");
+  EXPECT_EQ(nl.validate(), std::nullopt);
+  EXPECT_EQ(nl.num_dffs(), 1u);
+}
+
+TEST(BenchIoTest, RoundTripPreservesStructure) {
+  const Netlist a = make_counter();
+  const std::string text = write_bench_string(a);
+  const Netlist b = read_bench_string(text, "counter2");
+  EXPECT_EQ(b.validate(), std::nullopt);
+  EXPECT_EQ(a.num_inputs(), b.num_inputs());
+  EXPECT_EQ(a.num_outputs(), b.num_outputs());
+  EXPECT_EQ(a.num_dffs(), b.num_dffs());
+  EXPECT_EQ(a.num_gates(), b.num_gates());
+  // Second round trip is textually stable.
+  EXPECT_EQ(write_bench_string(b), text);
+}
+
+TEST(BenchIoTest, RejectsMalformedInput) {
+  EXPECT_THROW(read_bench_string("G1 = AND(a", "x"), std::runtime_error);
+  EXPECT_THROW(read_bench_string("G1 = FROB(a, b)\n", "x"),
+               std::runtime_error);
+  EXPECT_THROW(read_bench_string("OUTPUT(nosuch)\n", "x"),
+               std::runtime_error);
+  EXPECT_THROW(read_bench_string("INPUT(a)\nG1 = AND(a, missing)\n", "x"),
+               std::runtime_error);
+}
+
+TEST(BenchIoTest, RejectsRedefinedSignal) {
+  const std::string text = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = AND(a, b)
+y = OR(a, b)
+)";
+  EXPECT_THROW(read_bench_string(text, "x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace satpg

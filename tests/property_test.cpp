@@ -1,0 +1,266 @@
+// Cross-module property tests: randomized invariants that tie the
+// substrates together (simulation vs BDD semantics, retiming legality
+// sweeps, fault-collapse soundness under simulation, espresso on wider
+// functions, cover algebra laws).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/bddcircuit.h"
+#include "analysis/reach.h"
+#include "base/rng.h"
+#include "bdd/bdd.h"
+#include "fault/fault.h"
+#include "fsim/fsim.h"
+#include "netlist/bench_io.h"
+#include "netlist/netlist.h"
+#include "retime/retime.h"
+#include "sim/simulator.h"
+#include "synth/cover.h"
+
+namespace satpg {
+namespace {
+
+// Random small sequential circuit: `pis` inputs, `ffs` flip-flops,
+// `gates` gates, all-zero FF init, every FF fed from the gate pool.
+Netlist random_circuit(std::uint64_t seed, int pis, int ffs, int gates) {
+  Rng rng(seed * 1315423911u + 7);
+  Netlist nl("rand" + std::to_string(seed));
+  std::vector<NodeId> pool;
+  for (int i = 0; i < pis; ++i)
+    pool.push_back(nl.add_input("i" + std::to_string(i)));
+  std::vector<NodeId> dffs;
+  for (int i = 0; i < ffs; ++i) {
+    const NodeId q = nl.add_dff("q" + std::to_string(i), pool[0],
+                                FfInit::kZero);
+    dffs.push_back(q);
+    pool.push_back(q);
+  }
+  for (int g = 0; g < gates; ++g) {
+    const GateType types[] = {GateType::kAnd, GateType::kOr, GateType::kNand,
+                              GateType::kNor, GateType::kXor, GateType::kNot};
+    const GateType t = types[rng.next_int(0, 5)];
+    const int arity = (t == GateType::kNot) ? 1
+                      : (t == GateType::kXor) ? 2
+                                              : rng.next_int(2, 4);
+    std::vector<NodeId> fanins;
+    for (int k = 0; k < arity; ++k)
+      fanins.push_back(pool[static_cast<std::size_t>(
+          rng.next_int(0, static_cast<int>(pool.size()) - 1))]);
+    pool.push_back(nl.add_gate(t, "g" + std::to_string(g), fanins));
+  }
+  for (std::size_t i = 0; i < dffs.size(); ++i)
+    nl.set_fanin(dffs[i], 0,
+                 pool[pool.size() - 1 - (i % std::min<std::size_t>(
+                                             pool.size(), 5))]);
+  nl.add_output("o0", pool.back());
+  nl.add_output("o1", pool[pool.size() - 2]);
+  return nl;
+}
+
+// --- simulation vs BDD semantics -------------------------------------------
+
+class SimVsBdd : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimVsBdd, NodeFunctionsAgreeWithSimulator) {
+  const Netlist nl =
+      random_circuit(static_cast<std::uint64_t>(GetParam()), 3, 2, 12);
+  const BddVarMap vm = BddVarMap::single(
+      static_cast<unsigned>(nl.num_dffs()),
+      static_cast<unsigned>(nl.num_inputs()));
+  BddMgr mgr(vm.total());
+  const auto fn = build_node_functions(nl, mgr, vm);
+
+  SeqSimulator sim(nl);
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 101);
+  for (int round = 0; round < 64; ++round) {
+    std::vector<V3> pi(nl.num_inputs());
+    std::vector<V3> st(nl.num_dffs());
+    std::vector<bool> assign(vm.total(), false);
+    for (std::size_t i = 0; i < pi.size(); ++i) {
+      const bool b = rng.next_bool();
+      pi[i] = b ? V3::kOne : V3::kZero;
+      assign[vm.in(static_cast<unsigned>(i))] = b;
+    }
+    for (std::size_t i = 0; i < st.size(); ++i) {
+      const bool b = rng.next_bool();
+      st[i] = b ? V3::kOne : V3::kZero;
+      assign[vm.ps(static_cast<unsigned>(i))] = b;
+    }
+    sim.set_state(st);
+    sim.eval_outputs(pi);
+    for (std::size_t n = 0; n < nl.num_nodes(); ++n) {
+      const auto& node = nl.node(static_cast<NodeId>(n));
+      if (node.dead) continue;
+      const V3 s = sim.value(static_cast<NodeId>(n));
+      if (s == V3::kX) continue;
+      EXPECT_EQ(mgr.eval(fn[n], assign), s == V3::kOne)
+          << "node " << node.name << " round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimVsBdd, ::testing::Range(0, 8));
+
+// --- retiming legality sweeps ----------------------------------------------
+
+class RetimeLegality : public ::testing::TestWithParam<int> {};
+
+TEST_P(RetimeLegality, DffTargetsAreLegalAndMonotone) {
+  const Netlist nl =
+      random_circuit(static_cast<std::uint64_t>(GetParam()) + 50, 3, 3, 16);
+  if (nl.validate() != std::nullopt) GTEST_SKIP();
+  for (std::size_t target : {4u, 8u, 12u}) {
+    const RetimeResult r = retime_to_dff_target(
+        nl, target, nl.name() + ".t" + std::to_string(target));
+    // Legality is CHECKed inside (graph_period); the rebuilt netlist must
+    // validate, keep the I/O interface, and keep the gate population.
+    // (The achieved FF count is NOT monotone in the target: level sweeps
+    // change how fanout chains share registers.)
+    EXPECT_EQ(r.netlist.validate(), std::nullopt);
+    EXPECT_EQ(r.netlist.num_inputs(), nl.num_inputs());
+    EXPECT_EQ(r.netlist.num_outputs(), nl.num_outputs());
+    EXPECT_EQ(r.netlist.num_gates(), nl.num_gates());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RetimeLegality, ::testing::Range(0, 6));
+
+std::vector<TestSequence> make_test_sequences(const Netlist& nl, int seed) {
+  Rng rng(static_cast<std::uint64_t>(seed) * 31 + 11);
+  std::vector<TestSequence> seqs;
+  for (int s = 0; s < 4; ++s) {
+    TestSequence seq;
+    for (int t = 0; t < 24; ++t) {
+      std::vector<V3> v(nl.num_inputs());
+      for (auto& x : v) x = rng.next_bool() ? V3::kOne : V3::kZero;
+      seq.push_back(std::move(v));
+    }
+    seqs.push_back(std::move(seq));
+  }
+  return seqs;
+}
+
+// --- fault collapse soundness ----------------------------------------------
+
+class CollapseSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollapseSoundness, ClassmatesAreDetectionEquivalent) {
+  // Every fault in the universe must be detected by a random test set
+  // exactly when its class representative is.
+  Netlist nl =
+      random_circuit(static_cast<std::uint64_t>(GetParam()) + 90, 3, 2, 10);
+  for (NodeId ff : nl.dffs()) nl.node_mut(ff).init = FfInit::kUnknown;
+  const auto all = enumerate_faults(nl);
+  const auto seqs = make_test_sequences(nl, GetParam());
+  const auto r_all = run_fault_simulation(nl, all, seqs);
+
+  const auto collapsed = collapse_faults(nl);
+  std::vector<Fault> reps;
+  for (const auto& cf : collapsed) reps.push_back(cf.representative);
+  const auto r_reps = run_fault_simulation(nl, reps, seqs);
+
+  // Build representative detection lookup.
+  std::map<Fault, bool> rep_detected;
+  for (std::size_t i = 0; i < reps.size(); ++i)
+    rep_detected[reps[i]] = r_reps.detected_at[i] >= 0;
+
+  // Equivalence-collapsed faults must agree with their representative on
+  // *any* test set. We can't recover the classes from the public API, so
+  // check the aggregate: total detections over the universe equal the
+  // class-size-weighted detections over representatives.
+  std::size_t universe_detected = 0;
+  for (std::size_t i = 0; i < all.size(); ++i)
+    if (r_all.detected_at[i] >= 0) ++universe_detected;
+  std::size_t weighted = 0;
+  for (std::size_t i = 0; i < collapsed.size(); ++i)
+    if (r_reps.detected_at[i] >= 0)
+      weighted += static_cast<std::size_t>(collapsed[i].class_size);
+  EXPECT_EQ(universe_detected, weighted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollapseSoundness, ::testing::Range(0, 6));
+
+
+// --- cover algebra laws ------------------------------------------------------
+
+TEST(CoverLaws, CofactorOfTautologyIsTautology) {
+  Rng rng(5);
+  for (int round = 0; round < 20; ++round) {
+    // Build a cover guaranteed tautological: c and its complement cube.
+    Cube c;
+    c.value = BitVec(6);
+    c.care = BitVec(6);
+    for (std::size_t b = 0; b < 6; ++b)
+      if (rng.next_bool()) {
+        c.care.set(b, true);
+        c.value.set(b, rng.next_bool());
+      }
+    // {c} plus, for each cared literal of c, the cube flipping it.
+    Cover cover{c};
+    for (std::size_t b = c.care.find_first(); b < 6;
+         b = c.care.find_next(b)) {
+      Cube d;
+      d.value = BitVec(6);
+      d.care = BitVec(6);
+      d.care.set(b, true);
+      d.value.set(b, !c.value.get(b));
+      cover.push_back(d);
+    }
+    ASSERT_TRUE(cover_tautology(cover, 6));
+    Cube cof;
+    cof.value = BitVec(6);
+    cof.care = BitVec(6);
+    cof.care.set(1, true);
+    cof.value.set(1, rng.next_bool());
+    EXPECT_TRUE(cover_tautology(cover_cofactor(cover, cof), 6));
+  }
+}
+
+TEST(CoverLaws, ContainmentIsReflexiveAndAntisymmetricOnCubes) {
+  Rng rng(9);
+  for (int round = 0; round < 50; ++round) {
+    Cube a;
+    a.value = BitVec(5);
+    a.care = BitVec(5);
+    for (std::size_t b = 0; b < 5; ++b)
+      if (rng.next_bool()) {
+        a.care.set(b, true);
+        a.value.set(b, rng.next_bool());
+      }
+    EXPECT_TRUE(cube_contains(a, a));
+    Cube wider = a;
+    const std::size_t drop = a.care.find_first();
+    if (drop < 5) {
+      wider.care.set(drop, false);
+      wider.value.set(drop, false);
+      EXPECT_TRUE(cube_contains(wider, a));
+      EXPECT_FALSE(cube_contains(a, wider));
+    }
+  }
+}
+
+// --- bench round trip on random circuits -------------------------------------
+
+class BenchRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(BenchRoundTrip, SimulationSurvivesSerialization) {
+  const Netlist a =
+      random_circuit(static_cast<std::uint64_t>(GetParam()) + 200, 4, 3, 14);
+  const Netlist b = read_bench_string(write_bench_string(a), a.name());
+  SeqSimulator sa(a), sb(b);
+  // .bench drops FF init values (documented): align states explicitly.
+  sa.set_state(std::vector<V3>(a.num_dffs(), V3::kZero));
+  sb.set_state(std::vector<V3>(b.num_dffs(), V3::kZero));
+  Rng rng(3);
+  for (int t = 0; t < 100; ++t) {
+    std::vector<V3> in(a.num_inputs());
+    for (auto& v : in) v = rng.next_bool() ? V3::kOne : V3::kZero;
+    EXPECT_EQ(sa.step(in), sb.step(in)) << "cycle " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BenchRoundTrip, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace satpg

@@ -1,0 +1,276 @@
+// Tests for src/retime: graph extraction, FEAS retiming, rebuild
+// equivalence, and the atomic-move engine (paper Figures 1-2).
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "fsm/mcnc_suite.h"
+#include "netlist/netlist.h"
+#include "retime/retime.h"
+#include "sim/simulator.h"
+#include "synth/synthesize.h"
+#include "synth/techmap.h"
+
+namespace satpg {
+namespace {
+
+// Pipeline-ish circuit with slack: in -> AND -> AND -> FF -> out. Retiming
+// can balance the two ANDs across the register.
+Netlist make_pipeline() {
+  Netlist nl("pipe");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId c = nl.add_input("c");
+  const NodeId g1 = nl.add_gate(GateType::kAnd, "g1", {a, b});
+  const NodeId g2 = nl.add_gate(GateType::kAnd, "g2", {g1, c});
+  const NodeId q = nl.add_dff("q", g2, FfInit::kZero);
+  const NodeId g3 = nl.add_gate(GateType::kBuf, "g3", {q});
+  nl.add_output("o", g3);
+  for (std::size_t i = 0; i < nl.num_nodes(); ++i) {
+    auto& n = nl.node_mut(static_cast<NodeId>(i));
+    if (is_combinational(n.type)) n.delay = 1.0;
+  }
+  nl.node_mut(g3).delay = 0.25;  // cheap output side leaves retiming slack
+  return nl;
+}
+
+TEST(RetimeGraphTest, ExtractsVerticesAndWeights) {
+  const Netlist nl = make_pipeline();
+  const RetimeGraph g = build_retime_graph(nl);
+  EXPECT_EQ(g.num_vertices(), 4);  // host + 3 gates
+  // One edge should carry the FF (g2 -> g3 with weight 1).
+  int weighted = 0;
+  for (const auto& e : g.edges) weighted += e.weight;
+  EXPECT_EQ(weighted, 1);
+}
+
+TEST(RetimeGraphTest, PeriodMatchesCriticalPath) {
+  const Netlist nl = make_pipeline();
+  const RetimeGraph g = build_retime_graph(nl);
+  const std::vector<int> zero(static_cast<std::size_t>(g.num_vertices()), 0);
+  EXPECT_DOUBLE_EQ(graph_period(g, zero), critical_path_delay(nl));
+}
+
+TEST(RetimeTest, MinPeriodImproves) {
+  const Netlist nl = make_pipeline();
+  // Original period: a->g1->g2 = 2.0. Retimed: move FF between g1 and g2
+  // yields period 1.0... but host edges a->g1 and q-path constraints keep
+  // it >= 1.0 + something; just assert improvement.
+  const double before = critical_path_delay(nl);
+  const RetimeResult r = retime_min_period(nl, "pipe.re");
+  EXPECT_LT(r.period_after, before);
+  EXPECT_EQ(r.netlist.validate(), std::nullopt);
+  EXPECT_DOUBLE_EQ(critical_path_delay(r.netlist), r.period_after);
+}
+
+TEST(RetimeTest, InfeasibleTargetRejected) {
+  const Netlist nl = make_pipeline();
+  const RetimeGraph g = build_retime_graph(nl);
+  EXPECT_FALSE(feasible_retiming(g, 0.5).has_value());  // below gate delay
+}
+
+TEST(RetimeTest, TargetPeriodHonored) {
+  const Netlist nl = make_pipeline();
+  const double min_p = min_feasible_period(nl);
+  const RetimeResult r = retime_to_period(nl, min_p + 0.25, "pipe.v1");
+  EXPECT_LE(r.period_after, min_p + 0.25 + 1e-9);
+}
+
+// Lock-step equivalence after a constant-input settle prefix: retiming
+// preserves the I/O behaviour once the moved registers have flushed.
+void expect_sequentially_equivalent(const Netlist& a, const Netlist& b,
+                                    int prefix, int cycles,
+                                    std::uint64_t seed) {
+  ASSERT_EQ(a.num_inputs(), b.num_inputs());
+  ASSERT_EQ(a.num_outputs(), b.num_outputs());
+  SeqSimulator sa(a), sb(b);
+  Rng rng(seed);
+  const std::vector<V3> settle(a.num_inputs(), V3::kZero);
+  for (int t = 0; t < prefix; ++t) {
+    sa.step(settle);
+    sb.step(settle);
+  }
+  for (int t = 0; t < cycles; ++t) {
+    std::vector<V3> in(a.num_inputs());
+    for (auto& v : in) v = rng.next_bool() ? V3::kOne : V3::kZero;
+    const auto oa = sa.step(in);
+    const auto ob = sb.step(in);
+    for (std::size_t o = 0; o < oa.size(); ++o) {
+      if (oa[o] == V3::kX || ob[o] == V3::kX) continue;  // unsettled don't-care
+      EXPECT_EQ(oa[o], ob[o]) << "cycle " << t << " output " << o;
+    }
+  }
+}
+
+TEST(RetimeTest, PipelineEquivalentAfterRetiming) {
+  const Netlist nl = make_pipeline();
+  const RetimeResult r = retime_min_period(nl, "pipe.re");
+  expect_sequentially_equivalent(nl, r.netlist, 4, 200, 7);
+}
+
+// Full-flow property: every synthesized suite circuit stays equivalent
+// under min-period retiming, with rst-driven initialization.
+class RetimeEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RetimeEquivalence, SynthesizedCircuitSurvivesRetiming) {
+  FsmGenSpec spec;
+  for (const auto& s : mcnc_specs())
+    if (s.name == std::string(GetParam())) spec = s;
+  const Fsm fsm = generate_control_fsm(scaled_spec(spec, 0.5));
+  SynthOptions opts;
+  const SynthResult res = synthesize(fsm, opts);
+  const RetimeResult r = retime_min_period(res.netlist, res.name + ".re");
+  EXPECT_EQ(r.netlist.validate(), std::nullopt);
+  EXPECT_LE(r.period_after, r.period_before + 1e-9);
+  EXPECT_EQ(r.netlist.num_inputs(), res.netlist.num_inputs());
+  EXPECT_EQ(r.netlist.num_outputs(), res.netlist.num_outputs());
+
+  // Settle prefix with rst=1, zero inputs; rst is the last input.
+  SeqSimulator sa(res.netlist), sb(r.netlist);
+  std::vector<V3> settle(res.netlist.num_inputs(), V3::kZero);
+  settle.back() = V3::kOne;  // rst asserted
+  int max_lag = 0;
+  for (int lag : r.lag) max_lag = std::max(max_lag, std::abs(lag));
+  for (int t = 0; t < max_lag + 2; ++t) {
+    sa.step(settle);
+    sb.step(settle);
+  }
+  Rng rng(11);
+  for (int t = 0; t < 400; ++t) {
+    std::vector<V3> in(res.netlist.num_inputs(), V3::kZero);
+    for (std::size_t i = 0; i + 1 < in.size(); ++i)
+      in[i] = rng.next_bool() ? V3::kOne : V3::kZero;
+    // occasionally pulse reset mid-stream too
+    if (rng.next_bernoulli(0.02)) in.back() = V3::kOne;
+    const auto oa = sa.step(in);
+    const auto ob = sb.step(in);
+    if (in.back() == V3::kOne) {
+      // Re-settle after an asynchronous-looking reset pulse.
+      for (int k = 0; k < max_lag + 2; ++k) {
+        std::vector<V3> s2(res.netlist.num_inputs(), V3::kZero);
+        s2.back() = V3::kOne;
+        sa.step(s2);
+        sb.step(s2);
+      }
+      continue;
+    }
+    EXPECT_EQ(oa, ob) << "cycle " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, RetimeEquivalence,
+                         ::testing::Values("dk16", "pma", "s820"));
+
+// The study's scatter transformation must also preserve behaviour.
+TEST(RetimeTest, DffTargetRetimingIsEquivalent) {
+  FsmGenSpec spec;
+  for (const auto& s : mcnc_specs())
+    if (s.name == std::string("pma")) spec = s;
+  const Fsm fsm = generate_control_fsm(scaled_spec(spec, 0.5));
+  SynthOptions opts;
+  const SynthResult res = synthesize(fsm, opts);
+  const RetimeResult r = retime_to_dff_target(
+      res.netlist, 3 * res.netlist.num_dffs(), res.name + ".re");
+  EXPECT_GE(r.netlist.num_dffs(), 3 * res.netlist.num_dffs());
+  int max_lag = 0;
+  for (int lag : r.lag) max_lag = std::max(max_lag, std::abs(lag));
+  // rst-held settle prefix, then lock-step on random inputs.
+  SeqSimulator sa(res.netlist), sb(r.netlist);
+  std::vector<V3> settle(res.netlist.num_inputs(), V3::kZero);
+  settle.back() = V3::kOne;
+  for (int t = 0; t < max_lag + 2; ++t) {
+    sa.step(settle);
+    sb.step(settle);
+  }
+  Rng rng(23);
+  for (int t = 0; t < 500; ++t) {
+    std::vector<V3> in(res.netlist.num_inputs(), V3::kZero);
+    for (std::size_t i = 0; i + 1 < in.size(); ++i)
+      in[i] = rng.next_bool() ? V3::kOne : V3::kZero;
+    EXPECT_EQ(sa.step(in), sb.step(in)) << "cycle " << t;
+  }
+}
+
+TEST(RetimeTest, RetimingAddsFlipFlopsOnSuiteCircuits) {
+  // The paper's core observation setup: min-period retiming of these
+  // control circuits grows the register count.
+  FsmGenSpec spec;
+  for (const auto& s : mcnc_specs())
+    if (s.name == std::string("s820")) spec = s;
+  const Fsm fsm = generate_control_fsm(scaled_spec(spec, 0.5));
+  SynthOptions opts;
+  opts.script = ScriptKind::kDelay;
+  const SynthResult res = synthesize(fsm, opts);
+  const RetimeResult r = retime_to_dff_target(
+      res.netlist, 3 * res.netlist.num_dffs(), res.name + ".re");
+  EXPECT_GT(r.netlist.num_dffs(), res.netlist.num_dffs());
+}
+
+// ---- atomic moves ----
+
+Netlist figure2_circuit() {
+  // Paper Figure 2 (top): Q2 -> {G1, Gnot}; Gnot -> G2; {G1,G2} -> G3;
+  // G3 -> Q1 -> Gbuf -> Q2; PI 'a' second input of G1/G2; PO from Gbuf.
+  Netlist nl("fig2");
+  const NodeId a = nl.add_input("a");
+  const NodeId q2 = nl.add_dff("Q2", a, FfInit::kZero);  // patched below
+  const NodeId g1 = nl.add_gate(GateType::kAnd, "G1", {q2, a});
+  const NodeId gnot = nl.add_gate(GateType::kNot, "Gnot", {q2});
+  const NodeId g2 = nl.add_gate(GateType::kAnd, "G2", {gnot, a});
+  const NodeId g3 = nl.add_gate(GateType::kOr, "G3", {g1, g2});
+  const NodeId q1 = nl.add_dff("Q1", g3, FfInit::kZero);
+  const NodeId gbuf = nl.add_gate(GateType::kBuf, "Gbuf", {q1});
+  nl.set_fanin(q2, 0, gbuf);
+  nl.add_output("o", gbuf);
+  return nl;
+}
+
+TEST(AtomicMoveTest, BackwardMoveMatchesFigure2) {
+  Netlist nl = figure2_circuit();
+  ASSERT_EQ(nl.validate(), std::nullopt);
+  const NodeId g3 = nl.find("G3");
+  ASSERT_TRUE(can_move_backward(nl, g3));
+  Netlist moved = nl.clone("fig2.re");
+  move_backward(moved, moved.find("G3"));
+  ASSERT_EQ(moved.validate(), std::nullopt);
+  // Q1 split into two FFs: register count 2 -> 3.
+  EXPECT_EQ(nl.num_dffs(), 2u);
+  EXPECT_EQ(moved.num_dffs(), 3u);
+  // Behaviour preserved (settle 2 cycles for the X inits).
+  expect_sequentially_equivalent(nl, moved, 2, 200, 3);
+}
+
+TEST(AtomicMoveTest, ForwardMoveIsInverseOfBackward) {
+  Netlist nl = figure2_circuit();
+  move_backward(nl, nl.find("G3"));
+  // Now G3's fanins are FFs; forward move restores a single output FF.
+  ASSERT_TRUE(can_move_forward(nl, nl.find("G3")));
+  move_forward(nl, nl.find("G3"));
+  EXPECT_EQ(nl.validate(), std::nullopt);
+  EXPECT_EQ(nl.num_dffs(), 2u);
+  expect_sequentially_equivalent(figure2_circuit(), nl, 2, 200, 5);
+}
+
+TEST(AtomicMoveTest, ForwardMovePreservesInitialState) {
+  Netlist nl = figure2_circuit();
+  move_backward(nl, nl.find("G3"));
+  // Backward from Q1 (init 0) through OR: preimage of 0 is unique (0,0).
+  for (NodeId ff : nl.dffs()) {
+    if (nl.node(ff).name.rfind("bw_", 0) == 0)
+      EXPECT_EQ(nl.node(ff).init, FfInit::kZero);
+  }
+  move_forward(nl, nl.find("G3"));
+  // Forward recomputes OR(0,0) = 0.
+  for (NodeId ff : nl.dffs())
+    if (nl.node(ff).name.rfind("fw_", 0) == 0)
+      EXPECT_EQ(nl.node(ff).init, FfInit::kZero);
+}
+
+TEST(AtomicMoveTest, GuardsRejectIllegalMoves) {
+  Netlist nl = figure2_circuit();
+  EXPECT_FALSE(can_move_forward(nl, nl.find("G1")));   // fanins not all FFs
+  EXPECT_FALSE(can_move_backward(nl, nl.find("G1")));  // feeds G3, not a FF
+  EXPECT_FALSE(can_move_backward(nl, nl.find("Gbuf")));  // fans out to PO too
+}
+
+}  // namespace
+}  // namespace satpg

@@ -1,0 +1,88 @@
+// Tests for the SCOAP-style testability measures that steer PODEM's
+// backtrace.
+#include <gtest/gtest.h>
+
+#include "atpg/scoap.h"
+#include "netlist/netlist.h"
+
+namespace satpg {
+namespace {
+
+TEST(ScoapTest, PrimaryInputsCostOne) {
+  Netlist nl("t");
+  const NodeId a = nl.add_input("a");
+  nl.add_output("o", nl.add_gate(GateType::kBuf, "b", {a}));
+  const Scoap s = compute_scoap(nl);
+  EXPECT_DOUBLE_EQ(s.cc0[static_cast<std::size_t>(a)], 1.0);
+  EXPECT_DOUBLE_EQ(s.cc1[static_cast<std::size_t>(a)], 1.0);
+}
+
+TEST(ScoapTest, AndGateAsymmetry) {
+  // AND output 1 needs all inputs (sum); 0 needs one input (min).
+  Netlist nl("t");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId c = nl.add_input("c");
+  const NodeId g = nl.add_gate(GateType::kAnd, "g", {a, b, c});
+  nl.add_output("o", g);
+  const Scoap s = compute_scoap(nl);
+  EXPECT_DOUBLE_EQ(s.cc1[static_cast<std::size_t>(g)], 4.0);  // 1+1+1 + 1
+  EXPECT_DOUBLE_EQ(s.cc0[static_cast<std::size_t>(g)], 2.0);  // min + 1
+}
+
+TEST(ScoapTest, InverterSwapsCosts) {
+  Netlist nl("t");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g = nl.add_gate(GateType::kAnd, "g", {a, b});
+  const NodeId n = nl.add_gate(GateType::kNot, "n", {g});
+  nl.add_output("o", n);
+  const Scoap s = compute_scoap(nl);
+  EXPECT_DOUBLE_EQ(s.cc0[static_cast<std::size_t>(n)],
+                   s.cc1[static_cast<std::size_t>(g)] + 1.0);
+  EXPECT_DOUBLE_EQ(s.cc1[static_cast<std::size_t>(n)],
+                   s.cc0[static_cast<std::size_t>(g)] + 1.0);
+}
+
+TEST(ScoapTest, SequentialPenaltyAccumulatesThroughFfs) {
+  // q2 = DFF(q1), q1 = DFF(a): controlling q2 costs two penalties.
+  Netlist nl("t");
+  const NodeId a = nl.add_input("a");
+  const NodeId q1 = nl.add_dff("q1", a, FfInit::kUnknown);
+  const NodeId q2 = nl.add_dff("q2", q1, FfInit::kUnknown);
+  nl.add_output("o", q2);
+  const Scoap s = compute_scoap(nl, /*iterations=*/8, /*seq_penalty=*/20.0);
+  // The optimistic FF seed (20) survives where it beats the D-cone cost.
+  EXPECT_DOUBLE_EQ(s.cc1[static_cast<std::size_t>(q1)], 20.0);
+  EXPECT_DOUBLE_EQ(s.cc1[static_cast<std::size_t>(q2)], 20.0);
+  // The D-cone bound still applies: never above cc(D) + penalty.
+  EXPECT_LE(s.cc1[static_cast<std::size_t>(q1)], 1.0 + 20.0);
+}
+
+TEST(ScoapTest, FeedbackConvergesToFiniteValues) {
+  // Self-loop through XOR: iteration must settle (not grow unboundedly
+  // within the iteration budget, and stay below the "unreachable" level).
+  Netlist nl("t");
+  const NodeId a = nl.add_input("a");
+  const NodeId q = nl.add_dff("q", a, FfInit::kUnknown);
+  const NodeId g = nl.add_gate(GateType::kXor, "g", {q, a});
+  nl.set_fanin(q, 0, g);
+  nl.add_output("o", g);
+  const Scoap s = compute_scoap(nl);
+  EXPECT_LT(s.cc0[static_cast<std::size_t>(q)], 1e6);
+  EXPECT_LT(s.cc1[static_cast<std::size_t>(q)], 1e6);
+}
+
+TEST(ScoapTest, ConstantsArePinned) {
+  Netlist nl("t");
+  const NodeId a = nl.add_input("a");
+  const NodeId c1 = nl.add_const(true, "one");
+  const NodeId g = nl.add_gate(GateType::kAnd, "g", {a, c1});
+  nl.add_output("o", g);
+  const Scoap s = compute_scoap(nl);
+  EXPECT_DOUBLE_EQ(s.cc1[static_cast<std::size_t>(c1)], 0.0);
+  EXPECT_GE(s.cc0[static_cast<std::size_t>(c1)], 1e6);  // impossible
+}
+
+}  // namespace
+}  // namespace satpg

@@ -1,0 +1,170 @@
+// Unit + property tests for src/sim: three-valued gate semantics, the
+// 64-way parallel encoding, and sequential stepping.
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.h"
+#include "sim/simulator.h"
+#include "sim/value.h"
+
+namespace satpg {
+namespace {
+
+TEST(V3Test, NotTruthTable) {
+  EXPECT_EQ(v3_not(V3::kZero), V3::kOne);
+  EXPECT_EQ(v3_not(V3::kOne), V3::kZero);
+  EXPECT_EQ(v3_not(V3::kX), V3::kX);
+}
+
+TEST(V3Test, AndKleene) {
+  EXPECT_EQ(v3_and(V3::kZero, V3::kX), V3::kZero);
+  EXPECT_EQ(v3_and(V3::kX, V3::kZero), V3::kZero);
+  EXPECT_EQ(v3_and(V3::kOne, V3::kX), V3::kX);
+  EXPECT_EQ(v3_and(V3::kOne, V3::kOne), V3::kOne);
+}
+
+TEST(V3Test, OrKleene) {
+  EXPECT_EQ(v3_or(V3::kOne, V3::kX), V3::kOne);
+  EXPECT_EQ(v3_or(V3::kX, V3::kOne), V3::kOne);
+  EXPECT_EQ(v3_or(V3::kZero, V3::kX), V3::kX);
+  EXPECT_EQ(v3_or(V3::kZero, V3::kZero), V3::kZero);
+}
+
+TEST(V3Test, XorStrict) {
+  EXPECT_EQ(v3_xor(V3::kOne, V3::kZero), V3::kOne);
+  EXPECT_EQ(v3_xor(V3::kOne, V3::kOne), V3::kZero);
+  EXPECT_EQ(v3_xor(V3::kX, V3::kZero), V3::kX);
+  EXPECT_EQ(v3_xor(V3::kOne, V3::kX), V3::kX);
+}
+
+// Property: PV ops agree with V3 ops slot-by-slot for all 9 value pairs.
+class PvAgreement : public ::testing::TestWithParam<std::pair<V3, V3>> {};
+
+TEST_P(PvAgreement, AndOrXorMatchScalar) {
+  const auto [a, b] = GetParam();
+  PV pa = PV::all(a), pb = PV::all(b);
+  EXPECT_EQ(pv_and(pa, pb).slot(17), v3_and(a, b));
+  EXPECT_EQ(pv_or(pa, pb).slot(17), v3_or(a, b));
+  EXPECT_EQ(pv_xor(pa, pb).slot(17), v3_xor(a, b));
+  EXPECT_EQ(pv_not(pa).slot(17), v3_not(a));
+  EXPECT_TRUE(pv_and(pa, pb).well_formed());
+  EXPECT_TRUE(pv_xor(pa, pb).well_formed());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, PvAgreement,
+    ::testing::Values(std::pair{V3::kZero, V3::kZero},
+                      std::pair{V3::kZero, V3::kOne},
+                      std::pair{V3::kZero, V3::kX},
+                      std::pair{V3::kOne, V3::kZero},
+                      std::pair{V3::kOne, V3::kOne},
+                      std::pair{V3::kOne, V3::kX},
+                      std::pair{V3::kX, V3::kZero},
+                      std::pair{V3::kX, V3::kOne},
+                      std::pair{V3::kX, V3::kX}));
+
+TEST(PvTest, SlotIndependence) {
+  PV v = PV::all(V3::kX);
+  v.set_slot(0, V3::kOne);
+  v.set_slot(5, V3::kZero);
+  EXPECT_EQ(v.slot(0), V3::kOne);
+  EXPECT_EQ(v.slot(5), V3::kZero);
+  EXPECT_EQ(v.slot(6), V3::kX);
+  EXPECT_TRUE(v.well_formed());
+}
+
+// 2-bit counter with enable; out = (q1 & q0).
+Netlist make_counter() {
+  Netlist nl("counter2");
+  const NodeId en = nl.add_input("en");
+  const NodeId q0 = nl.add_dff("q0", en, FfInit::kZero);
+  const NodeId q1 = nl.add_dff("q1", en, FfInit::kZero);
+  const NodeId d0 = nl.add_gate(GateType::kXor, "d0", {q0, en});
+  const NodeId a = nl.add_gate(GateType::kAnd, "carry", {q0, en});
+  const NodeId d1 = nl.add_gate(GateType::kXor, "d1", {q1, a});
+  nl.set_fanin(q0, 0, d0);
+  nl.set_fanin(q1, 0, d1);
+  const NodeId both = nl.add_gate(GateType::kAnd, "both", {q0, q1});
+  nl.add_output("out", both);
+  return nl;
+}
+
+TEST(SeqSimTest, CounterCountsToThree) {
+  const Netlist nl = make_counter();
+  SeqSimulator sim(nl);
+  // Four enabled cycles: states 0,1,2,3; output = 1 only in state 3.
+  std::vector<V3> expected = {V3::kZero, V3::kZero, V3::kZero, V3::kOne};
+  for (int t = 0; t < 4; ++t) {
+    const auto out = sim.step({V3::kOne});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], expected[static_cast<std::size_t>(t)]) << "cycle " << t;
+  }
+  // Wrapped to 0.
+  EXPECT_EQ(sim.state()[0], V3::kZero);
+  EXPECT_EQ(sim.state()[1], V3::kZero);
+}
+
+TEST(SeqSimTest, DisabledCounterHolds) {
+  const Netlist nl = make_counter();
+  SeqSimulator sim(nl);
+  sim.step({V3::kOne});  // state -> 1
+  for (int t = 0; t < 3; ++t) sim.step({V3::kZero});
+  EXPECT_EQ(sim.state()[0], V3::kOne);
+  EXPECT_EQ(sim.state()[1], V3::kZero);
+}
+
+TEST(SeqSimTest, UnknownStatePropagatesX) {
+  Netlist nl("xprop");
+  const NodeId a = nl.add_input("a");
+  const NodeId q = nl.add_dff("q", a, FfInit::kUnknown);
+  const NodeId g = nl.add_gate(GateType::kAnd, "g", {q, a});
+  nl.add_output("o", g);
+  SeqSimulator sim(nl);
+  // q is X; AND(X, 1) = X, AND(X, 0) = 0.
+  EXPECT_EQ(sim.eval_outputs({V3::kOne})[0], V3::kX);
+  EXPECT_EQ(sim.eval_outputs({V3::kZero})[0], V3::kZero);
+}
+
+TEST(SeqSimTest, SetStateOverridesInit) {
+  const Netlist nl = make_counter();
+  SeqSimulator sim(nl);
+  sim.set_state({V3::kOne, V3::kOne});  // state 3
+  const auto out = sim.eval_outputs({V3::kZero});
+  EXPECT_EQ(out[0], V3::kOne);
+}
+
+TEST(SeqSimTest, StateStringMsbFirst) {
+  const Netlist nl = make_counter();
+  SeqSimulator sim(nl);
+  sim.set_state({V3::kOne, V3::kZero});  // q0=1, q1=0
+  EXPECT_EQ(sim.state_string(), "01");
+}
+
+TEST(SeqSimTest, SimulateSequenceHelper) {
+  const Netlist nl = make_counter();
+  const std::vector<std::vector<V3>> ins(4, {V3::kOne});
+  const auto outs = simulate_sequence(nl, ins);
+  ASSERT_EQ(outs.size(), 4u);
+  EXPECT_EQ(outs[3][0], V3::kOne);
+}
+
+TEST(GateEvalTest, WideGates) {
+  Netlist nl("wide");
+  std::vector<NodeId> ins;
+  for (int i = 0; i < 4; ++i)
+    ins.push_back(nl.add_input("i" + std::to_string(i)));
+  const NodeId nand4 = nl.add_gate(GateType::kNand, "n4", ins);
+  const NodeId nor4 = nl.add_gate(GateType::kNor, "o4", ins);
+  nl.add_output("po_nand", nand4);
+  nl.add_output("po_nor", nor4);
+  SeqSimulator sim(nl);
+  auto out = sim.eval_outputs({V3::kOne, V3::kOne, V3::kOne, V3::kOne});
+  EXPECT_EQ(out[0], V3::kZero);  // NAND(1,1,1,1)=0
+  EXPECT_EQ(out[1], V3::kZero);  // NOR(1,...)=0
+  out = sim.eval_outputs({V3::kZero, V3::kOne, V3::kOne, V3::kOne});
+  EXPECT_EQ(out[0], V3::kOne);
+  out = sim.eval_outputs({V3::kZero, V3::kZero, V3::kZero, V3::kZero});
+  EXPECT_EQ(out[1], V3::kOne);
+}
+
+}  // namespace
+}  // namespace satpg

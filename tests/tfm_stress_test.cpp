@@ -1,0 +1,149 @@
+// Stress tests for the time-frame model: the event-driven incremental
+// implication with trail undo is compared against a from-scratch oracle
+// (fresh model, same assignments) across random assignment/undo schedules,
+// fault types, and window sizes. Also checks the incrementally-maintained
+// D-set against a full rescan.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "atpg/tfm.h"
+#include "base/rng.h"
+#include "fault/fault.h"
+#include "fsm/mcnc_suite.h"
+#include "synth/synthesize.h"
+
+namespace satpg {
+namespace {
+
+Netlist small_machine(std::uint64_t salt) {
+  FsmGenSpec spec;
+  for (const auto& s : mcnc_specs())
+    if (s.name == "dk16") spec = s;
+  spec.seed += salt;
+  const Fsm fsm = generate_control_fsm(scaled_spec(spec, 0.3));
+  return synthesize(fsm, {}).netlist;
+}
+
+// All decision variables of a model.
+std::vector<std::pair<int, NodeId>> decision_vars(const Netlist& nl,
+                                                  int frames) {
+  std::vector<std::pair<int, NodeId>> vars;
+  for (int t = 0; t < frames; ++t)
+    for (NodeId pi : nl.inputs()) vars.push_back({t, pi});
+  for (NodeId ff : nl.dffs()) vars.push_back({0, ff});
+  return vars;
+}
+
+void expect_models_equal(const TimeFrameModel& a, const TimeFrameModel& b,
+                         const Netlist& nl, int frames) {
+  for (int t = 0; t < frames; ++t)
+    for (std::size_t i = 0; i < nl.num_nodes(); ++i) {
+      const NodeId id = static_cast<NodeId>(i);
+      ASSERT_EQ(a.value(t, id), b.value(t, id))
+          << "frame " << t << " node " << nl.node(id).name;
+    }
+}
+
+class TfmStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(TfmStress, IncrementalMatchesFromScratch) {
+  const Netlist nl = small_machine(static_cast<std::uint64_t>(GetParam()));
+  const int frames = 3;
+  // Pick a fault (cycling through kinds) or none.
+  std::optional<Fault> fault;
+  const auto universe = enumerate_faults(nl);
+  if (GetParam() % 4 != 0)
+    fault = universe[static_cast<std::size_t>(GetParam() * 37) %
+                     universe.size()];
+
+  TimeFrameModel inc(nl, fault, frames);
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1337 + 5);
+  const auto vars = decision_vars(nl, frames);
+
+  // Random schedule: assignments with occasional undo to a random mark.
+  std::vector<std::pair<std::size_t, std::map<std::pair<int, NodeId>, V3>>>
+      marks;  // (trail mark, assignment snapshot)
+  std::map<std::pair<int, NodeId>, V3> current;
+
+  for (int step = 0; step < 60; ++step) {
+    if (!marks.empty() && rng.next_bernoulli(0.25)) {
+      const std::size_t k = static_cast<std::size_t>(rng.next_below(
+          marks.size()));
+      inc.undo_to(marks[k].first);
+      current = marks[k].second;
+      marks.resize(k);
+      continue;
+    }
+    // Assign a random unassigned variable.
+    const auto& v = vars[static_cast<std::size_t>(rng.next_below(
+        vars.size()))];
+    if (current.count(v)) continue;
+    const V3 val = rng.next_bool() ? V3::kOne : V3::kZero;
+    marks.push_back({inc.assign(v.first, v.second, val), current});
+    current[v] = val;
+  }
+
+  // Oracle: fresh model, replay the surviving assignments in order.
+  TimeFrameModel oracle(nl, fault, frames);
+  for (const auto& [v, val] : current) oracle.assign(v.first, v.second, val);
+  expect_models_equal(inc, oracle, nl, frames);
+
+  // D-set agrees with a full rescan.
+  std::set<std::pair<int, NodeId>> rescan;
+  for (int t = 0; t < frames; ++t)
+    for (std::size_t i = 0; i < nl.num_nodes(); ++i)
+      if (inc.value(t, static_cast<NodeId>(i)).is_d())
+        rescan.insert({t, static_cast<NodeId>(i)});
+  EXPECT_EQ(inc.d_set(), rescan);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TfmStress, ::testing::Range(0, 10));
+
+TEST(TfmFaultKinds, EveryFaultKindInjectsOnFaultyRailOnly) {
+  const Netlist nl = small_machine(3);
+  const auto universe = enumerate_faults(nl);
+  Rng rng(77);
+  int checked = 0;
+  for (std::size_t fi = 0; fi < universe.size(); fi += 7) {
+    const Fault f = universe[fi];
+    TimeFrameModel tfm(nl, f, 2);
+    // Fully assign frame 0.
+    for (NodeId pi : nl.inputs())
+      tfm.assign(0, pi, rng.next_bool() ? V3::kOne : V3::kZero);
+    for (NodeId ff : nl.dffs())
+      tfm.assign(0, ff, rng.next_bool() ? V3::kOne : V3::kZero);
+    // Good rails must match the fault-free model under the same inputs.
+    TimeFrameModel clean(nl, std::nullopt, 2);
+    for (NodeId pi : nl.inputs())
+      clean.assign(0, pi, tfm.decision_value(0, pi));
+    for (NodeId ff : nl.dffs())
+      clean.assign(0, ff, tfm.decision_value(0, ff));
+    for (std::size_t i = 0; i < nl.num_nodes(); ++i) {
+      const NodeId id = static_cast<NodeId>(i);
+      ASSERT_EQ(tfm.value(0, id).g, clean.value(0, id).g)
+          << fault_name(nl, f) << " node " << nl.node(id).name;
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST(TfmBoundary, DReachesBoundaryDetectsStoredEffects) {
+  // Fault on a next-state line that cannot reach a PO in one frame must
+  // still be visible at the frame boundary.
+  Netlist nl("store");
+  const NodeId a = nl.add_input("a");
+  const NodeId q = nl.add_dff("q", a, FfInit::kUnknown);
+  const NodeId g = nl.add_gate(GateType::kBuf, "g", {a});
+  nl.set_fanin(q, 0, g);
+  nl.add_output("o", q);
+  const Fault f{g, -1, true};  // g s-a-1: effect stores into q
+  TimeFrameModel tfm(nl, f, 1);
+  tfm.assign(0, a, V3::kZero);  // good g=0, faulty g=1
+  EXPECT_FALSE(tfm.detected_at_po());
+  EXPECT_TRUE(tfm.d_reaches_boundary());
+}
+
+}  // namespace
+}  // namespace satpg

@@ -1,0 +1,227 @@
+// satpg — command-line front end.
+//
+//   satpg info     <circuit.bench>              structural summary
+//   satpg analyze  <circuit.bench>              depth/cycles/density report
+//   satpg atpg     <circuit.bench> [options]    run an engine, write tests
+//   satpg retime   <in.bench> <out.bench> [--dffs=N | --min-period]
+//   satpg scan     <in.bench> <out.bench> [--partial]
+//   satpg faults   <circuit.bench>              fault universe summary
+//
+// ATPG options: --engine=hitec|forward|learning  --budget=F  --seed=N
+//               --strict (no potential-detection credit)
+//               --tests=FILE (write the test sequences)
+//
+// Circuits are ISCAS-89 .bench files; flip-flops power up unknown and the
+// tool follows the library convention that an input named "rst" is the
+// reset line.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "analysis/reach.h"
+#include "analysis/structure.h"
+#include "atpg/compact.h"
+#include "atpg/engine.h"
+#include "dft/scan.h"
+#include "netlist/bench_io.h"
+#include "retime/retime.h"
+#include "synth/library.h"
+#include "synth/techmap.h"
+
+using namespace satpg;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: satpg <info|analyze|atpg|retime|scan|faults> ...\n"
+               "  satpg info    c.bench\n"
+               "  satpg analyze c.bench\n"
+               "  satpg faults  c.bench\n"
+               "  satpg atpg    c.bench [--engine=E] [--budget=F] [--seed=N]"
+               " [--strict] [--tests=FILE] [--compact]\n"
+               "  satpg retime  in.bench out.bench [--dffs=N]\n"
+               "  satpg scan    in.bench out.bench [--partial]\n");
+  return 2;
+}
+
+Netlist load(const std::string& path) {
+  Netlist nl = read_bench_file(path);
+  annotate_library(nl);
+  return nl;
+}
+
+const char* flag_value(const char* arg, const char* prefix) {
+  const std::size_t n = std::strlen(prefix);
+  return std::strncmp(arg, prefix, n) == 0 ? arg + n : nullptr;
+}
+
+int cmd_info(const Netlist& nl) {
+  std::printf("circuit  : %s\n", nl.name().c_str());
+  std::printf("inputs   : %zu\n", nl.num_inputs());
+  std::printf("outputs  : %zu\n", nl.num_outputs());
+  std::printf("gates    : %zu\n", nl.num_gates());
+  std::printf("flipflops: %zu\n", nl.num_dffs());
+  std::printf("area     : %.1f\n", nl.total_area());
+  std::printf("delay    : %.2f\n", critical_path_delay(nl));
+  return 0;
+}
+
+int cmd_analyze(const Netlist& nl) {
+  cmd_info(nl);
+  const auto depth = max_sequential_depth(nl);
+  std::printf("max sequential depth: %d%s\n", depth.max_depth,
+              depth.saturated ? " (lower bound)" : "");
+  const auto cycles = count_cycles(nl);
+  std::printf("cycle census        : %d cycles, max length %d%s\n",
+              cycles.num_cycles, cycles.max_cycle_length,
+              cycles.saturated ? " (lower bounds)" : "");
+  const auto reach = compute_reachable(nl);
+  std::printf("valid states        : %.0f of %.6g\n", reach.num_valid,
+              reach.total_states);
+  std::printf("density of encoding : %.3g\n", reach.density);
+  return 0;
+}
+
+int cmd_faults(const Netlist& nl) {
+  const auto all = enumerate_faults(nl);
+  const auto collapsed = collapse_faults(nl);
+  std::printf("fault universe : %zu stuck-at faults\n", all.size());
+  std::printf("collapsed      : %zu equivalence classes\n", collapsed.size());
+  return 0;
+}
+
+int cmd_atpg(const Netlist& nl, int argc, char** argv) {
+  AtpgRunOptions opts;
+  std::string tests_file;
+  bool do_compact = false;
+  for (int i = 0; i < argc; ++i) {
+    if (const char* v = flag_value(argv[i], "--engine=")) {
+      if (!std::strcmp(v, "hitec"))
+        opts.engine.kind = EngineKind::kHitec;
+      else if (!std::strcmp(v, "forward"))
+        opts.engine.kind = EngineKind::kForward;
+      else if (!std::strcmp(v, "learning"))
+        opts.engine.kind = EngineKind::kLearning;
+      else
+        return usage();
+    } else if (const char* v2 = flag_value(argv[i], "--budget=")) {
+      const double f = std::atof(v2);
+      opts.engine.eval_limit =
+          static_cast<std::uint64_t>(opts.engine.eval_limit * f);
+      opts.engine.backtrack_limit =
+          static_cast<std::uint64_t>(opts.engine.backtrack_limit * f);
+    } else if (const char* v3 = flag_value(argv[i], "--seed=")) {
+      opts.seed = static_cast<std::uint64_t>(std::atoll(v3));
+    } else if (!std::strcmp(argv[i], "--strict")) {
+      opts.count_potential_detections = false;
+    } else if (const char* v4 = flag_value(argv[i], "--tests=")) {
+      tests_file = v4;
+    } else if (!std::strcmp(argv[i], "--compact")) {
+      do_compact = true;
+    } else {
+      return usage();
+    }
+  }
+  AtpgRunResult run = run_atpg(nl, opts);
+  std::printf("engine           : %s\n", engine_kind_name(opts.engine.kind));
+  std::printf("fault coverage   : %.2f%%\n", run.fault_coverage);
+  std::printf("fault efficiency : %.2f%%\n", run.fault_efficiency);
+  std::printf("faults           : %zu total, %zu detected, %zu redundant, "
+              "%zu aborted\n",
+              run.total_faults, run.detected, run.redundant, run.aborted);
+  std::printf("work             : %llu evals, %llu backtracks, %.1f s\n",
+              static_cast<unsigned long long>(run.evals),
+              static_cast<unsigned long long>(run.backtracks),
+              run.wall_seconds);
+  std::printf("test sequences   : %zu\n", run.tests.size());
+  std::printf("states traversed : %zu\n", run.states_traversed.size());
+  if (do_compact) {
+    const auto c = compact_tests(nl, run.tests);
+    std::printf("compacted        : %zu -> %zu sequences\n", c.before,
+                c.after);
+    run.tests = c.tests;
+  }
+  if (!tests_file.empty()) {
+    std::ofstream os(tests_file);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", tests_file.c_str());
+      return 1;
+    }
+    os << "# test sequences for " << nl.name() << "\n# inputs:";
+    for (NodeId pi : nl.inputs()) os << ' ' << nl.node(pi).name;
+    os << "\n";
+    for (std::size_t s = 0; s < run.tests.size(); ++s) {
+      os << "sequence " << s << "\n";
+      for (const auto& vec : run.tests[s]) {
+        for (V3 v : vec) os << v3_char(v);
+        os << "\n";
+      }
+    }
+    std::printf("tests written    : %s\n", tests_file.c_str());
+  }
+  return 0;
+}
+
+int cmd_retime(const Netlist& nl, const std::string& out_path, int argc,
+               char** argv) {
+  std::size_t dffs = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (const char* v = flag_value(argv[i], "--dffs="))
+      dffs = static_cast<std::size_t>(std::atoll(v));
+    else
+      return usage();
+  }
+  const RetimeResult r =
+      dffs > 0 ? retime_to_dff_target(nl, dffs, nl.name() + ".re")
+               : retime_min_period(nl, nl.name() + ".re");
+  std::printf("period: %.2f -> %.2f, flip-flops: %zu -> %zu\n",
+              r.period_before, r.period_after, nl.num_dffs(),
+              r.netlist.num_dffs());
+  std::ofstream os(out_path);
+  if (!os) return 1;
+  write_bench(r.netlist, os);
+  std::printf("written: %s\n", out_path.c_str());
+  return 0;
+}
+
+int cmd_scan(const Netlist& nl, const std::string& out_path, bool partial) {
+  const ScanResult r = partial
+                           ? insert_partial_scan(
+                                 nl, select_cycle_breaking_ffs(nl))
+                           : insert_full_scan(nl);
+  std::printf("scanned %zu of %zu flip-flops\n", r.chain.size(),
+              nl.num_dffs());
+  std::ofstream os(out_path);
+  if (!os) return 1;
+  write_bench(r.netlist, os);
+  std::printf("written: %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "info") return cmd_info(load(argv[2]));
+    if (cmd == "analyze") return cmd_analyze(load(argv[2]));
+    if (cmd == "faults") return cmd_faults(load(argv[2]));
+    if (cmd == "atpg") return cmd_atpg(load(argv[2]), argc - 3, argv + 3);
+    if (cmd == "retime") {
+      if (argc < 4) return usage();
+      return cmd_retime(load(argv[2]), argv[3], argc - 4, argv + 4);
+    }
+    if (cmd == "scan") {
+      if (argc < 4) return usage();
+      const bool partial = argc > 4 && !std::strcmp(argv[4], "--partial");
+      return cmd_scan(load(argv[2]), argv[3], partial);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
