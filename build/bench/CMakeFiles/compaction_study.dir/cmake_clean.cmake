@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compaction_study.dir/compaction_study.cpp.o"
+  "CMakeFiles/compaction_study.dir/compaction_study.cpp.o.d"
+  "compaction_study"
+  "compaction_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compaction_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srf_census.dir/srf_census.cpp.o"
+  "CMakeFiles/srf_census.dir/srf_census.cpp.o.d"
+  "srf_census"
+  "srf_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srf_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_fsms.dir/table1_fsms.cpp.o"
+  "CMakeFiles/table1_fsms.dir/table1_fsms.cpp.o.d"
+  "table1_fsms"
+  "table1_fsms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_fsms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_hitec.dir/table2_hitec.cpp.o"
+  "CMakeFiles/table2_hitec.dir/table2_hitec.cpp.o.d"
+  "table2_hitec"
+  "table2_hitec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_hitec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_attest.dir/table3_attest.cpp.o"
+  "CMakeFiles/table3_attest.dir/table3_attest.cpp.o.d"
+  "table3_attest"
+  "table3_attest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_attest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

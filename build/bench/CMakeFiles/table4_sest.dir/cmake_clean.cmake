@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_sest.dir/table4_sest.cpp.o"
+  "CMakeFiles/table4_sest.dir/table4_sest.cpp.o.d"
+  "table4_sest"
+  "table4_sest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_sest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_structure.dir/table5_structure.cpp.o"
+  "CMakeFiles/table5_structure.dir/table5_structure.cpp.o.d"
+  "table5_structure"
+  "table5_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

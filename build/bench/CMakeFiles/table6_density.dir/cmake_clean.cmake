@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_density.dir/table6_density.cpp.o"
+  "CMakeFiles/table6_density.dir/table6_density.cpp.o.d"
+  "table6_density"
+  "table6_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_sensitivity.dir/table7_sensitivity.cpp.o"
+  "CMakeFiles/table7_sensitivity.dir/table7_sensitivity.cpp.o.d"
+  "table7_sensitivity"
+  "table7_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_replay.dir/table8_replay.cpp.o"
+  "CMakeFiles/table8_replay.dir/table8_replay.cpp.o.d"
+  "table8_replay"
+  "table8_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycle_counting.dir/cycle_counting.cpp.o"
+  "CMakeFiles/cycle_counting.dir/cycle_counting.cpp.o.d"
+  "cycle_counting"
+  "cycle_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycle_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

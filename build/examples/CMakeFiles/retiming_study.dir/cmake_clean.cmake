@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retiming_study.dir/retiming_study.cpp.o"
+  "CMakeFiles/retiming_study.dir/retiming_study.cpp.o.d"
+  "retiming_study"
+  "retiming_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retiming_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bddcircuit.cpp" "src/analysis/CMakeFiles/satpg_analysis.dir/bddcircuit.cpp.o" "gcc" "src/analysis/CMakeFiles/satpg_analysis.dir/bddcircuit.cpp.o.d"
+  "/root/repo/src/analysis/reach.cpp" "src/analysis/CMakeFiles/satpg_analysis.dir/reach.cpp.o" "gcc" "src/analysis/CMakeFiles/satpg_analysis.dir/reach.cpp.o.d"
+  "/root/repo/src/analysis/seqec.cpp" "src/analysis/CMakeFiles/satpg_analysis.dir/seqec.cpp.o" "gcc" "src/analysis/CMakeFiles/satpg_analysis.dir/seqec.cpp.o.d"
+  "/root/repo/src/analysis/srf.cpp" "src/analysis/CMakeFiles/satpg_analysis.dir/srf.cpp.o" "gcc" "src/analysis/CMakeFiles/satpg_analysis.dir/srf.cpp.o.d"
+  "/root/repo/src/analysis/structure.cpp" "src/analysis/CMakeFiles/satpg_analysis.dir/structure.cpp.o" "gcc" "src/analysis/CMakeFiles/satpg_analysis.dir/structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/satpg_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/satpg_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/satpg_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/retime/CMakeFiles/satpg_retime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/satpg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/satpg_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

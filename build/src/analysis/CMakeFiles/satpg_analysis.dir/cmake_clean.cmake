@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satpg_analysis.dir/bddcircuit.cpp.o"
+  "CMakeFiles/satpg_analysis.dir/bddcircuit.cpp.o.d"
+  "CMakeFiles/satpg_analysis.dir/reach.cpp.o"
+  "CMakeFiles/satpg_analysis.dir/reach.cpp.o.d"
+  "CMakeFiles/satpg_analysis.dir/seqec.cpp.o"
+  "CMakeFiles/satpg_analysis.dir/seqec.cpp.o.d"
+  "CMakeFiles/satpg_analysis.dir/srf.cpp.o"
+  "CMakeFiles/satpg_analysis.dir/srf.cpp.o.d"
+  "CMakeFiles/satpg_analysis.dir/structure.cpp.o"
+  "CMakeFiles/satpg_analysis.dir/structure.cpp.o.d"
+  "libsatpg_analysis.a"
+  "libsatpg_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satpg_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

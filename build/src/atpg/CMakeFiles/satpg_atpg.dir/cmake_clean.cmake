@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satpg_atpg.dir/compact.cpp.o"
+  "CMakeFiles/satpg_atpg.dir/compact.cpp.o.d"
+  "CMakeFiles/satpg_atpg.dir/engine.cpp.o"
+  "CMakeFiles/satpg_atpg.dir/engine.cpp.o.d"
+  "CMakeFiles/satpg_atpg.dir/podem.cpp.o"
+  "CMakeFiles/satpg_atpg.dir/podem.cpp.o.d"
+  "CMakeFiles/satpg_atpg.dir/scoap.cpp.o"
+  "CMakeFiles/satpg_atpg.dir/scoap.cpp.o.d"
+  "CMakeFiles/satpg_atpg.dir/tfm.cpp.o"
+  "CMakeFiles/satpg_atpg.dir/tfm.cpp.o.d"
+  "libsatpg_atpg.a"
+  "libsatpg_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satpg_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satpg_base.dir/bitvec.cpp.o"
+  "CMakeFiles/satpg_base.dir/bitvec.cpp.o.d"
+  "CMakeFiles/satpg_base.dir/logging.cpp.o"
+  "CMakeFiles/satpg_base.dir/logging.cpp.o.d"
+  "CMakeFiles/satpg_base.dir/strutil.cpp.o"
+  "CMakeFiles/satpg_base.dir/strutil.cpp.o.d"
+  "CMakeFiles/satpg_base.dir/table.cpp.o"
+  "CMakeFiles/satpg_base.dir/table.cpp.o.d"
+  "libsatpg_base.a"
+  "libsatpg_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satpg_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsatpg_base.a"
+)

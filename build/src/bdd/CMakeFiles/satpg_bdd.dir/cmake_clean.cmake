@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satpg_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/satpg_bdd.dir/bdd.cpp.o.d"
+  "libsatpg_bdd.a"
+  "libsatpg_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satpg_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dft/scan.cpp" "src/dft/CMakeFiles/satpg_dft.dir/scan.cpp.o" "gcc" "src/dft/CMakeFiles/satpg_dft.dir/scan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/satpg_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/satpg_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/satpg_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/satpg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/satpg_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satpg_dft.dir/scan.cpp.o"
+  "CMakeFiles/satpg_dft.dir/scan.cpp.o.d"
+  "libsatpg_dft.a"
+  "libsatpg_dft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satpg_dft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satpg_fault.dir/fault.cpp.o"
+  "CMakeFiles/satpg_fault.dir/fault.cpp.o.d"
+  "libsatpg_fault.a"
+  "libsatpg_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satpg_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satpg_fsim.dir/fsim.cpp.o"
+  "CMakeFiles/satpg_fsim.dir/fsim.cpp.o.d"
+  "libsatpg_fsim.a"
+  "libsatpg_fsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satpg_fsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsm/fsm.cpp" "src/fsm/CMakeFiles/satpg_fsm.dir/fsm.cpp.o" "gcc" "src/fsm/CMakeFiles/satpg_fsm.dir/fsm.cpp.o.d"
+  "/root/repo/src/fsm/kiss_io.cpp" "src/fsm/CMakeFiles/satpg_fsm.dir/kiss_io.cpp.o" "gcc" "src/fsm/CMakeFiles/satpg_fsm.dir/kiss_io.cpp.o.d"
+  "/root/repo/src/fsm/mcnc_suite.cpp" "src/fsm/CMakeFiles/satpg_fsm.dir/mcnc_suite.cpp.o" "gcc" "src/fsm/CMakeFiles/satpg_fsm.dir/mcnc_suite.cpp.o.d"
+  "/root/repo/src/fsm/minimize.cpp" "src/fsm/CMakeFiles/satpg_fsm.dir/minimize.cpp.o" "gcc" "src/fsm/CMakeFiles/satpg_fsm.dir/minimize.cpp.o.d"
+  "/root/repo/src/fsm/stg_extract.cpp" "src/fsm/CMakeFiles/satpg_fsm.dir/stg_extract.cpp.o" "gcc" "src/fsm/CMakeFiles/satpg_fsm.dir/stg_extract.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/satpg_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/satpg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/satpg_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satpg_fsm.dir/fsm.cpp.o"
+  "CMakeFiles/satpg_fsm.dir/fsm.cpp.o.d"
+  "CMakeFiles/satpg_fsm.dir/kiss_io.cpp.o"
+  "CMakeFiles/satpg_fsm.dir/kiss_io.cpp.o.d"
+  "CMakeFiles/satpg_fsm.dir/mcnc_suite.cpp.o"
+  "CMakeFiles/satpg_fsm.dir/mcnc_suite.cpp.o.d"
+  "CMakeFiles/satpg_fsm.dir/minimize.cpp.o"
+  "CMakeFiles/satpg_fsm.dir/minimize.cpp.o.d"
+  "CMakeFiles/satpg_fsm.dir/stg_extract.cpp.o"
+  "CMakeFiles/satpg_fsm.dir/stg_extract.cpp.o.d"
+  "libsatpg_fsm.a"
+  "libsatpg_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satpg_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satpg_harness.dir/experiments.cpp.o"
+  "CMakeFiles/satpg_harness.dir/experiments.cpp.o.d"
+  "CMakeFiles/satpg_harness.dir/extensions.cpp.o"
+  "CMakeFiles/satpg_harness.dir/extensions.cpp.o.d"
+  "CMakeFiles/satpg_harness.dir/suite.cpp.o"
+  "CMakeFiles/satpg_harness.dir/suite.cpp.o.d"
+  "libsatpg_harness.a"
+  "libsatpg_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satpg_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

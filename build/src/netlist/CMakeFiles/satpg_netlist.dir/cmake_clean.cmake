@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satpg_netlist.dir/bench_io.cpp.o"
+  "CMakeFiles/satpg_netlist.dir/bench_io.cpp.o.d"
+  "CMakeFiles/satpg_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/satpg_netlist.dir/netlist.cpp.o.d"
+  "libsatpg_netlist.a"
+  "libsatpg_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satpg_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

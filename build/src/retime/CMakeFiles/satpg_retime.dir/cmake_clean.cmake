@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satpg_retime.dir/retime.cpp.o"
+  "CMakeFiles/satpg_retime.dir/retime.cpp.o.d"
+  "libsatpg_retime.a"
+  "libsatpg_retime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satpg_retime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

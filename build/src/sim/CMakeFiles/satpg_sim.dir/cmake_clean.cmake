@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satpg_sim.dir/simulator.cpp.o"
+  "CMakeFiles/satpg_sim.dir/simulator.cpp.o.d"
+  "libsatpg_sim.a"
+  "libsatpg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satpg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

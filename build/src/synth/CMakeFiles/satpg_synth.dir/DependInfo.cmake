@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/cover.cpp" "src/synth/CMakeFiles/satpg_synth.dir/cover.cpp.o" "gcc" "src/synth/CMakeFiles/satpg_synth.dir/cover.cpp.o.d"
+  "/root/repo/src/synth/encode.cpp" "src/synth/CMakeFiles/satpg_synth.dir/encode.cpp.o" "gcc" "src/synth/CMakeFiles/satpg_synth.dir/encode.cpp.o.d"
+  "/root/repo/src/synth/library.cpp" "src/synth/CMakeFiles/satpg_synth.dir/library.cpp.o" "gcc" "src/synth/CMakeFiles/satpg_synth.dir/library.cpp.o.d"
+  "/root/repo/src/synth/scripts.cpp" "src/synth/CMakeFiles/satpg_synth.dir/scripts.cpp.o" "gcc" "src/synth/CMakeFiles/satpg_synth.dir/scripts.cpp.o.d"
+  "/root/repo/src/synth/synthesize.cpp" "src/synth/CMakeFiles/satpg_synth.dir/synthesize.cpp.o" "gcc" "src/synth/CMakeFiles/satpg_synth.dir/synthesize.cpp.o.d"
+  "/root/repo/src/synth/techmap.cpp" "src/synth/CMakeFiles/satpg_synth.dir/techmap.cpp.o" "gcc" "src/synth/CMakeFiles/satpg_synth.dir/techmap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsm/CMakeFiles/satpg_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/satpg_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/satpg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/satpg_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

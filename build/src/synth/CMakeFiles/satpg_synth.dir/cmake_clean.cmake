@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satpg_synth.dir/cover.cpp.o"
+  "CMakeFiles/satpg_synth.dir/cover.cpp.o.d"
+  "CMakeFiles/satpg_synth.dir/encode.cpp.o"
+  "CMakeFiles/satpg_synth.dir/encode.cpp.o.d"
+  "CMakeFiles/satpg_synth.dir/library.cpp.o"
+  "CMakeFiles/satpg_synth.dir/library.cpp.o.d"
+  "CMakeFiles/satpg_synth.dir/scripts.cpp.o"
+  "CMakeFiles/satpg_synth.dir/scripts.cpp.o.d"
+  "CMakeFiles/satpg_synth.dir/synthesize.cpp.o"
+  "CMakeFiles/satpg_synth.dir/synthesize.cpp.o.d"
+  "CMakeFiles/satpg_synth.dir/techmap.cpp.o"
+  "CMakeFiles/satpg_synth.dir/techmap.cpp.o.d"
+  "libsatpg_synth.a"
+  "libsatpg_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satpg_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srf_seqec_test.dir/srf_seqec_test.cpp.o"
+  "CMakeFiles/srf_seqec_test.dir/srf_seqec_test.cpp.o.d"
+  "srf_seqec_test"
+  "srf_seqec_test.pdb"
+  "srf_seqec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srf_seqec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for srf_seqec_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stg_minimize_test.dir/stg_minimize_test.cpp.o"
+  "CMakeFiles/stg_minimize_test.dir/stg_minimize_test.cpp.o.d"
+  "stg_minimize_test"
+  "stg_minimize_test.pdb"
+  "stg_minimize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stg_minimize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfm_stress_test.dir/tfm_stress_test.cpp.o"
+  "CMakeFiles/tfm_stress_test.dir/tfm_stress_test.cpp.o.d"
+  "tfm_stress_test"
+  "tfm_stress_test.pdb"
+  "tfm_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfm_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

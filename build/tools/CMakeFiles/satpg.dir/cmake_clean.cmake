@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satpg.dir/satpg_cli.cpp.o"
+  "CMakeFiles/satpg.dir/satpg_cli.cpp.o.d"
+  "satpg"
+  "satpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

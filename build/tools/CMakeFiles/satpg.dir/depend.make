@@ -1,0 +1,2 @@
+# Empty dependencies file for satpg.
+# This may be replaced when dependencies are built.
