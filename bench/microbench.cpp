@@ -2,9 +2,18 @@
 // logic simulation, parallel fault simulation, BDD reachability, espresso
 // minimization, and the time-frame model's event propagation. These guard
 // the throughput the experiment harness depends on.
+//
+// In addition to the google-benchmark suite, main() times the fault
+// simulator serial-vs-parallel on a Table-2-sized circuit and writes
+// BENCH_fsim.json (wall time + faults-simulated/sec) so the fsim perf
+// trajectory is tracked from PR to PR.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
 #include "analysis/reach.h"
+#include "base/threadpool.h"
 #include "atpg/engine.h"
 #include "atpg/podem.h"
 #include "atpg/scoap.h"
@@ -48,18 +57,21 @@ void BM_SeqSimulatorStep(benchmark::State& state) {
 BENCHMARK(BM_SeqSimulatorStep);
 
 void BM_ParallelFaultSim(benchmark::State& state) {
+  // arg 0: fsim worker threads (1 = serial reference, 0 = hardware).
   const Netlist& nl = shared_circuit().netlist;
   const auto collapsed = collapse_faults(nl);
   std::vector<Fault> faults;
   for (const auto& cf : collapsed) faults.push_back(cf.representative);
   const auto seqs = make_random_sequences(nl, 2, 32, 7);
+  FsimOptions opts;
+  opts.num_threads = static_cast<unsigned>(state.range(0));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(run_fault_simulation(nl, faults, seqs));
+    benchmark::DoNotOptimize(run_fault_simulation(nl, faults, seqs, opts));
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(faults.size()));
 }
-BENCHMARK(BM_ParallelFaultSim);
+BENCHMARK(BM_ParallelFaultSim)->Arg(1)->Arg(0);
 
 void BM_BddReachability(benchmark::State& state) {
   const Netlist& nl = shared_circuit().netlist;
@@ -119,7 +131,90 @@ void BM_ScoapAnalysis(benchmark::State& state) {
 }
 BENCHMARK(BM_ScoapAnalysis);
 
+// Serial-vs-parallel fault-simulation comparison on a Table-2-sized
+// circuit, written to BENCH_fsim.json next to the binary's working
+// directory. Kept outside google-benchmark so the numbers come from whole
+// runs of the production entry point and land in a machine-readable file.
+void write_fsim_bench_json() {
+  FsmGenSpec spec;
+  for (const auto& s : mcnc_specs())
+    if (s.name == "s820") spec = s;
+  SynthOptions so;
+  so.encode = EncodeAlgo::kOutputDominant;
+  const SynthResult res = synthesize(generate_control_fsm(spec), so);
+  const Netlist& nl = res.netlist;
+
+  const auto collapsed = collapse_faults(nl);
+  std::vector<Fault> faults;
+  for (const auto& cf : collapsed) faults.push_back(cf.representative);
+  const auto seqs = make_random_sequences(nl, 8, 40, 7);
+
+  auto time_run = [&](unsigned num_threads, int reps) {
+    // Warm the netlist caches and the thread pool outside the timed runs.
+    FsimOptions opts;
+    opts.num_threads = num_threads;
+    run_fault_simulation(nl, faults, seqs, opts);
+    double best = 1e100;
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(run_fault_simulation(nl, faults, seqs, opts));
+      const double s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      best = std::min(best, s);
+    }
+    return best;
+  };
+
+  const unsigned hw = ThreadPool::hardware_threads();
+  const double serial_s = time_run(1, 3);
+  const double parallel_s = time_run(hw, 3);
+  const auto fps = [&](double s) {
+    return static_cast<double>(faults.size()) / std::max(s, 1e-12);
+  };
+
+  std::FILE* f = std::fopen("BENCH_fsim.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "BENCH_fsim.json: cannot open for writing\n");
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"fsim_serial_vs_parallel\",\n"
+               "  \"circuit\": \"%s\",\n"
+               "  \"nodes\": %zu,\n"
+               "  \"dffs\": %zu,\n"
+               "  \"faults\": %zu,\n"
+               "  \"sequences\": %zu,\n"
+               "  \"frames_per_sequence\": %zu,\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"serial_seconds\": %.6f,\n"
+               "  \"serial_faults_per_second\": %.1f,\n"
+               "  \"parallel_num_threads\": %u,\n"
+               "  \"parallel_seconds\": %.6f,\n"
+               "  \"parallel_faults_per_second\": %.1f,\n"
+               "  \"speedup\": %.3f\n"
+               "}\n",
+               nl.name().c_str(), nl.num_nodes(), nl.num_dffs(),
+               faults.size(), seqs.size(),
+               seqs.empty() ? std::size_t{0} : seqs[0].size(), hw, serial_s,
+               fps(serial_s), hw, parallel_s, fps(parallel_s),
+               serial_s / std::max(parallel_s, 1e-12));
+  std::fclose(f);
+  std::printf("BENCH_fsim.json: serial %.3fs, parallel(x%u) %.3fs, "
+              "speedup %.2fx\n",
+              serial_s, hw, parallel_s,
+              serial_s / std::max(parallel_s, 1e-12));
+}
+
 }  // namespace
 }  // namespace satpg
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  satpg::write_fsim_bench_json();
+  return 0;
+}

@@ -20,27 +20,30 @@ const char* engine_kind_name(EngineKind k) {
 }
 
 AtpgEngine::AtpgEngine(const Netlist& nl, const EngineOptions& opts)
-    : nl_(nl), opts_(opts), scoap_(compute_scoap(nl)) {}
+    : nl_(nl), opts_(opts), scoap_(compute_scoap(nl)),
+      dff_index_(nl.num_nodes(), -1) {
+  for (std::size_t i = 0; i < nl.dffs().size(); ++i)
+    dff_index_[static_cast<std::size_t>(nl.dffs()[i])] =
+        static_cast<int>(i);
+}
 
-std::string AtpgEngine::cube_key(
+StateKey AtpgEngine::cube_key(
     const std::vector<std::pair<NodeId, V3>>& cube) const {
-  std::string key(nl_.num_dffs(), '-');
   // nl_.dffs() order defines the key positions.
+  StateKey key(nl_.num_dffs());
   for (const auto& [ff, v] : cube) {
-    for (std::size_t i = 0; i < nl_.dffs().size(); ++i)
-      if (nl_.dffs()[i] == ff) {
-        key[i] = v == V3::kOne ? '1' : '0';
-        break;
-      }
+    const int i = dff_index_[static_cast<std::size_t>(ff)];
+    SATPG_DCHECK(i >= 0);
+    key.set(static_cast<std::size_t>(i), v);
   }
   return key;
 }
 
 AtpgEngine::JustifyOutcome AtpgEngine::justify(
     const std::vector<std::pair<NodeId, V3>>& cube, int depth,
-    std::set<std::string>& on_path, PodemBudget& budget) {
+    StateSet& on_path, PodemBudget& budget) {
   if (cube.empty()) return {true, {}};
-  const std::string key = cube_key(cube);
+  const StateKey key = cube_key(cube);
   cubes_visited_.insert(key);
   if (depth > opts_.max_backward_frames) return {};
   if (on_path.count(key)) return {};  // state-requirement loop
@@ -127,7 +130,7 @@ FaultAttempt AtpgEngine::generate(const Fault& fault) {
           const V3 v = podem.state_value(ff);
           if (v != V3::kX) cube.push_back({ff, v});
         }
-      std::set<std::string> on_path;
+      StateSet on_path;
       auto just = justify(cube, 0, on_path, budget);
       if (just.ok) {
         // Candidate sequence; justification ran on the good machine, so
@@ -241,7 +244,7 @@ AtpgRunResult run_atpg(const Netlist& nl, const AtpgRunOptions& opts) {
       make_random_sequences(nl, opts.random_sequences, opts.random_length,
                             opts.seed);
   if (!random_seqs.empty()) {
-    const auto fr = run_fault_simulation(nl, faults, random_seqs);
+    const auto fr = run_fault_simulation(nl, faults, random_seqs, opts.fsim);
     std::vector<bool> seq_used(random_seqs.size(), false);
     for (std::size_t i = 0; i < faults.size(); ++i) {
       if (fr.detected_at[i] >= 0) {
@@ -292,8 +295,8 @@ AtpgRunResult run_atpg(const Netlist& nl, const AtpgRunOptions& opts) {
             remaining.push_back(faults[j]);
             remap.push_back(j);
           }
-        const auto fr =
-            run_fault_simulation(nl, remaining, {attempt.sequence});
+        const auto fr = run_fault_simulation(nl, remaining,
+                                             {attempt.sequence}, opts.fsim);
         bool target_confirmed = false;
         for (std::size_t k = 0; k < remaining.size(); ++k) {
           if (fr.potential_at[k] >= 0) potential[remap[k]] = true;
@@ -347,8 +350,8 @@ AtpgRunResult run_atpg(const Netlist& nl, const AtpgRunOptions& opts) {
 
   // Final replay for the state-traversal census.
   if (!res.tests.empty()) {
-    const auto fr = run_fault_simulation(nl, {}, res.tests);
-    res.states_traversed = fr.good_states;
+    auto fr = run_fault_simulation(nl, {}, res.tests, opts.fsim);
+    res.states_traversed = std::move(fr.good_states);
   }
   res.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

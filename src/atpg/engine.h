@@ -27,9 +27,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "atpg/podem.h"
@@ -37,6 +37,7 @@
 #include "fault/fault.h"
 #include "fsim/fsim.h"
 #include "netlist/netlist.h"
+#include "sim/statekey.h"
 
 namespace satpg {
 
@@ -89,21 +90,24 @@ class AtpgEngine {
     std::vector<std::vector<V3>> prefix;  ///< oldest vector first
   };
   JustifyOutcome justify(const std::vector<std::pair<NodeId, V3>>& cube,
-                         int depth, std::set<std::string>& on_path,
-                         PodemBudget& budget);
-  std::string cube_key(const std::vector<std::pair<NodeId, V3>>& cube) const;
+                         int depth, StateSet& on_path, PodemBudget& budget);
+  /// Packed key of a state cube ('-' digits are X). O(cube size) via the
+  /// precomputed DFF index map.
+  StateKey cube_key(const std::vector<std::pair<NodeId, V3>>& cube) const;
 
   const Netlist& nl_;
   EngineOptions opts_;
   Scoap scoap_;
+  std::vector<int> dff_index_;  ///< NodeId -> position in nl.dffs(), or -1
   std::optional<Fault> current_fault_;  ///< fault modelled by justification
   std::uint64_t total_evals_ = 0;
   std::uint64_t total_backtracks_ = 0;
 
   // Learning caches (kLearning only): cube -> known prefix / known failure.
-  std::map<std::string, std::vector<std::vector<V3>>> learned_ok_;
-  std::set<std::string> learned_fail_;
-  std::set<std::string> cubes_visited_;
+  std::unordered_map<StateKey, std::vector<std::vector<V3>>, StateKeyHash>
+      learned_ok_;
+  StateSet learned_fail_;
+  StateSet cubes_visited_;
   std::size_t verify_rejects_ = 0;
 };
 
@@ -122,6 +126,10 @@ struct AtpgRunOptions {
   /// faults whose faulty machine never initializes. Ablation can turn this
   /// off for strict-detection numbers.
   bool count_potential_detections = true;
+  /// Fault-simulation knobs (random phase, per-test fault dropping, final
+  /// replay). Defaults to one worker per hardware thread; results are
+  /// bit-identical for every thread count.
+  FsimOptions fsim;
 };
 
 struct AtpgRunResult {
@@ -136,7 +144,7 @@ struct AtpgRunResult {
   double wall_seconds = 0.0;
   /// Distinct good-machine states entered while applying the final test
   /// set (the paper's "#states traversed", Tables 6/8).
-  std::set<std::string> states_traversed;
+  StateSet states_traversed;
   std::size_t verify_failures = 0;  ///< generated tests the fsim rejected
   /// (cumulative evals, fault efficiency %) after each deterministic-phase
   /// fault — the series behind the paper's Figure 3. Strict statuses

@@ -1,66 +1,12 @@
 #include "fsim/fsim.h"
 
 #include <algorithm>
+#include <cstdint>
 
+#include "base/threadpool.h"
 #include "sim/simulator.h"
 
 namespace satpg {
-
-namespace {
-
-// Scalar gate evaluation with one fanin overridden (for input-pin faults).
-V3 eval_with_forced_pin(const Netlist& nl, NodeId id, int pin, V3 forced,
-                        const std::vector<V3>& values) {
-  const auto& n = nl.node(id);
-  std::vector<V3> tmp(n.fanins.size());
-  for (std::size_t k = 0; k < n.fanins.size(); ++k)
-    tmp[k] = values[static_cast<std::size_t>(n.fanins[k])];
-  tmp[static_cast<std::size_t>(pin)] = forced;
-  // Evaluate over the temporary fanin values through a scratch vector
-  // indexed by position: reuse eval_gate_v3 by building a fake fanin list.
-  // Cheaper: inline the fold here.
-  auto fold_and = [&tmp]() {
-    V3 v = tmp[0];
-    for (std::size_t i = 1; i < tmp.size(); ++i) v = v3_and(v, tmp[i]);
-    return v;
-  };
-  auto fold_or = [&tmp]() {
-    V3 v = tmp[0];
-    for (std::size_t i = 1; i < tmp.size(); ++i) v = v3_or(v, tmp[i]);
-    return v;
-  };
-  auto fold_xor = [&tmp]() {
-    V3 v = tmp[0];
-    for (std::size_t i = 1; i < tmp.size(); ++i) v = v3_xor(v, tmp[i]);
-    return v;
-  };
-  switch (n.type) {
-    case GateType::kBuf:
-      return tmp[0];
-    case GateType::kNot:
-      return v3_not(tmp[0]);
-    case GateType::kAnd:
-      return fold_and();
-    case GateType::kNand:
-      return v3_not(fold_and());
-    case GateType::kOr:
-      return fold_or();
-    case GateType::kNor:
-      return v3_not(fold_or());
-    case GateType::kXor:
-      return fold_xor();
-    case GateType::kXnor:
-      return v3_not(fold_xor());
-    case GateType::kDff:
-    case GateType::kOutput:
-      return tmp[0];  // D / PO marker pass-through
-    default:
-      SATPG_CHECK(false);
-  }
-  return V3::kX;
-}
-
-}  // namespace
 
 int simulate_fault_serial(const Netlist& nl, const Fault& fault,
                           const TestSequence& seq) {
@@ -69,6 +15,7 @@ int simulate_fault_serial(const Netlist& nl, const Fault& fault,
   std::vector<V3> fstate(nl.num_dffs(), V3::kX);
   std::vector<V3> gval(nl.num_nodes(), V3::kX);
   std::vector<V3> fval(nl.num_nodes(), V3::kX);
+  std::vector<V3> pin_scratch;  // forced-pin fanin staging, reused
 
   for (std::size_t t = 0; t < seq.size(); ++t) {
     const auto& pi = seq[t];
@@ -92,12 +39,17 @@ int simulate_fault_serial(const Netlist& nl, const Fault& fault,
         const auto& n = nl.node(id);
         V3 v;
         if (is_combinational(n.type)) {
-          if (faulty && fault.pin >= 0 && id == fault.node)
-            v = eval_with_forced_pin(nl, id, fault.pin,
-                                     fault.stuck1 ? V3::kOne : V3::kZero,
-                                     val);
-          else
+          if (faulty && fault.pin >= 0 && id == fault.node) {
+            pin_scratch.resize(n.fanins.size());
+            for (std::size_t k = 0; k < n.fanins.size(); ++k)
+              pin_scratch[k] = val[static_cast<std::size_t>(n.fanins[k])];
+            pin_scratch[static_cast<std::size_t>(fault.pin)] =
+                fault.stuck1 ? V3::kOne : V3::kZero;
+            v = eval_gate_v3_packed(n.type, pin_scratch.data(),
+                                    n.fanins.size());
+          } else {
             v = eval_gate_v3(n.type, n.fanins, val);
+          }
           if (faulty && fault.pin < 0 && id == fault.node)
             v = fault.stuck1 ? V3::kOne : V3::kZero;
           val[static_cast<std::size_t>(id)] = v;
@@ -140,122 +92,265 @@ int simulate_fault_serial(const Netlist& nl, const Fault& fault,
 
 namespace {
 
-// One 63-fault batch simulated against one sequence. Returns per-batch-slot
-// detection flag; also appends good states to `good_states`.
-void simulate_batch(const Netlist& nl, const std::vector<Fault>& faults,
-                    const std::vector<std::size_t>& batch,
-                    const TestSequence& seq, std::vector<bool>& detected_out,
-                    std::vector<bool>& potential_out,
-                    std::set<std::string>* good_states) {
-  // Injection tables.
-  struct Inject {
-    unsigned slot;
-    int pin;
-    bool stuck1;
-  };
-  std::vector<std::vector<Inject>> inj(nl.num_nodes());
-  for (std::size_t k = 0; k < batch.size(); ++k) {
-    const Fault& f = faults[batch[k]];
-    inj[static_cast<std::size_t>(f.node)].push_back(
-        {static_cast<unsigned>(k + 1), f.pin, f.stuck1});
-  }
+// Good-machine values for every node of every frame of one sequence, plus
+// the state trajectory. Simulated exactly once per sequence; every batch
+// reads good values from here instead of re-deriving them in slot 0 of a
+// full-netlist parallel sweep. Buffers are reused across sequences.
+struct GoodTrace {
+  std::vector<std::vector<V3>> val;  ///< [frame][node], pre-clock values
+  std::vector<V3> state;             ///< scratch: state while simulating
+};
 
-  std::vector<PV> state(nl.num_dffs(), PV::all(V3::kX));
-  std::vector<PV> val(nl.num_nodes(), PV::all(V3::kX));
-  std::vector<bool> det(batch.size(), false);
-  std::vector<bool> pot(batch.size(), false);
+void simulate_good(const Netlist& nl, const TestSequence& seq,
+                   GoodTrace& trace, StateSet* good_states) {
+  const auto& inputs = nl.inputs();
+  const auto& dffs = nl.dffs();
+  trace.state.assign(dffs.size(), V3::kX);
+  if (trace.val.size() < seq.size()) trace.val.resize(seq.size());
 
   for (std::size_t t = 0; t < seq.size(); ++t) {
     const auto& pi = seq[t];
-    const auto& inputs = nl.inputs();
+    SATPG_CHECK(pi.size() == nl.num_inputs());
+    auto& val = trace.val[t];
+    val.assign(nl.num_nodes(), V3::kX);
     for (std::size_t i = 0; i < inputs.size(); ++i)
-      val[static_cast<std::size_t>(inputs[i])] = PV::all(pi[i]);
-    const auto& dffs = nl.dffs();
+      val[static_cast<std::size_t>(inputs[i])] = pi[i];
     for (std::size_t i = 0; i < dffs.size(); ++i)
-      val[static_cast<std::size_t>(dffs[i])] = state[i];
-    // Source-node output faults (PI/DFF stems).
-    for (std::size_t i = 0; i < nl.num_nodes(); ++i) {
-      const auto& n = nl.node(static_cast<NodeId>(i));
-      if (n.dead || inj[i].empty()) continue;
-      if (n.type == GateType::kInput || n.type == GateType::kDff) {
-        for (const auto& j : inj[i])
-          if (j.pin < 0)
-            val[i].set_slot(j.slot, j.stuck1 ? V3::kOne : V3::kZero);
-      }
-    }
-
+      val[static_cast<std::size_t>(dffs[i])] = trace.state[i];
     for (NodeId id : nl.topo_order()) {
       const auto& n = nl.node(id);
-      if (is_combinational(n.type)) {
-        PV v = eval_gate_pv(n.type, n.fanins, val);
-        for (const auto& j : inj[static_cast<std::size_t>(id)]) {
-          if (j.pin < 0) {
-            v.set_slot(j.slot, j.stuck1 ? V3::kOne : V3::kZero);
-          } else {
-            // Recompute this slot scalar with the forced pin.
-            std::vector<V3> sc(nl.num_nodes(), V3::kX);
-            for (NodeId f : n.fanins)
-              sc[static_cast<std::size_t>(f)] =
-                  val[static_cast<std::size_t>(f)].slot(j.slot);
-            v.set_slot(j.slot,
-                       eval_with_forced_pin(nl, id, j.pin,
-                                            j.stuck1 ? V3::kOne : V3::kZero,
-                                            sc));
-          }
-        }
-        val[static_cast<std::size_t>(id)] = v;
-      } else if (n.type == GateType::kOutput) {
-        PV v = val[static_cast<std::size_t>(n.fanins[0])];
-        for (const auto& j : inj[static_cast<std::size_t>(id)])
-          if (j.pin == 0)
-            v.set_slot(j.slot, j.stuck1 ? V3::kOne : V3::kZero);
-        val[static_cast<std::size_t>(id)] = v;
+      if (is_combinational(n.type))
+        val[static_cast<std::size_t>(id)] =
+            eval_gate_v3(n.type, n.fanins, val);
+      else if (n.type == GateType::kOutput)
+        val[static_cast<std::size_t>(id)] =
+            val[static_cast<std::size_t>(n.fanins[0])];
+    }
+    // Clock.
+    for (std::size_t i = 0; i < dffs.size(); ++i)
+      trace.state[i] =
+          val[static_cast<std::size_t>(nl.node(dffs[i]).fanins[0])];
+    if (good_states) {
+      StateKey key(trace.state.size());
+      bool known = false;
+      for (std::size_t i = 0; i < trace.state.size(); ++i) {
+        key.set(i, trace.state[i]);
+        known |= trace.state[i] != V3::kX;
       }
+      if (known) good_states->insert(key);
+    }
+  }
+}
+
+// Per-worker scratch arena. All buffers are sized once per netlist and
+// reused across every batch and frame the worker simulates — the per-frame
+// hot path performs no heap allocation.
+struct FsimArena {
+  struct Inject {
+    NodeId node;
+    int pin;
+    unsigned slot;
+    bool stuck1;
+    std::int32_t next;  ///< next injection on the same node, or -1
+  };
+
+  std::vector<PV> val;                 ///< per node
+  std::vector<PV> state;               ///< per DFF
+  std::vector<std::uint8_t> active;    ///< per node: differs from good?
+  std::vector<std::int32_t> inj_head;  ///< per node -> index into inj, -1
+  std::vector<Inject> inj;             ///< flattened injection table
+  std::vector<std::uint32_t> cone_pis;   ///< PI indices inside the cone
+  std::vector<std::uint32_t> cone_dffs;  ///< DFF indices inside the cone
+  std::vector<NodeId> cone_eval;  ///< cone comb/PO nodes in topo order
+  std::vector<NodeId> cone_pos;   ///< cone PO markers, nl.outputs() order
+  std::vector<PV> pv_gather;      ///< fanin staging for gate evaluation
+  std::vector<V3> v3_gather;      ///< fanin staging for forced-pin slots
+  BitVec cone;                    ///< union of batch fault-site cones
+  bool prepared = false;
+
+  void prepare(const Netlist& nl) {
+    if (prepared && val.size() == nl.num_nodes()) return;
+    val.assign(nl.num_nodes(), PV{});
+    state.assign(nl.num_dffs(), PV{});
+    active.assign(nl.num_nodes(), 0);
+    inj_head.assign(nl.num_nodes(), -1);
+    inj.reserve(63);
+    std::size_t max_fanins = 1;
+    for (std::size_t i = 0; i < nl.num_nodes(); ++i)
+      max_fanins = std::max(
+          max_fanins, nl.node(static_cast<NodeId>(i)).fanins.size());
+    pv_gather.resize(max_fanins);
+    v3_gather.resize(max_fanins);
+    cone.resize(nl.num_nodes());
+    prepared = true;
+  }
+};
+
+// One 63-fault batch simulated against one sequence, restricted to the
+// union of the batch's fault-site fanout cones. Nodes outside the cone are
+// provably identical to the good machine, whose per-frame values arrive in
+// `good`; inside the cone an activity check skips any gate whose fanins
+// all match the good values and which carries no injection. Sets
+// newly[faults index] / newly_pot[faults index] — each batch owns disjoint
+// fault indices, so concurrent batches never write the same slot.
+void simulate_batch(const Netlist& nl, const std::vector<Fault>& faults,
+                    const std::size_t* batch, std::size_t batch_size,
+                    const TestSequence& seq, const GoodTrace& good,
+                    FsimArena& a, std::uint8_t* newly,
+                    std::uint8_t* newly_pot) {
+  SATPG_DCHECK(batch_size >= 1 && batch_size <= 63);
+  a.prepare(nl);
+  const auto& cones = nl.fanout_cones();
+  const auto& inputs = nl.inputs();
+  const auto& dffs = nl.dffs();
+
+  // Union cone of the batch's fault sites.
+  a.cone.clear_all();
+  for (std::size_t k = 0; k < batch_size; ++k)
+    a.cone |= cones[static_cast<std::size_t>(faults[batch[k]].node)];
+
+  // Flattened injection table: clear the previous batch's heads (bounded
+  // by 63 entries, not netlist size), then chain this batch's faults.
+  for (const auto& e : a.inj)
+    a.inj_head[static_cast<std::size_t>(e.node)] = -1;
+  a.inj.clear();
+  for (std::size_t k = 0; k < batch_size; ++k) {
+    const Fault& f = faults[batch[k]];
+    const auto ni = static_cast<std::size_t>(f.node);
+    a.inj.push_back({f.node, f.pin, static_cast<unsigned>(k + 1), f.stuck1,
+                     a.inj_head[ni]});
+    a.inj_head[ni] = static_cast<std::int32_t>(a.inj.size()) - 1;
+  }
+
+  // Cone membership lists, in evaluation order.
+  a.cone_pis.clear();
+  a.cone_dffs.clear();
+  a.cone_eval.clear();
+  a.cone_pos.clear();
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    if (a.cone.get(static_cast<std::size_t>(inputs[i])))
+      a.cone_pis.push_back(static_cast<std::uint32_t>(i));
+  for (std::size_t i = 0; i < dffs.size(); ++i)
+    if (a.cone.get(static_cast<std::size_t>(dffs[i])))
+      a.cone_dffs.push_back(static_cast<std::uint32_t>(i));
+  for (NodeId id : nl.topo_order()) {
+    if (!a.cone.get(static_cast<std::size_t>(id))) continue;
+    const auto& n = nl.node(id);
+    if (is_combinational(n.type) || n.type == GateType::kOutput)
+      a.cone_eval.push_back(id);
+  }
+  for (NodeId po : nl.outputs())
+    if (a.cone.get(static_cast<std::size_t>(po))) a.cone_pos.push_back(po);
+
+  // All-X power-up state for the cone's flip-flops. Stale `active` flags
+  // are harmless: every cone node's flag is rewritten each frame before
+  // any topologically-later consumer reads it.
+  for (std::uint32_t i : a.cone_dffs) a.state[i] = PV::all(V3::kX);
+
+  auto forced = [](const FsimArena::Inject& j) {
+    return j.stuck1 ? V3::kOne : V3::kZero;
+  };
+
+  for (std::size_t t = 0; t < seq.size(); ++t) {
+    const auto& pi = seq[t];
+    const std::vector<V3>& gval = good.val[t];
+
+    // Cone sources: PIs and DFF outputs, with stem injections.
+    for (std::uint32_t idx : a.cone_pis) {
+      const auto id = static_cast<std::size_t>(inputs[idx]);
+      PV v = PV::all(pi[idx]);
+      for (std::int32_t e = a.inj_head[id]; e >= 0; e = a.inj[e].next)
+        if (a.inj[e].pin < 0) v.set_slot(a.inj[e].slot, forced(a.inj[e]));
+      a.val[id] = v;
+      a.active[id] = v != PV::all(gval[id]) ? 1 : 0;
+    }
+    for (std::uint32_t i : a.cone_dffs) {
+      const auto id = static_cast<std::size_t>(dffs[i]);
+      PV v = a.state[i];
+      for (std::int32_t e = a.inj_head[id]; e >= 0; e = a.inj[e].next)
+        if (a.inj[e].pin < 0) v.set_slot(a.inj[e].slot, forced(a.inj[e]));
+      a.val[id] = v;
+      a.active[id] = v != PV::all(gval[id]) ? 1 : 0;
     }
 
-    // Detection: slot differs from slot 0 with both known. Potential
-    // detection: good known, slot X.
-    for (NodeId po : nl.outputs()) {
-      const PV v = val[static_cast<std::size_t>(po)];
-      const V3 good = v.slot(0);
-      if (good == V3::kX) continue;
-      const std::uint64_t good_mask = good == V3::kOne ? v.zero : v.one;
+    // Cone gates and PO markers in topological order.
+    for (NodeId id : a.cone_eval) {
+      const auto& n = nl.node(id);
+      const auto ni = static_cast<std::size_t>(id);
+      const V3 g = gval[ni];
+      // Activity check: a gate whose fanins all equal the good machine in
+      // every slot and which injects nothing evaluates to the good value.
+      bool act = a.inj_head[ni] >= 0;
+      if (!act)
+        for (NodeId f : n.fanins) {
+          const auto fi = static_cast<std::size_t>(f);
+          if (a.cone.get(fi) && a.active[fi]) {
+            act = true;
+            break;
+          }
+        }
+      if (!act) {
+        a.val[ni] = PV::all(g);
+        a.active[ni] = 0;
+        continue;
+      }
+      const std::size_t nfi = n.fanins.size();
+      for (std::size_t k = 0; k < nfi; ++k) {
+        const auto fi = static_cast<std::size_t>(n.fanins[k]);
+        a.pv_gather[k] =
+            a.cone.get(fi) ? a.val[fi] : PV::all(gval[fi]);
+      }
+      PV v = eval_gate_pv_packed(n.type, a.pv_gather.data(), nfi);
+      for (std::int32_t e = a.inj_head[ni]; e >= 0; e = a.inj[e].next) {
+        const auto& j = a.inj[e];
+        if (n.type == GateType::kOutput) {
+          if (j.pin == 0) v.set_slot(j.slot, forced(j));
+        } else if (j.pin < 0) {
+          v.set_slot(j.slot, forced(j));
+        } else {
+          // Recompute this slot scalar with the forced pin.
+          for (std::size_t k = 0; k < nfi; ++k)
+            a.v3_gather[k] = a.pv_gather[k].slot(j.slot);
+          a.v3_gather[static_cast<std::size_t>(j.pin)] = forced(j);
+          v.set_slot(j.slot,
+                     eval_gate_v3_packed(n.type, a.v3_gather.data(), nfi));
+        }
+      }
+      a.val[ni] = v;
+      a.active[ni] = v != PV::all(g) ? 1 : 0;
+    }
+
+    // Detection: slot differs from the good value with both known.
+    // Potential detection: good known, slot X. POs outside the cone carry
+    // the good value in every slot and can contribute neither.
+    for (NodeId po : a.cone_pos) {
+      const PV v = a.val[static_cast<std::size_t>(po)];
+      const V3 g = v.slot(0);
+      if (g == V3::kX) continue;
+      const std::uint64_t good_mask = g == V3::kOne ? v.zero : v.one;
       std::uint64_t diff = good_mask & ~1ULL;  // known-opposite slots
       while (diff) {
-        const unsigned slot =
-            static_cast<unsigned>(__builtin_ctzll(diff));
+        const unsigned slot = static_cast<unsigned>(__builtin_ctzll(diff));
         diff &= diff - 1;
-        if (slot >= 1 && slot <= batch.size()) det[slot - 1] = true;
+        if (slot >= 1 && slot <= batch_size) newly[batch[slot - 1]] = 1;
       }
       std::uint64_t xs = ~(v.zero | v.one) & ~1ULL;
       while (xs) {
         const unsigned slot = static_cast<unsigned>(__builtin_ctzll(xs));
         xs &= xs - 1;
-        if (slot >= 1 && slot <= batch.size()) pot[slot - 1] = true;
+        if (slot >= 1 && slot <= batch_size) newly_pot[batch[slot - 1]] = 1;
       }
     }
 
-    // Clock.
-    for (std::size_t i = 0; i < dffs.size(); ++i) {
-      const auto& n = nl.node(dffs[i]);
-      PV v = val[static_cast<std::size_t>(n.fanins[0])];
-      for (const auto& j : inj[static_cast<std::size_t>(dffs[i])])
-        if (j.pin == 0)
-          v.set_slot(j.slot, j.stuck1 ? V3::kOne : V3::kZero);
-      state[i] = v;
+    // Clock the cone's flip-flops (D-pin faults inject here).
+    for (std::uint32_t i : a.cone_dffs) {
+      const auto id = static_cast<std::size_t>(dffs[i]);
+      const auto d = static_cast<std::size_t>(nl.node(dffs[i]).fanins[0]);
+      PV v = a.cone.get(d) ? a.val[d] : PV::all(gval[d]);
+      for (std::int32_t e = a.inj_head[id]; e >= 0; e = a.inj[e].next)
+        if (a.inj[e].pin == 0) v.set_slot(a.inj[e].slot, forced(a.inj[e]));
+      a.state[i] = v;
     }
-    if (good_states) {
-      std::string s;
-      s.reserve(state.size());
-      for (std::size_t i = state.size(); i-- > 0;)
-        s.push_back(v3_char(state[i].slot(0)));
-      if (s.find_first_not_of('X') != std::string::npos)
-        good_states->insert(s);
-    }
-  }
-  for (std::size_t k = 0; k < batch.size(); ++k) {
-    if (det[k]) detected_out[batch[k]] = true;
-    if (pot[k]) potential_out[batch[k]] = true;
   }
 }
 
@@ -263,44 +358,83 @@ void simulate_batch(const Netlist& nl, const std::vector<Fault>& faults,
 
 FsimResult run_fault_simulation(const Netlist& nl,
                                 const std::vector<Fault>& faults,
-                                const std::vector<TestSequence>& sequences) {
+                                const std::vector<TestSequence>& sequences,
+                                const FsimOptions& opts) {
   FsimResult res;
   res.detected_at.assign(faults.size(), -1);
   res.potential_at.assign(faults.size(), -1);
-  std::vector<bool> detected(faults.size(), false);
+  if (sequences.empty()) return res;
+
+  // Build the netlist's lazy caches before workers share it: the const
+  // accessors populate mutable caches on first use and must not race.
+  nl.topo_order();
+  if (!faults.empty()) nl.fanout_cones();
+
+  const unsigned max_workers = opts.num_threads == 0
+                                   ? ThreadPool::hardware_threads()
+                                   : opts.num_threads;
+
+  std::vector<std::uint8_t> detected(faults.size(), 0);
+  std::vector<std::uint8_t> newly(faults.size(), 0);
+  std::vector<std::uint8_t> newly_pot(faults.size(), 0);
+  std::vector<std::size_t> remaining;
+  remaining.reserve(faults.size());
+  GoodTrace trace;
+  std::vector<FsimArena> arenas;
 
   for (std::size_t si = 0; si < sequences.size(); ++si) {
-    // Remaining (undetected) faults, batched 63 at a time.
-    std::vector<std::size_t> remaining;
+    // The good machine runs once per sequence; batches only re-simulate
+    // the faulty cones against it. This also records the state trajectory
+    // without ever simulating an empty batch.
+    simulate_good(nl, sequences[si], trace, &res.good_states);
+
+    // Remaining (undetected) faults, batched 63 at a time. The batch
+    // partition is fixed before any batch runs and every batch writes only
+    // its own faults' flags, so results are independent of worker count
+    // and scheduling order.
+    remaining.clear();
     for (std::size_t i = 0; i < faults.size(); ++i)
       if (!detected[i]) remaining.push_back(i);
-    // Track good states once per sequence (first batch; the good machine is
-    // identical in every batch). When no faults remain we still simulate an
-    // empty batch to record the trajectory.
-    bool first_batch = true;
-    std::size_t at = 0;
-    do {
-      std::vector<std::size_t> batch;
-      for (; at < remaining.size() && batch.size() < 63; ++at)
-        batch.push_back(remaining[at]);
-      std::vector<bool> newly(faults.size(), false);
-      std::vector<bool> newly_pot(faults.size(), false);
-      simulate_batch(nl, faults, batch, sequences[si], newly, newly_pot,
-                     first_batch ? &res.good_states : nullptr);
-      first_batch = false;
-      for (std::size_t i = 0; i < faults.size(); ++i) {
-        if (newly[i] && !detected[i]) {
-          detected[i] = true;
-          res.detected_at[i] = static_cast<int>(si);
-        }
-        if (newly_pot[i] && res.potential_at[i] < 0)
-          res.potential_at[i] = static_cast<int>(si);
+    if (remaining.empty()) continue;
+    const std::size_t num_batches = (remaining.size() + 62) / 63;
+    std::fill(newly.begin(), newly.end(), 0);
+    std::fill(newly_pot.begin(), newly_pot.end(), 0);
+
+    auto run_batch = [&](std::size_t b, FsimArena& arena) {
+      const std::size_t lo = b * 63;
+      const std::size_t n =
+          std::min<std::size_t>(63, remaining.size() - lo);
+      simulate_batch(nl, faults, remaining.data() + lo, n, sequences[si],
+                     trace, arena, newly.data(), newly_pot.data());
+    };
+
+    const auto workers = static_cast<unsigned>(
+        std::min<std::size_t>(max_workers, num_batches));
+    if (arenas.size() < workers) arenas.resize(workers);
+    if (workers <= 1) {
+      for (std::size_t b = 0; b < num_batches; ++b)
+        run_batch(b, arenas[0]);
+    } else {
+      ThreadPool& pool = ThreadPool::shared();
+      for (unsigned w = 0; w < workers; ++w)
+        pool.submit([&run_batch, w, workers, num_batches, &arenas] {
+          for (std::size_t b = w; b < num_batches; b += workers)
+            run_batch(b, arenas[w]);
+        });
+      pool.wait_all();
+    }
+
+    for (std::size_t idx : remaining) {
+      if (newly[idx]) {
+        detected[idx] = 1;
+        res.detected_at[idx] = static_cast<int>(si);
       }
-    } while (at < remaining.size());
+      if (newly_pot[idx] && res.potential_at[idx] < 0)
+        res.potential_at[idx] = static_cast<int>(si);
+    }
   }
-  res.num_detected =
-      static_cast<std::size_t>(std::count(detected.begin(), detected.end(),
-                                          true));
+  res.num_detected = static_cast<std::size_t>(
+      std::count(detected.begin(), detected.end(), 1));
   return res;
 }
 

@@ -15,16 +15,25 @@
 //     slots 1..63 carry faulty machines), the workhorse for test-set
 //     grading and the Table 8 replay experiment.
 //
+// The bit-parallel engine is cone-restricted and parallel: the good
+// machine is simulated exactly once per sequence, each 63-fault batch
+// evaluates only nodes inside the union of its fault sites' sequential
+// fanout cones (everything outside is known to equal the good value), and
+// batches run concurrently on a thread pool. Per-worker scratch arenas
+// keep the per-frame hot path allocation-free. Results are bit-identical
+// for every thread count — batches are formed per sequence before any
+// batch runs, each batch writes only its own faults' slots, and merging
+// happens at a per-sequence barrier.
+//
 // The good machine's state trajectory is recorded so experiments can count
 // the distinct states a test set traverses (Tables 6 and 8).
 #pragma once
 
-#include <set>
-#include <string>
 #include <vector>
 
 #include "fault/fault.h"
 #include "netlist/netlist.h"
+#include "sim/statekey.h"
 #include "sim/value.h"
 
 namespace satpg {
@@ -36,16 +45,23 @@ using TestSequence = std::vector<std::vector<V3>>;
 int simulate_fault_serial(const Netlist& nl, const Fault& fault,
                           const TestSequence& seq);
 
+struct FsimOptions {
+  /// Worker threads for batch-level parallelism: 1 = in-caller serial
+  /// execution (the reference path), 0 = one worker per hardware thread.
+  /// Results are bit-identical for every value.
+  unsigned num_threads = 0;
+};
+
 struct FsimResult {
   std::vector<int> detected_at;   ///< per fault: sequence index, or -1
   /// Potential detections (good output known, faulty output X — the fault
   /// may or may not be observed on silicon; PROOFS-era tools credited
   /// these separately).
   std::vector<int> potential_at;  ///< per fault: sequence index, or -1
-  /// Distinct good-machine states entered across all sequences (state
-  /// strings over {0,1,X}, MSB = last DFF). The all-X power-up state is
+  /// Distinct good-machine states entered across all sequences (packed
+  /// {0,1,X} codes, digit i = nl.dffs()[i]). The all-X power-up state is
   /// not counted; partially-known states are.
-  std::set<std::string> good_states;
+  StateSet good_states;
   std::size_t num_detected = 0;
 };
 
@@ -53,7 +69,8 @@ struct FsimResult {
 /// is dropped after its first detecting sequence.
 FsimResult run_fault_simulation(const Netlist& nl,
                                 const std::vector<Fault>& faults,
-                                const std::vector<TestSequence>& sequences);
+                                const std::vector<TestSequence>& sequences,
+                                const FsimOptions& opts = {});
 
 /// Convenience for graded coverage over a collapsed list: returns
 /// (detected weight, total weight) using class sizes.

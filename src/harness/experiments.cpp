@@ -3,7 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
-#include <set>
+#include <unordered_set>
 
 #include "analysis/reach.h"
 #include "analysis/structure.h"
@@ -46,13 +46,13 @@ std::string kev(std::uint64_t evals) {
 std::string pct(double v) { return strprintf("%.1f", v); }
 
 // Count traversed states that are fully specified and valid.
-std::size_t traversed_valid(const std::set<std::string>& traversed,
+std::size_t traversed_valid(const StateSet& traversed,
                             const ReachResult& reach) {
-  std::set<std::string> valid;
+  std::unordered_set<std::string> valid;
   for (const auto& s : reach.states) valid.insert(s.to_string());
   std::size_t n = 0;
   for (const auto& s : traversed)
-    if (s.find('X') == std::string::npos && valid.count(s)) ++n;
+    if (s.fully_specified() && valid.count(s.to_string())) ++n;
   return n;
 }
 

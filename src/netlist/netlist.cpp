@@ -247,6 +247,35 @@ const std::vector<NodeId>& Netlist::topo_order() const {
   return topo_;
 }
 
+const std::vector<BitVec>& Netlist::fanout_cones() const {
+  if (!cones_valid_ || !caches_valid_) {
+    const auto& fo = fanouts();
+    cones_.assign(nodes_.size(), BitVec(nodes_.size()));
+    // Breadth-first closure per node. The graph is cyclic through DFFs, so
+    // a reverse-topological DP would need a fixpoint anyway; direct BFS is
+    // simple and the circuits are small enough that O(V*E) is negligible
+    // next to one fault-simulation run.
+    std::vector<NodeId> work;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i].dead) continue;
+      BitVec& cone = cones_[i];
+      cone.set(i, true);
+      work.assign(1, static_cast<NodeId>(i));
+      while (!work.empty()) {
+        const NodeId id = work.back();
+        work.pop_back();
+        for (NodeId s : fo[static_cast<std::size_t>(id)]) {
+          if (cone.get(static_cast<std::size_t>(s))) continue;
+          cone.set(static_cast<std::size_t>(s), true);
+          work.push_back(s);
+        }
+      }
+    }
+    cones_valid_ = true;
+  }
+  return cones_;
+}
+
 std::optional<std::string> Netlist::validate() const {
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     const auto& n = nodes_[i];
@@ -324,6 +353,9 @@ Netlist Netlist::clone(const std::string& new_name) const {
   return c;
 }
 
-void Netlist::invalidate_caches() const { caches_valid_ = false; }
+void Netlist::invalidate_caches() const {
+  caches_valid_ = false;
+  cones_valid_ = false;
+}
 
 }  // namespace satpg

@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/bitvec.h"
 #include "base/check.h"
 
 namespace satpg {
@@ -130,6 +131,16 @@ class Netlist {
   /// Fanout lists (node -> nodes that reference it), computed lazily.
   const std::vector<std::vector<NodeId>>& fanouts() const;
 
+  /// Sequential transitive-fanout cone of every live node: bit j of
+  /// fanout_cones()[i] is set when a value change at node i can ever reach
+  /// node j, crossing flip-flop boundaries into later cycles (a DFF is in
+  /// the cone of its D source, and the cone continues through its Q
+  /// fanouts). The node itself is always in its own cone. This is exactly
+  /// the set of nodes a fault at i can perturb during sequential fault
+  /// simulation, so the fault simulator restricts event evaluation to the
+  /// union of its batch's cones. Lazily computed and cached.
+  const std::vector<BitVec>& fanout_cones() const;
+
   /// Topological order of live nodes treating DFF outputs, PIs, and consts
   /// as sources (they appear first); every combinational node appears after
   /// all its fanins; OUTPUT marker nodes appear last. A DFF's D fanin
@@ -159,7 +170,9 @@ class Netlist {
 
   mutable std::vector<std::vector<NodeId>> fanouts_;  // lazy caches
   mutable std::vector<NodeId> topo_;
+  mutable std::vector<BitVec> cones_;
   mutable bool caches_valid_ = false;
+  mutable bool cones_valid_ = false;
 };
 
 }  // namespace satpg

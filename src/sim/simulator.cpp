@@ -78,6 +78,78 @@ PV eval_gate_pv(GateType t, const std::vector<NodeId>& fanins,
   return PV{};
 }
 
+V3 eval_gate_v3_packed(GateType t, const V3* vals, std::size_t n) {
+  switch (t) {
+    case GateType::kConst0:
+      return V3::kZero;
+    case GateType::kConst1:
+      return V3::kOne;
+    case GateType::kBuf:
+    case GateType::kDff:
+    case GateType::kOutput:
+      return vals[0];  // D / PO marker pass-through
+    case GateType::kNot:
+      return v3_not(vals[0]);
+    case GateType::kAnd:
+    case GateType::kNand: {
+      V3 v = vals[0];
+      for (std::size_t i = 1; i < n; ++i) v = v3_and(v, vals[i]);
+      return t == GateType::kAnd ? v : v3_not(v);
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      V3 v = vals[0];
+      for (std::size_t i = 1; i < n; ++i) v = v3_or(v, vals[i]);
+      return t == GateType::kOr ? v : v3_not(v);
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      V3 v = vals[0];
+      for (std::size_t i = 1; i < n; ++i) v = v3_xor(v, vals[i]);
+      return t == GateType::kXor ? v : v3_not(v);
+    }
+    default:
+      SATPG_CHECK_MSG(false, "eval_gate_v3_packed: unexpected gate");
+  }
+  return V3::kX;
+}
+
+PV eval_gate_pv_packed(GateType t, const PV* vals, std::size_t n) {
+  switch (t) {
+    case GateType::kConst0:
+      return PV::all(V3::kZero);
+    case GateType::kConst1:
+      return PV::all(V3::kOne);
+    case GateType::kBuf:
+    case GateType::kDff:
+    case GateType::kOutput:
+      return vals[0];
+    case GateType::kNot:
+      return pv_not(vals[0]);
+    case GateType::kAnd:
+    case GateType::kNand: {
+      PV v = vals[0];
+      for (std::size_t i = 1; i < n; ++i) v = pv_and(v, vals[i]);
+      return t == GateType::kAnd ? v : pv_not(v);
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      PV v = vals[0];
+      for (std::size_t i = 1; i < n; ++i) v = pv_or(v, vals[i]);
+      return t == GateType::kOr ? v : pv_not(v);
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      PV v = vals[0];
+      for (std::size_t i = 1; i < n; ++i) v = pv_xor(v, vals[i]);
+      return t == GateType::kXor ? v : pv_not(v);
+    }
+    default:
+      SATPG_CHECK_MSG(false, "eval_gate_pv_packed: unexpected gate");
+  }
+  return PV{};
+}
+
 SeqSimulator::SeqSimulator(const Netlist& nl)
     : nl_(nl),
       state_(nl.num_dffs(), V3::kX),

@@ -24,6 +24,13 @@ V3 eval_gate_v3(GateType t, const std::vector<NodeId>& fanins,
 PV eval_gate_pv(GateType t, const std::vector<NodeId>& fanins,
                 const std::vector<PV>& values);
 
+/// Evaluate over already-gathered fanin values (`vals[0..n)` in pin
+/// order). Lets callers that stage fanins in a scratch buffer — the fault
+/// simulator's cone-restricted batches and forced-pin re-evaluation —
+/// avoid a netlist-sized value array per evaluation.
+V3 eval_gate_v3_packed(GateType t, const V3* vals, std::size_t n);
+PV eval_gate_pv_packed(GateType t, const PV* vals, std::size_t n);
+
 /// Sequential three-valued simulator with explicit state.
 ///
 /// Usage:

@@ -1,0 +1,134 @@
+// Packed three-valued state code.
+//
+// StateKey replaces the {0,1,X} state *strings* the fault simulator and the
+// ATPG learning caches used to key their sets with: each flip-flop digit is
+// 2 bits in a fixed array of uint64_t words, so construction, equality, and
+// hashing are a handful of word operations instead of a heap allocation
+// plus a byte-wise compare. Digit i corresponds to nl.dffs()[i]; the string
+// rendering keeps the historical convention (most-significant character =
+// last DFF), so keys compare textually equal to BitVec::to_string() state
+// codes when fully specified.
+//
+// Encoding per digit: 00 = X / unspecified, 01 = 0, 10 = 1. The all-X key
+// is therefore all-zero words, which makes "any digit known" a word scan
+// and default construction free.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+
+#include "base/check.h"
+#include "sim/value.h"
+
+namespace satpg {
+
+class StateKey {
+ public:
+  static constexpr std::size_t kDigitsPerWord = 32;  // 2 bits per digit
+  static constexpr std::size_t kMaxWords = 8;
+  static constexpr std::size_t kMaxDigits = kDigitsPerWord * kMaxWords;
+
+  StateKey() = default;
+
+  /// All-X key over `num_digits` flip-flops.
+  explicit StateKey(std::size_t num_digits)
+      : num_digits_(static_cast<std::uint32_t>(num_digits)) {
+    SATPG_CHECK(num_digits <= kMaxDigits);
+  }
+
+  std::size_t size() const { return num_digits_; }
+
+  V3 get(std::size_t i) const {
+    SATPG_DCHECK(i < num_digits_);
+    const unsigned code =
+        static_cast<unsigned>(words_[i / kDigitsPerWord] >>
+                              (2 * (i % kDigitsPerWord))) &
+        3u;
+    return code == 1 ? V3::kZero : code == 2 ? V3::kOne : V3::kX;
+  }
+
+  void set(std::size_t i, V3 v) {
+    SATPG_DCHECK(i < num_digits_);
+    const unsigned sh = 2 * (i % kDigitsPerWord);
+    std::uint64_t& w = words_[i / kDigitsPerWord];
+    w &= ~(3ULL << sh);
+    if (v == V3::kZero)
+      w |= 1ULL << sh;
+    else if (v == V3::kOne)
+      w |= 2ULL << sh;
+  }
+
+  /// True when at least one digit is 0 or 1 (not the all-X key).
+  bool any_known() const {
+    for (std::size_t w = 0; w < used_words(); ++w)
+      if (words_[w]) return true;
+    return false;
+  }
+
+  /// True when every digit is 0 or 1.
+  bool fully_specified() const {
+    for (std::size_t i = 0; i < num_digits_; ++i)
+      if (get(i) == V3::kX) return false;
+    return true;
+  }
+
+  /// Historical string rendering: index size()-1 first, chars '0'/'1'/'X'.
+  std::string to_string() const {
+    std::string s;
+    s.reserve(num_digits_);
+    for (std::size_t i = num_digits_; i-- > 0;) s.push_back(v3_char(get(i)));
+    return s;
+  }
+
+  /// Inverse of to_string(). '0' and '1' map to known digits; any other
+  /// character ('X', '-') maps to X.
+  static StateKey from_string(const std::string& s) {
+    StateKey k(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const char c = s[s.size() - 1 - i];
+      if (c == '0')
+        k.set(i, V3::kZero);
+      else if (c == '1')
+        k.set(i, V3::kOne);
+    }
+    return k;
+  }
+
+  bool operator==(const StateKey& o) const {
+    if (num_digits_ != o.num_digits_) return false;
+    for (std::size_t w = 0; w < used_words(); ++w)
+      if (words_[w] != o.words_[w]) return false;
+    return true;
+  }
+  bool operator!=(const StateKey& o) const { return !(*this == o); }
+
+  std::size_t hash() const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ num_digits_;
+    for (std::size_t w = 0; w < used_words(); ++w) {
+      h ^= words_[w];
+      h *= 0xff51afd7ed558ccdULL;
+      h ^= h >> 33;
+    }
+    return static_cast<std::size_t>(h);
+  }
+
+ private:
+  std::size_t used_words() const {
+    return (num_digits_ + kDigitsPerWord - 1) / kDigitsPerWord;
+  }
+
+  std::uint32_t num_digits_ = 0;
+  std::array<std::uint64_t, kMaxWords> words_{};
+};
+
+struct StateKeyHash {
+  std::size_t operator()(const StateKey& k) const { return k.hash(); }
+};
+
+/// Set of visited/recorded states.
+using StateSet = std::unordered_set<StateKey, StateKeyHash>;
+
+}  // namespace satpg

@@ -1,12 +1,15 @@
 // Tests for the sequential fault simulators: known detections on a hand
 // circuit, parallel == serial cross-checks on synthesized machines, state
-// tracking, and potential-detection semantics.
+// tracking, potential-detection semantics, thread-count determinism, and
+// the packed StateKey encoding.
 #include <gtest/gtest.h>
 
 #include "atpg/engine.h"
 #include "base/rng.h"
 #include "fsim/fsim.h"
 #include "fsm/mcnc_suite.h"
+#include "retime/retime.h"
+#include "sim/statekey.h"
 #include "synth/synthesize.h"
 
 namespace satpg {
@@ -102,8 +105,8 @@ TEST(FsimTest, TracksGoodStates) {
   const auto r = run_fault_simulation(nl, {}, {seq_of({1, 0, 0, 0})});
   // States entered after each cycle: 0, 1, 0, 1 -> {"0", "1"}.
   EXPECT_EQ(r.good_states.size(), 2u);
-  EXPECT_TRUE(r.good_states.count("0"));
-  EXPECT_TRUE(r.good_states.count("1"));
+  EXPECT_TRUE(r.good_states.count(StateKey::from_string("0")));
+  EXPECT_TRUE(r.good_states.count(StateKey::from_string("1")));
 }
 
 TEST(FsimTest, PotentialDetectionFlagged) {
@@ -114,6 +117,81 @@ TEST(FsimTest, PotentialDetectionFlagged) {
   const auto r = run_fault_simulation(nl, {f}, {seq_of({1, 0, 0, 0})});
   EXPECT_EQ(r.detected_at[0], -1);
   EXPECT_EQ(r.potential_at[0], 0);
+}
+
+// Determinism: identical detected_at / potential_at / good_states for every
+// thread count, on an MCNC-suite circuit and its retimed twin.
+TEST(FsimDeterminismTest, ThreadCountInvariantOnMcncPair) {
+  FsmGenSpec spec;
+  for (const auto& s : mcnc_specs())
+    if (s.name == "s820") spec = s;
+  const Fsm fsm = generate_control_fsm(scaled_spec(spec, 0.4));
+  SynthOptions so;
+  so.encode = EncodeAlgo::kOutputDominant;
+  const SynthResult res = synthesize(fsm, so);
+  const Netlist& orig = res.netlist;
+  const Netlist retimed =
+      retime_to_dff_target(orig, orig.num_dffs() * 3, orig.name() + ".re")
+          .netlist;
+
+  for (const Netlist* nl : {&orig, &retimed}) {
+    const auto collapsed = collapse_faults(*nl);
+    std::vector<Fault> faults;
+    for (const auto& cf : collapsed) faults.push_back(cf.representative);
+    const auto seqs = make_random_sequences(*nl, 3, 24, 11);
+
+    const auto base = run_fault_simulation(*nl, faults, seqs, {1});
+    for (const unsigned threads : {2u, 8u}) {
+      const auto r = run_fault_simulation(*nl, faults, seqs, {threads});
+      EXPECT_EQ(r.detected_at, base.detected_at) << nl->name() << " x"
+                                                 << threads;
+      EXPECT_EQ(r.potential_at, base.potential_at) << nl->name() << " x"
+                                                   << threads;
+      EXPECT_EQ(r.good_states, base.good_states) << nl->name() << " x"
+                                                 << threads;
+      EXPECT_EQ(r.num_detected, base.num_detected);
+    }
+  }
+}
+
+// StateKey round-trips the historical string encoding (MSB-first {0,1,X}
+// state strings) and hashes/compares consistently.
+TEST(StateKeyTest, RoundTripsOldStringEncoding) {
+  Rng rng(99);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t n =
+        static_cast<std::size_t>(rng.next_int(1, 80));
+    std::string s;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int k = rng.next_int(0, 2);
+      s.push_back(k == 0 ? '0' : k == 1 ? '1' : 'X');
+    }
+    const StateKey key = StateKey::from_string(s);
+    EXPECT_EQ(key.to_string(), s);
+    EXPECT_EQ(key.size(), n);
+    // Digit i corresponds to character n-1-i (MSB-first convention).
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(v3_char(key.get(i)), s[n - 1 - i]);
+    // Equality and hashing agree with the string encoding.
+    EXPECT_EQ(key, StateKey::from_string(s));
+    EXPECT_EQ(key.hash(), StateKey::from_string(s).hash());
+    EXPECT_EQ(key.fully_specified(), s.find('X') == std::string::npos);
+    EXPECT_EQ(key.any_known(),
+              s.find_first_not_of('X') != std::string::npos);
+    // Flipping one digit changes the key.
+    StateKey other = key;
+    const std::size_t flip =
+        static_cast<std::size_t>(rng.next_int(0, static_cast<int>(n) - 1));
+    other.set(flip, key.get(flip) == V3::kOne ? V3::kZero : V3::kOne);
+    EXPECT_NE(other, key);
+  }
+  // Incremental set() matches the old cube_key building ('-' == X).
+  StateKey cube(4);
+  EXPECT_EQ(cube.to_string(), "XXXX");
+  cube.set(0, V3::kOne);
+  cube.set(2, V3::kZero);
+  EXPECT_EQ(cube.to_string(), "X0X1");
+  EXPECT_EQ(cube, StateKey::from_string("X0X1"));
 }
 
 TEST(FsimTest, GradedCoverageWeightsClasses) {
