@@ -4,9 +4,9 @@
 // the throughput the experiment harness depends on.
 //
 // In addition to the google-benchmark suite, main() times the fault
-// simulator serial-vs-parallel on a Table-2-sized circuit and writes
-// BENCH_fsim.json (wall time + faults-simulated/sec) so the fsim perf
-// trajectory is tracked from PR to PR.
+// simulator and the fault-parallel ATPG driver serial-vs-parallel on a
+// Table-2-sized circuit and writes BENCH_fsim.json / BENCH_atpg.json so
+// both perf trajectories are tracked from PR to PR.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -15,6 +15,7 @@
 #include "analysis/reach.h"
 #include "base/threadpool.h"
 #include "atpg/engine.h"
+#include "atpg/parallel.h"
 #include "atpg/podem.h"
 #include "atpg/scoap.h"
 #include "atpg/tfm.h"
@@ -207,6 +208,81 @@ void write_fsim_bench_json() {
               serial_s / std::max(parallel_s, 1e-12));
 }
 
+// Serial-vs-parallel comparison of the fault-parallel ATPG driver
+// (DESIGN.md §4d) on a Table-2-sized circuit, written to BENCH_atpg.json.
+// Beyond wall time it asserts the determinism contract on the spot: the
+// parallel run's eval count must equal the serial run's.
+void write_atpg_bench_json() {
+  FsmGenSpec spec;
+  for (const auto& s : mcnc_specs())
+    if (s.name == "s820") spec = s;
+  SynthOptions so;
+  so.encode = EncodeAlgo::kOutputDominant;
+  const SynthResult res = synthesize(generate_control_fsm(spec), so);
+  const Netlist& nl = res.netlist;
+
+  ParallelAtpgOptions popts;
+  popts.run.engine.eval_limit = 400'000;
+  popts.run.engine.backtrack_limit = 600;
+
+  auto time_run = [&](unsigned num_threads, int reps, std::uint64_t* evals) {
+    popts.num_threads = num_threads;
+    run_parallel_atpg(nl, popts);  // warm caches and the thread pool
+    double best = 1e100;
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto pr = run_parallel_atpg(nl, popts);
+      const double s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      best = std::min(best, s);
+      *evals = pr.run.evals;
+    }
+    return best;
+  };
+
+  const unsigned hw = ThreadPool::hardware_threads();
+  std::uint64_t serial_evals = 0, parallel_evals = 0;
+  const double serial_s = time_run(1, 3, &serial_evals);
+  const double parallel_s = time_run(hw, 3, &parallel_evals);
+  if (serial_evals != parallel_evals)
+    std::fprintf(stderr,
+                 "BENCH_atpg: DETERMINISM VIOLATION: serial %llu evals vs "
+                 "parallel %llu\n",
+                 static_cast<unsigned long long>(serial_evals),
+                 static_cast<unsigned long long>(parallel_evals));
+
+  std::FILE* f = std::fopen("BENCH_atpg.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "BENCH_atpg.json: cannot open for writing\n");
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"atpg_serial_vs_parallel\",\n"
+               "  \"circuit\": \"%s\",\n"
+               "  \"nodes\": %zu,\n"
+               "  \"dffs\": %zu,\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"serial_seconds\": %.6f,\n"
+               "  \"parallel_num_threads\": %u,\n"
+               "  \"parallel_seconds\": %.6f,\n"
+               "  \"speedup\": %.3f,\n"
+               "  \"evals\": %llu,\n"
+               "  \"deterministic\": %s\n"
+               "}\n",
+               nl.name().c_str(), nl.num_nodes(), nl.num_dffs(), hw, serial_s,
+               hw, parallel_s, serial_s / std::max(parallel_s, 1e-12),
+               static_cast<unsigned long long>(serial_evals),
+               serial_evals == parallel_evals ? "true" : "false");
+  std::fclose(f);
+  std::printf("BENCH_atpg.json: serial %.3fs, parallel(x%u) %.3fs, "
+              "speedup %.2fx, deterministic=%s\n",
+              serial_s, hw, parallel_s,
+              serial_s / std::max(parallel_s, 1e-12),
+              serial_evals == parallel_evals ? "true" : "false");
+}
+
 }  // namespace
 }  // namespace satpg
 
@@ -216,5 +292,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   satpg::write_fsim_bench_json();
+  satpg::write_atpg_bench_json();
   return 0;
 }

@@ -53,12 +53,27 @@ AtpgEngine::JustifyOutcome AtpgEngine::justify(
     if (auto it = learned_ok_.find(key); it != learned_ok_.end())
       return {true, it->second};
     if (learned_fail_.count(key)) return {};
+    if (shared_ != nullptr) {
+      // Copy shared hits into the local caches so repeated lookups stay on
+      // the fast path (and so the driver's harvest republishes them, a
+      // no-op under the cache's first-writer-wins rule).
+      std::vector<std::vector<V3>> prefix;
+      if (shared_->lookup_ok(key, &prefix)) {
+        learned_ok_[key] = prefix;
+        return {true, std::move(prefix)};
+      }
+      if (shared_->lookup_fail(key)) {
+        learned_fail_.insert(key);
+        return {};
+      }
+    }
   }
 
   on_path.insert(key);
   JustifyOutcome out;
 
   TimeFrameModel tfm(nl_, current_fault_, 1);
+  tfm.attach_eval_counter(&budget.evals);
   Podem podem(tfm, scoap_, /*allow_state_decisions=*/true,
               PodemGoal::kJustify, cube);
   PodemStatus st = podem.search(budget);
@@ -73,18 +88,15 @@ AtpgEngine::JustifyOutcome AtpgEngine::justify(
       if (v != V3::kX) prev_cube.push_back({ff, v});
     }
     auto sub = justify(prev_cube, depth + 1, on_path, budget);
-    total_evals_ += 0;  // sub accounting happens via tfm evals below
     if (sub.ok) {
       out.ok = true;
       out.prefix = std::move(sub.prefix);
       out.prefix.push_back(std::move(vec));
       break;
     }
-    if (budget.exhausted_backtracks() || tfm.evals() > budget.max_evals)
-      break;
+    if (budget.exhausted_backtracks() || budget.exhausted_evals()) break;
     st = podem.resume(budget);
   }
-  total_evals_ += tfm.evals();
   on_path.erase(key);
 
   if (learning) {
@@ -99,10 +111,15 @@ AtpgEngine::JustifyOutcome AtpgEngine::justify(
 FaultAttempt AtpgEngine::generate(const Fault& fault) {
   FaultAttempt attempt;
   current_fault_ = fault;
-  const std::uint64_t evals_before = total_evals_;
+  // ONE budget for every phase of this fault: window growth, all
+  // justification levels, and the redundancy check all consume the same
+  // cumulative `evals` counter (fed by TimeFrameModel::attach_eval_counter)
+  // so a fault can never overspend eval_limit by restarting the count in a
+  // fresh model.
   PodemBudget budget;
   budget.max_backtracks = opts_.backtrack_limit;
   budget.max_evals = opts_.eval_limit;
+  budget.abort = abort_;
 
   const bool allow_state = opts_.kind != EngineKind::kForward;
   bool any_aborted = false;
@@ -112,6 +129,7 @@ FaultAttempt AtpgEngine::generate(const Fault& fault) {
        frames <= opts_.max_forward_frames && !any_aborted;
        ++frames) {
     TimeFrameModel tfm(nl_, fault, frames);
+    tfm.attach_eval_counter(&budget.evals);
     Podem podem(tfm, scoap_, allow_state, PodemGoal::kDetect);
     PodemStatus st = podem.search(budget);
     while (st == PodemStatus::kSuccess) {
@@ -153,13 +171,12 @@ FaultAttempt AtpgEngine::generate(const Fault& fault) {
           break;
         }
       }
-      if (budget.exhausted_backtracks() || tfm.evals() > budget.max_evals) {
+      if (budget.exhausted_backtracks() || budget.exhausted_evals()) {
         any_aborted = true;
         break;
       }
       st = podem.resume(budget);
     }
-    total_evals_ += tfm.evals();
     if (attempt.status == FaultStatus::kDetected) break;
     if (st == PodemStatus::kAborted) any_aborted = true;
     // kExhausted: no detection within this window from any state; widen.
@@ -167,24 +184,24 @@ FaultAttempt AtpgEngine::generate(const Fault& fault) {
 
   if (attempt.status != FaultStatus::kDetected && !any_aborted) {
     // Sound redundancy check: complete single-frame search for
-    // excite-and-store from a free state.
+    // excite-and-store from a free state. Runs on the SAME budget — the
+    // redundancy verdict requires the search to complete within whatever
+    // this fault has left, so eval_limit really is per fault, all phases.
     TimeFrameModel tfm(nl_, fault, 1);
+    tfm.attach_eval_counter(&budget.evals);
     Podem podem(tfm, scoap_, /*allow_state=*/true,
                 PodemGoal::kDetectOrStore);
-    PodemBudget red_budget;
-    red_budget.max_backtracks = opts_.backtrack_limit;
-    red_budget.max_evals = opts_.eval_limit;
-    const PodemStatus st = podem.search(red_budget);
-    total_evals_ += tfm.evals();
-    total_backtracks_ += red_budget.backtracks;
+    const PodemStatus st = podem.search(budget);
     if (st == PodemStatus::kExhausted)
       attempt.status = FaultStatus::kRedundant;
     // kSuccess: storable but not detected within the window — aborted.
+    // kAborted: budget ran out mid-proof — aborted, never redundant.
   }
 
+  total_evals_ += budget.evals;
   total_backtracks_ += budget.backtracks;
   attempt.backtracks = budget.backtracks;
-  attempt.evals = total_evals_ - evals_before;
+  attempt.evals = budget.evals;
   return attempt;
 }
 
@@ -215,16 +232,11 @@ std::vector<TestSequence> make_random_sequences(const Netlist& nl, int count,
   return seqs;
 }
 
-namespace {
-
-// Replace X with 0 — deterministic, and keeps the reset line quiet.
-void fill_x(TestSequence& seq) {
+void fill_x_with_zero(TestSequence& seq) {
   for (auto& vec : seq)
     for (auto& v : vec)
       if (v == V3::kX) v = V3::kZero;
 }
-
-}  // namespace
 
 AtpgRunResult run_atpg(const Netlist& nl, const AtpgRunOptions& opts) {
   const auto t0 = std::chrono::steady_clock::now();
@@ -286,7 +298,7 @@ AtpgRunResult run_atpg(const Netlist& nl, const AtpgRunOptions& opts) {
         status[i] = S::kAborted;
         break;
       case FaultStatus::kDetected: {
-        fill_x(attempt.sequence);
+        fill_x_with_zero(attempt.sequence);
         // Verify and drop everything else this sequence catches.
         std::vector<Fault> remaining;
         std::vector<std::size_t> remap;

@@ -26,6 +26,7 @@
 // runs on the good machine; verification closes that soundness gap).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -63,6 +64,21 @@ struct FaultAttempt {
   std::uint64_t backtracks = 0;
 };
 
+/// Read-only view of justification outcomes learned by OTHER engines.
+/// The parallel driver hands one to each per-unit engine so kLearning
+/// shares state knowledge across workers; the view's visibility rule
+/// (which entries a reader may see) is the implementer's contract — the
+/// engine just consults it after its local caches miss.
+class LearningShare {
+ public:
+  virtual ~LearningShare() = default;
+  /// Known success: fills `prefix` (oldest vector first) and returns true.
+  virtual bool lookup_ok(const StateKey& key,
+                         std::vector<std::vector<V3>>* prefix) const = 0;
+  /// Known complete-search failure for this cube.
+  virtual bool lookup_fail(const StateKey& key) const = 0;
+};
+
 /// Per-circuit deterministic test generator.
 class AtpgEngine {
  public:
@@ -73,6 +89,25 @@ class AtpgEngine {
   /// Cumulative work across all generate() calls.
   std::uint64_t total_evals() const { return total_evals_; }
   std::uint64_t total_backtracks() const { return total_backtracks_; }
+
+  /// Consult `share` (may be nullptr) when the local learning caches miss.
+  /// kLearning only; ignored by the other engine kinds.
+  void set_shared_learning(const LearningShare* share) { shared_ = share; }
+
+  /// Cooperative cancellation: when `*abort` becomes true every in-flight
+  /// search returns kAborted at its next decision-loop check. The flag must
+  /// outlive the engine. Pass nullptr to detach.
+  void set_abort_flag(const std::atomic<bool>* abort) { abort_ = abort; }
+
+  /// Local learning caches (entries this engine learned itself, plus any it
+  /// copied down from the shared view). The parallel driver harvests these
+  /// after a work unit completes to publish them.
+  const std::unordered_map<StateKey, std::vector<std::vector<V3>>,
+                           StateKeyHash>&
+  learned_ok() const {
+    return learned_ok_;
+  }
+  const StateSet& learned_fail() const { return learned_fail_; }
 
   /// Distinct fully/partially specified state cubes the justification
   /// search visited (Table 6's "#states traversed" uses the good-machine
@@ -100,6 +135,8 @@ class AtpgEngine {
   Scoap scoap_;
   std::vector<int> dff_index_;  ///< NodeId -> position in nl.dffs(), or -1
   std::optional<Fault> current_fault_;  ///< fault modelled by justification
+  const LearningShare* shared_ = nullptr;
+  const std::atomic<bool>* abort_ = nullptr;
   std::uint64_t total_evals_ = 0;
   std::uint64_t total_backtracks_ = 0;
 
@@ -160,5 +197,10 @@ AtpgRunResult run_atpg(const Netlist& nl, const AtpgRunOptions& opts);
 std::vector<TestSequence> make_random_sequences(const Netlist& nl, int count,
                                                 int length,
                                                 std::uint64_t seed);
+
+/// Replace every X in `seq` with 0 — deterministic, and keeps the reset
+/// line quiet. Shared by the serial and parallel drivers so both produce
+/// the same fully-specified sequences.
+void fill_x_with_zero(TestSequence& seq);
 
 }  // namespace satpg

@@ -1,0 +1,357 @@
+#include "atpg/parallel.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "base/threadpool.h"
+
+namespace satpg {
+
+// ---- SharedLearningCache ----------------------------------------------------
+
+SharedLearningCache::SharedLearningCache(std::size_t num_shards)
+    : shards_(std::max<std::size_t>(1, num_shards)) {}
+
+bool SharedLearningCache::View::lookup_ok(
+    const StateKey& key, std::vector<std::vector<V3>>* prefix) const {
+  const Shard& sh = cache_->shard_for(key);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  const auto it = sh.map.find(key);
+  if (it == sh.map.end()) return false;
+  const Entry& e = it->second;
+  if (!e.ok || e.epoch > read_epoch_) return false;
+  *prefix = e.prefix;
+  return true;
+}
+
+bool SharedLearningCache::View::lookup_fail(const StateKey& key) const {
+  const Shard& sh = cache_->shard_for(key);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  const auto it = sh.map.find(key);
+  if (it == sh.map.end()) return false;
+  const Entry& e = it->second;
+  return !e.ok && e.epoch <= read_epoch_;
+}
+
+void SharedLearningCache::publish(std::uint32_t round, std::uint32_t unit,
+                                  const AtpgEngine& engine) {
+  const std::uint32_t epoch = round + 1;
+  const auto insert = [&](const StateKey& key, bool ok,
+                          const std::vector<std::vector<V3>>* prefix) {
+    Shard& sh = shard_for(key);
+    std::lock_guard<std::mutex> lock(sh.mu);
+    const auto it = sh.map.find(key);
+    if (it != sh.map.end()) {
+      // First writer in (epoch, unit) order wins, so the surviving entry
+      // does not depend on publish arrival order — and a visible entry is
+      // never replaced (any racing publish carries a larger epoch).
+      const Entry& e = it->second;
+      if (std::make_pair(e.epoch, e.unit) <= std::make_pair(epoch, unit))
+        return;
+    }
+    Entry e;
+    e.ok = ok;
+    e.epoch = epoch;
+    e.unit = unit;
+    if (prefix != nullptr) e.prefix = *prefix;
+    sh.map[key] = std::move(e);
+  };
+  for (const auto& [key, prefix] : engine.learned_ok())
+    insert(key, true, &prefix);
+  for (const auto& key : engine.learned_fail()) insert(key, false, nullptr);
+}
+
+std::size_t SharedLearningCache::size() const {
+  std::size_t n = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    n += sh.map.size();
+  }
+  return n;
+}
+
+// ---- driver -----------------------------------------------------------------
+
+namespace {
+
+// Fixed work-unit geometry — deliberately independent of the thread count
+// so the round structure (and with it every result bit) never varies with
+// num_threads. kUnitSize trades per-unit engine construction (SCOAP) cost
+// against fault-drop responsiveness; kUnitsPerRound bounds how much
+// speculative generation one round can waste on faults a sibling unit is
+// about to drop.
+constexpr std::size_t kUnitSize = 4;
+constexpr std::size_t kUnitsPerRound = 16;
+
+struct UnitOutcome {
+  std::vector<FaultAttempt> attempts;        ///< slot per unit fault
+  std::vector<std::uint8_t> budget_skipped;  ///< never attempted: budget
+  std::vector<std::uint8_t> deadline_skipped;
+  std::size_t verify_rejects = 0;
+};
+
+}  // namespace
+
+ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
+                                     const ParallelAtpgOptions& opts) {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  ParallelAtpgResult res;
+  AtpgRunResult& run = res.run;
+
+  // Build the netlist's lazy caches before workers share it: the const
+  // accessors populate mutable caches on first use and must not race.
+  nl.topo_order();
+  nl.fanouts();
+  nl.fanout_cones();
+
+  const auto collapsed = collapse_faults(nl);
+  std::vector<Fault> faults;
+  faults.reserve(collapsed.size());
+  for (const auto& cf : collapsed) faults.push_back(cf.representative);
+
+  enum class S { kUndetected, kDetected, kRedundant, kAborted };
+  std::vector<S> status(faults.size(), S::kUndetected);
+  std::vector<bool> potential(faults.size(), false);
+  res.detected_by.assign(faults.size(), -1);
+
+  // ---- random phase (identical to the serial driver) ----
+  const auto random_seqs =
+      make_random_sequences(nl, opts.run.random_sequences,
+                            opts.run.random_length, opts.run.seed);
+  if (!random_seqs.empty()) {
+    const auto fr =
+        run_fault_simulation(nl, faults, random_seqs, opts.run.fsim);
+    std::vector<int> seq_test_index(random_seqs.size(), -1);
+    for (std::size_t i = 0; i < faults.size(); ++i)
+      if (fr.detected_at[i] >= 0)
+        seq_test_index[static_cast<std::size_t>(fr.detected_at[i])] = 0;
+    for (std::size_t s = 0; s < random_seqs.size(); ++s)
+      if (seq_test_index[s] >= 0) {
+        seq_test_index[s] = static_cast<int>(run.tests.size());
+        run.tests.push_back(random_seqs[s]);
+      }
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (fr.detected_at[i] >= 0) {
+        status[i] = S::kDetected;
+        res.detected_by[i] =
+            seq_test_index[static_cast<std::size_t>(fr.detected_at[i])];
+      }
+      if (fr.potential_at[i] >= 0) potential[i] = true;
+    }
+  }
+
+  // ---- deterministic phase: rounds of fixed work units ----
+  const unsigned num_threads = opts.num_threads == 0
+                                   ? ThreadPool::hardware_threads()
+                                   : opts.num_threads;
+  const bool learning = opts.run.engine.kind == EngineKind::kLearning;
+  SharedLearningCache cache;
+  std::atomic<bool> abort{false};
+  const bool have_deadline = opts.deadline_ms > 0;
+  const auto deadline = t0 + std::chrono::milliseconds(opts.deadline_ms);
+
+  std::size_t w_all = 0;
+  for (const auto& cf : collapsed)
+    w_all += static_cast<std::size_t>(cf.class_size);
+  const auto current_fe = [&]() {
+    std::size_t w = 0;
+    for (std::size_t j = 0; j < faults.size(); ++j)
+      if (status[j] == S::kDetected || status[j] == S::kRedundant)
+        w += static_cast<std::size_t>(collapsed[j].class_size);
+    return 100.0 * static_cast<double>(w) /
+           static_cast<double>(std::max<std::size_t>(1, w_all));
+  };
+
+  std::uint64_t committed_evals = 0;
+  std::uint64_t committed_backtracks = 0;
+  std::size_t verify_rejects = 0;
+
+  std::vector<std::size_t> todo;
+  for (std::uint32_t round = 0;; ++round) {
+    todo.clear();
+    for (std::size_t i = 0; i < faults.size(); ++i)
+      if (status[i] == S::kUndetected) todo.push_back(i);
+    if (todo.empty()) break;
+
+    if (opts.run.total_eval_budget &&
+        committed_evals > opts.run.total_eval_budget) {
+      for (const std::size_t i : todo) status[i] = S::kAborted;
+      break;
+    }
+    if (have_deadline && (abort.load(std::memory_order_relaxed) ||
+                          Clock::now() >= deadline)) {
+      abort.store(true, std::memory_order_relaxed);
+      res.aborted_by_deadline += todo.size();
+      for (const std::size_t i : todo) status[i] = S::kAborted;
+      break;
+    }
+
+    const std::size_t round_faults =
+        std::min(todo.size(), kUnitSize * kUnitsPerRound);
+    const std::size_t num_units =
+        (round_faults + kUnitSize - 1) / kUnitSize;
+    std::vector<UnitOutcome> outcome(num_units);
+    const std::uint64_t round_start_evals = committed_evals;
+
+    const auto run_unit = [&](std::size_t u) {
+      const std::size_t lo = u * kUnitSize;
+      const std::size_t n = std::min(kUnitSize, round_faults - lo);
+      UnitOutcome& out = outcome[u];
+      out.attempts.resize(n);
+      out.budget_skipped.assign(n, 0);
+      out.deadline_skipped.assign(n, 0);
+      AtpgEngine engine(nl, opts.run.engine);
+      const SharedLearningCache::View view = cache.view_for_round(round);
+      if (learning) engine.set_shared_learning(&view);
+      engine.set_abort_flag(&abort);
+      for (std::size_t k = 0; k < n; ++k) {
+        if (have_deadline && Clock::now() >= deadline)
+          abort.store(true, std::memory_order_relaxed);
+        if (abort.load(std::memory_order_relaxed)) {
+          out.deadline_skipped[k] = 1;
+          continue;
+        }
+        // Budget check against the committed count at round start plus
+        // this unit's own spend — both deterministic, unlike a live shared
+        // counter whose reading would depend on sibling-unit timing.
+        if (opts.run.total_eval_budget &&
+            round_start_evals + engine.total_evals() >
+                opts.run.total_eval_budget) {
+          out.budget_skipped[k] = 1;
+          continue;
+        }
+        out.attempts[k] = engine.generate(faults[todo[lo + k]]);
+      }
+      out.verify_rejects = engine.verify_rejects();
+      if (learning)
+        cache.publish(round, static_cast<std::uint32_t>(u), engine);
+    };
+
+    const auto workers = static_cast<unsigned>(
+        std::min<std::size_t>(num_threads, num_units));
+    if (workers <= 1) {
+      for (std::size_t u = 0; u < num_units; ++u) run_unit(u);
+    } else {
+      ThreadPool::shared().run_on_workers(workers, [&](unsigned w) {
+        for (std::size_t u = w; u < num_units; u += workers) run_unit(u);
+      });
+    }
+
+    // ---- merge barrier: unit order, fault order within a unit ----
+    for (std::size_t u = 0; u < num_units; ++u) {
+      const std::size_t lo = u * kUnitSize;
+      UnitOutcome& out = outcome[u];
+      verify_rejects += out.verify_rejects;
+      for (std::size_t k = 0; k < out.attempts.size(); ++k) {
+        const std::size_t i = todo[lo + k];
+        FaultAttempt& attempt = out.attempts[k];
+        // Work spent on a fault a sibling unit dropped still counts: the
+        // speculation really ran.
+        committed_evals += attempt.evals;
+        committed_backtracks += attempt.backtracks;
+        if (status[i] != S::kUndetected) continue;  // dropped this round
+        if (out.deadline_skipped[k]) {
+          status[i] = S::kAborted;
+          ++res.aborted_by_deadline;
+          continue;
+        }
+        if (out.budget_skipped[k]) {
+          status[i] = S::kAborted;
+          continue;
+        }
+        switch (attempt.status) {
+          case FaultStatus::kRedundant:
+            status[i] = S::kRedundant;
+            break;
+          case FaultStatus::kAborted:
+            status[i] = S::kAborted;
+            break;
+          case FaultStatus::kDetected: {
+            fill_x_with_zero(attempt.sequence);
+            // Verify and drop everything else this sequence catches.
+            std::vector<Fault> remaining;
+            std::vector<std::size_t> remap;
+            for (std::size_t j = 0; j < faults.size(); ++j)
+              if (j == i || status[j] == S::kUndetected) {
+                remaining.push_back(faults[j]);
+                remap.push_back(j);
+              }
+            const auto fr = run_fault_simulation(
+                nl, remaining, {attempt.sequence}, opts.run.fsim);
+            bool target_confirmed = false;
+            const int test_index = static_cast<int>(run.tests.size());
+            for (std::size_t m = 0; m < remaining.size(); ++m) {
+              if (fr.potential_at[m] >= 0) potential[remap[m]] = true;
+              if (fr.detected_at[m] < 0) continue;
+              if (remap[m] == i) target_confirmed = true;
+              status[remap[m]] = S::kDetected;
+              res.detected_by[remap[m]] = test_index;
+            }
+            // The engine verified the target on the faulty machine
+            // already; belt-and-braces against simulator disagreement.
+            SATPG_CHECK_MSG(target_confirmed,
+                            "engine-verified test rejected by parallel fsim");
+            run.tests.push_back(std::move(attempt.sequence));
+            break;
+          }
+        }
+        run.fe_trace.push_back({committed_evals, current_fe()});
+      }
+    }
+  }
+
+  // ---- accounting (same rules as the serial driver) ----
+  std::size_t w_det = 0, w_red = 0, w_abort = 0, w_total = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const std::size_t w = static_cast<std::size_t>(collapsed[i].class_size);
+    w_total += w;
+    S s = status[i];
+    if (opts.run.count_potential_detections && potential[i] &&
+        (s == S::kUndetected || s == S::kAborted))
+      s = S::kDetected;
+    switch (s) {
+      case S::kDetected:
+        w_det += w;
+        break;
+      case S::kRedundant:
+        w_red += w;
+        break;
+      default:
+        w_abort += w;
+    }
+  }
+  run.total_faults = w_total;
+  run.detected = w_det;
+  run.redundant = w_red;
+  run.aborted = w_abort;
+  run.fault_coverage =
+      100.0 * static_cast<double>(w_det) /
+      static_cast<double>(std::max<std::size_t>(1, w_total));
+  run.fault_efficiency =
+      100.0 * static_cast<double>(w_det + w_red) /
+      static_cast<double>(std::max<std::size_t>(1, w_total));
+  run.evals = committed_evals;
+  run.backtracks = committed_backtracks;
+  run.verify_failures = verify_rejects;
+
+  res.status.assign(faults.size(), FaultStatus::kAborted);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (status[i] == S::kDetected)
+      res.status[i] = FaultStatus::kDetected;
+    else if (status[i] == S::kRedundant)
+      res.status[i] = FaultStatus::kRedundant;
+  }
+
+  // Final replay for the state-traversal census.
+  if (!run.tests.empty()) {
+    auto fr = run_fault_simulation(nl, {}, run.tests, opts.run.fsim);
+    run.states_traversed = std::move(fr.good_states);
+  }
+  run.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  return res;
+}
+
+}  // namespace satpg

@@ -1,0 +1,140 @@
+// Fault-parallel ATPG driver with deterministic scheduling.
+//
+// The driver partitions the collapsed fault list into fixed-size work
+// units and runs one fresh AtpgEngine per unit on the shared thread pool,
+// in rounds:
+//
+//   round:   snapshot the undetected faults (fault-index order) and cut
+//            them into units of kUnitSize faults, at most kUnitsPerRound
+//            units — constants that do NOT depend on the thread count, so
+//            the work breakdown is identical for any num_threads;
+//   workers: each unit generates tests for its faults independently and
+//            writes into its own result slot (speculation: a fault another
+//            unit detects this round is still attempted — its work is
+//            counted, its outcome discarded at merge);
+//   barrier: unit results merge on the orchestrating thread in unit order
+//            (within a unit, fault order). Each detected sequence is fault
+//            simulated against the still-undetected faults — reusing the
+//            parallel fsim — and drops apply immediately in merge order.
+//
+// Because partitioning precedes the parallel section, every slot has one
+// writer, and merging is a fixed serial order, results are bit-identical
+// for every thread count. DESIGN.md §4d states the full contract.
+//
+// kLearning engines share justification outcomes through a sharded,
+// mutex-striped SharedLearningCache with an epoch visibility rule: entries
+// published while round R runs carry epoch R+1 and are invisible until
+// round R+1 — so learning crosses workers without letting OS scheduling
+// reorder who-learned-what-first into the results.
+//
+// Robustness plumbing the serial driver never had:
+//   * total_eval_budget is enforced at fault granularity against the
+//     committed (merged) eval count — deterministic; remaining faults
+//     abort gracefully;
+//   * deadline_ms arms a wall-clock deadline that flips an atomic abort
+//     flag; every PODEM search polls it and unwinds. Deadline outcomes
+//     are inherently timing-dependent: use it for bounded wall-clock,
+//     never in determinism tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "atpg/engine.h"
+
+namespace satpg {
+
+/// Cross-worker justification-outcome cache (kLearning).
+///
+/// Publish rule: a unit completing during round R publishes its engine's
+/// local caches with epoch R+1 and its unit index as tie-break; an
+/// existing entry is replaced only by one with a strictly smaller
+/// (epoch, unit) pair. Readers of round R accept only entries with
+/// epoch <= R. Consequences: visible entries are immutable (any publish
+/// racing a reader carries a larger epoch), and the final cache content is
+/// independent of worker scheduling — so every engine sees a deterministic
+/// cache regardless of thread count.
+class SharedLearningCache {
+ public:
+  explicit SharedLearningCache(std::size_t num_shards = 16);
+
+  /// LearningShare implementation with the read epoch baked in; hand one
+  /// to each engine of round `round` via view_for_round().
+  class View final : public LearningShare {
+   public:
+    View(const SharedLearningCache* cache, std::uint32_t read_epoch)
+        : cache_(cache), read_epoch_(read_epoch) {}
+    bool lookup_ok(const StateKey& key,
+                   std::vector<std::vector<V3>>* prefix) const override;
+    bool lookup_fail(const StateKey& key) const override;
+
+   private:
+    const SharedLearningCache* cache_;
+    std::uint32_t read_epoch_;
+  };
+
+  View view_for_round(std::uint32_t round) const { return View(this, round); }
+
+  /// Publish `engine`'s local learning caches: called by the worker that
+  /// ran unit `unit` of round `round`, as soon as the unit completes.
+  void publish(std::uint32_t round, std::uint32_t unit,
+               const AtpgEngine& engine);
+
+  /// Entries currently stored (any epoch). For stats/tests.
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::vector<std::vector<V3>> prefix;  ///< meaningful when ok
+    std::uint32_t epoch = 0;              ///< first round that may read it
+    std::uint32_t unit = 0;               ///< publisher (tie-break)
+    bool ok = false;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<StateKey, Entry, StateKeyHash> map;
+  };
+
+  const Shard& shard_for(const StateKey& key) const {
+    return shards_[key.hash() % shards_.size()];
+  }
+  Shard& shard_for(const StateKey& key) {
+    return shards_[key.hash() % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+};
+
+struct ParallelAtpgOptions {
+  AtpgRunOptions run;
+  /// Worker threads for the deterministic phase: 1 = in-caller serial
+  /// execution, 0 = one per hardware thread. Results are bit-identical
+  /// for every value.
+  unsigned num_threads = 0;
+  /// Wall-clock deadline for the whole run in milliseconds (0 = none).
+  /// When it fires, in-flight searches unwind and every remaining fault
+  /// aborts. Timing-dependent by nature — results under a deadline are
+  /// NOT reproducible across machines or runs.
+  std::uint64_t deadline_ms = 0;
+};
+
+struct ParallelAtpgResult {
+  /// Summary in the serial driver's shape (tables print from this).
+  AtpgRunResult run;
+  /// Per collapsed fault: final strict status (no potential-detection
+  /// credit — that credit is applied only inside run's summary numbers).
+  std::vector<FaultStatus> status;
+  /// Per collapsed fault: index into run.tests of the sequence that first
+  /// detected it, or -1. Lets tests replay every detection independently.
+  std::vector<int> detected_by;
+  /// Faults aborted because the wall-clock deadline fired.
+  std::size_t aborted_by_deadline = 0;
+};
+
+ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
+                                     const ParallelAtpgOptions& opts);
+
+}  // namespace satpg

@@ -278,7 +278,8 @@ bool Podem::backtrack(PodemBudget& budget) {
 
 PodemStatus Podem::run(PodemBudget& budget) {
   for (;;) {
-    if (tfm_.evals() > budget.max_evals || budget.exhausted_backtracks())
+    if (budget.exhausted_evals() || budget.exhausted_backtracks() ||
+        budget.aborted_externally())
       return PodemStatus::kAborted;
     if (goal_met()) return PodemStatus::kSuccess;
     std::optional<Objective> obj;

@@ -20,6 +20,7 @@
 // a justification attempt fails).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <utility>
@@ -36,10 +37,21 @@ enum class PodemStatus { kSuccess, kExhausted, kAborted };
 struct PodemBudget {
   std::uint64_t max_backtracks = 1000;
   std::uint64_t max_evals = 2'000'000;
-  // Consumed counters (shared across phases of one fault).
+  // Consumed counters (shared across ALL phases of one fault — window
+  // growth, every justification level, and the redundancy check). `evals`
+  // is fed live by each phase's TimeFrameModel via attach_eval_counter(),
+  // so no phase can restart the count.
   std::uint64_t backtracks = 0;
+  std::uint64_t evals = 0;
+  /// Cooperative cancellation (wall-clock deadline): when set and true, the
+  /// search returns kAborted at the next decision-loop check.
+  const std::atomic<bool>* abort = nullptr;
 
   bool exhausted_backtracks() const { return backtracks >= max_backtracks; }
+  bool exhausted_evals() const { return evals >= max_evals; }
+  bool aborted_externally() const {
+    return abort != nullptr && abort->load(std::memory_order_relaxed);
+  }
 };
 
 class Podem {

@@ -191,6 +191,7 @@ void TimeFrameModel::propagate() {
       const std::size_t idx = flat(t, id);
       in_queue_[idx] = 0;
       ++evals_;
+      if (external_evals_ != nullptr) ++*external_evals_;
       const V5 nv = compute(t, id);
       if (nv == values_[idx]) continue;
       set_value(idx, nv);

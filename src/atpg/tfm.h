@@ -68,6 +68,13 @@ class TimeFrameModel {
   /// metric ("CPU seconds" proxy).
   std::uint64_t evals() const { return evals_; }
 
+  /// Mirror every evaluation into an external counter as well (e.g. the
+  /// fault-cumulative PodemBudget::evals, which outlives any one model).
+  /// Pass nullptr to detach. The counter must outlive the attachment.
+  void attach_eval_counter(std::uint64_t* counter) {
+    external_evals_ = counter;
+  }
+
   /// Fault-effect presence: any D/D' on a PO marker within the window.
   bool detected_at_po() const;
   /// Any D/D' on a D-input of the last frame's flip-flops (effect would
@@ -120,6 +127,7 @@ class TimeFrameModel {
   std::set<std::pair<int, NodeId>> d_set_;
 
   std::uint64_t evals_ = 0;
+  std::uint64_t* external_evals_ = nullptr;
 };
 
 }  // namespace satpg

@@ -34,6 +34,13 @@ void ThreadPool::wait_all() {
   all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
+void ThreadPool::run_on_workers(unsigned workers,
+                                const std::function<void(unsigned)>& fn) {
+  for (unsigned w = 1; w < workers; ++w) submit([&fn, w] { fn(w); });
+  if (workers >= 1) fn(0);
+  if (workers > 1) wait_all();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

@@ -46,6 +46,15 @@ class ThreadPool {
   /// Block until the queue is empty and no task is running.
   void wait_all();
 
+  /// Run fn(0) … fn(workers-1) concurrently and return when all are done.
+  /// The calling thread executes fn(0) itself; fn(1..) go through the
+  /// queue. This means `workers` may exceed num_threads() (extra calls
+  /// just queue), and callers always make progress even on a 1-core pool.
+  /// Same caveats as submit()/wait_all(): one orchestrating thread, and
+  /// fn must not submit to this pool.
+  void run_on_workers(unsigned workers,
+                      const std::function<void(unsigned)>& fn);
+
   /// std::thread::hardware_concurrency() with a floor of 1.
   static unsigned hardware_threads();
 

@@ -415,13 +415,11 @@ FsimResult run_fault_simulation(const Netlist& nl,
       for (std::size_t b = 0; b < num_batches; ++b)
         run_batch(b, arenas[0]);
     } else {
-      ThreadPool& pool = ThreadPool::shared();
-      for (unsigned w = 0; w < workers; ++w)
-        pool.submit([&run_batch, w, workers, num_batches, &arenas] {
-          for (std::size_t b = w; b < num_batches; b += workers)
-            run_batch(b, arenas[w]);
-        });
-      pool.wait_all();
+      ThreadPool::shared().run_on_workers(
+          workers, [&run_batch, workers, num_batches, &arenas](unsigned w) {
+            for (std::size_t b = w; b < num_batches; b += workers)
+              run_batch(b, arenas[w]);
+          });
     }
 
     for (std::size_t idx : remaining) {

@@ -7,6 +7,7 @@
 
 #include "analysis/reach.h"
 #include "analysis/structure.h"
+#include "atpg/parallel.h"
 #include "base/strutil.h"
 #include "fsm/mcnc_suite.h"
 #include "fsm/minimize.h"
@@ -38,6 +39,19 @@ AtpgRunOptions scaled_run_options(const ExperimentOptions& opts,
 }
 
 namespace {
+
+// Every experiment's ATPG goes through the fault-parallel driver; with
+// the scheduler's thread-count-invariant design this changes throughput,
+// never table content.
+AtpgRunResult run_atpg_threaded(const Netlist& nl,
+                                const ExperimentOptions& opts,
+                                const AtpgRunOptions& run) {
+  ParallelAtpgOptions p;
+  p.run = run;
+  p.num_threads = opts.num_threads;
+  p.deadline_ms = opts.deadline_ms;
+  return run_parallel_atpg(nl, p).run;
+}
 
 std::string kev(std::uint64_t evals) {
   return strprintf("%.0f", static_cast<double>(evals) / 1000.0);
@@ -90,8 +104,8 @@ Table run_engine_table(Suite& suite, const ExperimentOptions& opts,
     const Netlist orig = suite.circuit(spec.name());
     const Netlist re = suite.circuit(spec.retimed_name());
     const auto run_opts = scaled_run_options(opts, kind);
-    const AtpgRunResult r0 = run_atpg(orig, run_opts);
-    const AtpgRunResult r1 = run_atpg(re, run_opts);
+    const AtpgRunResult r0 = run_atpg_threaded(orig, opts, run_opts);
+    const AtpgRunResult r1 = run_atpg_threaded(re, opts, run_opts);
     const double ratio = static_cast<double>(r1.evals) /
                          static_cast<double>(std::max<std::uint64_t>(1,
                                                                      r0.evals));
@@ -178,8 +192,8 @@ Table run_table6_density(Suite& suite, const ExperimentOptions& opts) {
       const std::string name =
           retimed ? spec.retimed_name() : spec.name();
       const Netlist nl = suite.circuit(name);
-      const auto run = run_atpg(nl, scaled_run_options(opts,
-                                                       EngineKind::kHitec));
+      const auto run = run_atpg_threaded(
+          nl, opts, scaled_run_options(opts, EngineKind::kHitec));
       const auto reach = compute_reachable(nl);
       const std::size_t tv = traversed_valid(run.states_traversed, reach);
       const double pct_trav =
@@ -227,8 +241,8 @@ Table run_table8_replay(Suite& suite, const ExperimentOptions& opts) {
     const Netlist orig = suite.circuit(spec.name());
     const Netlist re = suite.circuit(spec.retimed_name());
     const auto run_opts = scaled_run_options(opts, EngineKind::kHitec);
-    const AtpgRunResult r_orig = run_atpg(orig, run_opts);
-    const AtpgRunResult r_re = run_atpg(re, run_opts);
+    const AtpgRunResult r_orig = run_atpg_threaded(orig, opts, run_opts);
+    const AtpgRunResult r_re = run_atpg_threaded(re, opts, run_opts);
     const auto reach = compute_reachable(re);
 
     // Replay the original circuit's test set on the retimed circuit
@@ -264,8 +278,8 @@ Table run_fig3_fe_vs_cpu(Suite& suite, const ExperimentOptions& opts) {
     names.push_back("s510.jo.sr" + suffix);
   for (const auto& name : names) {
     const Netlist nl = suite.circuit(name);
-    const auto run = run_atpg(nl, scaled_run_options(opts,
-                                                     EngineKind::kHitec));
+    const auto run = run_atpg_threaded(
+        nl, opts, scaled_run_options(opts, EngineKind::kHitec));
     // Sample ~12 points along the trace plus the endpoint.
     const auto& trace = run.fe_trace;
     const std::size_t stride =
@@ -286,10 +300,10 @@ Table run_ablation_learning(Suite& suite, const ExperimentOptions& opts) {
   for (const auto& name :
        {"dk16.ji.sd.re", "s820.jo.sr.re", "s832.jo.sr.re"}) {
     const Netlist nl = suite.circuit(name);
-    const auto r0 =
-        run_atpg(nl, scaled_run_options(opts, EngineKind::kHitec));
-    const auto r1 =
-        run_atpg(nl, scaled_run_options(opts, EngineKind::kLearning));
+    const auto r0 = run_atpg_threaded(
+        nl, opts, scaled_run_options(opts, EngineKind::kHitec));
+    const auto r1 = run_atpg_threaded(
+        nl, opts, scaled_run_options(opts, EngineKind::kLearning));
     t.add_row({name, pct(r0.fault_efficiency), kev(r0.evals),
                pct(r1.fault_efficiency), kev(r1.evals),
                strprintf("%.2f", static_cast<double>(r0.evals) /
@@ -305,8 +319,8 @@ Table run_ablation_budget(Suite& suite, const ExperimentOptions& opts) {
   for (const double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
     ExperimentOptions scaled = opts;
     scaled.budget_scale = opts.budget_scale * scale;
-    const auto r =
-        run_atpg(nl, scaled_run_options(scaled, EngineKind::kHitec));
+    const auto r = run_atpg_threaded(
+        nl, scaled, scaled_run_options(scaled, EngineKind::kHitec));
     t.add_row({nl.name(), strprintf("%.2f", scale), pct(r.fault_coverage),
                pct(r.fault_efficiency), kev(r.evals)});
   }
@@ -333,8 +347,8 @@ Table run_ablation_encoding(const ExperimentOptions& opts) {
     so.seed = opts.seed;
     const SynthResult res = synthesize(fsm, so);
     const auto reach = compute_reachable(res.netlist);
-    const auto run = run_atpg(res.netlist,
-                              scaled_run_options(opts, EngineKind::kHitec));
+    const auto run = run_atpg_threaded(
+        res.netlist, opts, scaled_run_options(opts, EngineKind::kHitec));
     t.add_row({res.name, std::to_string(res.netlist.num_dffs()),
                strprintf("%.0f", reach.num_valid),
                format_count(reach.total_states),
@@ -361,10 +375,16 @@ BenchConfig parse_bench_flags(int argc, char** argv) {
       cfg.suite.fsm_scale = std::atof(v);
     } else if (const char* v = value_of("--cache=")) {
       cfg.suite.cache_dir = v;
+    } else if (const char* v = value_of("--threads=")) {
+      cfg.experiment.num_threads =
+          static_cast<unsigned>(std::atoi(v));
+    } else if (const char* v = value_of("--deadline-ms=")) {
+      cfg.experiment.deadline_ms =
+          static_cast<std::uint64_t>(std::atoll(v));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--budget=F] [--seed=N] [--scale=F] "
-                   "[--cache=DIR]\n",
+                   "[--cache=DIR] [--threads=N] [--deadline-ms=N]\n",
                    argv[0]);
       std::exit(2);
     }

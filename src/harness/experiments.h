@@ -23,6 +23,13 @@ namespace satpg {
 struct ExperimentOptions {
   double budget_scale = 1.0;
   std::uint64_t seed = 1;
+  /// ATPG worker threads (0 = hardware). Every experiment routes through
+  /// the fault-parallel driver, whose results are bit-identical for any
+  /// thread count — tables never depend on this knob.
+  unsigned num_threads = 0;
+  /// Wall-clock deadline per ATPG run in ms (0 = none). Timing-dependent:
+  /// only for bounding exploratory runs, never for table reproduction.
+  std::uint64_t deadline_ms = 0;
 };
 
 /// Baseline engine budgets used by all experiments, scaled.
@@ -48,7 +55,8 @@ Table run_ablation_encoding(const ExperimentOptions& opts);
 
 /// Tiny flag parser shared by the bench mains: recognizes
 /// --budget=<float>, --seed=<n>, --scale=<float> (FSM scale),
-/// --cache=<dir>. Unknown flags abort with a usage message.
+/// --cache=<dir>, --threads=<n>, --deadline-ms=<n>. Unknown flags abort
+/// with a usage message.
 struct BenchConfig {
   ExperimentOptions experiment;
   SuiteOptions suite;

@@ -1,0 +1,200 @@
+// Tests for the fault-parallel ATPG driver: bit-identical results across
+// thread counts (all three engines, original + retimed circuit), the
+// SharedLearningCache epoch-visibility rule, deterministic total-budget
+// abort, and the wall-clock deadline plumbing.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "atpg/parallel.h"
+#include "fsim/fsim.h"
+#include "fsm/mcnc_suite.h"
+#include "retime/retime.h"
+#include "synth/synthesize.h"
+
+namespace satpg {
+namespace {
+
+Netlist mcnc_circuit(const std::string& name, double scale) {
+  FsmGenSpec spec;
+  for (const auto& s : mcnc_specs())
+    if (s.name == name) spec = s;
+  const Fsm fsm = generate_control_fsm(scaled_spec(spec, scale));
+  return synthesize(fsm, {}).netlist;
+}
+
+ParallelAtpgOptions small_options(EngineKind kind, unsigned threads) {
+  ParallelAtpgOptions popts;
+  popts.run.engine.kind = kind;
+  popts.run.engine.eval_limit = 150'000;
+  popts.run.engine.backtrack_limit = 300;
+  popts.run.random_sequences = 4;
+  popts.run.random_length = 24;
+  popts.num_threads = threads;
+  return popts;
+}
+
+// Every observable field must match bit-for-bit — the determinism contract
+// of DESIGN.md §4d covers statuses, tests, traces, and work accounting.
+void expect_identical(const ParallelAtpgResult& a, const ParallelAtpgResult& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.status, b.status) << what;
+  EXPECT_EQ(a.detected_by, b.detected_by) << what;
+  EXPECT_EQ(a.run.tests, b.run.tests) << what;
+  EXPECT_EQ(a.run.total_faults, b.run.total_faults) << what;
+  EXPECT_EQ(a.run.detected, b.run.detected) << what;
+  EXPECT_EQ(a.run.redundant, b.run.redundant) << what;
+  EXPECT_EQ(a.run.aborted, b.run.aborted) << what;
+  EXPECT_EQ(a.run.evals, b.run.evals) << what;
+  EXPECT_EQ(a.run.backtracks, b.run.backtracks) << what;
+  EXPECT_EQ(a.run.fault_coverage, b.run.fault_coverage) << what;
+  EXPECT_EQ(a.run.fault_efficiency, b.run.fault_efficiency) << what;
+  EXPECT_EQ(a.run.verify_failures, b.run.verify_failures) << what;
+  EXPECT_EQ(a.run.fe_trace, b.run.fe_trace) << what;
+  EXPECT_EQ(a.run.states_traversed, b.run.states_traversed) << what;
+  EXPECT_EQ(a.aborted_by_deadline, b.aborted_by_deadline) << what;
+}
+
+// --- thread-count invariance ------------------------------------------------
+
+class ParallelDeterminism : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(ParallelDeterminism, ThreadCountInvariantOnMcncPair) {
+  const Netlist orig = mcnc_circuit("s820", 0.3);
+  const Netlist twin =
+      retime_to_dff_target(orig, orig.num_dffs() * 2, orig.name() + ".re")
+          .netlist;
+  for (const Netlist* nl : {&orig, &twin}) {
+    const ParallelAtpgResult base =
+        run_parallel_atpg(*nl, small_options(GetParam(), 1));
+    // Sanity on the baseline itself before comparing against it.
+    ASSERT_EQ(base.status.size(), base.detected_by.size());
+    EXPECT_EQ(base.run.detected + base.run.redundant + base.run.aborted,
+              base.run.total_faults);
+    for (unsigned threads : {2u, 8u}) {
+      const ParallelAtpgResult r =
+          run_parallel_atpg(*nl, small_options(GetParam(), threads));
+      expect_identical(base, r,
+                       nl->name() + " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, ParallelDeterminism,
+                         ::testing::Values(EngineKind::kHitec,
+                                           EngineKind::kForward,
+                                           EngineKind::kLearning),
+                         [](const auto& info) {
+                           return std::string(engine_kind_name(info.param));
+                         });
+
+// Serial reference: the parallel driver at any thread count must agree with
+// the sequential run_atpg() on the summary it feeds into the tables.
+TEST(ParallelAtpgTest, MatchesSerialDriverSummary) {
+  const Netlist nl = mcnc_circuit("dk16", 0.4);
+  ParallelAtpgOptions popts = small_options(EngineKind::kHitec, 4);
+  const auto pres = run_parallel_atpg(nl, popts);
+  const auto serial = run_atpg(nl, popts.run);
+  EXPECT_EQ(pres.run.total_faults, serial.total_faults);
+  EXPECT_EQ(pres.run.detected, serial.detected);
+  EXPECT_EQ(pres.run.redundant, serial.redundant);
+  EXPECT_EQ(pres.run.aborted, serial.aborted);
+  EXPECT_EQ(pres.run.tests, serial.tests);
+  EXPECT_EQ(pres.run.evals, serial.evals);
+  EXPECT_EQ(pres.run.states_traversed, serial.states_traversed);
+}
+
+// --- deterministic total-budget abort ----------------------------------------
+
+TEST(ParallelAtpgTest, TotalEvalBudgetAbortIsThreadCountInvariant) {
+  const Netlist nl = mcnc_circuit("dk16", 0.4);
+  auto run_with = [&](unsigned threads) {
+    ParallelAtpgOptions popts = small_options(EngineKind::kHitec, threads);
+    // No random warm-up and a tight budget so exhaustion fires mid-run.
+    popts.run.random_sequences = 0;
+    popts.run.total_eval_budget = 2'000;
+    return run_parallel_atpg(nl, popts);
+  };
+  const auto base = run_with(1);
+  // The budget must actually bite for this test to mean anything.
+  ASSERT_GT(base.run.aborted, 0u);
+  for (unsigned threads : {2u, 8u})
+    expect_identical(base, run_with(threads),
+                     "budget threads=" + std::to_string(threads));
+}
+
+// --- wall-clock deadline ------------------------------------------------------
+
+TEST(ParallelAtpgTest, DeadlineAbortsGracefully) {
+  const Netlist nl = mcnc_circuit("s820", 0.3);
+  ParallelAtpgOptions popts = small_options(EngineKind::kHitec, 2);
+  popts.run.random_sequences = 0;  // force everything into the det phase
+  popts.deadline_ms = 1;           // fires essentially immediately
+  const auto r = run_parallel_atpg(nl, popts);
+  // Accounting stays consistent no matter where the deadline cut in, and
+  // deadline-hit faults are aborted, never mislabelled.
+  EXPECT_EQ(r.run.detected + r.run.redundant + r.run.aborted,
+            r.run.total_faults);
+  EXPECT_EQ(r.status.size(), r.detected_by.size());
+  std::size_t strict_detected = 0;
+  for (std::size_t i = 0; i < r.status.size(); ++i) {
+    if (r.status[i] == FaultStatus::kDetected) {
+      ++strict_detected;
+      ASSERT_GE(r.detected_by[i], 0);
+      ASSERT_LT(static_cast<std::size_t>(r.detected_by[i]),
+                r.run.tests.size());
+    }
+  }
+  EXPECT_LE(r.aborted_by_deadline + strict_detected, r.status.size());
+}
+
+TEST(ParallelAtpgTest, NoDeadlineMeansNoDeadlineAborts) {
+  const Netlist nl = mcnc_circuit("dk16", 0.4);
+  const auto r = run_parallel_atpg(nl, small_options(EngineKind::kHitec, 2));
+  EXPECT_EQ(r.aborted_by_deadline, 0u);
+}
+
+// --- shared learning cache ----------------------------------------------------
+
+// Harvest real learning entries by running a kLearning engine, then check
+// the epoch-visibility and first-writer-wins rules directly.
+TEST(SharedLearningCacheTest, EpochVisibilityAndFirstWriterWins) {
+  const Netlist nl = mcnc_circuit("dk16", 0.4);
+  EngineOptions opts;
+  opts.kind = EngineKind::kLearning;
+  AtpgEngine engine(nl, opts);
+  const auto collapsed = collapse_faults(nl);
+  for (const auto& cf : collapsed) engine.generate(cf.representative);
+  ASSERT_FALSE(engine.learned_ok().empty())
+      << "learning engine produced no success cache entries";
+
+  SharedLearningCache cache;
+  // Published during round 2 -> epoch 3: invisible to rounds <= 2.
+  cache.publish(/*round=*/2, /*unit=*/0, engine);
+  EXPECT_EQ(cache.size(), engine.learned_ok().size() +
+                              engine.learned_fail().size());
+  const auto& [key, prefix] = *engine.learned_ok().begin();
+  std::vector<std::vector<V3>> got;
+  EXPECT_FALSE(cache.view_for_round(0).lookup_ok(key, &got));
+  EXPECT_FALSE(cache.view_for_round(2).lookup_ok(key, &got));
+  EXPECT_TRUE(cache.view_for_round(3).lookup_ok(key, &got));
+  EXPECT_EQ(got, prefix);
+
+  // Re-publishing from an earlier round wins (smaller epoch), making the
+  // entry visible earlier; re-publishing from a later round is a no-op.
+  cache.publish(/*round=*/0, /*unit=*/1, engine);
+  EXPECT_TRUE(cache.view_for_round(1).lookup_ok(key, &got));
+  cache.publish(/*round=*/7, /*unit=*/0, engine);
+  EXPECT_TRUE(cache.view_for_round(1).lookup_ok(key, &got));
+  EXPECT_EQ(got, prefix);
+
+  if (!engine.learned_fail().empty()) {
+    const StateKey fail_key = *engine.learned_fail().begin();
+    EXPECT_FALSE(cache.view_for_round(0).lookup_fail(fail_key));
+    EXPECT_TRUE(cache.view_for_round(1).lookup_fail(fail_key));
+  }
+}
+
+}  // namespace
+}  // namespace satpg

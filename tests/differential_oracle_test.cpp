@@ -1,0 +1,214 @@
+// Differential oracles for the ATPG stack: every detected sequence must be
+// confirmed by an independent serial fault-simulation replay from the all-X
+// power-up state AND by a two-machine replay on src/sim with the fault
+// injected structurally; the good-machine time-frame model is cross-checked
+// gate-by-gate against the sequential simulator; redundancy verdicts are
+// cross-checked against BDD sequential equivalence of the fault-injected
+// netlist.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/seqec.h"
+#include "atpg/parallel.h"
+#include "atpg/tfm.h"
+#include "bdd/bdd.h"
+#include "fsim/fsim.h"
+#include "fsm/mcnc_suite.h"
+#include "sim/simulator.h"
+#include "synth/synthesize.h"
+
+namespace satpg {
+namespace {
+
+Netlist mcnc_circuit(const std::string& name, double scale) {
+  FsmGenSpec spec;
+  for (const auto& s : mcnc_specs())
+    if (s.name == name) spec = s;
+  const Fsm fsm = generate_control_fsm(scaled_spec(spec, scale));
+  return synthesize(fsm, {}).netlist;
+}
+
+// Structural fault injection: a copy of `nl` whose behaviour is exactly the
+// faulty machine. Stem faults reroute every reader of the node to a
+// constant; branch faults reroute one fanin slot. This gives an oracle that
+// shares no code with the fault simulator's fault overlay.
+Netlist inject_fault(const Netlist& nl, const Fault& f) {
+  Netlist faulty = nl;
+  const NodeId c = faulty.add_const(f.stuck1, "fault_const");
+  if (f.pin < 0)
+    faulty.replace_uses(f.node, c);
+  else
+    faulty.set_fanin(f.node, static_cast<std::size_t>(f.pin), c);
+  return faulty;
+}
+
+// Two-machine replay from all-X power-up on the sequential simulator:
+// detected iff some cycle shows a primary output known in both machines
+// with differing values (the strict PROOFS-era convention).
+bool seqsim_detects(const Netlist& good, const Netlist& faulty,
+                    const TestSequence& seq) {
+  SeqSimulator sg(good), sf(faulty);
+  sg.set_state(std::vector<V3>(good.num_dffs(), V3::kX));
+  sf.set_state(std::vector<V3>(faulty.num_dffs(), V3::kX));
+  for (const auto& vec : seq) {
+    const auto pg = sg.step(vec);
+    const auto pf = sf.step(vec);
+    for (std::size_t o = 0; o < pg.size(); ++o)
+      if (pg[o] != V3::kX && pf[o] != V3::kX && pg[o] != pf[o]) return true;
+  }
+  return false;
+}
+
+ParallelAtpgResult strict_run(const Netlist& nl) {
+  ParallelAtpgOptions popts;
+  popts.run.engine.eval_limit = 150'000;
+  popts.run.engine.backtrack_limit = 300;
+  popts.run.random_sequences = 4;
+  popts.run.random_length = 24;
+  popts.run.count_potential_detections = false;
+  popts.num_threads = 2;
+  return run_parallel_atpg(nl, popts);
+}
+
+// --- detections --------------------------------------------------------------
+
+TEST(DifferentialOracleTest, EveryDetectionReplaysUnderTwoIndependentOracles) {
+  const Netlist nl = mcnc_circuit("dk16", 0.4);
+  const auto collapsed = collapse_faults(nl);
+  const auto r = strict_run(nl);
+  ASSERT_EQ(r.status.size(), collapsed.size());
+
+  std::size_t checked = 0, weighted_detected = 0;
+  for (std::size_t i = 0; i < collapsed.size(); ++i) {
+    if (r.status[i] != FaultStatus::kDetected) continue;
+    weighted_detected +=
+        static_cast<std::size_t>(collapsed[i].class_size);
+    const Fault& f = collapsed[i].representative;
+    ASSERT_GE(r.detected_by[i], 0) << fault_name(nl, f);
+    ASSERT_LT(static_cast<std::size_t>(r.detected_by[i]),
+              r.run.tests.size());
+    const TestSequence& seq =
+        r.run.tests[static_cast<std::size_t>(r.detected_by[i])];
+    // Oracle 1: serial three-valued fault simulation from all-X power-up.
+    EXPECT_GE(simulate_fault_serial(nl, f, seq), 0) << fault_name(nl, f);
+    // Oracle 2: structural injection + two-machine src/sim replay.
+    EXPECT_TRUE(seqsim_detects(nl, inject_fault(nl, f), seq))
+        << fault_name(nl, f);
+    ++checked;
+  }
+  EXPECT_GT(checked, collapsed.size() / 2);
+  // Strict statuses must reconcile with the strict summary numbers.
+  EXPECT_EQ(weighted_detected, r.run.detected);
+}
+
+// --- good-machine cross-check ------------------------------------------------
+
+// The time-frame model (the engine's view of the good machine) must agree
+// gate-by-gate, frame-by-frame with the sequential simulator when both
+// start from the all-X power-up state and see the same input vectors.
+TEST(DifferentialOracleTest, TimeFrameModelMatchesSimulatorGateByGate) {
+  const Netlist nl = mcnc_circuit("dk16", 0.4);
+  const auto r = strict_run(nl);
+  ASSERT_FALSE(r.run.tests.empty());
+
+  std::size_t sequences = 0;
+  for (const auto& seq : r.run.tests) {
+    if (sequences++ >= 6) break;
+    const int frames = static_cast<int>(std::min<std::size_t>(seq.size(), 12));
+    TimeFrameModel tfm(nl, std::nullopt, frames);
+    SeqSimulator sim(nl);
+    sim.set_state(std::vector<V3>(nl.num_dffs(), V3::kX));
+    for (int t = 0; t < frames; ++t) {
+      for (std::size_t i = 0; i < nl.num_inputs(); ++i)
+        if (seq[static_cast<std::size_t>(t)][i] != V3::kX)
+          tfm.assign(t, nl.inputs()[i], seq[static_cast<std::size_t>(t)][i]);
+      sim.eval_outputs(seq[static_cast<std::size_t>(t)]);
+      for (std::size_t n = 0; n < nl.num_nodes(); ++n) {
+        const auto& node = nl.node(static_cast<NodeId>(n));
+        if (node.dead) continue;
+        EXPECT_EQ(tfm.value(t, static_cast<NodeId>(n)).g,
+                  sim.value(static_cast<NodeId>(n)))
+            << "node " << node.name << " frame " << t;
+      }
+      sim.set_state(sim.next_state());
+    }
+  }
+}
+
+// --- redundancy --------------------------------------------------------------
+
+// A hand-built redundancy: y = OR(a, AND(b, !b)); the AND output s-a-0 is
+// unexcitable. State space is 2, so exhaustive two-machine comparison over
+// every (state, input) is a complete oracle.
+TEST(DifferentialOracleTest, HandRedundancyIsBehaviourallyInvisible) {
+  Netlist nl("red");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId nb = nl.add_gate(GateType::kNot, "nb", {b});
+  const NodeId g = nl.add_gate(GateType::kAnd, "g", {b, nb});
+  const NodeId y = nl.add_gate(GateType::kOr, "y", {a, g});
+  const NodeId q = nl.add_dff("q", y, FfInit::kUnknown);
+  nl.add_output("o", q);
+
+  const Fault f{g, -1, false};
+  AtpgEngine engine(nl, {});
+  ASSERT_EQ(engine.generate(f).status, FaultStatus::kRedundant);
+
+  const Netlist faulty = inject_fault(nl, f);
+  SeqSimulator sg(nl), sf(faulty);
+  for (int state = 0; state < 2; ++state) {
+    for (int in = 0; in < 4; ++in) {
+      const std::vector<V3> st{state ? V3::kOne : V3::kZero};
+      const std::vector<V3> pi{(in & 1) ? V3::kOne : V3::kZero,
+                               (in & 2) ? V3::kOne : V3::kZero};
+      sg.set_state(st);
+      sf.set_state(st);
+      EXPECT_EQ(sg.step(pi), sf.step(pi)) << "state " << state << " in " << in;
+      EXPECT_EQ(sg.next_state(), sf.next_state())
+          << "state " << state << " in " << in;
+    }
+  }
+}
+
+// Engine-redundant faults on a synthesized machine must leave the circuit
+// sequentially equivalent to the fault-free original (BDD product-machine
+// proof). The engine's free-state single-frame proof is strictly stronger
+// than reset-synchronized equivalence, so equivalence must always hold.
+TEST(DifferentialOracleTest, RedundantFaultsAreSequentiallyEquivalent) {
+  // s820 at this scale is the smallest suite member whose synthesis leaves
+  // engine-provable redundancies (dk16 has none at any scale).
+  const Netlist nl = mcnc_circuit("s820", 0.5);
+  // The oracle itself must accept the identity before we trust it on
+  // injected netlists.
+  try {
+    ASSERT_TRUE(check_sequential_equivalence(nl, nl).equivalent);
+  } catch (const BddOverflow&) {
+    GTEST_SKIP() << "circuit too large for the BDD oracle";
+  }
+
+  const auto collapsed = collapse_faults(nl);
+  const auto r = strict_run(nl);
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < collapsed.size(); ++i) {
+    if (r.status[i] != FaultStatus::kRedundant) continue;
+    const Fault& f = collapsed[i].representative;
+    try {
+      const auto eq = check_sequential_equivalence(nl, inject_fault(nl, f));
+      EXPECT_TRUE(eq.equivalent)
+          << fault_name(nl, f) << ": " << eq.note;
+      ++checked;
+    } catch (const BddOverflow&) {
+      // Intractable instance: the verdict is checked elsewhere by random
+      // barrage (atpg_test) and reachability enumeration (property_test).
+    }
+  }
+  // dk16 at this scale is expected to expose at least one redundancy; if
+  // synthesis changes that, the test silently checks nothing — fail loudly
+  // instead so the calibration gets revisited.
+  EXPECT_GT(checked, 0u);
+}
+
+}  // namespace
+}  // namespace satpg

@@ -1,13 +1,15 @@
 // Cross-module property tests: randomized invariants that tie the
 // substrates together (simulation vs BDD semantics, retiming legality
 // sweeps, fault-collapse soundness under simulation, espresso on wider
-// functions, cover algebra laws).
+// functions, cover algebra laws, ATPG fault-dropping invariance and
+// redundancy-vs-reachability agreement).
 #include <gtest/gtest.h>
 
 #include <set>
 
 #include "analysis/bddcircuit.h"
 #include "analysis/reach.h"
+#include "atpg/parallel.h"
 #include "base/rng.h"
 #include "bdd/bdd.h"
 #include "fault/fault.h"
@@ -239,6 +241,135 @@ TEST(CoverLaws, ContainmentIsReflexiveAndAntisymmetricOnCubes) {
     }
   }
 }
+
+// --- ATPG fault-dropping invariance ------------------------------------------
+
+// Structural fault injection (see differential_oracle_test for the full
+// oracle suite around this): reroute readers of the fault site to a
+// constant so src/sim simulates the faulty machine directly.
+Netlist inject_fault(const Netlist& nl, const Fault& f) {
+  Netlist faulty = nl;
+  const NodeId c = faulty.add_const(f.stuck1, "fault_const");
+  if (f.pin < 0)
+    faulty.replace_uses(f.node, c);
+  else
+    faulty.set_fanin(f.node, static_cast<std::size_t>(f.pin), c);
+  return faulty;
+}
+
+class AtpgDropInvariance : public ::testing::TestWithParam<int> {};
+
+// Fault dropping (crediting faults that a previously generated test happens
+// to detect) is an optimization, not a semantics change: under generous
+// budgets the final per-fault verdicts must match a no-drop driver that
+// attacks every collapsed fault with a fresh engine.
+TEST_P(AtpgDropInvariance, DroppingNeverChangesVerdicts) {
+  const Netlist nl =
+      random_circuit(static_cast<std::uint64_t>(GetParam()) + 300, 3, 3, 14);
+  if (nl.validate() != std::nullopt) GTEST_SKIP();
+
+  ParallelAtpgOptions popts;
+  popts.run.random_sequences = 0;  // deterministic phase only: drops do work
+  popts.num_threads = 2;
+  const auto par = run_parallel_atpg(nl, popts);
+
+  const auto collapsed = collapse_faults(nl);
+  ASSERT_EQ(par.status.size(), collapsed.size());
+  std::size_t baseline_detected = 0, any_aborted = 0;
+  for (std::size_t i = 0; i < collapsed.size(); ++i) {
+    AtpgEngine engine(nl, popts.run.engine);  // fresh: no drop, no reuse
+    const auto attempt = engine.generate(collapsed[i].representative);
+    const std::string what = fault_name(nl, collapsed[i].representative);
+    switch (attempt.status) {
+      case FaultStatus::kDetected:
+        ++baseline_detected;
+        // Dropping may only change HOW a fault got detected, never whether.
+        EXPECT_EQ(par.status[i], FaultStatus::kDetected) << what;
+        break;
+      case FaultStatus::kRedundant:
+        // Redundant faults are undetectable, so no drop can claim them.
+        EXPECT_EQ(par.status[i], FaultStatus::kRedundant) << what;
+        break;
+      case FaultStatus::kAborted:
+        ++any_aborted;
+        // A drop may rescue a fault the standalone search gave up on; the
+        // claimed detection must then replay under independent simulation.
+        if (par.status[i] == FaultStatus::kDetected) {
+          ASSERT_GE(par.detected_by[i], 0) << what;
+          EXPECT_GE(simulate_fault_serial(
+                        nl, collapsed[i].representative,
+                        par.run.tests[static_cast<std::size_t>(
+                            par.detected_by[i])]),
+                    0)
+              << what;
+        }
+        break;
+    }
+  }
+  // With default (generous) budgets these tiny machines should resolve
+  // completely, making the invariance check exact:
+  if (any_aborted == 0 && par.run.aborted == 0) {
+    std::size_t par_detected = 0;
+    for (const auto s : par.status)
+      if (s == FaultStatus::kDetected) ++par_detected;
+    EXPECT_EQ(par_detected, baseline_detected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AtpgDropInvariance, ::testing::Range(0, 4));
+
+// --- redundancy vs BDD reachability ------------------------------------------
+
+class RedundancyVsReachability : public ::testing::TestWithParam<int> {};
+
+// Engine-redundant faults must be invisible from every reachable state:
+// for each state the BDD reachability analysis enumerates and every input
+// vector, the good and fault-injected machines agree on outputs AND next
+// state (the engine's proof covers unreachable states too, so this is the
+// weaker direction and must always hold).
+TEST_P(RedundancyVsReachability, RedundantFaultsInvisibleFromReachableStates) {
+  const Netlist nl =
+      random_circuit(static_cast<std::uint64_t>(GetParam()) + 400, 3, 2, 10);
+  if (nl.validate() != std::nullopt) GTEST_SKIP();
+
+  ParallelAtpgOptions popts;
+  popts.run.random_sequences = 0;
+  popts.num_threads = 1;
+  const auto par = run_parallel_atpg(nl, popts);
+  const auto collapsed = collapse_faults(nl);
+
+  std::vector<Fault> redundant;
+  for (std::size_t i = 0; i < collapsed.size(); ++i)
+    if (par.status[i] == FaultStatus::kRedundant)
+      redundant.push_back(collapsed[i].representative);
+  if (redundant.empty()) GTEST_SKIP() << "no redundancies at this seed";
+
+  const ReachResult reach = compute_reachable(nl);
+  if (!reach.enumerated) GTEST_SKIP() << "state space not enumerated";
+
+  const std::size_t num_pi = nl.num_inputs();
+  for (const Fault& f : redundant) {
+    const Netlist faulty = inject_fault(nl, f);
+    SeqSimulator sg(nl), sf(faulty);
+    for (const BitVec& bits : reach.states) {
+      std::vector<V3> st(nl.num_dffs());
+      for (std::size_t i = 0; i < st.size(); ++i)
+        st[i] = bits.get(i) ? V3::kOne : V3::kZero;
+      for (std::size_t in = 0; in < (std::size_t{1} << num_pi); ++in) {
+        std::vector<V3> pi(num_pi);
+        for (std::size_t i = 0; i < num_pi; ++i)
+          pi[i] = (in >> i) & 1 ? V3::kOne : V3::kZero;
+        sg.set_state(st);
+        sf.set_state(st);
+        EXPECT_EQ(sg.step(pi), sf.step(pi)) << fault_name(nl, f);
+        EXPECT_EQ(sg.next_state(), sf.next_state()) << fault_name(nl, f);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RedundancyVsReachability,
+                         ::testing::Range(0, 6));
 
 // --- bench round trip on random circuits -------------------------------------
 

@@ -23,6 +23,7 @@
 #include "analysis/structure.h"
 #include "atpg/compact.h"
 #include "atpg/engine.h"
+#include "atpg/parallel.h"
 #include "dft/scan.h"
 #include "netlist/bench_io.h"
 #include "retime/retime.h"
@@ -41,6 +42,7 @@ int usage() {
                "  satpg faults  c.bench\n"
                "  satpg atpg    c.bench [--engine=E] [--budget=F] [--seed=N]"
                " [--strict] [--tests=FILE] [--compact]\n"
+               "                [--threads=N] [--deadline-ms=N]\n"
                "  satpg retime  in.bench out.bench [--dffs=N]\n"
                "  satpg scan    in.bench out.bench [--partial]\n");
   return 2;
@@ -93,7 +95,8 @@ int cmd_faults(const Netlist& nl) {
 }
 
 int cmd_atpg(const Netlist& nl, int argc, char** argv) {
-  AtpgRunOptions opts;
+  ParallelAtpgOptions popts;
+  AtpgRunOptions& opts = popts.run;
   std::string tests_file;
   bool do_compact = false;
   for (int i = 0; i < argc; ++i) {
@@ -120,11 +123,16 @@ int cmd_atpg(const Netlist& nl, int argc, char** argv) {
       tests_file = v4;
     } else if (!std::strcmp(argv[i], "--compact")) {
       do_compact = true;
+    } else if (const char* v5 = flag_value(argv[i], "--threads=")) {
+      popts.num_threads = static_cast<unsigned>(std::atoi(v5));
+    } else if (const char* v6 = flag_value(argv[i], "--deadline-ms=")) {
+      popts.deadline_ms = static_cast<std::uint64_t>(std::atoll(v6));
     } else {
       return usage();
     }
   }
-  AtpgRunResult run = run_atpg(nl, opts);
+  ParallelAtpgResult pres = run_parallel_atpg(nl, popts);
+  AtpgRunResult& run = pres.run;
   std::printf("engine           : %s\n", engine_kind_name(opts.engine.kind));
   std::printf("fault coverage   : %.2f%%\n", run.fault_coverage);
   std::printf("fault efficiency : %.2f%%\n", run.fault_efficiency);
@@ -137,6 +145,8 @@ int cmd_atpg(const Netlist& nl, int argc, char** argv) {
               run.wall_seconds);
   std::printf("test sequences   : %zu\n", run.tests.size());
   std::printf("states traversed : %zu\n", run.states_traversed.size());
+  if (pres.aborted_by_deadline > 0)
+    std::printf("deadline aborts  : %zu faults\n", pres.aborted_by_deadline);
   if (do_compact) {
     const auto c = compact_tests(nl, run.tests);
     std::printf("compacted        : %zu -> %zu sequences\n", c.before,
