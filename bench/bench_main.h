@@ -1,12 +1,27 @@
 // Shared main() scaffold for the table benches: parse flags, build the
-// suite, print one header + the regenerated table.
+// suite, print one header + the regenerated table, and write the
+// machine-readable sidecar (BENCH_<bench>.json) that the trajectory
+// tooling diffs across commits. --metrics-json / --trace-json arm the
+// telemetry subsystem for the whole run.
 #pragma once
 
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <string>
 
+#include "base/metrics.h"
+#include "base/trace.h"
 #include "harness/experiments.h"
 
 namespace satpg {
+
+inline std::string bench_sidecar_path(const char* argv0) {
+  std::string base = argv0;
+  const std::size_t slash = base.find_last_of("/\\");
+  if (slash != std::string::npos) base = base.substr(slash + 1);
+  return "BENCH_" + base + ".json";
+}
 
 template <typename Fn>
 int bench_table_main(int argc, char** argv, const char* title, Fn&& body) {
@@ -16,8 +31,47 @@ int bench_table_main(int argc, char** argv, const char* title, Fn&& body) {
   std::cout << "(budget=" << cfg.experiment.budget_scale
             << ", fsm-scale=" << cfg.suite.fsm_scale
             << ", seed=" << cfg.experiment.seed << ")\n\n";
+
+  if (!cfg.metrics_json.empty()) {
+    MetricsRegistry::global().reset();
+    set_metrics_enabled(true);
+  }
+  if (!cfg.trace_json.empty()) TraceRecorder::global().start();
+
   const Table table = body(suite, cfg.experiment);
   std::cout << table.to_string() << "\n";
+
+  if (!cfg.trace_json.empty()) {
+    TraceRecorder::global().stop();
+    if (TraceRecorder::global().write_json(cfg.trace_json))
+      std::cout << "trace: " << cfg.trace_json << "\n";
+    else
+      std::fprintf(stderr, "cannot write %s\n", cfg.trace_json.c_str());
+  }
+  if (!cfg.metrics_json.empty()) {
+    set_metrics_enabled(false);
+    std::ofstream os(cfg.metrics_json);
+    if (os) {
+      os << "{\"schema\": \"satpg.metrics.v1\", \"bench\": \"" << title
+         << "\",\n \"metrics\": ";
+      MetricsRegistry::global().write_json(os, 1);
+      os << "\n}\n";
+      std::cout << "metrics: " << cfg.metrics_json << "\n";
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", cfg.metrics_json.c_str());
+    }
+  }
+  if (cfg.write_sidecar) {
+    const std::string path = bench_sidecar_path(argv[0]);
+    std::ofstream os(path);
+    if (os) {
+      os << "{\"schema\": \"satpg.bench_table.v1\", \"bench\": \"" << title
+         << "\",\n \"budget\": " << cfg.experiment.budget_scale
+         << ", \"fsm_scale\": " << cfg.suite.fsm_scale
+         << ", \"seed\": " << cfg.experiment.seed << ",\n \"table\": "
+         << table.to_json() << "\n}\n";
+    }
+  }
   return 0;
 }
 

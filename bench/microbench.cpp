@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "analysis/reach.h"
+#include "base/metrics.h"
 #include "base/threadpool.h"
 #include "atpg/engine.h"
 #include "atpg/parallel.h"
@@ -283,6 +284,72 @@ void write_atpg_bench_json() {
               serial_evals == parallel_evals ? "true" : "false");
 }
 
+// Telemetry overhead guard (DESIGN.md §5): the metrics registry promises
+// near-zero cost on the fsim hot path. Times run_fault_simulation() with
+// metrics disabled vs enabled (best of 5 each, interleaved against drift)
+// and flags a violation when the enabled run is more than 3% slower.
+// Written to BENCH_metrics_overhead.json so the trajectory is tracked.
+void write_metrics_overhead_json() {
+  const Netlist& nl = shared_circuit().netlist;
+  const auto collapsed = collapse_faults(nl);
+  std::vector<Fault> faults;
+  for (const auto& cf : collapsed) faults.push_back(cf.representative);
+  const auto seqs = make_random_sequences(nl, 4, 32, 7);
+  FsimOptions opts;
+  opts.num_threads = ThreadPool::hardware_threads();
+
+  run_fault_simulation(nl, faults, seqs, opts);  // warm caches + pool
+  auto timed_run = [&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(run_fault_simulation(nl, faults, seqs, opts));
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+
+  constexpr int kReps = 5;
+  double off_s = 1e100, on_s = 1e100;
+  for (int r = 0; r < kReps; ++r) {
+    set_metrics_enabled(false);
+    off_s = std::min(off_s, timed_run());
+    MetricsRegistry::global().reset();
+    set_metrics_enabled(true);
+    on_s = std::min(on_s, timed_run());
+    set_metrics_enabled(false);
+  }
+  const double overhead = on_s / std::max(off_s, 1e-12) - 1.0;
+  const bool ok = overhead < 0.03;
+  if (!ok)
+    std::fprintf(stderr,
+                 "BENCH_metrics_overhead: METRICS OVERHEAD VIOLATION: "
+                 "enabled %.6fs vs disabled %.6fs (%.2f%% > 3%%)\n",
+                 on_s, off_s, overhead * 100.0);
+
+  std::FILE* f = std::fopen("BENCH_metrics_overhead.json", "w");
+  if (!f) {
+    std::fprintf(stderr,
+                 "BENCH_metrics_overhead.json: cannot open for writing\n");
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"fsim_metrics_overhead\",\n"
+               "  \"circuit\": \"%s\",\n"
+               "  \"faults\": %zu,\n"
+               "  \"disabled_seconds\": %.6f,\n"
+               "  \"enabled_seconds\": %.6f,\n"
+               "  \"overhead_fraction\": %.4f,\n"
+               "  \"budget_fraction\": 0.03,\n"
+               "  \"within_budget\": %s\n"
+               "}\n",
+               nl.name().c_str(), faults.size(), off_s, on_s, overhead,
+               ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("BENCH_metrics_overhead.json: disabled %.3fs, enabled %.3fs, "
+              "overhead %.2f%% (budget 3%%)\n",
+              off_s, on_s, overhead * 100.0);
+}
+
 }  // namespace
 }  // namespace satpg
 
@@ -293,5 +360,6 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   satpg::write_fsim_bench_json();
   satpg::write_atpg_bench_json();
+  satpg::write_metrics_overhead_json();
   return 0;
 }

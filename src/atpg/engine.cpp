@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 
+#include "base/metrics.h"
 #include "base/rng.h"
+#include "base/trace.h"
 
 namespace satpg {
 
@@ -43,30 +45,50 @@ AtpgEngine::JustifyOutcome AtpgEngine::justify(
     const std::vector<std::pair<NodeId, V3>>& cube, int depth,
     StateSet& on_path, PodemBudget& budget) {
   if (cube.empty()) return {true, {}};
+  ++stats_.justify_calls;
+  stats_.max_justify_depth =
+      std::max<std::uint64_t>(stats_.max_justify_depth,
+                              static_cast<std::uint64_t>(depth) + 1);
   const StateKey key = cube_key(cube);
   cubes_visited_.insert(key);
-  if (depth > opts_.max_backward_frames) return {};
-  if (on_path.count(key)) return {};  // state-requirement loop
+  if (depth > opts_.max_backward_frames) {
+    ++stats_.justify_failures;
+    return {};
+  }
+  if (on_path.count(key)) {
+    ++stats_.justify_failures;
+    return {};  // state-requirement loop
+  }
 
   const bool learning = opts_.kind == EngineKind::kLearning;
   if (learning) {
-    if (auto it = learned_ok_.find(key); it != learned_ok_.end())
+    if (auto it = learned_ok_.find(key); it != learned_ok_.end()) {
+      ++stats_.learn_hits;
       return {true, it->second};
-    if (learned_fail_.count(key)) return {};
+    }
+    if (learned_fail_.count(key)) {
+      ++stats_.learn_hits;
+      ++stats_.justify_failures;
+      return {};
+    }
     if (shared_ != nullptr) {
       // Copy shared hits into the local caches so repeated lookups stay on
       // the fast path (and so the driver's harvest republishes them, a
       // no-op under the cache's first-writer-wins rule).
       std::vector<std::vector<V3>> prefix;
       if (shared_->lookup_ok(key, &prefix)) {
+        ++stats_.learn_hits;
         learned_ok_[key] = prefix;
         return {true, std::move(prefix)};
       }
       if (shared_->lookup_fail(key)) {
+        ++stats_.learn_hits;
+        ++stats_.justify_failures;
         learned_fail_.insert(key);
         return {};
       }
     }
+    ++stats_.learn_misses;
   }
 
   on_path.insert(key);
@@ -100,17 +122,23 @@ AtpgEngine::JustifyOutcome AtpgEngine::justify(
   on_path.erase(key);
 
   if (learning) {
-    if (out.ok)
+    if (out.ok) {
       learned_ok_[key] = out.prefix;
-    else if (st == PodemStatus::kExhausted)
+      ++stats_.learn_inserts;
+    } else if (st == PodemStatus::kExhausted) {
       learned_fail_.insert(key);  // complete search failed (budget-honest)
+      ++stats_.learn_inserts;
+    }
   }
+  if (!out.ok) ++stats_.justify_failures;
   return out;
 }
 
 FaultAttempt AtpgEngine::generate(const Fault& fault) {
+  const auto t0 = std::chrono::steady_clock::now();
   FaultAttempt attempt;
   current_fault_ = fault;
+  stats_ = FaultSearchStats{};
   // ONE budget for every phase of this fault: window growth, all
   // justification levels, and the redundancy check all consume the same
   // cumulative `evals` counter (fed by TimeFrameModel::attach_eval_counter)
@@ -128,6 +156,7 @@ FaultAttempt AtpgEngine::generate(const Fault& fault) {
   for (int frames = 1;
        frames <= opts_.max_forward_frames && !any_aborted;
        ++frames) {
+    if (frames > 1) ++stats_.window_growths;
     TimeFrameModel tfm(nl_, fault, frames);
     tfm.attach_eval_counter(&budget.evals);
     Podem podem(tfm, scoap_, allow_state, PodemGoal::kDetect);
@@ -200,12 +229,51 @@ FaultAttempt AtpgEngine::generate(const Fault& fault) {
 
   total_evals_ += budget.evals;
   total_backtracks_ += budget.backtracks;
-  attempt.backtracks = budget.backtracks;
-  attempt.evals = budget.evals;
+  stats_.evals = budget.evals;
+  stats_.backtracks = budget.backtracks;
+  stats_.implications = budget.decisions;
+  stats_.verify_rejects = static_cast<std::uint64_t>(rejects_this_fault);
+  stats_.budget_exhausted =
+      budget.exhausted_backtracks() || budget.exhausted_evals();
+  stats_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  attempt.stats = stats_;
   return attempt;
 }
 
 // ---- driver -----------------------------------------------------------------
+
+void record_fault_stats(const FaultSearchStats& stats, FaultStatus status) {
+  if (!metrics_enabled()) return;
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.histogram("atpg.evals_per_fault").record(stats.evals);
+  reg.histogram("atpg.backtracks_per_fault").record(stats.backtracks);
+  reg.histogram("atpg.implications_per_fault").record(stats.implications);
+  reg.histogram("atpg.window_growths_per_fault")
+      .record(stats.window_growths);
+  reg.histogram("atpg.justify_depth").record(stats.max_justify_depth);
+  reg.histogram("atpg.justify_failures_per_fault")
+      .record(stats.justify_failures);
+  reg.counter("atpg.justify_calls").add(stats.justify_calls);
+  reg.counter("atpg.justify_failures").add(stats.justify_failures);
+  reg.counter("atpg.learn_hits").add(stats.learn_hits);
+  reg.counter("atpg.learn_misses").add(stats.learn_misses);
+  reg.counter("atpg.learn_inserts").add(stats.learn_inserts);
+  reg.counter("atpg.verify_rejects").add(stats.verify_rejects);
+  if (stats.budget_exhausted) reg.counter("atpg.budget_exhausted").add();
+  switch (status) {
+    case FaultStatus::kDetected:
+      reg.counter("atpg.faults_detected").add();
+      break;
+    case FaultStatus::kRedundant:
+      reg.counter("atpg.faults_redundant").add();
+      break;
+    case FaultStatus::kAborted:
+      reg.counter("atpg.faults_aborted").add();
+      break;
+  }
+}
 
 std::vector<TestSequence> make_random_sequences(const Netlist& nl, int count,
                                                 int length,
@@ -256,6 +324,7 @@ AtpgRunResult run_atpg(const Netlist& nl, const AtpgRunOptions& opts) {
       make_random_sequences(nl, opts.random_sequences, opts.random_length,
                             opts.seed);
   if (!random_seqs.empty()) {
+    TraceSpan span("atpg.random_phase");
     const auto fr = run_fault_simulation(nl, faults, random_seqs, opts.fsim);
     std::vector<bool> seq_used(random_seqs.size(), false);
     for (std::size_t i = 0; i < faults.size(); ++i) {
@@ -290,6 +359,14 @@ AtpgRunResult run_atpg(const Netlist& nl, const AtpgRunOptions& opts) {
       continue;
     }
     FaultAttempt attempt = engine.generate(faults[i]);
+    res.implications += attempt.stats.implications;
+    res.window_growths += attempt.stats.window_growths;
+    res.justify_calls += attempt.stats.justify_calls;
+    res.justify_failures += attempt.stats.justify_failures;
+    res.learn_hits += attempt.stats.learn_hits;
+    res.learn_misses += attempt.stats.learn_misses;
+    res.learn_inserts += attempt.stats.learn_inserts;
+    record_fault_stats(attempt.stats, attempt.status);
     switch (attempt.status) {
       case FaultStatus::kRedundant:
         status[i] = S::kRedundant;
@@ -362,6 +439,7 @@ AtpgRunResult run_atpg(const Netlist& nl, const AtpgRunOptions& opts) {
 
   // Final replay for the state-traversal census.
   if (!res.tests.empty()) {
+    TraceSpan span("atpg.replay");
     auto fr = run_fault_simulation(nl, {}, res.tests, opts.fsim);
     res.states_traversed = std::move(fr.good_states);
   }

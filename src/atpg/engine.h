@@ -57,11 +57,32 @@ struct EngineOptions {
 
 enum class FaultStatus { kDetected, kRedundant, kAborted };
 
+/// Per-fault search-effort breakdown (the substrate for the paper's
+/// effort-vs-density analysis). Every integer field is a deterministic
+/// function of (netlist, fault, options) — independent of thread count and
+/// scheduling — and may appear in metrics reports. `wall_seconds` is the
+/// lone wall-clock field and must never enter the metrics JSON
+/// (DESIGN.md §5).
+struct FaultSearchStats {
+  std::uint64_t evals = 0;          ///< node evaluations, all phases
+  std::uint64_t backtracks = 0;     ///< PODEM backtracks, all phases
+  std::uint64_t implications = 0;   ///< decision assignments propagated
+  std::uint64_t window_growths = 0; ///< forward frames beyond the first
+  std::uint64_t justify_calls = 0;  ///< backward justification recursions
+  std::uint64_t justify_failures = 0;  ///< state cubes that failed
+  std::uint64_t max_justify_depth = 0; ///< deepest frame reached backward
+  std::uint64_t learn_hits = 0;     ///< learning-cache hits (local+shared)
+  std::uint64_t learn_misses = 0;   ///< lookups that found nothing
+  std::uint64_t learn_inserts = 0;  ///< new entries learned
+  std::uint64_t verify_rejects = 0; ///< candidates the fsim refused
+  bool budget_exhausted = false;    ///< ran out of evals or backtracks
+  double wall_seconds = 0.0;        ///< wall clock; trace/debug only
+};
+
 struct FaultAttempt {
   FaultStatus status = FaultStatus::kAborted;
-  TestSequence sequence;       ///< meaningful when detected
-  std::uint64_t evals = 0;     ///< work spent on this fault
-  std::uint64_t backtracks = 0;
+  TestSequence sequence;  ///< meaningful when detected
+  FaultSearchStats stats; ///< effort spent on this fault
 };
 
 /// Read-only view of justification outcomes learned by OTHER engines.
@@ -139,6 +160,7 @@ class AtpgEngine {
   const std::atomic<bool>* abort_ = nullptr;
   std::uint64_t total_evals_ = 0;
   std::uint64_t total_backtracks_ = 0;
+  FaultSearchStats stats_;  ///< in-flight stats of the current generate()
 
   // Learning caches (kLearning only): cube -> known prefix / known failure.
   std::unordered_map<StateKey, std::vector<std::vector<V3>>, StateKeyHash>
@@ -178,6 +200,17 @@ struct AtpgRunResult {
   std::size_t detected = 0, redundant = 0, aborted = 0;  ///< weighted
   std::uint64_t evals = 0;         ///< deterministic work metric
   std::uint64_t backtracks = 0;
+  // Aggregated FaultSearchStats over the deterministic phase, merged in the
+  // same deterministic order as evals/backtracks (parallel driver: unit
+  // order, fault order; speculative work counts). Bit-identical at any
+  // thread count.
+  std::uint64_t implications = 0;
+  std::uint64_t window_growths = 0;
+  std::uint64_t justify_calls = 0;
+  std::uint64_t justify_failures = 0;
+  std::uint64_t learn_hits = 0;
+  std::uint64_t learn_misses = 0;
+  std::uint64_t learn_inserts = 0;
   double wall_seconds = 0.0;
   /// Distinct good-machine states entered while applying the final test
   /// set (the paper's "#states traversed", Tables 6/8).
@@ -190,6 +223,12 @@ struct AtpgRunResult {
 };
 
 AtpgRunResult run_atpg(const Netlist& nl, const AtpgRunOptions& opts);
+
+/// Record one fault attempt's search stats into the global metrics
+/// registry ("atpg.*" histograms and counters). No-op while metrics are
+/// disabled. Both drivers call this once per attempted fault, in their
+/// deterministic merge order.
+void record_fault_stats(const FaultSearchStats& stats, FaultStatus status);
 
 /// Random test sequences in the shape the study's circuits expect: the
 /// first vector asserts the reset line (when present), later vectors pulse

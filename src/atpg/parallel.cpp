@@ -4,7 +4,9 @@
 #include <chrono>
 #include <utility>
 
+#include "base/metrics.h"
 #include "base/threadpool.h"
+#include "base/trace.h"
 
 namespace satpg {
 
@@ -115,12 +117,15 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
   std::vector<S> status(faults.size(), S::kUndetected);
   std::vector<bool> potential(faults.size(), false);
   res.detected_by.assign(faults.size(), -1);
+  res.attempted.assign(faults.size(), 0);
+  res.fault_stats.assign(faults.size(), FaultSearchStats{});
 
   // ---- random phase (identical to the serial driver) ----
   const auto random_seqs =
       make_random_sequences(nl, opts.run.random_sequences,
                             opts.run.random_length, opts.run.seed);
   if (!random_seqs.empty()) {
+    TraceSpan span("atpg.random_phase");
     const auto fr =
         run_fault_simulation(nl, faults, random_seqs, opts.run.fsim);
     std::vector<int> seq_test_index(random_seqs.size(), -1);
@@ -196,6 +201,7 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
     const std::uint64_t round_start_evals = committed_evals;
 
     const auto run_unit = [&](std::size_t u) {
+      TraceSpan span("atpg.unit", "atpg");
       const std::size_t lo = u * kUnitSize;
       const std::size_t n = std::min(kUnitSize, round_faults - lo);
       UnitOutcome& out = outcome[u];
@@ -240,6 +246,7 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
     }
 
     // ---- merge barrier: unit order, fault order within a unit ----
+    TraceSpan merge_span("atpg.merge", "atpg");
     for (std::size_t u = 0; u < num_units; ++u) {
       const std::size_t lo = u * kUnitSize;
       UnitOutcome& out = outcome[u];
@@ -249,8 +256,22 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
         FaultAttempt& attempt = out.attempts[k];
         // Work spent on a fault a sibling unit dropped still counts: the
         // speculation really ran.
-        committed_evals += attempt.evals;
-        committed_backtracks += attempt.backtracks;
+        committed_evals += attempt.stats.evals;
+        committed_backtracks += attempt.stats.backtracks;
+        const bool ran =
+            !out.deadline_skipped[k] && !out.budget_skipped[k];
+        if (ran) {
+          run.implications += attempt.stats.implications;
+          run.window_growths += attempt.stats.window_growths;
+          run.justify_calls += attempt.stats.justify_calls;
+          run.justify_failures += attempt.stats.justify_failures;
+          run.learn_hits += attempt.stats.learn_hits;
+          run.learn_misses += attempt.stats.learn_misses;
+          run.learn_inserts += attempt.stats.learn_inserts;
+          res.attempted[i] = 1;
+          res.fault_stats[i] = attempt.stats;
+          record_fault_stats(attempt.stats, attempt.status);
+        }
         if (status[i] != S::kUndetected) continue;  // dropped this round
         if (out.deadline_skipped[k]) {
           status[i] = S::kAborted;
@@ -346,6 +367,7 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
 
   // Final replay for the state-traversal census.
   if (!run.tests.empty()) {
+    TraceSpan span("atpg.replay");
     auto fr = run_fault_simulation(nl, {}, run.tests, opts.run.fsim);
     run.states_traversed = std::move(fr.good_states);
   }

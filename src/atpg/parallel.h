@@ -130,6 +130,15 @@ struct ParallelAtpgResult {
   /// Per collapsed fault: index into run.tests of the sequence that first
   /// detected it, or -1. Lets tests replay every detection independently.
   std::vector<int> detected_by;
+  /// Per collapsed fault: 1 when a deterministic-phase engine actually ran
+  /// on it (speculative attempts whose outcome was discarded still count —
+  /// the work happened), 0 for faults settled by the random phase or
+  /// skipped by budget/deadline.
+  std::vector<std::uint8_t> attempted;
+  /// Per collapsed fault: search-effort breakdown of its (unique) attempt.
+  /// Meaningful where attempted[i] == 1. All integer fields bit-identical
+  /// at any thread count; wall_seconds is not.
+  std::vector<FaultSearchStats> fault_stats;
   /// Faults aborted because the wall-clock deadline fired.
   std::size_t aborted_by_deadline = 0;
 };

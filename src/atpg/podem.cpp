@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "base/metrics.h"
+
 namespace satpg {
 
 Podem::Podem(TimeFrameModel& tfm, const Scoap& scoap,
@@ -262,6 +264,11 @@ std::optional<Podem::Objective> Podem::backtrace(Objective obj) const {
 
 bool Podem::backtrack(PodemBudget& budget) {
   ++budget.backtracks;
+  if (metrics_enabled()) {
+    static MetricsRegistry::Counter& c =
+        MetricsRegistry::global().counter("podem.backtracks");
+    c.add();
+  }
   while (!stack_.empty()) {
     Decision& top = stack_.back();
     tfm_.undo_to(top.mark);
@@ -269,6 +276,7 @@ bool Podem::backtrack(PodemBudget& budget) {
       top.flipped = true;
       top.value = v3_not(top.value);
       top.mark = tfm_.assign(top.frame, top.node, top.value);
+      ++budget.decisions;
       return true;
     }
     stack_.pop_back();
@@ -290,6 +298,12 @@ PodemStatus Podem::run(PodemBudget& budget) {
         const std::size_t mark = tfm_.assign(dec->frame, dec->node,
                                              dec->value);
         stack_.push_back({dec->frame, dec->node, dec->value, false, mark});
+        ++budget.decisions;
+        if (metrics_enabled()) {
+          static MetricsRegistry::Counter& c =
+              MetricsRegistry::global().counter("podem.decisions");
+          c.add();
+        }
         continue;
       }
     }

@@ -43,6 +43,9 @@ struct PodemBudget {
   // so no phase can restart the count.
   std::uint64_t backtracks = 0;
   std::uint64_t evals = 0;
+  /// Decision assignments applied (initial picks and backtrack flips) —
+  /// each triggers one forward-implication pass over the model.
+  std::uint64_t decisions = 0;
   /// Cooperative cancellation (wall-clock deadline): when set and true, the
   /// search returns kAborted at the next decision-loop check.
   const std::atomic<bool>* abort = nullptr;

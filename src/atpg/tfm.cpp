@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "base/metrics.h"
+
 namespace satpg {
 
 TimeFrameModel::TimeFrameModel(const Netlist& nl, std::optional<Fault> fault,
@@ -25,6 +27,14 @@ TimeFrameModel::TimeFrameModel(const Netlist& nl, std::optional<Fault> fault,
     for (NodeId id : by_topo_) mark_dirty(t, id);
   propagate();
   trail_.clear();  // initial state is the baseline; not undoable
+}
+
+TimeFrameModel::~TimeFrameModel() {
+  if (evals_ != 0 && metrics_enabled()) {
+    static MetricsRegistry::Counter& c =
+        MetricsRegistry::global().counter("tfm.evals");
+    c.add(evals_);
+  }
 }
 
 void TimeFrameModel::set_value(std::size_t idx, V5 v) {

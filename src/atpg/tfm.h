@@ -43,6 +43,9 @@ class TimeFrameModel {
   /// `fault` absent models the fault-free machine (used by justification).
   TimeFrameModel(const Netlist& nl, std::optional<Fault> fault,
                  int num_frames);
+  /// Flushes this model's eval count into the "tfm.evals" registry counter
+  /// (one bulk add per model, never per evaluation).
+  ~TimeFrameModel();
 
   const Netlist& netlist() const { return nl_; }
   int num_frames() const { return num_frames_; }

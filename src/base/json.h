@@ -1,0 +1,22 @@
+// Minimal JSON utilities for telemetry output.
+//
+// This is deliberately not a full JSON library: the repo only needs to
+// (a) escape strings it embeds in hand-written JSON reports and
+// (b) validate that the reports it just wrote actually parse, for the
+// smoke tests. Numbers are accepted in full RFC 8259 syntax; no value
+// tree is built.
+#pragma once
+
+#include <string>
+
+namespace satpg {
+
+/// Escape a string for embedding between double quotes in JSON output.
+std::string json_escape(const std::string& s);
+
+/// Strict whole-document validation: true iff `text` is exactly one JSON
+/// value (plus surrounding whitespace). On failure, *error (if non-null)
+/// gets a one-line message with the byte offset.
+bool json_valid(const std::string& text, std::string* error = nullptr);
+
+}  // namespace satpg

@@ -1,11 +1,18 @@
 #include "base/logging.h"
 
 #include <cstdio>
+#include <mutex>
+
+#include "base/metrics.h"
 
 namespace satpg {
 
 namespace {
 LogLevel g_level = LogLevel::kWarn;
+
+// Serializes emission: SATPG_LOG is used from ThreadPool workers and a
+// bare fprintf can interleave mid-line on some libcs.
+std::mutex g_log_mu;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -27,7 +34,9 @@ LogLevel log_level() { return g_level; }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  const unsigned tid = telemetry_thread_index();
+  std::lock_guard<std::mutex> lock(g_log_mu);
+  std::fprintf(stderr, "[%s t%u] %s\n", level_name(level), tid, msg.c_str());
 }
 }  // namespace detail
 

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "base/check.h"
+#include "base/json.h"
 
 namespace satpg {
 
@@ -56,6 +57,22 @@ std::string Table::to_string() const {
   for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
   os << std::string(total, '-') << '\n';
   for (const auto& row : rows_) emit(row, true);
+  return os.str();
+}
+
+std::string Table::to_json() const {
+  std::ostringstream os;
+  os << "{\"headers\": [";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << (c ? ", " : "") << '"' << json_escape(headers_[c]) << '"';
+  os << "],\n \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << (r ? ",\n  " : "\n  ") << '[';
+    for (std::size_t c = 0; c < rows_[r].size(); ++c)
+      os << (c ? ", " : "") << '"' << json_escape(rows_[r][c]) << '"';
+    os << ']';
+  }
+  os << (rows_.empty() ? "" : "\n ") << "]}";
   return os.str();
 }
 

@@ -21,6 +21,10 @@ class Table {
   /// right-aligned, text cells left-aligned.
   std::string to_string() const;
 
+  /// Machine-readable form: {"headers": [...], "rows": [[...], ...]} with
+  /// every cell a JSON string (cells keep their printed formatting).
+  std::string to_json() const;
+
   void print(std::ostream& os) const;
 
   std::size_t num_rows() const { return rows_.size(); }

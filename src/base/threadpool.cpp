@@ -1,7 +1,11 @@
 #include "base/threadpool.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
+
+#include "base/metrics.h"
+#include "base/trace.h"
 
 namespace satpg {
 
@@ -9,7 +13,7 @@ ThreadPool::ThreadPool(unsigned num_threads) {
   const unsigned n = std::max(1u, num_threads);
   workers_.reserve(n);
   for (unsigned i = 0; i < n; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -22,11 +26,18 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  std::size_t depth;
   {
     std::unique_lock<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
   task_ready_.notify_one();
+  if (tracing_enabled()) {
+    TraceRecorder& rec = TraceRecorder::global();
+    rec.add_counter("pool.queue_depth", rec.now_us(),
+                    static_cast<std::uint64_t>(depth));
+  }
 }
 
 void ThreadPool::wait_all() {
@@ -41,18 +52,34 @@ void ThreadPool::run_on_workers(unsigned workers,
   if (workers > 1) wait_all();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned index) {
+  // Establishes this worker's dense telemetry index and labels its trace
+  // lane; the busy spans below make idle time visible as lane gaps.
+  TraceRecorder::global().set_thread_name(
+      telemetry_thread_index(), "pool-worker-" + std::to_string(index));
   for (;;) {
     std::function<void()> task;
+    std::size_t depth;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      depth = queue_.size();
       ++in_flight_;
     }
-    task();
+    if (tracing_enabled()) {
+      TraceRecorder& rec = TraceRecorder::global();
+      const std::uint64_t start = rec.now_us();
+      rec.add_counter("pool.queue_depth", start,
+                      static_cast<std::uint64_t>(depth));
+      task();
+      rec.add_complete("pool.task", "pool", telemetry_thread_index(), start,
+                       rec.now_us() - start);
+    } else {
+      task();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;

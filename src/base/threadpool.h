@@ -62,7 +62,7 @@ class ThreadPool {
   static ThreadPool& shared();
 
  private:
-  void worker_loop();
+  void worker_loop(unsigned index);
 
   std::mutex mu_;
   std::condition_variable task_ready_;

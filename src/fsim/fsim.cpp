@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "base/metrics.h"
 #include "base/threadpool.h"
+#include "base/trace.h"
 #include "sim/simulator.h"
 
 namespace satpg {
@@ -251,6 +253,13 @@ void simulate_batch(const Netlist& nl, const std::vector<Fault>& faults,
     return j.stuck1 ? V3::kOne : V3::kZero;
   };
 
+  // Telemetry stays off the per-gate path: counts accumulate in locals and
+  // are bulk-added once per (batch, sequence). Batch composition is fixed
+  // before any worker runs, so these totals are thread-count invariant.
+  const bool count_metrics = metrics_enabled();
+  std::uint64_t gate_evals = 0;
+  std::uint64_t activity_skips = 0;
+
   for (std::size_t t = 0; t < seq.size(); ++t) {
     const auto& pi = seq[t];
     const std::vector<V3>& gval = good.val[t];
@@ -290,10 +299,12 @@ void simulate_batch(const Netlist& nl, const std::vector<Fault>& faults,
           }
         }
       if (!act) {
+        if (count_metrics) ++activity_skips;
         a.val[ni] = PV::all(g);
         a.active[ni] = 0;
         continue;
       }
+      if (count_metrics) ++gate_evals;
       const std::size_t nfi = n.fanins.size();
       for (std::size_t k = 0; k < nfi; ++k) {
         const auto fi = static_cast<std::size_t>(n.fanins[k]);
@@ -352,6 +363,15 @@ void simulate_batch(const Netlist& nl, const std::vector<Fault>& faults,
       a.state[i] = v;
     }
   }
+
+  if (count_metrics) {
+    static MetricsRegistry::Counter& ge =
+        MetricsRegistry::global().counter("fsim.gate_evals");
+    static MetricsRegistry::Counter& as =
+        MetricsRegistry::global().counter("fsim.activity_skips");
+    ge.add(gate_evals);
+    as.add(activity_skips);
+  }
 }
 
 }  // namespace
@@ -364,6 +384,16 @@ FsimResult run_fault_simulation(const Netlist& nl,
   res.detected_at.assign(faults.size(), -1);
   res.potential_at.assign(faults.size(), -1);
   if (sequences.empty()) return res;
+
+  TraceSpan fsim_span("fsim.run", "fsim");
+  if (metrics_enabled()) {
+    MetricsRegistry& reg = MetricsRegistry::global();
+    reg.counter("fsim.calls").add();
+    reg.counter("fsim.sequences").add(sequences.size());
+    std::uint64_t vectors = 0;
+    for (const auto& s : sequences) vectors += s.size();
+    reg.counter("fsim.vectors").add(vectors);
+  }
 
   // Build the netlist's lazy caches before workers share it: the const
   // accessors populate mutable caches on first use and must not race.
@@ -397,6 +427,11 @@ FsimResult run_fault_simulation(const Netlist& nl,
       if (!detected[i]) remaining.push_back(i);
     if (remaining.empty()) continue;
     const std::size_t num_batches = (remaining.size() + 62) / 63;
+    if (metrics_enabled()) {
+      static MetricsRegistry::Counter& c =
+          MetricsRegistry::global().counter("fsim.batches");
+      c.add(num_batches);
+    }
     std::fill(newly.begin(), newly.end(), 0);
     std::fill(newly_pot.begin(), newly_pot.end(), 0);
 

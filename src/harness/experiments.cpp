@@ -381,10 +381,18 @@ BenchConfig parse_bench_flags(int argc, char** argv) {
     } else if (const char* v = value_of("--deadline-ms=")) {
       cfg.experiment.deadline_ms =
           static_cast<std::uint64_t>(std::atoll(v));
+    } else if (const char* v = value_of("--metrics-json=")) {
+      cfg.metrics_json = v;
+    } else if (const char* v = value_of("--trace-json=")) {
+      cfg.trace_json = v;
+    } else if (arg == "--no-sidecar") {
+      cfg.write_sidecar = false;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--budget=F] [--seed=N] [--scale=F] "
-                   "[--cache=DIR] [--threads=N] [--deadline-ms=N]\n",
+                   "[--cache=DIR] [--threads=N] [--deadline-ms=N]\n"
+                   "          [--metrics-json=FILE] [--trace-json=FILE] "
+                   "[--no-sidecar]\n",
                    argv[0]);
       std::exit(2);
     }

@@ -55,11 +55,17 @@ Table run_ablation_encoding(const ExperimentOptions& opts);
 
 /// Tiny flag parser shared by the bench mains: recognizes
 /// --budget=<float>, --seed=<n>, --scale=<float> (FSM scale),
-/// --cache=<dir>, --threads=<n>, --deadline-ms=<n>. Unknown flags abort
-/// with a usage message.
+/// --cache=<dir>, --threads=<n>, --deadline-ms=<n>,
+/// --metrics-json=<file> (dump the metrics registry after the run),
+/// --trace-json=<file> (record a Chrome trace_event timeline), and
+/// --no-sidecar (suppress the BENCH_*.json table sidecar). Unknown flags
+/// abort with a usage message.
 struct BenchConfig {
   ExperimentOptions experiment;
   SuiteOptions suite;
+  std::string metrics_json;  ///< empty = metrics disabled
+  std::string trace_json;    ///< empty = tracing disabled
+  bool write_sidecar = true; ///< BENCH_<bench>.json next to the table
 };
 BenchConfig parse_bench_flags(int argc, char** argv);
 

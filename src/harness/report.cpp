@@ -1,0 +1,121 @@
+#include "harness/report.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "base/json.h"
+#include "base/metrics.h"
+#include "base/strutil.h"
+#include "fault/fault.h"
+
+namespace satpg {
+
+namespace {
+
+const char* status_name(FaultStatus s) {
+  switch (s) {
+    case FaultStatus::kDetected:
+      return "detected";
+    case FaultStatus::kRedundant:
+      return "redundant";
+    case FaultStatus::kAborted:
+      return "aborted";
+  }
+  return "?";
+}
+
+std::string num(double v) { return strprintf("%.17g", v); }
+
+}  // namespace
+
+void write_atpg_report_json(std::ostream& os, const Netlist& nl,
+                            const ParallelAtpgOptions& opts,
+                            const ParallelAtpgResult& res) {
+  const AtpgRunResult& run = res.run;
+  os << "{\n";
+  os << "  \"schema\": \"satpg.atpg_run.v1\",\n";
+
+  os << "  \"circuit\": {\"name\": \"" << json_escape(nl.name())
+     << "\", \"inputs\": " << nl.num_inputs()
+     << ", \"outputs\": " << nl.num_outputs()
+     << ", \"gates\": " << nl.num_gates()
+     << ", \"dffs\": " << nl.num_dffs() << "},\n";
+
+  const EngineOptions& eng = opts.run.engine;
+  os << "  \"engine\": {\"kind\": \"" << engine_kind_name(eng.kind)
+     << "\", \"eval_limit\": " << eng.eval_limit
+     << ", \"backtrack_limit\": " << eng.backtrack_limit
+     << ", \"max_forward_frames\": " << eng.max_forward_frames
+     << ", \"max_backward_frames\": " << eng.max_backward_frames
+     << ", \"seed\": " << opts.run.seed << "},\n";
+
+  os << "  \"summary\": {"
+     << "\"total_faults\": " << run.total_faults
+     << ", \"detected\": " << run.detected
+     << ", \"redundant\": " << run.redundant
+     << ", \"aborted\": " << run.aborted
+     << ", \"fault_coverage\": " << num(run.fault_coverage)
+     << ", \"fault_efficiency\": " << num(run.fault_efficiency)
+     << ",\n              \"evals\": " << run.evals
+     << ", \"backtracks\": " << run.backtracks
+     << ", \"implications\": " << run.implications
+     << ", \"window_growths\": " << run.window_growths
+     << ",\n              \"justify_calls\": " << run.justify_calls
+     << ", \"justify_failures\": " << run.justify_failures
+     << ", \"learn_hits\": " << run.learn_hits
+     << ", \"learn_misses\": " << run.learn_misses
+     << ", \"learn_inserts\": " << run.learn_inserts
+     << ",\n              \"verify_failures\": " << run.verify_failures
+     << ", \"tests\": " << run.tests.size()
+     << ", \"states_traversed\": " << run.states_traversed.size() << "},\n";
+
+  os << "  \"fe_trace\": [";
+  for (std::size_t i = 0; i < run.fe_trace.size(); ++i)
+    os << (i == 0 ? "" : ", ") << '[' << run.fe_trace[i].first << ", "
+       << num(run.fe_trace[i].second) << ']';
+  os << "],\n";
+
+  // One record per collapsed fault. Faults the random phase settled (or
+  // budget/deadline skipped) have attempted=false and all-zero stats.
+  const auto collapsed = collapse_faults(nl);
+  os << "  \"per_fault\": [\n";
+  for (std::size_t i = 0; i < collapsed.size(); ++i) {
+    const FaultSearchStats& s = res.fault_stats[i];
+    os << "    {\"fault\": \""
+       << json_escape(fault_name(nl, collapsed[i].representative))
+       << "\", \"class_size\": " << collapsed[i].class_size
+       << ", \"status\": \"" << status_name(res.status[i])
+       << "\", \"attempted\": " << (res.attempted[i] ? "true" : "false")
+       << ", \"detected_by\": " << res.detected_by[i]
+       << ",\n     \"evals\": " << s.evals
+       << ", \"backtracks\": " << s.backtracks
+       << ", \"implications\": " << s.implications
+       << ", \"window_growths\": " << s.window_growths
+       << ",\n     \"justify_calls\": " << s.justify_calls
+       << ", \"justify_failures\": " << s.justify_failures
+       << ", \"justify_depth\": " << s.max_justify_depth
+       << ", \"learn_hits\": " << s.learn_hits
+       << ", \"learn_misses\": " << s.learn_misses
+       << ", \"learn_inserts\": " << s.learn_inserts
+       << ",\n     \"verify_rejects\": " << s.verify_rejects
+       << ", \"budget_exhausted\": "
+       << (s.budget_exhausted ? "true" : "false") << '}'
+       << (i + 1 < collapsed.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n";
+
+  os << "  \"metrics\": ";
+  MetricsRegistry::global().write_json(os, 2);
+  os << "\n}\n";
+}
+
+bool write_atpg_report_json(const std::string& path, const Netlist& nl,
+                            const ParallelAtpgOptions& opts,
+                            const ParallelAtpgResult& res) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_atpg_report_json(os, nl, opts, res);
+  return os.good();
+}
+
+}  // namespace satpg

@@ -1,0 +1,31 @@
+// Structured run reports: the machine-readable side of an ATPG run.
+//
+// write_atpg_report_json dumps schema "satpg.atpg_run.v1": circuit and
+// engine identity, the summary numbers the tables print, the Figure-3
+// fe_trace, a per-fault record array (status + full FaultSearchStats), and
+// the global metrics registry. Everything in the report is deterministic —
+// wall-clock times and thread counts are deliberately absent, so the same
+// run dumps byte-identical JSON at any --threads value (DESIGN.md §5).
+// Timing belongs in the trace JSON (base/trace.h), which makes no such
+// promise.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "atpg/parallel.h"
+#include "netlist/netlist.h"
+
+namespace satpg {
+
+/// Stream form; the caller owns the stream.
+void write_atpg_report_json(std::ostream& os, const Netlist& nl,
+                            const ParallelAtpgOptions& opts,
+                            const ParallelAtpgResult& res);
+
+/// File form. Returns false when the file cannot be opened.
+bool write_atpg_report_json(const std::string& path, const Netlist& nl,
+                            const ParallelAtpgOptions& opts,
+                            const ParallelAtpgResult& res);
+
+}  // namespace satpg

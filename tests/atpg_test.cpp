@@ -286,12 +286,12 @@ TEST(EngineBudgetTest, EvalBudgetIsCumulativePerFault) {
   int aborted = 0;
   for (const auto& cf : collapse_faults(nl)) {
     const auto attempt = engine.generate(cf.representative);
-    sum += attempt.evals;
+    sum += attempt.stats.evals;
     if (attempt.status == FaultStatus::kAborted) ++aborted;
     // Slack of one eval_limit absorbs the final propagation pass that runs
     // between the last budget check and the abort; anything above 2x means
     // some phase got a fresh budget again.
-    EXPECT_LT(attempt.evals, 2 * opts.eval_limit)
+    EXPECT_LT(attempt.stats.evals, 2 * opts.eval_limit)
         << fault_name(nl, cf.representative);
   }
   // Accounting: the engine's cumulative counter is the sum of per-attempt

@@ -1,0 +1,75 @@
+// Tier-1 smoke test for the satpg CLI's telemetry flags: runs the real
+// binary on a small cached MCNC circuit with --metrics-json and
+// --trace-json, validates that both files are well-formed JSON, and checks
+// the metrics report is byte-identical across thread counts. Paths are
+// injected by CMake: SATPG_CLI_PATH is the built tool, SATPG_SMOKE_CIRCUIT
+// a committed circuits_cache netlist (no FSM synthesis at test time).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "base/json.h"
+
+namespace satpg {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+// Returns the CLI's exit status (-1 if the shell could not run it).
+int run_cli(unsigned threads, const std::string& metrics_path,
+            const std::string& trace_path) {
+  std::string cmd = std::string("\"") + SATPG_CLI_PATH + "\" atpg \"" +
+                    SATPG_SMOKE_CIRCUIT + "\" --budget=0.05 --threads=" +
+                    std::to_string(threads) +
+                    " --metrics-json=" + metrics_path;
+  if (!trace_path.empty()) cmd += " --trace-json=" + trace_path;
+  cmd += " > /dev/null 2>&1";
+  const int rc = std::system(cmd.c_str());
+  return rc < 0 ? -1 : WEXITSTATUS(rc);
+}
+
+TEST(CliSmokeTest, MetricsAndTraceJsonAreValid) {
+  const std::string dir = ::testing::TempDir();
+  const std::string metrics = dir + "cli_smoke_metrics.json";
+  const std::string trace = dir + "cli_smoke_trace.json";
+  ASSERT_EQ(run_cli(2, metrics, trace), 0);
+
+  const std::string mjson = slurp(metrics);
+  ASSERT_FALSE(mjson.empty());
+  std::string err;
+  EXPECT_TRUE(json_valid(mjson, &err)) << err;
+  EXPECT_NE(mjson.find("\"schema\": \"satpg.atpg_run.v1\""),
+            std::string::npos);
+  EXPECT_NE(mjson.find("\"per_fault\""), std::string::npos);
+  EXPECT_NE(mjson.find("\"metrics\""), std::string::npos);
+  // Wall-clock values must never leak into the deterministic report.
+  EXPECT_EQ(mjson.find("wall"), std::string::npos);
+
+  const std::string tjson = slurp(trace);
+  ASSERT_FALSE(tjson.empty());
+  EXPECT_TRUE(json_valid(tjson, &err)) << err;
+  EXPECT_NE(tjson.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(CliSmokeTest, MetricsJsonIdenticalAcrossThreadCounts) {
+  const std::string dir = ::testing::TempDir();
+  const std::string m1 = dir + "cli_smoke_m1.json";
+  const std::string m2 = dir + "cli_smoke_m2.json";
+  ASSERT_EQ(run_cli(1, m1, ""), 0);
+  ASSERT_EQ(run_cli(2, m2, ""), 0);
+  const std::string a = slurp(m1);
+  const std::string b = slurp(m2);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace satpg

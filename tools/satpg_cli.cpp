@@ -10,6 +10,8 @@
 // ATPG options: --engine=hitec|forward|learning  --budget=F  --seed=N
 //               --strict (no potential-detection credit)
 //               --tests=FILE (write the test sequences)
+//               --metrics-json=FILE (deterministic structured run report)
+//               --trace-json=FILE (Chrome trace_event timeline; wall-clock)
 //
 // Circuits are ISCAS-89 .bench files; flip-flops power up unknown and the
 // tool follows the library convention that an input named "rst" is the
@@ -24,7 +26,10 @@
 #include "atpg/compact.h"
 #include "atpg/engine.h"
 #include "atpg/parallel.h"
+#include "base/metrics.h"
+#include "base/trace.h"
 #include "dft/scan.h"
+#include "harness/report.h"
 #include "netlist/bench_io.h"
 #include "retime/retime.h"
 #include "synth/library.h"
@@ -42,7 +47,8 @@ int usage() {
                "  satpg faults  c.bench\n"
                "  satpg atpg    c.bench [--engine=E] [--budget=F] [--seed=N]"
                " [--strict] [--tests=FILE] [--compact]\n"
-               "                [--threads=N] [--deadline-ms=N]\n"
+               "                [--threads=N] [--deadline-ms=N]"
+               " [--metrics-json=FILE] [--trace-json=FILE]\n"
                "  satpg retime  in.bench out.bench [--dffs=N]\n"
                "  satpg scan    in.bench out.bench [--partial]\n");
   return 2;
@@ -98,6 +104,8 @@ int cmd_atpg(const Netlist& nl, int argc, char** argv) {
   ParallelAtpgOptions popts;
   AtpgRunOptions& opts = popts.run;
   std::string tests_file;
+  std::string metrics_file;
+  std::string trace_file;
   bool do_compact = false;
   for (int i = 0; i < argc; ++i) {
     if (const char* v = flag_value(argv[i], "--engine=")) {
@@ -127,11 +135,37 @@ int cmd_atpg(const Netlist& nl, int argc, char** argv) {
       popts.num_threads = static_cast<unsigned>(std::atoi(v5));
     } else if (const char* v6 = flag_value(argv[i], "--deadline-ms=")) {
       popts.deadline_ms = static_cast<std::uint64_t>(std::atoll(v6));
+    } else if (const char* v7 = flag_value(argv[i], "--metrics-json=")) {
+      metrics_file = v7;
+    } else if (const char* v8 = flag_value(argv[i], "--trace-json=")) {
+      trace_file = v8;
     } else {
       return usage();
     }
   }
+  if (!metrics_file.empty()) {
+    MetricsRegistry::global().reset();
+    set_metrics_enabled(true);
+  }
+  if (!trace_file.empty()) TraceRecorder::global().start();
   ParallelAtpgResult pres = run_parallel_atpg(nl, popts);
+  if (!trace_file.empty()) {
+    TraceRecorder::global().stop();
+    if (!TraceRecorder::global().write_json(trace_file)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_file.c_str());
+      return 1;
+    }
+    std::printf("trace written    : %s (%zu events)\n", trace_file.c_str(),
+                TraceRecorder::global().num_events());
+  }
+  if (!metrics_file.empty()) {
+    set_metrics_enabled(false);
+    if (!write_atpg_report_json(metrics_file, nl, popts, pres)) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_file.c_str());
+      return 1;
+    }
+    std::printf("metrics written  : %s\n", metrics_file.c_str());
+  }
   AtpgRunResult& run = pres.run;
   std::printf("engine           : %s\n", engine_kind_name(opts.engine.kind));
   std::printf("fault coverage   : %.2f%%\n", run.fault_coverage);
