@@ -10,8 +10,7 @@
 #include <iostream>
 #include <string>
 
-#include "base/metrics.h"
-#include "base/trace.h"
+#include "base/telemetry_flags.h"
 #include "harness/experiments.h"
 
 namespace satpg {
@@ -32,35 +31,13 @@ int bench_table_main(int argc, char** argv, const char* title, Fn&& body) {
             << ", fsm-scale=" << cfg.suite.fsm_scale
             << ", seed=" << cfg.experiment.seed << ")\n\n";
 
-  if (!cfg.metrics_json.empty()) {
-    MetricsRegistry::global().reset();
-    set_metrics_enabled(true);
-  }
-  if (!cfg.trace_json.empty()) TraceRecorder::global().start();
+  cfg.telemetry.arm();
 
   const Table table = body(suite, cfg.experiment);
   std::cout << table.to_string() << "\n";
 
-  if (!cfg.trace_json.empty()) {
-    TraceRecorder::global().stop();
-    if (TraceRecorder::global().write_json(cfg.trace_json))
-      std::cout << "trace: " << cfg.trace_json << "\n";
-    else
-      std::fprintf(stderr, "cannot write %s\n", cfg.trace_json.c_str());
-  }
-  if (!cfg.metrics_json.empty()) {
-    set_metrics_enabled(false);
-    std::ofstream os(cfg.metrics_json);
-    if (os) {
-      os << "{\"schema\": \"satpg.metrics.v1\", \"bench\": \"" << title
-         << "\",\n \"metrics\": ";
-      MetricsRegistry::global().write_json(os, 1);
-      os << "\n}\n";
-      std::cout << "metrics: " << cfg.metrics_json << "\n";
-    } else {
-      std::fprintf(stderr, "cannot write %s\n", cfg.metrics_json.c_str());
-    }
-  }
+  cfg.telemetry.finish_trace(&std::cout);
+  cfg.telemetry.write_metrics_registry("satpg.metrics.v1", title, &std::cout);
   if (cfg.write_sidecar) {
     const std::string path = bench_sidecar_path(argv[0]);
     std::ofstream os(path);

@@ -15,12 +15,15 @@
 // (interleaved, keeps the transition relation small), primary inputs after.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "base/bitvec.h"
 #include "netlist/netlist.h"
+#include "sim/statekey.h"
+#include "sim/value.h"
 
 namespace satpg {
 
@@ -51,5 +54,79 @@ ReachResult compute_reachable(const Netlist& nl, const ReachOptions& opts = {});
 
 /// Density of encoding of a circuit (convenience wrapper).
 double density_of_encoding(const Netlist& nl);
+
+// ---- state-validity oracle --------------------------------------------------
+
+/// Verdict on whether a present-state cube intersects the reachable set.
+/// Bucket order (and the index used by atpg::EffortAttribution arrays):
+/// kValid = 0, kInvalid = 1, kUnknown = 2.
+enum class StateValidity { kValid = 0, kInvalid = 1, kUnknown = 2 };
+
+const char* state_validity_name(StateValidity v);
+
+/// How a StateValidityOracle answers queries, for reports.
+struct ValidityOracleInfo {
+  enum class Mode {
+    kDisabled,   ///< default-constructed: every query returns kUnknown
+    kExact,      ///< explicit enumerated reachable set; no kUnknown answers
+    kSuperset,   ///< 3-valued per-FF superset; kInvalid is proven, the rest
+                 ///< is kUnknown (except the trivial all-X cube)
+  };
+  Mode mode = Mode::kDisabled;
+  /// Exact |reachable| and density when the BDD analysis completed (even
+  /// when classification had to fall back to kSuperset because the set was
+  /// too large to enumerate); -1 when unknown.
+  double num_valid = -1.0;
+  double density = -1.0;
+};
+
+const char* oracle_mode_name(ValidityOracleInfo::Mode m);
+
+/// 3-valued per-FF abstraction of the reachable set: digit i (order
+/// nl.dffs()) is kZero/kOne when flip-flop i provably holds that constant
+/// in EVERY reachable state, kX otherwise. Computed by a SeqSimulator
+/// fixpoint: the reset-phase image chain (reset input asserted, other
+/// inputs X) followed by a merge-to-X reachability fixpoint under free
+/// inputs. Always a sound superset — a cube demanding the opposite of a
+/// pinned digit cannot intersect the reachable set.
+std::vector<V3> reachable_superset_v3(const Netlist& nl,
+                                      const std::string& reset_input = "rst");
+
+/// Classifies present-state cubes against the reachable set. Immutable
+/// after build(): classify() is pure and safe to call concurrently from
+/// any number of threads, so answers can never depend on thread count.
+///
+/// build() prefers the exact mode (reachable set enumerated by
+/// compute_reachable and <= 64 flip-flops); when enumeration is
+/// unavailable or the BDD overflows its node cap it degrades to the
+/// 3-valued superset mode rather than failing.
+class StateValidityOracle {
+ public:
+  /// Disabled oracle: classify() always returns kUnknown.
+  StateValidityOracle() = default;
+
+  static StateValidityOracle build(const Netlist& nl,
+                                   const ReachOptions& opts = {});
+
+  const ValidityOracleInfo& info() const { return info_; }
+  bool enabled() const {
+    return info_.mode != ValidityOracleInfo::Mode::kDisabled;
+  }
+
+  /// Does the cube (digit i = nl.dffs()[i], X = unconstrained) intersect
+  /// the reachable set? Exact mode answers kValid/kInvalid only; superset
+  /// mode proves kInvalid where it can and returns kUnknown otherwise.
+  /// The empty (all-X) cube is always kValid: the reachable set is
+  /// nonempty.
+  StateValidity classify(const StateKey& cube) const;
+
+ private:
+  ValidityOracleInfo info_;
+  std::size_t num_ffs_ = 0;
+  /// Exact mode: sorted fully-specified reachable states, bit i = digit i.
+  std::vector<std::uint64_t> states_;
+  /// Superset mode: per-FF pinned constants (kX = unconstrained).
+  std::vector<V3> pinned_;
+};
 
 }  // namespace satpg

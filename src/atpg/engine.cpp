@@ -41,6 +41,14 @@ StateKey AtpgEngine::cube_key(
   return key;
 }
 
+StateValidity AtpgEngine::classify_cube(const StateKey& key) {
+  if (validity_ == nullptr) return StateValidity::kUnknown;
+  const auto [it, inserted] =
+      validity_memo_.try_emplace(key, StateValidity::kUnknown);
+  if (inserted) it->second = validity_->classify(key);
+  return it->second;
+}
+
 AtpgEngine::JustifyOutcome AtpgEngine::justify(
     const std::vector<std::pair<NodeId, V3>>& cube, int depth,
     StateSet& on_path, PodemBudget& budget) {
@@ -51,12 +59,24 @@ AtpgEngine::JustifyOutcome AtpgEngine::justify(
                               static_cast<std::uint64_t>(depth) + 1);
   const StateKey key = cube_key(cube);
   cubes_visited_.insert(key);
+  // Attribution bucket for everything spent at THIS level on this cube
+  // (nested levels classify their own cubes). Pure observation: the
+  // verdict feeds counters only, never the search.
+  const std::size_t bucket = static_cast<std::size_t>(classify_cube(key));
+  const bool attributed = validity_ != nullptr;
+  EffortAttribution& attr = stats_.attribution;
+  if (attributed) ++attr.justify_calls[bucket];
+  const auto fail_bucket = [&] {
+    if (attributed) ++attr.justify_failures[bucket];
+  };
   if (depth > opts_.max_backward_frames) {
     ++stats_.justify_failures;
+    fail_bucket();
     return {};
   }
   if (on_path.count(key)) {
     ++stats_.justify_failures;
+    fail_bucket();
     return {};  // state-requirement loop
   }
 
@@ -69,6 +89,7 @@ AtpgEngine::JustifyOutcome AtpgEngine::justify(
     if (learned_fail_.count(key)) {
       ++stats_.learn_hits;
       ++stats_.justify_failures;
+      fail_bucket();
       return {};
     }
     if (shared_ != nullptr) {
@@ -84,6 +105,7 @@ AtpgEngine::JustifyOutcome AtpgEngine::justify(
       if (shared_->lookup_fail(key)) {
         ++stats_.learn_hits;
         ++stats_.justify_failures;
+        fail_bucket();
         learned_fail_.insert(key);
         return {};
       }
@@ -98,7 +120,20 @@ AtpgEngine::JustifyOutcome AtpgEngine::justify(
   tfm.attach_eval_counter(&budget.evals);
   Podem podem(tfm, scoap_, /*allow_state_decisions=*/true,
               PodemGoal::kJustify, cube);
+  // Snapshot-delta accounting around search()/resume(): the budget counters
+  // tick live during nested justify() recursions too, but those happen
+  // between the snapshots below, so each level's spend lands on its own
+  // cube's bucket.
+  std::uint64_t evals0 = budget.evals;
+  std::uint64_t backtracks0 = budget.backtracks;
+  const auto commit_spend = [&] {
+    if (attributed) {
+      attr.justify_evals[bucket] += budget.evals - evals0;
+      attr.justify_backtracks[bucket] += budget.backtracks - backtracks0;
+    }
+  };
   PodemStatus st = podem.search(budget);
+  commit_spend();
   while (st == PodemStatus::kSuccess) {
     // Extract this solution: the input vector and the new state demand.
     std::vector<V3> vec(nl_.num_inputs(), V3::kX);
@@ -117,7 +152,10 @@ AtpgEngine::JustifyOutcome AtpgEngine::justify(
       break;
     }
     if (budget.exhausted_backtracks() || budget.exhausted_evals()) break;
+    evals0 = budget.evals;
+    backtracks0 = budget.backtracks;
     st = podem.resume(budget);
+    commit_spend();
   }
   on_path.erase(key);
 
@@ -130,7 +168,10 @@ AtpgEngine::JustifyOutcome AtpgEngine::justify(
       ++stats_.learn_inserts;
     }
   }
-  if (!out.ok) ++stats_.justify_failures;
+  if (!out.ok) {
+    ++stats_.justify_failures;
+    fail_bucket();
+  }
   return out;
 }
 
@@ -262,6 +303,26 @@ void record_fault_stats(const FaultSearchStats& stats, FaultStatus status) {
   reg.counter("atpg.learn_inserts").add(stats.learn_inserts);
   reg.counter("atpg.verify_rejects").add(stats.verify_rejects);
   if (stats.budget_exhausted) reg.counter("atpg.budget_exhausted").add();
+  // Invalid-state attribution (all zeros when no oracle was attached).
+  // Bucket order: DESIGN.md §6 / StateValidity.
+  static const char* const kBucketNames[3] = {"valid", "invalid", "unknown"};
+  const EffortAttribution& a = stats.attribution;
+  for (std::size_t b = 0; b < 3; ++b) {
+    reg.counter(std::string("atpg.justify_calls_") + kBucketNames[b])
+        .add(a.justify_calls[b]);
+    reg.counter(std::string("atpg.justify_failures_") + kBucketNames[b])
+        .add(a.justify_failures[b]);
+    reg.counter(std::string("atpg.justify_evals_") + kBucketNames[b])
+        .add(a.justify_evals[b]);
+    reg.counter(std::string("atpg.justify_backtracks_") + kBucketNames[b])
+        .add(a.justify_backtracks[b]);
+  }
+  // Integer percent so the histogram stays deterministic (DESIGN.md §5
+  // allows only integral samples).
+  const std::uint64_t invalid_evals =
+      a.justify_evals[static_cast<std::size_t>(StateValidity::kInvalid)];
+  reg.histogram("atpg.effort_invalid_pct")
+      .record(stats.evals == 0 ? 0 : invalid_evals * 100 / stats.evals);
   switch (status) {
     case FaultStatus::kDetected:
       reg.counter("atpg.faults_detected").add();
@@ -340,6 +401,13 @@ AtpgRunResult run_atpg(const Netlist& nl, const AtpgRunOptions& opts) {
 
   // ---- deterministic phase ----
   AtpgEngine engine(nl, opts.engine);
+  StateValidityOracle oracle;
+  if (opts.attribute_effort) {
+    TraceSpan oracle_span("atpg.oracle_build");
+    oracle = StateValidityOracle::build(nl);
+    res.oracle = oracle.info();
+    engine.set_validity_oracle(&oracle);
+  }
   std::size_t w_all = 0;
   for (const auto& cf : collapsed)
     w_all += static_cast<std::size_t>(cf.class_size);
@@ -366,6 +434,7 @@ AtpgRunResult run_atpg(const Netlist& nl, const AtpgRunOptions& opts) {
     res.learn_hits += attempt.stats.learn_hits;
     res.learn_misses += attempt.stats.learn_misses;
     res.learn_inserts += attempt.stats.learn_inserts;
+    res.attribution.add(attempt.stats.attribution);
     record_fault_stats(attempt.stats, attempt.status);
     switch (attempt.status) {
       case FaultStatus::kRedundant:
@@ -436,6 +505,7 @@ AtpgRunResult run_atpg(const Netlist& nl, const AtpgRunOptions& opts) {
   res.evals = engine.total_evals();
   res.backtracks = engine.total_backtracks();
   res.verify_failures = engine.verify_rejects();
+  res.effort_invalid_frac = res.attribution.invalid_frac(res.evals);
 
   // Final replay for the state-traversal census.
   if (!res.tests.empty()) {

@@ -26,6 +26,7 @@
 // runs on the good machine; verification closes that soundness gap).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <string>
@@ -33,6 +34,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/reach.h"
 #include "atpg/podem.h"
 #include "atpg/scoap.h"
 #include "fault/fault.h"
@@ -57,6 +59,41 @@ struct EngineOptions {
 
 enum class FaultStatus { kDetected, kRedundant, kAborted };
 
+/// Justification effort split by whether the requested present-state cube
+/// intersects the reachable set (analysis/reach's StateValidityOracle).
+/// Arrays are indexed by static_cast<size_t>(StateValidity): [0] valid,
+/// [1] invalid, [2] unknown. All zeros when no oracle is attached (the
+/// kForward engine never justifies, so it stays all-zero too). Every field
+/// is deterministic and thread-count invariant — the oracle is immutable
+/// and its queries are pure, so classification can never depend on
+/// scheduling.
+struct EffortAttribution {
+  std::array<std::uint64_t, 3> justify_calls{};
+  std::array<std::uint64_t, 3> justify_failures{};
+  /// Node evaluations spent inside this level's PODEM search for cubes of
+  /// each class (nested justification levels attribute to their own cube).
+  std::array<std::uint64_t, 3> justify_evals{};
+  std::array<std::uint64_t, 3> justify_backtracks{};
+
+  void add(const EffortAttribution& o) {
+    for (std::size_t b = 0; b < 3; ++b) {
+      justify_calls[b] += o.justify_calls[b];
+      justify_failures[b] += o.justify_failures[b];
+      justify_evals[b] += o.justify_evals[b];
+      justify_backtracks[b] += o.justify_backtracks[b];
+    }
+  }
+  /// Fraction of `total_evals` spent justifying provably-invalid cubes —
+  /// the per-fault / per-run `effort_invalid_frac` observable.
+  double invalid_frac(std::uint64_t total_evals) const {
+    if (total_evals == 0) return 0.0;
+    return static_cast<double>(
+               justify_evals[static_cast<std::size_t>(
+                   StateValidity::kInvalid)]) /
+           static_cast<double>(total_evals);
+  }
+};
+
 /// Per-fault search-effort breakdown (the substrate for the paper's
 /// effort-vs-density analysis). Every integer field is a deterministic
 /// function of (netlist, fault, options) — independent of thread count and
@@ -77,6 +114,9 @@ struct FaultSearchStats {
   std::uint64_t verify_rejects = 0; ///< candidates the fsim refused
   bool budget_exhausted = false;    ///< ran out of evals or backtracks
   double wall_seconds = 0.0;        ///< wall clock; trace/debug only
+  /// Justification effort split by state-cube validity (all zeros when the
+  /// driver attached no oracle).
+  EffortAttribution attribution;
 };
 
 struct FaultAttempt {
@@ -120,6 +160,15 @@ class AtpgEngine {
   /// outlive the engine. Pass nullptr to detach.
   void set_abort_flag(const std::atomic<bool>* abort) { abort_ = abort; }
 
+  /// Attribute justification effort by cube validity. The oracle must
+  /// outlive the engine; it is never mutated (classifications memoize
+  /// per-engine). Pass nullptr to detach — attribution buckets then stay
+  /// all-zero. Attaching or detaching the oracle NEVER changes the search
+  /// itself: classification is observation only.
+  void set_validity_oracle(const StateValidityOracle* oracle) {
+    validity_ = (oracle != nullptr && oracle->enabled()) ? oracle : nullptr;
+  }
+
   /// Local learning caches (entries this engine learned itself, plus any it
   /// copied down from the shared view). The parallel driver harvests these
   /// after a work unit completes to publish them.
@@ -150,6 +199,10 @@ class AtpgEngine {
   /// Packed key of a state cube ('-' digits are X). O(cube size) via the
   /// precomputed DFF index map.
   StateKey cube_key(const std::vector<std::pair<NodeId, V3>>& cube) const;
+  /// Oracle verdict for `key`, memoized per engine (pure queries — the
+  /// memo only affects speed, never answers). Returns kUnknown with no
+  /// bucket accounting use when no oracle is attached.
+  StateValidity classify_cube(const StateKey& key);
 
   const Netlist& nl_;
   EngineOptions opts_;
@@ -158,6 +211,8 @@ class AtpgEngine {
   std::optional<Fault> current_fault_;  ///< fault modelled by justification
   const LearningShare* shared_ = nullptr;
   const std::atomic<bool>* abort_ = nullptr;
+  const StateValidityOracle* validity_ = nullptr;
+  std::unordered_map<StateKey, StateValidity, StateKeyHash> validity_memo_;
   std::uint64_t total_evals_ = 0;
   std::uint64_t total_backtracks_ = 0;
   FaultSearchStats stats_;  ///< in-flight stats of the current generate()
@@ -189,6 +244,12 @@ struct AtpgRunOptions {
   /// replay). Defaults to one worker per hardware thread; results are
   /// bit-identical for every thread count.
   FsimOptions fsim;
+  /// Build a StateValidityOracle for the circuit and attribute every
+  /// justification call/failure/eval/backtrack to a valid/invalid/unknown
+  /// bucket (AtpgRunResult::attribution, effort_invalid_frac). Observation
+  /// only — never changes search results. Off skips the oracle build and
+  /// leaves every bucket zero.
+  bool attribute_effort = true;
 };
 
 struct AtpgRunResult {
@@ -211,6 +272,16 @@ struct AtpgRunResult {
   std::uint64_t learn_hits = 0;
   std::uint64_t learn_misses = 0;
   std::uint64_t learn_inserts = 0;
+  /// Justification-effort buckets summed over attempted faults, merged in
+  /// the same deterministic order as the counters above.
+  EffortAttribution attribution;
+  /// attribution.justify_evals[invalid] / evals — the run-level share of
+  /// the deterministic work metric burned justifying provably-unreachable
+  /// state cubes (the paper's "drowning in invalid states", Figure 3).
+  double effort_invalid_frac = 0.0;
+  /// How cube validity was decided for this run (disabled when
+  /// attribute_effort was off).
+  ValidityOracleInfo oracle;
   double wall_seconds = 0.0;
   /// Distinct good-machine states entered while applying the final test
   /// set (the paper's "#states traversed", Tables 6/8).

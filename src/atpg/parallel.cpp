@@ -152,6 +152,15 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
                                    ? ThreadPool::hardware_threads()
                                    : opts.num_threads;
   const bool learning = opts.run.engine.kind == EngineKind::kLearning;
+  // Built once on the orchestrating thread, then shared read-only by every
+  // unit engine: the oracle is immutable and classify() is pure, so the
+  // attribution buckets are as thread-count invariant as the search stats.
+  StateValidityOracle oracle;
+  if (opts.run.attribute_effort) {
+    TraceSpan oracle_span("atpg.oracle_build");
+    oracle = StateValidityOracle::build(nl);
+    run.oracle = oracle.info();
+  }
   SharedLearningCache cache;
   std::atomic<bool> abort{false};
   const bool have_deadline = opts.deadline_ms > 0;
@@ -212,6 +221,7 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
       const SharedLearningCache::View view = cache.view_for_round(round);
       if (learning) engine.set_shared_learning(&view);
       engine.set_abort_flag(&abort);
+      if (opts.run.attribute_effort) engine.set_validity_oracle(&oracle);
       for (std::size_t k = 0; k < n; ++k) {
         if (have_deadline && Clock::now() >= deadline)
           abort.store(true, std::memory_order_relaxed);
@@ -268,6 +278,7 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
           run.learn_hits += attempt.stats.learn_hits;
           run.learn_misses += attempt.stats.learn_misses;
           run.learn_inserts += attempt.stats.learn_inserts;
+          run.attribution.add(attempt.stats.attribution);
           res.attempted[i] = 1;
           res.fault_stats[i] = attempt.stats;
           record_fault_stats(attempt.stats, attempt.status);
@@ -356,6 +367,7 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
   run.evals = committed_evals;
   run.backtracks = committed_backtracks;
   run.verify_failures = verify_rejects;
+  run.effort_invalid_frac = run.attribution.invalid_frac(run.evals);
 
   res.status.assign(faults.size(), FaultStatus::kAborted);
   for (std::size_t i = 0; i < faults.size(); ++i) {

@@ -1,15 +1,25 @@
-// Minimal JSON utilities for telemetry output.
+// Minimal JSON utilities for telemetry output and run-report tooling.
 //
-// This is deliberately not a full JSON library: the repo only needs to
-// (a) escape strings it embeds in hand-written JSON reports and
-// (b) validate that the reports it just wrote actually parse, for the
-// smoke tests. Numbers are accepted in full RFC 8259 syntax; no value
-// tree is built.
+// This is deliberately not a full JSON library. The repo needs to
+// (a) escape strings it embeds in hand-written JSON reports,
+// (b) validate that the reports it just wrote actually parse, and
+// (c) parse its own atpg_run reports back into a value tree for the run
+//     archive and differ (harness/archive, harness/diff).
+// Numbers are accepted in full RFC 8259 syntax (NaN/Infinity are rejected
+// by the grammar) and parsed as double. Both the validator and the parser
+// refuse documents nested deeper than kJsonMaxDepth rather than recursing
+// without bound.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace satpg {
+
+/// Containers/recursion deeper than this fail validation and parsing.
+inline constexpr std::size_t kJsonMaxDepth = 256;
 
 /// Escape a string for embedding between double quotes in JSON output.
 std::string json_escape(const std::string& s);
@@ -18,5 +28,67 @@ std::string json_escape(const std::string& s);
 /// value (plus surrounding whitespace). On failure, *error (if non-null)
 /// gets a one-line message with the byte offset.
 bool json_valid(const std::string& text, std::string* error = nullptr);
+
+/// Parsed JSON value. Objects keep their members in document order (the
+/// reports this repo writes are deterministic, so order is meaningful for
+/// byte-stable re-rendering); lookup is linear, which is fine at report
+/// sizes. Strings are decoded: escape sequences are resolved and \uXXXX
+/// becomes UTF-8 (surrogate pairs combined; a lone surrogate decodes to
+/// U+FFFD).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool boolean() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& string() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// First member named `key`, or nullptr (also for non-objects).
+  const JsonValue* find(const std::string& key) const;
+
+  // Typed conveniences with defaults — the differ reads both v1 and v2
+  // reports, so missing fields must degrade gracefully.
+  double num_or(const std::string& key, double dflt) const;
+  std::uint64_t uint_or(const std::string& key, std::uint64_t dflt) const;
+  std::string str_or(const std::string& key, const std::string& dflt) const;
+  bool bool_or(const std::string& key, bool dflt) const;
+
+  // Construction (used by the parser; tests may build values directly).
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Strict whole-document parse of exactly one JSON value. Returns false
+/// (with a one-line byte-offset message in *error when non-null) on any
+/// syntax error, trailing bytes, or nesting beyond kJsonMaxDepth.
+bool json_parse(const std::string& text, JsonValue* out,
+                std::string* error = nullptr);
 
 }  // namespace satpg

@@ -33,10 +33,16 @@ void set_log_level(LogLevel level) { g_level = level; }
 LogLevel log_level() { return g_level; }
 
 namespace detail {
+std::string log_thread_tag(unsigned telemetry_index) {
+  if (telemetry_index == kForeignThreadIndex) return "t?";
+  return "t" + std::to_string(telemetry_index);
+}
+
 void log_emit(LogLevel level, const std::string& msg) {
-  const unsigned tid = telemetry_thread_index();
+  const std::string tag = log_thread_tag(telemetry_thread_index());
   std::lock_guard<std::mutex> lock(g_log_mu);
-  std::fprintf(stderr, "[%s t%u] %s\n", level_name(level), tid, msg.c_str());
+  std::fprintf(stderr, "[%s %s] %s\n", level_name(level), tag.c_str(),
+               msg.c_str());
 }
 }  // namespace detail
 

@@ -18,7 +18,10 @@ LogLevel log_level();
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg);
-}
+/// Log tag for a telemetry thread index: "t0", "t3", ... for registered
+/// threads, "t?" for the foreign-thread sentinel.
+std::string log_thread_tag(unsigned telemetry_index);
+}  // namespace detail
 
 /// Stream-style log statement: LOG(kInfo) << "synthesized " << n << " gates";
 class LogLine {

@@ -15,10 +15,30 @@ void set_metrics_enabled(bool on) {
   detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
 }
 
-unsigned telemetry_thread_index() {
-  static std::atomic<unsigned> next{0};
-  thread_local unsigned idx = next.fetch_add(1, std::memory_order_relaxed);
-  return idx;
+namespace {
+
+// Constant-initialized, so a thread that never registers reads the foreign
+// sentinel without ever running a dynamic thread_local initializer.
+thread_local unsigned t_telemetry_index = kForeignThreadIndex;
+
+std::atomic<unsigned> g_next_worker_index{1};
+
+// Dynamic initializers run on the main thread before main(), so this
+// claims index 0 for it before any worker thread can exist.
+[[maybe_unused]] const bool g_main_thread_claimed = [] {
+  t_telemetry_index = kMainThreadIndex;
+  return true;
+}();
+
+}  // namespace
+
+unsigned telemetry_thread_index() { return t_telemetry_index; }
+
+unsigned telemetry_register_worker() {
+  if (t_telemetry_index == kForeignThreadIndex)
+    t_telemetry_index =
+        g_next_worker_index.fetch_add(1, std::memory_order_relaxed);
+  return t_telemetry_index;
 }
 
 // ---- Counter ----------------------------------------------------------------

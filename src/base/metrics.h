@@ -44,9 +44,23 @@ inline bool metrics_enabled() {
 }
 void set_metrics_enabled(bool on);
 
-/// Small dense per-thread index (0 = first thread to ask, usually main).
-/// Shared by metrics sharding, trace lanes, and log-line tagging.
+/// Reserved telemetry index of the process main thread (claimed during
+/// static initialization, before any worker can exist).
+inline constexpr unsigned kMainThreadIndex = 0;
+/// Sentinel index for threads that never registered — e.g. a caller-owned
+/// std::thread outside the ThreadPool. Such threads still shard metrics
+/// deterministically (sentinel % kShards) but render as "t?" in log lines.
+inline constexpr unsigned kForeignThreadIndex = ~0u;
+
+/// Small dense per-thread index shared by metrics sharding, trace lanes,
+/// and log-line tagging: kMainThreadIndex for the main thread, 1.. for
+/// registered workers, kForeignThreadIndex for everything else.
 unsigned telemetry_thread_index();
+
+/// Claim a dense worker index (>= 1) for the calling thread; idempotent —
+/// an already-registered thread (including main) keeps its index. Called by
+/// ThreadPool's worker loop; foreign threads may call it to opt in.
+unsigned telemetry_register_worker();
 
 class MetricsRegistry {
  public:

@@ -77,4 +77,18 @@ std::string format_count(double v) {
   return strprintf("%.2fE%d", mant, exp);
 }
 
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string fnv1a64_hex(std::string_view s) {
+  return strprintf("%016llx",
+                   static_cast<unsigned long long>(fnv1a64(s)));
+}
+
 }  // namespace satpg

@@ -1,6 +1,7 @@
 // Small string helpers shared by the parsers and table printers.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,5 +30,12 @@ std::string format_density(double v);
 /// Format a count in scientific style when large (e.g. "5.24E5"), plain
 /// integer otherwise — matches the "total #states" column of the paper.
 std::string format_count(double v);
+
+/// FNV-1a 64-bit hash. Stable across platforms/runs (unlike std::hash), so
+/// it can key on-disk stores — the run archive's content hashes use it.
+std::uint64_t fnv1a64(std::string_view s);
+
+/// fnv1a64 rendered as 16 lowercase hex digits.
+std::string fnv1a64_hex(std::string_view s);
 
 }  // namespace satpg

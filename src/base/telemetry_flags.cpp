@@ -1,0 +1,78 @@
+#include "base/telemetry_flags.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+#include "base/json.h"
+#include "base/metrics.h"
+#include "base/trace.h"
+
+namespace satpg {
+
+namespace {
+
+const char* flag_value(const char* arg, const char* prefix) {
+  const std::size_t n = std::strlen(prefix);
+  return std::strncmp(arg, prefix, n) == 0 ? arg + n : nullptr;
+}
+
+}  // namespace
+
+bool TelemetryFlags::parse(const char* arg) {
+  if (const char* v = flag_value(arg, "--metrics-json=")) {
+    metrics_json = v;
+    return true;
+  }
+  if (const char* v = flag_value(arg, "--trace-json=")) {
+    trace_json = v;
+    return true;
+  }
+  return false;
+}
+
+void TelemetryFlags::arm() const {
+  if (metrics_enabled()) {
+    MetricsRegistry::global().reset();
+    set_metrics_enabled(true);
+  }
+  if (trace_enabled()) TraceRecorder::global().start();
+}
+
+bool TelemetryFlags::finish_trace(std::ostream* info) const {
+  if (!trace_enabled()) return true;
+  TraceRecorder::global().stop();
+  if (!TraceRecorder::global().write_json(trace_json)) {
+    std::fprintf(stderr, "cannot write %s\n", trace_json.c_str());
+    return false;
+  }
+  if (info)
+    *info << "trace written    : " << trace_json << " ("
+          << TraceRecorder::global().num_events() << " events)\n";
+  return true;
+}
+
+bool TelemetryFlags::write_metrics_registry(const char* schema,
+                                            const std::string& label,
+                                            std::ostream* info) const {
+  if (!metrics_enabled()) return true;
+  set_metrics_enabled(false);
+  std::ofstream os(metrics_json);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", metrics_json.c_str());
+    return false;
+  }
+  os << "{\"schema\": \"" << json_escape(schema) << "\", \"bench\": \""
+     << json_escape(label) << "\",\n \"metrics\": ";
+  MetricsRegistry::global().write_json(os, 1);
+  os << "\n}\n";
+  if (!os.good()) {
+    std::fprintf(stderr, "write failed: %s\n", metrics_json.c_str());
+    return false;
+  }
+  if (info) *info << "metrics written  : " << metrics_json << "\n";
+  return true;
+}
+
+}  // namespace satpg

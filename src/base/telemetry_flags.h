@@ -1,0 +1,49 @@
+// Shared command-line plumbing for the telemetry subsystem.
+//
+// Every tool that can run an engine accepts the same two flags:
+//   --metrics-json=FILE   deterministic structured metrics dump
+//   --trace-json=FILE     Chrome trace_event timeline (wall-clock)
+// TelemetryFlags is the one place those flags are recognized and acted on,
+// so the CLI subcommands, the bench mains, and the experiment harness all
+// agree on spelling and arming semantics instead of each carrying a copy.
+//
+// Usage: call parse() from the flag loop (returns true when the arg was
+// consumed), arm() once before the measured work, then finish_trace() and
+// either write_metrics_registry() (generic dump) or a schema-specific
+// report writer after it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace satpg {
+
+struct TelemetryFlags {
+  std::string metrics_json;  ///< empty = metrics disabled
+  std::string trace_json;    ///< empty = tracing disabled
+
+  /// Consume `--metrics-json=FILE` / `--trace-json=FILE`. Returns false
+  /// when `arg` is neither (caller keeps parsing its own flags).
+  bool parse(const char* arg);
+
+  bool metrics_enabled() const { return !metrics_json.empty(); }
+  bool trace_enabled() const { return !trace_json.empty(); }
+
+  /// Reset + enable the metrics registry and/or start the trace recorder,
+  /// as requested by the parsed flags. Call once, before the measured work.
+  void arm() const;
+
+  /// Stop the recorder and write trace_json. Returns false (after printing
+  /// to stderr) on write failure; true when tracing was never requested.
+  bool finish_trace(std::ostream* info = nullptr) const;
+
+  /// Disable metrics and write the generic registry dump
+  ///   {"schema": <schema>, "bench": <label>, "metrics": {...}}
+  /// to metrics_json. Returns false (after printing to stderr) on write
+  /// failure; true when metrics were never requested. Tools with a richer
+  /// schema (satpg atpg) write their own report instead of calling this.
+  bool write_metrics_registry(const char* schema, const std::string& label,
+                              std::ostream* info = nullptr) const;
+};
+
+}  // namespace satpg

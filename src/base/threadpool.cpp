@@ -53,10 +53,10 @@ void ThreadPool::run_on_workers(unsigned workers,
 }
 
 void ThreadPool::worker_loop(unsigned index) {
-  // Establishes this worker's dense telemetry index and labels its trace
-  // lane; the busy spans below make idle time visible as lane gaps.
+  // Claims this worker's dense telemetry index and labels its trace lane;
+  // the busy spans below make idle time visible as lane gaps.
   TraceRecorder::global().set_thread_name(
-      telemetry_thread_index(), "pool-worker-" + std::to_string(index));
+      telemetry_register_worker(), "pool-worker-" + std::to_string(index));
   for (;;) {
     std::function<void()> task;
     std::size_t depth;

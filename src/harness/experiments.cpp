@@ -381,10 +381,8 @@ BenchConfig parse_bench_flags(int argc, char** argv) {
     } else if (const char* v = value_of("--deadline-ms=")) {
       cfg.experiment.deadline_ms =
           static_cast<std::uint64_t>(std::atoll(v));
-    } else if (const char* v = value_of("--metrics-json=")) {
-      cfg.metrics_json = v;
-    } else if (const char* v = value_of("--trace-json=")) {
-      cfg.trace_json = v;
+    } else if (cfg.telemetry.parse(arg.c_str())) {
+      // --metrics-json= / --trace-json= handled by the shared helper.
     } else if (arg == "--no-sidecar") {
       cfg.write_sidecar = false;
     } else {

@@ -16,6 +16,7 @@
 
 #include "atpg/engine.h"
 #include "base/table.h"
+#include "base/telemetry_flags.h"
 #include "harness/suite.h"
 
 namespace satpg {
@@ -63,8 +64,7 @@ Table run_ablation_encoding(const ExperimentOptions& opts);
 struct BenchConfig {
   ExperimentOptions experiment;
   SuiteOptions suite;
-  std::string metrics_json;  ///< empty = metrics disabled
-  std::string trace_json;    ///< empty = tracing disabled
+  TelemetryFlags telemetry;  ///< --metrics-json / --trace-json
   bool write_sidecar = true; ///< BENCH_<bench>.json next to the table
 };
 BenchConfig parse_bench_flags(int argc, char** argv);

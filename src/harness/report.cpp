@@ -1,5 +1,6 @@
 #include "harness/report.h"
 
+#include <array>
 #include <fstream>
 #include <ostream>
 
@@ -26,6 +27,13 @@ const char* status_name(FaultStatus s) {
 
 std::string num(double v) { return strprintf("%.17g", v); }
 
+std::string attr_array(const std::array<std::uint64_t, 3>& a) {
+  return strprintf("[%llu, %llu, %llu]",
+                   static_cast<unsigned long long>(a[0]),
+                   static_cast<unsigned long long>(a[1]),
+                   static_cast<unsigned long long>(a[2]));
+}
+
 }  // namespace
 
 void write_atpg_report_json(std::ostream& os, const Netlist& nl,
@@ -33,7 +41,7 @@ void write_atpg_report_json(std::ostream& os, const Netlist& nl,
                             const ParallelAtpgResult& res) {
   const AtpgRunResult& run = res.run;
   os << "{\n";
-  os << "  \"schema\": \"satpg.atpg_run.v1\",\n";
+  os << "  \"schema\": \"satpg.atpg_run.v2\",\n";
 
   os << "  \"circuit\": {\"name\": \"" << json_escape(nl.name())
      << "\", \"inputs\": " << nl.num_inputs()
@@ -48,6 +56,15 @@ void write_atpg_report_json(std::ostream& os, const Netlist& nl,
      << ", \"max_forward_frames\": " << eng.max_forward_frames
      << ", \"max_backward_frames\": " << eng.max_backward_frames
      << ", \"seed\": " << opts.run.seed << "},\n";
+
+  // v2: how justification cubes were classified (DESIGN.md §6). num_valid
+  // and density are -1 when the BDD analysis did not complete; everything
+  // here is deterministic, so the block never breaks byte-identity.
+  os << "  \"attribution\": {\"oracle\": \"" << oracle_mode_name(run.oracle.mode)
+     << "\", \"num_valid\": " << num(run.oracle.num_valid)
+     << ", \"density\": " << num(run.oracle.density)
+     << ",\n                  \"bucket_order\": [\"valid\", \"invalid\","
+        " \"unknown\"]},\n";
 
   os << "  \"summary\": {"
      << "\"total_faults\": " << run.total_faults
@@ -67,7 +84,13 @@ void write_atpg_report_json(std::ostream& os, const Netlist& nl,
      << ", \"learn_inserts\": " << run.learn_inserts
      << ",\n              \"verify_failures\": " << run.verify_failures
      << ", \"tests\": " << run.tests.size()
-     << ", \"states_traversed\": " << run.states_traversed.size() << "},\n";
+     << ", \"states_traversed\": " << run.states_traversed.size()
+     << ",\n              \"attr_calls\": " << attr_array(run.attribution.justify_calls)
+     << ", \"attr_failures\": " << attr_array(run.attribution.justify_failures)
+     << ",\n              \"attr_evals\": " << attr_array(run.attribution.justify_evals)
+     << ", \"attr_backtracks\": " << attr_array(run.attribution.justify_backtracks)
+     << ",\n              \"effort_invalid_frac\": "
+     << num(run.effort_invalid_frac) << "},\n";
 
   os << "  \"fe_trace\": [";
   for (std::size_t i = 0; i < run.fe_trace.size(); ++i)
@@ -99,7 +122,14 @@ void write_atpg_report_json(std::ostream& os, const Netlist& nl,
        << ", \"learn_inserts\": " << s.learn_inserts
        << ",\n     \"verify_rejects\": " << s.verify_rejects
        << ", \"budget_exhausted\": "
-       << (s.budget_exhausted ? "true" : "false") << '}'
+       << (s.budget_exhausted ? "true" : "false")
+       << ",\n     \"attr_calls\": " << attr_array(s.attribution.justify_calls)
+       << ", \"attr_failures\": " << attr_array(s.attribution.justify_failures)
+       << ",\n     \"attr_evals\": " << attr_array(s.attribution.justify_evals)
+       << ", \"attr_backtracks\": "
+       << attr_array(s.attribution.justify_backtracks)
+       << ",\n     \"effort_invalid_frac\": "
+       << num(s.attribution.invalid_frac(s.evals)) << '}'
        << (i + 1 < collapsed.size() ? ",\n" : "\n");
   }
   os << "  ],\n";

@@ -1,0 +1,227 @@
+// Invalid-state effort attribution: the StateValidityOracle against exact
+// reachability ground truth, soundness of the superset fallback, and the
+// determinism + Figure-3 contracts of the per-run effort_invalid_frac
+// surfaced through FaultSearchStats and the parallel driver.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "analysis/reach.h"
+#include "atpg/parallel.h"
+#include "fsm/mcnc_suite.h"
+#include "retime/retime.h"
+#include "sim/statekey.h"
+#include "synth/synthesize.h"
+
+namespace satpg {
+namespace {
+
+Netlist mcnc_circuit(const std::string& name, double scale) {
+  FsmGenSpec spec;
+  for (const auto& s : mcnc_specs())
+    if (s.name == name) spec = s;
+  const Fsm fsm = generate_control_fsm(scaled_spec(spec, scale));
+  return synthesize(fsm, {}).netlist;
+}
+
+Netlist retimed_twin(const Netlist& orig) {
+  return retime_to_dff_target(orig, orig.num_dffs() * 2, orig.name() + ".re")
+      .netlist;
+}
+
+ParallelAtpgOptions small_options(unsigned threads) {
+  ParallelAtpgOptions popts;
+  popts.run.engine.kind = EngineKind::kHitec;
+  popts.run.engine.eval_limit = 150'000;
+  popts.run.engine.backtrack_limit = 300;
+  popts.run.random_sequences = 4;
+  popts.run.random_length = 24;
+  popts.num_threads = threads;
+  return popts;
+}
+
+// Ground truth: does `cube` intersect the enumerated reachable set?
+bool cube_intersects(const StateKey& cube, const ReachResult& reach) {
+  for (const BitVec& s : reach.states) {
+    bool compatible = true;
+    for (std::size_t i = 0; i < cube.size() && compatible; ++i) {
+      const V3 want = cube.get(i);
+      if (want == V3::kX) continue;
+      const V3 have = s.get(i) ? V3::kOne : V3::kZero;
+      if (have != want) compatible = false;
+    }
+    if (compatible) return true;
+  }
+  return false;
+}
+
+StateKey random_cube(std::size_t num_ffs, std::mt19937_64& rng) {
+  StateKey k(num_ffs);
+  for (std::size_t i = 0; i < num_ffs; ++i) {
+    switch (rng() % 3) {
+      case 0:
+        k.set(i, V3::kZero);
+        break;
+      case 1:
+        k.set(i, V3::kOne);
+        break;
+      default:
+        break;  // X
+    }
+  }
+  return k;
+}
+
+// Exact mode answers every cube, and always agrees with a brute-force scan
+// of the enumerated reachable set. Exercised on the retimed twin so both
+// verdicts actually occur (its density is < 1).
+TEST(AttributionOracleTest, ExactModeMatchesEnumeratedGroundTruth) {
+  const Netlist nl = retimed_twin(mcnc_circuit("dk16", 0.4));
+  const ReachResult reach = compute_reachable(nl);
+  ASSERT_TRUE(reach.enumerated);
+  ASSERT_LT(reach.density, 1.0) << "twin should have unreachable states";
+
+  const StateValidityOracle oracle = StateValidityOracle::build(nl);
+  ASSERT_EQ(oracle.info().mode, ValidityOracleInfo::Mode::kExact);
+  EXPECT_DOUBLE_EQ(oracle.info().num_valid, reach.num_valid);
+  EXPECT_DOUBLE_EQ(oracle.info().density, reach.density);
+
+  // The all-X cube intersects any nonempty reachable set.
+  EXPECT_EQ(oracle.classify(StateKey(nl.num_dffs())), StateValidity::kValid);
+
+  std::mt19937_64 rng(0xa77b);
+  int valid = 0, invalid = 0;
+  for (int t = 0; t < 500; ++t) {
+    const StateKey cube = random_cube(nl.num_dffs(), rng);
+    const StateValidity got = oracle.classify(cube);
+    ASSERT_NE(got, StateValidity::kUnknown) << "exact mode never punts";
+    const bool expect_valid = cube_intersects(cube, reach);
+    EXPECT_EQ(got == StateValidity::kValid, expect_valid)
+        << "cube " << cube.to_string();
+    (got == StateValidity::kValid ? valid : invalid)++;
+  }
+  EXPECT_GT(valid, 0);
+  EXPECT_GT(invalid, 0) << "test should exercise both verdicts";
+}
+
+// Superset mode (forced by disabling enumeration) must be sound: it may
+// punt, but it may never call a genuinely reachable cube invalid.
+TEST(AttributionOracleTest, SupersetModeIsSoundAgainstExactReachability) {
+  const Netlist nl = retimed_twin(mcnc_circuit("dk16", 0.4));
+  const ReachResult reach = compute_reachable(nl);
+  ASSERT_TRUE(reach.enumerated);
+
+  ReachOptions no_enum;
+  no_enum.enumerate_limit = 0;
+  const StateValidityOracle oracle = StateValidityOracle::build(nl, no_enum);
+  ASSERT_EQ(oracle.info().mode, ValidityOracleInfo::Mode::kSuperset);
+  // The BDD analysis still completed, so the exact census rides along.
+  EXPECT_DOUBLE_EQ(oracle.info().num_valid, reach.num_valid);
+
+  // Every fully-specified reachable state, and every sub-cube of one,
+  // intersects the reachable set — none may classify as invalid.
+  std::mt19937_64 rng(0xbeef);
+  for (const BitVec& s : reach.states) {
+    StateKey full(nl.num_dffs());
+    for (std::size_t i = 0; i < nl.num_dffs(); ++i)
+      full.set(i, s.get(i) ? V3::kOne : V3::kZero);
+    EXPECT_NE(oracle.classify(full), StateValidity::kInvalid)
+        << "reachable state " << full.to_string() << " called invalid";
+    StateKey sub = full;
+    for (std::size_t i = 0; i < nl.num_dffs(); ++i)
+      if (rng() % 2) sub.set(i, V3::kX);
+    EXPECT_NE(oracle.classify(sub), StateValidity::kInvalid)
+        << "reachable sub-cube " << sub.to_string() << " called invalid";
+  }
+  EXPECT_EQ(oracle.classify(StateKey(nl.num_dffs())), StateValidity::kValid);
+}
+
+// A default-constructed oracle is disabled and answers kUnknown.
+TEST(AttributionOracleTest, DisabledOracleReturnsUnknown) {
+  const StateValidityOracle oracle;
+  EXPECT_FALSE(oracle.enabled());
+  EXPECT_EQ(oracle.classify(StateKey(4)), StateValidity::kUnknown);
+}
+
+// Acceptance criterion: every attribution quantity — the four bucket
+// arrays and the derived effort_invalid_frac — is identical at 1, 2, and
+// 8 threads.
+TEST(AttributionTest, AttributionIdenticalAcrossThreadCounts) {
+  const Netlist nl = retimed_twin(mcnc_circuit("dk16", 0.4));
+  const ParallelAtpgResult base = run_parallel_atpg(nl, small_options(1));
+  for (unsigned threads : {2u, 8u}) {
+    const ParallelAtpgResult res =
+        run_parallel_atpg(nl, small_options(threads));
+    EXPECT_EQ(res.run.attribution.justify_calls,
+              base.run.attribution.justify_calls)
+        << "threads=" << threads;
+    EXPECT_EQ(res.run.attribution.justify_failures,
+              base.run.attribution.justify_failures)
+        << "threads=" << threads;
+    EXPECT_EQ(res.run.attribution.justify_evals,
+              base.run.attribution.justify_evals)
+        << "threads=" << threads;
+    EXPECT_EQ(res.run.attribution.justify_backtracks,
+              base.run.attribution.justify_backtracks)
+        << "threads=" << threads;
+    EXPECT_EQ(res.run.effort_invalid_frac, base.run.effort_invalid_frac)
+        << "threads=" << threads;
+  }
+}
+
+// The paper's Figure 3 mechanism, measured: the retimed twin spends a
+// strictly larger fraction of its search effort justifying provably
+// invalid state cubes than its parent.
+TEST(AttributionTest, RetimedTwinShowsStrictlyHigherInvalidFraction) {
+  const Netlist orig = mcnc_circuit("dk16", 0.4);
+  const Netlist twin = retimed_twin(orig);
+
+  const ParallelAtpgResult ro = run_parallel_atpg(orig, small_options(2));
+  const ParallelAtpgResult rt = run_parallel_atpg(twin, small_options(2));
+
+  EXPECT_NE(rt.run.oracle.mode, ValidityOracleInfo::Mode::kDisabled);
+  EXPECT_GT(rt.run.effort_invalid_frac, ro.run.effort_invalid_frac);
+  EXPECT_GT(rt.run.effort_invalid_frac, 0.0);
+  // An invalid-state justification can never succeed, so failures in the
+  // invalid bucket must account for all of its terminated calls.
+  const auto& attr = rt.run.attribution;
+  EXPECT_GT(attr.justify_calls[static_cast<std::size_t>(
+                StateValidity::kInvalid)],
+            0u);
+}
+
+// Per-fault attribution from the merged FaultSearchStats sums to the
+// run-level aggregate (same merge discipline as the other counters).
+TEST(AttributionTest, PerFaultAttributionSumsToRunTotals) {
+  const Netlist nl = retimed_twin(mcnc_circuit("dk16", 0.4));
+  const ParallelAtpgResult res = run_parallel_atpg(nl, small_options(4));
+  EffortAttribution sum;
+  for (std::size_t i = 0; i < res.fault_stats.size(); ++i) {
+    if (!res.attempted[i]) continue;
+    sum.add(res.fault_stats[i].attribution);
+  }
+  EXPECT_EQ(sum.justify_calls, res.run.attribution.justify_calls);
+  EXPECT_EQ(sum.justify_failures, res.run.attribution.justify_failures);
+  EXPECT_EQ(sum.justify_evals, res.run.attribution.justify_evals);
+  EXPECT_EQ(sum.justify_backtracks, res.run.attribution.justify_backtracks);
+}
+
+// Attribution can be turned off; the run then reports a disabled oracle
+// and an all-zero attribution block.
+TEST(AttributionTest, AttributeEffortFlagDisablesTheOracle) {
+  const Netlist nl = mcnc_circuit("dk16", 0.4);
+  ParallelAtpgOptions popts = small_options(2);
+  popts.run.attribute_effort = false;
+  const ParallelAtpgResult res = run_parallel_atpg(nl, popts);
+  EXPECT_EQ(res.run.oracle.mode, ValidityOracleInfo::Mode::kDisabled);
+  EXPECT_EQ(res.run.effort_invalid_frac, 0.0);
+  for (const auto& arr :
+       {res.run.attribution.justify_calls, res.run.attribution.justify_evals})
+    for (const std::uint64_t v : arr) EXPECT_EQ(v, 0u);
+}
+
+}  // namespace
+}  // namespace satpg

@@ -1,10 +1,16 @@
-// Unit tests for src/base: BitVec, Rng, string utilities, Table.
+// Unit tests for src/base: BitVec, Rng, string utilities, Table, JSON
+// validation/parsing, telemetry thread indices.
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <thread>
 #include <unordered_set>
 
 #include "base/bitvec.h"
+#include "base/json.h"
+#include "base/logging.h"
+#include "base/metrics.h"
 #include "base/rng.h"
 #include "base/strutil.h"
 #include "base/table.h"
@@ -198,6 +204,121 @@ TEST(TableTest, AlignsAndCounts) {
   EXPECT_NE(s.find("#DFF"), std::string::npos);
   // Numeric column right-aligned: " 5" appears with leading spaces.
   EXPECT_NE(s.find("   5"), std::string::npos);
+}
+
+// ---- JSON validator + parser edge cases -------------------------------------
+
+TEST(JsonTest, UnicodeEscapesDecodeToUtf8) {
+  JsonValue v;
+  std::string err;
+  // BMP escapes: "A", the cent sign (2-byte UTF-8), the euro (3-byte).
+  ASSERT_TRUE(json_parse(R"("\u0041\u00a2\u20ac")", &v, &err)) << err;
+  EXPECT_EQ(v.string(), "A\xc2\xa2\xe2\x82\xac");
+  // Surrogate pair: U+1D11E (musical G clef), 4-byte UTF-8.
+  ASSERT_TRUE(json_parse(R"("\ud834\udd1e")", &v, &err)) << err;
+  EXPECT_EQ(v.string(), "\xf0\x9d\x84\x9e");
+  // Lone surrogates decode to U+FFFD rather than invalid UTF-8.
+  ASSERT_TRUE(json_parse(R"("\ud834!")", &v, &err)) << err;
+  EXPECT_EQ(v.string(), "\xef\xbf\xbd!");
+  ASSERT_TRUE(json_parse(R"("\udd1e")", &v, &err)) << err;
+  EXPECT_EQ(v.string(), "\xef\xbf\xbd");
+  // Malformed escapes are rejected by validator and parser alike.
+  for (const char* bad : {R"("\u12")", R"("\u12zz")", R"("\x41")"}) {
+    EXPECT_FALSE(json_valid(bad)) << bad;
+    EXPECT_FALSE(json_parse(bad, &v)) << bad;
+  }
+}
+
+TEST(JsonTest, RejectsNaNAndInfinity) {
+  JsonValue v;
+  for (const char* bad :
+       {"NaN", "Infinity", "-Infinity", "{\"x\": NaN}", "[1, Infinity]",
+        "nan", "inf"}) {
+    EXPECT_FALSE(json_valid(bad)) << bad;
+    EXPECT_FALSE(json_parse(bad, &v)) << bad;
+  }
+  // Ordinary extreme numbers are fine.
+  std::string err;
+  ASSERT_TRUE(json_parse("1e308", &v, &err)) << err;
+  EXPECT_DOUBLE_EQ(v.number(), 1e308);
+}
+
+TEST(JsonTest, DeeplyNestedArraysHitTheDepthCap) {
+  const auto nested = [](std::size_t depth) {
+    return std::string(depth, '[') + std::string(depth, ']');
+  };
+  JsonValue v;
+  std::string err;
+  EXPECT_TRUE(json_valid(nested(kJsonMaxDepth), &err)) << err;
+  EXPECT_TRUE(json_parse(nested(kJsonMaxDepth), &v, &err)) << err;
+  // One level past the cap must fail cleanly in both, not overflow the
+  // stack.
+  EXPECT_FALSE(json_valid(nested(kJsonMaxDepth + 1)));
+  EXPECT_FALSE(json_parse(nested(kJsonMaxDepth + 1), &v));
+  EXPECT_FALSE(json_valid(nested(4000)));
+  EXPECT_FALSE(json_parse(nested(4000), &v));
+}
+
+TEST(JsonTest, ParsesV2RecordShapes) {
+  // The shapes report.cpp emits for atpg_run.v2: nested objects in
+  // document order, integer arrays, doubles printed with %.17g.
+  const std::string text =
+      "{\"schema\": \"satpg.atpg_run.v2\",\n"
+      " \"attribution\": {\"oracle\": \"exact\", \"num_valid\": 20,"
+      " \"density\": 0.3125,"
+      " \"bucket_order\": [\"valid\", \"invalid\", \"unknown\"]},\n"
+      " \"summary\": {\"attr_evals\": [10, 7, 0],"
+      " \"effort_invalid_frac\": 0.35780918623103503}}";
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(json_parse(text, &v, &err)) << err;
+  EXPECT_EQ(v.str_or("schema", ""), "satpg.atpg_run.v2");
+  const JsonValue* attr = v.find("attribution");
+  ASSERT_NE(attr, nullptr);
+  EXPECT_EQ(attr->str_or("oracle", ""), "exact");
+  EXPECT_DOUBLE_EQ(attr->num_or("density", -1), 0.3125);
+  const JsonValue* order = attr->find("bucket_order");
+  ASSERT_NE(order, nullptr);
+  ASSERT_TRUE(order->is_array());
+  ASSERT_EQ(order->array().size(), 3u);
+  EXPECT_EQ(order->array()[1].string(), "invalid");
+  const JsonValue* summary = v.find("summary");
+  ASSERT_NE(summary, nullptr);
+  const JsonValue* evals = summary->find("attr_evals");
+  ASSERT_NE(evals, nullptr);
+  EXPECT_DOUBLE_EQ(evals->array()[1].number(), 7.0);
+  EXPECT_DOUBLE_EQ(summary->num_or("effort_invalid_frac", 0),
+                   0.35780918623103503);
+  // Members preserve document order.
+  EXPECT_EQ(v.members()[0].first, "schema");
+  EXPECT_EQ(v.members()[1].first, "attribution");
+}
+
+// ---- telemetry thread indices -----------------------------------------------
+
+TEST(TelemetryThreadTest, MainThreadOwnsIndexZero) {
+  EXPECT_EQ(telemetry_thread_index(), kMainThreadIndex);
+  // Registration is idempotent and never reassigns main.
+  EXPECT_EQ(telemetry_register_worker(), kMainThreadIndex);
+  EXPECT_EQ(telemetry_thread_index(), kMainThreadIndex);
+}
+
+TEST(TelemetryThreadTest, ForeignThreadsReadTheSentinel) {
+  unsigned before = 0, after = 0;
+  std::thread t([&] {
+    before = telemetry_thread_index();
+    after = telemetry_register_worker();
+  });
+  t.join();
+  EXPECT_EQ(before, kForeignThreadIndex);
+  EXPECT_NE(after, kForeignThreadIndex);
+  EXPECT_GE(after, 1u) << "worker indices start above main's 0";
+}
+
+TEST(TelemetryThreadTest, LogTagRendersForeignAsQuestionMark) {
+  EXPECT_EQ(detail::log_thread_tag(kMainThreadIndex), "t0");
+  EXPECT_EQ(detail::log_thread_tag(3), "t3");
+  EXPECT_EQ(detail::log_thread_tag(kForeignThreadIndex), "t?");
 }
 
 }  // namespace

@@ -1,0 +1,97 @@
+// Tier-2 regression-gate test: runs the real satpg CLI and bench_gate
+// binaries against checked-in golden atpg_run.v2 reports (bench/golden/)
+// for one cached MCNC circuit and its retimed twin.
+//
+// Three contracts:
+//   * a freshly generated report for the cached circuit gates cleanly
+//     against its golden (the run is deterministic, so coverage and evals
+//     cannot have moved unless the engine changed);
+//   * same for the retimed twin;
+//   * gating the twin against the parent trips the effort threshold —
+//     the Figure-3 blowup the gate exists to catch.
+//
+// Paths are injected by CMake: SATPG_CLI_PATH / BENCH_GATE_PATH are the
+// built tools, SATPG_GOLDEN_DIR the committed reports, SATPG_SMOKE_CIRCUIT
+// the cached netlist.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace satpg {
+namespace {
+
+// Flags must match tools/gen_golden.sh, which produced the goldens.
+constexpr const char* kGoldenFlags = "--budget=0.2 --seed=7 --threads=2";
+
+int run_cmd(const std::string& cmd) {
+  const int rc = std::system((cmd + " > /dev/null 2>&1").c_str());
+  return rc < 0 ? -1 : WEXITSTATUS(rc);
+}
+
+std::string sh_quote(const std::string& s) { return "\"" + s + "\""; }
+
+class BenchGateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir();
+    golden_parent_ = std::string(SATPG_GOLDEN_DIR) + "/dk16_parent.v2.json";
+    golden_twin_ = std::string(SATPG_GOLDEN_DIR) + "/dk16_retimed.v2.json";
+  }
+
+  // Regenerate the twin netlist and a fresh report for `bench`.
+  std::string fresh_report(const std::string& bench, const std::string& tag) {
+    const std::string out = dir_ + "gate_" + tag + ".json";
+    EXPECT_EQ(run_cmd(sh_quote(SATPG_CLI_PATH) + " atpg " + sh_quote(bench) +
+                      " " + kGoldenFlags + " --metrics-json=" + out),
+              0);
+    return out;
+  }
+
+  std::string dir_, golden_parent_, golden_twin_;
+};
+
+TEST_F(BenchGateTest, FreshParentReportGatesCleanlyAgainstGolden) {
+  const std::string fresh = fresh_report(SATPG_SMOKE_CIRCUIT, "parent");
+  EXPECT_EQ(run_cmd(sh_quote(BENCH_GATE_PATH) + " " + sh_quote(golden_parent_) +
+                    " " + sh_quote(fresh)),
+            0);
+}
+
+TEST_F(BenchGateTest, FreshTwinReportGatesCleanlyAgainstGolden) {
+  const std::string twin_bench = dir_ + "gate_twin.bench";
+  ASSERT_EQ(run_cmd(sh_quote(SATPG_CLI_PATH) + " retime " +
+                    sh_quote(SATPG_SMOKE_CIRCUIT) + " " + sh_quote(twin_bench) +
+                    " --dffs=6"),
+            0);
+  const std::string fresh = fresh_report(twin_bench, "twin");
+  EXPECT_EQ(run_cmd(sh_quote(BENCH_GATE_PATH) + " " + sh_quote(golden_twin_) +
+                    " " + sh_quote(fresh)),
+            0);
+}
+
+TEST_F(BenchGateTest, TwinAgainstParentTripsTheEffortThreshold) {
+  // The retimed twin burns far more evals than its parent on the same
+  // budget flags — the regression the gate must flag (exit 1).
+  EXPECT_EQ(run_cmd(sh_quote(BENCH_GATE_PATH) + " " + sh_quote(golden_parent_) +
+                    " " + sh_quote(golden_twin_)),
+            1);
+  // A sufficiently loose threshold lets the same pair pass, provided
+  // coverage held up.
+  EXPECT_EQ(run_cmd(sh_quote(BENCH_GATE_PATH) + " " + sh_quote(golden_parent_) +
+                    " " + sh_quote(golden_twin_) +
+                    " --max-effort-ratio=1e9 --max-coverage-drop=100"),
+            0);
+}
+
+TEST_F(BenchGateTest, UsageErrorsExitTwo) {
+  EXPECT_EQ(run_cmd(sh_quote(BENCH_GATE_PATH)), 2);
+  EXPECT_EQ(run_cmd(sh_quote(BENCH_GATE_PATH) + " " + sh_quote(golden_parent_) +
+                    " /no/such/report.json"),
+            2);
+}
+
+}  // namespace
+}  // namespace satpg

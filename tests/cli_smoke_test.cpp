@@ -46,10 +46,13 @@ TEST(CliSmokeTest, MetricsAndTraceJsonAreValid) {
   ASSERT_FALSE(mjson.empty());
   std::string err;
   EXPECT_TRUE(json_valid(mjson, &err)) << err;
-  EXPECT_NE(mjson.find("\"schema\": \"satpg.atpg_run.v1\""),
+  EXPECT_NE(mjson.find("\"schema\": \"satpg.atpg_run.v2\""),
             std::string::npos);
   EXPECT_NE(mjson.find("\"per_fault\""), std::string::npos);
   EXPECT_NE(mjson.find("\"metrics\""), std::string::npos);
+  // v2: the invalid-state attribution block and run-level fraction.
+  EXPECT_NE(mjson.find("\"attribution\""), std::string::npos);
+  EXPECT_NE(mjson.find("\"effort_invalid_frac\""), std::string::npos);
   // Wall-clock values must never leak into the deterministic report.
   EXPECT_EQ(mjson.find("wall"), std::string::npos);
 

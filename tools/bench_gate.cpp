@@ -1,0 +1,90 @@
+// bench_gate — CI regression gate over two atpg_run reports.
+//
+//   bench_gate <baseline> <candidate> [--max-coverage-drop=F]
+//              [--max-effort-ratio=F] [--dir=DIR]
+//
+// <baseline>/<candidate> are report file paths or archive hash prefixes
+// (resolved against --dir, default "runs"). Prints the full deterministic
+// diff, then PASS or FAIL with one line per violated threshold.
+//
+// Exit codes: 0 = pass, 1 = threshold violated, 2 = usage/load error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/archive.h"
+#include "harness/diff.h"
+
+using namespace satpg;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_gate <baseline> <candidate>"
+               " [--max-coverage-drop=F] [--max-effort-ratio=F]"
+               " [--dir=DIR]\n"
+               "  baseline/candidate: report file path or archive hash\n");
+  return 2;
+}
+
+const char* flag_value(const char* arg, const char* prefix) {
+  const std::size_t n = std::strlen(prefix);
+  return std::strncmp(arg, prefix, n) == 0 ? arg + n : nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = "runs";
+  GateOptions gopts;
+  std::vector<std::string> specs;
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = flag_value(argv[i], "--max-coverage-drop=")) {
+      gopts.max_coverage_drop = std::atof(v);
+    } else if (const char* v2 = flag_value(argv[i], "--max-effort-ratio=")) {
+      gopts.max_effort_ratio = std::atof(v2);
+    } else if (const char* v3 = flag_value(argv[i], "--dir=")) {
+      dir = v3;
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else {
+      specs.emplace_back(argv[i]);
+    }
+  }
+  if (specs.size() != 2) return usage();
+
+  RunReport baseline, candidate;
+  try {
+    const RunArchive archive(dir);
+    std::string err;
+    if (!parse_run_report(load_report_spec(archive, specs[0]), &baseline,
+                          &err)) {
+      std::fprintf(stderr, "error: %s: %s\n", specs[0].c_str(), err.c_str());
+      return 2;
+    }
+    if (!parse_run_report(load_report_spec(archive, specs[1]), &candidate,
+                          &err)) {
+      std::fprintf(stderr, "error: %s: %s\n", specs[1].c_str(), err.c_str());
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  const RunDiff d = diff_runs(baseline, candidate);
+  write_run_diff(std::cout, baseline, candidate, d);
+
+  const GateResult gate = evaluate_gate(baseline, candidate, gopts);
+  std::cout << "\ngate thresholds: coverage drop <= "
+            << gopts.max_coverage_drop << " points, effort ratio <= "
+            << gopts.max_effort_ratio << "x\n";
+  for (const std::string& v : gate.violations)
+    std::cout << "VIOLATION: " << v << "\n";
+  std::cout << (gate.pass ? "PASS" : "FAIL") << "\n";
+  return gate.pass ? 0 : 1;
+}

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Regenerates the checked-in golden atpg_run.v2 reports in bench/golden/
+# that the tier-2 bench_gate_test gates against.
+#
+#   tools/gen_golden.sh [build-dir]
+#
+# Run from the repository root after an intentional engine change shifts
+# coverage or effort; the flags below must stay in lockstep with
+# tests/bench_gate_test.cpp (kGoldenFlags). Reports are deterministic
+# (DESIGN.md §5/§6), so regeneration on any machine gives the same bytes
+# apart from the circuit name, which echoes the path passed here.
+set -eu
+
+BUILD="${1:-build}"
+SATPG="$BUILD/tools/satpg"
+CIRCUIT="circuits_cache/dk16.ji.sd_s3_x30.bench"
+FLAGS="--budget=0.2 --seed=7 --threads=2"
+OUT="bench/golden"
+
+[ -x "$SATPG" ] || { echo "error: $SATPG not built" >&2; exit 1; }
+mkdir -p "$OUT"
+
+TWIN="$(mktemp -t gate_twin.XXXXXX.bench)"
+trap 'rm -f "$TWIN"' EXIT
+
+"$SATPG" atpg "$CIRCUIT" $FLAGS --metrics-json="$OUT/dk16_parent.v2.json"
+"$SATPG" retime "$CIRCUIT" "$TWIN" --dffs=6
+"$SATPG" atpg "$TWIN" $FLAGS --metrics-json="$OUT/dk16_retimed.v2.json"
+
+echo "golden reports written to $OUT/"

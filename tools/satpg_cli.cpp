@@ -3,15 +3,23 @@
 //   satpg info     <circuit.bench>              structural summary
 //   satpg analyze  <circuit.bench>              depth/cycles/density report
 //   satpg atpg     <circuit.bench> [options]    run an engine, write tests
+//   satpg fsim     <circuit.bench> [options]    grade random sequences
 //   satpg retime   <in.bench> <out.bench> [--dffs=N | --min-period]
 //   satpg scan     <in.bench> <out.bench> [--partial]
 //   satpg faults   <circuit.bench>              fault universe summary
+//   satpg archive  <report.json>|--list         store run reports by hash
+//   satpg diff     <a> <b>                      compare two run reports
 //
 // ATPG options: --engine=hitec|forward|learning  --budget=F  --seed=N
 //               --strict (no potential-detection credit)
 //               --tests=FILE (write the test sequences)
 //               --metrics-json=FILE (deterministic structured run report)
 //               --trace-json=FILE (Chrome trace_event timeline; wall-clock)
+// Every engine-running subcommand accepts --metrics-json/--trace-json; the
+// flags are parsed by the shared TelemetryFlags helper.
+//
+// archive/diff operate on satpg.atpg_run.* reports; <a>/<b> may each be a
+// file path or a stored report's hash prefix (see harness/archive.h).
 //
 // Circuits are ISCAS-89 .bench files; flip-flops power up unknown and the
 // tool follows the library convention that an input named "rst" is the
@@ -19,7 +27,9 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <string>
+#include <vector>
 
 #include "analysis/reach.h"
 #include "analysis/structure.h"
@@ -27,8 +37,11 @@
 #include "atpg/engine.h"
 #include "atpg/parallel.h"
 #include "base/metrics.h"
-#include "base/trace.h"
+#include "base/telemetry_flags.h"
 #include "dft/scan.h"
+#include "fsim/fsim.h"
+#include "harness/archive.h"
+#include "harness/diff.h"
 #include "harness/report.h"
 #include "netlist/bench_io.h"
 #include "retime/retime.h"
@@ -40,17 +53,26 @@ using namespace satpg;
 namespace {
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: satpg <info|analyze|atpg|retime|scan|faults> ...\n"
-               "  satpg info    c.bench\n"
-               "  satpg analyze c.bench\n"
-               "  satpg faults  c.bench\n"
-               "  satpg atpg    c.bench [--engine=E] [--budget=F] [--seed=N]"
-               " [--strict] [--tests=FILE] [--compact]\n"
-               "                [--threads=N] [--deadline-ms=N]"
-               " [--metrics-json=FILE] [--trace-json=FILE]\n"
-               "  satpg retime  in.bench out.bench [--dffs=N]\n"
-               "  satpg scan    in.bench out.bench [--partial]\n");
+  std::fprintf(
+      stderr,
+      "usage: satpg <info|analyze|atpg|fsim|retime|scan|faults|archive|diff>"
+      " ...\n"
+      "  satpg info    c.bench\n"
+      "  satpg analyze c.bench\n"
+      "  satpg faults  c.bench\n"
+      "  satpg atpg    c.bench [--engine=E] [--budget=F] [--seed=N]"
+      " [--strict] [--tests=FILE] [--compact]\n"
+      "                [--threads=N] [--deadline-ms=N]"
+      " [--metrics-json=FILE] [--trace-json=FILE]\n"
+      "  satpg fsim    c.bench [--sequences=N] [--length=N] [--seed=N]"
+      " [--threads=N]\n"
+      "                [--metrics-json=FILE] [--trace-json=FILE]\n"
+      "  satpg retime  in.bench out.bench [--dffs=N]\n"
+      "  satpg scan    in.bench out.bench [--partial]\n"
+      "  satpg archive <report.json>... [--dir=DIR]\n"
+      "  satpg archive --list [--dir=DIR]\n"
+      "  satpg diff    <a> <b> [--dir=DIR] [--top=N]"
+      "   (a/b: file path or archive hash)\n");
   return 2;
 }
 
@@ -104,10 +126,12 @@ int cmd_atpg(const Netlist& nl, int argc, char** argv) {
   ParallelAtpgOptions popts;
   AtpgRunOptions& opts = popts.run;
   std::string tests_file;
-  std::string metrics_file;
-  std::string trace_file;
+  TelemetryFlags telemetry;
   bool do_compact = false;
   for (int i = 0; i < argc; ++i) {
+    if (telemetry.parse(argv[i])) {
+      continue;
+    }
     if (const char* v = flag_value(argv[i], "--engine=")) {
       if (!std::strcmp(v, "hitec"))
         opts.engine.kind = EngineKind::kHitec;
@@ -135,36 +159,23 @@ int cmd_atpg(const Netlist& nl, int argc, char** argv) {
       popts.num_threads = static_cast<unsigned>(std::atoi(v5));
     } else if (const char* v6 = flag_value(argv[i], "--deadline-ms=")) {
       popts.deadline_ms = static_cast<std::uint64_t>(std::atoll(v6));
-    } else if (const char* v7 = flag_value(argv[i], "--metrics-json=")) {
-      metrics_file = v7;
-    } else if (const char* v8 = flag_value(argv[i], "--trace-json=")) {
-      trace_file = v8;
     } else {
       return usage();
     }
   }
-  if (!metrics_file.empty()) {
-    MetricsRegistry::global().reset();
-    set_metrics_enabled(true);
-  }
-  if (!trace_file.empty()) TraceRecorder::global().start();
+  telemetry.arm();
   ParallelAtpgResult pres = run_parallel_atpg(nl, popts);
-  if (!trace_file.empty()) {
-    TraceRecorder::global().stop();
-    if (!TraceRecorder::global().write_json(trace_file)) {
-      std::fprintf(stderr, "cannot write %s\n", trace_file.c_str());
-      return 1;
-    }
-    std::printf("trace written    : %s (%zu events)\n", trace_file.c_str(),
-                TraceRecorder::global().num_events());
-  }
-  if (!metrics_file.empty()) {
+  if (!telemetry.finish_trace(&std::cout)) return 1;
+  if (telemetry.metrics_enabled()) {
+    // atpg has a richer schema than the generic registry dump: the full
+    // satpg.atpg_run.v2 report (harness/report).
     set_metrics_enabled(false);
-    if (!write_atpg_report_json(metrics_file, nl, popts, pres)) {
-      std::fprintf(stderr, "cannot write %s\n", metrics_file.c_str());
+    if (!write_atpg_report_json(telemetry.metrics_json, nl, popts, pres)) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   telemetry.metrics_json.c_str());
       return 1;
     }
-    std::printf("metrics written  : %s\n", metrics_file.c_str());
+    std::printf("metrics written  : %s\n", telemetry.metrics_json.c_str());
   }
   AtpgRunResult& run = pres.run;
   std::printf("engine           : %s\n", engine_kind_name(opts.engine.kind));
@@ -205,6 +216,128 @@ int cmd_atpg(const Netlist& nl, int argc, char** argv) {
     }
     std::printf("tests written    : %s\n", tests_file.c_str());
   }
+  return 0;
+}
+
+int cmd_fsim(const Netlist& nl, int argc, char** argv) {
+  int sequences = 32;
+  int length = 64;
+  std::uint64_t seed = 1;
+  FsimOptions fopts;
+  TelemetryFlags telemetry;
+  for (int i = 0; i < argc; ++i) {
+    if (telemetry.parse(argv[i])) {
+      continue;
+    }
+    if (const char* v = flag_value(argv[i], "--sequences=")) {
+      sequences = std::atoi(v);
+    } else if (const char* v2 = flag_value(argv[i], "--length=")) {
+      length = std::atoi(v2);
+    } else if (const char* v3 = flag_value(argv[i], "--seed=")) {
+      seed = static_cast<std::uint64_t>(std::atoll(v3));
+    } else if (const char* v4 = flag_value(argv[i], "--threads=")) {
+      fopts.num_threads = static_cast<unsigned>(std::atoi(v4));
+    } else {
+      return usage();
+    }
+  }
+  const auto collapsed = collapse_faults(nl);
+  std::vector<Fault> faults;
+  faults.reserve(collapsed.size());
+  for (const auto& c : collapsed) faults.push_back(c.representative);
+  const auto seqs = make_random_sequences(nl, sequences, length, seed);
+
+  telemetry.arm();
+  const FsimResult r = run_fault_simulation(nl, faults, seqs, fopts);
+  if (!telemetry.finish_trace(&std::cout)) return 1;
+  if (!telemetry.write_metrics_registry("satpg.metrics.v1", "fsim",
+                                        &std::cout))
+    return 1;
+
+  const auto [detected_weight, total_weight] =
+      graded_coverage(collapsed, r.detected_at);
+  std::printf("sequences        : %d x %d cycles (seed %llu)\n", sequences,
+              length, static_cast<unsigned long long>(seed));
+  std::printf("faults           : %zu collapsed classes (%zu weighted)\n",
+              collapsed.size(), total_weight);
+  std::printf("detected         : %zu classes (%zu weighted)\n",
+              r.num_detected, detected_weight);
+  std::printf("fault coverage   : %.2f%%\n",
+              total_weight == 0
+                  ? 0.0
+                  : 100.0 * static_cast<double>(detected_weight) /
+                        static_cast<double>(total_weight));
+  std::printf("states traversed : %zu\n", r.good_states.size());
+  return 0;
+}
+
+int cmd_archive(int argc, char** argv) {
+  std::string dir = "runs";
+  bool do_list = false;
+  std::vector<std::string> files;
+  for (int i = 0; i < argc; ++i) {
+    if (const char* v = flag_value(argv[i], "--dir=")) {
+      dir = v;
+    } else if (!std::strcmp(argv[i], "--list")) {
+      do_list = true;
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (!do_list && files.empty()) return usage();
+  RunArchive archive(dir);
+  for (const std::string& f : files) {
+    const ArchiveEntry e = archive.add_file(f);
+    std::printf("archived %s  %s %s (config %s)\n", e.hash.c_str(),
+                e.circuit.c_str(), e.engine.c_str(), e.config_digest.c_str());
+  }
+  if (do_list) {
+    const auto entries = archive.list();
+    if (entries.empty()) {
+      std::printf("archive %s/ is empty\n", archive.dir().c_str());
+      return 0;
+    }
+    std::printf("%-16s  %-18s  %-16s  %-8s  %s\n", "hash", "schema",
+                "circuit", "engine", "config");
+    for (const ArchiveEntry& e : entries)
+      std::printf("%-16s  %-18s  %-16s  %-8s  %s\n", e.hash.c_str(),
+                  e.schema.c_str(), e.circuit.c_str(), e.engine.c_str(),
+                  e.config_digest.c_str());
+  }
+  return 0;
+}
+
+int cmd_diff(int argc, char** argv) {
+  std::string dir = "runs";
+  DiffOptions dopts;
+  std::vector<std::string> specs;
+  for (int i = 0; i < argc; ++i) {
+    if (const char* v = flag_value(argv[i], "--dir=")) {
+      dir = v;
+    } else if (const char* v2 = flag_value(argv[i], "--top=")) {
+      dopts.top_regressions = static_cast<std::size_t>(std::atoll(v2));
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else {
+      specs.emplace_back(argv[i]);
+    }
+  }
+  if (specs.size() != 2) return usage();
+  const RunArchive archive(dir);
+  RunReport a, b;
+  std::string err;
+  if (!parse_run_report(load_report_spec(archive, specs[0]), &a, &err)) {
+    std::fprintf(stderr, "error: %s: %s\n", specs[0].c_str(), err.c_str());
+    return 1;
+  }
+  if (!parse_run_report(load_report_spec(archive, specs[1]), &b, &err)) {
+    std::fprintf(stderr, "error: %s: %s\n", specs[1].c_str(), err.c_str());
+    return 1;
+  }
+  const RunDiff d = diff_runs(a, b, dopts);
+  write_run_diff(std::cout, a, b, d);
   return 0;
 }
 
@@ -254,6 +387,9 @@ int main(int argc, char** argv) {
     if (cmd == "analyze") return cmd_analyze(load(argv[2]));
     if (cmd == "faults") return cmd_faults(load(argv[2]));
     if (cmd == "atpg") return cmd_atpg(load(argv[2]), argc - 3, argv + 3);
+    if (cmd == "fsim") return cmd_fsim(load(argv[2]), argc - 3, argv + 3);
+    if (cmd == "archive") return cmd_archive(argc - 2, argv + 2);
+    if (cmd == "diff") return cmd_diff(argc - 2, argv + 2);
     if (cmd == "retime") {
       if (argc < 4) return usage();
       return cmd_retime(load(argv[2]), argv[3], argc - 4, argv + 4);
