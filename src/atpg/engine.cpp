@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "atpg/capture.h"
 #include "base/metrics.h"
 #include "base/rng.h"
 #include "base/trace.h"
@@ -53,6 +54,9 @@ AtpgEngine::JustifyOutcome AtpgEngine::justify(
     const std::vector<std::pair<NodeId, V3>>& cube, int depth,
     StateSet& on_path, PodemBudget& budget) {
   if (cube.empty()) return {true, {}};
+  if (progress_ != nullptr)
+    progress_->phase.store(static_cast<std::uint32_t>(SearchPhase::kJustify),
+                           std::memory_order_relaxed);
   ++stats_.justify_calls;
   stats_.max_justify_depth =
       std::max<std::uint64_t>(stats_.max_justify_depth,
@@ -81,15 +85,26 @@ AtpgEngine::JustifyOutcome AtpgEngine::justify(
   }
 
   const bool learning = opts_.kind == EngineKind::kLearning;
+  // Learning-cache consumption enters the decision stream: a hit short-
+  // circuits the search, so replay (atpg/capture.h) must see WHERE and
+  // WITH WHAT VERDICT to explain a divergence against cache-less re-runs.
+  const auto ring_learn_hit = [&](bool ok) {
+    if (ring_ != nullptr)
+      ring_->push({DecisionEventKind::kLearnHit,
+                   static_cast<std::uint8_t>(ok ? 1 : 0), depth, -1,
+                   static_cast<std::uint64_t>(StateKeyHash{}(key))});
+  };
   if (learning) {
     if (auto it = learned_ok_.find(key); it != learned_ok_.end()) {
       ++stats_.learn_hits;
+      ring_learn_hit(true);
       return {true, it->second};
     }
     if (learned_fail_.count(key)) {
       ++stats_.learn_hits;
       ++stats_.justify_failures;
       fail_bucket();
+      ring_learn_hit(false);
       return {};
     }
     if (shared_ != nullptr) {
@@ -99,6 +114,7 @@ AtpgEngine::JustifyOutcome AtpgEngine::justify(
       std::vector<std::vector<V3>> prefix;
       if (shared_->lookup_ok(key, &prefix)) {
         ++stats_.learn_hits;
+        ring_learn_hit(true);
         learned_ok_[key] = prefix;
         return {true, std::move(prefix)};
       }
@@ -106,6 +122,7 @@ AtpgEngine::JustifyOutcome AtpgEngine::justify(
         ++stats_.learn_hits;
         ++stats_.justify_failures;
         fail_bucket();
+        ring_learn_hit(false);
         learned_fail_.insert(key);
         return {};
       }
@@ -130,6 +147,11 @@ AtpgEngine::JustifyOutcome AtpgEngine::justify(
     if (attributed) {
       attr.justify_evals[bucket] += budget.evals - evals0;
       attr.justify_backtracks[bucket] += budget.backtracks - backtracks0;
+      if (progress_ != nullptr)
+        progress_->invalid_evals.store(
+            attr.justify_evals[static_cast<std::size_t>(
+                StateValidity::kInvalid)],
+            std::memory_order_relaxed);
     }
   };
   PodemStatus st = podem.search(budget);
@@ -187,8 +209,22 @@ FaultAttempt AtpgEngine::generate(const Fault& fault) {
   // fresh model.
   PodemBudget budget;
   budget.max_backtracks = opts_.backtrack_limit;
-  budget.max_evals = opts_.eval_limit;
+  // The watchdog's defer mode trims the FIRST attempt with a soft cap; the
+  // requeued retry runs uncapped from a fresh budget, so it spends exactly
+  // the decisions an uncapped first attempt would have.
+  budget.max_evals = soft_eval_cap_ != 0
+                         ? std::min(opts_.eval_limit, soft_eval_cap_)
+                         : opts_.eval_limit;
   budget.abort = abort_;
+  budget.abort_at_check = abort_at_check_;
+  budget.progress = progress_;
+  if (ring_ != nullptr) ring_->reset();
+  budget.ring = ring_;
+  const auto publish_phase = [&](SearchPhase p) {
+    if (progress_ != nullptr)
+      progress_->phase.store(static_cast<std::uint32_t>(p),
+                             std::memory_order_relaxed);
+  };
 
   const bool allow_state = opts_.kind != EngineKind::kForward;
   bool any_aborted = false;
@@ -198,6 +234,7 @@ FaultAttempt AtpgEngine::generate(const Fault& fault) {
        frames <= opts_.max_forward_frames && !any_aborted;
        ++frames) {
     if (frames > 1) ++stats_.window_growths;
+    publish_phase(SearchPhase::kWindow);
     TimeFrameModel tfm(nl_, fault, frames);
     tfm.attach_eval_counter(&budget.evals);
     Podem podem(tfm, scoap_, allow_state, PodemGoal::kDetect);
@@ -220,6 +257,7 @@ FaultAttempt AtpgEngine::generate(const Fault& fault) {
         }
       StateSet on_path;
       auto just = justify(cube, 0, on_path, budget);
+      publish_phase(SearchPhase::kWindow);
       if (just.ok) {
         // Candidate sequence; justification ran on the good machine, so
         // confirm on the faulty machine before declaring success (HITEC
@@ -257,6 +295,7 @@ FaultAttempt AtpgEngine::generate(const Fault& fault) {
     // excite-and-store from a free state. Runs on the SAME budget — the
     // redundancy verdict requires the search to complete within whatever
     // this fault has left, so eval_limit really is per fault, all phases.
+    publish_phase(SearchPhase::kRedundancy);
     TimeFrameModel tfm(nl_, fault, 1);
     tfm.attach_eval_counter(&budget.evals);
     Podem podem(tfm, scoap_, /*allow_state=*/true,
@@ -276,6 +315,11 @@ FaultAttempt AtpgEngine::generate(const Fault& fault) {
   stats_.verify_rejects = static_cast<std::uint64_t>(rejects_this_fault);
   stats_.budget_exhausted =
       budget.exhausted_backtracks() || budget.exhausted_evals();
+  attempt.soft_capped = soft_eval_cap_ != 0 &&
+                        soft_eval_cap_ < opts_.eval_limit &&
+                        attempt.status == FaultStatus::kAborted &&
+                        budget.exhausted_evals();
+  attempt.first_abort_check = budget.first_abort_check;
   stats_.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

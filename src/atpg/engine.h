@@ -123,6 +123,14 @@ struct FaultAttempt {
   FaultStatus status = FaultStatus::kAborted;
   TestSequence sequence;  ///< meaningful when detected
   FaultSearchStats stats; ///< effort spent on this fault
+  /// The attempt stopped because the engine's soft eval cap (watchdog
+  /// defer mode) ran out — NOT the fault's real eval_limit. The driver
+  /// requeues such faults for a full-budget retry.
+  bool soft_capped = false;
+  /// 1-based decision-loop check index at which the wall-clock abort was
+  /// first observed (0 = never). Recorded into search captures so replay
+  /// can re-cut the search at the identical point (atpg/capture.h).
+  std::uint64_t first_abort_check = 0;
 };
 
 /// Read-only view of justification outcomes learned by OTHER engines.
@@ -159,6 +167,28 @@ class AtpgEngine {
   /// search returns kAborted at its next decision-loop check. The flag must
   /// outlive the engine. Pass nullptr to detach.
   void set_abort_flag(const std::atomic<bool>* abort) { abort_ = abort; }
+
+  /// Cap the NEXT generate() calls at min(cap, eval_limit) node
+  /// evaluations (0 = no cap). Used by the watchdog's defer mode for
+  /// deterministic first attempts; because the full-budget retry starts a
+  /// fresh PodemBudget, it is bit-identical to an uncapped first attempt.
+  void set_soft_eval_cap(std::uint64_t cap) { soft_eval_cap_ = cap; }
+
+  /// Publish live search progress into `cell` (sampled by the run monitor
+  /// from another thread). Observation only: the search never reads the
+  /// cell, so results are unchanged. Pass nullptr to detach.
+  void set_search_progress(SearchProgress* cell) { progress_ = cell; }
+
+  /// Record decision events of each generate() into `ring`
+  /// (atpg/capture.h); the ring is reset at the start of every attempt.
+  /// Observation only. Pass nullptr to detach.
+  void set_decision_ring(DecisionRing* ring) { ring_ = ring; }
+
+  /// Replay of wall-clock-aborted captures: force the external abort to be
+  /// observed at the `check`-th decision-loop check (1-based; 0 = off).
+  /// The check count is a pure function of the search path, so cutting at
+  /// the recorded index reproduces the aborted attempt bit-for-bit.
+  void set_abort_at_check(std::uint64_t check) { abort_at_check_ = check; }
 
   /// Attribute justification effort by cube validity. The oracle must
   /// outlive the engine; it is never mutated (classifications memoize
@@ -211,6 +241,10 @@ class AtpgEngine {
   std::optional<Fault> current_fault_;  ///< fault modelled by justification
   const LearningShare* shared_ = nullptr;
   const std::atomic<bool>* abort_ = nullptr;
+  std::uint64_t soft_eval_cap_ = 0;
+  std::uint64_t abort_at_check_ = 0;
+  SearchProgress* progress_ = nullptr;
+  DecisionRing* ring_ = nullptr;
   const StateValidityOracle* validity_ = nullptr;
   std::unordered_map<StateKey, StateValidity, StateKeyHash> validity_memo_;
   std::uint64_t total_evals_ = 0;

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
 #include <utility>
 
+#include "base/json.h"
 #include "base/metrics.h"
+#include "base/strutil.h"
 #include "base/threadpool.h"
 #include "base/trace.h"
 
@@ -91,7 +96,180 @@ struct UnitOutcome {
   std::vector<std::uint8_t> budget_skipped;  ///< never attempted: budget
   std::vector<std::uint8_t> deadline_skipped;
   std::size_t verify_rejects = 0;
+  /// First triggered capture of this unit (fault order within the unit).
+  std::optional<SearchCapture> capture;
 };
+
+// ---- live monitoring --------------------------------------------------------
+
+enum class RunPhase : std::uint32_t {
+  kRandom = 0,
+  kOracle,
+  kRounds,
+  kReplay,
+  kDone,
+};
+
+const char* run_phase_name(RunPhase p) {
+  switch (p) {
+    case RunPhase::kRandom:
+      return "random";
+    case RunPhase::kOracle:
+      return "oracle";
+    case RunPhase::kRounds:
+      return "rounds";
+    case RunPhase::kReplay:
+      return "replay";
+    case RunPhase::kDone:
+      return "done";
+  }
+  return "?";
+}
+
+/// Shared scoreboard between the orchestrating thread (writer, at merge
+/// barriers), the workers (writers of their own SearchProgress slot), and
+/// the monitor thread (reader). Atomics only — safe to sample mid-round;
+/// a heartbeat may catch values from two different merge steps, which is
+/// fine for display (DESIGN.md §7).
+struct ProgressBoard {
+  std::vector<SearchProgress> slots;  ///< one per worker thread
+  std::atomic<std::uint32_t> phase{0};
+  std::atomic<std::uint32_t> round{0};
+  std::atomic<std::uint64_t> faults{0};    ///< collapsed faults
+  std::atomic<std::uint64_t> resolved{0};  ///< settled collapsed faults
+  std::atomic<std::uint64_t> detected{0};
+  std::atomic<std::uint64_t> redundant{0};
+  std::atomic<std::uint64_t> aborted{0};
+  std::atomic<std::uint64_t> evals{0};  ///< committed (merged) evals
+  std::atomic<std::uint64_t> backtracks{0};
+  std::atomic<std::uint64_t> tests{0};
+  std::atomic<std::uint64_t> coverage_milli{0};  ///< strict FE, milli-%
+  std::atomic<std::uint64_t> deferred_parked{0};
+  std::atomic<std::uint64_t> stuck_flagged{0};
+
+  explicit ProgressBoard(std::size_t num_slots) : slots(num_slots) {}
+};
+
+class AtpgMonitorSource final : public MonitorSource {
+ public:
+  AtpgMonitorSource(const ProgressBoard* board,
+                    std::vector<std::string> fault_names,
+                    std::chrono::steady_clock::time_point run_t0,
+                    const WatchdogOptions& wd)
+      : board_(board),
+        fault_names_(std::move(fault_names)),
+        run_t0_(run_t0),
+        stuck_seconds_(wd.stuck_seconds),
+        stuck_evals_(wd.stuck_evals) {}
+
+  std::string heartbeat_json(std::uint64_t seq, double elapsed_s) override {
+    const ProgressBoard& b = *board_;
+    std::string s = strprintf(
+        "{\"schema\": \"satpg.heartbeat.v1\", \"seq\": %llu, "
+        "\"elapsed_s\": %.3f, \"phase\": \"%s\", \"round\": %u, "
+        "\"faults\": %llu, \"resolved\": %llu, \"detected\": %llu, "
+        "\"redundant\": %llu, \"aborted\": %llu, \"coverage_pct\": %.3f, "
+        "\"evals\": %llu, \"backtracks\": %llu, \"tests\": %llu, "
+        "\"deferred\": %llu, \"stuck_flagged\": %llu, \"inflight\": [",
+        static_cast<unsigned long long>(seq), elapsed_s,
+        run_phase_name(static_cast<RunPhase>(
+            b.phase.load(std::memory_order_relaxed))),
+        b.round.load(std::memory_order_relaxed),
+        ull(b.faults), ull(b.resolved), ull(b.detected), ull(b.redundant),
+        ull(b.aborted),
+        static_cast<double>(b.coverage_milli.load(
+            std::memory_order_relaxed)) / 1000.0,
+        ull(b.evals), ull(b.backtracks), ull(b.tests),
+        ull(b.deferred_parked), ull(b.stuck_flagged));
+    const double run_elapsed = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - run_t0_)
+                                   .count();
+    bool first = true;
+    for (std::size_t w = 0; w < b.slots.size(); ++w) {
+      const SearchProgress& p = b.slots[w];
+      const std::uint64_t tag = p.fault_tag.load(std::memory_order_relaxed);
+      if (tag == 0) continue;
+      const std::size_t fi = static_cast<std::size_t>(tag - 1);
+      const std::string name =
+          fi < fault_names_.size() ? fault_names_[fi] : "?";
+      const double slot_elapsed = std::max(
+          0.0, run_elapsed - static_cast<double>(p.start_us.load(
+                                 std::memory_order_relaxed)) /
+                                 1e6);
+      const std::uint64_t evals = p.evals.load(std::memory_order_relaxed);
+      const bool stuck =
+          (stuck_seconds_ > 0.0 && slot_elapsed >= stuck_seconds_) ||
+          (stuck_evals_ > 0 && evals >= stuck_evals_);
+      s += strprintf(
+          "%s{\"slot\": %zu, \"fault\": \"%s\", \"phase\": \"%s\", "
+          "\"evals\": %llu, \"backtracks\": %llu, \"implications\": %llu, "
+          "\"invalid_evals\": %llu, \"elapsed_s\": %.3f, \"stuck\": %s}",
+          first ? "" : ", ", w, json_escape(name).c_str(),
+          search_phase_name(static_cast<SearchPhase>(
+              p.phase.load(std::memory_order_relaxed))),
+          static_cast<unsigned long long>(evals),
+          static_cast<unsigned long long>(
+              p.backtracks.load(std::memory_order_relaxed)),
+          static_cast<unsigned long long>(
+              p.implications.load(std::memory_order_relaxed)),
+          static_cast<unsigned long long>(
+              p.invalid_evals.load(std::memory_order_relaxed)),
+          slot_elapsed, stuck ? "true" : "false");
+      first = false;
+    }
+    s += "]}";
+    return s;
+  }
+
+  std::string progress_line(double elapsed_s) override {
+    const ProgressBoard& b = *board_;
+    std::size_t inflight = 0;
+    for (const SearchProgress& p : b.slots)
+      if (p.fault_tag.load(std::memory_order_relaxed) != 0) ++inflight;
+    return strprintf(
+        "[%8.1fs] %s r%u  %llu/%llu faults  FE %.2f%%  %llu tests  "
+        "%llu evals  %zu in-flight  %llu stuck  %llu deferred",
+        elapsed_s,
+        run_phase_name(static_cast<RunPhase>(
+            b.phase.load(std::memory_order_relaxed))),
+        b.round.load(std::memory_order_relaxed), ull(b.resolved),
+        ull(b.faults),
+        static_cast<double>(b.coverage_milli.load(
+            std::memory_order_relaxed)) / 1000.0,
+        ull(b.tests), ull(b.evals), inflight, ull(b.stuck_flagged),
+        ull(b.deferred_parked));
+  }
+
+ private:
+  static unsigned long long ull(const std::atomic<std::uint64_t>& a) {
+    return static_cast<unsigned long long>(
+        a.load(std::memory_order_relaxed));
+  }
+
+  const ProgressBoard* board_;
+  const std::vector<std::string> fault_names_;
+  const std::chrono::steady_clock::time_point run_t0_;
+  const double stuck_seconds_;
+  const std::uint64_t stuck_evals_;
+};
+
+/// Resolve CaptureOptions::fault (fault_name string or all-digits
+/// collapsed index) against the collapsed list. Returns -1 when unmatched.
+std::ptrdiff_t resolve_capture_target(const Netlist& nl,
+                                      const std::vector<Fault>& faults,
+                                      const std::string& spec) {
+  if (spec.empty()) return -1;
+  const bool all_digits =
+      spec.find_first_not_of("0123456789") == std::string::npos;
+  if (all_digits) {
+    const std::size_t i = static_cast<std::size_t>(std::atoll(spec.c_str()));
+    return i < faults.size() ? static_cast<std::ptrdiff_t>(i) : -1;
+  }
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    if (fault_name(nl, faults[i]) == spec)
+      return static_cast<std::ptrdiff_t>(i);
+  return -1;
+}
 
 }  // namespace
 
@@ -120,7 +298,56 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
   res.attempted.assign(faults.size(), 0);
   res.fault_stats.assign(faults.size(), FaultSearchStats{});
 
+  const unsigned num_threads = opts.num_threads == 0
+                                   ? ThreadPool::hardware_threads()
+                                   : opts.num_threads;
+
+  // ---- live monitor (observer only; DESIGN.md §7) ----
+  // Everything the monitor thread reads is either atomic (the board) or
+  // immutable from here on (the fault-name vector, built before start()).
+  const bool monitored = opts.monitor.enabled();
+  std::unique_ptr<ProgressBoard> board;
+  std::unique_ptr<AtpgMonitorSource> source;
+  std::unique_ptr<RunMonitor> monitor;
+  if (monitored) {
+    board = std::make_unique<ProgressBoard>(
+        std::max<std::size_t>(1, num_threads));
+    board->faults.store(faults.size(), std::memory_order_relaxed);
+    std::vector<std::string> names;
+    names.reserve(faults.size());
+    for (const Fault& f : faults) names.push_back(fault_name(nl, f));
+    source = std::make_unique<AtpgMonitorSource>(board.get(),
+                                                 std::move(names), t0,
+                                                 opts.watchdog);
+    monitor = std::make_unique<RunMonitor>(source.get(), opts.monitor);
+    monitor->start();
+  }
+  const auto set_phase = [&](RunPhase p) {
+    if (board) board->phase.store(static_cast<std::uint32_t>(p),
+                                  std::memory_order_relaxed);
+  };
+  const auto now_us = [&t0] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              t0)
+            .count());
+  };
+
+  // ---- watchdog / capture state ----
+  const bool wd = opts.watchdog.enabled();
+  const bool defer = wd && opts.watchdog.defer;
+  std::vector<std::uint8_t> parked(faults.size(), 0);
+  std::vector<std::uint8_t> requeued(faults.size(), 0);
+  std::vector<std::uint8_t> tripped(faults.size(), 0);
+  std::vector<std::uint8_t> was_deferred(faults.size(), 0);
+  std::vector<std::uint64_t> trip_evals(faults.size(), 0);
+  const bool capturing = opts.capture.armed;
+  const std::ptrdiff_t capture_target =
+      capturing ? resolve_capture_target(nl, faults, opts.capture.fault)
+                : -1;
+
   // ---- random phase (identical to the serial driver) ----
+  set_phase(RunPhase::kRandom);
   const auto random_seqs =
       make_random_sequences(nl, opts.run.random_sequences,
                             opts.run.random_length, opts.run.seed);
@@ -148,9 +375,6 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
   }
 
   // ---- deterministic phase: rounds of fixed work units ----
-  const unsigned num_threads = opts.num_threads == 0
-                                   ? ThreadPool::hardware_threads()
-                                   : opts.num_threads;
   const bool learning = opts.run.engine.kind == EngineKind::kLearning;
   // Built once on the orchestrating thread, then shared read-only by every
   // unit engine: the oracle is immutable and classify() is pure, so the
@@ -158,9 +382,11 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
   StateValidityOracle oracle;
   if (opts.run.attribute_effort) {
     TraceSpan oracle_span("atpg.oracle_build");
+    set_phase(RunPhase::kOracle);
     oracle = StateValidityOracle::build(nl);
     run.oracle = oracle.info();
   }
+  set_phase(RunPhase::kRounds);
   SharedLearningCache cache;
   std::atomic<bool> abort{false};
   const bool have_deadline = opts.deadline_ms > 0;
@@ -186,7 +412,23 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
   for (std::uint32_t round = 0;; ++round) {
     todo.clear();
     for (std::size_t i = 0; i < faults.size(); ++i)
-      if (status[i] == S::kUndetected) todo.push_back(i);
+      if (status[i] == S::kUndetected && !parked[i]) todo.push_back(i);
+    if (todo.empty() && defer) {
+      // Every non-deferred fault has settled: requeue the parked ones with
+      // the full original budget. A parked fault a sibling's test already
+      // dropped stays dropped; the rest get the exact attempt they would
+      // have had without deferral (fresh engine, fresh budget, no cap).
+      for (std::size_t i = 0; i < faults.size(); ++i) {
+        if (!parked[i]) continue;
+        parked[i] = 0;
+        if (status[i] != S::kUndetected) continue;
+        requeued[i] = 1;
+        todo.push_back(i);
+        ++res.deferred_requeued;
+      }
+      if (board)
+        board->deferred_parked.store(0, std::memory_order_relaxed);
+    }
     if (todo.empty()) break;
 
     if (opts.run.total_eval_budget &&
@@ -202,14 +444,22 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
       break;
     }
 
+    if (board) board->round.store(round + 1, std::memory_order_relaxed);
     const std::size_t round_faults =
         std::min(todo.size(), kUnitSize * kUnitsPerRound);
     const std::size_t num_units =
         (round_faults + kUnitSize - 1) / kUnitSize;
     std::vector<UnitOutcome> outcome(num_units);
     const std::uint64_t round_start_evals = committed_evals;
+    // Soft caps are decided HERE, before the parallel section, from
+    // orchestrator-owned state only — workers never read driver state, so
+    // which attempts run capped is thread-count invariant.
+    std::vector<std::uint8_t> round_capped(round_faults, 0);
+    if (defer)
+      for (std::size_t k = 0; k < round_faults; ++k)
+        round_capped[k] = requeued[todo[k]] ? 0 : 1;
 
-    const auto run_unit = [&](std::size_t u) {
+    const auto run_unit = [&](std::size_t u, unsigned w) {
       TraceSpan span("atpg.unit", "atpg");
       const std::size_t lo = u * kUnitSize;
       const std::size_t n = std::min(kUnitSize, round_faults - lo);
@@ -222,6 +472,10 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
       if (learning) engine.set_shared_learning(&view);
       engine.set_abort_flag(&abort);
       if (opts.run.attribute_effort) engine.set_validity_oracle(&oracle);
+      SearchProgress* cell = board ? &board->slots[w] : nullptr;
+      if (cell) engine.set_search_progress(cell);
+      DecisionRing ring(opts.capture.ring_capacity);
+      if (capturing) engine.set_decision_ring(&ring);
       for (std::size_t k = 0; k < n; ++k) {
         if (have_deadline && Clock::now() >= deadline)
           abort.store(true, std::memory_order_relaxed);
@@ -238,7 +492,33 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
           out.budget_skipped[k] = 1;
           continue;
         }
-        out.attempts[k] = engine.generate(faults[todo[lo + k]]);
+        const std::size_t fi = todo[lo + k];
+        const std::uint64_t cap =
+            round_capped[lo + k] ? opts.watchdog.stuck_evals : 0;
+        engine.set_soft_eval_cap(cap);
+        if (cell) cell->begin_fault(fi + 1, now_us());
+        out.attempts[k] = engine.generate(faults[fi]);
+        if (cell) cell->end_fault();
+        if (capturing && !out.capture) {
+          const FaultAttempt& a = out.attempts[k];
+          const char* reason = nullptr;
+          if (capture_target >= 0 &&
+              static_cast<std::size_t>(capture_target) == fi)
+            reason = "requested";
+          else if (wd && (a.soft_capped ||
+                          a.stats.evals >= opts.watchdog.stuck_evals))
+            reason = "watchdog";
+          else if (have_deadline && a.status == FaultStatus::kAborted &&
+                   abort.load(std::memory_order_relaxed))
+            reason = "deadline";
+          if (reason != nullptr) {
+            const bool wall_cut = a.status == FaultStatus::kAborted &&
+                                  abort.load(std::memory_order_relaxed);
+            out.capture = make_capture(nl, faults[fi], fi, opts.run.engine,
+                                       cap, reason, wall_cut, a, ring);
+            out.capture->seed = opts.run.seed;
+          }
+        }
       }
       out.verify_rejects = engine.verify_rejects();
       if (learning)
@@ -248,10 +528,11 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
     const auto workers = static_cast<unsigned>(
         std::min<std::size_t>(num_threads, num_units));
     if (workers <= 1) {
-      for (std::size_t u = 0; u < num_units; ++u) run_unit(u);
+      for (std::size_t u = 0; u < num_units; ++u) run_unit(u, 0);
     } else {
       ThreadPool::shared().run_on_workers(workers, [&](unsigned w) {
-        for (std::size_t u = w; u < num_units; u += workers) run_unit(u);
+        for (std::size_t u = w; u < num_units; u += workers)
+          run_unit(u, w);
       });
     }
 
@@ -261,6 +542,7 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
       const std::size_t lo = u * kUnitSize;
       UnitOutcome& out = outcome[u];
       verify_rejects += out.verify_rejects;
+      if (out.capture && !res.capture) res.capture = std::move(out.capture);
       for (std::size_t k = 0; k < out.attempts.size(); ++k) {
         const std::size_t i = todo[lo + k];
         FaultAttempt& attempt = out.attempts[k];
@@ -282,6 +564,16 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
           res.attempted[i] = 1;
           res.fault_stats[i] = attempt.stats;
           record_fault_stats(attempt.stats, attempt.status);
+          // Watchdog flag: a deterministic function of the attempt's own
+          // eval count (a capped attempt that hit its cap counts too).
+          if (wd && !tripped[i] &&
+              (attempt.soft_capped ||
+               attempt.stats.evals >= opts.watchdog.stuck_evals)) {
+            tripped[i] = 1;
+            trip_evals[i] = attempt.stats.evals;
+            if (board)
+              board->stuck_flagged.fetch_add(1, std::memory_order_relaxed);
+          }
         }
         if (status[i] != S::kUndetected) continue;  // dropped this round
         if (out.deadline_skipped[k]) {
@@ -291,6 +583,16 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
         }
         if (out.budget_skipped[k]) {
           status[i] = S::kAborted;
+          continue;
+        }
+        if (defer && attempt.soft_capped && !requeued[i]) {
+          // Park: the fault stays undetected (still droppable by sibling
+          // tests) and re-enters the queue with the full budget once the
+          // non-deferred faults have drained.
+          parked[i] = 1;
+          was_deferred[i] = 1;
+          if (board)
+            board->deferred_parked.fetch_add(1, std::memory_order_relaxed);
           continue;
         }
         switch (attempt.status) {
@@ -332,6 +634,36 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
         run.fe_trace.push_back({committed_evals, current_fe()});
       }
     }
+
+    if (board) {
+      std::uint64_t det = 0, red = 0, ab = 0;
+      for (std::size_t j = 0; j < faults.size(); ++j) {
+        if (status[j] == S::kDetected) ++det;
+        else if (status[j] == S::kRedundant) ++red;
+        else if (status[j] == S::kAborted) ++ab;
+      }
+      board->detected.store(det, std::memory_order_relaxed);
+      board->redundant.store(red, std::memory_order_relaxed);
+      board->aborted.store(ab, std::memory_order_relaxed);
+      board->resolved.store(det + red + ab, std::memory_order_relaxed);
+      board->evals.store(committed_evals, std::memory_order_relaxed);
+      board->backtracks.store(committed_backtracks,
+                              std::memory_order_relaxed);
+      board->tests.store(run.tests.size(), std::memory_order_relaxed);
+      board->coverage_milli.store(
+          static_cast<std::uint64_t>(current_fe() * 1000.0),
+          std::memory_order_relaxed);
+    }
+  }
+
+  // ---- watchdog verdicts (fault-index order: deterministic) ----
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    if (tripped[i])
+      res.stuck_faults.push_back({i, trip_evals[i], was_deferred[i] != 0});
+  if (wd && metrics_enabled()) {
+    MetricsRegistry& reg = MetricsRegistry::global();
+    reg.counter("atpg.watchdog_stuck").add(res.stuck_faults.size());
+    reg.counter("atpg.watchdog_requeued").add(res.deferred_requeued);
   }
 
   // ---- accounting (same rules as the serial driver) ----
@@ -380,9 +712,14 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
   // Final replay for the state-traversal census.
   if (!run.tests.empty()) {
     TraceSpan span("atpg.replay");
+    set_phase(RunPhase::kReplay);
     auto fr = run_fault_simulation(nl, {}, run.tests, opts.run.fsim);
     run.states_traversed = std::move(fr.good_states);
   }
+  set_phase(RunPhase::kDone);
+  // Stop (join + final heartbeat) before returning so the stream is
+  // complete before the caller writes any report.
+  if (monitor) monitor->stop();
   run.wall_seconds =
       std::chrono::duration<double>(Clock::now() - t0).count();
   return res;

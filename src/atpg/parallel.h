@@ -40,10 +40,14 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "atpg/capture.h"
 #include "atpg/engine.h"
+#include "base/monitor.h"
 
 namespace satpg {
 
@@ -108,6 +112,43 @@ class SharedLearningCache {
   std::vector<Shard> shards_;
 };
 
+/// Stuck-search watchdog (DESIGN.md §7). The eval threshold is a
+/// DETERMINISTIC run parameter: whether a fault trips depends only on
+/// (netlist, fault, options), never on wall clock or thread count, so
+/// enabling the watchdog keeps metrics/report JSON thread-invariant. The
+/// seconds threshold is wall-clock and therefore heartbeat-only: it can
+/// flag a slot as stuck in the live stream but never touches any
+/// deterministic artifact.
+struct WatchdogOptions {
+  /// Flag a fault whose attempt spends >= this many node evaluations
+  /// (0 = watchdog off).
+  std::uint64_t stuck_evals = 0;
+  /// Heartbeat-only: mark an in-flight slot "stuck" after this much wall
+  /// time on one fault (0 = off). Never affects results.
+  double stuck_seconds = 0.0;
+  /// Defer-and-requeue: cap each fault's FIRST attempt at stuck_evals;
+  /// faults that trip are parked (still undetected) until every other
+  /// fault settles, then requeued with the full original budget. A
+  /// requeued attempt starts a fresh engine + budget, so for kHitec /
+  /// kForward it is bit-identical to the attempt the fault would have had
+  /// without deferral — the final statuses match the no-watchdog run, only
+  /// the order in which hard faults consume the run's tail changes.
+  bool defer = false;
+
+  bool enabled() const { return stuck_evals > 0; }
+};
+
+/// Per-fault decision-stream capture (atpg/capture.h). Writing the capture
+/// file is a side artifact; arming never changes search results.
+struct CaptureOptions {
+  bool armed = false;   ///< record rings and keep the first triggered capture
+  /// Capture this specific fault unconditionally: a fault_name() string or
+  /// an all-digits collapsed-fault index. Empty = only capture on watchdog
+  /// trip or deadline abort.
+  std::string fault;
+  std::size_t ring_capacity = DecisionRing::kDefaultCapacity;
+};
+
 struct ParallelAtpgOptions {
   AtpgRunOptions run;
   /// Worker threads for the deterministic phase: 1 = in-caller serial
@@ -119,6 +160,11 @@ struct ParallelAtpgOptions {
   /// aborts. Timing-dependent by nature — results under a deadline are
   /// NOT reproducible across machines or runs.
   std::uint64_t deadline_ms = 0;
+  /// Live heartbeat/progress sampling. Observer-only: any setting leaves
+  /// every deterministic artifact byte-identical.
+  RunMonitorOptions monitor;
+  WatchdogOptions watchdog;
+  CaptureOptions capture;
 };
 
 struct ParallelAtpgResult {
@@ -141,6 +187,22 @@ struct ParallelAtpgResult {
   std::vector<FaultSearchStats> fault_stats;
   /// Faults aborted because the wall-clock deadline fired.
   std::size_t aborted_by_deadline = 0;
+  /// Faults the watchdog flagged (first attempt spent >= stuck_evals),
+  /// fault-index order. Deterministic: same content at any thread count;
+  /// empty when the watchdog is off.
+  struct StuckFault {
+    std::size_t fault_index = 0;
+    std::uint64_t evals = 0;   ///< evals of the tripping attempt
+    bool deferred = false;     ///< parked and requeued (defer mode)
+  };
+  std::vector<StuckFault> stuck_faults;
+  /// Faults that were parked by defer mode and later re-attempted with the
+  /// full budget.
+  std::size_t deferred_requeued = 0;
+  /// First triggered capture (requested fault, watchdog trip, or deadline
+  /// abort), in deterministic (round, unit, fault) order — except deadline
+  /// captures, which are inherently timing-dependent.
+  std::optional<SearchCapture> capture;
 };
 
 ParallelAtpgResult run_parallel_atpg(const Netlist& nl,

@@ -2,9 +2,46 @@
 
 #include <algorithm>
 
+#include "atpg/capture.h"
 #include "base/metrics.h"
 
 namespace satpg {
+
+const char* search_phase_name(SearchPhase p) {
+  switch (p) {
+    case SearchPhase::kIdle:
+      return "idle";
+    case SearchPhase::kWindow:
+      return "window";
+    case SearchPhase::kJustify:
+      return "justify";
+    case SearchPhase::kRedundancy:
+      return "redundancy";
+  }
+  return "idle";
+}
+
+namespace {
+
+inline std::uint8_t v3_bit(V3 v) { return v == V3::kOne ? 1 : 0; }
+
+inline void ring_push(PodemBudget& budget, DecisionEventKind kind, int frame,
+                      NodeId node, V3 value, std::uint64_t aux) {
+  if (budget.ring == nullptr) return;
+  budget.ring->push({kind, v3_bit(value), static_cast<std::int32_t>(frame),
+                     static_cast<std::int32_t>(node), aux});
+}
+
+inline void publish_progress(PodemBudget& budget) {
+  if (budget.progress == nullptr) return;
+  budget.progress->evals.store(budget.evals, std::memory_order_relaxed);
+  budget.progress->backtracks.store(budget.backtracks,
+                                    std::memory_order_relaxed);
+  budget.progress->implications.store(budget.decisions,
+                                      std::memory_order_relaxed);
+}
+
+}  // namespace
 
 Podem::Podem(TimeFrameModel& tfm, const Scoap& scoap,
              bool allow_state_decisions, PodemGoal goal,
@@ -277,6 +314,8 @@ bool Podem::backtrack(PodemBudget& budget) {
       top.value = v3_not(top.value);
       top.mark = tfm_.assign(top.frame, top.node, top.value);
       ++budget.decisions;
+      ring_push(budget, DecisionEventKind::kBacktrack, top.frame, top.node,
+                top.value, stack_.size());
       return true;
     }
     stack_.pop_back();
@@ -286,6 +325,7 @@ bool Podem::backtrack(PodemBudget& budget) {
 
 PodemStatus Podem::run(PodemBudget& budget) {
   for (;;) {
+    publish_progress(budget);
     if (budget.exhausted_evals() || budget.exhausted_backtracks() ||
         budget.aborted_externally())
       return PodemStatus::kAborted;
@@ -293,12 +333,16 @@ PodemStatus Podem::run(PodemBudget& budget) {
     std::optional<Objective> obj;
     if (!failed()) obj = pick_objective();
     if (obj) {
+      ring_push(budget, DecisionEventKind::kObjective, obj->frame, obj->node,
+                obj->value, 0);
       const auto dec = backtrace(*obj);
       if (dec) {
         const std::size_t mark = tfm_.assign(dec->frame, dec->node,
                                              dec->value);
         stack_.push_back({dec->frame, dec->node, dec->value, false, mark});
         ++budget.decisions;
+        ring_push(budget, DecisionEventKind::kDecision, dec->frame, dec->node,
+                  dec->value, stack_.size());
         if (metrics_enabled()) {
           static MetricsRegistry::Counter& c =
               MetricsRegistry::global().counter("podem.decisions");

@@ -34,6 +34,46 @@ namespace satpg {
 enum class PodemGoal { kDetect, kDetectOrStore, kJustify };
 enum class PodemStatus { kSuccess, kExhausted, kAborted };
 
+class DecisionRing;  // atpg/capture.h
+
+/// What a fault search is doing right now, for live display.
+enum class SearchPhase : std::uint32_t {
+  kIdle = 0,
+  kWindow,      ///< forward-window detection search
+  kJustify,     ///< backward state justification
+  kRedundancy,  ///< single-frame complete redundancy proof
+};
+
+const char* search_phase_name(SearchPhase p);
+
+/// Live progress cell for one in-flight fault search, sampled by the run
+/// monitor (base/monitor.h) from another thread. Strictly observational:
+/// the search writes relaxed stores at coarse checkpoints (one per
+/// decision/backtrack, plus phase boundaries) and never reads it back, so
+/// attaching a cell cannot perturb any deterministic result. `fault_tag`
+/// is 1 + the driver's collapsed-fault index while a search is in flight,
+/// 0 when the slot is idle.
+struct alignas(64) SearchProgress {
+  std::atomic<std::uint64_t> fault_tag{0};
+  std::atomic<std::uint32_t> phase{0};  ///< SearchPhase
+  std::atomic<std::uint64_t> evals{0};
+  std::atomic<std::uint64_t> backtracks{0};
+  std::atomic<std::uint64_t> implications{0};
+  std::atomic<std::uint64_t> invalid_evals{0};  ///< attribution-so-far
+  std::atomic<std::uint64_t> start_us{0};  ///< run-relative attempt start
+
+  void begin_fault(std::uint64_t tag, std::uint64_t now_us) {
+    evals.store(0, std::memory_order_relaxed);
+    backtracks.store(0, std::memory_order_relaxed);
+    implications.store(0, std::memory_order_relaxed);
+    invalid_evals.store(0, std::memory_order_relaxed);
+    phase.store(0, std::memory_order_relaxed);
+    start_us.store(now_us, std::memory_order_relaxed);
+    fault_tag.store(tag, std::memory_order_relaxed);
+  }
+  void end_fault() { fault_tag.store(0, std::memory_order_relaxed); }
+};
+
 struct PodemBudget {
   std::uint64_t max_backtracks = 1000;
   std::uint64_t max_evals = 2'000'000;
@@ -49,11 +89,31 @@ struct PodemBudget {
   /// Cooperative cancellation (wall-clock deadline): when set and true, the
   /// search returns kAborted at the next decision-loop check.
   const std::atomic<bool>* abort = nullptr;
+  /// Optional live-progress cell (monitor sampling) — written, never read.
+  SearchProgress* progress = nullptr;
+  /// Optional decision-event recorder (atpg/capture.h) for deterministic
+  /// capture/replay. Owned by the engine's caller.
+  DecisionRing* ring = nullptr;
+  /// Abort-check bookkeeping for replay: `abort_checks` counts
+  /// aborted_externally() calls, `first_abort_check` records the 1-based
+  /// check index at which the wall-clock abort was first observed (0 =
+  /// never). A replay sets `abort_at_check` to that index to force the
+  /// abort at the exact same decision-loop check, making even wall-clock
+  /// cuts bit-reproducible (the check count, unlike elapsed time, is a
+  /// pure function of the search path).
+  std::uint64_t abort_checks = 0;
+  std::uint64_t first_abort_check = 0;
+  std::uint64_t abort_at_check = 0;
 
   bool exhausted_backtracks() const { return backtracks >= max_backtracks; }
   bool exhausted_evals() const { return evals >= max_evals; }
-  bool aborted_externally() const {
-    return abort != nullptr && abort->load(std::memory_order_relaxed);
+  bool aborted_externally() {
+    ++abort_checks;
+    if (abort_at_check != 0 && abort_checks >= abort_at_check) return true;
+    if (abort == nullptr || !abort->load(std::memory_order_relaxed))
+      return false;
+    if (first_abort_check == 0) first_abort_check = abort_checks;
+    return true;
   }
 };
 

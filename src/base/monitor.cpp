@@ -1,0 +1,73 @@
+#include "base/monitor.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace satpg {
+
+RunMonitor::RunMonitor(MonitorSource* source, const RunMonitorOptions& opts)
+    : source_(source), opts_(opts) {}
+
+RunMonitor::~RunMonitor() { stop(); }
+
+bool RunMonitor::start() {
+  if (running_ || !opts_.enabled() || source_ == nullptr) return true;
+  if (!opts_.heartbeat_json.empty()) {
+    out_.open(opts_.heartbeat_json, std::ios::trunc);
+    if (!out_) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   opts_.heartbeat_json.c_str());
+      return false;
+    }
+  }
+  t0_ = std::chrono::steady_clock::now();
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { loop(); });
+  return true;
+}
+
+void RunMonitor::stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  // Final sample from the caller's thread: the run is quiescent now, so
+  // this closes the stream with a complete end-of-run heartbeat.
+  sample_once();
+  if (out_.is_open()) out_.close();
+  running_ = false;
+}
+
+void RunMonitor::loop() {
+  const auto interval =
+      std::chrono::milliseconds(std::max<std::uint64_t>(1, opts_.interval_ms));
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_requested_; }))
+      return;  // final sample happens in stop(), after the join
+    lock.unlock();
+    sample_once();
+    lock.lock();
+  }
+}
+
+void RunMonitor::sample_once() {
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+          .count();
+  const std::uint64_t seq = samples_.fetch_add(1, std::memory_order_relaxed);
+  if (out_.is_open()) {
+    out_ << source_->heartbeat_json(seq, elapsed) << '\n';
+    out_.flush();
+  }
+  if (opts_.progress) {
+    const std::string line = source_->progress_line(elapsed);
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace satpg

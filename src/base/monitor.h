@@ -1,0 +1,91 @@
+// Live run monitoring: a snapshot thread streaming NDJSON heartbeats.
+//
+// RunMonitor owns one background thread that periodically asks a
+// MonitorSource for (a) a heartbeat JSON object appended as one line to the
+// `--heartbeat-json` sink and (b) a one-line human progress string printed
+// to stderr under `--progress`. The monitor is strictly an observer: it
+// never feeds anything back into the run, so arming it cannot change any
+// deterministic artifact (metrics/report JSON stay byte-identical with the
+// monitor on or off — DESIGN.md §7). Heartbeats are the designated home
+// for wall-clock data; everything wall-tainted belongs here or in the
+// trace, never in the metrics report.
+//
+// The source is sampled from the monitor thread concurrently with the run;
+// implementations must only read atomics or immutable data. A torn
+// multi-field read across a fault handoff is acceptable (display only) —
+// single fields must still be individually race-free.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace satpg {
+
+struct RunMonitorOptions {
+  std::string heartbeat_json;     ///< NDJSON sink path; empty = no stream
+  bool progress = false;          ///< one-line samples on stderr
+  std::uint64_t interval_ms = 500;
+
+  bool enabled() const { return !heartbeat_json.empty() || progress; }
+};
+
+/// What the monitor samples. Implementations live next to the run they
+/// observe (e.g. the parallel ATPG driver) and must be safe to call from
+/// the monitor thread while the run executes.
+class MonitorSource {
+ public:
+  virtual ~MonitorSource() = default;
+  /// One complete heartbeat JSON object (no trailing newline). `seq` is the
+  /// 0-based sample number, `elapsed_s` seconds since start().
+  virtual std::string heartbeat_json(std::uint64_t seq,
+                                     double elapsed_s) = 0;
+  /// One human progress line (no trailing newline) for stderr.
+  virtual std::string progress_line(double elapsed_s) = 0;
+};
+
+/// Periodic sampler. start() spawns the thread; stop() takes one final
+/// sample (so even runs shorter than the interval emit at least one
+/// heartbeat), joins, and flushes the sink. The destructor stops too, but
+/// callers that dump reports should stop() first so the heartbeat stream is
+/// complete before anything else is written.
+class RunMonitor {
+ public:
+  RunMonitor(MonitorSource* source, const RunMonitorOptions& opts);
+  ~RunMonitor();
+  RunMonitor(const RunMonitor&) = delete;
+  RunMonitor& operator=(const RunMonitor&) = delete;
+
+  /// Open the sink and spawn the sampler thread. Returns false (after a
+  /// stderr message) when the heartbeat file cannot be opened; the run
+  /// proceeds unmonitored. No-op when the options enable nothing.
+  bool start();
+  void stop();
+
+  bool running() const { return running_; }
+  std::uint64_t samples() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+  void sample_once();
+
+  MonitorSource* source_;
+  RunMonitorOptions opts_;
+  std::ofstream out_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+  std::chrono::steady_clock::time_point t0_;
+  std::atomic<std::uint64_t> samples_{0};
+};
+
+}  // namespace satpg

@@ -1,6 +1,8 @@
 #include "base/telemetry_flags.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <ostream>
@@ -27,6 +29,19 @@ bool TelemetryFlags::parse(const char* arg) {
   }
   if (const char* v = flag_value(arg, "--trace-json=")) {
     trace_json = v;
+    return true;
+  }
+  if (const char* v = flag_value(arg, "--heartbeat-json=")) {
+    heartbeat_json = v;
+    return true;
+  }
+  if (const char* v = flag_value(arg, "--heartbeat-interval-ms=")) {
+    heartbeat_interval_ms =
+        std::max<long long>(1, std::atoll(v));
+    return true;
+  }
+  if (std::strcmp(arg, "--progress") == 0) {
+    progress = true;
     return true;
   }
   return false;

@@ -1,33 +1,57 @@
 // Shared command-line plumbing for the telemetry subsystem.
 //
-// Every tool that can run an engine accepts the same two flags:
-//   --metrics-json=FILE   deterministic structured metrics dump
-//   --trace-json=FILE     Chrome trace_event timeline (wall-clock)
+// Every tool that can run an engine accepts the same flag family:
+//   --metrics-json=FILE          deterministic structured metrics dump
+//   --trace-json=FILE            Chrome trace_event timeline (wall-clock)
+//   --heartbeat-json=FILE        live NDJSON heartbeat stream (wall-clock)
+//   --heartbeat-interval-ms=N    monitor sampling period (default 500)
+//   --progress                   one-line live progress samples on stderr
 // TelemetryFlags is the one place those flags are recognized and acted on,
 // so the CLI subcommands, the bench mains, and the experiment harness all
 // agree on spelling and arming semantics instead of each carrying a copy.
+// The monitor flags are only *wired* where a run exposes monitor hooks
+// (today: `satpg atpg` via the parallel driver); other tools parse them for
+// spelling uniformity and ignore them.
 //
 // Usage: call parse() from the flag loop (returns true when the arg was
 // consumed), arm() once before the measured work, then finish_trace() and
 // either write_metrics_registry() (generic dump) or a schema-specific
-// report writer after it.
+// report writer after it. monitor_options() hands the parsed monitor flags
+// to whatever run accepts a RunMonitorOptions.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "base/monitor.h"
+
 namespace satpg {
 
 struct TelemetryFlags {
-  std::string metrics_json;  ///< empty = metrics disabled
-  std::string trace_json;    ///< empty = tracing disabled
+  std::string metrics_json;    ///< empty = metrics disabled
+  std::string trace_json;      ///< empty = tracing disabled
+  std::string heartbeat_json;  ///< empty = no heartbeat stream
+  bool progress = false;       ///< live progress lines on stderr
+  std::uint64_t heartbeat_interval_ms = 500;
 
-  /// Consume `--metrics-json=FILE` / `--trace-json=FILE`. Returns false
-  /// when `arg` is neither (caller keeps parsing its own flags).
+  /// Consume one of the telemetry flags above. Returns false when `arg` is
+  /// none of them (caller keeps parsing its own flags).
   bool parse(const char* arg);
 
   bool metrics_enabled() const { return !metrics_json.empty(); }
   bool trace_enabled() const { return !trace_json.empty(); }
+  bool monitor_enabled() const {
+    return !heartbeat_json.empty() || progress;
+  }
+
+  /// The parsed monitor flags in the shape base/monitor.h consumes.
+  RunMonitorOptions monitor_options() const {
+    RunMonitorOptions opts;
+    opts.heartbeat_json = heartbeat_json;
+    opts.progress = progress;
+    opts.interval_ms = heartbeat_interval_ms;
+    return opts;
+  }
 
   /// Reset + enable the metrics registry and/or start the trace recorder,
   /// as requested by the parsed flags. Call once, before the measured work.

@@ -21,6 +21,14 @@ void TraceRecorder::start() {
 
 void TraceRecorder::stop() {
   detail::g_tracing_enabled.store(false, std::memory_order_relaxed);
+  // Surface the overflow count instead of silently swallowing it: a
+  // `trace_events_dropped` counter in the metrics JSON (normally 0 — the
+  // buffer cap is far above any real run) plus the metadata event
+  // write_json() emits. Only traced runs register the counter, so untraced
+  // metrics reports are unaffected.
+  MetricsRegistry::global()
+      .counter("trace_events_dropped")
+      .add(num_dropped());
 }
 
 std::uint64_t TraceRecorder::now_us() const {
@@ -72,8 +80,6 @@ bool TraceRecorder::write_json(const std::string& path) const {
   std::lock_guard<std::mutex> lock(mu_);
 
   std::fprintf(f, "{\"displayTimeUnit\": \"ms\",\n");
-  if (dropped_ > 0)
-    std::fprintf(f, " \"satpg_dropped_events\": %zu,\n", dropped_);
   std::fprintf(f, " \"traceEvents\": [\n");
 
   bool first = true;
@@ -81,6 +87,14 @@ bool TraceRecorder::write_json(const std::string& path) const {
     std::fputs(first ? "  " : ",\n  ", f);
     first = false;
   };
+
+  // Buffer-overflow accounting as a proper metadata event (visible in the
+  // viewer's metadata pane) rather than a bespoke top-level key.
+  sep();
+  std::fprintf(f,
+               "{\"name\": \"trace_events_dropped\", \"ph\": \"M\", "
+               "\"pid\": 1, \"tid\": 0, \"args\": {\"dropped\": %zu}}",
+               dropped_);
 
   // Lane-name metadata: explicit registrations plus a default for every
   // lane that carried events.

@@ -36,8 +36,10 @@ inline bool tracing_enabled() {
 class TraceRecorder {
  public:
   /// Buffered-event cap; events beyond it are counted and dropped so a
-  /// runaway phase cannot exhaust memory. The drop count lands in the
-  /// JSON metadata.
+  /// runaway phase cannot exhaust memory. The drop count is surfaced as a
+  /// `trace_events_dropped` metadata event in the written JSON and as the
+  /// `trace_events_dropped` counter in the metrics registry (recorded at
+  /// stop()).
   static constexpr std::size_t kMaxEvents = 1u << 22;
 
   /// Clear the buffer, re-arm the epoch, and enable recording.

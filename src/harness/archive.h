@@ -26,7 +26,7 @@ namespace satpg {
 
 struct ArchiveEntry {
   std::string hash;           ///< 16-hex FNV-1a of the report text
-  std::string schema;         ///< e.g. "satpg.atpg_run.v2"
+  std::string schema;         ///< e.g. "satpg.atpg_run.v3"
   std::string circuit;        ///< circuit name from the report
   std::string engine;         ///< engine kind from the report
   std::string config_digest;  ///< 16-hex hash of circuit+engine+seed config

@@ -41,7 +41,7 @@ void write_atpg_report_json(std::ostream& os, const Netlist& nl,
                             const ParallelAtpgResult& res) {
   const AtpgRunResult& run = res.run;
   os << "{\n";
-  os << "  \"schema\": \"satpg.atpg_run.v2\",\n";
+  os << "  \"schema\": \"satpg.atpg_run.v3\",\n";
 
   os << "  \"circuit\": {\"name\": \"" << json_escape(nl.name())
      << "\", \"inputs\": " << nl.num_inputs()
@@ -65,6 +65,29 @@ void write_atpg_report_json(std::ostream& os, const Netlist& nl,
      << ", \"density\": " << num(run.oracle.density)
      << ",\n                  \"bucket_order\": [\"valid\", \"invalid\","
         " \"unknown\"]},\n";
+
+  // v3: watchdog verdicts. The eval threshold is a deterministic run
+  // parameter (DESIGN.md §7), so this block — always present, empty when
+  // the watchdog is off — is as thread-count invariant as the summary.
+  os << "  \"watchdog\": {\"stuck_evals\": " << opts.watchdog.stuck_evals
+     << ", \"defer\": " << (opts.watchdog.defer ? "true" : "false")
+     << ", \"requeued\": " << res.deferred_requeued
+     << ",\n               \"stuck_faults\": [";
+  {
+    const auto collapsed_wd = collapse_faults(nl);
+    for (std::size_t i = 0; i < res.stuck_faults.size(); ++i) {
+      const auto& sf = res.stuck_faults[i];
+      os << (i == 0 ? "\n    " : ",\n    ") << "{\"fault\": \""
+         << json_escape(
+                fault_name(nl, collapsed_wd[sf.fault_index].representative))
+         << "\", \"index\": " << sf.fault_index
+         << ", \"evals\": " << sf.evals
+         << ", \"deferred\": " << (sf.deferred ? "true" : "false")
+         << ", \"status\": \"" << status_name(res.status[sf.fault_index])
+         << "\"}";
+    }
+  }
+  os << "]},\n";
 
   os << "  \"summary\": {"
      << "\"total_faults\": " << run.total_faults

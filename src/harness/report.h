@@ -1,15 +1,18 @@
 // Structured run reports: the machine-readable side of an ATPG run.
 //
-// write_atpg_report_json dumps schema "satpg.atpg_run.v2": circuit and
+// write_atpg_report_json dumps schema "satpg.atpg_run.v3": circuit and
 // engine identity, the invalid-state attribution block (oracle mode,
-// num_valid, density, bucket order), the summary numbers the tables print
-// (now including the attribution bucket sums and effort_invalid_frac), the
-// Figure-3 fe_trace, a per-fault record array (status + full
-// FaultSearchStats + per-fault attribution), and the global metrics
-// registry. Everything in the report is deterministic — wall-clock times
-// and thread counts are deliberately absent, so the same run dumps
-// byte-identical JSON at any --threads value (DESIGN.md §5/§6). Timing
-// belongs in the trace JSON (base/trace.h), which makes no such promise.
+// num_valid, density, bucket order), the watchdog block (threshold, defer
+// mode, stuck-fault verdicts — empty when the watchdog is off), the
+// summary numbers the tables print (including the attribution bucket sums
+// and effort_invalid_frac), the Figure-3 fe_trace, a per-fault record
+// array (status + full FaultSearchStats + per-fault attribution), and the
+// global metrics registry. Everything in the report is deterministic —
+// wall-clock times and thread counts are deliberately absent, so the same
+// run dumps byte-identical JSON at any --threads value, with or without
+// the live monitor (DESIGN.md §5/§6/§7). Timing belongs in the trace JSON
+// (base/trace.h) and the heartbeat stream (base/monitor.h), which make no
+// such promise.
 #pragma once
 
 #include <iosfwd>

@@ -1,5 +1,5 @@
 // Tier-2 regression-gate test: runs the real satpg CLI and bench_gate
-// binaries against checked-in golden atpg_run.v2 reports (bench/golden/)
+// binaries against checked-in golden atpg_run.v3 reports (bench/golden/)
 // for one cached MCNC circuit and its retimed twin.
 //
 // Three contracts:
@@ -37,8 +37,8 @@ class BenchGateTest : public ::testing::Test {
  protected:
   void SetUp() override {
     dir_ = ::testing::TempDir();
-    golden_parent_ = std::string(SATPG_GOLDEN_DIR) + "/dk16_parent.v2.json";
-    golden_twin_ = std::string(SATPG_GOLDEN_DIR) + "/dk16_retimed.v2.json";
+    golden_parent_ = std::string(SATPG_GOLDEN_DIR) + "/dk16_parent.v3.json";
+    golden_twin_ = std::string(SATPG_GOLDEN_DIR) + "/dk16_retimed.v3.json";
   }
 
   // Regenerate the twin netlist and a fresh report for `bench`.

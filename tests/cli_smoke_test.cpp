@@ -1,11 +1,17 @@
 // Tier-1 smoke test for the satpg CLI's telemetry flags: runs the real
 // binary on a small cached MCNC circuit with --metrics-json and
 // --trace-json, validates that both files are well-formed JSON, and checks
-// the metrics report is byte-identical across thread counts. Paths are
-// injected by CMake: SATPG_CLI_PATH is the built tool, SATPG_SMOKE_CIRCUIT
-// a committed circuits_cache netlist (no FSM synthesis at test time).
+// the metrics report is byte-identical across thread counts — including
+// with the live monitor (--heartbeat-json/--progress) enabled, which by
+// the DESIGN.md §7 contract must not perturb the deterministic report.
+// Also covers the replay round-trip (capture a watchdog-flagged search,
+// re-run it, expect exit 0) and the `--help` convention (usage on stdout,
+// exit 0, every subcommand). Paths are injected by CMake: SATPG_CLI_PATH
+// is the built tool, SATPG_SMOKE_CIRCUIT a committed circuits_cache
+// netlist (no FSM synthesis at test time).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -23,17 +29,27 @@ std::string slurp(const std::string& path) {
   return ss.str();
 }
 
-// Returns the CLI's exit status (-1 if the shell could not run it).
-int run_cli(unsigned threads, const std::string& metrics_path,
-            const std::string& trace_path) {
-  std::string cmd = std::string("\"") + SATPG_CLI_PATH + "\" atpg \"" +
-                    SATPG_SMOKE_CIRCUIT + "\" --budget=0.05 --threads=" +
-                    std::to_string(threads) +
-                    " --metrics-json=" + metrics_path;
-  if (!trace_path.empty()) cmd += " --trace-json=" + trace_path;
-  cmd += " > /dev/null 2>&1";
+// Runs `satpg <args>` redirecting stdout+stderr to files (either may be
+// empty for /dev/null). Returns the exit status (-1 if the shell could
+// not run it).
+int run_satpg(const std::string& args, const std::string& stdout_path = "",
+              const std::string& stderr_path = "") {
+  std::string cmd = std::string("\"") + SATPG_CLI_PATH + "\" " + args;
+  cmd += " > " + (stdout_path.empty() ? "/dev/null" : stdout_path);
+  cmd += " 2> " + (stderr_path.empty() ? "/dev/null" : stderr_path);
   const int rc = std::system(cmd.c_str());
   return rc < 0 ? -1 : WEXITSTATUS(rc);
+}
+
+// Returns the CLI's exit status (-1 if the shell could not run it).
+int run_cli(unsigned threads, const std::string& metrics_path,
+            const std::string& trace_path, const std::string& extra = "") {
+  std::string args = std::string("atpg \"") + SATPG_SMOKE_CIRCUIT +
+                     "\" --budget=0.05 --threads=" + std::to_string(threads) +
+                     " --metrics-json=" + metrics_path;
+  if (!trace_path.empty()) args += " --trace-json=" + trace_path;
+  if (!extra.empty()) args += " " + extra;
+  return run_satpg(args);
 }
 
 TEST(CliSmokeTest, MetricsAndTraceJsonAreValid) {
@@ -46,13 +62,16 @@ TEST(CliSmokeTest, MetricsAndTraceJsonAreValid) {
   ASSERT_FALSE(mjson.empty());
   std::string err;
   EXPECT_TRUE(json_valid(mjson, &err)) << err;
-  EXPECT_NE(mjson.find("\"schema\": \"satpg.atpg_run.v2\""),
+  EXPECT_NE(mjson.find("\"schema\": \"satpg.atpg_run.v3\""),
             std::string::npos);
   EXPECT_NE(mjson.find("\"per_fault\""), std::string::npos);
   EXPECT_NE(mjson.find("\"metrics\""), std::string::npos);
   // v2: the invalid-state attribution block and run-level fraction.
   EXPECT_NE(mjson.find("\"attribution\""), std::string::npos);
   EXPECT_NE(mjson.find("\"effort_invalid_frac\""), std::string::npos);
+  // v3: the watchdog block is always present (empty when off).
+  EXPECT_NE(mjson.find("\"watchdog\""), std::string::npos);
+  EXPECT_NE(mjson.find("\"stuck_faults\": []"), std::string::npos);
   // Wall-clock values must never leak into the deterministic report.
   EXPECT_EQ(mjson.find("wall"), std::string::npos);
 
@@ -72,6 +91,111 @@ TEST(CliSmokeTest, MetricsJsonIdenticalAcrossThreadCounts) {
   const std::string b = slurp(m2);
   ASSERT_FALSE(a.empty());
   EXPECT_EQ(a, b);
+}
+
+// The §7 contract: the monitor observes, it never steers. The report must
+// be byte-identical with the monitor on or off, at any thread count.
+TEST(CliSmokeTest, MonitorDoesNotPerturbMetricsJson) {
+  const std::string dir = ::testing::TempDir();
+  const std::string off = dir + "cli_mon_off.json";
+  ASSERT_EQ(run_cli(1, off, ""), 0);
+  for (unsigned threads : {1u, 8u}) {
+    const std::string on =
+        dir + "cli_mon_on_" + std::to_string(threads) + ".json";
+    const std::string hb =
+        dir + "cli_mon_hb_" + std::to_string(threads) + ".ndjson";
+    ASSERT_EQ(run_cli(threads, on, "",
+                      "--heartbeat-json=" + hb +
+                          " --heartbeat-interval-ms=5 --progress"),
+              0);
+    EXPECT_EQ(slurp(off), slurp(on)) << "threads=" << threads;
+  }
+}
+
+// Heartbeats are NDJSON: every line parses on its own and carries the
+// schema tag; the --progress flag writes at least one line to stderr.
+TEST(CliSmokeTest, HeartbeatStreamIsValidNdjson) {
+  const std::string dir = ::testing::TempDir();
+  const std::string hb = dir + "cli_hb.ndjson";
+  const std::string progress_err = dir + "cli_hb_progress.err";
+  const std::string args = std::string("atpg \"") + SATPG_SMOKE_CIRCUIT +
+                           "\" --budget=0.05 --threads=2 --heartbeat-json=" +
+                           hb + " --heartbeat-interval-ms=5 --progress";
+  ASSERT_EQ(run_satpg(args, "", progress_err), 0);
+
+  std::ifstream is(hb);
+  std::string line, last, err;
+  std::size_t lines = 0;
+  std::uint64_t expect_seq = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    ASSERT_TRUE(json_valid(line, &err)) << "line " << lines << ": " << err;
+    EXPECT_NE(line.find("\"schema\": \"satpg.heartbeat.v1\""),
+              std::string::npos);
+    JsonValue v;
+    ASSERT_TRUE(json_parse(line, &v, &err)) << err;
+    EXPECT_EQ(v.uint_or("seq", ~0ull), expect_seq++);
+    EXPECT_FALSE(v.str_or("phase", "").empty());
+    last = line;
+    ++lines;
+  }
+  // The final sample is taken synchronously at stop(), so even an
+  // instant run emits at least one heartbeat, phase "done".
+  ASSERT_GE(lines, 1u);
+  EXPECT_NE(last.find("\"phase\": \"done\""), std::string::npos);
+
+  EXPECT_NE(slurp(progress_err).find("done"), std::string::npos);
+}
+
+// Arm the capture on a watchdog-flagged fault, then replay it: the decision
+// stream must reproduce exactly (exit 0). A corrupted capture must not
+// (exit 1).
+TEST(CliSmokeTest, CaptureReplayRoundTrip) {
+  const std::string dir = ::testing::TempDir();
+  const std::string cap = dir + "cli_capture.json";
+  const std::string out = dir + "cli_replay.out";
+  ASSERT_EQ(run_cli(2, dir + "cli_cap_m.json", "",
+                    "--stuck-evals=200 --capture-json=" + cap),
+            0);
+  const std::string cap_text = slurp(cap);
+  ASSERT_FALSE(cap_text.empty()) << "watchdog never triggered a capture";
+  std::string err;
+  EXPECT_TRUE(json_valid(cap_text, &err)) << err;
+  EXPECT_NE(cap_text.find("\"schema\": \"satpg.search_capture.v1\""),
+            std::string::npos);
+
+  ASSERT_EQ(run_satpg("replay " + cap + " --circuit=\"" +
+                          SATPG_SMOKE_CIRCUIT + "\"",
+                      out),
+            0);
+  EXPECT_NE(slurp(out).find("replay matched"), std::string::npos);
+
+  // Flip one recorded event: replay must detect the divergence.
+  std::string bad_text = cap_text;
+  const std::size_t pos = bad_text.find("[\"D\", ");
+  ASSERT_NE(pos, std::string::npos);
+  bad_text.replace(pos, 6, "[\"B\", ");
+  const std::string bad = dir + "cli_capture_bad.json";
+  std::ofstream(bad) << bad_text;
+  EXPECT_EQ(run_satpg("replay " + bad + " --circuit=\"" +
+                          SATPG_SMOKE_CIRCUIT + "\""),
+            1);
+}
+
+// `--help` anywhere prints usage to stdout and exits 0, for every
+// subcommand (README "Exit codes").
+TEST(CliSmokeTest, HelpExitsZeroForEverySubcommand) {
+  const std::string dir = ::testing::TempDir();
+  const std::string out = dir + "cli_help.out";
+  for (const char* sub :
+       {"", "info", "analyze", "atpg", "fsim", "retime", "scan", "faults",
+        "archive", "diff", "replay"}) {
+    const std::string args =
+        (*sub ? std::string(sub) + " --help" : std::string("--help"));
+    ASSERT_EQ(run_satpg(args, out), 0) << "subcommand: " << args;
+    EXPECT_NE(slurp(out).find("usage: satpg"), std::string::npos)
+        << "subcommand: " << args;
+  }
 }
 
 }  // namespace

@@ -1,5 +1,5 @@
 #!/bin/sh
-# Regenerates the checked-in golden atpg_run.v2 reports in bench/golden/
+# Regenerates the checked-in golden atpg_run.v3 reports in bench/golden/
 # that the tier-2 bench_gate_test gates against.
 #
 #   tools/gen_golden.sh [build-dir]
@@ -23,8 +23,8 @@ mkdir -p "$OUT"
 TWIN="$(mktemp -t gate_twin.XXXXXX.bench)"
 trap 'rm -f "$TWIN"' EXIT
 
-"$SATPG" atpg "$CIRCUIT" $FLAGS --metrics-json="$OUT/dk16_parent.v2.json"
+"$SATPG" atpg "$CIRCUIT" $FLAGS --metrics-json="$OUT/dk16_parent.v3.json"
 "$SATPG" retime "$CIRCUIT" "$TWIN" --dffs=6
-"$SATPG" atpg "$TWIN" $FLAGS --metrics-json="$OUT/dk16_retimed.v2.json"
+"$SATPG" atpg "$TWIN" $FLAGS --metrics-json="$OUT/dk16_retimed.v3.json"
 
 echo "golden reports written to $OUT/"

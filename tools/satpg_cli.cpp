@@ -9,21 +9,32 @@
 //   satpg faults   <circuit.bench>              fault universe summary
 //   satpg archive  <report.json>|--list         store run reports by hash
 //   satpg diff     <a> <b>                      compare two run reports
+//   satpg replay   <capture.json>               re-run a captured search
 //
 // ATPG options: --engine=hitec|forward|learning  --budget=F  --seed=N
 //               --strict (no potential-detection credit)
 //               --tests=FILE (write the test sequences)
 //               --metrics-json=FILE (deterministic structured run report)
 //               --trace-json=FILE (Chrome trace_event timeline; wall-clock)
+//               --heartbeat-json=FILE / --progress (live monitor, §7)
+//               --stuck-evals=N / --stuck-seconds=F / --defer-stuck
+//               --capture-json=FILE / --capture-fault=ID
 // Every engine-running subcommand accepts --metrics-json/--trace-json; the
-// flags are parsed by the shared TelemetryFlags helper.
+// flags are parsed by the shared TelemetryFlags helper. The monitor,
+// watchdog, and capture flags are wired in `satpg atpg` only.
 //
 // archive/diff operate on satpg.atpg_run.* reports; <a>/<b> may each be a
 // file path or a stored report's hash prefix (see harness/archive.h).
 //
+// Exit codes: 0 success; 1 runtime failure (bad file, replay mismatch);
+// 2 usage error. `--help` anywhere prints usage to stdout and exits 0.
+// (tools/bench_gate uses the same convention: 0 pass, 1 regression,
+// 2 usage/missing-golden.)
+//
 // Circuits are ISCAS-89 .bench files; flip-flops power up unknown and the
 // tool follows the library convention that an input named "rst" is the
 // reset line.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -33,6 +44,7 @@
 
 #include "analysis/reach.h"
 #include "analysis/structure.h"
+#include "atpg/capture.h"
 #include "atpg/compact.h"
 #include "atpg/engine.h"
 #include "atpg/parallel.h"
@@ -52,10 +64,11 @@ using namespace satpg;
 
 namespace {
 
-int usage() {
+void print_usage(std::FILE* f) {
   std::fprintf(
-      stderr,
-      "usage: satpg <info|analyze|atpg|fsim|retime|scan|faults|archive|diff>"
+      f,
+      "usage: satpg"
+      " <info|analyze|atpg|fsim|retime|scan|faults|archive|diff|replay>"
       " ...\n"
       "  satpg info    c.bench\n"
       "  satpg analyze c.bench\n"
@@ -64,6 +77,11 @@ int usage() {
       " [--strict] [--tests=FILE] [--compact]\n"
       "                [--threads=N] [--deadline-ms=N]"
       " [--metrics-json=FILE] [--trace-json=FILE]\n"
+      "                [--heartbeat-json=FILE] [--heartbeat-interval-ms=N]"
+      " [--progress]\n"
+      "                [--stuck-evals=N] [--stuck-seconds=F]"
+      " [--defer-stuck]\n"
+      "                [--capture-json=FILE] [--capture-fault=NAME|INDEX]\n"
       "  satpg fsim    c.bench [--sequences=N] [--length=N] [--seed=N]"
       " [--threads=N]\n"
       "                [--metrics-json=FILE] [--trace-json=FILE]\n"
@@ -72,7 +90,13 @@ int usage() {
       "  satpg archive <report.json>... [--dir=DIR]\n"
       "  satpg archive --list [--dir=DIR]\n"
       "  satpg diff    <a> <b> [--dir=DIR] [--top=N]"
-      "   (a/b: file path or archive hash)\n");
+      "   (a/b: file path or archive hash)\n"
+      "  satpg replay  capture.json [--circuit=FILE] [--dump]\n"
+      "exit codes: 0 ok, 1 failure/replay-mismatch, 2 usage\n");
+}
+
+int usage() {
+  print_usage(stderr);
   return 2;
 }
 
@@ -122,10 +146,12 @@ int cmd_faults(const Netlist& nl) {
   return 0;
 }
 
-int cmd_atpg(const Netlist& nl, int argc, char** argv) {
+int cmd_atpg(const Netlist& nl, const std::string& circuit_path, int argc,
+             char** argv) {
   ParallelAtpgOptions popts;
   AtpgRunOptions& opts = popts.run;
   std::string tests_file;
+  std::string capture_file;
   TelemetryFlags telemetry;
   bool do_compact = false;
   for (int i = 0; i < argc; ++i) {
@@ -159,16 +185,47 @@ int cmd_atpg(const Netlist& nl, int argc, char** argv) {
       popts.num_threads = static_cast<unsigned>(std::atoi(v5));
     } else if (const char* v6 = flag_value(argv[i], "--deadline-ms=")) {
       popts.deadline_ms = static_cast<std::uint64_t>(std::atoll(v6));
+    } else if (const char* v7 = flag_value(argv[i], "--stuck-evals=")) {
+      popts.watchdog.stuck_evals = static_cast<std::uint64_t>(std::atoll(v7));
+    } else if (const char* v8 = flag_value(argv[i], "--stuck-seconds=")) {
+      popts.watchdog.stuck_seconds = std::atof(v8);
+    } else if (!std::strcmp(argv[i], "--defer-stuck")) {
+      popts.watchdog.defer = true;
+    } else if (const char* v9 = flag_value(argv[i], "--capture-json=")) {
+      capture_file = v9;
+    } else if (const char* v10 = flag_value(argv[i], "--capture-fault=")) {
+      popts.capture.fault = v10;
     } else {
       return usage();
     }
   }
+  if (popts.watchdog.defer && !popts.watchdog.enabled()) {
+    std::fprintf(stderr, "--defer-stuck requires --stuck-evals=N\n");
+    return 2;
+  }
+  if (!popts.capture.fault.empty() && capture_file.empty())
+    capture_file = "satpg_capture.json";
+  popts.capture.armed = !capture_file.empty();
+  popts.monitor = telemetry.monitor_options();
   telemetry.arm();
   ParallelAtpgResult pres = run_parallel_atpg(nl, popts);
   if (!telemetry.finish_trace(&std::cout)) return 1;
+  if (popts.capture.armed) {
+    if (pres.capture) {
+      pres.capture->circuit_path = circuit_path;
+      if (!write_capture_json(capture_file, *pres.capture)) {
+        std::fprintf(stderr, "cannot write %s\n", capture_file.c_str());
+        return 1;
+      }
+      std::printf("capture written  : %s (%s, %s)\n", capture_file.c_str(),
+                  pres.capture->fault.c_str(), pres.capture->reason.c_str());
+    } else {
+      std::printf("capture armed    : no trigger (nothing written)\n");
+    }
+  }
   if (telemetry.metrics_enabled()) {
     // atpg has a richer schema than the generic registry dump: the full
-    // satpg.atpg_run.v2 report (harness/report).
+    // satpg.atpg_run.v3 report (harness/report).
     set_metrics_enabled(false);
     if (!write_atpg_report_json(telemetry.metrics_json, nl, popts, pres)) {
       std::fprintf(stderr, "cannot write %s\n",
@@ -192,6 +249,9 @@ int cmd_atpg(const Netlist& nl, int argc, char** argv) {
   std::printf("states traversed : %zu\n", run.states_traversed.size());
   if (pres.aborted_by_deadline > 0)
     std::printf("deadline aborts  : %zu faults\n", pres.aborted_by_deadline);
+  if (popts.watchdog.enabled())
+    std::printf("watchdog         : %zu stuck faults, %zu requeued\n",
+                pres.stuck_faults.size(), pres.deferred_requeued);
   if (do_compact) {
     const auto c = compact_tests(nl, run.tests);
     std::printf("compacted        : %zu -> %zu sequences\n", c.before,
@@ -219,6 +279,62 @@ int cmd_atpg(const Netlist& nl, int argc, char** argv) {
   return 0;
 }
 
+int cmd_replay(int argc, char** argv) {
+  std::string capture_path;
+  std::string circuit_path;
+  bool dump = false;
+  for (int i = 0; i < argc; ++i) {
+    if (const char* v = flag_value(argv[i], "--circuit=")) {
+      circuit_path = v;
+    } else if (!std::strcmp(argv[i], "--dump")) {
+      dump = true;
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else if (capture_path.empty()) {
+      capture_path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (capture_path.empty()) return usage();
+  SearchCapture cap;
+  std::string err;
+  if (!parse_capture_json(capture_path, &cap, &err)) {
+    std::fprintf(stderr, "error: %s: %s\n", capture_path.c_str(),
+                 err.c_str());
+    return 1;
+  }
+  if (circuit_path.empty()) circuit_path = cap.circuit_path;
+  if (circuit_path.empty()) {
+    std::fprintf(stderr,
+                 "error: capture has no circuit_path; pass --circuit=FILE\n");
+    return 1;
+  }
+  const Netlist nl = load(circuit_path);
+  std::printf("capture          : %s (%s, reason %s, %llu events)\n",
+              capture_path.c_str(), cap.fault.c_str(), cap.reason.c_str(),
+              static_cast<unsigned long long>(cap.ring_total));
+  const ReplayResult res = replay_capture(nl, cap);
+  if (dump) {
+    const std::size_t kept =
+        std::min<std::size_t>(cap.events.size(), res.events.size());
+    const std::size_t base =
+        cap.ring_total - std::min<std::uint64_t>(cap.ring_total,
+                                                 cap.ring_capacity);
+    for (std::size_t i = 0; i < res.events.size(); ++i) {
+      const DecisionEvent& e = res.events[i];
+      const bool matches = i < kept && e == cap.events[i];
+      std::printf("  [%zu] %s frame=%d node=%d value=%u aux=%llu%s\n",
+                  base + i, decision_event_code(e.kind), e.frame, e.node,
+                  static_cast<unsigned>(e.value),
+                  static_cast<unsigned long long>(e.aux),
+                  matches ? "" : "   <- differs from capture");
+    }
+  }
+  std::printf("replay           : %s\n", res.message.c_str());
+  return res.ok ? 0 : 1;
+}
+
 int cmd_fsim(const Netlist& nl, int argc, char** argv) {
   int sequences = 32;
   int length = 64;
@@ -241,6 +357,10 @@ int cmd_fsim(const Netlist& nl, int argc, char** argv) {
       return usage();
     }
   }
+  if (telemetry.monitor_enabled())
+    std::fprintf(stderr,
+                 "note: --heartbeat-json/--progress are wired in `satpg atpg`"
+                 " only; ignored here\n");
   const auto collapsed = collapse_faults(nl);
   std::vector<Fault> faults;
   faults.reserve(collapsed.size());
@@ -380,16 +500,24 @@ int cmd_scan(const Netlist& nl, const std::string& out_path, bool partial) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--help")) {
+      print_usage(stdout);
+      return 0;
+    }
+  }
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
   try {
     if (cmd == "info") return cmd_info(load(argv[2]));
     if (cmd == "analyze") return cmd_analyze(load(argv[2]));
     if (cmd == "faults") return cmd_faults(load(argv[2]));
-    if (cmd == "atpg") return cmd_atpg(load(argv[2]), argc - 3, argv + 3);
+    if (cmd == "atpg")
+      return cmd_atpg(load(argv[2]), argv[2], argc - 3, argv + 3);
     if (cmd == "fsim") return cmd_fsim(load(argv[2]), argc - 3, argv + 3);
     if (cmd == "archive") return cmd_archive(argc - 2, argv + 2);
     if (cmd == "diff") return cmd_diff(argc - 2, argv + 2);
+    if (cmd == "replay") return cmd_replay(argc - 2, argv + 2);
     if (cmd == "retime") {
       if (argc < 4) return usage();
       return cmd_retime(load(argv[2]), argv[3], argc - 4, argv + 4);
