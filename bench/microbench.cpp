@@ -9,8 +9,11 @@
 // both perf trajectories are tracked from PR to PR.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "analysis/reach.h"
 #include "base/metrics.h"
@@ -133,10 +136,14 @@ void BM_ScoapAnalysis(benchmark::State& state) {
 }
 BENCHMARK(BM_ScoapAnalysis);
 
-// Serial-vs-parallel fault-simulation comparison on a Table-2-sized
-// circuit, written to BENCH_fsim.json next to the binary's working
-// directory. Kept outside google-benchmark so the numbers come from whole
-// runs of the production entry point and land in a machine-readable file.
+// Packed-vs-baseline fault-simulation comparison on the Table-8 replay
+// workload (full s820, collapsed faults, 64 random sequences x 32
+// frames), written to BENCH_fsim.json. One row for the seed 64-slot
+// engine and one wide-engine row per usable SIMD tier; all rows run at
+// hardware threads so the comparison isolates the pattern-parallel
+// dimension. Detection counts are cross-checked on the spot: every
+// engine/tier must agree or the file records a determinism violation.
+// tools/bench_gate --fsim consumes this file (non-blocking in CI).
 void write_fsim_bench_json() {
   FsmGenSpec spec;
   for (const auto& s : mcnc_specs())
@@ -149,15 +156,38 @@ void write_fsim_bench_json() {
   const auto collapsed = collapse_faults(nl);
   std::vector<Fault> faults;
   for (const auto& cf : collapsed) faults.push_back(cf.representative);
-  const auto seqs = make_random_sequences(nl, 8, 40, 7);
+  const auto seqs = make_random_sequences(nl, 64, 32, 7);
+  const double patterns =
+      static_cast<double>(seqs.size()) *
+      static_cast<double>(seqs.empty() ? std::size_t{0} : seqs[0].size());
+  const unsigned hw = ThreadPool::hardware_threads();
 
-  auto time_run = [&](unsigned num_threads, int reps) {
-    // Warm the netlist caches and the thread pool outside the timed runs.
+  struct Row {
+    std::string label;
+    FsimEngine engine;
+    SimdTier tier;
+    double seconds = 0.0;
+    std::size_t detected = 0;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"baseline64", FsimEngine::kBaseline64, SimdTier::kAuto});
+  for (const SimdTier tier : {SimdTier::kScalar, SimdTier::kSse2,
+                              SimdTier::kAvx2, SimdTier::kAvx512}) {
+    if (!fsim_wide_tier_usable(tier)) continue;
+    rows.push_back({std::string("wide/") + simd_tier_name(tier),
+                    FsimEngine::kWide, tier});
+  }
+
+  for (auto& row : rows) {
     FsimOptions opts;
-    opts.num_threads = num_threads;
-    run_fault_simulation(nl, faults, seqs, opts);
+    opts.num_threads = hw;
+    opts.engine = row.engine;
+    opts.simd = row.tier;
+    // Warm the netlist caches and the thread pool outside the timed runs.
+    const FsimResult warm = run_fault_simulation(nl, faults, seqs, opts);
+    row.detected = warm.num_detected;
     double best = 1e100;
-    for (int r = 0; r < reps; ++r) {
+    for (int r = 0; r < 3; ++r) {
       const auto t0 = std::chrono::steady_clock::now();
       benchmark::DoNotOptimize(run_fault_simulation(nl, faults, seqs, opts));
       const double s = std::chrono::duration<double>(
@@ -165,15 +195,22 @@ void write_fsim_bench_json() {
                            .count();
       best = std::min(best, s);
     }
-    return best;
-  };
+    row.seconds = best;
+  }
 
-  const unsigned hw = ThreadPool::hardware_threads();
-  const double serial_s = time_run(1, 3);
-  const double parallel_s = time_run(hw, 3);
-  const auto fps = [&](double s) {
-    return static_cast<double>(faults.size()) / std::max(s, 1e-12);
-  };
+  bool deterministic = true;
+  for (const auto& row : rows)
+    if (row.detected != rows[0].detected) deterministic = false;
+  if (!deterministic)
+    std::fprintf(stderr,
+                 "BENCH_fsim: DETERMINISM VIOLATION: engines disagree on "
+                 "detection counts\n");
+
+  const double base_s = rows[0].seconds;
+  double best_speedup = 1.0;
+  for (const auto& row : rows)
+    best_speedup =
+        std::max(best_speedup, base_s / std::max(row.seconds, 1e-12));
 
   std::FILE* f = std::fopen("BENCH_fsim.json", "w");
   if (!f) {
@@ -182,31 +219,46 @@ void write_fsim_bench_json() {
   }
   std::fprintf(f,
                "{\n"
-               "  \"bench\": \"fsim_serial_vs_parallel\",\n"
+               "  \"schema\": \"satpg.bench_fsim.v2\",\n"
+               "  \"bench\": \"fsim_packed_vs_baseline\",\n"
                "  \"circuit\": \"%s\",\n"
                "  \"nodes\": %zu,\n"
                "  \"dffs\": %zu,\n"
                "  \"faults\": %zu,\n"
                "  \"sequences\": %zu,\n"
                "  \"frames_per_sequence\": %zu,\n"
-               "  \"hardware_threads\": %u,\n"
-               "  \"serial_seconds\": %.6f,\n"
-               "  \"serial_faults_per_second\": %.1f,\n"
-               "  \"parallel_num_threads\": %u,\n"
-               "  \"parallel_seconds\": %.6f,\n"
-               "  \"parallel_faults_per_second\": %.1f,\n"
-               "  \"speedup\": %.3f\n"
-               "}\n",
+               "  \"num_threads\": %u,\n"
+               "  \"deterministic\": %s,\n"
+               "  \"rows\": [\n",
                nl.name().c_str(), nl.num_nodes(), nl.num_dffs(),
                faults.size(), seqs.size(),
-               seqs.empty() ? std::size_t{0} : seqs[0].size(), hw, serial_s,
-               fps(serial_s), hw, parallel_s, fps(parallel_s),
-               serial_s / std::max(parallel_s, 1e-12));
+               seqs.empty() ? std::size_t{0} : seqs[0].size(), hw,
+               deterministic ? "true" : "false");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    std::fprintf(f,
+                 "    {\"engine\": \"%s\", \"seconds\": %.6f, "
+                 "\"patterns_per_second\": %.1f, "
+                 "\"faults_per_second\": %.1f, "
+                 "\"speedup_vs_baseline\": %.3f}%s\n",
+                 row.label.c_str(), row.seconds,
+                 patterns / std::max(row.seconds, 1e-12),
+                 static_cast<double>(faults.size()) /
+                     std::max(row.seconds, 1e-12),
+                 base_s / std::max(row.seconds, 1e-12),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
+               "  \"best_speedup\": %.3f\n"
+               "}\n",
+               best_speedup);
   std::fclose(f);
-  std::printf("BENCH_fsim.json: serial %.3fs, parallel(x%u) %.3fs, "
-              "speedup %.2fx\n",
-              serial_s, hw, parallel_s,
-              serial_s / std::max(parallel_s, 1e-12));
+  for (const auto& row : rows)
+    std::printf("BENCH_fsim.json: %-12s %.3fs  %9.0f patterns/s  %.2fx\n",
+                row.label.c_str(), row.seconds,
+                patterns / std::max(row.seconds, 1e-12),
+                base_s / std::max(row.seconds, 1e-12));
 }
 
 // Serial-vs-parallel comparison of the fault-parallel ATPG driver

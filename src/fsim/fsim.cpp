@@ -6,6 +6,7 @@
 #include "base/metrics.h"
 #include "base/threadpool.h"
 #include "base/trace.h"
+#include "fsim/wide_driver.h"
 #include "sim/simulator.h"
 
 namespace satpg {
@@ -403,6 +404,16 @@ FsimResult run_fault_simulation(const Netlist& nl,
   const unsigned max_workers = opts.num_threads == 0
                                    ? ThreadPool::hardware_threads()
                                    : opts.num_threads;
+
+  // Engine dispatch: the wide (pattern-parallel) engine pays off whenever
+  // there is more than one sequence to pack into a lane group; single-
+  // sequence calls (ATPG inner loops) stay on the 64-slot engine where no
+  // lane would be live beyond lane 0. Results are identical either way.
+  const bool use_wide =
+      opts.engine == FsimEngine::kWide ||
+      (opts.engine == FsimEngine::kAuto && sequences.size() >= 2);
+  if (use_wide)
+    return fsim_wide::run_wide(nl, faults, sequences, opts, max_workers);
 
   std::vector<std::uint8_t> detected(faults.size(), 0);
   std::vector<std::uint8_t> newly(faults.size(), 0);

@@ -8,22 +8,28 @@
 //     handling — possible-detects do not count);
 //   * faults are permanent: active in every cycle including initialization.
 //
-// Two engines share the semantics:
+// Three engines share the semantics:
 //   * a serial three-valued reference (one fault at a time), used for
 //     cross-checking and small runs;
 //   * a 64-slot bit-parallel engine (slot 0 carries the good machine,
-//     slots 1..63 carry faulty machines), the workhorse for test-set
-//     grading and the Table 8 replay experiment.
+//     slots 1..63 carry faulty machines), one sequence at a time;
+//   * a wide pattern-parallel (PPSFP) engine that packs a lane group of
+//     PVW::kSubWords sequences into one simulation — one packed
+//     good-machine pass per group, and every fault batch simulated across
+//     all lanes at once on SIMD kernels selected by a one-time CPUID
+//     dispatch (scalar / SSE2 / AVX2 / AVX-512, see DESIGN.md §8). It is
+//     the default for multi-sequence grading and the Table 8 replay.
 //
-// The bit-parallel engine is cone-restricted and parallel: the good
-// machine is simulated exactly once per sequence, each 63-fault batch
-// evaluates only nodes inside the union of its fault sites' sequential
-// fanout cones (everything outside is known to equal the good value), and
-// batches run concurrently on a thread pool. Per-worker scratch arenas
-// keep the per-frame hot path allocation-free. Results are bit-identical
-// for every thread count — batches are formed per sequence before any
-// batch runs, each batch writes only its own faults' slots, and merging
-// happens at a per-sequence barrier.
+// The bit-parallel engines are cone-restricted and parallel: the good
+// machine is simulated exactly once per sequence (resp. lane group), each
+// 63-fault batch evaluates only nodes inside the union of its fault
+// sites' sequential fanout cones (everything outside is known to equal
+// the good value), and batches run concurrently on a thread pool.
+// Per-worker scratch arenas keep the per-frame hot path allocation-free.
+// Results are bit-identical for every thread count, engine, lane width
+// and dispatch tier — batches are formed before any batch runs, each
+// batch writes only its own faults' flags, lane order equals sequence
+// order, and first-detection ties resolve to the lowest lane index.
 //
 // The good machine's state trajectory is recorded so experiments can count
 // the distinct states a test set traverses (Tables 6 and 8).
@@ -31,6 +37,7 @@
 
 #include <vector>
 
+#include "base/cpu.h"
 #include "fault/fault.h"
 #include "netlist/netlist.h"
 #include "sim/statekey.h"
@@ -45,12 +52,43 @@ using TestSequence = std::vector<std::vector<V3>>;
 int simulate_fault_serial(const Netlist& nl, const Fault& fault,
                           const TestSequence& seq);
 
+enum class FsimEngine : std::uint8_t {
+  /// Wide engine for multi-sequence runs, 64-slot engine for a single
+  /// sequence (where lane padding would waste work, e.g. ATPG inner
+  /// loops). Results are identical either way.
+  kAuto = 0,
+  kBaseline64,  ///< always the one-sequence-at-a-time 64-slot engine
+  kWide,        ///< always the pattern-parallel PVW engine
+};
+
 struct FsimOptions {
   /// Worker threads for batch-level parallelism: 1 = in-caller serial
   /// execution (the reference path), 0 = one worker per hardware thread.
   /// Results are bit-identical for every value.
   unsigned num_threads = 0;
+  FsimEngine engine = FsimEngine::kAuto;
+  /// Physical kernel width for the wide engine. kAuto picks the widest
+  /// tier that is compiled in and CPU-supported; an explicit tier that is
+  /// unavailable is a fatal error (callers can pre-validate with
+  /// fsim_wide_tier_usable). SATPG_FORCE_SCALAR=1 in the environment caps
+  /// resolution at kScalar and wins over explicit requests. Results are
+  /// bit-identical for every tier.
+  SimdTier simd = SimdTier::kAuto;
 };
+
+/// True when the wide engine can run `tier` in this process: the kernel
+/// is compiled in and the CPU supports it (kScalar/kAuto always can).
+bool fsim_wide_tier_usable(SimdTier tier);
+
+/// The tier run_fault_simulation's wide engine would actually execute for
+/// a request of `tier` (applies SATPG_FORCE_SCALAR, resolves kAuto to the
+/// widest usable tier).
+SimdTier fsim_wide_resolve_tier(SimdTier tier);
+
+/// Lane-by-lane semantic selftest of `tier`'s kernel ops against the V3
+/// truth tables. False when the tier is not compiled in; CHECK-fails
+/// never. kAuto tests the tier fsim_wide_resolve_tier(kAuto) picks.
+bool run_wide_kernel_selftest(SimdTier tier);
 
 struct FsimResult {
   std::vector<int> detected_at;   ///< per fault: sequence index, or -1

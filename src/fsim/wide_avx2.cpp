@@ -1,0 +1,130 @@
+// AVX2 PPSFP kernel: each 512-bit logical plane is two PV256 (256-bit)
+// vectors. Compiled with -mavx2 when the compiler supports it (see
+// CMakeLists.txt); the exported entries are only called after the runtime
+// CPUID check in src/base/cpu.cpp.
+#include "fsim/wide_kernel.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace satpg {
+namespace fsim_wide {
+namespace {
+
+/// 256-bit view of four adjacent sub-words of a PVW plane.
+struct PV256 {
+  __m256i v;
+  static PV256 load(const std::uint64_t* p) {
+    return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+  }
+  void store(std::uint64_t* p) const {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+};
+
+/// Lane-mask bits half*4 .. half*4+3 broadcast to 64-bit all-ones lanes.
+inline __m256i mask_to_lanes(std::uint8_t m, int half) {
+  const __m256i bits = _mm256_set1_epi64x(m);
+  const __m256i sel = half == 0 ? _mm256_setr_epi64x(1, 2, 4, 8)
+                                : _mm256_setr_epi64x(16, 32, 64, 128);
+  return _mm256_cmpeq_epi64(_mm256_and_si256(bits, sel), sel);
+}
+
+struct Avx2Ops {
+  static void fill_x(PVW& d) {
+    const __m256i z = _mm256_setzero_si256();
+    for (unsigned i = 0; i < kLanes; i += 4) {
+      PV256{z}.store(d.zero + i);
+      PV256{z}.store(d.one + i);
+    }
+  }
+  static void copy(PVW& d, const PVW& s) {
+    for (unsigned i = 0; i < kLanes; i += 4) {
+      PV256::load(s.zero + i).store(d.zero + i);
+      PV256::load(s.one + i).store(d.one + i);
+    }
+  }
+  static void expand(PVW& d, std::uint8_t zm, std::uint8_t om) {
+    for (int half = 0; half < 2; ++half) {
+      const unsigned i = static_cast<unsigned>(half) * 4;
+      PV256{mask_to_lanes(zm, half)}.store(d.zero + i);
+      PV256{mask_to_lanes(om, half)}.store(d.one + i);
+    }
+  }
+  static void not_ip(PVW& d) {
+    for (unsigned i = 0; i < kLanes; i += 4) {
+      const PV256 z = PV256::load(d.zero + i);
+      PV256::load(d.one + i).store(d.zero + i);
+      z.store(d.one + i);
+    }
+  }
+  static void and_acc(PVW& d, const PVW& s) {
+    for (unsigned i = 0; i < kLanes; i += 4) {
+      PV256{_mm256_or_si256(PV256::load(d.zero + i).v,
+                            PV256::load(s.zero + i).v)}
+          .store(d.zero + i);
+      PV256{_mm256_and_si256(PV256::load(d.one + i).v,
+                             PV256::load(s.one + i).v)}
+          .store(d.one + i);
+    }
+  }
+  static void or_acc(PVW& d, const PVW& s) {
+    for (unsigned i = 0; i < kLanes; i += 4) {
+      PV256{_mm256_and_si256(PV256::load(d.zero + i).v,
+                             PV256::load(s.zero + i).v)}
+          .store(d.zero + i);
+      PV256{_mm256_or_si256(PV256::load(d.one + i).v,
+                            PV256::load(s.one + i).v)}
+          .store(d.one + i);
+    }
+  }
+  static void xor_acc(PVW& d, const PVW& s) {
+    for (unsigned i = 0; i < kLanes; i += 4) {
+      const __m256i dz = PV256::load(d.zero + i).v;
+      const __m256i d1 = PV256::load(d.one + i).v;
+      const __m256i sz = PV256::load(s.zero + i).v;
+      const __m256i s1 = PV256::load(s.one + i).v;
+      const __m256i known = _mm256_and_si256(_mm256_or_si256(dz, d1),
+                                             _mm256_or_si256(sz, s1));
+      const __m256i x = _mm256_and_si256(_mm256_xor_si256(d1, s1), known);
+      PV256{_mm256_andnot_si256(x, known)}.store(d.zero + i);
+      PV256{x}.store(d.one + i);
+    }
+  }
+  static bool eq_expand(const PVW& d, std::uint8_t zm, std::uint8_t om) {
+    __m256i acc = _mm256_setzero_si256();
+    for (int half = 0; half < 2; ++half) {
+      const unsigned i = static_cast<unsigned>(half) * 4;
+      acc = _mm256_or_si256(
+          acc, _mm256_xor_si256(PV256::load(d.zero + i).v,
+                                mask_to_lanes(zm, half)));
+      acc = _mm256_or_si256(
+          acc, _mm256_xor_si256(PV256::load(d.one + i).v,
+                                mask_to_lanes(om, half)));
+    }
+    return _mm256_testz_si256(acc, acc) != 0;
+  }
+};
+
+void run_avx2(const WideView& w) { run_group_batch<Avx2Ops>(w); }
+
+}  // namespace
+
+KernelFn kernel_avx2() { return &run_avx2; }
+
+bool selftest_avx2() { return backend_selftest<Avx2Ops>(); }
+
+}  // namespace fsim_wide
+}  // namespace satpg
+
+#else  // !__AVX2__
+
+namespace satpg {
+namespace fsim_wide {
+KernelFn kernel_avx2() { return nullptr; }
+bool selftest_avx2() { return false; }
+}  // namespace fsim_wide
+}  // namespace satpg
+
+#endif

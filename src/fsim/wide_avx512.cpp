@@ -1,0 +1,100 @@
+// AVX-512 PPSFP kernel: each 512-bit logical plane is one PV512 register,
+// and the per-lane good masks map directly onto __mmask8. Compiled with
+// -mavx512f when the compiler supports it (see CMakeLists.txt); the
+// exported entries are only called after the runtime CPUID + XGETBV check
+// in src/base/cpu.cpp.
+#include "fsim/wide_kernel.h"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+namespace satpg {
+namespace fsim_wide {
+namespace {
+
+/// 512-bit view of a whole PVW plane (all eight sub-words).
+struct PV512 {
+  __m512i v;
+  static PV512 load(const std::uint64_t* p) {
+    return {_mm512_loadu_si512(p)};
+  }
+  void store(std::uint64_t* p) const { _mm512_storeu_si512(p, v); }
+};
+
+inline __m512i mask_to_lanes(std::uint8_t m) {
+  return _mm512_maskz_set1_epi64(static_cast<__mmask8>(m), -1LL);
+}
+
+struct Avx512Ops {
+  static void fill_x(PVW& d) {
+    const __m512i z = _mm512_setzero_si512();
+    PV512{z}.store(d.zero);
+    PV512{z}.store(d.one);
+  }
+  static void copy(PVW& d, const PVW& s) {
+    PV512::load(s.zero).store(d.zero);
+    PV512::load(s.one).store(d.one);
+  }
+  static void expand(PVW& d, std::uint8_t zm, std::uint8_t om) {
+    PV512{mask_to_lanes(zm)}.store(d.zero);
+    PV512{mask_to_lanes(om)}.store(d.one);
+  }
+  static void not_ip(PVW& d) {
+    const PV512 z = PV512::load(d.zero);
+    PV512::load(d.one).store(d.zero);
+    z.store(d.one);
+  }
+  static void and_acc(PVW& d, const PVW& s) {
+    PV512{_mm512_or_si512(PV512::load(d.zero).v, PV512::load(s.zero).v)}
+        .store(d.zero);
+    PV512{_mm512_and_si512(PV512::load(d.one).v, PV512::load(s.one).v)}
+        .store(d.one);
+  }
+  static void or_acc(PVW& d, const PVW& s) {
+    PV512{_mm512_and_si512(PV512::load(d.zero).v, PV512::load(s.zero).v)}
+        .store(d.zero);
+    PV512{_mm512_or_si512(PV512::load(d.one).v, PV512::load(s.one).v)}
+        .store(d.one);
+  }
+  static void xor_acc(PVW& d, const PVW& s) {
+    const __m512i dz = PV512::load(d.zero).v;
+    const __m512i d1 = PV512::load(d.one).v;
+    const __m512i sz = PV512::load(s.zero).v;
+    const __m512i s1 = PV512::load(s.one).v;
+    const __m512i known = _mm512_and_si512(_mm512_or_si512(dz, d1),
+                                           _mm512_or_si512(sz, s1));
+    const __m512i x = _mm512_and_si512(_mm512_xor_si512(d1, s1), known);
+    PV512{_mm512_andnot_si512(x, known)}.store(d.zero);
+    PV512{x}.store(d.one);
+  }
+  static bool eq_expand(const PVW& d, std::uint8_t zm, std::uint8_t om) {
+    const __mmask8 nz = _mm512_cmpneq_epi64_mask(PV512::load(d.zero).v,
+                                                 mask_to_lanes(zm));
+    const __mmask8 no = _mm512_cmpneq_epi64_mask(PV512::load(d.one).v,
+                                                 mask_to_lanes(om));
+    return static_cast<unsigned>(nz | no) == 0;
+  }
+};
+
+void run_avx512(const WideView& w) { run_group_batch<Avx512Ops>(w); }
+
+}  // namespace
+
+KernelFn kernel_avx512() { return &run_avx512; }
+
+bool selftest_avx512() { return backend_selftest<Avx512Ops>(); }
+
+}  // namespace fsim_wide
+}  // namespace satpg
+
+#else  // !__AVX512F__
+
+namespace satpg {
+namespace fsim_wide {
+KernelFn kernel_avx512() { return nullptr; }
+bool selftest_avx512() { return false; }
+}  // namespace fsim_wide
+}  // namespace satpg
+
+#endif

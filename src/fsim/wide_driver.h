@@ -1,0 +1,16 @@
+// Internal handoff from run_fault_simulation (fsim.cpp) to the wide
+// pattern-parallel engine (fsim_wide.cpp). Callers must have emitted the
+// common fsim.* call metrics and warmed the netlist caches already.
+#pragma once
+
+#include "fsim/fsim.h"
+
+namespace satpg {
+namespace fsim_wide {
+
+FsimResult run_wide(const Netlist& nl, const std::vector<Fault>& faults,
+                    const std::vector<TestSequence>& sequences,
+                    const FsimOptions& opts, unsigned max_workers);
+
+}  // namespace fsim_wide
+}  // namespace satpg

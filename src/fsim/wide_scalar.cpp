@@ -1,0 +1,18 @@
+// Portable PPSFP kernel: the ScalarOps uint64_t[] backend from
+// wide_kernel.h. Always compiled, always runnable; also the semantic
+// reference every SIMD tier must match bit-for-bit.
+#include "fsim/wide_kernel.h"
+
+namespace satpg {
+namespace fsim_wide {
+
+namespace {
+void run_scalar(const WideView& w) { run_group_batch<ScalarOps>(w); }
+}  // namespace
+
+KernelFn kernel_scalar() { return &run_scalar; }
+
+bool selftest_scalar() { return backend_selftest<ScalarOps>(); }
+
+}  // namespace fsim_wide
+}  // namespace satpg

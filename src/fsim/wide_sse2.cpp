@@ -1,0 +1,117 @@
+// SSE2 PPSFP kernel: each 512-bit logical plane is four PV128 (128-bit)
+// vectors. SSE2 is baseline on x86-64, so no extra compile flags are
+// needed; on other architectures this TU compiles to stubs.
+#include "fsim/wide_kernel.h"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+namespace satpg {
+namespace fsim_wide {
+namespace {
+
+/// 128-bit view of two adjacent sub-words of a PVW plane.
+struct PV128 {
+  __m128i v;
+  static PV128 load(const std::uint64_t* p) {
+    return {_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))};
+  }
+  void store(std::uint64_t* p) const {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+};
+
+struct Sse2Ops {
+  static void fill_x(PVW& d) {
+    const __m128i z = _mm_setzero_si128();
+    for (unsigned i = 0; i < kLanes; i += 2) {
+      PV128{z}.store(d.zero + i);
+      PV128{z}.store(d.one + i);
+    }
+  }
+  static void copy(PVW& d, const PVW& s) {
+    for (unsigned i = 0; i < kLanes; i += 2) {
+      PV128::load(s.zero + i).store(d.zero + i);
+      PV128::load(s.one + i).store(d.one + i);
+    }
+  }
+  // SSE2 has no 64-bit compare, so mask expansion stays scalar; the bulk
+  // plane ops below are where the vectors pay off.
+  static void expand(PVW& d, std::uint8_t zm, std::uint8_t om) {
+    for (unsigned g = 0; g < kLanes; ++g) {
+      d.zero[g] = 0ULL - static_cast<std::uint64_t>((zm >> g) & 1);
+      d.one[g] = 0ULL - static_cast<std::uint64_t>((om >> g) & 1);
+    }
+  }
+  static void not_ip(PVW& d) {
+    for (unsigned i = 0; i < kLanes; i += 2) {
+      const PV128 z = PV128::load(d.zero + i);
+      PV128::load(d.one + i).store(d.zero + i);
+      z.store(d.one + i);
+    }
+  }
+  static void and_acc(PVW& d, const PVW& s) {
+    for (unsigned i = 0; i < kLanes; i += 2) {
+      PV128{_mm_or_si128(PV128::load(d.zero + i).v,
+                         PV128::load(s.zero + i).v)}
+          .store(d.zero + i);
+      PV128{_mm_and_si128(PV128::load(d.one + i).v,
+                          PV128::load(s.one + i).v)}
+          .store(d.one + i);
+    }
+  }
+  static void or_acc(PVW& d, const PVW& s) {
+    for (unsigned i = 0; i < kLanes; i += 2) {
+      PV128{_mm_and_si128(PV128::load(d.zero + i).v,
+                          PV128::load(s.zero + i).v)}
+          .store(d.zero + i);
+      PV128{_mm_or_si128(PV128::load(d.one + i).v,
+                         PV128::load(s.one + i).v)}
+          .store(d.one + i);
+    }
+  }
+  static void xor_acc(PVW& d, const PVW& s) {
+    for (unsigned i = 0; i < kLanes; i += 2) {
+      const __m128i dz = PV128::load(d.zero + i).v;
+      const __m128i d1 = PV128::load(d.one + i).v;
+      const __m128i sz = PV128::load(s.zero + i).v;
+      const __m128i s1 = PV128::load(s.one + i).v;
+      const __m128i known = _mm_and_si128(_mm_or_si128(dz, d1),
+                                          _mm_or_si128(sz, s1));
+      const __m128i x = _mm_and_si128(_mm_xor_si128(d1, s1), known);
+      PV128{_mm_andnot_si128(x, known)}.store(d.zero + i);
+      PV128{x}.store(d.one + i);
+    }
+  }
+  static bool eq_expand(const PVW& d, std::uint8_t zm, std::uint8_t om) {
+    std::uint64_t acc = 0;
+    for (unsigned g = 0; g < kLanes; ++g) {
+      acc |= d.zero[g] ^ (0ULL - static_cast<std::uint64_t>((zm >> g) & 1));
+      acc |= d.one[g] ^ (0ULL - static_cast<std::uint64_t>((om >> g) & 1));
+    }
+    return acc == 0;
+  }
+};
+
+void run_sse2(const WideView& w) { run_group_batch<Sse2Ops>(w); }
+
+}  // namespace
+
+KernelFn kernel_sse2() { return &run_sse2; }
+
+bool selftest_sse2() { return backend_selftest<Sse2Ops>(); }
+
+}  // namespace fsim_wide
+}  // namespace satpg
+
+#else  // !__SSE2__
+
+namespace satpg {
+namespace fsim_wide {
+KernelFn kernel_sse2() { return nullptr; }
+bool selftest_sse2() { return false; }
+}  // namespace fsim_wide
+}  // namespace satpg
+
+#endif

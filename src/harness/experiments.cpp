@@ -35,6 +35,7 @@ AtpgRunOptions scaled_run_options(const ExperimentOptions& opts,
   // for sharper numbers.
   run.total_eval_budget =
       static_cast<std::uint64_t>(120'000'000 * opts.budget_scale);
+  run.fsim = opts.fsim;
   return run;
 }
 
@@ -250,7 +251,8 @@ Table run_table8_replay(Suite& suite, const ExperimentOptions& opts) {
     const auto collapsed = collapse_faults(re);
     std::vector<Fault> faults;
     for (const auto& cf : collapsed) faults.push_back(cf.representative);
-    const auto replay = run_fault_simulation(re, faults, r_orig.tests);
+    const auto replay = run_fault_simulation(re, faults, r_orig.tests,
+                                             opts.fsim);
     std::size_t det_w = 0, tot_w = 0;
     for (std::size_t i = 0; i < collapsed.size(); ++i) {
       tot_w += static_cast<std::size_t>(collapsed[i].class_size);
@@ -381,6 +383,15 @@ BenchConfig parse_bench_flags(int argc, char** argv) {
     } else if (const char* v = value_of("--deadline-ms=")) {
       cfg.experiment.deadline_ms =
           static_cast<std::uint64_t>(std::atoll(v));
+    } else if (const char* v = value_of("--width=")) {
+      SimdTier tier;
+      if (!simd_tier_from_width(static_cast<unsigned>(std::atoi(v)), &tier)) {
+        std::fprintf(stderr, "error: --width must be 64, 128, 256 or 512\n");
+        std::exit(2);
+      }
+      cfg.experiment.fsim.simd = tier;
+    } else if (arg == "--force-scalar") {
+      cfg.experiment.fsim.simd = SimdTier::kScalar;
     } else if (cfg.telemetry.parse(arg.c_str())) {
       // --metrics-json= / --trace-json= handled by the shared helper.
     } else if (arg == "--no-sidecar") {
@@ -390,6 +401,7 @@ BenchConfig parse_bench_flags(int argc, char** argv) {
                    "usage: %s [--budget=F] [--seed=N] [--scale=F] "
                    "[--cache=DIR] [--threads=N] [--deadline-ms=N]\n"
                    "          [--metrics-json=FILE] [--trace-json=FILE] "
+                   "[--width=64|128|256|512] [--force-scalar] "
                    "[--no-sidecar]\n",
                    argv[0]);
       std::exit(2);

@@ -17,6 +17,7 @@
 #include "atpg/engine.h"
 #include "base/table.h"
 #include "base/telemetry_flags.h"
+#include "fsim/fsim.h"
 #include "harness/suite.h"
 
 namespace satpg {
@@ -31,6 +32,10 @@ struct ExperimentOptions {
   /// Wall-clock deadline per ATPG run in ms (0 = none). Timing-dependent:
   /// only for bounding exploratory runs, never for table reproduction.
   std::uint64_t deadline_ms = 0;
+  /// Fault-simulation engine/width selection. Results are byte-identical
+  /// across engines and SIMD tiers by contract, so this knob only moves
+  /// wall-clock (and the engine-scoped fsim.wide.* counters).
+  FsimOptions fsim;
 };
 
 /// Baseline engine budgets used by all experiments, scaled.
@@ -58,7 +63,9 @@ Table run_ablation_encoding(const ExperimentOptions& opts);
 /// --budget=<float>, --seed=<n>, --scale=<float> (FSM scale),
 /// --cache=<dir>, --threads=<n>, --deadline-ms=<n>,
 /// --metrics-json=<file> (dump the metrics registry after the run),
-/// --trace-json=<file> (record a Chrome trace_event timeline), and
+/// --trace-json=<file> (record a Chrome trace_event timeline),
+/// --width=<64|128|256|512> (pin the wide fsim SIMD tier),
+/// --force-scalar (pin the portable scalar fsim kernel), and
 /// --no-sidecar (suppress the BENCH_*.json table sidecar). Unknown flags
 /// abort with a usage message.
 struct BenchConfig {

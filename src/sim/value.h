@@ -6,6 +6,15 @@
 //       fault simulator: bit i of `zero` means "slot i is 0", bit i of
 //       `one` means "slot i is 1"; neither bit set means X. A slot never
 //       has both bits set (checked in debug builds).
+// PVW — the wide (pattern-parallel) word: kSubWords 64-slot PV sub-words
+//       simulated together by the PPSFP engine. Sub-word g carries
+//       sequence lane g of a lane group; within each sub-word slot 0 is
+//       that lane's good machine and slots 1..63 carry the batch's faulty
+//       machines (same fault→slot map in every sub-word). The SSE2 /
+//       AVX2 / AVX-512 kernels view a plane as 4×128-, 2×256-, or 1×512-
+//       bit vectors (PV128/PV256/PV512); the logical width is fixed at
+//       kSubWords regardless of the physical kernel, which is what makes
+//       results and metrics identical across dispatch tiers.
 #pragma once
 
 #include <cstdint>
@@ -104,5 +113,65 @@ inline PV pv_xor(PV a, PV b) {
   const std::uint64_t x = (a.one ^ b.one) & known;
   return {known & ~x, x};
 }
+
+/// Wide parallel three-valued word: PVW::kSubWords independent 64-slot PV
+/// sub-words, one per sequence lane of a PPSFP lane group. 64-byte
+/// alignment lets the AVX-512 kernel treat a whole plane as one register.
+///
+/// These accessors exist for drivers and tests; the hot kernels operate on
+/// the raw planes through per-translation-unit backend ops (see
+/// src/fsim/wide_kernel.h) and never call member functions.
+struct alignas(64) PVW {
+  static constexpr unsigned kSubWords = 8;  ///< sequence lanes per group
+  std::uint64_t zero[kSubWords];
+  std::uint64_t one[kSubWords];
+
+  static PVW all(V3 v) {
+    PVW w;
+    const PV p = PV::all(v);
+    for (unsigned g = 0; g < kSubWords; ++g) {
+      w.zero[g] = p.zero;
+      w.one[g] = p.one;
+    }
+    return w;
+  }
+
+  PV sub(unsigned g) const { return {zero[g], one[g]}; }
+
+  void set_sub(unsigned g, PV p) {
+    zero[g] = p.zero;
+    one[g] = p.one;
+  }
+
+  V3 slot(unsigned g, unsigned i) const {
+    const std::uint64_t m = 1ULL << i;
+    if (zero[g] & m) return V3::kZero;
+    if (one[g] & m) return V3::kOne;
+    return V3::kX;
+  }
+
+  void set_slot(unsigned g, unsigned i, V3 v) {
+    const std::uint64_t m = 1ULL << i;
+    zero[g] &= ~m;
+    one[g] &= ~m;
+    if (v == V3::kZero)
+      zero[g] |= m;
+    else if (v == V3::kOne)
+      one[g] |= m;
+  }
+
+  /// No slot of any sub-word claims to be 0 and 1 at once.
+  bool well_formed() const {
+    for (unsigned g = 0; g < kSubWords; ++g)
+      if ((zero[g] & one[g]) != 0) return false;
+    return true;
+  }
+
+  bool operator==(const PVW& o) const {
+    for (unsigned g = 0; g < kSubWords; ++g)
+      if (zero[g] != o.zero[g] || one[g] != o.one[g]) return false;
+    return true;
+  }
+};
 
 }  // namespace satpg

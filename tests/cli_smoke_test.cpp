@@ -182,6 +182,72 @@ TEST(CliSmokeTest, CaptureReplayRoundTrip) {
             1);
 }
 
+// Wide-fsim engine selection on the real CLI. The determinism contract
+// (DESIGN.md §8): the metrics report and the human-readable result lines
+// are byte-identical whether the wide engine runs its widest SIMD tier,
+// the portable scalar kernel (--force-scalar or SATPG_FORCE_SCALAR=1),
+// or any explicit --width; the baseline engine agrees on every result
+// line (its registry differs only in engine-scoped fsim.wide.* rows).
+TEST(CliSmokeTest, FsimEngineFlagsAreDeterministic) {
+  const std::string dir = ::testing::TempDir();
+  auto fsim_run = [&](const std::string& tag, const std::string& extra,
+                      const std::string& env = "") {
+    const std::string metrics = dir + "cli_fsim_" + tag + ".json";
+    const std::string out = dir + "cli_fsim_" + tag + ".out";
+    std::string args = std::string("fsim \"") + SATPG_SMOKE_CIRCUIT +
+                       "\" --sequences=8 --length=16 --metrics-json=" +
+                       metrics;
+    if (!extra.empty()) args += " " + extra;
+    if (!env.empty()) args = env + " \"" + SATPG_CLI_PATH + "\" " + args;
+    EXPECT_EQ(env.empty()
+                  ? run_satpg(args, out)
+                  : WEXITSTATUS(std::system(
+                        (args + " > " + out + " 2> /dev/null").c_str())),
+              0)
+        << tag;
+    // Drop the engine-name line: it names the tier on purpose.
+    std::string body, line;
+    std::istringstream is(slurp(out));
+    while (std::getline(is, line))
+      if (line.compare(0, 6, "engine") != 0 &&
+          line.compare(0, 7, "metrics") != 0)
+        body += line + "\n";
+    return std::make_pair(slurp(metrics), body);
+  };
+
+  const auto def = fsim_run("default", "");
+  const auto scalar = fsim_run("scalar", "--force-scalar");
+  const auto env_scalar = fsim_run("env", "", "SATPG_FORCE_SCALAR=1");
+  ASSERT_FALSE(def.first.empty());
+  EXPECT_EQ(scalar.first, def.first);
+  EXPECT_EQ(env_scalar.first, def.first);
+  EXPECT_EQ(scalar.second, def.second);
+  EXPECT_EQ(env_scalar.second, def.second);
+  for (const char* width : {"64", "128", "256", "512"}) {
+    const auto w = fsim_run(std::string("w") + width,
+                            std::string("--width=") + width);
+    // A tier the CPU lacks exits 1 with an empty report; a supported one
+    // must match the default byte-for-byte.
+    if (!w.first.empty()) {
+      EXPECT_EQ(w.first, def.first) << "--width=" << width;
+      EXPECT_EQ(w.second, def.second) << "--width=" << width;
+    }
+  }
+  // Result lines agree across engines even though registries differ.
+  const auto base = fsim_run("baseline", "--engine=baseline");
+  const auto wide = fsim_run("wide", "--engine=wide");
+  EXPECT_EQ(base.second, def.second);
+  EXPECT_EQ(wide.second, def.second);
+}
+
+// Bad engine/width values are usage errors (exit 2, README "Exit codes").
+TEST(CliSmokeTest, FsimEngineFlagErrors) {
+  const std::string args_prefix =
+      std::string("fsim \"") + SATPG_SMOKE_CIRCUIT + "\" ";
+  EXPECT_EQ(run_satpg(args_prefix + "--width=7"), 2);
+  EXPECT_EQ(run_satpg(args_prefix + "--engine=bogus"), 2);
+}
+
 // `--help` anywhere prints usage to stdout and exits 0, for every
 // subcommand (README "Exit codes").
 TEST(CliSmokeTest, HelpExitsZeroForEverySubcommand) {

@@ -1,0 +1,270 @@
+// Differential tests for the wide (PPSFP) fault-simulation engine:
+// per-tier kernel selftests, wide == baseline == serial cross-checks on
+// hand and MCNC circuits (plus retimed twins), potential-detect
+// semantics, first-detection tie-breaks, ragged sequence lengths, PVW
+// invariants, and metrics parity between engines. Every check runs for
+// each SIMD tier the build + CPU can execute, always including the
+// portable scalar kernel — the results contract is byte-identity across
+// tiers, thread counts, and engines.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "atpg/engine.h"
+#include "base/metrics.h"
+#include "fsim/fsim.h"
+#include "fsm/mcnc_suite.h"
+#include "retime/retime.h"
+#include "sim/statekey.h"
+#include "synth/synthesize.h"
+
+namespace satpg {
+namespace {
+
+// Every tier the current build + CPU can execute (scalar always can).
+std::vector<SimdTier> usable_tiers() {
+  std::vector<SimdTier> tiers;
+  for (const SimdTier t : {SimdTier::kScalar, SimdTier::kSse2,
+                           SimdTier::kAvx2, SimdTier::kAvx512})
+    if (fsim_wide_tier_usable(t)) tiers.push_back(t);
+  return tiers;
+}
+
+// 1-bit toggle with reset: q' = rst ? 0 : !q ; out = q.
+Netlist toggler() {
+  Netlist nl("tog");
+  const NodeId rst = nl.add_input("rst");
+  const NodeId q = nl.add_dff("q", rst, FfInit::kUnknown);
+  const NodeId nq = nl.add_gate(GateType::kNot, "nq", {q});
+  const NodeId nrst = nl.add_gate(GateType::kNot, "nrst", {rst});
+  const NodeId d = nl.add_gate(GateType::kAnd, "d", {nq, nrst});
+  nl.set_fanin(q, 0, d);
+  nl.add_output("o", q);
+  return nl;
+}
+
+TestSequence seq_of(std::initializer_list<int> rst_bits) {
+  TestSequence s;
+  for (int b : rst_bits) s.push_back({b ? V3::kOne : V3::kZero});
+  return s;
+}
+
+FsimResult run_wide(const Netlist& nl, const std::vector<Fault>& faults,
+                    const std::vector<TestSequence>& seqs, SimdTier tier,
+                    unsigned threads = 1) {
+  FsimOptions opts;
+  opts.num_threads = threads;
+  opts.engine = FsimEngine::kWide;
+  opts.simd = tier;
+  return run_fault_simulation(nl, faults, seqs, opts);
+}
+
+FsimResult run_baseline(const Netlist& nl, const std::vector<Fault>& faults,
+                        const std::vector<TestSequence>& seqs,
+                        unsigned threads = 1) {
+  FsimOptions opts;
+  opts.num_threads = threads;
+  opts.engine = FsimEngine::kBaseline64;
+  return run_fault_simulation(nl, faults, seqs, opts);
+}
+
+void expect_same_result(const FsimResult& a, const FsimResult& b,
+                        const std::string& label) {
+  EXPECT_EQ(a.detected_at, b.detected_at) << label;
+  EXPECT_EQ(a.potential_at, b.potential_at) << label;
+  EXPECT_EQ(a.good_states, b.good_states) << label;
+  EXPECT_EQ(a.num_detected, b.num_detected) << label;
+}
+
+TEST(WideKernelTest, SelftestPassesOnEveryUsableTier) {
+  for (const SimdTier tier : usable_tiers())
+    EXPECT_TRUE(run_wide_kernel_selftest(tier)) << simd_tier_name(tier);
+  EXPECT_TRUE(run_wide_kernel_selftest(SimdTier::kAuto));
+}
+
+TEST(WideKernelTest, TierResolutionRespectsLadder) {
+  // kScalar is always usable and kAuto resolves to something usable.
+  EXPECT_TRUE(fsim_wide_tier_usable(SimdTier::kScalar));
+  EXPECT_TRUE(fsim_wide_tier_usable(SimdTier::kAuto));
+  EXPECT_TRUE(fsim_wide_tier_usable(fsim_wide_resolve_tier(SimdTier::kAuto)));
+}
+
+TEST(PvwTest, SlotRoundTripAndWellFormed) {
+  PVW w = PVW::all(V3::kX);
+  EXPECT_TRUE(w.well_formed());
+  for (unsigned g = 0; g < PVW::kSubWords; ++g)
+    for (unsigned i = 0; i < 64; i += 13) EXPECT_EQ(w.slot(g, i), V3::kX);
+  w.set_slot(2, 5, V3::kOne);
+  w.set_slot(7, 63, V3::kZero);
+  w.set_slot(0, 0, V3::kOne);
+  EXPECT_EQ(w.slot(2, 5), V3::kOne);
+  EXPECT_EQ(w.slot(7, 63), V3::kZero);
+  EXPECT_EQ(w.slot(0, 0), V3::kOne);
+  EXPECT_EQ(w.slot(2, 6), V3::kX);
+  EXPECT_TRUE(w.well_formed());
+  // A slot claiming both 0 and 1 violates the plane invariant.
+  w.zero[2] |= (1ULL << 5);
+  EXPECT_FALSE(w.well_formed());
+}
+
+TEST(WideFsimTest, MatchesSerialOnToggler) {
+  const Netlist nl = toggler();
+  const auto faults = enumerate_faults(nl);
+  // 9 sequences: spans two lane groups; varied content per lane.
+  std::vector<TestSequence> seqs;
+  for (int k = 0; k < 9; ++k) {
+    TestSequence s = seq_of({1, 0, 0, 0, 1, 0, 0});
+    for (int c = 0; c < k % 4; ++c) s.push_back({V3::kZero});
+    seqs.push_back(s);
+  }
+  for (const SimdTier tier : usable_tiers()) {
+    const auto wide = run_wide(nl, faults, seqs, tier);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      int serial_at = -1;
+      for (std::size_t s = 0; s < seqs.size() && serial_at < 0; ++s)
+        if (simulate_fault_serial(nl, faults[i], seqs[s]) >= 0)
+          serial_at = static_cast<int>(s);
+      EXPECT_EQ(wide.detected_at[i], serial_at)
+          << fault_name(nl, faults[i]) << " " << simd_tier_name(tier);
+    }
+  }
+}
+
+TEST(WideFsimTest, PotentialDetectionMatchesBaseline) {
+  const Netlist nl = toggler();
+  // rst s-a-0: faulty machine never initializes — potential detection
+  // only (good output known, faulty output X).
+  const Fault f{nl.find("rst"), -1, false};
+  const std::vector<TestSequence> seqs{seq_of({1, 0, 0, 0}),
+                                       seq_of({0, 0, 0, 0}),
+                                       seq_of({1, 1, 0, 0})};
+  const auto base = run_baseline(nl, {f}, seqs);
+  EXPECT_EQ(base.detected_at[0], -1);
+  EXPECT_EQ(base.potential_at[0], 0);
+  for (const SimdTier tier : usable_tiers())
+    expect_same_result(run_wide(nl, {f}, seqs, tier), base,
+                       simd_tier_name(tier));
+}
+
+TEST(WideFsimTest, FirstDetectionTieBreaksByLowestSequence) {
+  const Netlist nl = toggler();
+  const Fault f{nl.find("d"), -1, false};
+  // Sequences 1, 3, and 6 all detect; contract: report the lowest index
+  // even though all lanes of the group see the detection simultaneously.
+  const TestSequence hit = seq_of({1, 0, 0, 0});
+  const TestSequence miss = seq_of({1, 1, 1, 1});
+  const std::vector<TestSequence> seqs{miss, hit, miss, hit,
+                                       miss, miss, hit, miss, hit};
+  for (const SimdTier tier : usable_tiers()) {
+    const auto r = run_wide(nl, {f}, seqs, tier);
+    EXPECT_EQ(r.detected_at[0], 1) << simd_tier_name(tier);
+  }
+}
+
+// Wide == baseline on synthesized MCNC machines and their retimed twins,
+// for every usable tier and thread count. This is the engine acceptance
+// contract: FsimResult byte-identical across {baseline64, wide} x
+// {1,2,8 threads} x {scalar..widest}.
+TEST(WideFsimTest, MatchesBaselineOnMcncPairs) {
+  for (const char* name : {"dk16", "s820"}) {
+    FsmGenSpec spec;
+    for (const auto& s : mcnc_specs())
+      if (s.name == name) spec = s;
+    const Fsm fsm = generate_control_fsm(scaled_spec(spec, 0.4));
+    SynthOptions so;
+    so.encode = EncodeAlgo::kOutputDominant;
+    const SynthResult res = synthesize(fsm, so);
+    const Netlist& orig = res.netlist;
+    const Netlist retimed =
+        retime_to_dff_target(orig, orig.num_dffs() * 3, orig.name() + ".re")
+            .netlist;
+
+    for (const Netlist* nl : {&orig, &retimed}) {
+      const auto collapsed = collapse_faults(*nl);
+      std::vector<Fault> faults;
+      for (const auto& cf : collapsed) faults.push_back(cf.representative);
+      // 11 sequences: one full lane group plus a ragged partial group.
+      const auto seqs = make_random_sequences(*nl, 11, 24, 11);
+
+      const auto base = run_baseline(*nl, faults, seqs);
+      for (const SimdTier tier : usable_tiers())
+        for (const unsigned threads : {1u, 2u, 8u})
+          expect_same_result(
+              run_wide(*nl, faults, seqs, tier, threads), base,
+              nl->name() + " " + simd_tier_name(tier) + " x" +
+                  std::to_string(threads));
+    }
+  }
+}
+
+TEST(WideFsimTest, RaggedSequenceLengths) {
+  FsmGenSpec spec;
+  for (const auto& s : mcnc_specs())
+    if (s.name == "dk16") spec = s;
+  const SynthResult res =
+      synthesize(generate_control_fsm(scaled_spec(spec, 0.4)), {});
+  const Netlist& nl = res.netlist;
+  const auto collapsed = collapse_faults(nl);
+  std::vector<Fault> faults;
+  for (const auto& cf : collapsed) faults.push_back(cf.representative);
+
+  // Lengths 1..13 across two lane groups: lanes die at different frames,
+  // so the per-frame live mask and dead-lane X handling both matter.
+  std::vector<TestSequence> seqs;
+  for (int k = 1; k <= 13; ++k) {
+    const auto one = make_random_sequences(nl, 1, static_cast<std::size_t>(k),
+                                           static_cast<std::uint64_t>(k) * 3);
+    seqs.push_back(one[0]);
+  }
+  const auto base = run_baseline(nl, faults, seqs);
+  for (const SimdTier tier : usable_tiers())
+    expect_same_result(run_wide(nl, faults, seqs, tier), base,
+                       simd_tier_name(tier));
+}
+
+// Semantic metrics (fsim.calls/sequences/vectors/batches) are identical
+// between engines; the full registry dump is byte-identical across wide
+// tiers (engine internals included).
+TEST(WideFsimTest, MetricsParityAcrossEnginesAndTiers) {
+  FsmGenSpec spec;
+  for (const auto& s : mcnc_specs())
+    if (s.name == "dk16") spec = s;
+  const SynthResult res =
+      synthesize(generate_control_fsm(scaled_spec(spec, 0.4)), {});
+  const Netlist& nl = res.netlist;
+  const auto collapsed = collapse_faults(nl);
+  std::vector<Fault> faults;
+  for (const auto& cf : collapsed) faults.push_back(cf.representative);
+  const auto seqs = make_random_sequences(nl, 11, 24, 11);
+
+  auto& reg = MetricsRegistry::global();
+  const bool was_enabled = metrics_enabled();
+  set_metrics_enabled(true);
+
+  reg.reset();
+  run_baseline(nl, faults, seqs);
+  const std::uint64_t base_batches = reg.counter("fsim.batches").total();
+  const std::uint64_t base_vectors = reg.counter("fsim.vectors").total();
+
+  std::string first_wide_json;
+  for (const SimdTier tier : usable_tiers()) {
+    reg.reset();
+    run_wide(nl, faults, seqs, tier);
+    EXPECT_EQ(reg.counter("fsim.batches").total(), base_batches)
+        << simd_tier_name(tier);
+    EXPECT_EQ(reg.counter("fsim.vectors").total(), base_vectors)
+        << simd_tier_name(tier);
+    const std::string json = reg.to_json();
+    if (first_wide_json.empty())
+      first_wide_json = json;
+    else
+      EXPECT_EQ(json, first_wide_json) << simd_tier_name(tier);
+  }
+
+  reg.reset();
+  set_metrics_enabled(was_enabled);
+}
+
+}  // namespace
+}  // namespace satpg

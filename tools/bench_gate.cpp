@@ -2,19 +2,30 @@
 //
 //   bench_gate <baseline> <candidate> [--max-coverage-drop=F]
 //              [--max-effort-ratio=F] [--dir=DIR]
+//   bench_gate --fsim <BENCH_fsim.json> [--min-fsim-speedup=F]
 //
 // <baseline>/<candidate> are report file paths or archive hash prefixes
 // (resolved against --dir, default "runs"). Prints the full deterministic
 // diff, then PASS or FAIL with one line per violated threshold.
 //
+// --fsim mode reads the packed-vs-baseline table the microbench writes
+// (schema satpg.bench_fsim.v2), prints it, and passes iff the engines
+// agreed on detection counts and the best wide row reached the speedup
+// floor (default 2.0x over the 64-slot baseline). Wired non-blocking in
+// CI: wall-clock on shared runners is advisory, determinism is not.
+//
 // Exit codes: 0 = pass, 1 = threshold violated, 2 = usage/load error.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "base/json.h"
 #include "harness/archive.h"
 #include "harness/diff.h"
 
@@ -27,6 +38,8 @@ int usage() {
                "usage: bench_gate <baseline> <candidate>"
                " [--max-coverage-drop=F] [--max-effort-ratio=F]"
                " [--dir=DIR]\n"
+               "       bench_gate --fsim <BENCH_fsim.json>"
+               " [--min-fsim-speedup=F]\n"
                "  baseline/candidate: report file path or archive hash\n");
   return 2;
 }
@@ -36,14 +49,83 @@ const char* flag_value(const char* arg, const char* prefix) {
   return std::strncmp(arg, prefix, n) == 0 ? arg + n : nullptr;
 }
 
+// --fsim mode: gate on the microbench's packed-vs-baseline table.
+int run_fsim_gate(const std::string& path, double min_speedup) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+
+  JsonValue doc;
+  std::string err;
+  if (!json_parse(ss.str(), &doc, &err)) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), err.c_str());
+    return 2;
+  }
+  const JsonValue* rows = doc.find("rows");
+  if (!rows || !rows->is_array() || rows->array().empty()) {
+    std::fprintf(stderr, "error: %s: missing rows[]\n", path.c_str());
+    return 2;
+  }
+
+  std::printf("fsim bench: %s on %s (%llu faults, %llu x %llu patterns, "
+              "%llu threads)\n",
+              doc.str_or("bench", "?").c_str(),
+              doc.str_or("circuit", "?").c_str(),
+              static_cast<unsigned long long>(doc.uint_or("faults", 0)),
+              static_cast<unsigned long long>(doc.uint_or("sequences", 0)),
+              static_cast<unsigned long long>(
+                  doc.uint_or("frames_per_sequence", 0)),
+              static_cast<unsigned long long>(doc.uint_or("num_threads", 0)));
+  std::printf("  %-14s %10s %16s %10s\n", "engine", "seconds", "patterns/s",
+              "speedup");
+  double best_wide_speedup = 0.0;
+  for (const JsonValue& row : rows->array()) {
+    const std::string engine = row.str_or("engine", "?");
+    const double speedup = row.num_or("speedup_vs_baseline", 0.0);
+    std::printf("  %-14s %10.4f %16.0f %9.2fx\n", engine.c_str(),
+                row.num_or("seconds", 0.0),
+                row.num_or("patterns_per_second", 0.0), speedup);
+    if (engine.compare(0, 5, "wide/") == 0)
+      best_wide_speedup = std::max(best_wide_speedup, speedup);
+  }
+
+  bool pass = true;
+  if (!doc.bool_or("deterministic", false)) {
+    std::printf("VIOLATION: engines disagreed on detection counts\n");
+    pass = false;
+  }
+  if (best_wide_speedup < min_speedup) {
+    std::printf("VIOLATION: best wide speedup %.2fx below the %.2fx floor\n",
+                best_wide_speedup, min_speedup);
+    pass = false;
+  }
+  std::printf("gate threshold: wide speedup >= %.2fx over baseline64\n",
+              min_speedup);
+  std::printf("%s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string dir = "runs";
   GateOptions gopts;
+  std::string fsim_path;
+  double min_fsim_speedup = 2.0;
+  bool fsim_mode = false;
   std::vector<std::string> specs;
   for (int i = 1; i < argc; ++i) {
-    if (const char* v = flag_value(argv[i], "--max-coverage-drop=")) {
+    if (std::strcmp(argv[i], "--fsim") == 0) {
+      if (i + 1 >= argc) return usage();
+      fsim_mode = true;
+      fsim_path = argv[++i];
+    } else if (const char* v4 = flag_value(argv[i], "--min-fsim-speedup=")) {
+      min_fsim_speedup = std::atof(v4);
+    } else if (const char* v = flag_value(argv[i], "--max-coverage-drop=")) {
       gopts.max_coverage_drop = std::atof(v);
     } else if (const char* v2 = flag_value(argv[i], "--max-effort-ratio=")) {
       gopts.max_effort_ratio = std::atof(v2);
@@ -54,6 +136,10 @@ int main(int argc, char** argv) {
     } else {
       specs.emplace_back(argv[i]);
     }
+  }
+  if (fsim_mode) {
+    if (!specs.empty()) return usage();
+    return run_fsim_gate(fsim_path, min_fsim_speedup);
   }
   if (specs.size() != 2) return usage();
 

@@ -84,7 +84,11 @@ void print_usage(std::FILE* f) {
       "                [--capture-json=FILE] [--capture-fault=NAME|INDEX]\n"
       "  satpg fsim    c.bench [--sequences=N] [--length=N] [--seed=N]"
       " [--threads=N]\n"
+      "                [--engine=auto|baseline|wide]"
+      " [--width=64|128|256|512] [--force-scalar]\n"
       "                [--metrics-json=FILE] [--trace-json=FILE]\n"
+      "                (SATPG_FORCE_SCALAR=1 in the environment pins the"
+      " scalar kernel too)\n"
       "  satpg retime  in.bench out.bench [--dffs=N]\n"
       "  satpg scan    in.bench out.bench [--partial]\n"
       "  satpg archive <report.json>... [--dir=DIR]\n"
@@ -353,6 +357,35 @@ int cmd_fsim(const Netlist& nl, int argc, char** argv) {
       seed = static_cast<std::uint64_t>(std::atoll(v3));
     } else if (const char* v4 = flag_value(argv[i], "--threads=")) {
       fopts.num_threads = static_cast<unsigned>(std::atoi(v4));
+    } else if (const char* v5 = flag_value(argv[i], "--engine=")) {
+      if (std::strcmp(v5, "auto") == 0) {
+        fopts.engine = FsimEngine::kAuto;
+      } else if (std::strcmp(v5, "baseline") == 0) {
+        fopts.engine = FsimEngine::kBaseline64;
+      } else if (std::strcmp(v5, "wide") == 0) {
+        fopts.engine = FsimEngine::kWide;
+      } else {
+        std::fprintf(stderr, "error: unknown --engine=%s\n", v5);
+        return 2;
+      }
+    } else if (const char* v6 = flag_value(argv[i], "--width=")) {
+      SimdTier tier;
+      if (!simd_tier_from_width(static_cast<unsigned>(std::atoi(v6)),
+                                &tier)) {
+        std::fprintf(stderr,
+                     "error: --width must be 64, 128, 256 or 512\n");
+        return 2;
+      }
+      if (!fsim_wide_tier_usable(tier)) {
+        std::fprintf(stderr,
+                     "error: --width=%s kernel is not available on this "
+                     "machine/build\n",
+                     v6);
+        return 1;
+      }
+      fopts.simd = tier;
+    } else if (std::strcmp(argv[i], "--force-scalar") == 0) {
+      fopts.simd = SimdTier::kScalar;
     } else {
       return usage();
     }
@@ -376,6 +409,14 @@ int cmd_fsim(const Netlist& nl, int argc, char** argv) {
 
   const auto [detected_weight, total_weight] =
       graded_coverage(collapsed, r.detected_at);
+  const bool used_wide =
+      fopts.engine == FsimEngine::kWide ||
+      (fopts.engine == FsimEngine::kAuto && seqs.size() >= 2);
+  std::printf("engine           : %s\n",
+              used_wide ? (std::string("wide/") +
+                           simd_tier_name(fsim_wide_resolve_tier(fopts.simd)))
+                              .c_str()
+                        : "baseline64");
   std::printf("sequences        : %d x %d cycles (seed %llu)\n", sequences,
               length, static_cast<unsigned long long>(seed));
   std::printf("faults           : %zu collapsed classes (%zu weighted)\n",
