@@ -1,0 +1,11 @@
+// Ablation: cross-fault proven-cube sharing on vs off for the cdcl engine
+// on retimed twins (conflicts, cube exports, work).
+#include "bench_main.h"
+
+int main(int argc, char** argv) {
+  return satpg::bench_table_main(
+      argc, argv, "Ablation: cdcl cube sharing on retimed circuits",
+      [](satpg::Suite& suite, const satpg::ExperimentOptions& opts) {
+        return satpg::run_ablation_cdcl_sharing(suite, opts);
+      });
+}

@@ -1,0 +1,12 @@
+// Fourth engine column for Tables 2-4: the SAT/CDCL engine on the Table-4
+// circuit pairs next to the hitec baseline, including the attribution
+// oracle's invalid-state effort fraction for both engines.
+#include "bench_main.h"
+
+int main(int argc, char** argv) {
+  return satpg::bench_table_main(
+      argc, argv, "Table 9: SAT/CDCL engine vs structural baseline",
+      [](satpg::Suite& suite, const satpg::ExperimentOptions& opts) {
+        return satpg::run_table9_cdcl(suite, opts);
+      });
+}

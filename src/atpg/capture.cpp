@@ -28,6 +28,7 @@ bool parse_engine_kind(const std::string& s, EngineKind* out) {
   if (s == "hitec") *out = EngineKind::kHitec;
   else if (s == "forward") *out = EngineKind::kForward;
   else if (s == "learning") *out = EngineKind::kLearning;
+  else if (s == "cdcl") *out = EngineKind::kCdcl;
   else return false;
   return true;
 }
@@ -84,12 +85,13 @@ std::string capture_config_digest(const SearchCapture& cap) {
   // hand-edited event stream still replays (and simply mismatches), while a
   // hand-edited circuit/options pairing is rejected up front.
   const std::string blob = strprintf(
-      "%s|%s|%d|%d|%llu|%llu|%d|%llu|%s|%zu|%zu|%d|%llu",
+      "%s|%s|%d|%d|%llu|%llu|%d|%d|%llu|%s|%zu|%zu|%d|%llu",
       cap.circuit.c_str(), engine_kind_name(cap.options.kind),
       cap.options.max_forward_frames, cap.options.max_backward_frames,
       static_cast<unsigned long long>(cap.options.backtrack_limit),
       static_cast<unsigned long long>(cap.options.eval_limit),
       cap.options.verify_reject_limit,
+      cap.options.share_learning ? 1 : 0,
       static_cast<unsigned long long>(cap.soft_eval_cap),
       cap.fault.c_str(), cap.fault_index, cap.ring_capacity,
       cap.wall_aborted ? 1 : 0,
@@ -136,7 +138,8 @@ bool write_capture_json(const std::string& path, const SearchCapture& cap) {
      << ", \"backtrack_limit\": " << cap.options.backtrack_limit
      << ", \"eval_limit\": " << cap.options.eval_limit
      << ", \"verify_reject_limit\": " << cap.options.verify_reject_limit
-     << "},\n"
+     << ", \"share_learning\": "
+     << (cap.options.share_learning ? "true" : "false") << "},\n"
      << " \"seed\": " << cap.seed
      << ", \"soft_eval_cap\": " << cap.soft_eval_cap
      << ", \"config_digest\": \"" << cap.config_digest << "\",\n"
@@ -196,6 +199,7 @@ bool parse_capture_json(const std::string& path, SearchCapture* out,
   cap.options.eval_limit = eng->uint_or("eval_limit", 4'000'000);
   cap.options.verify_reject_limit =
       static_cast<int>(eng->num_or("verify_reject_limit", 25));
+  cap.options.share_learning = eng->bool_or("share_learning", true);
   cap.seed = root.uint_or("seed", 0);
   cap.soft_eval_cap = root.uint_or("soft_eval_cap", 0);
   cap.config_digest = root.str_or("config_digest", "");
@@ -292,10 +296,13 @@ ReplayResult replay_capture(const Netlist& nl, const SearchCapture& cap) {
   res.events = ring.window();
 
   const std::string learn_note =
-      cap.options.kind == EngineKind::kLearning
-          ? " (note: kLearning consults caches warmed by other faults; "
+      cap.options.kind == EngineKind::kLearning ||
+              (cap.options.kind == EngineKind::kCdcl &&
+               cap.options.share_learning)
+          ? " (note: this engine consults caches warmed by other faults; "
             "single-fault replay cannot reconstruct them — divergence is "
-            "expected, see DESIGN.md §7)"
+            "expected, see DESIGN.md §7. For kCdcl, re-capture with "
+            "--no-shared-learning for a bit-exact replay)"
           : "";
   if (ring.total() != cap.ring_total) {
     res.mismatch_index = static_cast<std::int64_t>(

@@ -1,0 +1,468 @@
+#include "atpg/cdcl/cdcl.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "atpg/capture.h"
+#include "atpg/cdcl/cnf.h"
+#include "atpg/tfm.h"
+
+namespace satpg {
+
+namespace {
+
+/// Objective codes recorded into the decision ring's kObjective events
+/// (value field), mirroring PodemGoal's order.
+constexpr std::uint8_t kObjDetect = 0;
+constexpr std::uint8_t kObjDetectOrStore = 1;
+constexpr std::uint8_t kObjJustify = 2;
+
+}  // namespace
+
+void CdclAtpg::publish_phase(SearchPhase p) {
+  if (e_.progress_ != nullptr)
+    e_.progress_->phase.store(static_cast<std::uint32_t>(p),
+                              std::memory_order_relaxed);
+}
+
+// Second leg of the unreachability proof. A predecessor-free cube is
+// disjoint from the image of every state, so it can only intersect the
+// reachable set through the INITIAL states (reachable = initial ∪ image
+// closure, analysis/reach.h). Under the study's reset convention — an
+// explicit reset input, the same default name reach.h keys on — the
+// initial (reset) set is itself an image fixpoint, so predecessor-UNSAT
+// already covers it. Otherwise the initial set comes from the FfInit
+// values, and the cube must demand the opposite of some pinned init digit
+// to provably miss it (a kUnknown digit admits both values, so only a
+// pinned conflict excludes the whole set).
+bool CdclAtpg::cube_excludes_initial(const StateKey& key) const {
+  for (const NodeId in : e_.nl_.inputs())
+    if (e_.nl_.node(in).name == "rst") return true;
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    const V3 v = key.get(i);
+    if (v == V3::kX) continue;
+    const FfInit init = e_.nl_.node(e_.nl_.dffs()[i]).init;
+    if (init == FfInit::kZero && v == V3::kOne) return true;
+    if (init == FfInit::kOne && v == V3::kZero) return true;
+  }
+  return false;
+}
+
+void CdclAtpg::harvest(const CdclSolver& solver) {
+  const SolverStats& s = solver.stats();
+  e_.stats_.conflicts += s.conflicts;
+  e_.stats_.propagations += s.propagations;
+  e_.stats_.restarts += s.restarts;
+  e_.stats_.learned_clauses += s.learned;
+}
+
+CdclAtpg::JustifyOutcome CdclAtpg::justify(
+    const std::vector<std::pair<NodeId, V3>>& cube, int depth,
+    StateSet& on_path, PodemBudget& budget) {
+  JustifyOutcome out;
+  if (cube.empty()) {
+    out.status = JustifyOutcome::Status::kJustified;
+    return out;
+  }
+  publish_phase(SearchPhase::kJustify);
+  ++e_.stats_.justify_calls;
+  e_.stats_.max_justify_depth =
+      std::max<std::uint64_t>(e_.stats_.max_justify_depth,
+                              static_cast<std::uint64_t>(depth) + 1);
+  const StateKey key = e_.cube_key(cube);
+  e_.cubes_visited_.insert(key);
+  const std::size_t bucket =
+      static_cast<std::size_t>(e_.classify_cube(key));
+  const bool attributed = e_.validity_ != nullptr;
+  EffortAttribution& attr = e_.stats_.attribution;
+  if (attributed) ++attr.justify_calls[bucket];
+  const auto fail_bucket = [&] {
+    if (attributed) ++attr.justify_failures[bucket];
+  };
+  if (depth > e_.opts_.max_backward_frames) {
+    ++e_.stats_.justify_failures;
+    fail_bucket();
+    return out;
+  }
+  if (on_path.count(key)) {
+    ++e_.stats_.justify_failures;
+    fail_bucket();
+    return out;  // state-requirement loop
+  }
+
+  // Cache consumption enters the decision stream exactly as in the
+  // structural kLearning engine (same replay semantics).
+  const auto ring_learn_hit = [&](bool ok) {
+    if (e_.ring_ != nullptr)
+      e_.ring_->push({DecisionEventKind::kLearnHit,
+                      static_cast<std::uint8_t>(ok ? 1 : 0), depth, -1,
+                      static_cast<std::uint64_t>(StateKeyHash{}(key))});
+  };
+  if (auto it = e_.learned_ok_.find(key); it != e_.learned_ok_.end()) {
+    ++e_.stats_.learn_hits;
+    ring_learn_hit(true);
+    out.status = JustifyOutcome::Status::kJustified;
+    out.prefix = it->second;
+    return out;
+  }
+  if (e_.learned_fail_.count(key)) {
+    ++e_.stats_.learn_hits;
+    ++e_.stats_.justify_failures;
+    fail_bucket();
+    ring_learn_hit(false);
+    out.status = JustifyOutcome::Status::kProvenInvalid;
+    return out;
+  }
+  if (e_.opts_.share_learning && e_.shared_ != nullptr) {
+    std::vector<std::vector<V3>> prefix;
+    if (e_.shared_->lookup_ok(key, &prefix)) {
+      ++e_.stats_.learn_hits;
+      ring_learn_hit(true);
+      e_.learned_ok_[key] = prefix;
+      out.status = JustifyOutcome::Status::kJustified;
+      out.prefix = std::move(prefix);
+      return out;
+    }
+    if (e_.shared_->lookup_fail(key)) {
+      ++e_.stats_.learn_hits;
+      ++e_.stats_.justify_failures;
+      fail_bucket();
+      ring_learn_hit(false);
+      e_.learned_fail_.insert(key);
+      out.status = JustifyOutcome::Status::kProvenInvalid;
+      return out;
+    }
+  }
+  ++e_.stats_.learn_misses;
+
+  on_path.insert(key);
+
+  // One-frame fault-free predecessor query: free previous state and
+  // inputs, the D lines of the cube's flip-flops pinned to its values.
+  CdclSolver solver;
+  TimeFrameCnf cnf(e_.nl_, std::nullopt, 1, &solver);
+  solver.set_budget(&budget);
+  solver.set_ring(e_.ring_);
+  for (const auto& [ff, v] : cube)
+    cnf.add_justify_target(ff, v == V3::kOne);
+  // Blocking proven-unreachable cubes cannot hide a REACHABLE predecessor,
+  // so an UNSAT below is still an exact unreachability proof (§9).
+  std::size_t blocked = 0;
+  if (e_.ring_ != nullptr)
+    e_.ring_->push({DecisionEventKind::kObjective, kObjJustify, depth, -1,
+                    static_cast<std::uint64_t>(StateKeyHash{}(key))});
+
+  // Taint: any incomplete step (budget abort, depth/loop/budget failure of
+  // a sub-cube we then blocked) makes a final UNSAT inconclusive — the
+  // cube merely FAILED, it was not proven unreachable.
+  bool tainted = false;
+  std::uint64_t evals0 = budget.evals;
+  std::uint64_t backtracks0 = budget.backtracks;
+  const auto commit_spend = [&] {
+    if (attributed) {
+      attr.justify_evals[bucket] += budget.evals - evals0;
+      attr.justify_backtracks[bucket] += budget.backtracks - backtracks0;
+      if (e_.progress_ != nullptr)
+        e_.progress_->invalid_evals.store(
+            attr.justify_evals[static_cast<std::size_t>(
+                StateValidity::kInvalid)],
+            std::memory_order_relaxed);
+    }
+  };
+  for (;;) {
+    // Catch up on cubes proven since the last solve (imports at entry,
+    // then anything deeper recursions exported mid-loop).
+    while (blocked < blocking_.size()) {
+      if (cnf.block_state_cube(blocking_[blocked])) ++e_.stats_.cube_blocks;
+      ++blocked;
+    }
+    const SolveStatus st = solver.solve();
+    if (st == SolveStatus::kAborted) {
+      commit_spend();
+      tainted = true;
+      break;
+    }
+    if (st == SolveStatus::kUnsat) {
+      commit_spend();
+      break;
+    }
+    // Lift the model to a 3-valued (previous-state, input) pair: keep the
+    // model's inputs, drop every flip-flop whose value the targets don't
+    // need. Greedy in dffs() order, checked on the good rail of the TFM.
+    std::vector<V3> vec(e_.nl_.num_inputs(), V3::kX);
+    TimeFrameModel tfm(e_.nl_, std::nullopt, 1);
+    tfm.attach_eval_counter(&budget.evals);
+    for (std::size_t i = 0; i < e_.nl_.inputs().size(); ++i) {
+      const NodeId pi = e_.nl_.inputs()[i];
+      vec[i] = solver.model_value(cnf.good(0, pi)) ? V3::kOne : V3::kZero;
+      tfm.assign(0, pi, vec[i]);
+    }
+    const std::size_t pi_mark = tfm.trail_mark();
+    const std::size_t n = e_.nl_.num_dffs();
+    std::vector<V3> sv(n);
+    for (std::size_t i = 0; i < n; ++i)
+      sv[i] = solver.model_value(cnf.state_var(i)) ? V3::kOne : V3::kZero;
+    std::vector<char> kept(n, 1);
+    const auto targets_met = [&] {
+      for (const auto& [ff, v] : cube)
+        if (tfm.value(0, e_.nl_.node(ff).fanins[0]).g != v) return false;
+      return true;
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j)
+        if (kept[j] && j != i) tfm.assign(0, e_.nl_.dffs()[j], sv[j]);
+      const bool met = targets_met();
+      tfm.undo_to(pi_mark);
+      if (met) kept[i] = 0;
+    }
+    std::vector<std::pair<NodeId, V3>> prev_cube;
+    for (std::size_t i = 0; i < n; ++i)
+      if (kept[i]) prev_cube.push_back({e_.nl_.dffs()[i], sv[i]});
+    commit_spend();
+
+    auto sub = justify(prev_cube, depth + 1, on_path, budget);
+    publish_phase(SearchPhase::kJustify);
+    evals0 = budget.evals;
+    backtracks0 = budget.backtracks;
+    if (sub.status == JustifyOutcome::Status::kJustified) {
+      out.status = JustifyOutcome::Status::kJustified;
+      out.prefix = std::move(sub.prefix);
+      out.prefix.push_back(std::move(vec));
+      break;
+    }
+    if (sub.status == JustifyOutcome::Status::kFailed) {
+      // Not proven unreachable — excluding it below makes any later UNSAT
+      // inconclusive for THIS cube, but enumeration must move on.
+      tainted = true;
+      cnf.block_state_cube(e_.cube_key(prev_cube));
+    }
+    // kProvenInvalid: the recursion appended prev_cube to blocking_; the
+    // catch-up at the top of the loop blocks it here.
+    if (budget.exhausted_backtracks() || budget.exhausted_evals()) {
+      tainted = true;
+      break;
+    }
+  }
+  on_path.erase(key);
+  harvest(solver);
+
+  if (out.status == JustifyOutcome::Status::kJustified) {
+    e_.learned_ok_[key] = out.prefix;
+    ++e_.stats_.learn_inserts;
+    return out;
+  }
+  ++e_.stats_.justify_failures;
+  fail_bucket();
+  if (!tainted && cube_excludes_initial(key)) {
+    // Complete UNSAT with only proven-unreachable cubes excluded AND the
+    // initial set ruled out: no reachable predecessor produces this cube
+    // and no initial state lies in it, so (reachable = initial ∪ image
+    // closure, analysis/reach's fixpoint) the cube intersects no reachable
+    // state. Export the proof.
+    out.status = JustifyOutcome::Status::kProvenInvalid;
+    e_.learned_fail_.insert(key);
+    ++e_.stats_.learn_inserts;
+    ++e_.stats_.cube_exports;
+    blocking_.push_back(key);
+  }
+  return out;
+}
+
+FaultAttempt CdclAtpg::generate(const Fault& fault) {
+  const auto t0 = std::chrono::steady_clock::now();
+  FaultAttempt attempt;
+  e_.current_fault_ = fault;
+  e_.stats_ = FaultSearchStats{};
+  if (!e_.opts_.share_learning) {
+    // Pure per-attempt mode: every generate() is a function of (netlist,
+    // fault, options) alone — the `satpg replay` contract.
+    e_.learned_ok_.clear();
+    e_.learned_fail_.clear();
+  }
+
+  PodemBudget budget;
+  budget.max_backtracks = e_.opts_.backtrack_limit;
+  budget.max_evals = e_.soft_eval_cap_ != 0
+                         ? std::min(e_.opts_.eval_limit, e_.soft_eval_cap_)
+                         : e_.opts_.eval_limit;
+  budget.abort = e_.abort_;
+  budget.abort_at_check = e_.abort_at_check_;
+  budget.progress = e_.progress_;
+  if (e_.ring_ != nullptr) e_.ring_->reset();
+  budget.ring = e_.ring_;
+
+  // Visible proven-unreachable cubes, imported once per attempt in a
+  // deterministic order: the shared view's snapshot (frozen for the round)
+  // merged with the local failure cache, sorted by packed-key text.
+  blocking_.clear();
+  if (e_.opts_.share_learning && e_.shared_ != nullptr)
+    blocking_ = e_.shared_->fail_cubes();
+  for (const StateKey& k : e_.learned_fail_) blocking_.push_back(k);
+  std::sort(blocking_.begin(), blocking_.end(),
+            [](const StateKey& a, const StateKey& b) {
+              return a.to_string() < b.to_string();
+            });
+  blocking_.erase(std::unique(blocking_.begin(), blocking_.end()),
+                  blocking_.end());
+  for (const StateKey& k : blocking_) e_.learned_fail_.insert(k);
+
+  bool any_aborted = false;
+  int rejects_this_fault = 0;
+
+  for (int frames = 1;
+       frames <= e_.opts_.max_forward_frames && !any_aborted; ++frames) {
+    if (frames > 1) ++e_.stats_.window_growths;
+    publish_phase(SearchPhase::kWindow);
+    CdclSolver solver;
+    TimeFrameCnf cnf(e_.nl_, fault, frames, &solver);
+    solver.set_budget(&budget);
+    solver.set_ring(e_.ring_);
+    if (!cnf.add_detect_objective(/*include_boundary=*/false))
+      continue;  // no PO difference expressible in this window; widen
+    if (e_.ring_ != nullptr)
+      e_.ring_->push({DecisionEventKind::kObjective, kObjDetect, frames, -1,
+                      static_cast<std::uint64_t>(blocking_.size())});
+    std::size_t blocked = 0;
+    for (;;) {
+      while (blocked < blocking_.size()) {
+        if (cnf.block_state_cube(blocking_[blocked]))
+          ++e_.stats_.cube_blocks;
+        ++blocked;
+      }
+      const SolveStatus st = solver.solve();
+      if (st == SolveStatus::kAborted) {
+        any_aborted = true;
+        break;
+      }
+      if (st == SolveStatus::kUnsat) break;  // widen the window
+      // Extract the window's input vectors and lift the frame-0 state:
+      // drop every flip-flop the detection doesn't need, greedily in
+      // dffs() order, re-checked on the dual-rail model.
+      std::vector<std::vector<V3>> window(
+          static_cast<std::size_t>(frames),
+          std::vector<V3>(e_.nl_.num_inputs(), V3::kX));
+      TimeFrameModel tfm(e_.nl_, fault, frames);
+      tfm.attach_eval_counter(&budget.evals);
+      for (int t = 0; t < frames; ++t)
+        for (std::size_t i = 0; i < e_.nl_.inputs().size(); ++i) {
+          const NodeId pi = e_.nl_.inputs()[i];
+          const V3 v =
+              solver.model_value(cnf.good(t, pi)) ? V3::kOne : V3::kZero;
+          window[static_cast<std::size_t>(t)][i] = v;
+          tfm.assign(t, pi, v);
+        }
+      const std::size_t pi_mark = tfm.trail_mark();
+      const std::size_t n = e_.nl_.num_dffs();
+      std::vector<V3> sv(n);
+      for (std::size_t i = 0; i < n; ++i)
+        sv[i] = solver.model_value(cnf.state_var(i)) ? V3::kOne : V3::kZero;
+      std::vector<char> kept(n, 1);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j)
+          if (kept[j] && j != i) tfm.assign(0, e_.nl_.dffs()[j], sv[j]);
+        const bool det = tfm.detected_at_po();
+        tfm.undo_to(pi_mark);
+        if (det) kept[i] = 0;
+      }
+      std::vector<std::pair<NodeId, V3>> cube;
+      for (std::size_t i = 0; i < n; ++i)
+        if (kept[i]) cube.push_back({e_.nl_.dffs()[i], sv[i]});
+
+      StateSet on_path;
+      auto just = justify(cube, 0, on_path, budget);
+      publish_phase(SearchPhase::kWindow);
+      if (just.status == JustifyOutcome::Status::kJustified) {
+        TestSequence candidate = just.prefix;
+        for (const auto& v : window) candidate.push_back(v);
+        for (auto& vec : candidate)
+          for (auto& x : vec)
+            if (x == V3::kX) x = V3::kZero;
+        if (simulate_fault_serial(e_.nl_, fault, candidate) >= 0) {
+          attempt.status = FaultStatus::kDetected;
+          attempt.sequence = std::move(candidate);
+          break;
+        }
+        ++e_.verify_rejects_;
+        if (++rejects_this_fault >= e_.opts_.verify_reject_limit) {
+          any_aborted = true;
+          break;
+        }
+        // Justification ran on the good machine and disagreed with the
+        // faulty simulator: rule out only this exact decision assignment
+        // and keep enumerating.
+        std::vector<CnfLit> blk;
+        for (int t = 0; t < frames; ++t)
+          for (std::size_t i = 0; i < e_.nl_.inputs().size(); ++i) {
+            const int var = cnf.good(t, e_.nl_.inputs()[i]);
+            blk.push_back(mk_lit(var, solver.model_value(var)));
+          }
+        for (std::size_t i = 0; i < n; ++i)
+          blk.push_back(mk_lit(cnf.state_var(i),
+                               solver.model_value(cnf.state_var(i))));
+        solver.add_clause(std::move(blk));
+      } else {
+        // The lifted cube cannot be justified (it is nonempty — the empty
+        // cube trivially succeeds). Exclude it and enumerate on; when it
+        // was PROVEN unreachable the catch-up above also blocks it in
+        // every later solver of the attempt.
+        cnf.block_state_cube(e_.cube_key(cube));
+      }
+      if (budget.exhausted_backtracks() || budget.exhausted_evals()) {
+        any_aborted = true;
+        break;
+      }
+    }
+    harvest(solver);
+    if (attempt.status == FaultStatus::kDetected) break;
+  }
+
+  if (attempt.status != FaultStatus::kDetected && !any_aborted) {
+    // Sound redundancy proof, same shape as the structural engines'
+    // kDetectOrStore search: one frame, free state and inputs, NO blocking
+    // clauses — the UNSAT must be unconditional. Runs on the same budget.
+    publish_phase(SearchPhase::kRedundancy);
+    CdclSolver solver;
+    TimeFrameCnf cnf(e_.nl_, fault, 1, &solver);
+    solver.set_budget(&budget);
+    solver.set_ring(e_.ring_);
+    if (e_.ring_ != nullptr)
+      e_.ring_->push({DecisionEventKind::kObjective, kObjDetectOrStore, 1,
+                      -1, 0});
+    if (!cnf.add_detect_objective(/*include_boundary=*/true)) {
+      // No observation point can ever carry a difference: the fault's
+      // effect is structurally invisible from every state.
+      attempt.status = FaultStatus::kRedundant;
+    } else {
+      const SolveStatus st = solver.solve();
+      if (st == SolveStatus::kUnsat)
+        attempt.status = FaultStatus::kRedundant;
+      else if (st == SolveStatus::kAborted)
+        any_aborted = true;
+      // kSat: storable but not detected within the window — aborted.
+    }
+    harvest(solver);
+  }
+
+  e_.total_evals_ += budget.evals;
+  e_.total_backtracks_ += budget.backtracks;
+  e_.stats_.evals = budget.evals;
+  e_.stats_.backtracks = budget.backtracks;
+  e_.stats_.implications = budget.decisions;
+  e_.stats_.verify_rejects =
+      static_cast<std::uint64_t>(rejects_this_fault);
+  e_.stats_.budget_exhausted =
+      budget.exhausted_backtracks() || budget.exhausted_evals();
+  attempt.soft_capped = e_.soft_eval_cap_ != 0 &&
+                        e_.soft_eval_cap_ < e_.opts_.eval_limit &&
+                        attempt.status == FaultStatus::kAborted &&
+                        budget.exhausted_evals();
+  attempt.first_abort_check = budget.first_abort_check;
+  e_.stats_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  attempt.stats = e_.stats_;
+  return attempt;
+}
+
+}  // namespace satpg

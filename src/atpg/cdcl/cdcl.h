@@ -1,0 +1,62 @@
+// SAT-based sequential ATPG engine (EngineKind::kCdcl).
+//
+// The fourth engine of the study: the same iterative-array search the
+// structural engines run — forward window growth for propagation,
+// recursive backward state justification, sound single-frame redundancy —
+// but every per-window and per-justification-level query is answered by
+// the embedded CDCL solver over a Tseitin encoding (cdcl/cnf.h) instead
+// of PODEM branch-and-bound.
+//
+// Conflict learning crosses faults through state cubes, not raw clauses:
+// when a predecessor query for a frame-0 state cube completes UNSAT with
+// only proven-unreachable cubes blocked, that cube provably intersects no
+// reachable state and is canonicalized to a StateKey, recorded in the
+// engine's learned-failure cache, and published through the
+// SharedLearningCache like kLearning's entries. Every later attempt (any
+// fault, any worker) imports the visible proven cubes as blocking clauses
+// on its frame-0 state variables. Raw learned clauses are NOT exported —
+// they are conditional on the query's objective, so publishing them would
+// let one fault's window constraint masquerade as a reachability fact;
+// the cube form is exactly the sound, engine-independent residue
+// (DESIGN.md §9 has the unreachability induction; the property suite
+// checks every exported cube against the exact-BDD oracle).
+//
+// CdclAtpg is a per-attempt driver over AtpgEngine's state (a friend —
+// caches, stats, hooks and budget plumbing are shared with the structural
+// paths so the parallel driver, capture/replay, watchdog and attribution
+// observability work unchanged).
+#pragma once
+
+#include "atpg/engine.h"
+#include "atpg/cdcl/solver.h"
+
+namespace satpg {
+
+class CdclAtpg {
+ public:
+  explicit CdclAtpg(AtpgEngine& engine) : e_(engine) {}
+
+  FaultAttempt generate(const Fault& fault);
+
+ private:
+  struct JustifyOutcome {
+    enum class Status { kJustified, kProvenInvalid, kFailed };
+    Status status = Status::kFailed;
+    std::vector<std::vector<V3>> prefix;  ///< oldest vector first
+  };
+
+  JustifyOutcome justify(const std::vector<std::pair<NodeId, V3>>& cube,
+                         int depth, StateSet& on_path, PodemBudget& budget);
+  void publish_phase(SearchPhase p);
+  void harvest(const CdclSolver& solver);
+  bool cube_excludes_initial(const StateKey& key) const;
+
+  AtpgEngine& e_;
+  /// Proven-unreachable frame-0 cubes visible to this attempt: the sorted
+  /// import of (shared view ∪ local failure cache) at attempt start, plus
+  /// every cube proven during the attempt, in proof order. Every solver of
+  /// the attempt blocks all of them.
+  std::vector<StateKey> blocking_;
+};
+
+}  // namespace satpg

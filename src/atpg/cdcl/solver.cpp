@@ -1,0 +1,432 @@
+#include "atpg/cdcl/solver.h"
+
+#include <algorithm>
+
+#include "atpg/capture.h"
+#include "atpg/podem.h"
+#include "base/check.h"
+
+namespace satpg {
+
+namespace {
+
+// Luby sequence (1-based): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+std::uint64_t luby(std::uint64_t i) {
+  std::uint64_t k = 1;
+  while ((1ULL << k) - 1 < i) ++k;
+  while ((1ULL << k) - 1 != i) {
+    i -= (1ULL << (k - 1)) - 1;
+    k = 1;
+    while ((1ULL << k) - 1 < i) ++k;
+  }
+  return 1ULL << (k - 1);
+}
+
+}  // namespace
+
+int CdclSolver::new_var(VarTag tag) {
+  const int v = num_vars();
+  assign_.push_back(-1);
+  level_.push_back(0);
+  reason_.push_back(-1);
+  activity_.push_back(0.0);
+  phase_.push_back(0);
+  tags_.push_back(tag);
+  model_.push_back(0);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return v;
+}
+
+void CdclSolver::attach(int ci) {
+  const Clause& c = clauses_[static_cast<std::size_t>(ci)];
+  SATPG_DCHECK(c.lits.size() >= 2);
+  watches_[static_cast<std::size_t>(c.lits[0])].push_back(ci);
+  watches_[static_cast<std::size_t>(c.lits[1])].push_back(ci);
+}
+
+void CdclSolver::add_clause(std::vector<CnfLit> lits) {
+  if (!ok_) return;
+  SATPG_DCHECK(decision_level() == 0);
+  // Level-0 simplification: drop duplicate and falsified literals, skip
+  // satisfied and tautological clauses. Sort first so duplicates and l/¬l
+  // pairs are adjacent (also canonicalizes storage order).
+  std::sort(lits.begin(), lits.end());
+  std::vector<CnfLit> out;
+  out.reserve(lits.size());
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    const CnfLit l = lits[i];
+    SATPG_DCHECK(lit_var(l) >= 0 && lit_var(l) < num_vars());
+    if (!out.empty() && out.back() == l) continue;
+    if (!out.empty() && out.back() == lit_not(l)) return;  // tautology
+    const LBool v = value_of(l);
+    if (v == 1 && level_[static_cast<std::size_t>(lit_var(l))] == 0)
+      return;  // satisfied at level 0
+    if (v == 0 && level_[static_cast<std::size_t>(lit_var(l))] == 0)
+      continue;  // falsified at level 0
+    out.push_back(l);
+  }
+  if (out.empty()) {
+    ok_ = false;
+    return;
+  }
+  if (out.size() == 1) {
+    if (value_of(out[0]) == 0) {
+      ok_ = false;
+      return;
+    }
+    if (value_of(out[0]) == -1) enqueue(out[0], -1);
+    return;
+  }
+  Clause c;
+  c.lits = std::move(out);
+  clauses_.push_back(std::move(c));
+  attach(static_cast<int>(clauses_.size()) - 1);
+}
+
+void CdclSolver::enqueue(CnfLit l, int reason) {
+  const int v = lit_var(l);
+  SATPG_DCHECK(assign_[static_cast<std::size_t>(v)] < 0);
+  assign_[static_cast<std::size_t>(v)] = lit_sign(l) ? 0 : 1;
+  level_[static_cast<std::size_t>(v)] = decision_level();
+  reason_[static_cast<std::size_t>(v)] = reason;
+  trail_.push_back(l);
+  if (reason >= 0) {
+    ++stats_.propagations;
+    ++props_uncharged_;
+  }
+}
+
+int CdclSolver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const CnfLit p = trail_[qhead_++];  // p is now true
+    std::vector<int>& ws = watches_[static_cast<std::size_t>(lit_not(p))];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      const int ci = ws[i];
+      Clause& c = clauses_[static_cast<std::size_t>(ci)];
+      if (c.deleted) continue;  // dropped by reduce_db; shed lazily
+      // Put the false watch at lits[1].
+      const CnfLit false_lit = lit_not(p);
+      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      SATPG_DCHECK(c.lits[1] == false_lit);
+      if (value_of(c.lits[0]) == 1) {
+        ws[keep++] = ci;  // satisfied; keep watching
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (value_of(c.lits[k]) != 0) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[static_cast<std::size_t>(c.lits[1])].push_back(ci);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;  // watch migrated; drop from this list
+      ws[keep++] = ci;      // unit or conflicting: watch stays
+      if (value_of(c.lits[0]) == 0) {
+        // Conflict: restore the remaining watchers and report.
+        for (++i; i < ws.size(); ++i) ws[keep++] = ws[i];
+        ws.resize(keep);
+        qhead_ = trail_.size();
+        return ci;
+      }
+      enqueue(c.lits[0], ci);
+    }
+    ws.resize(keep);
+  }
+  return -1;
+}
+
+void CdclSolver::bump_var(int v) {
+  activity_[static_cast<std::size_t>(v)] += var_inc_;
+  if (activity_[static_cast<std::size_t>(v)] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+}
+
+void CdclSolver::decay_var_inc() { var_inc_ *= (1.0 / 0.95); }
+
+void CdclSolver::analyze(int confl, std::vector<CnfLit>* learnt,
+                         int* bt_level) {
+  // Standard first-UIP resolution walk over the implication graph, with no
+  // clause minimization afterwards: the result is exactly the asserting
+  // clause the textbook construction yields, which the hand-built conflict
+  // graphs in cdcl_test.cpp verify literal-for-literal.
+  learnt->clear();
+  learnt->push_back(0);  // slot for the asserting literal
+  int counter = 0;
+  CnfLit p = -1;
+  std::size_t idx = trail_.size();
+  int ci = confl;
+  do {
+    const Clause& c = clauses_[static_cast<std::size_t>(ci)];
+    for (const CnfLit q : c.lits) {
+      // Skip the implied literal of a reason clause (p is its negation —
+      // the false form headed for the learnt clause).
+      if (p >= 0 && q == lit_not(p)) continue;
+      const int v = lit_var(q);
+      if (seen_[static_cast<std::size_t>(v)] ||
+          level_[static_cast<std::size_t>(v)] == 0)
+        continue;
+      seen_[static_cast<std::size_t>(v)] = 1;
+      bump_var(v);
+      if (level_[static_cast<std::size_t>(v)] >= decision_level())
+        ++counter;
+      else
+        learnt->push_back(q);
+    }
+    while (!seen_[static_cast<std::size_t>(lit_var(trail_[idx - 1]))]) --idx;
+    p = lit_not(trail_[idx - 1]);
+    --idx;
+    seen_[static_cast<std::size_t>(lit_var(p))] = 0;
+    ci = reason_[static_cast<std::size_t>(lit_var(p))];
+    --counter;
+  } while (counter > 0);
+  (*learnt)[0] = p;
+  for (std::size_t i = 1; i < learnt->size(); ++i)
+    seen_[static_cast<std::size_t>(lit_var((*learnt)[i]))] = 0;
+
+  if (learnt->size() == 1) {
+    *bt_level = 0;
+  } else {
+    // Second-highest level, its literal moved to slot 1 (the other watch).
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt->size(); ++i)
+      if (level_[static_cast<std::size_t>(lit_var((*learnt)[i]))] >
+          level_[static_cast<std::size_t>(lit_var((*learnt)[max_i]))])
+        max_i = i;
+    std::swap((*learnt)[1], (*learnt)[max_i]);
+    *bt_level = level_[static_cast<std::size_t>(lit_var((*learnt)[1]))];
+  }
+}
+
+void CdclSolver::cancel_until(int lvl) {
+  if (decision_level() <= lvl) return;
+  const std::size_t bound = trail_lim_[static_cast<std::size_t>(lvl)];
+  for (std::size_t i = trail_.size(); i-- > bound;) {
+    const int v = lit_var(trail_[i]);
+    phase_[static_cast<std::size_t>(v)] =
+        assign_[static_cast<std::size_t>(v)] > 0 ? 1 : 0;
+    assign_[static_cast<std::size_t>(v)] = -1;
+    reason_[static_cast<std::size_t>(v)] = -1;
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(static_cast<std::size_t>(lvl));
+  qhead_ = trail_.size();
+}
+
+bool CdclSolver::locked(int ci) const {
+  const Clause& c = clauses_[static_cast<std::size_t>(ci)];
+  const int v = lit_var(c.lits[0]);
+  return assign_[static_cast<std::size_t>(v)] >= 0 &&
+         reason_[static_cast<std::size_t>(v)] == ci &&
+         value_of(c.lits[0]) == 1;
+}
+
+void CdclSolver::rebuild_watches() {
+  for (auto& w : watches_) w.clear();
+  for (std::size_t ci = 0; ci < clauses_.size(); ++ci)
+    if (!clauses_[ci].deleted) attach(static_cast<int>(ci));
+}
+
+void CdclSolver::reduce_db() {
+  // Candidates: learned, not binary, not a reason, LBD above the
+  // keep-forever threshold. Order by (LBD, clause index): older clauses of
+  // equal quality die first — a total order independent of anything but
+  // the clause stream.
+  std::vector<int> cand;
+  for (std::size_t ci = 0; ci < clauses_.size(); ++ci) {
+    const Clause& c = clauses_[ci];
+    if (!c.learned || c.deleted || c.lits.size() <= 2 || c.lbd <= 2)
+      continue;
+    if (locked(static_cast<int>(ci))) continue;
+    cand.push_back(static_cast<int>(ci));
+  }
+  std::sort(cand.begin(), cand.end(), [&](int a, int b) {
+    const std::uint32_t la = clauses_[static_cast<std::size_t>(a)].lbd;
+    const std::uint32_t lb = clauses_[static_cast<std::size_t>(b)].lbd;
+    if (la != lb) return la > lb;  // worst (highest LBD) first
+    return a < b;                  // then oldest first
+  });
+  const std::size_t kill = cand.size() / 2;
+  for (std::size_t i = 0; i < kill; ++i) {
+    clauses_[static_cast<std::size_t>(cand[i])].deleted = true;
+    --live_learned_;
+    ++stats_.deleted;
+  }
+  rebuild_watches();
+  reduce_limit_ += kReduceStep;
+}
+
+int CdclSolver::pick_branch_var() const {
+  // VSIDS-lite: maximum activity, ties broken by LOWEST variable index.
+  // A linear scan keeps the order trivially deterministic; variable counts
+  // here are a few thousand at most.
+  int best = -1;
+  for (int v = 0; v < num_vars(); ++v) {
+    if (assign_[static_cast<std::size_t>(v)] >= 0) continue;
+    if (best < 0 ||
+        activity_[static_cast<std::size_t>(v)] >
+            activity_[static_cast<std::size_t>(best)])
+      best = v;
+  }
+  return best;
+}
+
+void CdclSolver::publish_progress() {
+  if (budget_ == nullptr || budget_->progress == nullptr) return;
+  SearchProgress& p = *budget_->progress;
+  p.evals.store(budget_->evals, std::memory_order_relaxed);
+  p.backtracks.store(budget_->backtracks, std::memory_order_relaxed);
+  p.implications.store(budget_->decisions, std::memory_order_relaxed);
+}
+
+void CdclSolver::charge_conflict(bool* out_abort) {
+  *out_abort = false;
+  if (budget_ == nullptr) return;
+  budget_->charge_cdcl(1, props_uncharged_);
+  props_uncharged_ = 0;
+  publish_progress();
+  // Exactly one external-abort poll per conflict keeps the check count a
+  // pure function of the search path (the replay contract).
+  if (budget_->aborted_externally() || budget_->exhausted_backtracks() ||
+      budget_->exhausted_evals())
+    *out_abort = true;
+}
+
+SolveStatus CdclSolver::solve_under(const std::vector<CnfLit>& assumptions) {
+  const auto finish = [&](SolveStatus st) {
+    if (budget_ != nullptr && props_uncharged_ != 0) {
+      budget_->charge_cdcl(0, props_uncharged_);
+      props_uncharged_ = 0;
+      publish_progress();
+    }
+    cancel_until(0);
+    return st;
+  };
+  if (!ok_) return finish(SolveStatus::kUnsat);
+  if (propagate() >= 0) {
+    ok_ = false;
+    return finish(SolveStatus::kUnsat);
+  }
+
+  std::uint64_t conflicts_since_restart = 0;
+  std::uint64_t restart_limit = luby(stats_.restarts + 1) * kRestartUnit;
+  std::vector<CnfLit> learnt;
+
+  for (;;) {
+    const int confl = propagate();
+    if (confl >= 0) {
+      ++stats_.conflicts;
+      bool aborted = false;
+      charge_conflict(&aborted);
+      if (aborted) return finish(SolveStatus::kAborted);
+      if (decision_level() == 0) {
+        ok_ = false;
+        return finish(SolveStatus::kUnsat);
+      }
+      int bt_level = 0;
+      analyze(confl, &learnt, &bt_level);
+      last_learned_ = learnt;
+      if (ring_ != nullptr)
+        ring_->push({DecisionEventKind::kBacktrack, 0, decision_level(),
+                     -1, stats_.conflicts});
+      cancel_until(bt_level);
+      ++conflicts_since_restart;
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], -1);
+      } else {
+        Clause c;
+        c.lits = learnt;
+        c.learned = true;
+        // LBD = number of distinct decision levels among the literals.
+        std::vector<int> lvls;
+        lvls.reserve(learnt.size());
+        for (const CnfLit l : learnt)
+          lvls.push_back(level_[static_cast<std::size_t>(lit_var(l))]);
+        std::sort(lvls.begin(), lvls.end());
+        c.lbd = static_cast<std::uint32_t>(
+            std::unique(lvls.begin(), lvls.end()) - lvls.begin());
+        clauses_.push_back(std::move(c));
+        const int ci = static_cast<int>(clauses_.size()) - 1;
+        attach(ci);
+        ++live_learned_;
+        ++stats_.learned;
+        enqueue(learnt[0], ci);
+      }
+      decay_var_inc();
+      if (live_learned_ >= reduce_limit_) reduce_db();
+      continue;
+    }
+
+    if (conflicts_since_restart >= restart_limit) {
+      ++stats_.restarts;
+      conflicts_since_restart = 0;
+      restart_limit = luby(stats_.restarts + 1) * kRestartUnit;
+      cancel_until(0);
+      continue;
+    }
+
+    // Assumptions act as the first decisions, re-asserted after every
+    // backjump below them.
+    if (static_cast<std::size_t>(decision_level()) < assumptions.size()) {
+      const CnfLit a = assumptions[static_cast<std::size_t>(decision_level())];
+      if (value_of(a) == 0) return finish(SolveStatus::kUnsat);
+      trail_lim_.push_back(trail_.size());
+      if (value_of(a) == -1) enqueue(a, -1);
+      continue;
+    }
+
+    const int v = pick_branch_var();
+    if (v < 0) {
+      for (int u = 0; u < num_vars(); ++u)
+        model_[static_cast<std::size_t>(u)] =
+            assign_[static_cast<std::size_t>(u)] > 0 ? 1 : 0;
+      return finish(SolveStatus::kSat);
+    }
+    ++stats_.decisions;
+    if (budget_ != nullptr) {
+      ++budget_->decisions;
+      publish_progress();
+    }
+    const CnfLit l = mk_lit(v, phase_[static_cast<std::size_t>(v)] == 0);
+    if (ring_ != nullptr)
+      ring_->push({DecisionEventKind::kDecision,
+                   static_cast<std::uint8_t>(lit_sign(l) ? 0 : 1),
+                   tags_[static_cast<std::size_t>(v)].frame,
+                   tags_[static_cast<std::size_t>(v)].node,
+                   static_cast<std::uint64_t>(v)});
+    trail_lim_.push_back(trail_.size());
+    enqueue(l, -1);
+  }
+}
+
+bool CdclSolver::check_watch_invariants() const {
+  // Count watch entries per (clause, literal).
+  std::vector<int> entries(clauses_.size(), 0);
+  for (std::size_t l = 0; l < watches_.size(); ++l) {
+    for (const int ci : watches_[l]) {
+      if (ci < 0 || static_cast<std::size_t>(ci) >= clauses_.size())
+        return false;
+      const Clause& c = clauses_[static_cast<std::size_t>(ci)];
+      if (c.deleted) continue;  // stale entry from lazy detach: tolerated
+      if (c.lits.size() < 2) return false;
+      if (c.lits[0] != static_cast<CnfLit>(l) &&
+          c.lits[1] != static_cast<CnfLit>(l))
+        return false;  // watched on a non-watch literal
+      ++entries[static_cast<std::size_t>(ci)];
+    }
+  }
+  for (std::size_t ci = 0; ci < clauses_.size(); ++ci) {
+    const Clause& c = clauses_[ci];
+    if (c.deleted) continue;
+    if (c.lits.size() >= 2 && entries[ci] != 2) return false;
+  }
+  return true;
+}
+
+}  // namespace satpg

@@ -1,0 +1,174 @@
+// Embedded CDCL SAT solver for the kCdcl ATPG engine.
+//
+// A deliberately small, fully deterministic solver: two-literal watched
+// clauses, VSIDS-lite variable activities with a fixed decay and a
+// lowest-index tie-break, phase saving (initial phase false), first-UIP
+// conflict analysis WITHOUT clause minimization (so hand-built conflict
+// graphs in tests predict the learned clause exactly), Luby restarts with
+// a fixed unit of 64 conflicts, and LBD-ordered learned-clause reduction
+// on a fixed arithmetic schedule with a clause-index tie-break. There is
+// no randomization anywhere: for a given clause stream the search is a
+// pure function, which is what the byte-identity contract of DESIGN.md §4d
+// and capture/replay (atpg/capture.h) require.
+//
+// Budget integration: when a PodemBudget is attached the solver charges
+// its work through PodemBudget::charge_cdcl — THE one conversion from
+// (conflicts, propagations) to the study's common evals/backtracks
+// currency — and polls aborted_externally() exactly once per conflict, so
+// the abort-check count stays a pure function of the search path and
+// wall-clock cuts replay bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace satpg {
+
+struct PodemBudget;  // atpg/podem.h
+class DecisionRing;  // atpg/capture.h
+
+/// CNF literal: variable v (0-based) encoded as 2v (positive) / 2v+1
+/// (negated) — the usual packed representation.
+using CnfLit = std::int32_t;
+
+inline CnfLit mk_lit(int var, bool neg = false) {
+  return static_cast<CnfLit>((var << 1) | (neg ? 1 : 0));
+}
+inline int lit_var(CnfLit l) { return l >> 1; }
+inline bool lit_sign(CnfLit l) { return (l & 1) != 0; }  ///< true = negated
+inline CnfLit lit_not(CnfLit l) { return l ^ 1; }
+
+enum class SolveStatus { kSat, kUnsat, kAborted };
+
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;  ///< implied assignments enqueued by BCP
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned = 0;       ///< clauses produced by 1UIP analysis
+  std::uint64_t deleted = 0;       ///< learned clauses removed by reduction
+};
+
+/// What circuit line a CNF variable encodes (decision-ring labelling).
+/// Tseitin auxiliaries carry {-1, -1}.
+struct VarTag {
+  std::int32_t frame = -1;
+  std::int32_t node = -1;
+};
+
+class CdclSolver {
+ public:
+  CdclSolver() = default;
+
+  /// Allocate a fresh variable; returns its index.
+  int new_var(VarTag tag = {});
+  int num_vars() const { return static_cast<int>(assign_.size()); }
+
+  /// Add a clause over existing variables. May be called before the first
+  /// solve() or between solve() calls (incremental blocking clauses). An
+  /// empty clause (after level-0 simplification) makes the formula
+  /// permanently unsatisfiable.
+  void add_clause(std::vector<CnfLit> lits);
+
+  /// Solve the current formula. kAborted only when a budget is attached
+  /// and it ran out (or its external abort fired). The trail is unwound to
+  /// level 0 before returning; after kSat the model survives in
+  /// model_value().
+  SolveStatus solve() { return solve_under({}); }
+
+  /// Solve with `assumptions` asserted as the first decisions, in order.
+  /// kUnsat means unsatisfiable UNDER the assumptions.
+  SolveStatus solve_under(const std::vector<CnfLit>& assumptions);
+
+  /// Model value of `var` after kSat.
+  bool model_value(int var) const { return model_[static_cast<std::size_t>(var)] != 0; }
+
+  bool ok() const { return ok_; }  ///< false once level-0 UNSAT is known
+
+  const SolverStats& stats() const { return stats_; }
+
+  /// Attach the fault's cumulative budget (may be nullptr to detach). The
+  /// budget must outlive every solve() call.
+  void set_budget(PodemBudget* budget) { budget_ = budget; }
+
+  /// Record decisions/conflicts into `ring` (observation only).
+  void set_ring(DecisionRing* ring) { ring_ = ring; }
+
+  // ---- test inspection ------------------------------------------------------
+
+  /// The most recent 1UIP clause, asserting literal first (empty before
+  /// the first conflict).
+  const std::vector<CnfLit>& last_learned_clause() const {
+    return last_learned_;
+  }
+
+  /// Watch-list invariant: every live clause of size >= 2 is watched on
+  /// exactly its first two literals, each watch entry names a clause that
+  /// really watches that literal, and no deleted/short clause is watched.
+  bool check_watch_invariants() const;
+
+ private:
+  struct Clause {
+    std::vector<CnfLit> lits;
+    std::uint32_t lbd = 0;   ///< distinct decision levels at learn time
+    bool learned = false;
+    bool deleted = false;
+  };
+
+  using LBool = std::int8_t;  // -1 undef, 0 false, 1 true
+  LBool value_of(CnfLit l) const {
+    const LBool v = assign_[static_cast<std::size_t>(lit_var(l))];
+    if (v < 0) return -1;
+    return lit_sign(l) ? static_cast<LBool>(1 - v) : v;
+  }
+
+  int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+  void enqueue(CnfLit l, int reason);
+  int propagate();  ///< returns conflicting clause index, or -1
+  void attach(int ci);
+  void analyze(int confl, std::vector<CnfLit>* learnt, int* bt_level);
+  void cancel_until(int level);
+  void bump_var(int v);
+  void decay_var_inc();
+  void reduce_db();
+  void rebuild_watches();
+  bool locked(int ci) const;
+  int pick_branch_var() const;  ///< -1 when all assigned
+  void charge_conflict(bool* out_abort);
+  void publish_progress();
+
+  bool ok_ = true;
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<int>> watches_;  ///< per literal: clause indices
+  std::vector<LBool> assign_;              ///< per var
+  std::vector<int> level_;                 ///< per var
+  std::vector<int> reason_;                ///< per var: clause index or -1
+  std::vector<CnfLit> trail_;
+  std::vector<std::size_t> trail_lim_;
+  std::size_t qhead_ = 0;
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  std::vector<std::uint8_t> phase_;  ///< saved phase (initially false)
+  std::vector<VarTag> tags_;
+  std::vector<std::uint8_t> model_;
+  std::vector<std::uint8_t> seen_;  ///< analyze() scratch
+  std::vector<CnfLit> last_learned_;
+
+  // Deterministic schedules (see DESIGN.md §9): restarts follow
+  // luby(i) * kRestartUnit conflicts; the learned DB is reduced whenever
+  // the live learned count reaches the limit, which then grows by a fixed
+  // step.
+  static constexpr std::uint64_t kRestartUnit = 64;
+  static constexpr std::size_t kReduceBase = 2000;
+  static constexpr std::size_t kReduceStep = 500;
+  std::size_t reduce_limit_ = kReduceBase;
+  std::size_t live_learned_ = 0;
+
+  std::uint64_t props_uncharged_ = 0;
+  PodemBudget* budget_ = nullptr;
+  DecisionRing* ring_ = nullptr;
+
+  SolverStats stats_;
+};
+
+}  // namespace satpg

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "atpg/capture.h"
+#include "atpg/cdcl/cdcl.h"
 #include "base/metrics.h"
 #include "base/rng.h"
 #include "base/trace.h"
@@ -18,6 +19,8 @@ const char* engine_kind_name(EngineKind k) {
       return "forward";
     case EngineKind::kLearning:
       return "learning";
+    case EngineKind::kCdcl:
+      return "cdcl";
   }
   return "?";
 }
@@ -198,6 +201,10 @@ AtpgEngine::JustifyOutcome AtpgEngine::justify(
 }
 
 FaultAttempt AtpgEngine::generate(const Fault& fault) {
+  if (opts_.kind == EngineKind::kCdcl) {
+    CdclAtpg cdcl(*this);
+    return cdcl.generate(fault);
+  }
   const auto t0 = std::chrono::steady_clock::now();
   FaultAttempt attempt;
   current_fault_ = fault;
@@ -346,6 +353,17 @@ void record_fault_stats(const FaultSearchStats& stats, FaultStatus status) {
   reg.counter("atpg.learn_misses").add(stats.learn_misses);
   reg.counter("atpg.learn_inserts").add(stats.learn_inserts);
   reg.counter("atpg.verify_rejects").add(stats.verify_rejects);
+  // CDCL solver counters: only recorded when the attempt did SAT work, so
+  // structural-engine runs keep their metric registry unchanged.
+  if (stats.conflicts != 0 || stats.propagations != 0) {
+    reg.histogram("atpg.cdcl_conflicts_per_fault").record(stats.conflicts);
+    reg.counter("atpg.cdcl_conflicts").add(stats.conflicts);
+    reg.counter("atpg.cdcl_propagations").add(stats.propagations);
+    reg.counter("atpg.cdcl_restarts").add(stats.restarts);
+    reg.counter("atpg.cdcl_learned_clauses").add(stats.learned_clauses);
+    reg.counter("atpg.cdcl_cube_blocks").add(stats.cube_blocks);
+    reg.counter("atpg.cdcl_cube_exports").add(stats.cube_exports);
+  }
   if (stats.budget_exhausted) reg.counter("atpg.budget_exhausted").add();
   // Invalid-state attribution (all zeros when no oracle was attached).
   // Bucket order: DESIGN.md §6 / StateValidity.
@@ -478,6 +496,11 @@ AtpgRunResult run_atpg(const Netlist& nl, const AtpgRunOptions& opts) {
     res.learn_hits += attempt.stats.learn_hits;
     res.learn_misses += attempt.stats.learn_misses;
     res.learn_inserts += attempt.stats.learn_inserts;
+    res.conflicts += attempt.stats.conflicts;
+    res.propagations += attempt.stats.propagations;
+    res.restarts += attempt.stats.restarts;
+    res.learned_clauses += attempt.stats.learned_clauses;
+    res.cube_exports += attempt.stats.cube_exports;
     res.attribution.add(attempt.stats.attribution);
     record_fault_stats(attempt.stats, attempt.status);
     switch (attempt.status) {

@@ -15,6 +15,11 @@
 //               (success prefixes and budget-failures) are cached across
 //               faults, the distinguishing feature of SEST.
 //
+// A fourth engine, kCdcl (atpg/cdcl/), answers the same window/justify/
+// redundancy queries with an embedded CDCL SAT solver over a Tseitin
+// encoding of the time-frame array, sharing proven-unreachable state cubes
+// across faults and workers through the same learning-cache plumbing.
+//
 // Redundancy identification is sound: a fault is labelled redundant only
 // when a complete single-frame search over ALL (state, input) assignments
 // proves the effect can never be excited and reach a PO or any flip-flop.
@@ -44,7 +49,7 @@
 
 namespace satpg {
 
-enum class EngineKind { kHitec, kForward, kLearning };
+enum class EngineKind { kHitec, kForward, kLearning, kCdcl };
 
 const char* engine_kind_name(EngineKind k);
 
@@ -55,6 +60,12 @@ struct EngineOptions {
   std::uint64_t backtrack_limit = 4000;    ///< per fault, all phases
   std::uint64_t eval_limit = 4'000'000;    ///< per fault, node evaluations
   int verify_reject_limit = 25;  ///< candidate re-derivations per fault
+  /// kCdcl only: keep/publish proven-unreachable state cubes across faults
+  /// (and, under the parallel driver, across workers). When off, the
+  /// engine clears its caches at the start of every generate() so each
+  /// attempt is a pure function of (netlist, fault, options) — the mode
+  /// `satpg replay` uses, and the baseline for the sharing ablation.
+  bool share_learning = true;
 };
 
 enum class FaultStatus { kDetected, kRedundant, kAborted };
@@ -112,6 +123,15 @@ struct FaultSearchStats {
   std::uint64_t learn_misses = 0;   ///< lookups that found nothing
   std::uint64_t learn_inserts = 0;  ///< new entries learned
   std::uint64_t verify_rejects = 0; ///< candidates the fsim refused
+  // CDCL-engine counters (all zero for the structural engines). They are
+  // raw solver work, NOT budget currency — the one conversion into
+  // evals/backtracks is PodemBudget::charge_cdcl.
+  std::uint64_t conflicts = 0;        ///< CDCL conflicts, all solvers
+  std::uint64_t propagations = 0;     ///< BCP assignments, all solvers
+  std::uint64_t restarts = 0;         ///< solver restarts
+  std::uint64_t learned_clauses = 0;  ///< clauses learned (pre-reduction)
+  std::uint64_t cube_blocks = 0;      ///< blocking clauses imported
+  std::uint64_t cube_exports = 0;     ///< unreachable cubes proven+exported
   bool budget_exhausted = false;    ///< ran out of evals or backtracks
   double wall_seconds = 0.0;        ///< wall clock; trace/debug only
   /// Justification effort split by state-cube validity (all zeros when the
@@ -146,7 +166,13 @@ class LearningShare {
                          std::vector<std::vector<V3>>* prefix) const = 0;
   /// Known complete-search failure for this cube.
   virtual bool lookup_fail(const StateKey& key) const = 0;
+  /// Every visible failure cube, sorted by StateKey::to_string(). The
+  /// kCdcl engine imports these as blocking clauses at attempt start; the
+  /// default (no sharing backend) is empty.
+  virtual std::vector<StateKey> fail_cubes() const { return {}; }
 };
+
+class CdclAtpg;  // atpg/cdcl/cdcl.h
 
 /// Per-circuit deterministic test generator.
 class AtpgEngine {
@@ -220,6 +246,10 @@ class AtpgEngine {
   std::size_t verify_rejects() const { return verify_rejects_; }
 
  private:
+  // The SAT-based engine is a per-attempt driver over this engine's
+  // caches, stats and hooks; generate() delegates to it for kCdcl.
+  friend class CdclAtpg;
+
   struct JustifyOutcome {
     bool ok = false;
     std::vector<std::vector<V3>> prefix;  ///< oldest vector first
@@ -306,6 +336,13 @@ struct AtpgRunResult {
   std::uint64_t learn_hits = 0;
   std::uint64_t learn_misses = 0;
   std::uint64_t learn_inserts = 0;
+  /// CDCL-engine aggregates (zero for the structural engines), merged in
+  /// the same deterministic order as the counters above.
+  std::uint64_t conflicts = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t cube_exports = 0;
   /// Justification-effort buckets summed over attempted faults, merged in
   /// the same deterministic order as the counters above.
   EffortAttribution attribution;

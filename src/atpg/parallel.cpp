@@ -41,6 +41,24 @@ bool SharedLearningCache::View::lookup_fail(const StateKey& key) const {
   return !e.ok && e.epoch <= read_epoch_;
 }
 
+std::vector<StateKey> SharedLearningCache::View::fail_cubes() const {
+  // Shard scan, then a canonical sort: the visible set is frozen for the
+  // round (same-round publishes carry epoch read_epoch_+1), so the result
+  // depends only on the committed cache content, never on shard layout or
+  // scheduling.
+  std::vector<StateKey> cubes;
+  for (const Shard& sh : cache_->shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    for (const auto& [key, e] : sh.map)
+      if (!e.ok && e.epoch <= read_epoch_) cubes.push_back(key);
+  }
+  std::sort(cubes.begin(), cubes.end(),
+            [](const StateKey& a, const StateKey& b) {
+              return a.to_string() < b.to_string();
+            });
+  return cubes;
+}
+
 void SharedLearningCache::publish(std::uint32_t round, std::uint32_t unit,
                                   const AtpgEngine& engine) {
   const std::uint32_t epoch = round + 1;
@@ -375,7 +393,12 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
   }
 
   // ---- deterministic phase: rounds of fixed work units ----
-  const bool learning = opts.run.engine.kind == EngineKind::kLearning;
+  // kCdcl shares proven-unreachable cubes through the same epoch-gated
+  // cache unless sharing is ablated away (--no-shared-learning).
+  const bool learning =
+      opts.run.engine.kind == EngineKind::kLearning ||
+      (opts.run.engine.kind == EngineKind::kCdcl &&
+       opts.run.engine.share_learning);
   // Built once on the orchestrating thread, then shared read-only by every
   // unit engine: the oracle is immutable and classify() is pure, so the
   // attribution buckets are as thread-count invariant as the search stats.
@@ -560,6 +583,11 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
           run.learn_hits += attempt.stats.learn_hits;
           run.learn_misses += attempt.stats.learn_misses;
           run.learn_inserts += attempt.stats.learn_inserts;
+          run.conflicts += attempt.stats.conflicts;
+          run.propagations += attempt.stats.propagations;
+          run.restarts += attempt.stats.restarts;
+          run.learned_clauses += attempt.stats.learned_clauses;
+          run.cube_exports += attempt.stats.cube_exports;
           run.attribution.add(attempt.stats.attribution);
           res.attempted[i] = 1;
           res.fault_stats[i] = attempt.stats;

@@ -74,6 +74,9 @@ class SharedLearningCache {
     bool lookup_ok(const StateKey& key,
                    std::vector<std::vector<V3>>* prefix) const override;
     bool lookup_fail(const StateKey& key) const override;
+    /// Visible failure cubes, sorted by packed-key text (the kCdcl
+    /// engine's blocking-clause import).
+    std::vector<StateKey> fail_cubes() const override;
 
    private:
     const SharedLearningCache* cache_;

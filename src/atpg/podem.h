@@ -105,6 +105,22 @@ struct PodemBudget {
   std::uint64_t first_abort_check = 0;
   std::uint64_t abort_at_check = 0;
 
+  /// THE conversion from CDCL work to the budget's common currency — every
+  /// engine kind draws on the same eval_limit/backtrack_limit pair, so the
+  /// exchange rate lives here, once, instead of per-call-site (DESIGN.md
+  /// §9). Each BCP propagation is one eval (one implied line value — the
+  /// same granularity as a structural node evaluation), and each conflict
+  /// is one backtrack plus kCdclConflictEvals evals (conflict analysis
+  /// re-walks the implication graph it cancels). Nothing else may scale
+  /// CDCL counters into evals/backtracks.
+  static constexpr std::uint64_t kCdclConflictEvals = 8;
+  void charge_cdcl(std::uint64_t conflicts, std::uint64_t propagations) {
+    const std::uint64_t add = propagations + conflicts * kCdclConflictEvals;
+    SATPG_DCHECK(evals + add >= evals);  // additive, never resets or wraps
+    evals += add;
+    backtracks += conflicts;
+  }
+
   bool exhausted_backtracks() const { return backtracks >= max_backtracks; }
   bool exhausted_evals() const { return evals >= max_evals; }
   bool aborted_externally() {

@@ -296,6 +296,33 @@ Table run_fig3_fe_vs_cpu(Suite& suite, const ExperimentOptions& opts) {
   return t;
 }
 
+Table run_table9_cdcl(Suite& suite, const ExperimentOptions& opts) {
+  // The Table-4 circuit pairs, each row one circuit: the cdcl engine's
+  // coverage/work/solver counters next to the hitec baseline's work and
+  // the attribution oracle's invalid-state effort fraction for both
+  // engines. The "inv%" gap on the retimed rows is the question the
+  // engine exists to answer: does conflict learning shrink the share of
+  // effort burned justifying into unreachable states?
+  Table t({"circuit", "%FC", "%FE", "kEv cdcl", "conflicts", "cubes",
+           "inv% cdcl", "kEv hitec", "inv% hitec"});
+  for (const auto& spec :
+       pairs_by_names({"dk16.ji.sd", "pma.jo.sd", "s510.jc.sd"})) {
+    for (const auto& name : {spec.name(), spec.retimed_name()}) {
+      const Netlist nl = suite.circuit(name);
+      const auto rc = run_atpg_threaded(
+          nl, opts, scaled_run_options(opts, EngineKind::kCdcl));
+      const auto rh = run_atpg_threaded(
+          nl, opts, scaled_run_options(opts, EngineKind::kHitec));
+      t.add_row({name, pct(rc.fault_coverage), pct(rc.fault_efficiency),
+                 kev(rc.evals), std::to_string(rc.conflicts),
+                 std::to_string(rc.cube_exports),
+                 pct(100.0 * rc.effort_invalid_frac), kev(rh.evals),
+                 pct(100.0 * rh.effort_invalid_frac)});
+    }
+  }
+  return t;
+}
+
 Table run_ablation_learning(Suite& suite, const ExperimentOptions& opts) {
   Table t({"circuit", "%FE hitec", "kEv hitec", "%FE learning",
            "kEv learning", "speedup"});
@@ -311,6 +338,28 @@ Table run_ablation_learning(Suite& suite, const ExperimentOptions& opts) {
                strprintf("%.2f", static_cast<double>(r0.evals) /
                                      static_cast<double>(std::max<
                                          std::uint64_t>(1, r1.evals)))});
+  }
+  return t;
+}
+
+Table run_ablation_cdcl_sharing(Suite& suite, const ExperimentOptions& opts) {
+  // Retimed twins, cdcl engine, identical flags except the shared cache:
+  // sharing must never raise total conflicts, and on justification-heavy
+  // twins it should strictly lower them (the tier2 bench gate asserts the
+  // strict version for dk16).
+  Table t({"circuit", "conflicts shared", "conflicts solo", "cubes",
+           "kEv shared", "kEv solo"});
+  for (const auto& name :
+       {"dk16.ji.sd.re", "s820.jo.sr.re", "s832.jo.sr.re"}) {
+    const Netlist nl = suite.circuit(name);
+    auto run_opts = scaled_run_options(opts, EngineKind::kCdcl);
+    const auto shared = run_atpg_threaded(nl, opts, run_opts);
+    run_opts.engine.share_learning = false;
+    const auto solo = run_atpg_threaded(nl, opts, run_opts);
+    t.add_row({name, std::to_string(shared.conflicts),
+               std::to_string(solo.conflicts),
+               std::to_string(shared.cube_exports), kev(shared.evals),
+               kev(solo.evals)});
   }
   return t;
 }

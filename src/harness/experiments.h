@@ -54,8 +54,18 @@ Table run_table8_replay(Suite& suite, const ExperimentOptions& opts);
 /// ladder, printed as aligned columns.
 Table run_fig3_fe_vs_cpu(Suite& suite, const ExperimentOptions& opts);
 
+/// Fourth engine column for Tables 2-4: the SAT/CDCL engine on the
+/// Table-4 circuit pairs, side by side with the structural baseline —
+/// coverage, work, solver counters, and the per-engine
+/// `effort_invalid_frac` the attribution oracle makes comparable across
+/// engines (DESIGN.md §9).
+Table run_table9_cdcl(Suite& suite, const ExperimentOptions& opts);
+
 // Ablations motivated by §5 of the paper.
 Table run_ablation_learning(Suite& suite, const ExperimentOptions& opts);
+/// Cross-fault cube sharing on vs off (--no-shared-learning) for the cdcl
+/// engine on retimed twins: total conflicts, cube exports, and work.
+Table run_ablation_cdcl_sharing(Suite& suite, const ExperimentOptions& opts);
 Table run_ablation_budget(Suite& suite, const ExperimentOptions& opts);
 Table run_ablation_encoding(const ExperimentOptions& opts);
 

@@ -41,7 +41,7 @@ void write_atpg_report_json(std::ostream& os, const Netlist& nl,
                             const ParallelAtpgResult& res) {
   const AtpgRunResult& run = res.run;
   os << "{\n";
-  os << "  \"schema\": \"satpg.atpg_run.v3\",\n";
+  os << "  \"schema\": \"satpg.atpg_run.v4\",\n";
 
   os << "  \"circuit\": {\"name\": \"" << json_escape(nl.name())
      << "\", \"inputs\": " << nl.num_inputs()
@@ -55,6 +55,7 @@ void write_atpg_report_json(std::ostream& os, const Netlist& nl,
      << ", \"backtrack_limit\": " << eng.backtrack_limit
      << ", \"max_forward_frames\": " << eng.max_forward_frames
      << ", \"max_backward_frames\": " << eng.max_backward_frames
+     << ", \"share_learning\": " << (eng.share_learning ? "true" : "false")
      << ", \"seed\": " << opts.run.seed << "},\n";
 
   // v2: how justification cubes were classified (DESIGN.md §6). num_valid
@@ -105,6 +106,11 @@ void write_atpg_report_json(std::ostream& os, const Netlist& nl,
      << ", \"learn_hits\": " << run.learn_hits
      << ", \"learn_misses\": " << run.learn_misses
      << ", \"learn_inserts\": " << run.learn_inserts
+     << ",\n              \"conflicts\": " << run.conflicts
+     << ", \"propagations\": " << run.propagations
+     << ", \"restarts\": " << run.restarts
+     << ", \"learned_clauses\": " << run.learned_clauses
+     << ", \"cube_exports\": " << run.cube_exports
      << ",\n              \"verify_failures\": " << run.verify_failures
      << ", \"tests\": " << run.tests.size()
      << ", \"states_traversed\": " << run.states_traversed.size()
@@ -143,6 +149,12 @@ void write_atpg_report_json(std::ostream& os, const Netlist& nl,
        << ", \"learn_hits\": " << s.learn_hits
        << ", \"learn_misses\": " << s.learn_misses
        << ", \"learn_inserts\": " << s.learn_inserts
+       << ",\n     \"conflicts\": " << s.conflicts
+       << ", \"propagations\": " << s.propagations
+       << ", \"restarts\": " << s.restarts
+       << ", \"learned_clauses\": " << s.learned_clauses
+       << ", \"cube_blocks\": " << s.cube_blocks
+       << ", \"cube_exports\": " << s.cube_exports
        << ",\n     \"verify_rejects\": " << s.verify_rejects
        << ", \"budget_exhausted\": "
        << (s.budget_exhausted ? "true" : "false")

@@ -1,7 +1,10 @@
 // Structured run reports: the machine-readable side of an ATPG run.
 //
-// write_atpg_report_json dumps schema "satpg.atpg_run.v3": circuit and
-// engine identity, the invalid-state attribution block (oracle mode,
+// write_atpg_report_json dumps schema "satpg.atpg_run.v4": circuit and
+// engine identity (v4 adds share_learning and the CDCL solver counters —
+// conflicts/propagations/restarts/learned_clauses/cube_exports — in the
+// summary and per-fault records), the invalid-state attribution block
+// (oracle mode,
 // num_valid, density, bucket order), the watchdog block (threshold, defer
 // mode, stuck-fault verdicts — empty when the watchdog is off), the
 // summary numbers the tables print (including the attribution bucket sums

@@ -84,7 +84,8 @@ TEST_P(ParallelDeterminism, ThreadCountInvariantOnMcncPair) {
 INSTANTIATE_TEST_SUITE_P(AllEngines, ParallelDeterminism,
                          ::testing::Values(EngineKind::kHitec,
                                            EngineKind::kForward,
-                                           EngineKind::kLearning),
+                                           EngineKind::kLearning,
+                                           EngineKind::kCdcl),
                          [](const auto& info) {
                            return std::string(engine_kind_name(info.param));
                          });

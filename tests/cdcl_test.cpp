@@ -1,0 +1,321 @@
+// Unit and integration tests for the kCdcl engine stack (DESIGN.md §9):
+// Tseitin gate encodings checked truth-table-exhaustively against V3
+// semantics, unit-propagation / watch-list invariants, 1UIP learning on
+// hand-built conflict graphs (the solver's analyze() is minimization-free,
+// so the learned clause is predictable literal-for-literal), the
+// charge_cdcl budget conversion (satellite of the budget-counting fix),
+// thread-count byte-identity of full CDCL runs on an MCNC circuit and its
+// retimed twin, and the budget-abort capture/replay regression: a CDCL
+// attempt cut by the eval budget must replay bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "atpg/capture.h"
+#include "atpg/cdcl/cnf.h"
+#include "atpg/cdcl/solver.h"
+#include "atpg/parallel.h"
+#include "atpg/podem.h"
+#include "fsm/mcnc_suite.h"
+#include "netlist/netlist.h"
+#include "retime/retime.h"
+#include "sim/simulator.h"
+#include "synth/synthesize.h"
+
+namespace satpg {
+namespace {
+
+// --- Tseitin gate encodings --------------------------------------------------
+
+// One gate feeding one output; every input assignment is pushed through the
+// CNF as assumptions and the model value of the gate's variable must equal
+// the two-valued gate function computed by src/sim on the same netlist.
+void check_gate_truth_table(GateType t, int arity) {
+  Netlist nl("tt");
+  std::vector<NodeId> ins;
+  for (int i = 0; i < arity; ++i)
+    ins.push_back(nl.add_input("i" + std::to_string(i)));
+  const NodeId g = nl.add_gate(t, "g", ins);
+  nl.add_output("o", g);
+
+  CdclSolver solver;
+  TimeFrameCnf cnf(nl, std::nullopt, 1, &solver);
+  SeqSimulator sim(nl);
+  for (int m = 0; m < (1 << arity); ++m) {
+    std::vector<CnfLit> assume;
+    std::vector<V3> pi(static_cast<std::size_t>(arity));
+    for (int i = 0; i < arity; ++i) {
+      const bool one = ((m >> i) & 1) != 0;
+      pi[static_cast<std::size_t>(i)] = one ? V3::kOne : V3::kZero;
+      assume.push_back(mk_lit(cnf.good(0, ins[static_cast<std::size_t>(i)]),
+                              /*neg=*/!one));
+    }
+    sim.eval_outputs(pi);
+    ASSERT_EQ(solver.solve_under(assume), SolveStatus::kSat)
+        << "gate " << static_cast<int>(t) << " minterm " << m;
+    const bool want = sim.value(g) == V3::kOne;
+    EXPECT_EQ(solver.model_value(cnf.good(0, g)), want)
+        << "gate " << static_cast<int>(t) << " minterm " << m;
+    EXPECT_TRUE(solver.check_watch_invariants());
+  }
+}
+
+TEST(TseitinTest, AllPrimitiveGatesMatchSimulatorTruthTables) {
+  check_gate_truth_table(GateType::kBuf, 1);
+  check_gate_truth_table(GateType::kNot, 1);
+  for (const GateType t : {GateType::kAnd, GateType::kNand, GateType::kOr,
+                           GateType::kNor, GateType::kXor, GateType::kXnor}) {
+    check_gate_truth_table(t, 2);
+    check_gate_truth_table(t, 3);  // wide + chained encodings
+  }
+}
+
+// A stuck-at fault on the only observation path must make the detection
+// objective UNSAT exactly when no input assignment distinguishes the rails.
+TEST(TseitinTest, DetectionObjectiveMatchesExcitability) {
+  // y = OR(a, AND(b, NOT b)): the AND output s-a-0 is unexcitable, s-a-1
+  // is detectable (set a=0).
+  Netlist nl("exc");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId nb = nl.add_gate(GateType::kNot, "nb", {b});
+  const NodeId g = nl.add_gate(GateType::kAnd, "g", {b, nb});
+  const NodeId y = nl.add_gate(GateType::kOr, "y", {a, g});
+  nl.add_output("o", y);
+
+  {
+    CdclSolver s;
+    TimeFrameCnf cnf(nl, Fault{g, -1, false}, 1, &s);
+    if (cnf.add_detect_objective(/*include_boundary=*/true))
+      EXPECT_EQ(s.solve(), SolveStatus::kUnsat);
+  }
+  {
+    CdclSolver s;
+    TimeFrameCnf cnf(nl, Fault{g, -1, true}, 1, &s);
+    ASSERT_TRUE(cnf.add_detect_objective(/*include_boundary=*/true));
+    EXPECT_EQ(s.solve(), SolveStatus::kSat);
+    EXPECT_FALSE(s.model_value(cnf.good(0, a)));  // a=0 exposes the fault
+  }
+}
+
+// --- unit propagation & watch lists ------------------------------------------
+
+TEST(CdclSolverTest, UnitChainPropagatesWithoutDecisions) {
+  CdclSolver s;
+  for (int i = 0; i < 6; ++i) s.new_var();
+  // x0; x0->x1; x1->x2; ... a pure implication chain.
+  s.add_clause({mk_lit(0)});
+  for (int i = 0; i + 1 < 6; ++i)
+    s.add_clause({mk_lit(i, true), mk_lit(i + 1)});
+  ASSERT_EQ(s.solve(), SolveStatus::kSat);
+  EXPECT_EQ(s.stats().decisions, 0u);
+  EXPECT_EQ(s.stats().conflicts, 0u);
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(s.model_value(i));
+  EXPECT_TRUE(s.check_watch_invariants());
+}
+
+TEST(CdclSolverTest, WatchInvariantsSurviveConflictsAndRestarts) {
+  // Pigeonhole PHP(4,3): 4 pigeons, 3 holes — UNSAT after real search with
+  // learning, restarts and many watch migrations.
+  CdclSolver s;
+  const auto var = [](int p, int h) { return p * 3 + h; };
+  for (int i = 0; i < 12; ++i) s.new_var();
+  for (int p = 0; p < 4; ++p)
+    s.add_clause({mk_lit(var(p, 0)), mk_lit(var(p, 1)), mk_lit(var(p, 2))});
+  for (int h = 0; h < 3; ++h)
+    for (int p1 = 0; p1 < 4; ++p1)
+      for (int p2 = p1 + 1; p2 < 4; ++p2)
+        s.add_clause({mk_lit(var(p1, h), true), mk_lit(var(p2, h), true)});
+  EXPECT_EQ(s.solve(), SolveStatus::kUnsat);
+  EXPECT_GT(s.stats().conflicts, 0u);
+  EXPECT_GT(s.stats().learned, 0u);
+  EXPECT_TRUE(s.check_watch_invariants());
+}
+
+// --- 1UIP on hand-built conflict graphs --------------------------------------
+
+// Assumptions act as the solver's decisions in order, so the implication
+// graph of the first conflict is fully scripted and the minimization-free
+// 1UIP clause is predictable exactly.
+TEST(CdclSolverTest, FirstUipIsTheDecisionWhenItDominates) {
+  // Assume x0@1: x0 -> x1, x0 -> x2, and (¬x1 ∨ ¬x2) conflicts. Resolving
+  // back reaches the decision itself: learnt = {¬x0}.
+  CdclSolver s;
+  for (int i = 0; i < 3; ++i) s.new_var();
+  s.add_clause({mk_lit(0, true), mk_lit(1)});
+  s.add_clause({mk_lit(0, true), mk_lit(2)});
+  s.add_clause({mk_lit(1, true), mk_lit(2, true)});
+  EXPECT_EQ(s.solve_under({mk_lit(0)}), SolveStatus::kUnsat);
+  ASSERT_EQ(s.last_learned_clause().size(), 1u);
+  EXPECT_EQ(s.last_learned_clause()[0], mk_lit(0, true));
+}
+
+TEST(CdclSolverTest, FirstUipCutsAtTheDominatorWithLowerLevelContext) {
+  // Level 1 (assume x0): x0 -> x2.          [reason ¬x0 ∨ x2]
+  // Level 2 (assume x1): x1 -> x3,          [¬x1 ∨ x3]
+  //                      x2∧x3 -> x4,       [¬x2 ∨ ¬x3 ∨ x4]
+  //                      x3∧x4 -> x5,       [¬x3 ∨ ¬x4 ∨ x5]
+  //                      (¬x4 ∨ ¬x5) conflicts.
+  // x3 dominates the conflict at level 2 (the 1UIP); x2 rides along from
+  // level 1. Textbook asserting clause: {¬x3, ¬x2}, asserting literal
+  // first, backjump to level 1.
+  CdclSolver s;
+  for (int i = 0; i < 6; ++i) s.new_var();
+  s.add_clause({mk_lit(0, true), mk_lit(2)});
+  s.add_clause({mk_lit(1, true), mk_lit(3)});
+  s.add_clause({mk_lit(2, true), mk_lit(3, true), mk_lit(4)});
+  s.add_clause({mk_lit(3, true), mk_lit(4, true), mk_lit(5)});
+  s.add_clause({mk_lit(4, true), mk_lit(5, true)});
+  EXPECT_EQ(s.solve_under({mk_lit(0), mk_lit(1)}), SolveStatus::kUnsat);
+  const std::vector<CnfLit> want{mk_lit(3, true), mk_lit(2, true)};
+  EXPECT_EQ(s.last_learned_clause(), want);
+}
+
+// --- the budget conversion (satellite: budget-counting consistency) ----------
+
+TEST(CdclBudgetTest, ChargeCdclIsTheOneDocumentedConversion) {
+  PodemBudget b;
+  b.max_evals = 1000;
+  b.max_backtracks = 100;
+  b.charge_cdcl(3, 17);
+  EXPECT_EQ(b.evals, 17u + 3u * PodemBudget::kCdclConflictEvals);
+  EXPECT_EQ(b.backtracks, 3u);
+  b.charge_cdcl(0, 5);  // propagation-only flush charges no backtracks
+  EXPECT_EQ(b.evals, 22u + 3u * PodemBudget::kCdclConflictEvals);
+  EXPECT_EQ(b.backtracks, 3u);
+  static_assert(PodemBudget::kCdclConflictEvals == 8,
+                "the documented conversion rate (podem.h) changed — update "
+                "DESIGN.md §9 and the report consumers together");
+}
+
+TEST(CdclBudgetTest, SolverChargesThroughTheBudgetAndAborts) {
+  // A solver with an attached budget must spend evals/backtracks through
+  // charge_cdcl and honor exhaustion with kAborted.
+  CdclSolver s;
+  const auto var = [](int p, int h) { return p * 3 + h; };
+  for (int i = 0; i < 12; ++i) s.new_var();
+  for (int p = 0; p < 4; ++p)
+    s.add_clause({mk_lit(var(p, 0)), mk_lit(var(p, 1)), mk_lit(var(p, 2))});
+  for (int h = 0; h < 3; ++h)
+    for (int p1 = 0; p1 < 4; ++p1)
+      for (int p2 = p1 + 1; p2 < 4; ++p2)
+        s.add_clause({mk_lit(var(p1, h), true), mk_lit(var(p2, h), true)});
+  PodemBudget b;
+  b.max_evals = 20;  // a handful of conflicts' worth
+  b.max_backtracks = 1000;
+  s.set_budget(&b);
+  EXPECT_EQ(s.solve(), SolveStatus::kAborted);
+  EXPECT_GE(b.evals, b.max_evals);
+  EXPECT_EQ(b.backtracks, s.stats().conflicts);
+}
+
+// --- thread-count byte-identity on MCNC + retimed twin -----------------------
+
+Netlist mcnc_circuit(const std::string& name, double scale) {
+  FsmGenSpec spec;
+  for (const auto& s : mcnc_specs())
+    if (s.name == name) spec = s;
+  const Fsm fsm = generate_control_fsm(scaled_spec(spec, scale));
+  return synthesize(fsm, {}).netlist;
+}
+
+ParallelAtpgOptions cdcl_options(unsigned threads, bool share) {
+  ParallelAtpgOptions popts;
+  popts.run.engine.kind = EngineKind::kCdcl;
+  popts.run.engine.share_learning = share;
+  popts.run.engine.eval_limit = 60'000;
+  popts.run.engine.backtrack_limit = 200;
+  popts.run.random_sequences = 2;
+  popts.run.random_length = 16;
+  popts.num_threads = threads;
+  return popts;
+}
+
+// Everything the deterministic contract covers, in one string: statuses,
+// detectors, tests, and the per-fault counter block (the metrics registry
+// is process-global and deliberately excluded — report bytes are compared
+// end-to-end by the CLI determinism CI leg instead).
+std::string run_digest(const Netlist& nl, const ParallelAtpgResult& r) {
+  std::ostringstream os;
+  os << r.run.detected << '/' << r.run.redundant << '/' << r.run.aborted
+     << '/' << r.run.evals << '/' << r.run.backtracks << '/'
+     << r.run.conflicts << '/' << r.run.propagations << '/'
+     << r.run.restarts << '/' << r.run.learned_clauses << '/'
+     << r.run.cube_exports << '\n';
+  for (const auto& seq : r.run.tests) {
+    for (const auto& vec : seq) {
+      for (const V3 v : vec)
+        os << (v == V3::kX ? 'x' : v == V3::kOne ? '1' : '0');
+      os << '|';
+    }
+    os << '\n';
+  }
+  for (std::size_t i = 0; i < r.status.size(); ++i) {
+    const FaultSearchStats& s = r.fault_stats[i];
+    os << static_cast<int>(r.status[i]) << ',' << r.detected_by[i] << ','
+       << int{r.attempted[i]} << ',' << s.evals << ',' << s.backtracks << ','
+       << s.conflicts << ',' << s.propagations << ',' << s.restarts << ','
+       << s.learned_clauses << ',' << s.cube_blocks << ',' << s.cube_exports
+       << '\n';
+  }
+  (void)nl;
+  return os.str();
+}
+
+TEST(CdclDeterminismTest, ThreadCountsAgreeOnParentAndRetimedTwin) {
+  const Netlist parent = mcnc_circuit("dk16", 0.35);
+  const RetimeResult rt = retime_to_dff_target(
+      parent, 2 * parent.num_dffs(), parent.name() + ".re");
+  for (const Netlist* nl : {&parent, &rt.netlist}) {
+    const auto r1 = run_parallel_atpg(*nl, cdcl_options(1, true));
+    const auto r2 = run_parallel_atpg(*nl, cdcl_options(2, true));
+    const auto r8 = run_parallel_atpg(*nl, cdcl_options(8, true));
+    const std::string d1 = run_digest(*nl, r1);
+    EXPECT_EQ(d1, run_digest(*nl, r2)) << nl->name();
+    EXPECT_EQ(d1, run_digest(*nl, r8)) << nl->name();
+    EXPECT_GT(r1.run.detected, 0u) << nl->name();
+  }
+}
+
+// --- budget-abort capture replays bit-for-bit (satellite regression) ---------
+
+TEST(CdclReplayTest, BudgetAbortedAttemptReplaysExactly) {
+  const Netlist nl = mcnc_circuit("dk16", 0.35);
+
+  // Starve the engine so deterministic attempts die on the eval budget,
+  // with sharing off (the per-fault replay contract: generate() is then a
+  // pure function of netlist + fault + options).
+  ParallelAtpgOptions popts = cdcl_options(2, /*share=*/false);
+  popts.run.engine.eval_limit = 600;
+  popts.run.engine.backtrack_limit = 20;
+  popts.run.random_sequences = 0;
+  const auto probe = run_parallel_atpg(nl, popts);
+
+  const auto collapsed = collapse_faults(nl);
+  std::ptrdiff_t target = -1;
+  for (std::size_t i = 0; i < probe.status.size(); ++i)
+    if (probe.attempted[i] && probe.status[i] == FaultStatus::kAborted &&
+        probe.fault_stats[i].budget_exhausted) {
+      target = static_cast<std::ptrdiff_t>(i);
+      break;
+    }
+  ASSERT_GE(target, 0) << "no budget-aborted CDCL attempt at this budget";
+
+  popts.capture.armed = true;
+  popts.capture.fault =
+      fault_name(nl, collapsed[static_cast<std::size_t>(target)].representative);
+  const auto captured = run_parallel_atpg(nl, popts);
+  ASSERT_TRUE(captured.capture.has_value());
+  EXPECT_EQ(captured.capture->status, "aborted");
+
+  const ReplayResult replay = replay_capture(nl, *captured.capture);
+  EXPECT_TRUE(replay.ok) << replay.message;
+  EXPECT_EQ(replay.mismatch_index, -1);
+  EXPECT_EQ(replay.status, captured.capture->status);
+  EXPECT_EQ(replay.replayed_events, captured.capture->ring_total);
+}
+
+}  // namespace
+}  // namespace satpg

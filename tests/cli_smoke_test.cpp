@@ -62,7 +62,7 @@ TEST(CliSmokeTest, MetricsAndTraceJsonAreValid) {
   ASSERT_FALSE(mjson.empty());
   std::string err;
   EXPECT_TRUE(json_valid(mjson, &err)) << err;
-  EXPECT_NE(mjson.find("\"schema\": \"satpg.atpg_run.v3\""),
+  EXPECT_NE(mjson.find("\"schema\": \"satpg.atpg_run.v4\""),
             std::string::npos);
   EXPECT_NE(mjson.find("\"per_fault\""), std::string::npos);
   EXPECT_NE(mjson.find("\"metrics\""), std::string::npos);

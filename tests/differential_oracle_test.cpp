@@ -61,8 +61,10 @@ bool seqsim_detects(const Netlist& good, const Netlist& faulty,
   return false;
 }
 
-ParallelAtpgResult strict_run(const Netlist& nl) {
+ParallelAtpgResult strict_run(const Netlist& nl,
+                              EngineKind kind = EngineKind::kHitec) {
   ParallelAtpgOptions popts;
+  popts.run.engine.kind = kind;
   popts.run.engine.eval_limit = 150'000;
   popts.run.engine.backtrack_limit = 300;
   popts.run.random_sequences = 4;
@@ -101,6 +103,32 @@ TEST(DifferentialOracleTest, EveryDetectionReplaysUnderTwoIndependentOracles) {
   EXPECT_GT(checked, collapsed.size() / 2);
   // Strict statuses must reconcile with the strict summary numbers.
   EXPECT_EQ(weighted_detected, r.run.detected);
+}
+
+// Same two-oracle replay for the SAT engine: every kCdcl detection — a
+// model of the Tseitin time-frame CNF lifted to a vector sequence — must
+// be confirmed by the serial fault simulator AND by structural injection
+// on the src/sim two-machine replay, neither of which shares a line of
+// code with the CNF encoder.
+TEST(DifferentialOracleTest, EveryCdclDetectionReplaysUnderTwoIndependentOracles) {
+  const Netlist nl = mcnc_circuit("dk16", 0.4);
+  const auto collapsed = collapse_faults(nl);
+  const auto r = strict_run(nl, EngineKind::kCdcl);
+  ASSERT_EQ(r.status.size(), collapsed.size());
+
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < collapsed.size(); ++i) {
+    if (r.status[i] != FaultStatus::kDetected) continue;
+    const Fault& f = collapsed[i].representative;
+    ASSERT_GE(r.detected_by[i], 0) << fault_name(nl, f);
+    const TestSequence& seq =
+        r.run.tests[static_cast<std::size_t>(r.detected_by[i])];
+    EXPECT_GE(simulate_fault_serial(nl, f, seq), 0) << fault_name(nl, f);
+    EXPECT_TRUE(seqsim_detects(nl, inject_fault(nl, f), seq))
+        << fault_name(nl, f);
+    ++checked;
+  }
+  EXPECT_GT(checked, collapsed.size() / 2);
 }
 
 // --- good-machine cross-check ------------------------------------------------
@@ -155,6 +183,12 @@ TEST(DifferentialOracleTest, HandRedundancyIsBehaviourallyInvisible) {
   const Fault f{g, -1, false};
   AtpgEngine engine(nl, {});
   ASSERT_EQ(engine.generate(f).status, FaultStatus::kRedundant);
+  // The SAT engine must reach the same verdict through its own proof path
+  // (UNSAT single-frame dual-rail CNF instead of PODEM exhaustion).
+  EngineOptions cdcl_opts;
+  cdcl_opts.kind = EngineKind::kCdcl;
+  AtpgEngine cdcl_engine(nl, cdcl_opts);
+  ASSERT_EQ(cdcl_engine.generate(f).status, FaultStatus::kRedundant);
 
   const Netlist faulty = inject_fault(nl, f);
   SeqSimulator sg(nl), sf(faulty);
@@ -207,6 +241,36 @@ TEST(DifferentialOracleTest, RedundantFaultsAreSequentiallyEquivalent) {
   // dk16 at this scale is expected to expose at least one redundancy; if
   // synthesis changes that, the test silently checks nothing — fail loudly
   // instead so the calibration gets revisited.
+  EXPECT_GT(checked, 0u);
+}
+
+// Every kCdcl `redundant` verdict (an UNSAT proof over the single-frame
+// dual-rail CNF with free state) must be confirmed by the BDD sequential-
+// equivalence prover on the fault-injected netlist — the independent proof
+// path the study's redundancy claims rest on.
+TEST(DifferentialOracleTest, CdclRedundantVerdictsAreSequentiallyEquivalent) {
+  const Netlist nl = mcnc_circuit("s820", 0.5);
+  try {
+    ASSERT_TRUE(check_sequential_equivalence(nl, nl).equivalent);
+  } catch (const BddOverflow&) {
+    GTEST_SKIP() << "circuit too large for the BDD oracle";
+  }
+
+  const auto collapsed = collapse_faults(nl);
+  const auto r = strict_run(nl, EngineKind::kCdcl);
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < collapsed.size(); ++i) {
+    if (r.status[i] != FaultStatus::kRedundant) continue;
+    const Fault& f = collapsed[i].representative;
+    try {
+      const auto eq = check_sequential_equivalence(nl, inject_fault(nl, f));
+      EXPECT_TRUE(eq.equivalent) << fault_name(nl, f) << ": " << eq.note;
+      ++checked;
+    } catch (const BddOverflow&) {
+      // Intractable instance; covered by the reachability barrage in
+      // property_test.
+    }
+  }
   EXPECT_GT(checked, 0u);
 }
 

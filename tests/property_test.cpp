@@ -10,6 +10,7 @@
 #include "analysis/bddcircuit.h"
 #include "analysis/reach.h"
 #include "atpg/parallel.h"
+#include "fsm/mcnc_suite.h"
 #include "base/rng.h"
 #include "bdd/bdd.h"
 #include "fault/fault.h"
@@ -19,6 +20,7 @@
 #include "retime/retime.h"
 #include "sim/simulator.h"
 #include "synth/cover.h"
+#include "synth/synthesize.h"
 
 namespace satpg {
 namespace {
@@ -370,6 +372,74 @@ TEST_P(RedundancyVsReachability, RedundantFaultsInvisibleFromReachableStates) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RedundancyVsReachability,
                          ::testing::Range(0, 6));
+
+// --- CDCL cube-sharing soundness ---------------------------------------------
+
+// The kCdcl engine's cross-fault learning currency is the proven-
+// unreachable frame-0 state cube (DESIGN.md §9). Soundness of the whole
+// scheme rests on one invariant: a cube may be recorded in the failure
+// cache / published to the SharedLearningCache ONLY if it intersects no
+// reachable state. Check every exported cube against the exact-BDD
+// reachability oracle, across random-circuit seeds and an MCNC machine
+// plus its retimed twin (retiming is what manufactures unreachable states,
+// so that is where the exports actually happen).
+void check_exported_cubes_unreachable(const Netlist& nl) {
+  const StateValidityOracle oracle = StateValidityOracle::build(nl);
+  if (oracle.info().mode != ValidityOracleInfo::Mode::kExact)
+    GTEST_SKIP() << "reachable set not enumerable for " << nl.name();
+
+  EngineOptions eopts;
+  eopts.kind = EngineKind::kCdcl;
+  eopts.eval_limit = 60'000;
+  eopts.backtrack_limit = 200;
+  AtpgEngine engine(nl, eopts);
+  SharedLearningCache cache;
+  SharedLearningCache::View view(&cache, /*read_epoch=*/0);
+  engine.set_shared_learning(&view);
+  for (const auto& cf : collapse_faults(nl)) engine.generate(cf.representative);
+  cache.publish(/*round=*/0, /*unit=*/0, engine);
+
+  // Both the engine-local failure cache and the cubes the shared cache
+  // would serve to other workers must be disjoint from the reachable set.
+  std::size_t checked = 0;
+  for (const StateKey& cube : engine.learned_fail()) {
+    EXPECT_EQ(oracle.classify(cube), StateValidity::kInvalid)
+        << nl.name() << " local cube " << cube.to_string();
+    ++checked;
+  }
+  for (const StateKey& cube :
+       SharedLearningCache::View(&cache, /*read_epoch=*/1).fail_cubes()) {
+    EXPECT_EQ(oracle.classify(cube), StateValidity::kInvalid)
+        << nl.name() << " shared cube " << cube.to_string();
+    ++checked;
+  }
+  // Silence is not soundness: record how much this circuit exercised.
+  ::testing::Test::RecordProperty(nl.name() + "_cubes_checked",
+                                  static_cast<int>(checked));
+}
+
+class CdclCubeSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(CdclCubeSoundness, ExportedCubesNeverExcludeReachableStates) {
+  const Netlist nl =
+      random_circuit(static_cast<std::uint64_t>(GetParam()) + 500, 3, 3, 14);
+  if (nl.validate() != std::nullopt) GTEST_SKIP();
+  check_exported_cubes_unreachable(nl);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdclCubeSoundness, ::testing::Range(0, 6));
+
+TEST(CdclCubeSoundness, RetimedMcncTwinExportsOnlyUnreachableCubes) {
+  FsmGenSpec spec;
+  for (const auto& s : mcnc_specs())
+    if (s.name == "dk16") spec = s;
+  const Fsm fsm = generate_control_fsm(scaled_spec(spec, 0.35));
+  const SynthResult res = synthesize(fsm, {});
+  check_exported_cubes_unreachable(res.netlist);
+  const RetimeResult rt = retime_to_dff_target(
+      res.netlist, 2 * res.netlist.num_dffs(), res.name + ".re");
+  check_exported_cubes_unreachable(rt.netlist);
+}
 
 // --- bench round trip on random circuits -------------------------------------
 

@@ -1,6 +1,8 @@
 #!/bin/sh
-# Regenerates the checked-in golden atpg_run.v3 reports in bench/golden/
-# that the tier-2 bench_gate_test gates against.
+# Regenerates the checked-in golden atpg_run.v4 reports in bench/golden/
+# that the tier-2 bench_gate_test gates against: the default (hitec)
+# engine and the cdcl engine, each on one cached MCNC circuit and its
+# retimed twin.
 #
 #   tools/gen_golden.sh [build-dir]
 #
@@ -23,8 +25,13 @@ mkdir -p "$OUT"
 TWIN="$(mktemp -t gate_twin.XXXXXX.bench)"
 trap 'rm -f "$TWIN"' EXIT
 
-"$SATPG" atpg "$CIRCUIT" $FLAGS --metrics-json="$OUT/dk16_parent.v3.json"
+"$SATPG" atpg "$CIRCUIT" $FLAGS --metrics-json="$OUT/dk16_parent.v4.json"
 "$SATPG" retime "$CIRCUIT" "$TWIN" --dffs=6
-"$SATPG" atpg "$TWIN" $FLAGS --metrics-json="$OUT/dk16_retimed.v3.json"
+"$SATPG" atpg "$TWIN" $FLAGS --metrics-json="$OUT/dk16_retimed.v4.json"
+
+"$SATPG" atpg "$CIRCUIT" $FLAGS --engine=cdcl \
+    --metrics-json="$OUT/dk16_parent_cdcl.v4.json"
+"$SATPG" atpg "$TWIN" $FLAGS --engine=cdcl \
+    --metrics-json="$OUT/dk16_retimed_cdcl.v4.json"
 
 echo "golden reports written to $OUT/"

@@ -11,7 +11,8 @@
 //   satpg diff     <a> <b>                      compare two run reports
 //   satpg replay   <capture.json>               re-run a captured search
 //
-// ATPG options: --engine=hitec|forward|learning  --budget=F  --seed=N
+// ATPG options: --engine=hitec|forward|learning|cdcl  --budget=F  --seed=N
+//               --no-shared-learning (cdcl: per-fault caches only)
 //               --strict (no potential-detection credit)
 //               --tests=FILE (write the test sequences)
 //               --metrics-json=FILE (deterministic structured run report)
@@ -73,8 +74,10 @@ void print_usage(std::FILE* f) {
       "  satpg info    c.bench\n"
       "  satpg analyze c.bench\n"
       "  satpg faults  c.bench\n"
-      "  satpg atpg    c.bench [--engine=E] [--budget=F] [--seed=N]"
-      " [--strict] [--tests=FILE] [--compact]\n"
+      "  satpg atpg    c.bench [--engine=hitec|forward|learning|cdcl]"
+      " [--budget=F] [--seed=N]\n"
+      "                [--no-shared-learning] [--strict] [--tests=FILE]"
+      " [--compact]\n"
       "                [--threads=N] [--deadline-ms=N]"
       " [--metrics-json=FILE] [--trace-json=FILE]\n"
       "                [--heartbeat-json=FILE] [--heartbeat-interval-ms=N]"
@@ -169,8 +172,12 @@ int cmd_atpg(const Netlist& nl, const std::string& circuit_path, int argc,
         opts.engine.kind = EngineKind::kForward;
       else if (!std::strcmp(v, "learning"))
         opts.engine.kind = EngineKind::kLearning;
+      else if (!std::strcmp(v, "cdcl"))
+        opts.engine.kind = EngineKind::kCdcl;
       else
         return usage();
+    } else if (!std::strcmp(argv[i], "--no-shared-learning")) {
+      opts.engine.share_learning = false;
     } else if (const char* v2 = flag_value(argv[i], "--budget=")) {
       const double f = std::atof(v2);
       opts.engine.eval_limit =
@@ -229,7 +236,7 @@ int cmd_atpg(const Netlist& nl, const std::string& circuit_path, int argc,
   }
   if (telemetry.metrics_enabled()) {
     // atpg has a richer schema than the generic registry dump: the full
-    // satpg.atpg_run.v3 report (harness/report).
+    // satpg.atpg_run.v4 report (harness/report).
     set_metrics_enabled(false);
     if (!write_atpg_report_json(telemetry.metrics_json, nl, popts, pres)) {
       std::fprintf(stderr, "cannot write %s\n",
@@ -249,6 +256,13 @@ int cmd_atpg(const Netlist& nl, const std::string& circuit_path, int argc,
               static_cast<unsigned long long>(run.evals),
               static_cast<unsigned long long>(run.backtracks),
               run.wall_seconds);
+  if (opts.engine.kind == EngineKind::kCdcl)
+    std::printf("cdcl             : %llu conflicts, %llu propagations, "
+                "%llu restarts, %llu cube exports\n",
+                static_cast<unsigned long long>(run.conflicts),
+                static_cast<unsigned long long>(run.propagations),
+                static_cast<unsigned long long>(run.restarts),
+                static_cast<unsigned long long>(run.cube_exports));
   std::printf("test sequences   : %zu\n", run.tests.size());
   std::printf("states traversed : %zu\n", run.states_traversed.size());
   if (pres.aborted_by_deadline > 0)
