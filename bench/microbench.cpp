@@ -336,11 +336,13 @@ void write_atpg_bench_json() {
               serial_evals == parallel_evals ? "true" : "false");
 }
 
-// Telemetry overhead guard (DESIGN.md §5): the metrics registry promises
-// near-zero cost on the fsim hot path. Times run_fault_simulation() with
-// metrics disabled vs enabled (best of 5 each, interleaved against drift)
-// and flags a violation when the enabled run is more than 3% slower.
-// Written to BENCH_metrics_overhead.json so the trajectory is tracked.
+// Telemetry overhead guard (DESIGN.md §5/§10): the metrics registry
+// promises near-zero cost on the fsim hot path, and the flight recorder
+// promises the same for an armed --events-json run on the ATPG search
+// path. Times each pair disabled vs enabled (best of 5, interleaved
+// against drift) and flags a violation when an enabled run is more than
+// 3% slower. Written to BENCH_metrics_overhead.json so the trajectory is
+// tracked.
 void write_metrics_overhead_json() {
   const Netlist& nl = shared_circuit().netlist;
   const auto collapsed = collapse_faults(nl);
@@ -377,6 +379,36 @@ void write_metrics_overhead_json() {
                  "enabled %.6fs vs disabled %.6fs (%.2f%% > 3%%)\n",
                  on_s, off_s, overhead * 100.0);
 
+  // Flight-recorder pair: a full parallel ATPG run with the recorder
+  // disarmed vs armed. The event buffers ride the existing merge, so the
+  // only admissible cost is appending to per-attempt vectors.
+  ParallelAtpgOptions popts;
+  popts.run.engine.eval_limit = 60'000;
+  popts.run.engine.backtrack_limit = 200;
+  popts.num_threads = ThreadPool::hardware_threads();
+  auto timed_atpg = [&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(run_parallel_atpg(nl, popts));
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+  run_parallel_atpg(nl, popts);  // warm caches and the thread pool
+  double ev_off_s = 1e100, ev_on_s = 1e100;
+  for (int r = 0; r < kReps; ++r) {
+    popts.record_events = false;
+    ev_off_s = std::min(ev_off_s, timed_atpg());
+    popts.record_events = true;
+    ev_on_s = std::min(ev_on_s, timed_atpg());
+  }
+  const double ev_overhead = ev_on_s / std::max(ev_off_s, 1e-12) - 1.0;
+  const bool ev_ok = ev_overhead < 0.03;
+  if (!ev_ok)
+    std::fprintf(stderr,
+                 "BENCH_metrics_overhead: EVENTS OVERHEAD VIOLATION: "
+                 "armed %.6fs vs disabled %.6fs (%.2f%% > 3%%)\n",
+                 ev_on_s, ev_off_s, ev_overhead * 100.0);
+
   std::FILE* f = std::fopen("BENCH_metrics_overhead.json", "w");
   if (!f) {
     std::fprintf(stderr,
@@ -392,14 +424,22 @@ void write_metrics_overhead_json() {
                "  \"enabled_seconds\": %.6f,\n"
                "  \"overhead_fraction\": %.4f,\n"
                "  \"budget_fraction\": 0.03,\n"
-               "  \"within_budget\": %s\n"
+               "  \"within_budget\": %s,\n"
+               "  \"events_disabled_seconds\": %.6f,\n"
+               "  \"events_armed_seconds\": %.6f,\n"
+               "  \"events_overhead_fraction\": %.4f,\n"
+               "  \"events_within_budget\": %s\n"
                "}\n",
                nl.name().c_str(), faults.size(), off_s, on_s, overhead,
-               ok ? "true" : "false");
+               ok ? "true" : "false", ev_off_s, ev_on_s, ev_overhead,
+               ev_ok ? "true" : "false");
   std::fclose(f);
   std::printf("BENCH_metrics_overhead.json: disabled %.3fs, enabled %.3fs, "
               "overhead %.2f%% (budget 3%%)\n",
               off_s, on_s, overhead * 100.0);
+  std::printf("BENCH_metrics_overhead.json: events disabled %.3fs, "
+              "armed %.3fs, overhead %.2f%% (budget 3%%)\n",
+              ev_off_s, ev_on_s, ev_overhead * 100.0);
 }
 
 }  // namespace

@@ -72,6 +72,26 @@ CdclAtpg::JustifyOutcome CdclAtpg::justify(
                               static_cast<std::uint64_t>(depth) + 1);
   const StateKey key = e_.cube_key(cube);
   e_.cubes_visited_.insert(key);
+  if (e_.record_events_) {
+    SearchEvent e;
+    e.kind = SearchEventKind::kJustifyEnter;
+    e.a = depth;
+    e.at = budget.evals;
+    e.cube = key.to_string();
+    e_.events_buf_.push_back(std::move(e));
+  }
+  // Leave outcome: 0 failed, 1 justified, 2 proven-invalid — mirrors
+  // JustifyOutcome::Status so timelines show the proof verdicts too.
+  const auto leave = [&](int outcome) {
+    if (e_.record_events_) {
+      SearchEvent e;
+      e.kind = SearchEventKind::kJustifyLeave;
+      e.a = depth;
+      e.b = outcome;
+      e.at = budget.evals;
+      e_.events_buf_.push_back(std::move(e));
+    }
+  };
   const std::size_t bucket =
       static_cast<std::size_t>(e_.classify_cube(key));
   const bool attributed = e_.validity_ != nullptr;
@@ -83,11 +103,13 @@ CdclAtpg::JustifyOutcome CdclAtpg::justify(
   if (depth > e_.opts_.max_backward_frames) {
     ++e_.stats_.justify_failures;
     fail_bucket();
+    leave(0);
     return out;
   }
   if (on_path.count(key)) {
     ++e_.stats_.justify_failures;
     fail_bucket();
+    leave(0);
     return out;  // state-requirement loop
   }
 
@@ -99,11 +121,25 @@ CdclAtpg::JustifyOutcome CdclAtpg::justify(
                       static_cast<std::uint8_t>(ok ? 1 : 0), depth, -1,
                       static_cast<std::uint64_t>(StateKeyHash{}(key))});
   };
+  const auto event_learn_hit = [&](bool ok, const std::string& src) {
+    if (e_.record_events_) {
+      SearchEvent e;
+      e.kind = SearchEventKind::kLearnHit;
+      e.a = depth;
+      e.b = ok ? 1 : 0;
+      e.at = budget.evals;
+      e.cube = key.to_string();
+      e.src = src;
+      e_.events_buf_.push_back(std::move(e));
+    }
+  };
   if (auto it = e_.learned_ok_.find(key); it != e_.learned_ok_.end()) {
     ++e_.stats_.learn_hits;
     ring_learn_hit(true);
+    event_learn_hit(true, {});
     out.status = JustifyOutcome::Status::kJustified;
     out.prefix = it->second;
+    leave(1);
     return out;
   }
   if (e_.learned_fail_.count(key)) {
@@ -111,7 +147,14 @@ CdclAtpg::JustifyOutcome CdclAtpg::justify(
     ++e_.stats_.justify_failures;
     fail_bucket();
     ring_learn_hit(false);
+    const auto origin = e_.cube_origins_.find(key);
+    if (origin != e_.cube_origins_.end())
+      e_.count_cube_source(origin->second.exporter, origin->second.epoch);
+    event_learn_hit(false, origin != e_.cube_origins_.end()
+                               ? origin->second.exporter
+                               : std::string());
     out.status = JustifyOutcome::Status::kProvenInvalid;
+    leave(2);
     return out;
   }
   if (e_.opts_.share_learning && e_.shared_ != nullptr) {
@@ -119,18 +162,26 @@ CdclAtpg::JustifyOutcome CdclAtpg::justify(
     if (e_.shared_->lookup_ok(key, &prefix)) {
       ++e_.stats_.learn_hits;
       ring_learn_hit(true);
+      event_learn_hit(true, {});
       e_.learned_ok_[key] = prefix;
       out.status = JustifyOutcome::Status::kJustified;
       out.prefix = std::move(prefix);
+      leave(1);
       return out;
     }
-    if (e_.shared_->lookup_fail(key)) {
+    std::string exporter;
+    std::uint32_t epoch = 0;
+    if (e_.shared_->lookup_fail_info(key, &exporter, &epoch)) {
       ++e_.stats_.learn_hits;
       ++e_.stats_.justify_failures;
       fail_bucket();
       ring_learn_hit(false);
+      e_.count_cube_source(exporter, epoch);
+      event_learn_hit(false, exporter);
       e_.learned_fail_.insert(key);
+      e_.cube_origins_[key] = {exporter, epoch};
       out.status = JustifyOutcome::Status::kProvenInvalid;
+      leave(2);
       return out;
     }
   }
@@ -144,6 +195,7 @@ CdclAtpg::JustifyOutcome CdclAtpg::justify(
   TimeFrameCnf cnf(e_.nl_, std::nullopt, 1, &solver);
   solver.set_budget(&budget);
   solver.set_ring(e_.ring_);
+  solver.set_event_sink(e_.record_events_ ? &e_.events_buf_ : nullptr);
   for (const auto& [ff, v] : cube)
     cnf.add_justify_target(ff, v == V3::kOne);
   // Blocking proven-unreachable cubes cannot hide a REACHABLE predecessor,
@@ -172,9 +224,23 @@ CdclAtpg::JustifyOutcome CdclAtpg::justify(
   };
   for (;;) {
     // Catch up on cubes proven since the last solve (imports at entry,
-    // then anything deeper recursions exported mid-loop).
+    // then anything deeper recursions exported mid-loop). Every successful
+    // block is a provenance hit against the cube's exporter.
     while (blocked < blocking_.size()) {
-      if (cnf.block_state_cube(blocking_[blocked])) ++e_.stats_.cube_blocks;
+      const Block& blk = blocking_[blocked];
+      if (cnf.block_state_cube(blk.key)) {
+        ++e_.stats_.cube_blocks;
+        e_.count_cube_source(blk.exporter, blk.epoch);
+        if (e_.record_events_) {
+          SearchEvent e;
+          e.kind = SearchEventKind::kCubeImport;
+          e.a = static_cast<std::int32_t>(blk.epoch);
+          e.at = budget.evals;
+          e.cube = blk.key.to_string();
+          e.src = blk.exporter;
+          e_.events_buf_.push_back(std::move(e));
+        }
+      }
       ++blocked;
     }
     const SolveStatus st = solver.solve();
@@ -250,6 +316,7 @@ CdclAtpg::JustifyOutcome CdclAtpg::justify(
   if (out.status == JustifyOutcome::Status::kJustified) {
     e_.learned_ok_[key] = out.prefix;
     ++e_.stats_.learn_inserts;
+    leave(1);
     return out;
   }
   ++e_.stats_.justify_failures;
@@ -259,13 +326,22 @@ CdclAtpg::JustifyOutcome CdclAtpg::justify(
     // initial set ruled out: no reachable predecessor produces this cube
     // and no initial state lies in it, so (reachable = initial ∪ image
     // closure, analysis/reach's fixpoint) the cube intersects no reachable
-    // state. Export the proof.
+    // state. Export the proof, attributed to the current fault.
     out.status = JustifyOutcome::Status::kProvenInvalid;
     e_.learned_fail_.insert(key);
     ++e_.stats_.learn_inserts;
     ++e_.stats_.cube_exports;
-    blocking_.push_back(key);
+    e_.cube_origins_[key] = {e_.fault_name_, 0};
+    blocking_.push_back({key, e_.fault_name_, 0});
+    if (e_.record_events_) {
+      SearchEvent e;
+      e.kind = SearchEventKind::kCubeExport;
+      e.at = budget.evals;
+      e.cube = key.to_string();
+      e_.events_buf_.push_back(std::move(e));
+    }
   }
+  leave(out.status == JustifyOutcome::Status::kProvenInvalid ? 2 : 0);
   return out;
 }
 
@@ -274,6 +350,9 @@ FaultAttempt CdclAtpg::generate(const Fault& fault) {
   FaultAttempt attempt;
   e_.current_fault_ = fault;
   e_.stats_ = FaultSearchStats{};
+  e_.events_buf_.clear();
+  e_.attempt_sources_.clear();
+  e_.fault_name_ = fault_name(e_.nl_, fault);
   if (!e_.opts_.share_learning) {
     // Pure per-attempt mode: every generate() is a function of (netlist,
     // fault, options) alone — the `satpg replay` contract.
@@ -294,30 +373,65 @@ FaultAttempt CdclAtpg::generate(const Fault& fault) {
 
   // Visible proven-unreachable cubes, imported once per attempt in a
   // deterministic order: the shared view's snapshot (frozen for the round)
-  // merged with the local failure cache, sorted by packed-key text.
+  // merged with the local failure cache, sorted by packed-key text. Each
+  // entry keeps its provenance tag; when the same key exists both shared
+  // and locally, the published (epoch-tagged) entry wins attribution.
   blocking_.clear();
   if (e_.opts_.share_learning && e_.shared_ != nullptr)
-    blocking_ = e_.shared_->fail_cubes();
-  for (const StateKey& k : e_.learned_fail_) blocking_.push_back(k);
+    for (const LearningShare::FailCubeInfo& info :
+         e_.shared_->fail_cube_infos())
+      blocking_.push_back({info.key, info.exporter, info.epoch});
+  for (const StateKey& k : e_.learned_fail_) {
+    const auto origin = e_.cube_origins_.find(k);
+    if (origin != e_.cube_origins_.end())
+      blocking_.push_back({k, origin->second.exporter,
+                           origin->second.epoch});
+    else
+      blocking_.push_back({k, std::string(), 0});
+  }
   std::sort(blocking_.begin(), blocking_.end(),
-            [](const StateKey& a, const StateKey& b) {
-              return a.to_string() < b.to_string();
+            [](const Block& a, const Block& b) {
+              const std::string sa = a.key.to_string();
+              const std::string sb = b.key.to_string();
+              if (sa != sb) return sa < sb;
+              if ((a.epoch != 0) != (b.epoch != 0)) return a.epoch != 0;
+              if (a.epoch != b.epoch) return a.epoch < b.epoch;
+              return a.exporter < b.exporter;
             });
-  blocking_.erase(std::unique(blocking_.begin(), blocking_.end()),
+  blocking_.erase(std::unique(blocking_.begin(), blocking_.end(),
+                              [](const Block& a, const Block& b) {
+                                return a.key == b.key;
+                              }),
                   blocking_.end());
-  for (const StateKey& k : blocking_) e_.learned_fail_.insert(k);
+  for (const Block& blk : blocking_) {
+    e_.learned_fail_.insert(blk.key);
+    if (!blk.exporter.empty())
+      e_.cube_origins_.emplace(blk.key,
+                               AtpgEngine::CubeOrigin{blk.exporter,
+                                                      blk.epoch});
+  }
 
   bool any_aborted = false;
   int rejects_this_fault = 0;
 
   for (int frames = 1;
        frames <= e_.opts_.max_forward_frames && !any_aborted; ++frames) {
-    if (frames > 1) ++e_.stats_.window_growths;
+    if (frames > 1) {
+      ++e_.stats_.window_growths;
+      if (e_.record_events_) {
+        SearchEvent e;
+        e.kind = SearchEventKind::kWindowGrow;
+        e.a = frames;
+        e.at = budget.evals;
+        e_.events_buf_.push_back(std::move(e));
+      }
+    }
     publish_phase(SearchPhase::kWindow);
     CdclSolver solver;
     TimeFrameCnf cnf(e_.nl_, fault, frames, &solver);
     solver.set_budget(&budget);
     solver.set_ring(e_.ring_);
+    solver.set_event_sink(e_.record_events_ ? &e_.events_buf_ : nullptr);
     if (!cnf.add_detect_objective(/*include_boundary=*/false))
       continue;  // no PO difference expressible in this window; widen
     if (e_.ring_ != nullptr)
@@ -326,8 +440,20 @@ FaultAttempt CdclAtpg::generate(const Fault& fault) {
     std::size_t blocked = 0;
     for (;;) {
       while (blocked < blocking_.size()) {
-        if (cnf.block_state_cube(blocking_[blocked]))
+        const Block& blk = blocking_[blocked];
+        if (cnf.block_state_cube(blk.key)) {
           ++e_.stats_.cube_blocks;
+          e_.count_cube_source(blk.exporter, blk.epoch);
+          if (e_.record_events_) {
+            SearchEvent e;
+            e.kind = SearchEventKind::kCubeImport;
+            e.a = static_cast<std::int32_t>(blk.epoch);
+            e.at = budget.evals;
+            e.cube = blk.key.to_string();
+            e.src = blk.exporter;
+            e_.events_buf_.push_back(std::move(e));
+          }
+        }
         ++blocked;
       }
       const SolveStatus st = solver.solve();
@@ -422,10 +548,18 @@ FaultAttempt CdclAtpg::generate(const Fault& fault) {
     // kDetectOrStore search: one frame, free state and inputs, NO blocking
     // clauses — the UNSAT must be unconditional. Runs on the same budget.
     publish_phase(SearchPhase::kRedundancy);
+    if (e_.record_events_) {
+      SearchEvent e;
+      e.kind = SearchEventKind::kRedundancyStart;
+      e.a = 1;
+      e.at = budget.evals;
+      e_.events_buf_.push_back(std::move(e));
+    }
     CdclSolver solver;
     TimeFrameCnf cnf(e_.nl_, fault, 1, &solver);
     solver.set_budget(&budget);
     solver.set_ring(e_.ring_);
+    solver.set_event_sink(e_.record_events_ ? &e_.events_buf_ : nullptr);
     if (e_.ring_ != nullptr)
       e_.ring_->push({DecisionEventKind::kObjective, kObjDetectOrStore, 1,
                       -1, 0});
@@ -442,6 +576,13 @@ FaultAttempt CdclAtpg::generate(const Fault& fault) {
       // kSat: storable but not detected within the window — aborted.
     }
     harvest(solver);
+    if (e_.record_events_) {
+      SearchEvent e;
+      e.kind = SearchEventKind::kRedundancyVerdict;
+      e.b = attempt.status == FaultStatus::kRedundant ? 1 : 0;
+      e.at = budget.evals;
+      e_.events_buf_.push_back(std::move(e));
+    }
   }
 
   e_.total_evals_ += budget.evals;
@@ -458,10 +599,27 @@ FaultAttempt CdclAtpg::generate(const Fault& fault) {
                         attempt.status == FaultStatus::kAborted &&
                         budget.exhausted_evals();
   attempt.first_abort_check = budget.first_abort_check;
+  if (e_.record_events_) {
+    if (e_.stats_.budget_exhausted) {
+      SearchEvent e;
+      e.kind = SearchEventKind::kBudgetAbort;
+      e.a = budget.exhausted_evals() ? 1 : 0;
+      e.b = budget.exhausted_backtracks() ? 1 : 0;
+      e.at = budget.evals;
+      e_.events_buf_.push_back(std::move(e));
+    }
+    if (budget.first_abort_check != 0) {
+      SearchEvent e;
+      e.kind = SearchEventKind::kExternalAbort;
+      e.at = budget.evals;
+      e_.events_buf_.push_back(std::move(e));
+    }
+  }
   e_.stats_.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   attempt.stats = e_.stats_;
+  e_.flush_attempt_observability(&attempt);
   return attempt;
 }
 

@@ -52,11 +52,20 @@ class CdclAtpg {
   bool cube_excludes_initial(const StateKey& key) const;
 
   AtpgEngine& e_;
+  /// One visible proven-unreachable cube plus its provenance tag: the
+  /// fault that proved it and the epoch it was published in (0 =
+  /// unit-local, not yet published).
+  struct Block {
+    StateKey key;
+    std::string exporter;
+    std::uint32_t epoch = 0;
+  };
   /// Proven-unreachable frame-0 cubes visible to this attempt: the sorted
   /// import of (shared view ∪ local failure cache) at attempt start, plus
   /// every cube proven during the attempt, in proof order. Every solver of
-  /// the attempt blocks all of them.
-  std::vector<StateKey> blocking_;
+  /// the attempt blocks all of them; each successful block records a
+  /// provenance hit against the cube's exporter.
+  std::vector<Block> blocking_;
 };
 
 }  // namespace satpg

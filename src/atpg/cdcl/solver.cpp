@@ -253,6 +253,22 @@ void CdclSolver::reduce_db() {
     return a < b;                  // then oldest first
   });
   const std::size_t kill = cand.size() / 2;
+  if (events_ != nullptr) {
+    // Snapshot the live learned-clause LBD distribution before the kill —
+    // the flight recorder's view of clause-quality at reduction time.
+    SearchEvent e;
+    e.kind = SearchEventKind::kDbReduce;
+    e.at = budget_ != nullptr ? budget_->evals : 0;
+    e.a = static_cast<std::int32_t>(kill);
+    e.b = static_cast<std::int32_t>(live_learned_ - kill);
+    for (const Clause& c : clauses_) {
+      if (!c.learned || c.deleted) continue;
+      const std::size_t bucket =
+          c.lbd < kLbdHistBuckets ? c.lbd : kLbdHistBuckets - 1;
+      ++e.lbd[bucket];
+    }
+    events_->push_back(std::move(e));
+  }
   for (std::size_t i = 0; i < kill; ++i) {
     clauses_[static_cast<std::size_t>(cand[i])].deleted = true;
     --live_learned_;
@@ -283,6 +299,11 @@ void CdclSolver::publish_progress() {
   p.evals.store(budget_->evals, std::memory_order_relaxed);
   p.backtracks.store(budget_->backtracks, std::memory_order_relaxed);
   p.implications.store(budget_->decisions, std::memory_order_relaxed);
+  // Native solver counters, so a stuck CDCL search shows its real dynamics
+  // in heartbeats instead of only the budget-converted currency.
+  p.conflicts.store(stats_.conflicts, std::memory_order_relaxed);
+  p.propagations.store(stats_.propagations, std::memory_order_relaxed);
+  p.restarts.store(stats_.restarts, std::memory_order_relaxed);
 }
 
 void CdclSolver::charge_conflict(bool* out_abort) {
@@ -365,6 +386,13 @@ SolveStatus CdclSolver::solve_under(const std::vector<CnfLit>& assumptions) {
 
     if (conflicts_since_restart >= restart_limit) {
       ++stats_.restarts;
+      if (events_ != nullptr) {
+        SearchEvent e;
+        e.kind = SearchEventKind::kRestart;
+        e.at = budget_ != nullptr ? budget_->evals : 0;
+        e.a = static_cast<std::int32_t>(stats_.restarts);
+        events_->push_back(std::move(e));
+      }
       conflicts_since_restart = 0;
       restart_limit = luby(stats_.restarts + 1) * kRestartUnit;
       cancel_until(0);

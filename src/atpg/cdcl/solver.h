@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/events.h"
+
 namespace satpg {
 
 struct PodemBudget;  // atpg/podem.h
@@ -93,6 +95,11 @@ class CdclSolver {
 
   /// Record decisions/conflicts into `ring` (observation only).
   void set_ring(DecisionRing* ring) { ring_ = ring; }
+
+  /// Record restart/db-reduce flight-recorder events into `sink` (may be
+  /// nullptr). The solver only appends; event `at` stamps come from the
+  /// attached budget's eval counter, so the stream stays wall-clock free.
+  void set_event_sink(SearchEventList* sink) { events_ = sink; }
 
   // ---- test inspection ------------------------------------------------------
 
@@ -167,6 +174,7 @@ class CdclSolver {
   std::uint64_t props_uncharged_ = 0;
   PodemBudget* budget_ = nullptr;
   DecisionRing* ring_ = nullptr;
+  SearchEventList* events_ = nullptr;
 
   SolverStats stats_;
 };

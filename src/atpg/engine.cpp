@@ -66,6 +66,26 @@ AtpgEngine::JustifyOutcome AtpgEngine::justify(
                               static_cast<std::uint64_t>(depth) + 1);
   const StateKey key = cube_key(cube);
   cubes_visited_.insert(key);
+  if (record_events_) {
+    SearchEvent e;
+    e.kind = SearchEventKind::kJustifyEnter;
+    e.a = depth;
+    e.at = budget.evals;
+    e.cube = key.to_string();
+    events_buf_.push_back(std::move(e));
+  }
+  // Every justify() return emits the matching leave event (outcome 0 fail,
+  // 1 ok) so timelines can reconstruct the descent.
+  const auto leave = [&](int outcome) {
+    if (record_events_) {
+      SearchEvent e;
+      e.kind = SearchEventKind::kJustifyLeave;
+      e.a = depth;
+      e.b = outcome;
+      e.at = budget.evals;
+      events_buf_.push_back(std::move(e));
+    }
+  };
   // Attribution bucket for everything spent at THIS level on this cube
   // (nested levels classify their own cubes). Pure observation: the
   // verdict feeds counters only, never the search.
@@ -79,11 +99,13 @@ AtpgEngine::JustifyOutcome AtpgEngine::justify(
   if (depth > opts_.max_backward_frames) {
     ++stats_.justify_failures;
     fail_bucket();
+    leave(0);
     return {};
   }
   if (on_path.count(key)) {
     ++stats_.justify_failures;
     fail_bucket();
+    leave(0);
     return {};  // state-requirement loop
   }
 
@@ -97,10 +119,24 @@ AtpgEngine::JustifyOutcome AtpgEngine::justify(
                    static_cast<std::uint8_t>(ok ? 1 : 0), depth, -1,
                    static_cast<std::uint64_t>(StateKeyHash{}(key))});
   };
+  const auto event_learn_hit = [&](bool ok, const std::string& src) {
+    if (record_events_) {
+      SearchEvent e;
+      e.kind = SearchEventKind::kLearnHit;
+      e.a = depth;
+      e.b = ok ? 1 : 0;
+      e.at = budget.evals;
+      e.cube = key.to_string();
+      e.src = src;
+      events_buf_.push_back(std::move(e));
+    }
+  };
   if (learning) {
     if (auto it = learned_ok_.find(key); it != learned_ok_.end()) {
       ++stats_.learn_hits;
       ring_learn_hit(true);
+      event_learn_hit(true, {});
+      leave(1);
       return {true, it->second};
     }
     if (learned_fail_.count(key)) {
@@ -108,6 +144,13 @@ AtpgEngine::JustifyOutcome AtpgEngine::justify(
       ++stats_.justify_failures;
       fail_bucket();
       ring_learn_hit(false);
+      const auto origin = cube_origins_.find(key);
+      if (origin != cube_origins_.end())
+        count_cube_source(origin->second.exporter, origin->second.epoch);
+      event_learn_hit(false, origin != cube_origins_.end()
+                                 ? origin->second.exporter
+                                 : std::string());
+      leave(0);
       return {};
     }
     if (shared_ != nullptr) {
@@ -118,15 +161,23 @@ AtpgEngine::JustifyOutcome AtpgEngine::justify(
       if (shared_->lookup_ok(key, &prefix)) {
         ++stats_.learn_hits;
         ring_learn_hit(true);
+        event_learn_hit(true, {});
         learned_ok_[key] = prefix;
+        leave(1);
         return {true, std::move(prefix)};
       }
-      if (shared_->lookup_fail(key)) {
+      std::string exporter;
+      std::uint32_t epoch = 0;
+      if (shared_->lookup_fail_info(key, &exporter, &epoch)) {
         ++stats_.learn_hits;
         ++stats_.justify_failures;
         fail_bucket();
         ring_learn_hit(false);
+        count_cube_source(exporter, epoch);
+        event_learn_hit(false, exporter);
         learned_fail_.insert(key);
+        cube_origins_[key] = {exporter, epoch};
+        leave(0);
         return {};
       }
     }
@@ -191,12 +242,21 @@ AtpgEngine::JustifyOutcome AtpgEngine::justify(
     } else if (st == PodemStatus::kExhausted) {
       learned_fail_.insert(key);  // complete search failed (budget-honest)
       ++stats_.learn_inserts;
+      cube_origins_[key] = {fault_name_, 0};
+      if (record_events_) {
+        SearchEvent e;
+        e.kind = SearchEventKind::kCubeExport;
+        e.at = budget.evals;
+        e.cube = key.to_string();
+        events_buf_.push_back(std::move(e));
+      }
     }
   }
   if (!out.ok) {
     ++stats_.justify_failures;
     fail_bucket();
   }
+  leave(out.ok ? 1 : 0);
   return out;
 }
 
@@ -209,6 +269,9 @@ FaultAttempt AtpgEngine::generate(const Fault& fault) {
   FaultAttempt attempt;
   current_fault_ = fault;
   stats_ = FaultSearchStats{};
+  events_buf_.clear();
+  attempt_sources_.clear();
+  fault_name_ = fault_name(nl_, fault);
   // ONE budget for every phase of this fault: window growth, all
   // justification levels, and the redundancy check all consume the same
   // cumulative `evals` counter (fed by TimeFrameModel::attach_eval_counter)
@@ -240,7 +303,16 @@ FaultAttempt AtpgEngine::generate(const Fault& fault) {
   for (int frames = 1;
        frames <= opts_.max_forward_frames && !any_aborted;
        ++frames) {
-    if (frames > 1) ++stats_.window_growths;
+    if (frames > 1) {
+      ++stats_.window_growths;
+      if (record_events_) {
+        SearchEvent e;
+        e.kind = SearchEventKind::kWindowGrow;
+        e.a = frames;
+        e.at = budget.evals;
+        events_buf_.push_back(std::move(e));
+      }
+    }
     publish_phase(SearchPhase::kWindow);
     TimeFrameModel tfm(nl_, fault, frames);
     tfm.attach_eval_counter(&budget.evals);
@@ -303,6 +375,13 @@ FaultAttempt AtpgEngine::generate(const Fault& fault) {
     // redundancy verdict requires the search to complete within whatever
     // this fault has left, so eval_limit really is per fault, all phases.
     publish_phase(SearchPhase::kRedundancy);
+    if (record_events_) {
+      SearchEvent e;
+      e.kind = SearchEventKind::kRedundancyStart;
+      e.a = 1;
+      e.at = budget.evals;
+      events_buf_.push_back(std::move(e));
+    }
     TimeFrameModel tfm(nl_, fault, 1);
     tfm.attach_eval_counter(&budget.evals);
     Podem podem(tfm, scoap_, /*allow_state=*/true,
@@ -312,6 +391,13 @@ FaultAttempt AtpgEngine::generate(const Fault& fault) {
       attempt.status = FaultStatus::kRedundant;
     // kSuccess: storable but not detected within the window — aborted.
     // kAborted: budget ran out mid-proof — aborted, never redundant.
+    if (record_events_) {
+      SearchEvent e;
+      e.kind = SearchEventKind::kRedundancyVerdict;
+      e.b = st == PodemStatus::kExhausted ? 1 : 0;
+      e.at = budget.evals;
+      events_buf_.push_back(std::move(e));
+    }
   }
 
   total_evals_ += budget.evals;
@@ -327,11 +413,39 @@ FaultAttempt AtpgEngine::generate(const Fault& fault) {
                         attempt.status == FaultStatus::kAborted &&
                         budget.exhausted_evals();
   attempt.first_abort_check = budget.first_abort_check;
+  if (record_events_) {
+    if (stats_.budget_exhausted) {
+      SearchEvent e;
+      e.kind = SearchEventKind::kBudgetAbort;
+      e.a = budget.exhausted_evals() ? 1 : 0;
+      e.b = budget.exhausted_backtracks() ? 1 : 0;
+      e.at = budget.evals;
+      events_buf_.push_back(std::move(e));
+    }
+    if (budget.first_abort_check != 0) {
+      SearchEvent e;
+      e.kind = SearchEventKind::kExternalAbort;
+      e.at = budget.evals;
+      events_buf_.push_back(std::move(e));
+    }
+  }
   stats_.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   attempt.stats = stats_;
+  flush_attempt_observability(&attempt);
   return attempt;
+}
+
+void AtpgEngine::flush_attempt_observability(FaultAttempt* attempt) {
+  if (record_events_) {
+    attempt->events = std::move(events_buf_);
+    events_buf_.clear();
+  }
+  attempt->cube_sources.reserve(attempt_sources_.size());
+  for (const auto& [src, hits] : attempt_sources_)
+    attempt->cube_sources.push_back({src.first, src.second, hits});
+  attempt_sources_.clear();
 }
 
 // ---- driver -----------------------------------------------------------------

@@ -34,13 +34,16 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "analysis/reach.h"
 #include "atpg/podem.h"
+#include "base/events.h"
 #include "atpg/scoap.h"
 #include "fault/fault.h"
 #include "fsim/fsim.h"
@@ -151,6 +154,14 @@ struct FaultAttempt {
   /// first observed (0 = never). Recorded into search captures so replay
   /// can re-cut the search at the identical point (atpg/capture.h).
   std::uint64_t first_abort_check = 0;
+  /// Flight-recorder events of this attempt, in emission order (empty
+  /// unless set_record_events(true)). Deterministic: event content is
+  /// wall-clock free (base/events.h).
+  SearchEventList events;
+  /// Cube-sharing provenance: which (exporter, epoch) sources this attempt
+  /// benefited from, sorted by (exporter, epoch). Always recorded (cheap);
+  /// empty for engines that never hit a shared/learned cube.
+  std::vector<CubeSource> cube_sources;
 };
 
 /// Read-only view of justification outcomes learned by OTHER engines.
@@ -170,6 +181,24 @@ class LearningShare {
   /// kCdcl engine imports these as blocking clauses at attempt start; the
   /// default (no sharing backend) is empty.
   virtual std::vector<StateKey> fail_cubes() const { return {}; }
+
+  /// A failure cube with its provenance tag: the fault that proved it and
+  /// the epoch it became visible in (SharedLearningCache rounds).
+  struct FailCubeInfo {
+    StateKey key;
+    std::string exporter;
+    std::uint32_t epoch = 0;
+  };
+  /// lookup_fail plus provenance (exporter/epoch untouched on miss or when
+  /// the backend carries no tags).
+  virtual bool lookup_fail_info(const StateKey& key, std::string* exporter,
+                                std::uint32_t* epoch) const {
+    (void)exporter;
+    (void)epoch;
+    return lookup_fail(key);
+  }
+  /// fail_cubes() plus provenance, same order.
+  virtual std::vector<FailCubeInfo> fail_cube_infos() const { return {}; }
 };
 
 class CdclAtpg;  // atpg/cdcl/cdcl.h
@@ -216,6 +245,11 @@ class AtpgEngine {
   /// the recorded index reproduces the aborted attempt bit-for-bit.
   void set_abort_at_check(std::uint64_t check) { abort_at_check_ = check; }
 
+  /// Record flight-recorder events (base/events.h) of each generate() into
+  /// FaultAttempt::events. Off by default; when off the only cost on the
+  /// search path is one branch on a plain bool.
+  void set_record_events(bool on) { record_events_ = on; }
+
   /// Attribute justification effort by cube validity. The oracle must
   /// outlive the engine; it is never mutated (classifications memoize
   /// per-engine). Pass nullptr to detach — attribution buckets then stay
@@ -234,6 +268,21 @@ class AtpgEngine {
     return learned_ok_;
   }
   const StateSet& learned_fail() const { return learned_fail_; }
+
+  /// Provenance tag of a known failure cube: the fault whose attempt
+  /// proved it and — for cubes copied down from the shared view — the
+  /// epoch it became visible in (0 = proven locally, not yet published).
+  struct CubeOrigin {
+    std::string exporter;
+    std::uint32_t epoch = 0;
+  };
+  /// key -> origin for every failure cube this engine knows. The driver's
+  /// publish reads the exporter tag; first-writer-wins in the shared cache
+  /// keeps original attribution stable when copies are republished.
+  const std::unordered_map<StateKey, CubeOrigin, StateKeyHash>&
+  cube_origins() const {
+    return cube_origins_;
+  }
 
   /// Distinct fully/partially specified state cubes the justification
   /// search visited (Table 6's "#states traversed" uses the good-machine
@@ -263,6 +312,19 @@ class AtpgEngine {
   /// memo only affects speed, never answers). Returns kUnknown with no
   /// bucket accounting use when no oracle is attached.
   StateValidity classify_cube(const StateKey& key);
+  /// Flight-recorder emission: append when recording is armed. The single
+  /// bool test is the entire disabled-mode cost (metrics discipline).
+  void emit_event(SearchEvent e) {
+    if (record_events_) events_buf_.push_back(std::move(e));
+  }
+  /// Count one provenance hit against (exporter, epoch) for the current
+  /// attempt (epoch 0 = unit-local cube).
+  void count_cube_source(const std::string& exporter, std::uint32_t epoch) {
+    ++attempt_sources_[{exporter, epoch}];
+  }
+  /// Move the attempt-scoped event buffer and provenance map into the
+  /// finished attempt (shared by the structural paths and CdclAtpg).
+  void flush_attempt_observability(FaultAttempt* attempt);
 
   const Netlist& nl_;
   EngineOptions opts_;
@@ -280,6 +342,15 @@ class AtpgEngine {
   std::uint64_t total_evals_ = 0;
   std::uint64_t total_backtracks_ = 0;
   FaultSearchStats stats_;  ///< in-flight stats of the current generate()
+  bool record_events_ = false;
+  SearchEventList events_buf_;  ///< in-flight events of the current attempt
+  std::string fault_name_;      ///< current fault, for provenance tags
+  /// (exporter, epoch) -> hits for the current attempt; ordered map so the
+  /// flushed cube_sources vector is deterministically sorted.
+  std::map<std::pair<std::string, std::uint32_t>, std::uint64_t>
+      attempt_sources_;
+  /// Known failure-cube origins (see cube_origins()).
+  std::unordered_map<StateKey, CubeOrigin, StateKeyHash> cube_origins_;
 
   // Learning caches (kLearning only): cube -> known prefix / known failure.
   std::unordered_map<StateKey, std::vector<std::vector<V3>>, StateKeyHash>

@@ -41,6 +41,38 @@ bool SharedLearningCache::View::lookup_fail(const StateKey& key) const {
   return !e.ok && e.epoch <= read_epoch_;
 }
 
+bool SharedLearningCache::View::lookup_fail_info(const StateKey& key,
+                                                 std::string* exporter,
+                                                 std::uint32_t* epoch) const {
+  const Shard& sh = cache_->shard_for(key);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  const auto it = sh.map.find(key);
+  if (it == sh.map.end()) return false;
+  const Entry& e = it->second;
+  if (e.ok || e.epoch > read_epoch_) return false;
+  if (exporter != nullptr) *exporter = e.exporter;
+  if (epoch != nullptr) *epoch = e.epoch;
+  return true;
+}
+
+std::vector<LearningShare::FailCubeInfo>
+SharedLearningCache::View::fail_cube_infos() const {
+  // Same frozen-for-the-round snapshot as fail_cubes(), with each entry's
+  // provenance tag along for the ride.
+  std::vector<FailCubeInfo> cubes;
+  for (const Shard& sh : cache_->shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    for (const auto& [key, e] : sh.map)
+      if (!e.ok && e.epoch <= read_epoch_)
+        cubes.push_back({key, e.exporter, e.epoch});
+  }
+  std::sort(cubes.begin(), cubes.end(),
+            [](const FailCubeInfo& a, const FailCubeInfo& b) {
+              return a.key.to_string() < b.key.to_string();
+            });
+  return cubes;
+}
+
 std::vector<StateKey> SharedLearningCache::View::fail_cubes() const {
   // Shard scan, then a canonical sort: the visible set is frozen for the
   // round (same-round publishes carry epoch read_epoch_+1), so the result
@@ -63,7 +95,8 @@ void SharedLearningCache::publish(std::uint32_t round, std::uint32_t unit,
                                   const AtpgEngine& engine) {
   const std::uint32_t epoch = round + 1;
   const auto insert = [&](const StateKey& key, bool ok,
-                          const std::vector<std::vector<V3>>* prefix) {
+                          const std::vector<std::vector<V3>>* prefix,
+                          const std::string* exporter) {
     Shard& sh = shard_for(key);
     std::lock_guard<std::mutex> lock(sh.mu);
     const auto it = sh.map.find(key);
@@ -71,6 +104,8 @@ void SharedLearningCache::publish(std::uint32_t round, std::uint32_t unit,
       // First writer in (epoch, unit) order wins, so the surviving entry
       // does not depend on publish arrival order — and a visible entry is
       // never replaced (any racing publish carries a larger epoch).
+      // Provenance tags inherit the same stability: the original
+      // exporter's entry survives republishing by beneficiaries.
       const Entry& e = it->second;
       if (std::make_pair(e.epoch, e.unit) <= std::make_pair(epoch, unit))
         return;
@@ -80,11 +115,17 @@ void SharedLearningCache::publish(std::uint32_t round, std::uint32_t unit,
     e.epoch = epoch;
     e.unit = unit;
     if (prefix != nullptr) e.prefix = *prefix;
+    if (exporter != nullptr) e.exporter = *exporter;
     sh.map[key] = std::move(e);
   };
+  const auto& origins = engine.cube_origins();
   for (const auto& [key, prefix] : engine.learned_ok())
-    insert(key, true, &prefix);
-  for (const auto& key : engine.learned_fail()) insert(key, false, nullptr);
+    insert(key, true, &prefix, nullptr);
+  for (const auto& key : engine.learned_fail()) {
+    const auto origin = origins.find(key);
+    insert(key, false, nullptr,
+           origin != origins.end() ? &origin->second.exporter : nullptr);
+  }
 }
 
 std::size_t SharedLearningCache::size() const {
@@ -183,7 +224,7 @@ class AtpgMonitorSource final : public MonitorSource {
   std::string heartbeat_json(std::uint64_t seq, double elapsed_s) override {
     const ProgressBoard& b = *board_;
     std::string s = strprintf(
-        "{\"schema\": \"satpg.heartbeat.v1\", \"seq\": %llu, "
+        "{\"schema\": \"satpg.heartbeat.v2\", \"seq\": %llu, "
         "\"elapsed_s\": %.3f, \"phase\": \"%s\", \"round\": %u, "
         "\"faults\": %llu, \"resolved\": %llu, \"detected\": %llu, "
         "\"redundant\": %llu, \"aborted\": %llu, \"coverage_pct\": %.3f, "
@@ -221,7 +262,9 @@ class AtpgMonitorSource final : public MonitorSource {
       s += strprintf(
           "%s{\"slot\": %zu, \"fault\": \"%s\", \"phase\": \"%s\", "
           "\"evals\": %llu, \"backtracks\": %llu, \"implications\": %llu, "
-          "\"invalid_evals\": %llu, \"elapsed_s\": %.3f, \"stuck\": %s}",
+          "\"invalid_evals\": %llu, \"conflicts\": %llu, "
+          "\"propagations\": %llu, \"restarts\": %llu, "
+          "\"elapsed_s\": %.3f, \"stuck\": %s}",
           first ? "" : ", ", w, json_escape(name).c_str(),
           search_phase_name(static_cast<SearchPhase>(
               p.phase.load(std::memory_order_relaxed))),
@@ -232,6 +275,12 @@ class AtpgMonitorSource final : public MonitorSource {
               p.implications.load(std::memory_order_relaxed)),
           static_cast<unsigned long long>(
               p.invalid_evals.load(std::memory_order_relaxed)),
+          static_cast<unsigned long long>(
+              p.conflicts.load(std::memory_order_relaxed)),
+          static_cast<unsigned long long>(
+              p.propagations.load(std::memory_order_relaxed)),
+          static_cast<unsigned long long>(
+              p.restarts.load(std::memory_order_relaxed)),
           slot_elapsed, stuck ? "true" : "false");
       first = false;
     }
@@ -315,6 +364,8 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
   res.detected_by.assign(faults.size(), -1);
   res.attempted.assign(faults.size(), 0);
   res.fault_stats.assign(faults.size(), FaultSearchStats{});
+  res.fault_events.assign(faults.size(), SearchEventList{});
+  res.cube_sources.assign(faults.size(), {});
 
   const unsigned num_threads = opts.num_threads == 0
                                    ? ThreadPool::hardware_threads()
@@ -494,6 +545,7 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
       const SharedLearningCache::View view = cache.view_for_round(round);
       if (learning) engine.set_shared_learning(&view);
       engine.set_abort_flag(&abort);
+      engine.set_record_events(opts.record_events);
       if (opts.run.attribute_effort) engine.set_validity_oracle(&oracle);
       SearchProgress* cell = board ? &board->slots[w] : nullptr;
       if (cell) engine.set_search_progress(cell);
@@ -591,6 +643,8 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
           run.attribution.add(attempt.stats.attribution);
           res.attempted[i] = 1;
           res.fault_stats[i] = attempt.stats;
+          res.fault_events[i] = std::move(attempt.events);
+          res.cube_sources[i] = std::move(attempt.cube_sources);
           record_fault_stats(attempt.stats, attempt.status);
           // Watchdog flag: a deterministic function of the attempt's own
           // eval count (a capped attempt that hit its cap counts too).
@@ -747,7 +801,10 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
   set_phase(RunPhase::kDone);
   // Stop (join + final heartbeat) before returning so the stream is
   // complete before the caller writes any report.
-  if (monitor) monitor->stop();
+  if (monitor) {
+    monitor->stop();
+    res.heartbeat_samples = monitor->samples();
+  }
   run.wall_seconds =
       std::chrono::duration<double>(Clock::now() - t0).count();
   return res;

@@ -77,6 +77,12 @@ class SharedLearningCache {
     /// Visible failure cubes, sorted by packed-key text (the kCdcl
     /// engine's blocking-clause import).
     std::vector<StateKey> fail_cubes() const override;
+    /// lookup_fail plus the entry's provenance tag (exporter fault name +
+    /// publish epoch).
+    bool lookup_fail_info(const StateKey& key, std::string* exporter,
+                          std::uint32_t* epoch) const override;
+    /// fail_cubes() plus provenance, same packed-key order.
+    std::vector<FailCubeInfo> fail_cube_infos() const override;
 
    private:
     const SharedLearningCache* cache_;
@@ -99,6 +105,9 @@ class SharedLearningCache {
     std::uint32_t epoch = 0;              ///< first round that may read it
     std::uint32_t unit = 0;               ///< publisher (tie-break)
     bool ok = false;
+    /// Provenance (fail entries): name of the fault whose attempt proved
+    /// the cube. First-writer-wins keeps it stable once published.
+    std::string exporter;
   };
   struct Shard {
     mutable std::mutex mu;
@@ -154,6 +163,11 @@ struct CaptureOptions {
 
 struct ParallelAtpgOptions {
   AtpgRunOptions run;
+  /// Record per-fault flight-recorder events (base/events.h) into
+  /// ParallelAtpgResult::fault_events. Event content is wall-clock free
+  /// and merged in the same deterministic order as fault_stats, so the
+  /// serialized stream is byte-identical at any thread count.
+  bool record_events = false;
   /// Worker threads for the deterministic phase: 1 = in-caller serial
   /// execution, 0 = one per hardware thread. Results are bit-identical
   /// for every value.
@@ -188,6 +202,17 @@ struct ParallelAtpgResult {
   /// Meaningful where attempted[i] == 1. All integer fields bit-identical
   /// at any thread count; wall_seconds is not.
   std::vector<FaultSearchStats> fault_stats;
+  /// Per collapsed fault: flight-recorder events of the committed attempt
+  /// (empty unless ParallelAtpgOptions::record_events). Byte-identical at
+  /// any thread count (event content is wall-clock free).
+  std::vector<SearchEventList> fault_events;
+  /// Per collapsed fault: cube-sharing provenance of the committed attempt
+  /// — which (exporter fault, epoch) sources its cube_blocks / learn hits
+  /// drew on. Always recorded; deterministic.
+  std::vector<std::vector<CubeSource>> cube_sources;
+  /// Heartbeat samples the monitor took (0 when unmonitored). Wall-clock
+  /// dependent — stderr summary only, never in reports.
+  std::uint64_t heartbeat_samples = 0;
   /// Faults aborted because the wall-clock deadline fired.
   std::size_t aborted_by_deadline = 0;
   /// Faults the watchdog flagged (first attempt spent >= stuck_evals),

@@ -61,12 +61,21 @@ struct alignas(64) SearchProgress {
   std::atomic<std::uint64_t> implications{0};
   std::atomic<std::uint64_t> invalid_evals{0};  ///< attribution-so-far
   std::atomic<std::uint64_t> start_us{0};  ///< run-relative attempt start
+  // Native CDCL counters (zero for structural engines) — the budget
+  // conversion hides solver dynamics, so a stuck --engine=cdcl search is
+  // opaque without these.
+  std::atomic<std::uint64_t> conflicts{0};
+  std::atomic<std::uint64_t> propagations{0};
+  std::atomic<std::uint64_t> restarts{0};
 
   void begin_fault(std::uint64_t tag, std::uint64_t now_us) {
     evals.store(0, std::memory_order_relaxed);
     backtracks.store(0, std::memory_order_relaxed);
     implications.store(0, std::memory_order_relaxed);
     invalid_evals.store(0, std::memory_order_relaxed);
+    conflicts.store(0, std::memory_order_relaxed);
+    propagations.store(0, std::memory_order_relaxed);
+    restarts.store(0, std::memory_order_relaxed);
     phase.store(0, std::memory_order_relaxed);
     start_us.store(now_us, std::memory_order_relaxed);
     fault_tag.store(tag, std::memory_order_relaxed);

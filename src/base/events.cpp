@@ -1,0 +1,59 @@
+#include "base/events.h"
+
+#include "base/json.h"
+
+namespace satpg {
+
+const char* search_event_kind_name(SearchEventKind kind) {
+  switch (kind) {
+    case SearchEventKind::kWindowGrow: return "window_grow";
+    case SearchEventKind::kJustifyEnter: return "justify_enter";
+    case SearchEventKind::kJustifyLeave: return "justify_leave";
+    case SearchEventKind::kRedundancyStart: return "redundancy_start";
+    case SearchEventKind::kRedundancyVerdict: return "redundancy_verdict";
+    case SearchEventKind::kBudgetAbort: return "budget_abort";
+    case SearchEventKind::kExternalAbort: return "external_abort";
+    case SearchEventKind::kRestart: return "restart";
+    case SearchEventKind::kDbReduce: return "db_reduce";
+    case SearchEventKind::kCubeExport: return "cube_export";
+    case SearchEventKind::kCubeImport: return "cube_import";
+    case SearchEventKind::kLearnHit: return "learn_hit";
+  }
+  return "unknown";
+}
+
+void append_event_json(std::string* out, const SearchEvent& e) {
+  out->append("{\"k\": \"");
+  out->append(search_event_kind_name(e.kind));
+  out->append("\", \"at\": ");
+  out->append(std::to_string(e.at));
+  if (e.a != 0) {
+    out->append(", \"a\": ");
+    out->append(std::to_string(e.a));
+  }
+  if (e.b != 0) {
+    out->append(", \"b\": ");
+    out->append(std::to_string(e.b));
+  }
+  if (!e.cube.empty()) {
+    out->append(", \"cube\": \"");
+    out->append(json_escape(e.cube));
+    out->append("\"");
+  }
+  if (!e.src.empty()) {
+    out->append(", \"src\": \"");
+    out->append(json_escape(e.src));
+    out->append("\"");
+  }
+  if (e.kind == SearchEventKind::kDbReduce) {
+    out->append(", \"lbd\": [");
+    for (std::size_t i = 0; i < e.lbd.size(); ++i) {
+      if (i) out->append(", ");
+      out->append(std::to_string(e.lbd[i]));
+    }
+    out->append("]");
+  }
+  out->append("}");
+}
+
+}  // namespace satpg

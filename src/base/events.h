@@ -1,0 +1,75 @@
+// Search-trajectory flight recorder: typed per-fault search events.
+//
+// Every engine can emit a stream of SearchEvents describing how a fault's
+// search unfolded — window growths, justification enter/leave, redundancy
+// proofs, budget aborts, CDCL restarts/DB reductions, cube export/import.
+// Event content is strictly wall-clock free: the only "time" axis is `at`,
+// a snapshot of the fault's cumulative PodemBudget eval counter, which is a
+// pure function of the search path. After the parallel driver's
+// deterministic merge the full stream is therefore byte-identical at any
+// --threads, the same contract --metrics-json honours (DESIGN.md §10).
+// Wall-clock observations stay confined to trace/heartbeat.
+//
+// Recording is opt-in per engine (AtpgEngine::set_record_events): when off,
+// the only cost on the search path is one branch on a plain bool — the same
+// near-zero-overhead discipline as src/base/metrics.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace satpg {
+
+/// LBD histogram buckets for kDbReduce snapshots: bucket i counts live
+/// learned clauses with lbd == i, the last bucket collects lbd >= 7.
+constexpr std::size_t kLbdHistBuckets = 8;
+
+enum class SearchEventKind : std::uint8_t {
+  kWindowGrow,        ///< a = new frame count
+  kJustifyEnter,      ///< a = depth, cube = target state key
+  kJustifyLeave,      ///< a = depth, b = 0 fail / 1 ok / 2 proven-invalid
+  kRedundancyStart,   ///< a = frame count of the exhausted window
+  kRedundancyVerdict, ///< b = 1 redundant / 0 not proven
+  kBudgetAbort,       ///< a = 1 evals exhausted, b = 1 backtracks exhausted
+  kExternalAbort,     ///< deadline/watchdog abort (wall-tainted runs only)
+  kRestart,           ///< a = restart ordinal (CDCL)
+  kDbReduce,          ///< a = clauses killed, b = live after; lbd = pre-reduce histogram
+  kCubeExport,        ///< cube = proven-unreachable state cube published for sharing
+  kCubeImport,        ///< cube, src = exporting fault, a = export epoch (0 = unit-local)
+  kLearnHit,          ///< a = depth, b = 1 ok-cache / 0 fail-cache, cube, src = exporter
+};
+
+const char* search_event_kind_name(SearchEventKind kind);
+
+/// One event. `at` is the deterministic clock: the fault's cumulative
+/// budget evals at emission time.
+struct SearchEvent {
+  SearchEventKind kind = SearchEventKind::kWindowGrow;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  std::uint64_t at = 0;
+  std::string cube;  ///< state-cube key text, when applicable
+  std::string src;   ///< exporting fault name, when applicable
+  std::array<std::uint32_t, kLbdHistBuckets> lbd{};  ///< kDbReduce only
+};
+
+/// Append one NDJSON object (no trailing newline) rendering `e` to *out.
+/// Zero-valued optional fields are omitted so the stream stays compact.
+void append_event_json(std::string* out, const SearchEvent& e);
+
+/// Cube-sharing provenance: one (exporter, epoch) source a fault benefited
+/// from, with the number of blocking-clause imports / learned-cache hits
+/// attributed to it. epoch 0 means the cube was unit-local (proven by an
+/// earlier fault on the same worker engine, not yet published).
+struct CubeSource {
+  std::string exporter;
+  std::uint32_t epoch = 0;
+  std::uint64_t hits = 0;
+};
+
+using SearchEventList = std::vector<SearchEvent>;
+
+}  // namespace satpg

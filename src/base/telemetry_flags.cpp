@@ -27,6 +27,10 @@ bool TelemetryFlags::parse(const char* arg) {
     metrics_json = v;
     return true;
   }
+  if (const char* v = flag_value(arg, "--events-json=")) {
+    events_json = v;
+    return true;
+  }
   if (const char* v = flag_value(arg, "--trace-json=")) {
     trace_json = v;
     return true;

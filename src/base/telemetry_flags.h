@@ -2,6 +2,7 @@
 //
 // Every tool that can run an engine accepts the same flag family:
 //   --metrics-json=FILE          deterministic structured metrics dump
+//   --events-json=FILE           deterministic flight-recorder event log
 //   --trace-json=FILE            Chrome trace_event timeline (wall-clock)
 //   --heartbeat-json=FILE        live NDJSON heartbeat stream (wall-clock)
 //   --heartbeat-interval-ms=N    monitor sampling period (default 500)
@@ -29,6 +30,7 @@ namespace satpg {
 
 struct TelemetryFlags {
   std::string metrics_json;    ///< empty = metrics disabled
+  std::string events_json;     ///< empty = flight recorder disabled
   std::string trace_json;      ///< empty = tracing disabled
   std::string heartbeat_json;  ///< empty = no heartbeat stream
   bool progress = false;       ///< live progress lines on stderr
@@ -39,6 +41,7 @@ struct TelemetryFlags {
   bool parse(const char* arg);
 
   bool metrics_enabled() const { return !metrics_json.empty(); }
+  bool events_enabled() const { return !events_json.empty(); }
   bool trace_enabled() const { return !trace_json.empty(); }
   bool monitor_enabled() const {
     return !heartbeat_json.empty() || progress;

@@ -1,8 +1,9 @@
 // Deterministic differ over archived atpg_run reports.
 //
-// parse_run_report loads any satpg.atpg_run.v1-v4 report into a flat struct
+// parse_run_report loads any satpg.atpg_run.v1-v5 report into a flat struct
 // (v1 reports simply have zero attribution fields, pre-v4 reports zero
-// cdcl solver counters); diff_runs computes
+// cdcl solver counters, pre-v5 reports no cube provenance); diff_runs
+// computes
 // coverage/effort/per-fault deltas, ranked regressions, and the
 // invalid-state-fraction scatter the paper's Figure 3 mechanism predicts;
 // write_run_diff renders everything as aligned text. All of it is a pure

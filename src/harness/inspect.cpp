@@ -1,0 +1,630 @@
+#include "harness/inspect.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "base/json.h"
+#include "base/strutil.h"
+#include "base/table.h"
+
+namespace satpg {
+
+namespace {
+
+// ---- parsed model -----------------------------------------------------------
+
+/// One flight-recorder event, as read back from the NDJSON log.
+struct EventRec {
+  std::string k;
+  std::uint64_t at = 0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::string cube;
+  std::string src;
+  std::vector<std::uint64_t> lbd;
+};
+
+struct FaultRec {
+  std::string name;
+  std::size_t index = 0;
+  std::string status;
+  bool attempted = true;
+  std::uint64_t evals = 0;
+  std::uint64_t backtracks = 0;
+  double invalid_frac = 0.0;
+  std::uint64_t cube_exports = 0;
+  std::vector<EventRec> events;  ///< event-log sources only
+  struct Source {
+    std::string from;
+    std::uint64_t epoch = 0;
+    std::uint64_t hits = 0;
+  };
+  std::vector<Source> sources;
+};
+
+struct ExporterRow {
+  std::string fault;
+  std::uint64_t cubes = 0;
+  std::uint64_t beneficiaries = 0;
+  std::uint64_t hits = 0;
+};
+
+/// Either artifact, normalized. `is_events` tells which one it was.
+struct Doc {
+  bool is_events = false;
+  std::string schema;
+  std::string circuit;
+  std::string engine;
+  std::uint64_t seed = 0;
+  std::size_t total_faults = 0;
+  std::vector<FaultRec> faults;  ///< attempted faults only for event logs
+  std::vector<std::pair<std::uint64_t, double>> fe_trace;  ///< reports only
+  std::uint64_t prov_exports = 0;
+  std::uint64_t prov_hits = 0;
+  std::vector<ExporterRow> exporters;
+  double fault_coverage = 0.0;
+  double fault_efficiency = 0.0;
+  std::uint64_t evals = 0;
+};
+
+std::string fmt_u64(std::uint64_t v) {
+  return strprintf("%llu", static_cast<unsigned long long>(v));
+}
+
+void parse_event(const JsonValue& v, EventRec* e) {
+  e->k = v.str_or("k", "?");
+  e->at = v.uint_or("at", 0);
+  e->a = static_cast<std::int64_t>(v.num_or("a", 0.0));
+  e->b = static_cast<std::int64_t>(v.num_or("b", 0.0));
+  e->cube = v.str_or("cube", "");
+  e->src = v.str_or("src", "");
+  if (const JsonValue* lbd = v.find("lbd"); lbd && lbd->is_array())
+    for (const JsonValue& n : lbd->array())
+      e->lbd.push_back(
+          n.is_number() ? static_cast<std::uint64_t>(n.number()) : 0);
+}
+
+/// Aggregate provenance from the parsed faults (event logs carry no
+/// rollup block): exports = cube_export events; hits = cube_import +
+/// learn-failure hits, attributed to their src tag.
+void derive_provenance(Doc* doc) {
+  std::map<std::string, ExporterRow> by_name;
+  for (const FaultRec& f : doc->faults) {
+    if (f.cube_exports > 0) {
+      ExporterRow& row = by_name[f.name];
+      row.cubes += f.cube_exports;
+      doc->prov_exports += f.cube_exports;
+    }
+    for (const FaultRec::Source& s : f.sources) {
+      ExporterRow& row = by_name[s.from];
+      ++row.beneficiaries;
+      row.hits += s.hits;
+      doc->prov_hits += s.hits;
+    }
+  }
+  for (auto& [name, row] : by_name) {
+    row.fault = name;
+    doc->exporters.push_back(row);
+  }
+}
+
+bool parse_events_doc(const std::string& text, const JsonValue& header,
+                      Doc* doc, std::string* error) {
+  doc->is_events = true;
+  doc->schema = header.str_or("schema", "?");
+  doc->circuit = header.str_or("circuit", "?");
+  doc->engine = header.str_or("engine", "?");
+  doc->seed = header.uint_or("seed", 0);
+  doc->total_faults = header.uint_or("faults", 0);
+
+  std::size_t pos = text.find('\n');
+  pos = pos == std::string::npos ? text.size() : pos + 1;
+  std::size_t line_no = 1;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue v;
+    std::string jerr;
+    if (!json_parse(line, &v, &jerr)) {
+      if (error)
+        *error = strprintf("line %zu: %s", line_no, jerr.c_str());
+      return false;
+    }
+    if (v.find("fault") != nullptr) {
+      FaultRec f;
+      f.name = v.str_or("fault", "?");
+      f.index = static_cast<std::size_t>(v.uint_or("index", 0));
+      f.status = v.str_or("status", "?");
+      f.evals = v.uint_or("evals", 0);
+      f.backtracks = v.uint_or("backtracks", 0);
+      f.invalid_frac = v.num_or("invalid_frac", 0.0);
+      doc->faults.push_back(std::move(f));
+      continue;
+    }
+    if (v.find("k") == nullptr) continue;  // ignorable extension line
+    if (doc->faults.empty()) {
+      if (error) *error = strprintf("line %zu: event before any fault line",
+                                    line_no);
+      return false;
+    }
+    EventRec e;
+    parse_event(v, &e);
+    FaultRec& f = doc->faults.back();
+    if (e.k == "cube_export") ++f.cube_exports;
+    // Per-fault source aggregation (by exporter name; the epoch shows in
+    // the timeline, the rollup does not need it).
+    if ((e.k == "cube_import" || e.k == "learn_hit") && !e.src.empty()) {
+      bool found = false;
+      for (FaultRec::Source& s : f.sources)
+        if (s.from == e.src) {
+          ++s.hits;
+          found = true;
+          break;
+        }
+      if (!found) f.sources.push_back({e.src, 0, 1});
+    }
+    f.events.push_back(std::move(e));
+  }
+  for (FaultRec& f : doc->faults)
+    std::sort(f.sources.begin(), f.sources.end(),
+              [](const FaultRec::Source& x, const FaultRec::Source& y) {
+                return x.from < y.from;
+              });
+  derive_provenance(doc);
+  return true;
+}
+
+bool parse_report_doc(const JsonValue& root, Doc* doc, std::string* error) {
+  doc->is_events = false;
+  doc->schema = root.str_or("schema", "?");
+  if (const JsonValue* c = root.find("circuit"))
+    doc->circuit = c->str_or("name", "?");
+  if (const JsonValue* e = root.find("engine")) {
+    doc->engine = e->str_or("kind", "?");
+    doc->seed = e->uint_or("seed", 0);
+  }
+  const JsonValue* summary = root.find("summary");
+  if (summary == nullptr || !summary->is_object()) {
+    if (error) *error = "report lacks a summary object";
+    return false;
+  }
+  doc->total_faults = summary->uint_or("total_faults", 0);
+  doc->fault_coverage = summary->num_or("fault_coverage", 0.0);
+  doc->fault_efficiency = summary->num_or("fault_efficiency", 0.0);
+  doc->evals = summary->uint_or("evals", 0);
+
+  if (const JsonValue* pf = root.find("per_fault"); pf && pf->is_array()) {
+    doc->faults.reserve(pf->array().size());
+    for (std::size_t i = 0; i < pf->array().size(); ++i) {
+      const JsonValue& v = pf->array()[i];
+      if (!v.is_object()) continue;
+      FaultRec f;
+      f.name = v.str_or("fault", "?");
+      f.index = i;
+      f.status = v.str_or("status", "?");
+      f.attempted = v.bool_or("attempted", false);
+      f.evals = v.uint_or("evals", 0);
+      f.backtracks = v.uint_or("backtracks", 0);
+      f.invalid_frac = v.num_or("effort_invalid_frac", 0.0);
+      f.cube_exports = v.uint_or("cube_exports", 0);
+      if (const JsonValue* cs = v.find("cube_sources"); cs && cs->is_array())
+        for (const JsonValue& s : cs->array())
+          f.sources.push_back({s.str_or("from", ""), s.uint_or("epoch", 0),
+                               s.uint_or("hits", 0)});
+      doc->faults.push_back(std::move(f));
+    }
+  }
+  if (const JsonValue* fe = root.find("fe_trace"); fe && fe->is_array())
+    for (const JsonValue& p : fe->array())
+      if (p.is_array() && p.array().size() == 2)
+        doc->fe_trace.emplace_back(
+            static_cast<std::uint64_t>(p.array()[0].number()),
+            p.array()[1].number());
+
+  if (const JsonValue* prov = root.find("cube_provenance")) {
+    // v5: read the rollup the writer computed.
+    doc->prov_exports = prov->uint_or("exports", 0);
+    doc->prov_hits = prov->uint_or("import_hits", 0);
+    if (const JsonValue* ex = prov->find("exporters"); ex && ex->is_array())
+      for (const JsonValue& v : ex->array())
+        doc->exporters.push_back({v.str_or("fault", ""),
+                                  v.uint_or("cubes", 0),
+                                  v.uint_or("beneficiaries", 0),
+                                  v.uint_or("hits", 0)});
+  } else {
+    derive_provenance(doc);  // pre-v5 reports: nothing to derive from
+  }
+  return true;
+}
+
+bool parse_doc(const std::string& text, Doc* doc, std::string* error) {
+  // An event log is NDJSON whose first line is its header; a report is one
+  // multi-line JSON document (its first line alone never parses).
+  std::size_t nl = text.find('\n');
+  const std::string first =
+      text.substr(0, nl == std::string::npos ? text.size() : nl);
+  JsonValue v;
+  if (json_parse(first, &v) &&
+      v.str_or("schema", "") == "satpg.events.v1")
+    return parse_events_doc(text, v, doc, error);
+  std::string jerr;
+  if (!json_parse(text, &v, &jerr)) {
+    if (error) *error = jerr;
+    return false;
+  }
+  const std::string schema = v.str_or("schema", "");
+  if (schema.rfind("satpg.atpg_run.", 0) != 0) {
+    if (error)
+      *error = "not an event log or atpg_run report (schema \"" + schema +
+               "\")";
+    return false;
+  }
+  return parse_report_doc(v, doc, error);
+}
+
+// ---- rendering helpers ------------------------------------------------------
+
+std::string doc_kind(const Doc& doc) {
+  return doc.is_events ? "event log" : "report";
+}
+
+/// Attempted faults ranked hardest-first: evals desc, invalid fraction
+/// desc, name asc. Stable across machines — every key is deterministic.
+std::vector<const FaultRec*> hardest(const Doc& doc, std::size_t top) {
+  std::vector<const FaultRec*> ranked;
+  for (const FaultRec& f : doc.faults)
+    if (f.attempted) ranked.push_back(&f);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const FaultRec* x, const FaultRec* y) {
+              if (x->evals != y->evals) return x->evals > y->evals;
+              if (x->invalid_frac != y->invalid_frac)
+                return x->invalid_frac > y->invalid_frac;
+              return x->name < y->name;
+            });
+  if (ranked.size() > top) ranked.resize(top);
+  return ranked;
+}
+
+std::string event_detail(const EventRec& e) {
+  if (e.k == "window_grow" || e.k == "redundancy_start")
+    return strprintf("frames=%lld", static_cast<long long>(e.a));
+  if (e.k == "justify_enter")
+    return strprintf("depth=%lld cube=%s", static_cast<long long>(e.a),
+                     e.cube.c_str());
+  if (e.k == "justify_leave")
+    return strprintf("depth=%lld outcome=%s", static_cast<long long>(e.a),
+                     e.b == 1 ? "ok" : (e.b == 2 ? "invalid" : "fail"));
+  if (e.k == "redundancy_verdict")
+    return e.b == 1 ? "redundant" : "not-redundant";
+  if (e.k == "budget_abort")
+    return strprintf("evals_exhausted=%lld backtracks_exhausted=%lld",
+                     static_cast<long long>(e.a),
+                     static_cast<long long>(e.b));
+  if (e.k == "restart")
+    return strprintf("n=%lld", static_cast<long long>(e.a));
+  if (e.k == "db_reduce") {
+    std::string s = strprintf("killed=%lld live=%lld lbd=[",
+                              static_cast<long long>(e.a),
+                              static_cast<long long>(e.b));
+    for (std::size_t i = 0; i < e.lbd.size(); ++i)
+      s += (i == 0 ? "" : " ") + fmt_u64(e.lbd[i]);
+    return s + "]";
+  }
+  if (e.k == "cube_export") return strprintf("cube=%s", e.cube.c_str());
+  if (e.k == "cube_import")
+    return strprintf("src=%s epoch=%lld cube=%s", e.src.c_str(),
+                     static_cast<long long>(e.a), e.cube.c_str());
+  if (e.k == "learn_hit")
+    return strprintf("depth=%lld %s%s%s", static_cast<long long>(e.a),
+                     e.b == 1 ? "ok" : "fail",
+                     e.src.empty() ? "" : " src=", e.src.c_str());
+  return "";
+}
+
+std::string event_json(const EventRec& e) {
+  std::string s = strprintf("{\"k\": \"%s\", \"at\": %s",
+                            json_escape(e.k).c_str(), fmt_u64(e.at).c_str());
+  if (e.a != 0) s += strprintf(", \"a\": %lld", static_cast<long long>(e.a));
+  if (e.b != 0) s += strprintf(", \"b\": %lld", static_cast<long long>(e.b));
+  if (!e.cube.empty())
+    s += ", \"cube\": \"" + json_escape(e.cube) + "\"";
+  if (!e.src.empty()) s += ", \"src\": \"" + json_escape(e.src) + "\"";
+  if (!e.lbd.empty()) {
+    s += ", \"lbd\": [";
+    for (std::size_t i = 0; i < e.lbd.size(); ++i)
+      s += (i == 0 ? "" : ", ") + fmt_u64(e.lbd[i]);
+    s += "]";
+  }
+  return s + "}";
+}
+
+const FaultRec* find_fault(const Doc& doc, const std::string& spec) {
+  const bool numeric =
+      !spec.empty() &&
+      std::all_of(spec.begin(), spec.end(),
+                  [](unsigned char c) { return std::isdigit(c); });
+  for (const FaultRec& f : doc.faults) {
+    if (f.name == spec) return &f;
+    if (numeric && f.index == static_cast<std::size_t>(std::stoull(spec)))
+      return &f;
+  }
+  return nullptr;
+}
+
+void render_overview_txt(std::ostream& os, const Doc& doc,
+                         const InspectOptions& opts) {
+  std::size_t attempted = 0;
+  for (const FaultRec& f : doc.faults)
+    if (f.attempted) ++attempted;
+  os << "=== inspect: " << doc.circuit << " (" << doc.engine << ", seed "
+     << doc.seed << ") — " << doc_kind(doc) << " " << doc.schema << " ===\n";
+  os << "faults: " << doc.total_faults << " total, " << attempted
+     << " attempted\n\n";
+
+  const auto ranked = hardest(doc, opts.top);
+  os << "hardest faults (top " << ranked.size() << " by evals):\n";
+  Table t(doc.is_events
+              ? std::vector<std::string>{"rank", "fault", "status", "evals",
+                                         "backtracks", "inv_frac", "events"}
+              : std::vector<std::string>{"rank", "fault", "status", "evals",
+                                         "backtracks", "inv_frac"});
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    const FaultRec& f = *ranked[i];
+    std::vector<std::string> row{strprintf("%zu", i + 1), f.name, f.status,
+                                 fmt_u64(f.evals), fmt_u64(f.backtracks),
+                                 strprintf("%.4f", f.invalid_frac)};
+    if (doc.is_events) row.push_back(strprintf("%zu", f.events.size()));
+    t.add_row(std::move(row));
+  }
+  os << t.to_string() << "\n";
+
+  os << "cube provenance: " << doc.prov_exports << " exports, "
+     << doc.prov_hits << " import hits\n";
+  if (!doc.exporters.empty()) {
+    Table p({"exporter", "cubes", "beneficiaries", "hits"});
+    for (const ExporterRow& e : doc.exporters)
+      p.add_row({e.fault.empty() ? "(unknown)" : e.fault, fmt_u64(e.cubes),
+                 fmt_u64(e.beneficiaries), fmt_u64(e.hits)});
+    os << p.to_string();
+  }
+}
+
+void render_overview_json(std::ostream& os, const Doc& doc,
+                          const InspectOptions& opts) {
+  std::size_t attempted = 0;
+  for (const FaultRec& f : doc.faults)
+    if (f.attempted) ++attempted;
+  os << "{\n  \"schema\": \"satpg.inspect.v1\",\n";
+  os << "  \"source\": {\"kind\": \"" << (doc.is_events ? "events" : "report")
+     << "\", \"schema\": \"" << json_escape(doc.schema) << "\", \"circuit\": \""
+     << json_escape(doc.circuit) << "\", \"engine\": \""
+     << json_escape(doc.engine) << "\", \"seed\": " << doc.seed << "},\n";
+  os << "  \"faults\": " << doc.total_faults << ", \"attempted\": "
+     << attempted << ",\n";
+  os << "  \"hardest\": [";
+  const auto ranked = hardest(doc, opts.top);
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    const FaultRec& f = *ranked[i];
+    os << (i == 0 ? "\n    " : ",\n    ") << "{\"fault\": \""
+       << json_escape(f.name) << "\", \"status\": \""
+       << json_escape(f.status) << "\", \"evals\": " << f.evals
+       << ", \"backtracks\": " << f.backtracks << ", \"invalid_frac\": "
+       << strprintf("%.17g", f.invalid_frac)
+       << ", \"events\": " << f.events.size() << "}";
+  }
+  os << "],\n";
+  os << "  \"provenance\": {\"exports\": " << doc.prov_exports
+     << ", \"import_hits\": " << doc.prov_hits << ", \"exporters\": [";
+  for (std::size_t i = 0; i < doc.exporters.size(); ++i) {
+    const ExporterRow& e = doc.exporters[i];
+    os << (i == 0 ? "\n    " : ",\n    ") << "{\"fault\": \""
+       << json_escape(e.fault) << "\", \"cubes\": " << e.cubes
+       << ", \"beneficiaries\": " << e.beneficiaries << ", \"hits\": "
+       << e.hits << "}";
+  }
+  os << "]}\n}\n";
+}
+
+void render_fault_txt(std::ostream& os, const Doc& doc, const FaultRec& f) {
+  os << "=== fault " << f.name << " (index " << f.index << ") — "
+     << doc.circuit << " (" << doc.engine << ") ===\n";
+  os << "status: " << f.status << ", evals: " << f.evals << ", backtracks: "
+     << f.backtracks << ", invalid_frac: "
+     << strprintf("%.4f", f.invalid_frac) << "\n";
+  if (!f.sources.empty()) {
+    os << "cube sources:\n";
+    Table s(doc.is_events
+                ? std::vector<std::string>{"from", "hits"}
+                : std::vector<std::string>{"from", "epoch", "hits"});
+    for (const FaultRec::Source& src : f.sources) {
+      std::vector<std::string> row{src.from.empty() ? "(unknown)" : src.from};
+      if (!doc.is_events) row.push_back(fmt_u64(src.epoch));
+      row.push_back(fmt_u64(src.hits));
+      s.add_row(std::move(row));
+    }
+    os << s.to_string();
+  }
+  if (doc.is_events) {
+    os << "timeline (" << f.events.size() << " events, at = budget evals):\n";
+    Table t({"at", "event", "detail"});
+    for (const EventRec& e : f.events)
+      t.add_row({fmt_u64(e.at), e.k, event_detail(e)});
+    os << t.to_string();
+  } else if (f.sources.empty()) {
+    os << "(report record only — run with --events-json for a timeline)\n";
+  }
+}
+
+void render_fault_json(std::ostream& os, const Doc& doc, const FaultRec& f) {
+  os << "{\n  \"schema\": \"satpg.inspect.v1\",\n";
+  os << "  \"fault\": {\"name\": \"" << json_escape(f.name)
+     << "\", \"index\": " << f.index << ", \"status\": \""
+     << json_escape(f.status) << "\", \"evals\": " << f.evals
+     << ", \"backtracks\": " << f.backtracks << ", \"invalid_frac\": "
+     << strprintf("%.17g", f.invalid_frac) << "},\n";
+  os << "  \"cube_sources\": [";
+  for (std::size_t i = 0; i < f.sources.size(); ++i)
+    os << (i == 0 ? "" : ", ") << "{\"from\": \""
+       << json_escape(f.sources[i].from) << "\", \"epoch\": "
+       << f.sources[i].epoch << ", \"hits\": " << f.sources[i].hits << "}";
+  os << "],\n  \"events\": [";
+  for (std::size_t i = 0; i < f.events.size(); ++i)
+    os << (i == 0 ? "\n    " : ",\n    ") << event_json(f.events[i]);
+  os << "]\n}\n";
+}
+
+}  // namespace
+
+bool inspect_source(std::ostream& os, const std::string& text,
+                    const InspectOptions& opts, std::string* error) {
+  Doc doc;
+  if (!parse_doc(text, &doc, error)) return false;
+  if (!opts.fault.empty()) {
+    const FaultRec* f = find_fault(doc, opts.fault);
+    if (f == nullptr) {
+      if (error)
+        *error = "fault \"" + opts.fault + "\" not found" +
+                 (doc.is_events ? " (event logs record attempted faults only)"
+                                : "");
+      return false;
+    }
+    if (opts.json)
+      render_fault_json(os, doc, *f);
+    else
+      render_fault_txt(os, doc, *f);
+    return true;
+  }
+  if (opts.json)
+    render_overview_json(os, doc, opts);
+  else
+    render_overview_txt(os, doc, opts);
+  return true;
+}
+
+bool inspect_diff(std::ostream& os, const std::string& a_text,
+                  const std::string& b_text, const InspectOptions& opts,
+                  std::string* error) {
+  Doc a, b;
+  if (!parse_doc(a_text, &a, error)) return false;
+  if (!parse_doc(b_text, &b, error)) return false;
+  if (a.is_events || b.is_events) {
+    if (error)
+      *error = "inspect --diff compares atpg_run reports, not event logs";
+    return false;
+  }
+
+  // Fault-efficiency milestones: cumulative evals spent when each
+  // threshold is first reached, read off the fe_trace. "-" = never
+  // reached.
+  static constexpr double kMilestones[] = {25.0, 50.0, 75.0, 90.0, 95.0};
+  const auto evals_to = [](const Doc& doc, double fe) -> std::string {
+    for (const auto& [evals, value] : doc.fe_trace)
+      if (value >= fe) return fmt_u64(evals);
+    return "-";
+  };
+
+  // Per-fault divergence: joined on name, ranked by |evals delta| (status
+  // changes first), name as tie-break.
+  struct Divergence {
+    const FaultRec* fa;
+    const FaultRec* fb;
+    std::uint64_t abs_delta;
+  };
+  std::map<std::string, const FaultRec*> by_name;
+  for (const FaultRec& f : a.faults) by_name.emplace(f.name, &f);
+  std::vector<Divergence> divergent;
+  for (const FaultRec& fb : b.faults) {
+    const auto it = by_name.find(fb.name);
+    if (it == by_name.end()) continue;
+    const FaultRec& fa = *it->second;
+    if (fa.status == fb.status && fa.evals == fb.evals) continue;
+    const std::uint64_t delta =
+        fa.evals > fb.evals ? fa.evals - fb.evals : fb.evals - fa.evals;
+    divergent.push_back({&fa, &fb, delta});
+  }
+  std::sort(divergent.begin(), divergent.end(),
+            [](const Divergence& x, const Divergence& y) {
+              const bool xs = x.fa->status != x.fb->status;
+              const bool ys = y.fa->status != y.fb->status;
+              if (xs != ys) return xs;
+              if (x.abs_delta != y.abs_delta) return x.abs_delta > y.abs_delta;
+              return x.fa->name < y.fa->name;
+            });
+  if (divergent.size() > opts.top) divergent.resize(opts.top);
+
+  if (opts.json) {
+    os << "{\n  \"schema\": \"satpg.inspect_diff.v1\",\n";
+    os << "  \"baseline\": {\"circuit\": \"" << json_escape(a.circuit)
+       << "\", \"engine\": \"" << json_escape(a.engine)
+       << "\", \"coverage\": " << strprintf("%.17g", a.fault_coverage)
+       << ", \"evals\": " << a.evals << "},\n";
+    os << "  \"candidate\": {\"circuit\": \"" << json_escape(b.circuit)
+       << "\", \"engine\": \"" << json_escape(b.engine)
+       << "\", \"coverage\": " << strprintf("%.17g", b.fault_coverage)
+       << ", \"evals\": " << b.evals << "},\n";
+    os << "  \"milestones\": [";
+    for (std::size_t i = 0; i < std::size(kMilestones); ++i) {
+      const std::string ta = evals_to(a, kMilestones[i]);
+      const std::string tb = evals_to(b, kMilestones[i]);
+      os << (i == 0 ? "" : ", ") << "{\"fe\": "
+         << strprintf("%.0f", kMilestones[i]) << ", \"baseline\": \"" << ta
+         << "\", \"candidate\": \"" << tb << "\"}";
+    }
+    os << "],\n  \"divergent\": [";
+    for (std::size_t i = 0; i < divergent.size(); ++i) {
+      const Divergence& d = divergent[i];
+      os << (i == 0 ? "\n    " : ",\n    ") << "{\"fault\": \""
+         << json_escape(d.fa->name) << "\", \"status_a\": \""
+         << json_escape(d.fa->status) << "\", \"status_b\": \""
+         << json_escape(d.fb->status) << "\", \"evals_a\": " << d.fa->evals
+         << ", \"evals_b\": " << d.fb->evals << "}";
+    }
+    os << "]\n}\n";
+    return true;
+  }
+
+  os << "=== trajectory diff: " << a.circuit << " (" << a.engine << ") -> "
+     << b.circuit << " (" << b.engine << ") ===\n";
+  Table summary({"metric", "baseline", "candidate"});
+  summary.add_row({"fault_coverage %", strprintf("%.2f", a.fault_coverage),
+                   strprintf("%.2f", b.fault_coverage)});
+  summary.add_row({"fault_efficiency %",
+                   strprintf("%.2f", a.fault_efficiency),
+                   strprintf("%.2f", b.fault_efficiency)});
+  summary.add_row({"evals", fmt_u64(a.evals), fmt_u64(b.evals)});
+  summary.add_row({"cube exports", fmt_u64(a.prov_exports),
+                   fmt_u64(b.prov_exports)});
+  summary.add_row({"cube import hits", fmt_u64(a.prov_hits),
+                   fmt_u64(b.prov_hits)});
+  os << summary.to_string() << "\n";
+
+  os << "fault-efficiency milestones (evals to reach FE%):\n";
+  Table m({"fe %", "baseline", "candidate"});
+  for (const double fe : kMilestones)
+    m.add_row({strprintf("%.0f", fe), evals_to(a, fe), evals_to(b, fe)});
+  os << m.to_string() << "\n";
+
+  if (divergent.empty()) {
+    os << "per-fault trajectories identical\n";
+  } else {
+    os << "per-fault divergence (top " << divergent.size() << "):\n";
+    Table t({"fault", "status", "evals a", "evals b"});
+    for (const Divergence& d : divergent)
+      t.add_row({d.fa->name,
+                 d.fa->status == d.fb->status
+                     ? d.fa->status
+                     : d.fa->status + "->" + d.fb->status,
+                 fmt_u64(d.fa->evals), fmt_u64(d.fb->evals)});
+    os << t.to_string();
+  }
+  return true;
+}
+
+}  // namespace satpg

@@ -1,0 +1,50 @@
+// Cross-run analytics over flight-recorder event logs and archived
+// reports: the read side of the observability stack (`satpg inspect`).
+//
+// inspect_source accepts either artifact the run side writes —
+//   * a satpg.events.v1 NDJSON flight-recorder log (--events-json), or
+//   * a satpg.atpg_run.v1-v5 report (--metrics-json / archive entry)
+// — detects which it got from the schema, and renders:
+//   * default: run identity, the top-k hardest-faults table (ranked by
+//     evals, then invalid fraction, then name) and the cube-sharing
+//     provenance summary (exporters -> beneficiaries with hit counts);
+//   * --fault=ID (name or collapsed index): that fault's full search
+//     timeline (event log) or its per-fault record + cube sources
+//     (report).
+// inspect_diff compares two reports as trajectories: summary deltas,
+// fault-efficiency milestones from the fe_trace, and the per-fault
+// divergence table.
+//
+// Everything here is a pure function of the input texts — identical
+// inputs give byte-identical output in both txt and json formats, so
+// inspect output can itself be diffed across machines and thread counts.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace satpg {
+
+struct InspectOptions {
+  /// Fault to show a timeline for: a fault name or an all-digits
+  /// collapsed-fault index. Empty = run overview.
+  std::string fault;
+  /// Rows in the hardest-faults table.
+  std::size_t top = 10;
+  /// Machine-readable output (--format=json) instead of aligned text.
+  bool json = false;
+};
+
+/// Inspect one artifact (event log or report text). Returns false with a
+/// one-line *error (when non-null) on malformed input or an unknown
+/// fault; writes nothing to `os` in that case.
+bool inspect_source(std::ostream& os, const std::string& text,
+                    const InspectOptions& opts, std::string* error = nullptr);
+
+/// Trajectory diff of two atpg_run reports (a = baseline). Returns false
+/// with *error on malformed input or non-report artifacts.
+bool inspect_diff(std::ostream& os, const std::string& a_text,
+                  const std::string& b_text, const InspectOptions& opts,
+                  std::string* error = nullptr);
+
+}  // namespace satpg

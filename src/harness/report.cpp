@@ -2,6 +2,7 @@
 
 #include <array>
 #include <fstream>
+#include <map>
 #include <ostream>
 
 #include "base/json.h"
@@ -41,7 +42,7 @@ void write_atpg_report_json(std::ostream& os, const Netlist& nl,
                             const ParallelAtpgResult& res) {
   const AtpgRunResult& run = res.run;
   os << "{\n";
-  os << "  \"schema\": \"satpg.atpg_run.v4\",\n";
+  os << "  \"schema\": \"satpg.atpg_run.v5\",\n";
 
   os << "  \"circuit\": {\"name\": \"" << json_escape(nl.name())
      << "\", \"inputs\": " << nl.num_inputs()
@@ -164,10 +165,61 @@ void write_atpg_report_json(std::ostream& os, const Netlist& nl,
        << ", \"attr_backtracks\": "
        << attr_array(s.attribution.justify_backtracks)
        << ",\n     \"effort_invalid_frac\": "
-       << num(s.attribution.invalid_frac(s.evals)) << '}'
-       << (i + 1 < collapsed.size() ? ",\n" : "\n");
+       << num(s.attribution.invalid_frac(s.evals))
+       << ",\n     \"cube_sources\": [";
+    const auto& sources = res.cube_sources[i];
+    for (std::size_t j = 0; j < sources.size(); ++j)
+      os << (j == 0 ? "" : ", ") << "{\"from\": \""
+         << json_escape(sources[j].exporter)
+         << "\", \"epoch\": " << sources[j].epoch
+         << ", \"hits\": " << sources[j].hits << '}';
+    os << "]}" << (i + 1 < collapsed.size() ? ",\n" : "\n");
   }
   os << "  ],\n";
+
+  // v5: cube-sharing provenance rollup. exports sums the per-fault
+  // cube_exports counters and must equal the summary cube_exports
+  // (tools/bench_gate checks the equality; defer-requeue runs are exempt —
+  // a parked fault's first attempt counts in the summary but not in its
+  // final per-fault record). import_hits is the total of every per-fault
+  // cube_sources hit count.
+  // The exporters array unions faults that exported cubes with names that
+  // appear as a source anywhere, sorted by name — all inputs are
+  // deterministic, so the block is too. The empty name collects hits whose
+  // exporter is unknown (legacy shares without provenance).
+  {
+    struct Exporter {
+      std::uint64_t cubes = 0;
+      std::uint64_t beneficiaries = 0;
+      std::uint64_t hits = 0;
+    };
+    std::map<std::string, Exporter> exporters;
+    std::uint64_t import_hits = 0;
+    std::uint64_t exports = 0;  // per-fault sum; must equal run.cube_exports
+    for (std::size_t i = 0; i < collapsed.size(); ++i) {
+      exports += res.fault_stats[i].cube_exports;
+      if (res.fault_stats[i].cube_exports > 0)
+        exporters[fault_name(nl, collapsed[i].representative)].cubes +=
+            res.fault_stats[i].cube_exports;
+      for (const CubeSource& src : res.cube_sources[i]) {
+        Exporter& e = exporters[src.exporter];
+        ++e.beneficiaries;
+        e.hits += src.hits;
+        import_hits += src.hits;
+      }
+    }
+    os << "  \"cube_provenance\": {\"exports\": " << exports
+       << ", \"import_hits\": " << import_hits << ", \"exporters\": [";
+    bool first = true;
+    for (const auto& [name, e] : exporters) {
+      os << (first ? "\n    " : ",\n    ") << "{\"fault\": \""
+         << json_escape(name) << "\", \"cubes\": " << e.cubes
+         << ", \"beneficiaries\": " << e.beneficiaries
+         << ", \"hits\": " << e.hits << '}';
+      first = false;
+    }
+    os << "]},\n";
+  }
 
   os << "  \"metrics\": ";
   MetricsRegistry::global().write_json(os, 2);
@@ -180,6 +232,49 @@ bool write_atpg_report_json(const std::string& path, const Netlist& nl,
   std::ofstream os(path);
   if (!os) return false;
   write_atpg_report_json(os, nl, opts, res);
+  return os.good();
+}
+
+void write_events_json(std::ostream& os, const Netlist& nl,
+                       const ParallelAtpgOptions& opts,
+                       const ParallelAtpgResult& res) {
+  const auto collapsed = collapse_faults(nl);
+  std::size_t attempted = 0;
+  for (std::size_t i = 0; i < collapsed.size(); ++i)
+    if (res.attempted[i]) ++attempted;
+
+  os << "{\"schema\": \"satpg.events.v1\", \"circuit\": \""
+     << json_escape(nl.name()) << "\", \"engine\": \""
+     << engine_kind_name(opts.run.engine.kind)
+     << "\", \"seed\": " << opts.run.seed
+     << ", \"faults\": " << collapsed.size()
+     << ", \"attempted\": " << attempted << "}\n";
+
+  std::string line;
+  for (std::size_t i = 0; i < collapsed.size(); ++i) {
+    if (!res.attempted[i]) continue;
+    const FaultSearchStats& s = res.fault_stats[i];
+    os << "{\"fault\": \""
+       << json_escape(fault_name(nl, collapsed[i].representative))
+       << "\", \"index\": " << i << ", \"status\": \""
+       << status_name(res.status[i]) << "\", \"evals\": " << s.evals
+       << ", \"backtracks\": " << s.backtracks << ", \"invalid_frac\": "
+       << num(s.attribution.invalid_frac(s.evals))
+       << ", \"events\": " << res.fault_events[i].size() << "}\n";
+    for (const SearchEvent& e : res.fault_events[i]) {
+      line.clear();
+      append_event_json(&line, e);
+      os << line << '\n';
+    }
+  }
+}
+
+bool write_events_json(const std::string& path, const Netlist& nl,
+                       const ParallelAtpgOptions& opts,
+                       const ParallelAtpgResult& res) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_events_json(os, nl, opts, res);
   return os.good();
 }
 

@@ -1,10 +1,13 @@
 // Structured run reports: the machine-readable side of an ATPG run.
 //
-// write_atpg_report_json dumps schema "satpg.atpg_run.v4": circuit and
+// write_atpg_report_json dumps schema "satpg.atpg_run.v5": circuit and
 // engine identity (v4 adds share_learning and the CDCL solver counters —
 // conflicts/propagations/restarts/learned_clauses/cube_exports — in the
-// summary and per-fault records), the invalid-state attribution block
-// (oracle mode,
+// summary and per-fault records; v5 adds cube-sharing provenance: a
+// per-fault "cube_sources" array naming which exporter fault and epoch
+// each imported cube came from, and a top-level "cube_provenance" block
+// whose exports total equals the summary cube_exports counter), the
+// invalid-state attribution block (oracle mode,
 // num_valid, density, bucket order), the watchdog block (threshold, defer
 // mode, stuck-fault verdicts — empty when the watchdog is off), the
 // summary numbers the tables print (including the attribution bucket sums
@@ -35,5 +38,24 @@ void write_atpg_report_json(std::ostream& os, const Netlist& nl,
 bool write_atpg_report_json(const std::string& path, const Netlist& nl,
                             const ParallelAtpgOptions& opts,
                             const ParallelAtpgResult& res);
+
+/// Flight-recorder event log, NDJSON (one JSON object per line):
+///   line 1: header {"schema": "satpg.events.v1", circuit, engine, seed,
+///           faults, attempted}
+///   then, per attempted fault in collapsed-fault-index order, one fault
+///   line {"fault", "index", "status", "evals", "backtracks",
+///   "invalid_frac", "events"} followed by its event lines
+///   (base/events.h append_event_json).
+/// Everything is wall-clock free — the "at" axis is the fault's budget
+/// eval counter — so the stream is byte-identical at any --threads value
+/// (same contract as the report; DESIGN.md §10).
+void write_events_json(std::ostream& os, const Netlist& nl,
+                       const ParallelAtpgOptions& opts,
+                       const ParallelAtpgResult& res);
+
+/// File form. Returns false when the file cannot be opened.
+bool write_events_json(const std::string& path, const Netlist& nl,
+                       const ParallelAtpgOptions& opts,
+                       const ParallelAtpgResult& res);
 
 }  // namespace satpg

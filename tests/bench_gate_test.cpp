@@ -1,5 +1,5 @@
 // Tier-2 regression-gate test: runs the real satpg CLI and bench_gate
-// binaries against checked-in golden atpg_run.v4 reports (bench/golden/)
+// binaries against checked-in golden atpg_run.v5 reports (bench/golden/)
 // for one cached MCNC circuit and its retimed twin, for both the default
 // (hitec) engine and the cdcl engine.
 //
@@ -69,12 +69,12 @@ class BenchGateTest : public ::testing::Test {
  protected:
   void SetUp() override {
     dir_ = ::testing::TempDir();
-    golden_parent_ = std::string(SATPG_GOLDEN_DIR) + "/dk16_parent.v4.json";
-    golden_twin_ = std::string(SATPG_GOLDEN_DIR) + "/dk16_retimed.v4.json";
+    golden_parent_ = std::string(SATPG_GOLDEN_DIR) + "/dk16_parent.v5.json";
+    golden_twin_ = std::string(SATPG_GOLDEN_DIR) + "/dk16_retimed.v5.json";
     golden_parent_cdcl_ =
-        std::string(SATPG_GOLDEN_DIR) + "/dk16_parent_cdcl.v4.json";
+        std::string(SATPG_GOLDEN_DIR) + "/dk16_parent_cdcl.v5.json";
     golden_twin_cdcl_ =
-        std::string(SATPG_GOLDEN_DIR) + "/dk16_retimed_cdcl.v4.json";
+        std::string(SATPG_GOLDEN_DIR) + "/dk16_retimed_cdcl.v5.json";
   }
 
   // Regenerate the twin netlist and a fresh report for `bench`.

@@ -5,15 +5,19 @@
 // so the learned clause is predictable literal-for-literal), the
 // charge_cdcl budget conversion (satellite of the budget-counting fix),
 // thread-count byte-identity of full CDCL runs on an MCNC circuit and its
-// retimed twin, and the budget-abort capture/replay regression: a CDCL
-// attempt cut by the eval budget must replay bit-for-bit.
+// retimed twin (the digest includes per-fault cube provenance), the
+// cube-provenance round-trip (every recorded source names a fault that
+// really exported cubes), and the budget-abort capture/replay regression:
+// a CDCL attempt cut by the eval budget must replay bit-for-bit.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "atpg/capture.h"
+#include "fault/fault.h"
 #include "atpg/cdcl/cnf.h"
 #include "atpg/cdcl/solver.h"
 #include "atpg/parallel.h"
@@ -257,8 +261,10 @@ std::string run_digest(const Netlist& nl, const ParallelAtpgResult& r) {
     os << static_cast<int>(r.status[i]) << ',' << r.detected_by[i] << ','
        << int{r.attempted[i]} << ',' << s.evals << ',' << s.backtracks << ','
        << s.conflicts << ',' << s.propagations << ',' << s.restarts << ','
-       << s.learned_clauses << ',' << s.cube_blocks << ',' << s.cube_exports
-       << '\n';
+       << s.learned_clauses << ',' << s.cube_blocks << ',' << s.cube_exports;
+    for (const CubeSource& src : r.cube_sources[i])
+      os << ',' << src.exporter << ':' << src.epoch << ':' << src.hits;
+    os << '\n';
   }
   (void)nl;
   return os.str();
@@ -277,6 +283,41 @@ TEST(CdclDeterminismTest, ThreadCountsAgreeOnParentAndRetimedTwin) {
     EXPECT_EQ(d1, run_digest(*nl, r8)) << nl->name();
     EXPECT_GT(r1.run.detected, 0u) << nl->name();
   }
+}
+
+// --- cube provenance round-trip ----------------------------------------------
+
+// Every cube source a fault records must close the provenance graph:
+// a named exporter is an attempted collapsed fault whose committed stats
+// show cube_exports > 0 (kCdcl bumps the counter at export time and the
+// merge keeps the attempt, so the attribution can never dangle). Empty
+// names are unit-local origins and carry no attribution.
+TEST(CdclProvenanceTest, CubeSourcesNameRealExporters) {
+  const Netlist parent = mcnc_circuit("dk16", 0.35);
+  const RetimeResult rt = retime_to_dff_target(
+      parent, 2 * parent.num_dffs(), parent.name() + ".re");
+  std::size_t attributed = 0;
+  for (const Netlist* nl : {&parent, &rt.netlist}) {
+    const auto res = run_parallel_atpg(*nl, cdcl_options(2, true));
+    const auto collapsed = collapse_faults(*nl);
+    std::map<std::string, std::size_t> by_name;
+    for (std::size_t i = 0; i < collapsed.size(); ++i)
+      by_name.emplace(fault_name(*nl, collapsed[i].representative), i);
+    ASSERT_EQ(res.cube_sources.size(), collapsed.size()) << nl->name();
+    for (const auto& sources : res.cube_sources) {
+      for (const CubeSource& src : sources) {
+        EXPECT_GT(src.hits, 0u);
+        if (src.exporter.empty()) continue;
+        ++attributed;
+        const auto it = by_name.find(src.exporter);
+        ASSERT_NE(it, by_name.end()) << nl->name() << ": " << src.exporter;
+        EXPECT_TRUE(res.attempted[it->second]) << src.exporter;
+        EXPECT_GT(res.fault_stats[it->second].cube_exports, 0u)
+            << nl->name() << ": " << src.exporter;
+      }
+    }
+  }
+  EXPECT_GT(attributed, 0u) << "no cross-fault cube reuse at this budget";
 }
 
 // --- budget-abort capture replays bit-for-bit (satellite regression) ---------

@@ -5,8 +5,9 @@
 // with the live monitor (--heartbeat-json/--progress) enabled, which by
 // the DESIGN.md §7 contract must not perturb the deterministic report.
 // Also covers the replay round-trip (capture a watchdog-flagged search,
-// re-run it, expect exit 0) and the `--help` convention (usage on stdout,
-// exit 0, every subcommand). Paths are injected by CMake: SATPG_CLI_PATH
+// re-run it, expect exit 0), the flight-recorder/--events-json and
+// `satpg inspect` smoke (DESIGN.md §10), and the `--help` convention
+// (usage on stdout, exit 0, every subcommand). Paths are injected by CMake: SATPG_CLI_PATH
 // is the built tool, SATPG_SMOKE_CIRCUIT a committed circuits_cache
 // netlist (no FSM synthesis at test time).
 #include <gtest/gtest.h>
@@ -62,10 +63,12 @@ TEST(CliSmokeTest, MetricsAndTraceJsonAreValid) {
   ASSERT_FALSE(mjson.empty());
   std::string err;
   EXPECT_TRUE(json_valid(mjson, &err)) << err;
-  EXPECT_NE(mjson.find("\"schema\": \"satpg.atpg_run.v4\""),
+  EXPECT_NE(mjson.find("\"schema\": \"satpg.atpg_run.v5\""),
             std::string::npos);
   EXPECT_NE(mjson.find("\"per_fault\""), std::string::npos);
   EXPECT_NE(mjson.find("\"metrics\""), std::string::npos);
+  // v5: the cube-sharing provenance rollup.
+  EXPECT_NE(mjson.find("\"cube_provenance\""), std::string::npos);
   // v2: the invalid-state attribution block and run-level fraction.
   EXPECT_NE(mjson.find("\"attribution\""), std::string::npos);
   EXPECT_NE(mjson.find("\"effort_invalid_frac\""), std::string::npos);
@@ -130,7 +133,7 @@ TEST(CliSmokeTest, HeartbeatStreamIsValidNdjson) {
   while (std::getline(is, line)) {
     if (line.empty()) continue;
     ASSERT_TRUE(json_valid(line, &err)) << "line " << lines << ": " << err;
-    EXPECT_NE(line.find("\"schema\": \"satpg.heartbeat.v1\""),
+    EXPECT_NE(line.find("\"schema\": \"satpg.heartbeat.v2\""),
               std::string::npos);
     JsonValue v;
     ASSERT_TRUE(json_parse(line, &v, &err)) << err;
@@ -144,7 +147,12 @@ TEST(CliSmokeTest, HeartbeatStreamIsValidNdjson) {
   ASSERT_GE(lines, 1u);
   EXPECT_NE(last.find("\"phase\": \"done\""), std::string::npos);
 
-  EXPECT_NE(slurp(progress_err).find("done"), std::string::npos);
+  const std::string progress_text = slurp(progress_err);
+  EXPECT_NE(progress_text.find("done"), std::string::npos);
+  // The stderr summary reports the telemetry volume: heartbeat sample
+  // count plus how many trace ring-buffer events were dropped.
+  EXPECT_NE(progress_text.find("heartbeat samples"), std::string::npos);
+  EXPECT_NE(progress_text.find("trace events dropped"), std::string::npos);
 }
 
 // Arm the capture on a watchdog-flagged fault, then replay it: the decision
@@ -180,6 +188,47 @@ TEST(CliSmokeTest, CaptureReplayRoundTrip) {
   EXPECT_EQ(run_satpg("replay " + bad + " --circuit=\"" +
                           SATPG_SMOKE_CIRCUIT + "\""),
             1);
+}
+
+// Flight recorder + inspect smoke (DESIGN.md §10): --events-json writes
+// an NDJSON log that is byte-identical across thread counts, and `satpg
+// inspect` renders it, diffs two runs' reports, and maps an unknown
+// fault to exit 1.
+TEST(CliSmokeTest, EventsJsonAndInspectSmoke) {
+  const std::string dir = ::testing::TempDir();
+  const std::string e1 = dir + "cli_events_1.ndjson";
+  const std::string e2 = dir + "cli_events_2.ndjson";
+  const std::string m1 = dir + "cli_events_m1.json";
+  const std::string m2 = dir + "cli_events_m2.json";
+  ASSERT_EQ(run_cli(1, m1, "", "--events-json=" + e1), 0);
+  ASSERT_EQ(run_cli(2, m2, "", "--events-json=" + e2), 0);
+  const std::string log = slurp(e1);
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log, slurp(e2));
+  EXPECT_NE(log.find("\"schema\": \"satpg.events.v1\""), std::string::npos);
+  // NDJSON: every line parses on its own; no wall clock anywhere.
+  std::istringstream is(log);
+  std::string line, err;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    ASSERT_TRUE(json_valid(line, &err)) << "line " << lines << ": " << err;
+    ++lines;
+  }
+  ASSERT_GE(lines, 2u) << "header plus at least one fault line";
+  EXPECT_EQ(log.find("wall"), std::string::npos);
+
+  const std::string out = dir + "cli_inspect.out";
+  ASSERT_EQ(run_satpg("inspect " + e1, out), 0);
+  EXPECT_NE(slurp(out).find("hardest faults"), std::string::npos);
+  ASSERT_EQ(run_satpg("inspect " + m1, out), 0);
+  EXPECT_NE(slurp(out).find("hardest faults"), std::string::npos);
+  // Two deterministic runs of the same configuration diff clean.
+  ASSERT_EQ(run_satpg("inspect --diff " + m1 + " " + m2, out), 0);
+  EXPECT_NE(slurp(out).find("per-fault trajectories identical"),
+            std::string::npos);
+  // Unknown fault: runtime failure, exit 1 (README "Exit codes").
+  EXPECT_EQ(run_satpg("inspect " + e1 + " --fault=bogus"), 1);
 }
 
 // Wide-fsim engine selection on the real CLI. The determinism contract
@@ -255,7 +304,7 @@ TEST(CliSmokeTest, HelpExitsZeroForEverySubcommand) {
   const std::string out = dir + "cli_help.out";
   for (const char* sub :
        {"", "info", "analyze", "atpg", "fsim", "retime", "scan", "faults",
-        "archive", "diff", "replay"}) {
+        "archive", "diff", "replay", "inspect"}) {
     const std::string args =
         (*sub ? std::string(sub) + " --help" : std::string("--help"));
     ASSERT_EQ(run_satpg(args, out), 0) << "subcommand: " << args;

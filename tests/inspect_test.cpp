@@ -1,0 +1,186 @@
+// Unit tests for the `satpg inspect` analytics layer (harness/inspect):
+// artifact detection (events NDJSON vs atpg_run report), hardest-fault
+// ranking, provenance aggregation from both source kinds, per-fault
+// timelines, trajectory diffs, and the error paths the CLI maps to exit
+// code 1. All inputs are synthetic strings, so these tests double as the
+// byte-stability contract: the expected substrings never depend on the
+// machine.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "harness/inspect.h"
+
+namespace satpg {
+namespace {
+
+// A small but complete satpg.events.v1 log: two attempted faults; "a s-a-0"
+// exports one cube that "b s-a-1" imports twice and hits once as a
+// learned-failure.
+const char kEventsLog[] =
+    "{\"schema\": \"satpg.events.v1\", \"circuit\": \"c17\", \"engine\": "
+    "\"cdcl\", \"seed\": 7, \"faults\": 5, \"attempted\": 2}\n"
+    "{\"fault\": \"a s-a-0\", \"index\": 0, \"status\": \"aborted\", "
+    "\"evals\": 900, \"backtracks\": 9, \"invalid_frac\": 0.25, "
+    "\"events\": 2}\n"
+    "{\"k\": \"window_grow\", \"at\": 10, \"a\": 2}\n"
+    "{\"k\": \"cube_export\", \"at\": 20, \"cube\": \"01X\"}\n"
+    "{\"fault\": \"b s-a-1\", \"index\": 3, \"status\": \"detected\", "
+    "\"evals\": 400, \"backtracks\": 2, \"invalid_frac\": 0, "
+    "\"events\": 3}\n"
+    "{\"k\": \"cube_import\", \"at\": 5, \"a\": 1, \"cube\": \"01X\", "
+    "\"src\": \"a s-a-0\"}\n"
+    "{\"k\": \"cube_import\", \"at\": 30, \"a\": 1, \"cube\": \"01X\", "
+    "\"src\": \"a s-a-0\"}\n"
+    "{\"k\": \"learn_hit\", \"at\": 44, \"a\": 1, \"cube\": \"01X\", "
+    "\"src\": \"a s-a-0\"}\n";
+
+std::string report_text(const char* circuit, int evals_b) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"satpg.atpg_run.v5\",\n"
+     << "  \"circuit\": {\"name\": \"" << circuit << "\"},\n"
+     << "  \"engine\": {\"kind\": \"cdcl\", \"seed\": 7},\n"
+     << "  \"summary\": {\"total_faults\": 5, \"fault_coverage\": 80,\n"
+     << "    \"fault_efficiency\": 100, \"evals\": " << 900 + evals_b
+     << ", \"cube_exports\": 1},\n"
+     << "  \"fe_trace\": [[900, 50.0], [" << 900 + evals_b << ", 100.0]],\n"
+     << "  \"per_fault\": [\n"
+     << "    {\"fault\": \"a s-a-0\", \"status\": \"aborted\", "
+        "\"attempted\": true, \"evals\": 900, \"backtracks\": 9, "
+        "\"effort_invalid_frac\": 0.25, \"cube_exports\": 1, "
+        "\"cube_sources\": []},\n"
+     << "    {\"fault\": \"b s-a-1\", \"status\": \"detected\", "
+        "\"attempted\": true, \"evals\": " << evals_b
+     << ", \"backtracks\": 2, \"effort_invalid_frac\": 0, "
+        "\"cube_exports\": 0, \"cube_sources\": [{\"from\": \"a s-a-0\", "
+        "\"epoch\": 1, \"hits\": 3}]}\n"
+     << "  ],\n"
+     << "  \"cube_provenance\": {\"exports\": 1, \"import_hits\": 3, "
+        "\"exporters\": [\n"
+     << "    {\"fault\": \"a s-a-0\", \"cubes\": 1, \"beneficiaries\": 1, "
+        "\"hits\": 3}]}\n}\n";
+  return os.str();
+}
+
+std::string inspect_text(const std::string& src, const InspectOptions& opts) {
+  std::ostringstream os;
+  std::string err;
+  EXPECT_TRUE(inspect_source(os, src, opts, &err)) << err;
+  return os.str();
+}
+
+TEST(InspectTest, EventLogOverviewRanksAndAggregates) {
+  const std::string out = inspect_text(kEventsLog, {});
+  EXPECT_NE(out.find("event log satpg.events.v1"), std::string::npos);
+  EXPECT_NE(out.find("faults: 5 total, 2 attempted"), std::string::npos);
+  // Ranking: a s-a-0 (900 evals) above b s-a-1 (400).
+  const std::size_t pos_a = out.find("a s-a-0");
+  const std::size_t pos_b = out.find("b s-a-1");
+  ASSERT_NE(pos_a, std::string::npos);
+  ASSERT_NE(pos_b, std::string::npos);
+  EXPECT_LT(pos_a, pos_b);
+  // Provenance derived from the events: 1 export, 3 hits (2 imports +
+  // 1 learned-failure hit), all attributed to the exporter.
+  EXPECT_NE(out.find("cube provenance: 1 exports, 3 import hits"),
+            std::string::npos);
+}
+
+TEST(InspectTest, ReportOverviewUsesTheRollupBlock) {
+  const std::string out = inspect_text(report_text("c17", 400), {});
+  EXPECT_NE(out.find("report satpg.atpg_run.v5"), std::string::npos);
+  EXPECT_NE(out.find("cube provenance: 1 exports, 3 import hits"),
+            std::string::npos);
+}
+
+TEST(InspectTest, EventsAndReportAgreeOnTheProvenanceGraph) {
+  // The acceptance property: both artifacts of the same run describe the
+  // same exporter -> beneficiary graph.
+  const std::string from_events = inspect_text(kEventsLog, {});
+  const std::string from_report = inspect_text(report_text("c17", 400), {});
+  const std::size_t pe = from_events.find("cube provenance:");
+  const std::size_t pr = from_report.find("cube provenance:");
+  ASSERT_NE(pe, std::string::npos) << from_events;
+  ASSERT_NE(pr, std::string::npos) << from_report;
+  EXPECT_EQ(from_events.substr(pe), from_report.substr(pr));
+  EXPECT_NE(from_events.find("a s-a-0", pe), std::string::npos);
+}
+
+TEST(InspectTest, FaultTimelineByNameAndIndex) {
+  InspectOptions by_name;
+  by_name.fault = "b s-a-1";
+  const std::string out = inspect_text(kEventsLog, by_name);
+  EXPECT_NE(out.find("timeline (3 events"), std::string::npos);
+  EXPECT_NE(out.find("cube_import"), std::string::npos);
+  EXPECT_NE(out.find("src=a s-a-0 epoch=1"), std::string::npos);
+
+  InspectOptions by_index;
+  by_index.fault = "3";  // collapsed-fault index of b s-a-1
+  EXPECT_EQ(out, inspect_text(kEventsLog, by_index));
+}
+
+TEST(InspectTest, UnknownFaultFailsWithoutOutput) {
+  std::ostringstream os;
+  InspectOptions opts;
+  opts.fault = "no such fault";
+  std::string err;
+  EXPECT_FALSE(inspect_source(os, kEventsLog, opts, &err));
+  EXPECT_TRUE(os.str().empty());
+  EXPECT_NE(err.find("not found"), std::string::npos);
+}
+
+TEST(InspectTest, MalformedInputFails) {
+  std::ostringstream os;
+  std::string err;
+  EXPECT_FALSE(inspect_source(os, "not json at all", {}, &err));
+  EXPECT_FALSE(inspect_source(
+      os, "{\"schema\": \"satpg.other.v1\", \"summary\": {}}", {}, &err));
+  EXPECT_NE(err.find("not an event log"), std::string::npos);
+}
+
+TEST(InspectTest, JsonFormatIsValidAndStable) {
+  InspectOptions opts;
+  opts.json = true;
+  const std::string a = inspect_text(kEventsLog, opts);
+  EXPECT_NE(a.find("\"schema\": \"satpg.inspect.v1\""), std::string::npos);
+  EXPECT_NE(a.find("\"kind\": \"events\""), std::string::npos);
+  // Pure function of the input text.
+  EXPECT_EQ(a, inspect_text(kEventsLog, opts));
+}
+
+TEST(InspectDiffTest, TrajectoryDiffFindsDivergence) {
+  std::ostringstream os;
+  std::string err;
+  ASSERT_TRUE(inspect_diff(os, report_text("c17", 400),
+                           report_text("c17.re", 700), {}, &err))
+      << err;
+  const std::string out = os.str();
+  EXPECT_NE(out.find("trajectory diff: c17 (cdcl) -> c17.re (cdcl)"),
+            std::string::npos);
+  // b s-a-1 grew 400 -> 700; a s-a-0 is identical in both runs.
+  EXPECT_NE(out.find("b s-a-1"), std::string::npos);
+  EXPECT_EQ(out.find("a s-a-0  aborted"), std::string::npos);
+  // Milestones read off the fe_trace.
+  EXPECT_NE(out.find("fault-efficiency milestones"), std::string::npos);
+}
+
+TEST(InspectDiffTest, IdenticalRunsDiffClean) {
+  std::ostringstream os;
+  std::string err;
+  ASSERT_TRUE(inspect_diff(os, report_text("c17", 400),
+                           report_text("c17", 400), {}, &err))
+      << err;
+  EXPECT_NE(os.str().find("per-fault trajectories identical"),
+            std::string::npos);
+}
+
+TEST(InspectDiffTest, EventLogsAreRejected) {
+  std::ostringstream os;
+  std::string err;
+  EXPECT_FALSE(
+      inspect_diff(os, kEventsLog, report_text("c17", 400), {}, &err));
+  EXPECT_NE(err.find("atpg_run reports"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace satpg

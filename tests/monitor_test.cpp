@@ -356,7 +356,7 @@ TEST(MonitoredRunTest, MonitorDoesNotPerturbResults) {
   ASSERT_FALSE(last.empty());
   JsonValue v;
   ASSERT_TRUE(json_parse(last, &v, &err)) << err;
-  EXPECT_EQ(v.str_or("schema", ""), "satpg.heartbeat.v1");
+  EXPECT_EQ(v.str_or("schema", ""), "satpg.heartbeat.v2");
   EXPECT_EQ(v.str_or("phase", ""), "done");
   EXPECT_EQ(v.uint_or("faults", 0), v.uint_or("resolved", 1));
 }

@@ -5,8 +5,12 @@
 //   bench_gate --fsim <BENCH_fsim.json> [--min-fsim-speedup=F]
 //
 // <baseline>/<candidate> are report file paths or archive hash prefixes
-// (resolved against --dir, default "runs"). Prints the full deterministic
-// diff, then PASS or FAIL with one line per violated threshold.
+// (resolved against --dir, default "runs"); any satpg.atpg_run.v1-v5
+// schema is accepted. Prints the full deterministic diff, then PASS or
+// FAIL with one line per violated threshold. v5 reports additionally get
+// an internal-consistency check: the cube_provenance block's exports
+// total must equal the summary cube_exports counter (a mismatch means
+// the provenance plumbing dropped or double-counted an export).
 //
 // --fsim mode reads the packed-vs-baseline table the microbench writes
 // (schema satpg.bench_fsim.v2), prints it, and passes iff the engines
@@ -109,6 +113,32 @@ int run_fsim_gate(const std::string& path, double min_speedup) {
   return pass ? 0 : 1;
 }
 
+// v5 internal consistency: cube_provenance.exports must mirror the
+// summary cube_exports counter. Pre-v5 reports (no provenance block) pass
+// vacuously. Returns false and appends a violation line on mismatch.
+bool check_provenance(const std::string& label, const std::string& text,
+                      std::vector<std::string>* violations) {
+  JsonValue doc;
+  if (!json_parse(text, &doc)) return true;  // parse errors caught earlier
+  const JsonValue* prov = doc.find("cube_provenance");
+  if (prov == nullptr) return true;
+  // Defer-requeue runs legitimately diverge: a parked fault's first
+  // attempt adds to the summary counters while per_fault (and with it the
+  // provenance rollup) keeps only the requeued attempt.
+  if (const JsonValue* wd = doc.find("watchdog");
+      wd && wd->bool_or("defer", false))
+    return true;
+  const JsonValue* summary = doc.find("summary");
+  const std::uint64_t prov_exports = prov->uint_or("exports", 0);
+  const std::uint64_t summary_exports =
+      summary ? summary->uint_or("cube_exports", 0) : 0;
+  if (prov_exports == summary_exports) return true;
+  violations->push_back(
+      label + ": cube_provenance.exports " + std::to_string(prov_exports) +
+      " != summary cube_exports " + std::to_string(summary_exports));
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -144,16 +174,17 @@ int main(int argc, char** argv) {
   if (specs.size() != 2) return usage();
 
   RunReport baseline, candidate;
+  std::string baseline_text, candidate_text;
   try {
     const RunArchive archive(dir);
     std::string err;
-    if (!parse_run_report(load_report_spec(archive, specs[0]), &baseline,
-                          &err)) {
+    baseline_text = load_report_spec(archive, specs[0]);
+    if (!parse_run_report(baseline_text, &baseline, &err)) {
       std::fprintf(stderr, "error: %s: %s\n", specs[0].c_str(), err.c_str());
       return 2;
     }
-    if (!parse_run_report(load_report_spec(archive, specs[1]), &candidate,
-                          &err)) {
+    candidate_text = load_report_spec(archive, specs[1]);
+    if (!parse_run_report(candidate_text, &candidate, &err)) {
       std::fprintf(stderr, "error: %s: %s\n", specs[1].c_str(), err.c_str());
       return 2;
     }
@@ -165,10 +196,15 @@ int main(int argc, char** argv) {
   const RunDiff d = diff_runs(baseline, candidate);
   write_run_diff(std::cout, baseline, candidate, d);
 
-  const GateResult gate = evaluate_gate(baseline, candidate, gopts);
+  GateResult gate = evaluate_gate(baseline, candidate, gopts);
+  if (!check_provenance("baseline", baseline_text, &gate.violations))
+    gate.pass = false;
+  if (!check_provenance("candidate", candidate_text, &gate.violations))
+    gate.pass = false;
   std::cout << "\ngate thresholds: coverage drop <= "
             << gopts.max_coverage_drop << " points, effort ratio <= "
-            << gopts.max_effort_ratio << "x\n";
+            << gopts.max_effort_ratio
+            << "x, cube_provenance.exports == cube_exports\n";
   for (const std::string& v : gate.violations)
     std::cout << "VIOLATION: " << v << "\n";
   std::cout << (gate.pass ? "PASS" : "FAIL") << "\n";

@@ -1,5 +1,5 @@
 #!/bin/sh
-# Regenerates the checked-in golden atpg_run.v4 reports in bench/golden/
+# Regenerates the checked-in golden atpg_run.v5 reports in bench/golden/
 # that the tier-2 bench_gate_test gates against: the default (hitec)
 # engine and the cdcl engine, each on one cached MCNC circuit and its
 # retimed twin.
@@ -25,13 +25,13 @@ mkdir -p "$OUT"
 TWIN="$(mktemp -t gate_twin.XXXXXX.bench)"
 trap 'rm -f "$TWIN"' EXIT
 
-"$SATPG" atpg "$CIRCUIT" $FLAGS --metrics-json="$OUT/dk16_parent.v4.json"
+"$SATPG" atpg "$CIRCUIT" $FLAGS --metrics-json="$OUT/dk16_parent.v5.json"
 "$SATPG" retime "$CIRCUIT" "$TWIN" --dffs=6
-"$SATPG" atpg "$TWIN" $FLAGS --metrics-json="$OUT/dk16_retimed.v4.json"
+"$SATPG" atpg "$TWIN" $FLAGS --metrics-json="$OUT/dk16_retimed.v5.json"
 
 "$SATPG" atpg "$CIRCUIT" $FLAGS --engine=cdcl \
-    --metrics-json="$OUT/dk16_parent_cdcl.v4.json"
+    --metrics-json="$OUT/dk16_parent_cdcl.v5.json"
 "$SATPG" atpg "$TWIN" $FLAGS --engine=cdcl \
-    --metrics-json="$OUT/dk16_retimed_cdcl.v4.json"
+    --metrics-json="$OUT/dk16_retimed_cdcl.v5.json"
 
 echo "golden reports written to $OUT/"

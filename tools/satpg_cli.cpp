@@ -9,6 +9,8 @@
 //   satpg faults   <circuit.bench>              fault universe summary
 //   satpg archive  <report.json>|--list         store run reports by hash
 //   satpg diff     <a> <b>                      compare two run reports
+//   satpg inspect  <src> [--fault=ID]           event-log / report analytics
+//   satpg inspect  --diff <a> <b>               two-run trajectory diff
 //   satpg replay   <capture.json>               re-run a captured search
 //
 // ATPG options: --engine=hitec|forward|learning|cdcl  --budget=F  --seed=N
@@ -16,16 +18,19 @@
 //               --strict (no potential-detection credit)
 //               --tests=FILE (write the test sequences)
 //               --metrics-json=FILE (deterministic structured run report)
+//               --events-json=FILE (deterministic flight-recorder NDJSON)
 //               --trace-json=FILE (Chrome trace_event timeline; wall-clock)
 //               --heartbeat-json=FILE / --progress (live monitor, §7)
 //               --stuck-evals=N / --stuck-seconds=F / --defer-stuck
 //               --capture-json=FILE / --capture-fault=ID
 // Every engine-running subcommand accepts --metrics-json/--trace-json; the
 // flags are parsed by the shared TelemetryFlags helper. The monitor,
-// watchdog, and capture flags are wired in `satpg atpg` only.
+// watchdog, capture, and flight-recorder flags are wired in `satpg atpg`
+// only.
 //
-// archive/diff operate on satpg.atpg_run.* reports; <a>/<b> may each be a
-// file path or a stored report's hash prefix (see harness/archive.h).
+// archive/diff/inspect operate on satpg.atpg_run.* reports (inspect also
+// reads satpg.events.v1 logs); <a>/<b>/<src> may each be a file path or a
+// stored report's hash prefix (see harness/archive.h).
 //
 // Exit codes: 0 success; 1 runtime failure (bad file, replay mismatch);
 // 2 usage error. `--help` anywhere prints usage to stdout and exits 0.
@@ -53,8 +58,10 @@
 #include "base/telemetry_flags.h"
 #include "dft/scan.h"
 #include "fsim/fsim.h"
+#include "base/trace.h"
 #include "harness/archive.h"
 #include "harness/diff.h"
+#include "harness/inspect.h"
 #include "harness/report.h"
 #include "netlist/bench_io.h"
 #include "retime/retime.h"
@@ -69,8 +76,8 @@ void print_usage(std::FILE* f) {
   std::fprintf(
       f,
       "usage: satpg"
-      " <info|analyze|atpg|fsim|retime|scan|faults|archive|diff|replay>"
-      " ...\n"
+      " <info|analyze|atpg|fsim|retime|scan|faults|archive|diff|inspect|"
+      "replay> ...\n"
       "  satpg info    c.bench\n"
       "  satpg analyze c.bench\n"
       "  satpg faults  c.bench\n"
@@ -79,7 +86,8 @@ void print_usage(std::FILE* f) {
       "                [--no-shared-learning] [--strict] [--tests=FILE]"
       " [--compact]\n"
       "                [--threads=N] [--deadline-ms=N]"
-      " [--metrics-json=FILE] [--trace-json=FILE]\n"
+      " [--metrics-json=FILE] [--events-json=FILE]\n"
+      "                [--trace-json=FILE]\n"
       "                [--heartbeat-json=FILE] [--heartbeat-interval-ms=N]"
       " [--progress]\n"
       "                [--stuck-evals=N] [--stuck-seconds=F]"
@@ -98,6 +106,12 @@ void print_usage(std::FILE* f) {
       "  satpg archive --list [--dir=DIR]\n"
       "  satpg diff    <a> <b> [--dir=DIR] [--top=N]"
       "   (a/b: file path or archive hash)\n"
+      "  satpg inspect <src> [--fault=NAME|INDEX] [--top=N]"
+      " [--format=txt|json] [--dir=DIR]\n"
+      "  satpg inspect --diff <a> <b> [--top=N] [--format=txt|json]"
+      " [--dir=DIR]\n"
+      "                (src: events-json log, report file, or archive"
+      " hash)\n"
       "  satpg replay  capture.json [--circuit=FILE] [--dump]\n"
       "exit codes: 0 ok, 1 failure/replay-mismatch, 2 usage\n");
 }
@@ -218,9 +232,26 @@ int cmd_atpg(const Netlist& nl, const std::string& circuit_path, int argc,
     capture_file = "satpg_capture.json";
   popts.capture.armed = !capture_file.empty();
   popts.monitor = telemetry.monitor_options();
+  popts.record_events = telemetry.events_enabled();
   telemetry.arm();
   ParallelAtpgResult pres = run_parallel_atpg(nl, popts);
   if (!telemetry.finish_trace(&std::cout)) return 1;
+  // End-of-run telemetry accounting goes to stderr: both numbers are
+  // wall-clock shaped (sample cadence, buffer pressure), so they must stay
+  // out of every deterministic artifact.
+  if (telemetry.monitor_enabled() || telemetry.trace_enabled())
+    std::fprintf(stderr,
+                 "telemetry        : %llu heartbeat samples, "
+                 "%zu trace events dropped\n",
+                 static_cast<unsigned long long>(pres.heartbeat_samples),
+                 TraceRecorder::global().num_dropped());
+  if (telemetry.events_enabled()) {
+    if (!write_events_json(telemetry.events_json, nl, popts, pres)) {
+      std::fprintf(stderr, "cannot write %s\n", telemetry.events_json.c_str());
+      return 1;
+    }
+    std::printf("events written   : %s\n", telemetry.events_json.c_str());
+  }
   if (popts.capture.armed) {
     if (pres.capture) {
       pres.capture->circuit_path = circuit_path;
@@ -236,7 +267,7 @@ int cmd_atpg(const Netlist& nl, const std::string& circuit_path, int argc,
   }
   if (telemetry.metrics_enabled()) {
     // atpg has a richer schema than the generic registry dump: the full
-    // satpg.atpg_run.v4 report (harness/report).
+    // satpg.atpg_run.v5 report (harness/report).
     set_metrics_enabled(false);
     if (!write_atpg_report_json(telemetry.metrics_json, nl, popts, pres)) {
       std::fprintf(stderr, "cannot write %s\n",
@@ -516,6 +547,53 @@ int cmd_diff(int argc, char** argv) {
   return 0;
 }
 
+int cmd_inspect(int argc, char** argv) {
+  std::string dir = "runs";
+  InspectOptions iopts;
+  bool do_diff = false;
+  std::vector<std::string> specs;
+  for (int i = 0; i < argc; ++i) {
+    if (const char* v = flag_value(argv[i], "--dir=")) {
+      dir = v;
+    } else if (const char* v2 = flag_value(argv[i], "--fault=")) {
+      iopts.fault = v2;
+    } else if (const char* v3 = flag_value(argv[i], "--top=")) {
+      iopts.top = static_cast<std::size_t>(std::atoll(v3));
+    } else if (const char* v4 = flag_value(argv[i], "--format=")) {
+      if (!std::strcmp(v4, "json"))
+        iopts.json = true;
+      else if (std::strcmp(v4, "txt") != 0)
+        return usage();
+    } else if (!std::strcmp(argv[i], "--diff")) {
+      do_diff = true;
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else {
+      specs.emplace_back(argv[i]);
+    }
+  }
+  if (specs.size() != (do_diff ? 2u : 1u)) return usage();
+  const RunArchive archive(dir);
+  std::string err;
+  bool ok = false;
+  try {
+    if (do_diff) {
+      ok = inspect_diff(std::cout, load_report_spec(archive, specs[0]),
+                        load_report_spec(archive, specs[1]), iopts, &err);
+    } else {
+      ok = inspect_source(std::cout, load_report_spec(archive, specs[0]),
+                          iopts, &err);
+    }
+  } catch (const std::exception& e) {
+    err = e.what();
+  }
+  if (!ok) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_retime(const Netlist& nl, const std::string& out_path, int argc,
                char** argv) {
   std::size_t dffs = 0;
@@ -572,6 +650,7 @@ int main(int argc, char** argv) {
     if (cmd == "fsim") return cmd_fsim(load(argv[2]), argc - 3, argv + 3);
     if (cmd == "archive") return cmd_archive(argc - 2, argv + 2);
     if (cmd == "diff") return cmd_diff(argc - 2, argv + 2);
+    if (cmd == "inspect") return cmd_inspect(argc - 2, argv + 2);
     if (cmd == "replay") return cmd_replay(argc - 2, argv + 2);
     if (cmd == "retime") {
       if (argc < 4) return usage();
