@@ -120,6 +120,14 @@ class StateValidityOracle {
   /// nonempty.
   StateValidity classify(const StateKey& cube) const;
 
+  /// Logical footprint of the oracle's answer structures (element counts x
+  /// element sizes, fixed once build() returns) — the deterministic byte
+  /// charge the driver records under base/memstats subsystem bdd_oracle.
+  std::uint64_t footprint_bytes() const {
+    return states_.size() * sizeof(std::uint64_t) +
+           pinned_.size() * sizeof(V3);
+  }
+
  private:
   ValidityOracleInfo info_;
   std::size_t num_ffs_ = 0;

@@ -7,6 +7,7 @@
 #include "atpg/capture.h"
 #include "atpg/cdcl/cnf.h"
 #include "atpg/tfm.h"
+#include "base/memstats.h"
 
 namespace satpg {
 
@@ -193,6 +194,8 @@ CdclAtpg::JustifyOutcome CdclAtpg::justify(
   // inputs, the D lines of the cube's flip-flops pinned to its values.
   CdclSolver solver;
   TimeFrameCnf cnf(e_.nl_, std::nullopt, 1, &solver);
+  const MemScope cnf_mem(budget.mem, MemSubsystem::kCnfEncoder,
+                         cnf.footprint_bytes());
   solver.set_budget(&budget);
   solver.set_ring(e_.ring_);
   solver.set_event_sink(e_.record_events_ ? &e_.events_buf_ : nullptr);
@@ -258,6 +261,8 @@ CdclAtpg::JustifyOutcome CdclAtpg::justify(
     // need. Greedy in dffs() order, checked on the good rail of the TFM.
     std::vector<V3> vec(e_.nl_.num_inputs(), V3::kX);
     TimeFrameModel tfm(e_.nl_, std::nullopt, 1);
+    const MemScope tfm_mem(budget.mem, MemSubsystem::kTfmFrames,
+                           tfm.footprint_bytes());
     tfm.attach_eval_counter(&budget.evals);
     for (std::size_t i = 0; i < e_.nl_.inputs().size(); ++i) {
       const NodeId pi = e_.nl_.inputs()[i];
@@ -305,7 +310,8 @@ CdclAtpg::JustifyOutcome CdclAtpg::justify(
     }
     // kProvenInvalid: the recursion appended prev_cube to blocking_; the
     // catch-up at the top of the loop blocks it here.
-    if (budget.exhausted_backtracks() || budget.exhausted_evals()) {
+    if (budget.exhausted_backtracks() || budget.exhausted_evals() ||
+        budget.mem_exceeded()) {
       tainted = true;
       break;
     }
@@ -370,6 +376,18 @@ FaultAttempt CdclAtpg::generate(const Fault& fault) {
   budget.progress = e_.progress_;
   if (e_.ring_ != nullptr) e_.ring_->reset();
   budget.ring = e_.ring_;
+  // Byte accounting, identical in shape to the structural path: a fresh
+  // per-attempt tally, the ring's fixed buffer charged up front and
+  // released before the tally is snapshotted into the attempt.
+  e_.attempt_mem_ = MemTally{};
+  budget.mem = e_.mem_armed_ ? &e_.attempt_mem_ : nullptr;
+  budget.mem_limit = e_.mem_limit_;
+  const std::uint64_t ring_bytes =
+      budget.mem != nullptr && e_.ring_ != nullptr
+          ? e_.ring_->capacity() * sizeof(DecisionEvent)
+          : 0;
+  if (ring_bytes != 0)
+    budget.mem->charge(MemSubsystem::kDecisionRing, ring_bytes);
 
   // Visible proven-unreachable cubes, imported once per attempt in a
   // deterministic order: the shared view's snapshot (frozen for the round)
@@ -429,6 +447,8 @@ FaultAttempt CdclAtpg::generate(const Fault& fault) {
     publish_phase(SearchPhase::kWindow);
     CdclSolver solver;
     TimeFrameCnf cnf(e_.nl_, fault, frames, &solver);
+    const MemScope cnf_mem(budget.mem, MemSubsystem::kCnfEncoder,
+                           cnf.footprint_bytes());
     solver.set_budget(&budget);
     solver.set_ring(e_.ring_);
     solver.set_event_sink(e_.record_events_ ? &e_.events_buf_ : nullptr);
@@ -469,6 +489,8 @@ FaultAttempt CdclAtpg::generate(const Fault& fault) {
           static_cast<std::size_t>(frames),
           std::vector<V3>(e_.nl_.num_inputs(), V3::kX));
       TimeFrameModel tfm(e_.nl_, fault, frames);
+      const MemScope tfm_mem(budget.mem, MemSubsystem::kTfmFrames,
+                             tfm.footprint_bytes());
       tfm.attach_eval_counter(&budget.evals);
       for (int t = 0; t < frames; ++t)
         for (std::size_t i = 0; i < e_.nl_.inputs().size(); ++i) {
@@ -534,7 +556,8 @@ FaultAttempt CdclAtpg::generate(const Fault& fault) {
         // every later solver of the attempt.
         cnf.block_state_cube(e_.cube_key(cube));
       }
-      if (budget.exhausted_backtracks() || budget.exhausted_evals()) {
+      if (budget.exhausted_backtracks() || budget.exhausted_evals() ||
+          budget.mem_exceeded()) {
         any_aborted = true;
         break;
       }
@@ -557,6 +580,8 @@ FaultAttempt CdclAtpg::generate(const Fault& fault) {
     }
     CdclSolver solver;
     TimeFrameCnf cnf(e_.nl_, fault, 1, &solver);
+    const MemScope cnf_mem(budget.mem, MemSubsystem::kCnfEncoder,
+                           cnf.footprint_bytes());
     solver.set_budget(&budget);
     solver.set_ring(e_.ring_);
     solver.set_event_sink(e_.record_events_ ? &e_.events_buf_ : nullptr);
@@ -598,14 +623,21 @@ FaultAttempt CdclAtpg::generate(const Fault& fault) {
                         e_.soft_eval_cap_ < e_.opts_.eval_limit &&
                         attempt.status == FaultStatus::kAborted &&
                         budget.exhausted_evals();
+  attempt.mem_capped = attempt.status == FaultStatus::kAborted &&
+                       budget.mem_exceeded();
   attempt.first_abort_check = budget.first_abort_check;
+  if (ring_bytes != 0)
+    budget.mem->release(MemSubsystem::kDecisionRing, ring_bytes);
+  e_.stats_.peak_bytes = e_.attempt_mem_.peak;
+  attempt.mem = e_.attempt_mem_;
   if (e_.record_events_) {
-    if (e_.stats_.budget_exhausted) {
+    if (e_.stats_.budget_exhausted || attempt.mem_capped) {
       SearchEvent e;
       e.kind = SearchEventKind::kBudgetAbort;
       e.a = budget.exhausted_evals() ? 1 : 0;
       e.b = budget.exhausted_backtracks() ? 1 : 0;
       e.at = budget.evals;
+      if (budget.mem_exceeded()) e.bytes = e_.attempt_mem_.peak;
       e_.events_buf_.push_back(std::move(e));
     }
     if (budget.first_abort_check != 0) {

@@ -65,6 +65,15 @@ class TimeFrameCnf {
   /// Returns true when a clause was added.
   bool block_state_cube(const StateKey& cube);
 
+  /// Logical footprint of the encoder's variable maps (element counts x
+  /// element sizes, fixed at construction) — the deterministic byte charge
+  /// recorded under base/memstats subsystem cnf_encoder. Clause storage is
+  /// the solver's and is accounted there.
+  std::uint64_t footprint_bytes() const {
+    return good_.size() * sizeof(int) + faulty_.size() * sizeof(int) +
+           in_cone_.size() * sizeof(char);
+  }
+
  private:
   std::size_t flat(int frame, NodeId node) const {
     return static_cast<std::size_t>(frame) * nl_.num_nodes() +

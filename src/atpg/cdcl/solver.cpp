@@ -5,10 +5,23 @@
 #include "atpg/capture.h"
 #include "atpg/podem.h"
 #include "base/check.h"
+#include "base/memstats.h"
 
 namespace satpg {
 
 namespace {
+
+// Logical per-variable footprint: one element in each per-var array plus
+// the two watch-list headers. A compile-time constant, so the byte stream
+// charged for variable allocation is identical on every platform build
+// with the same ABI (and thread-count invariant everywhere).
+constexpr std::uint64_t kVarBytes =
+    sizeof(std::int8_t) +            // assign_
+    2 * sizeof(int) +                // level_, reason_
+    sizeof(double) +                 // activity_
+    3 * sizeof(std::uint8_t) +       // phase_, model_, seen_
+    sizeof(VarTag) +                 // tags_
+    2 * sizeof(std::vector<int>);    // watch-list headers
 
 // Luby sequence (1-based): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
 std::uint64_t luby(std::uint64_t i) {
@@ -24,8 +37,35 @@ std::uint64_t luby(std::uint64_t i) {
 
 }  // namespace
 
+CdclSolver::~CdclSolver() { release_mem(accounted_bytes_); }
+
+void CdclSolver::set_budget(PodemBudget* budget) {
+  if (budget_ == budget) return;
+  // Move the accounted backlog between tallies so attach order never
+  // changes what any one tally sees live.
+  if (budget_ != nullptr && budget_->mem != nullptr)
+    budget_->mem->release(MemSubsystem::kCdclClauseDb, accounted_bytes_);
+  budget_ = budget;
+  if (budget_ != nullptr && budget_->mem != nullptr)
+    budget_->mem->charge(MemSubsystem::kCdclClauseDb, accounted_bytes_);
+}
+
+void CdclSolver::charge_mem(std::uint64_t bytes) {
+  accounted_bytes_ += bytes;
+  if (budget_ != nullptr && budget_->mem != nullptr)
+    budget_->mem->charge(MemSubsystem::kCdclClauseDb, bytes);
+}
+
+void CdclSolver::release_mem(std::uint64_t bytes) {
+  SATPG_DCHECK(bytes <= accounted_bytes_);
+  accounted_bytes_ -= bytes;
+  if (budget_ != nullptr && budget_->mem != nullptr)
+    budget_->mem->release(MemSubsystem::kCdclClauseDb, bytes);
+}
+
 int CdclSolver::new_var(VarTag tag) {
   const int v = num_vars();
+  charge_mem(kVarBytes);
   assign_.push_back(-1);
   level_.push_back(0);
   reason_.push_back(-1);
@@ -81,6 +121,7 @@ void CdclSolver::add_clause(std::vector<CnfLit> lits) {
   }
   Clause c;
   c.lits = std::move(out);
+  charge_mem(clause_bytes(c));
   clauses_.push_back(std::move(c));
   attach(static_cast<int>(clauses_.size()) - 1);
 }
@@ -253,6 +294,9 @@ void CdclSolver::reduce_db() {
     return a < b;                  // then oldest first
   });
   const std::size_t kill = cand.size() / 2;
+  std::uint64_t reclaimed = 0;
+  for (std::size_t i = 0; i < kill; ++i)
+    reclaimed += clause_bytes(clauses_[static_cast<std::size_t>(cand[i])]);
   if (events_ != nullptr) {
     // Snapshot the live learned-clause LBD distribution before the kill —
     // the flight recorder's view of clause-quality at reduction time.
@@ -261,6 +305,7 @@ void CdclSolver::reduce_db() {
     e.at = budget_ != nullptr ? budget_->evals : 0;
     e.a = static_cast<std::int32_t>(kill);
     e.b = static_cast<std::int32_t>(live_learned_ - kill);
+    e.bytes = reclaimed;
     for (const Clause& c : clauses_) {
       if (!c.learned || c.deleted) continue;
       const std::size_t bucket =
@@ -270,12 +315,24 @@ void CdclSolver::reduce_db() {
     events_->push_back(std::move(e));
   }
   for (std::size_t i = 0; i < kill; ++i) {
-    clauses_[static_cast<std::size_t>(cand[i])].deleted = true;
+    Clause& c = clauses_[static_cast<std::size_t>(cand[i])];
+    c.deleted = true;
+    // Actually free the literal storage: every later pass skips deleted
+    // clauses before touching lits, and freeing here is what makes the
+    // reclaimed-bytes figure in the kDbReduce event real.
+    std::vector<CnfLit>().swap(c.lits);
     --live_learned_;
     ++stats_.deleted;
   }
+  release_mem(reclaimed);
   rebuild_watches();
-  reduce_limit_ += kReduceStep;
+  // Under memory pressure (budgeted run within a quarter of its limit),
+  // hold the reduction threshold at the base instead of letting the DB
+  // grow by another step — graceful degradation before the hard trip.
+  if (budget_ != nullptr && budget_->mem_pressure())
+    reduce_limit_ = kReduceBase;
+  else
+    reduce_limit_ += kReduceStep;
 }
 
 int CdclSolver::pick_branch_var() const {
@@ -313,9 +370,11 @@ void CdclSolver::charge_conflict(bool* out_abort) {
   props_uncharged_ = 0;
   publish_progress();
   // Exactly one external-abort poll per conflict keeps the check count a
-  // pure function of the search path (the replay contract).
+  // pure function of the search path (the replay contract). The memory
+  // trip joins it here: the tally's peak is itself path-pure, so a
+  // budgeted abort lands at the same conflict on every run.
   if (budget_->aborted_externally() || budget_->exhausted_backtracks() ||
-      budget_->exhausted_evals())
+      budget_->exhausted_evals() || budget_->mem_exceeded())
     *out_abort = true;
 }
 
@@ -372,6 +431,7 @@ SolveStatus CdclSolver::solve_under(const std::vector<CnfLit>& assumptions) {
         std::sort(lvls.begin(), lvls.end());
         c.lbd = static_cast<std::uint32_t>(
             std::unique(lvls.begin(), lvls.end()) - lvls.begin());
+        charge_mem(clause_bytes(c));
         clauses_.push_back(std::move(c));
         const int ci = static_cast<int>(clauses_.size()) - 1;
         attach(ci);

@@ -61,6 +61,9 @@ struct VarTag {
 class CdclSolver {
  public:
   CdclSolver() = default;
+  /// Releases every accounted byte back to the attached budget's MemTally
+  /// (the tally outlives the solver; attempt-end live bytes return to 0).
+  ~CdclSolver();
 
   /// Allocate a fresh variable; returns its index.
   int new_var(VarTag tag = {});
@@ -90,8 +93,11 @@ class CdclSolver {
   const SolverStats& stats() const { return stats_; }
 
   /// Attach the fault's cumulative budget (may be nullptr to detach). The
-  /// budget must outlive every solve() call.
-  void set_budget(PodemBudget* budget) { budget_ = budget; }
+  /// budget must outlive every solve() call — and the solver itself, which
+  /// returns its accounted bytes to the budget's MemTally on destruction.
+  /// Attach order is irrelevant for byte accounting: the already-accounted
+  /// backlog moves between tallies here.
+  void set_budget(PodemBudget* budget);
 
   /// Record decisions/conflicts into `ring` (observation only).
   void set_ring(DecisionRing* ring) { ring_ = ring; }
@@ -144,6 +150,17 @@ class CdclSolver {
   void charge_conflict(bool* out_abort);
   void publish_progress();
 
+  // Deterministic clause-DB byte accounting (base/memstats, subsystem
+  // cdcl_clause_db). Logical footprint only — element counts x element
+  // sizes plus the two watch entries — so the charge stream is a pure
+  // function of the clause stream, never of allocator behaviour.
+  static std::uint64_t clause_bytes(const Clause& c) {
+    return sizeof(Clause) + c.lits.size() * sizeof(CnfLit) +
+           2 * sizeof(int);
+  }
+  void charge_mem(std::uint64_t bytes);
+  void release_mem(std::uint64_t bytes);
+
   bool ok_ = true;
   std::vector<Clause> clauses_;
   std::vector<std::vector<int>> watches_;  ///< per literal: clause indices
@@ -172,6 +189,7 @@ class CdclSolver {
   std::size_t live_learned_ = 0;
 
   std::uint64_t props_uncharged_ = 0;
+  std::uint64_t accounted_bytes_ = 0;  ///< live bytes charged to the tally
   PodemBudget* budget_ = nullptr;
   DecisionRing* ring_ = nullptr;
   SearchEventList* events_ = nullptr;

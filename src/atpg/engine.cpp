@@ -189,6 +189,8 @@ AtpgEngine::JustifyOutcome AtpgEngine::justify(
 
   TimeFrameModel tfm(nl_, current_fault_, 1);
   tfm.attach_eval_counter(&budget.evals);
+  const MemScope tfm_mem(budget.mem, MemSubsystem::kTfmFrames,
+                         tfm.footprint_bytes());
   Podem podem(tfm, scoap_, /*allow_state_decisions=*/true,
               PodemGoal::kJustify, cube);
   // Snapshot-delta accounting around search()/resume(): the budget counters
@@ -248,6 +250,7 @@ AtpgEngine::JustifyOutcome AtpgEngine::justify(
         e.kind = SearchEventKind::kCubeExport;
         e.at = budget.evals;
         e.cube = key.to_string();
+        e.bytes = e.cube.size();
         events_buf_.push_back(std::move(e));
       }
     }
@@ -290,6 +293,17 @@ FaultAttempt AtpgEngine::generate(const Fault& fault) {
   budget.progress = progress_;
   if (ring_ != nullptr) ring_->reset();
   budget.ring = ring_;
+  attempt_mem_ = MemTally{};
+  budget.mem = mem_armed_ ? &attempt_mem_ : nullptr;
+  budget.mem_limit = mem_limit_;
+  // The capture ring is owned for the whole attempt; charged here and
+  // released before the tally is snapshotted into the attempt below.
+  const std::uint64_t ring_bytes =
+      budget.mem != nullptr && ring_ != nullptr
+          ? ring_->capacity() * sizeof(DecisionEvent)
+          : 0;
+  if (ring_bytes != 0)
+    budget.mem->charge(MemSubsystem::kDecisionRing, ring_bytes);
   const auto publish_phase = [&](SearchPhase p) {
     if (progress_ != nullptr)
       progress_->phase.store(static_cast<std::uint32_t>(p),
@@ -316,6 +330,8 @@ FaultAttempt AtpgEngine::generate(const Fault& fault) {
     publish_phase(SearchPhase::kWindow);
     TimeFrameModel tfm(nl_, fault, frames);
     tfm.attach_eval_counter(&budget.evals);
+    const MemScope tfm_mem(budget.mem, MemSubsystem::kTfmFrames,
+                           tfm.footprint_bytes());
     Podem podem(tfm, scoap_, allow_state, PodemGoal::kDetect);
     PodemStatus st = podem.search(budget);
     while (st == PodemStatus::kSuccess) {
@@ -384,6 +400,8 @@ FaultAttempt AtpgEngine::generate(const Fault& fault) {
     }
     TimeFrameModel tfm(nl_, fault, 1);
     tfm.attach_eval_counter(&budget.evals);
+    const MemScope tfm_mem(budget.mem, MemSubsystem::kTfmFrames,
+                           tfm.footprint_bytes());
     Podem podem(tfm, scoap_, /*allow_state=*/true,
                 PodemGoal::kDetectOrStore);
     const PodemStatus st = podem.search(budget);
@@ -412,13 +430,20 @@ FaultAttempt AtpgEngine::generate(const Fault& fault) {
                         soft_eval_cap_ < opts_.eval_limit &&
                         attempt.status == FaultStatus::kAborted &&
                         budget.exhausted_evals();
+  attempt.mem_capped = attempt.status == FaultStatus::kAborted &&
+                       budget.mem_exceeded();
+  if (ring_bytes != 0)
+    budget.mem->release(MemSubsystem::kDecisionRing, ring_bytes);
+  stats_.peak_bytes = attempt_mem_.peak;
+  attempt.mem = attempt_mem_;
   attempt.first_abort_check = budget.first_abort_check;
   if (record_events_) {
-    if (stats_.budget_exhausted) {
+    if (stats_.budget_exhausted || attempt.mem_capped) {
       SearchEvent e;
       e.kind = SearchEventKind::kBudgetAbort;
       e.a = budget.exhausted_evals() ? 1 : 0;
       e.b = budget.exhausted_backtracks() ? 1 : 0;
+      if (budget.mem_exceeded()) e.bytes = attempt_mem_.peak;
       e.at = budget.evals;
       events_buf_.push_back(std::move(e));
     }
@@ -467,6 +492,7 @@ void record_fault_stats(const FaultSearchStats& stats, FaultStatus status) {
   reg.counter("atpg.learn_misses").add(stats.learn_misses);
   reg.counter("atpg.learn_inserts").add(stats.learn_inserts);
   reg.counter("atpg.verify_rejects").add(stats.verify_rejects);
+  reg.histogram("atpg.peak_bytes_per_fault").record(stats.peak_bytes);
   // CDCL solver counters: only recorded when the attempt did SAT work, so
   // structural-engine runs keep their metric registry unchanged.
   if (stats.conflicts != 0 || stats.propagations != 0) {

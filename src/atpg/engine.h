@@ -135,6 +135,10 @@ struct FaultSearchStats {
   std::uint64_t learned_clauses = 0;  ///< clauses learned (pre-reduction)
   std::uint64_t cube_blocks = 0;      ///< blocking clauses imported
   std::uint64_t cube_exports = 0;     ///< unreachable cubes proven+exported
+  /// Peak simultaneous accounted bytes of this attempt (base/memstats;
+  /// zero when no tally was attached). Logical bytes are a pure function
+  /// of the search path, so the field is report-safe.
+  std::uint64_t peak_bytes = 0;
   bool budget_exhausted = false;    ///< ran out of evals or backtracks
   double wall_seconds = 0.0;        ///< wall clock; trace/debug only
   /// Justification effort split by state-cube validity (all zeros when the
@@ -150,6 +154,14 @@ struct FaultAttempt {
   /// defer mode) ran out — NOT the fault's real eval_limit. The driver
   /// requeues such faults for a full-budget retry.
   bool soft_capped = false;
+  /// The attempt tripped the deterministic memory budget
+  /// (--mem-budget-mb). The driver parks such faults and requeues them
+  /// with the budget lifted, mirroring the soft-cap defer path.
+  bool mem_capped = false;
+  /// Byte accounting of this attempt (base/memstats): per-subsystem
+  /// charges the search made, folded by the driver at its merge barrier in
+  /// unit/fault order. All-zero when accounting was not armed.
+  MemTally mem;
   /// 1-based decision-loop check index at which the wall-clock abort was
   /// first observed (0 = never). Recorded into search captures so replay
   /// can re-cut the search at the identical point (atpg/capture.h).
@@ -238,6 +250,19 @@ class AtpgEngine {
   /// (atpg/capture.h); the ring is reset at the start of every attempt.
   /// Observation only. Pass nullptr to detach.
   void set_decision_ring(DecisionRing* ring) { ring_ = ring; }
+
+  /// Arm per-attempt byte accounting (base/memstats) and/or a
+  /// deterministic memory budget. When `armed`, every generate() charges
+  /// its allocation-heavy structures into FaultAttempt::mem and reports
+  /// the attempt peak in FaultSearchStats::peak_bytes. `limit_bytes` > 0
+  /// additionally trips the search (status kAborted, mem_capped set) once
+  /// the attempt's peak accounted bytes reach the limit — checked at the
+  /// same deterministic decision-loop/conflict points as the eval budget.
+  /// Setting a limit implies accounting is armed.
+  void set_mem_accounting(bool armed, std::uint64_t limit_bytes) {
+    mem_armed_ = armed || limit_bytes != 0;
+    mem_limit_ = limit_bytes;
+  }
 
   /// Replay of wall-clock-aborted captures: force the external abort to be
   /// observed at the `check`-th decision-loop check (1-based; 0 = off).
@@ -335,6 +360,9 @@ class AtpgEngine {
   const std::atomic<bool>* abort_ = nullptr;
   std::uint64_t soft_eval_cap_ = 0;
   std::uint64_t abort_at_check_ = 0;
+  bool mem_armed_ = false;
+  std::uint64_t mem_limit_ = 0;
+  MemTally attempt_mem_;  ///< in-flight tally of the current generate()
   SearchProgress* progress_ = nullptr;
   DecisionRing* ring_ = nullptr;
   const StateValidityOracle* validity_ = nullptr;

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "base/json.h"
+#include "base/memstats.h"
 #include "base/metrics.h"
 #include "base/strutil.h"
 #include "base/threadpool.h"
@@ -137,6 +138,18 @@ std::size_t SharedLearningCache::size() const {
   return n;
 }
 
+std::uint64_t SharedLearningCache::logical_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    for (const auto& [key, e] : sh.map) {
+      n += key.size() + e.exporter.size() + sizeof(Entry);
+      for (const auto& v : e.prefix) n += v.size() * sizeof(V3);
+    }
+  }
+  return n;
+}
+
 // ---- driver -----------------------------------------------------------------
 
 namespace {
@@ -229,7 +242,8 @@ class AtpgMonitorSource final : public MonitorSource {
         "\"faults\": %llu, \"resolved\": %llu, \"detected\": %llu, "
         "\"redundant\": %llu, \"aborted\": %llu, \"coverage_pct\": %.3f, "
         "\"evals\": %llu, \"backtracks\": %llu, \"tests\": %llu, "
-        "\"deferred\": %llu, \"stuck_flagged\": %llu, \"inflight\": [",
+        "\"deferred\": %llu, \"stuck_flagged\": %llu, "
+        "\"mem_live_bytes\": %llu, \"peak_rss_kb\": %llu, \"inflight\": [",
         static_cast<unsigned long long>(seq), elapsed_s,
         run_phase_name(static_cast<RunPhase>(
             b.phase.load(std::memory_order_relaxed))),
@@ -239,7 +253,13 @@ class AtpgMonitorSource final : public MonitorSource {
         static_cast<double>(b.coverage_milli.load(
             std::memory_order_relaxed)) / 1000.0,
         ull(b.evals), ull(b.backtracks), ull(b.tests),
-        ull(b.deferred_parked), ull(b.stuck_flagged));
+        ull(b.deferred_parked), ull(b.stuck_flagged),
+        // Process-level truth rides the heartbeat stream ONLY: VmHWM and
+        // the racy registry live count are wall-clock-shaped and never
+        // enter a deterministic report (DESIGN.md §11).
+        static_cast<unsigned long long>(
+            MemStatsRegistry::global().live_bytes()),
+        static_cast<unsigned long long>(process_peak_rss_kb()));
     const double run_elapsed = std::chrono::duration<double>(
                                    std::chrono::steady_clock::now() - run_t0_)
                                    .count();
@@ -402,13 +422,20 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
             .count());
   };
 
-  // ---- watchdog / capture state ----
+  // ---- watchdog / capture / memory-budget state ----
   const bool wd = opts.watchdog.enabled();
   const bool defer = wd && opts.watchdog.defer;
+  // A budget arms per-attempt accounting even when the registry plane is
+  // off; mem-capped faults ride the same park-and-requeue machinery as
+  // watchdog deferral (and work without it).
+  const bool mem_budget = opts.mem_budget_bytes != 0;
+  const bool mem_armed = memstats_enabled() || mem_budget;
+  res.mem_budget_bytes = opts.mem_budget_bytes;
   std::vector<std::uint8_t> parked(faults.size(), 0);
   std::vector<std::uint8_t> requeued(faults.size(), 0);
   std::vector<std::uint8_t> tripped(faults.size(), 0);
   std::vector<std::uint8_t> was_deferred(faults.size(), 0);
+  std::vector<std::uint8_t> mem_parked(faults.size(), 0);
   std::vector<std::uint64_t> trip_evals(faults.size(), 0);
   const bool capturing = opts.capture.armed;
   const std::ptrdiff_t capture_target =
@@ -460,8 +487,14 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
     oracle = StateValidityOracle::build(nl);
     run.oracle = oracle.info();
   }
+  // The oracle's answer structures live for the rest of the run; charge
+  // them once, post-build, on the orchestrator (deterministic bytes).
+  const MemRegistryScope oracle_mem(
+      MemSubsystem::kBddOracle,
+      memstats_enabled() ? oracle.footprint_bytes() : 0);
   set_phase(RunPhase::kRounds);
   SharedLearningCache cache;
+  std::uint64_t cache_bytes_charged = 0;
   std::atomic<bool> abort{false};
   const bool have_deadline = opts.deadline_ms > 0;
   const auto deadline = t0 + std::chrono::milliseconds(opts.deadline_ms);
@@ -487,18 +520,20 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
     todo.clear();
     for (std::size_t i = 0; i < faults.size(); ++i)
       if (status[i] == S::kUndetected && !parked[i]) todo.push_back(i);
-    if (todo.empty() && defer) {
-      // Every non-deferred fault has settled: requeue the parked ones with
-      // the full original budget. A parked fault a sibling's test already
-      // dropped stays dropped; the rest get the exact attempt they would
-      // have had without deferral (fresh engine, fresh budget, no cap).
+    if (todo.empty() && (defer || mem_budget)) {
+      // Every non-parked fault has settled: requeue the parked ones with
+      // the full original budget (and the memory budget lifted). A parked
+      // fault a sibling's test already dropped stays dropped; the rest get
+      // the exact attempt they would have had without deferral/budget
+      // (fresh engine, fresh budget, no cap).
       for (std::size_t i = 0; i < faults.size(); ++i) {
         if (!parked[i]) continue;
         parked[i] = 0;
         if (status[i] != S::kUndetected) continue;
         requeued[i] = 1;
         todo.push_back(i);
-        ++res.deferred_requeued;
+        if (was_deferred[i]) ++res.deferred_requeued;
+        if (mem_parked[i]) ++res.mem_requeued;
       }
       if (board)
         board->deferred_parked.store(0, std::memory_order_relaxed);
@@ -532,6 +567,12 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
     if (defer)
       for (std::size_t k = 0; k < round_faults; ++k)
         round_capped[k] = requeued[todo[k]] ? 0 : 1;
+    // Same pre-parallel decision for the memory budget: requeued faults
+    // run with the budget lifted.
+    std::vector<std::uint8_t> round_mem_limited(round_faults, 0);
+    if (mem_budget)
+      for (std::size_t k = 0; k < round_faults; ++k)
+        round_mem_limited[k] = requeued[todo[k]] ? 0 : 1;
 
     const auto run_unit = [&](std::size_t u, unsigned w) {
       TraceSpan span("atpg.unit", "atpg");
@@ -571,6 +612,9 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
         const std::uint64_t cap =
             round_capped[lo + k] ? opts.watchdog.stuck_evals : 0;
         engine.set_soft_eval_cap(cap);
+        engine.set_mem_accounting(
+            mem_armed,
+            round_mem_limited[lo + k] ? opts.mem_budget_bytes : 0);
         if (cell) cell->begin_fault(fi + 1, now_us());
         out.attempts[k] = engine.generate(faults[fi]);
         if (cell) cell->end_fault();
@@ -628,6 +672,10 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
         const bool ran =
             !out.deadline_skipped[k] && !out.budget_skipped[k];
         if (ran) {
+          // Speculative attempts fold too — the bytes were really spent —
+          // keeping the tally a function of the fixed round structure.
+          res.mem.add(attempt.mem);
+          if (attempt.mem_capped) ++res.mem_tripped;
           run.implications += attempt.stats.implications;
           run.window_growths += attempt.stats.window_growths;
           run.justify_calls += attempt.stats.justify_calls;
@@ -667,12 +715,16 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
           status[i] = S::kAborted;
           continue;
         }
-        if (defer && attempt.soft_capped && !requeued[i]) {
+        if (((defer && attempt.soft_capped) ||
+             (mem_budget && attempt.mem_capped)) &&
+            !requeued[i]) {
           // Park: the fault stays undetected (still droppable by sibling
           // tests) and re-enters the queue with the full budget once the
-          // non-deferred faults have drained.
+          // non-parked faults have drained. Memory-budget parks use the
+          // same machinery and work with the watchdog off.
           parked[i] = 1;
-          was_deferred[i] = 1;
+          if (defer && attempt.soft_capped) was_deferred[i] = 1;
+          if (mem_budget && attempt.mem_capped) mem_parked[i] = 1;
           if (board)
             board->deferred_parked.fetch_add(1, std::memory_order_relaxed);
           continue;
@@ -735,6 +787,20 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
       board->coverage_milli.store(
           static_cast<std::uint64_t>(current_fe() * 1000.0),
           std::memory_order_relaxed);
+    }
+
+    // Shared-cube accounting happens HERE, at the barrier, never inside
+    // publish(): the committed cache content at a round boundary is
+    // deterministic (and monotone — epochs only grow), while the publish
+    // race inside a round is not. One growth charge per round keeps the
+    // registry row thread-count invariant.
+    if (learning && memstats_enabled()) {
+      const std::uint64_t b = cache.logical_bytes();
+      if (b > cache_bytes_charged) {
+        MemStatsRegistry::global().charge(MemSubsystem::kSharedCubes,
+                                          b - cache_bytes_charged);
+        cache_bytes_charged = b;
+      }
     }
   }
 
@@ -799,6 +865,12 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
     run.states_traversed = std::move(fr.good_states);
   }
   set_phase(RunPhase::kDone);
+  // Fold the process-global registry plane (fsim arenas, wide lanes, BDD
+  // oracle, shared cubes) into the per-attempt plane folded at the merge
+  // barriers. The two planes touch disjoint subsystems, so adding the
+  // snapshot never double-counts a byte. Taken after the final replay so
+  // its arena charge is included.
+  if (memstats_enabled()) res.mem.add(MemStatsRegistry::global().snapshot());
   // Stop (join + final heartbeat) before returning so the stream is
   // complete before the caller writes any report.
   if (monitor) {

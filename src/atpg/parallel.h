@@ -99,6 +99,14 @@ class SharedLearningCache {
   /// Entries currently stored (any epoch). For stats/tests.
   std::size_t size() const;
 
+  /// Logical footprint of every stored entry (keys, prefixes, provenance
+  /// tags, fixed per-entry overhead). Deterministic at round barriers: the
+  /// committed cache content never depends on scheduling, and cross-round
+  /// replacement cannot happen (epochs only grow), so the orchestrator can
+  /// charge round-over-round growth under base/memstats subsystem
+  /// shared_cubes without breaking thread invariance.
+  std::uint64_t logical_bytes() const;
+
  private:
   struct Entry {
     std::vector<std::vector<V3>> prefix;  ///< meaningful when ok
@@ -182,6 +190,14 @@ struct ParallelAtpgOptions {
   RunMonitorOptions monitor;
   WatchdogOptions watchdog;
   CaptureOptions capture;
+  /// Deterministic memory budget in accounted bytes per fault attempt
+  /// (0 = none). An attempt whose PEAK accounted bytes reach the limit
+  /// aborts (mem_capped); the driver parks such faults — exactly like the
+  /// watchdog's defer path, and independent of it — and requeues them with
+  /// the budget lifted once everything else settles, so final coverage is
+  /// bit-identical to the unbudgeted run. Setting a budget arms byte
+  /// accounting even when memstats are otherwise off.
+  std::uint64_t mem_budget_bytes = 0;
 };
 
 struct ParallelAtpgResult {
@@ -227,6 +243,17 @@ struct ParallelAtpgResult {
   /// Faults that were parked by defer mode and later re-attempted with the
   /// full budget.
   std::size_t deferred_requeued = 0;
+  /// Folded byte accounting (base/memstats): attempt tallies added at the
+  /// merge barrier in unit/fault order, plus the global registry snapshot
+  /// (fsim arenas, wide lanes, BDD oracle, shared cubes) taken at run end.
+  /// Byte-identical at any thread count; all-zero when never armed.
+  MemTally mem;
+  /// The memory budget this run enforced (bytes; 0 = none).
+  std::uint64_t mem_budget_bytes = 0;
+  /// Committed attempts that tripped the memory budget (deterministic).
+  std::size_t mem_tripped = 0;
+  /// Faults parked by the budget and re-attempted with the budget lifted.
+  std::size_t mem_requeued = 0;
   /// First triggered capture (requested fault, watchdog trip, or deadline
   /// abort), in deterministic (round, unit, fault) order — except deadline
   /// captures, which are inherently timing-dependent.

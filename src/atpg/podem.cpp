@@ -327,7 +327,7 @@ PodemStatus Podem::run(PodemBudget& budget) {
   for (;;) {
     publish_progress(budget);
     if (budget.exhausted_evals() || budget.exhausted_backtracks() ||
-        budget.aborted_externally())
+        budget.mem_exceeded() || budget.aborted_externally())
       return PodemStatus::kAborted;
     if (goal_met()) return PodemStatus::kSuccess;
     std::optional<Objective> obj;

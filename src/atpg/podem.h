@@ -28,6 +28,7 @@
 
 #include "atpg/scoap.h"
 #include "atpg/tfm.h"
+#include "base/memstats.h"
 
 namespace satpg {
 
@@ -113,6 +114,17 @@ struct PodemBudget {
   std::uint64_t abort_checks = 0;
   std::uint64_t first_abort_check = 0;
   std::uint64_t abort_at_check = 0;
+  /// Byte accounting for this fault (base/memstats): every phase charges
+  /// its allocation-heavy structures here (TFM frames, CNF encoder, CDCL
+  /// clause DB, decision ring). nullptr = accounting off — the pointer
+  /// test is the entire disabled-mode cost.
+  MemTally* mem = nullptr;
+  /// Deterministic memory budget in accounted bytes (0 = unlimited). The
+  /// trip condition compares the attempt's PEAK accounted bytes — a
+  /// monotone pure function of the search path — at the same
+  /// decision-loop/conflict checkpoints the eval budget uses, so a
+  /// budgeted run degrades identically at any thread count.
+  std::uint64_t mem_limit = 0;
 
   /// THE conversion from CDCL work to the budget's common currency — every
   /// engine kind draws on the same eval_limit/backtrack_limit pair, so the
@@ -132,6 +144,15 @@ struct PodemBudget {
 
   bool exhausted_backtracks() const { return backtracks >= max_backtracks; }
   bool exhausted_evals() const { return evals >= max_evals; }
+  bool mem_exceeded() const {
+    return mem_limit != 0 && mem != nullptr && mem->peak >= mem_limit;
+  }
+  /// Early-warning threshold (3/4 of the limit): the CDCL engine responds
+  /// by tightening its clause-DB reduction schedule before the hard trip.
+  bool mem_pressure() const {
+    return mem_limit != 0 && mem != nullptr &&
+           mem->peak >= mem_limit - mem_limit / 4;
+  }
   bool aborted_externally() {
     ++abort_checks;
     if (abort_at_check != 0 && abort_checks >= abort_at_check) return true;

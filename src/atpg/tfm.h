@@ -71,6 +71,15 @@ class TimeFrameModel {
   /// metric ("CPU seconds" proxy).
   std::uint64_t evals() const { return evals_; }
 
+  /// Logical footprint of the window's dense arrays (element counts x
+  /// element sizes, fixed at construction) — the deterministic byte charge
+  /// a search phase records against base/memstats.
+  std::uint64_t footprint_bytes() const {
+    return values_.size() * sizeof(V5) + decisions_.size() * sizeof(V3) +
+           topo_pos_.size() * sizeof(int) + by_topo_.size() * sizeof(NodeId) +
+           in_queue_.size() * sizeof(char);
+  }
+
   /// Mirror every evaluation into an external counter as well (e.g. the
   /// fault-cumulative PodemBudget::evals, which outlives any one model).
   /// Pass nullptr to detach. The counter must outlive the attachment.

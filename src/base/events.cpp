@@ -35,6 +35,10 @@ void append_event_json(std::string* out, const SearchEvent& e) {
     out->append(", \"b\": ");
     out->append(std::to_string(e.b));
   }
+  if (e.bytes != 0) {
+    out->append(", \"bytes\": ");
+    out->append(std::to_string(e.bytes));
+  }
   if (!e.cube.empty()) {
     out->append(", \"cube\": \"");
     out->append(json_escape(e.cube));

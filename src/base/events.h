@@ -36,8 +36,8 @@ enum class SearchEventKind : std::uint8_t {
   kBudgetAbort,       ///< a = 1 evals exhausted, b = 1 backtracks exhausted
   kExternalAbort,     ///< deadline/watchdog abort (wall-tainted runs only)
   kRestart,           ///< a = restart ordinal (CDCL)
-  kDbReduce,          ///< a = clauses killed, b = live after; lbd = pre-reduce histogram
-  kCubeExport,        ///< cube = proven-unreachable state cube published for sharing
+  kDbReduce,          ///< a = clauses killed, b = live after; bytes = reclaimed; lbd = pre-reduce histogram
+  kCubeExport,        ///< cube = proven-unreachable state cube published for sharing; bytes = cube footprint
   kCubeImport,        ///< cube, src = exporting fault, a = export epoch (0 = unit-local)
   kLearnHit,          ///< a = depth, b = 1 ok-cache / 0 fail-cache, cube, src = exporter
 };
@@ -51,6 +51,7 @@ struct SearchEvent {
   std::int32_t a = 0;
   std::int32_t b = 0;
   std::uint64_t at = 0;
+  std::uint64_t bytes = 0;  ///< accounted bytes (memstats), 0 = not applicable
   std::string cube;  ///< state-cube key text, when applicable
   std::string src;   ///< exporting fault name, when applicable
   std::array<std::uint32_t, kLbdHistBuckets> lbd{};  ///< kDbReduce only

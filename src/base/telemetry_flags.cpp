@@ -1,6 +1,7 @@
 #include "base/telemetry_flags.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -8,6 +9,7 @@
 #include <ostream>
 
 #include "base/json.h"
+#include "base/memstats.h"
 #include "base/metrics.h"
 #include "base/trace.h"
 
@@ -21,6 +23,26 @@ const char* flag_value(const char* arg, const char* prefix) {
 }
 
 }  // namespace
+
+bool parse_positive_u64(const char* s, std::uint64_t* out) {
+  if (s == nullptr || *s == '\0' || *s == '-' || *s == '+') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0' || v == 0) return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parse_positive_double(const char* s, double* out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0' || !(v > 0.0)) return false;
+  *out = v;
+  return true;
+}
 
 bool TelemetryFlags::parse(const char* arg) {
   if (const char* v = flag_value(arg, "--metrics-json=")) {
@@ -40,8 +62,8 @@ bool TelemetryFlags::parse(const char* arg) {
     return true;
   }
   if (const char* v = flag_value(arg, "--heartbeat-interval-ms=")) {
-    heartbeat_interval_ms =
-        std::max<long long>(1, std::atoll(v));
+    if (!parse_positive_u64(v, &heartbeat_interval_ms) && error.empty())
+      error = arg;
     return true;
   }
   if (std::strcmp(arg, "--progress") == 0) {
@@ -55,6 +77,8 @@ void TelemetryFlags::arm() const {
   if (metrics_enabled()) {
     MetricsRegistry::global().reset();
     set_metrics_enabled(true);
+    MemStatsRegistry::global().reset();
+    set_memstats_enabled(true);
   }
   if (trace_enabled()) TraceRecorder::global().start();
 }

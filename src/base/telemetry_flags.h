@@ -28,6 +28,13 @@
 
 namespace satpg {
 
+/// Strict numeric flag parsing: the whole value must be a decimal number
+/// with `*out > 0` — anything else (empty, trailing junk, zero, negative)
+/// returns false so the caller can exit 2 with usage instead of silently
+/// clamping a typo into a real run.
+bool parse_positive_u64(const char* s, std::uint64_t* out);
+bool parse_positive_double(const char* s, double* out);
+
 struct TelemetryFlags {
   std::string metrics_json;    ///< empty = metrics disabled
   std::string events_json;     ///< empty = flight recorder disabled
@@ -35,6 +42,10 @@ struct TelemetryFlags {
   std::string heartbeat_json;  ///< empty = no heartbeat stream
   bool progress = false;       ///< live progress lines on stderr
   std::uint64_t heartbeat_interval_ms = 500;
+  /// First flag whose value failed strict validation ("" = all valid).
+  /// parse() still consumes such a flag; callers must check error after
+  /// their flag loop and exit 2 with usage.
+  std::string error;
 
   /// Consume one of the telemetry flags above. Returns false when `arg` is
   /// none of them (caller keeps parsing its own flags).
@@ -56,8 +67,9 @@ struct TelemetryFlags {
     return opts;
   }
 
-  /// Reset + enable the metrics registry and/or start the trace recorder,
-  /// as requested by the parsed flags. Call once, before the measured work.
+  /// Reset + enable the metrics and memstats registries and/or start the
+  /// trace recorder, as requested by the parsed flags. Call once, before
+  /// the measured work.
   void arm() const;
 
   /// Stop the recorder and write trace_json. Returns false (after printing

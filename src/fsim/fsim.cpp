@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "base/memstats.h"
 #include "base/metrics.h"
 #include "base/threadpool.h"
 #include "base/trace.h"
@@ -188,6 +189,21 @@ struct FsimArena {
     prepared = true;
   }
 };
+
+// Logical footprint of ONE prepared arena — a pure function of the
+// netlist, mirroring FsimArena::prepare element for element. The registry
+// is charged this once per simulation call regardless of worker count, so
+// the accounted bytes are thread-count invariant.
+std::uint64_t arena_logical_bytes(const Netlist& nl) {
+  std::size_t max_fanins = 1;
+  for (std::size_t i = 0; i < nl.num_nodes(); ++i)
+    max_fanins =
+        std::max(max_fanins, nl.node(static_cast<NodeId>(i)).fanins.size());
+  return nl.num_nodes() *
+             (sizeof(PV) + sizeof(std::uint8_t) + sizeof(std::int32_t)) +
+         nl.num_dffs() * sizeof(PV) + 63 * sizeof(FsimArena::Inject) +
+         max_fanins * (sizeof(PV) + sizeof(V3)) + (nl.num_nodes() + 7) / 8;
+}
 
 // One 63-fault batch simulated against one sequence, restricted to the
 // union of the batch's fault-site fanout cones. Nodes outside the cone are
@@ -414,6 +430,11 @@ FsimResult run_fault_simulation(const Netlist& nl,
       (opts.engine == FsimEngine::kAuto && sequences.size() >= 2);
   if (use_wide)
     return fsim_wide::run_wide(nl, faults, sequences, opts, max_workers);
+
+  // One arena's footprint for the duration of the call (never x workers).
+  const MemRegistryScope arena_mem(
+      MemSubsystem::kFsimArena,
+      memstats_enabled() ? arena_logical_bytes(nl) : 0);
 
   std::vector<std::uint8_t> detected(faults.size(), 0);
   std::vector<std::uint8_t> newly(faults.size(), 0);

@@ -80,6 +80,10 @@ struct FsimOptions {
 /// is compiled in and the CPU supports it (kScalar/kAuto always can).
 bool fsim_wide_tier_usable(SimdTier tier);
 
+/// The widest tier whose kernel this BINARY contains, ignoring what the
+/// running CPU supports (build provenance — harness/build_info).
+SimdTier fsim_wide_widest_compiled_tier();
+
 /// The tier run_fault_simulation's wide engine would actually execute for
 /// a request of `tier` (applies SATPG_FORCE_SCALAR, resolves kAuto to the
 /// widest usable tier).

@@ -27,6 +27,7 @@
 #include <cstring>
 
 #include "base/cpu.h"
+#include "base/memstats.h"
 #include "base/metrics.h"
 #include "base/threadpool.h"
 #include "fsim/wide_driver.h"
@@ -58,6 +59,12 @@ fsim_wide::KernelFn tier_kernel(SimdTier t) {
 bool fsim_wide_tier_usable(SimdTier tier) {
   if (tier == SimdTier::kAuto || tier == SimdTier::kScalar) return true;
   return tier_kernel(tier) != nullptr && simd_tier_supported(tier);
+}
+
+SimdTier fsim_wide_widest_compiled_tier() {
+  for (SimdTier t : {SimdTier::kAvx512, SimdTier::kAvx2, SimdTier::kSse2})
+    if (tier_kernel(t) != nullptr) return t;
+  return SimdTier::kScalar;
 }
 
 SimdTier fsim_wide_resolve_tier(SimdTier tier) {
@@ -269,6 +276,25 @@ struct WideArena {
   }
 };
 
+/// Logical footprint of one prepared WideArena plus the group-good image
+/// at its largest (frames = longest sequence) — a pure function of
+/// (netlist, sequences), charged once per run_wide call regardless of
+/// worker count so the accounted bytes are thread-count invariant. The
+/// per-batch id lists are rebuilt in place from prepare()-sized storage
+/// and are covered by the node-indexed terms.
+std::uint64_t wide_logical_bytes(const Netlist& nl, const Topo& tp,
+                                 std::size_t max_frames) {
+  const std::uint64_t n = nl.num_nodes();
+  const std::uint64_t arena =
+      n * (sizeof(PVW) + 2 * sizeof(std::uint8_t) + sizeof(std::int32_t)) +
+      nl.num_dffs() * sizeof(PVW) +
+      tp.max_fanins * (sizeof(PVW) + sizeof(const PVW*) + sizeof(V3)) +
+      63 * sizeof(WInject) + (n + 7) / 8;
+  const std::uint64_t group = max_frames * (2 * n + 1) +
+                              (n + nl.num_dffs()) * sizeof(PV);
+  return arena + group;
+}
+
 /// One (group, batch): build the cone-restricted flattened view, run the
 /// kernel over all frames, then unpack the per-fault 8-bit lane masks.
 /// Each batch owns disjoint fault indices, so concurrent batches never
@@ -409,6 +435,17 @@ FsimResult run_wide(const Netlist& nl, const std::vector<Fault>& faults,
 
   Topo tp;
   build_topo(nl, tp);
+
+  // One arena + one group image for the duration of the call (never
+  // x workers, never x groups).
+  std::uint64_t wide_bytes = 0;
+  if (memstats_enabled()) {
+    std::size_t max_frames = 0;
+    for (const auto& s : sequences)
+      max_frames = std::max(max_frames, s.size());
+    wide_bytes = wide_logical_bytes(nl, tp, max_frames);
+  }
+  const MemRegistryScope lanes_mem(MemSubsystem::kFsimWideLanes, wide_bytes);
 
   const std::size_t num_groups = (sequences.size() + kLanes - 1) / kLanes;
   if (metrics_enabled()) {

@@ -1,0 +1,75 @@
+#include "harness/build_info.h"
+
+#include <ostream>
+
+#include "base/json.h"
+#include "base/strutil.h"
+#include "fsim/fsim.h"
+
+namespace satpg {
+
+namespace {
+
+BuildInfo detect() {
+  BuildInfo info;
+#if defined(__clang__)
+  info.compiler = "clang";
+  info.compiler_version = strprintf("%d.%d.%d", __clang_major__,
+                                    __clang_minor__, __clang_patchlevel__);
+#elif defined(__GNUC__)
+  info.compiler = "gcc";
+  info.compiler_version =
+      strprintf("%d.%d.%d", __GNUC__, __GNUC_MINOR__, __GNUC_PATCHLEVEL__);
+#else
+  info.compiler = "unknown";
+  info.compiler_version = "unknown";
+#endif
+
+#if defined(SATPG_BUILD_TYPE)
+  info.build_type = SATPG_BUILD_TYPE;
+  if (info.build_type.empty()) info.build_type = "unknown";
+#else
+  info.build_type = "unknown";
+#endif
+
+  // GCC defines __SANITIZE_*__; clang exposes the same facts through
+  // __has_feature.
+  info.sanitizer = "none";
+#if defined(__SANITIZE_ADDRESS__)
+  info.sanitizer = "address";
+#elif defined(__SANITIZE_THREAD__)
+  info.sanitizer = "thread";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  info.sanitizer = "address";
+#elif __has_feature(thread_sanitizer)
+  info.sanitizer = "thread";
+#endif
+#endif
+
+  info.simd_compiled = simd_tier_name(fsim_wide_widest_compiled_tier());
+  info.simd_dispatched =
+      simd_tier_name(fsim_wide_resolve_tier(SimdTier::kAuto));
+  return info;
+}
+
+}  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo info = detect();
+  return info;
+}
+
+void write_build_info_json(std::ostream& os, const BuildInfo& info,
+                           int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  os << "{\"compiler\": \"" << json_escape(info.compiler)
+     << "\", \"compiler_version\": \"" << json_escape(info.compiler_version)
+     << "\", \"build_type\": \"" << json_escape(info.build_type)
+     << "\",\n" << pad << " \"sanitizer\": \"" << json_escape(info.sanitizer)
+     << "\", \"simd_compiled\": \"" << json_escape(info.simd_compiled)
+     << "\", \"simd_dispatched\": \"" << json_escape(info.simd_dispatched)
+     << "\"}";
+}
+
+}  // namespace satpg

@@ -1,0 +1,35 @@
+// Build provenance for reports (DESIGN.md §11): which compiler, build
+// type, sanitizer, and SIMD tier produced a given artifact. Two runs that
+// disagree on any of these are not comparable byte-for-byte at the
+// performance level even when their deterministic result JSON matches, so
+// every report carries this block and `satpg diff` surfaces mismatches
+// instead of silently comparing apples to oranges.
+//
+// Everything here is fixed at compile time except the dispatched SIMD
+// tier, which is the one-time CPUID resolution — stable for the life of
+// the process, so the block is still deterministic per (binary, machine).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace satpg {
+
+struct BuildInfo {
+  std::string compiler;        ///< "gcc" / "clang" / "unknown"
+  std::string compiler_version;
+  std::string build_type;      ///< CMAKE_BUILD_TYPE, "unknown" if not baked
+  std::string sanitizer;       ///< "none" / "address" / "thread"
+  std::string simd_compiled;   ///< widest wide-fsim kernel in the binary
+  std::string simd_dispatched; ///< tier the running CPU actually selects
+};
+
+/// The running binary's provenance (cached after the first call).
+const BuildInfo& build_info();
+
+/// Writes the "build_info" JSON object (no trailing newline), keys in
+/// fixed order. `indent` spaces prefix the closing brace's line.
+void write_build_info_json(std::ostream& os, const BuildInfo& info,
+                           int indent);
+
+}  // namespace satpg

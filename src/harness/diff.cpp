@@ -48,6 +48,19 @@ bool parse_run_report(const std::string& json_text, RunReport* out,
     r.oracle_mode = a->str_or("oracle", "");
     r.density = a->num_or("density", -1.0);
   }
+  if (const JsonValue* bi = root.find("build_info"))
+    r.build_line = strprintf(
+        "%s %s %s san=%s simd=%s/%s", bi->str_or("compiler", "?").c_str(),
+        bi->str_or("compiler_version", "?").c_str(),
+        bi->str_or("build_type", "?").c_str(),
+        bi->str_or("sanitizer", "?").c_str(),
+        bi->str_or("simd_compiled", "?").c_str(),
+        bi->str_or("simd_dispatched", "?").c_str());
+  if (const JsonValue* mem = root.find("memory"))
+    if (const JsonValue* tot = mem->find("total")) {
+      r.mem_peak_bytes = tot->uint_or("peak", 0);
+      r.mem_allocated_bytes = tot->uint_or("allocated", 0);
+    }
   const JsonValue* s = root.find("summary");
   if (s == nullptr || !s->is_object()) {
     if (error) *error = "report lacks a summary object";
@@ -175,7 +188,26 @@ void write_run_diff(std::ostream& os, const RunReport& a, const RunReport& b,
   summary.add_row({"density",
                    a.density < 0 ? "-" : format_density(a.density),
                    b.density < 0 ? "-" : format_density(b.density), "-"});
+  summary.add_row({"peak mem bytes",
+                   strprintf("%llu", static_cast<unsigned long long>(
+                                         a.mem_peak_bytes)),
+                   strprintf("%llu", static_cast<unsigned long long>(
+                                         b.mem_peak_bytes)),
+                   fmt_ratio(ratio_of(b.mem_peak_bytes, a.mem_peak_bytes))});
   os << summary.to_string() << "\n";
+
+  // Build provenance: performance-level comparisons across differing
+  // builds are apples to oranges — say so instead of leaving it implicit.
+  if (!a.build_line.empty() || !b.build_line.empty()) {
+    Table build({"build", ""});
+    build.add_row({"baseline", a.build_line.empty() ? "-" : a.build_line});
+    build.add_row({"candidate", b.build_line.empty() ? "-" : b.build_line});
+    os << build.to_string();
+    if (a.build_line != b.build_line)
+      os << "NOTE: build_info differs — effort/memory deltas may reflect "
+            "the build, not the change\n";
+    os << "\n";
+  }
 
   if (!d.regressions.empty()) {
     os << "top effort regressions (evals, baseline -> candidate):\n";

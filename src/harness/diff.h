@@ -1,9 +1,9 @@
 // Deterministic differ over archived atpg_run reports.
 //
-// parse_run_report loads any satpg.atpg_run.v1-v5 report into a flat struct
+// parse_run_report loads any satpg.atpg_run.v1-v6 report into a flat struct
 // (v1 reports simply have zero attribution fields, pre-v4 reports zero
-// cdcl solver counters, pre-v5 reports no cube provenance); diff_runs
-// computes
+// cdcl solver counters, pre-v5 reports no cube provenance, pre-v6 reports
+// no build_info or memory totals); diff_runs computes
 // coverage/effort/per-fault deltas, ranked regressions, and the
 // invalid-state-fraction scatter the paper's Figure 3 mechanism predicts;
 // write_run_diff renders everything as aligned text. All of it is a pure
@@ -38,6 +38,14 @@ struct RunReport {
   double effort_invalid_frac = 0.0;
   std::string oracle_mode;  ///< "exact"/"superset"/"disabled"/"" (v1)
   double density = -1.0;    ///< -1 when unknown
+  /// v6 build provenance, flattened to one comparable line
+  /// ("gcc 13.2.0 Release san=none simd=avx2/avx2"); "" pre-v6. Two runs
+  /// whose lines differ are perf-incomparable; write_run_diff flags them.
+  std::string build_line;
+  /// v6 memory block totals (0 pre-v6): the sum-of-subsystem-peaks bound
+  /// and cumulative allocated logical bytes.
+  std::uint64_t mem_peak_bytes = 0;
+  std::uint64_t mem_allocated_bytes = 0;
 
   struct PerFault {
     std::string name;

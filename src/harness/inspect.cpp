@@ -22,6 +22,7 @@ struct EventRec {
   std::uint64_t at = 0;
   std::int64_t a = 0;
   std::int64_t b = 0;
+  std::uint64_t bytes = 0;  ///< v6 byte annotation (db_reduce reclaimed, …)
   std::string cube;
   std::string src;
   std::vector<std::uint64_t> lbd;
@@ -36,6 +37,7 @@ struct FaultRec {
   std::uint64_t backtracks = 0;
   double invalid_frac = 0.0;
   std::uint64_t cube_exports = 0;
+  std::uint64_t peak_bytes = 0;  ///< v6 reports; 0 before
   std::vector<EventRec> events;  ///< event-log sources only
   struct Source {
     std::string from;
@@ -50,6 +52,15 @@ struct ExporterRow {
   std::uint64_t cubes = 0;
   std::uint64_t beneficiaries = 0;
   std::uint64_t hits = 0;
+};
+
+/// One subsystem row of a v6 report's "memory" block.
+struct MemRow {
+  std::string name;
+  std::uint64_t live = 0;
+  std::uint64_t peak = 0;
+  std::uint64_t allocated = 0;
+  std::uint64_t allocs = 0;
 };
 
 /// Either artifact, normalized. `is_events` tells which one it was.
@@ -68,6 +79,16 @@ struct Doc {
   double fault_coverage = 0.0;
   double fault_efficiency = 0.0;
   std::uint64_t evals = 0;
+  // v6 memory block (empty rows = report predates it / event log).
+  bool has_memory = false;
+  std::vector<MemRow> memory;          ///< writer's sorted-name order
+  std::uint64_t mem_total_live = 0;
+  std::uint64_t mem_total_peak = 0;    ///< sum-of-subsystem-peaks bound
+  std::uint64_t mem_total_allocated = 0;
+  std::uint64_t mem_budget = 0;        ///< watchdog.memory: bytes, 0 = off
+  std::uint64_t mem_tripped = 0;
+  std::uint64_t mem_requeued = 0;
+  std::string mem_verdict;             ///< "off" / "clean" / "degraded"
 };
 
 std::string fmt_u64(std::uint64_t v) {
@@ -79,6 +100,7 @@ void parse_event(const JsonValue& v, EventRec* e) {
   e->at = v.uint_or("at", 0);
   e->a = static_cast<std::int64_t>(v.num_or("a", 0.0));
   e->b = static_cast<std::int64_t>(v.num_or("b", 0.0));
+  e->bytes = v.uint_or("bytes", 0);
   e->cube = v.str_or("cube", "");
   e->src = v.str_or("src", "");
   if (const JsonValue* lbd = v.find("lbd"); lbd && lbd->is_array())
@@ -214,6 +236,7 @@ bool parse_report_doc(const JsonValue& root, Doc* doc, std::string* error) {
       f.backtracks = v.uint_or("backtracks", 0);
       f.invalid_frac = v.num_or("effort_invalid_frac", 0.0);
       f.cube_exports = v.uint_or("cube_exports", 0);
+      f.peak_bytes = v.uint_or("peak_bytes", 0);
       if (const JsonValue* cs = v.find("cube_sources"); cs && cs->is_array())
         for (const JsonValue& s : cs->array())
           f.sources.push_back({s.str_or("from", ""), s.uint_or("epoch", 0),
@@ -241,6 +264,34 @@ bool parse_report_doc(const JsonValue& root, Doc* doc, std::string* error) {
   } else {
     derive_provenance(doc);  // pre-v5 reports: nothing to derive from
   }
+
+  // v6: per-subsystem byte accounting + the watchdog's memory verdict.
+  if (const JsonValue* mem = root.find("memory"); mem && mem->is_object()) {
+    doc->has_memory = true;
+    if (const JsonValue* subs = mem->find("subsystems");
+        subs && subs->is_object())
+      for (const auto& [name, v] : subs->members()) {
+        MemRow row;
+        row.name = name;
+        row.live = v.uint_or("live", 0);
+        row.peak = v.uint_or("peak", 0);
+        row.allocated = v.uint_or("allocated", 0);
+        row.allocs = v.uint_or("allocs", 0);
+        doc->memory.push_back(std::move(row));
+      }
+    if (const JsonValue* tot = mem->find("total")) {
+      doc->mem_total_live = tot->uint_or("live", 0);
+      doc->mem_total_peak = tot->uint_or("peak", 0);
+      doc->mem_total_allocated = tot->uint_or("allocated", 0);
+    }
+  }
+  if (const JsonValue* wd = root.find("watchdog"))
+    if (const JsonValue* wm = wd->find("memory")) {
+      doc->mem_budget = wm->uint_or("budget", 0);
+      doc->mem_tripped = wm->uint_or("tripped", 0);
+      doc->mem_requeued = wm->uint_or("requeued", 0);
+      doc->mem_verdict = wm->str_or("verdict", "");
+    }
   return true;
 }
 
@@ -303,10 +354,13 @@ std::string event_detail(const EventRec& e) {
                      e.b == 1 ? "ok" : (e.b == 2 ? "invalid" : "fail"));
   if (e.k == "redundancy_verdict")
     return e.b == 1 ? "redundant" : "not-redundant";
-  if (e.k == "budget_abort")
-    return strprintf("evals_exhausted=%lld backtracks_exhausted=%lld",
-                     static_cast<long long>(e.a),
-                     static_cast<long long>(e.b));
+  if (e.k == "budget_abort") {
+    std::string s =
+        strprintf("evals_exhausted=%lld backtracks_exhausted=%lld",
+                  static_cast<long long>(e.a), static_cast<long long>(e.b));
+    if (e.bytes != 0) s += strprintf(" peak_bytes=%s", fmt_u64(e.bytes).c_str());
+    return s;
+  }
   if (e.k == "restart")
     return strprintf("n=%lld", static_cast<long long>(e.a));
   if (e.k == "db_reduce") {
@@ -315,7 +369,10 @@ std::string event_detail(const EventRec& e) {
                               static_cast<long long>(e.b));
     for (std::size_t i = 0; i < e.lbd.size(); ++i)
       s += (i == 0 ? "" : " ") + fmt_u64(e.lbd[i]);
-    return s + "]";
+    s += "]";
+    if (e.bytes != 0)
+      s += strprintf(" reclaimed=%s", fmt_u64(e.bytes).c_str());
+    return s;
   }
   if (e.k == "cube_export") return strprintf("cube=%s", e.cube.c_str());
   if (e.k == "cube_import")
@@ -333,6 +390,7 @@ std::string event_json(const EventRec& e) {
                             json_escape(e.k).c_str(), fmt_u64(e.at).c_str());
   if (e.a != 0) s += strprintf(", \"a\": %lld", static_cast<long long>(e.a));
   if (e.b != 0) s += strprintf(", \"b\": %lld", static_cast<long long>(e.b));
+  if (e.bytes != 0) s += ", \"bytes\": " + fmt_u64(e.bytes);
   if (!e.cube.empty())
     s += ", \"cube\": \"" + json_escape(e.cube) + "\"";
   if (!e.src.empty()) s += ", \"src\": \"" + json_escape(e.src) + "\"";
@@ -432,6 +490,93 @@ void render_overview_json(std::ostream& os, const Doc& doc,
   os << "]}\n}\n";
 }
 
+/// Attempted faults ranked by per-attempt peak bytes desc, evals desc,
+/// name asc — the memory view's analogue of hardest().
+std::vector<const FaultRec*> hungriest(const Doc& doc, std::size_t top) {
+  std::vector<const FaultRec*> ranked;
+  for (const FaultRec& f : doc.faults)
+    if (f.attempted) ranked.push_back(&f);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const FaultRec* x, const FaultRec* y) {
+              if (x->peak_bytes != y->peak_bytes)
+                return x->peak_bytes > y->peak_bytes;
+              if (x->evals != y->evals) return x->evals > y->evals;
+              return x->name < y->name;
+            });
+  if (ranked.size() > top) ranked.resize(top);
+  return ranked;
+}
+
+void render_memory_txt(std::ostream& os, const Doc& doc,
+                       const InspectOptions& opts) {
+  os << "=== memory: " << doc.circuit << " (" << doc.engine << ", seed "
+     << doc.seed << ") — " << doc.schema << " ===\n";
+  os << "subsystems (logical bytes):\n";
+  Table t({"subsystem", "live", "peak", "allocated", "allocs"});
+  for (const MemRow& r : doc.memory)
+    t.add_row({r.name, fmt_u64(r.live), fmt_u64(r.peak),
+               fmt_u64(r.allocated), fmt_u64(r.allocs)});
+  t.add_row({"total", fmt_u64(doc.mem_total_live),
+             fmt_u64(doc.mem_total_peak),
+             fmt_u64(doc.mem_total_allocated), ""});
+  os << t.to_string() << "\n";
+
+  if (!doc.mem_verdict.empty()) {
+    os << "budget: ";
+    if (doc.mem_budget == 0)
+      os << "off";
+    else
+      os << doc.mem_budget << " bytes per attempt, " << doc.mem_tripped
+         << " tripped, " << doc.mem_requeued << " requeued";
+    os << " (verdict: " << doc.mem_verdict << ")\n\n";
+  }
+
+  const auto ranked = hungriest(doc, opts.top);
+  os << "hungriest faults (top " << ranked.size() << " by peak bytes):\n";
+  Table h({"rank", "fault", "status", "peak_bytes", "evals"});
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    const FaultRec& f = *ranked[i];
+    h.add_row({strprintf("%zu", i + 1), f.name, f.status,
+               fmt_u64(f.peak_bytes), fmt_u64(f.evals)});
+  }
+  os << h.to_string();
+}
+
+void render_memory_json(std::ostream& os, const Doc& doc,
+                        const InspectOptions& opts) {
+  os << "{\n  \"schema\": \"satpg.inspect_memory.v1\",\n";
+  os << "  \"source\": {\"schema\": \"" << json_escape(doc.schema)
+     << "\", \"circuit\": \"" << json_escape(doc.circuit)
+     << "\", \"engine\": \"" << json_escape(doc.engine)
+     << "\", \"seed\": " << doc.seed << "},\n";
+  os << "  \"subsystems\": {";
+  for (std::size_t i = 0; i < doc.memory.size(); ++i) {
+    const MemRow& r = doc.memory[i];
+    os << (i == 0 ? "\n    " : ",\n    ") << "\"" << json_escape(r.name)
+       << "\": {\"live\": " << r.live << ", \"peak\": " << r.peak
+       << ", \"allocated\": " << r.allocated << ", \"allocs\": " << r.allocs
+       << "}";
+  }
+  os << "\n  },\n";
+  os << "  \"total\": {\"live\": " << doc.mem_total_live
+     << ", \"peak\": " << doc.mem_total_peak
+     << ", \"allocated\": " << doc.mem_total_allocated << "},\n";
+  os << "  \"budget\": {\"bytes\": " << doc.mem_budget
+     << ", \"tripped\": " << doc.mem_tripped
+     << ", \"requeued\": " << doc.mem_requeued << ", \"verdict\": \""
+     << json_escape(doc.mem_verdict) << "\"},\n";
+  os << "  \"hungriest\": [";
+  const auto ranked = hungriest(doc, opts.top);
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    const FaultRec& f = *ranked[i];
+    os << (i == 0 ? "\n    " : ",\n    ") << "{\"fault\": \""
+       << json_escape(f.name) << "\", \"status\": \""
+       << json_escape(f.status) << "\", \"peak_bytes\": " << f.peak_bytes
+       << ", \"evals\": " << f.evals << "}";
+  }
+  os << "]\n}\n";
+}
+
 void render_fault_txt(std::ostream& os, const Doc& doc, const FaultRec& f) {
   os << "=== fault " << f.name << " (index " << f.index << ") — "
      << doc.circuit << " (" << doc.engine << ") ===\n";
@@ -486,6 +631,22 @@ bool inspect_source(std::ostream& os, const std::string& text,
                     const InspectOptions& opts, std::string* error) {
   Doc doc;
   if (!parse_doc(text, &doc, error)) return false;
+  if (opts.memory) {
+    if (!doc.has_memory) {
+      if (error)
+        *error = doc.is_events
+                     ? "event logs carry no memory block; inspect a "
+                       "satpg.atpg_run.v6 report"
+                     : "report has no memory block (schema " + doc.schema +
+                           "; need satpg.atpg_run.v6+)";
+      return false;
+    }
+    if (opts.json)
+      render_memory_json(os, doc, opts);
+    else
+      render_memory_txt(os, doc, opts);
+    return true;
+  }
   if (!opts.fault.empty()) {
     const FaultRec* f = find_fault(doc, opts.fault);
     if (f == nullptr) {

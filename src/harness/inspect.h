@@ -3,14 +3,16 @@
 //
 // inspect_source accepts either artifact the run side writes —
 //   * a satpg.events.v1 NDJSON flight-recorder log (--events-json), or
-//   * a satpg.atpg_run.v1-v5 report (--metrics-json / archive entry)
+//   * a satpg.atpg_run.v1-v6 report (--metrics-json / archive entry)
 // — detects which it got from the schema, and renders:
 //   * default: run identity, the top-k hardest-faults table (ranked by
 //     evals, then invalid fraction, then name) and the cube-sharing
 //     provenance summary (exporters -> beneficiaries with hit counts);
 //   * --fault=ID (name or collapsed index): that fault's full search
 //     timeline (event log) or its per-fault record + cube sources
-//     (report).
+//     (report);
+//   * --memory: the v6 per-subsystem byte-accounting block, the budget
+//     verdict, and the hungriest faults ranked by per-attempt peak bytes.
 // inspect_diff compares two reports as trajectories: summary deltas,
 // fault-efficiency milestones from the fe_trace, and the per-fault
 // divergence table.
@@ -31,6 +33,9 @@ struct InspectOptions {
   std::string fault;
   /// Rows in the hardest-faults table.
   std::size_t top = 10;
+  /// Memory view (--memory): the report's per-subsystem byte accounting
+  /// plus the hungriest faults by peak_bytes. Requires a v6+ report.
+  bool memory = false;
   /// Machine-readable output (--format=json) instead of aligned text.
   bool json = false;
 };

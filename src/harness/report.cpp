@@ -6,9 +6,11 @@
 #include <ostream>
 
 #include "base/json.h"
+#include "base/memstats.h"
 #include "base/metrics.h"
 #include "base/strutil.h"
 #include "fault/fault.h"
+#include "harness/build_info.h"
 
 namespace satpg {
 
@@ -42,7 +44,7 @@ void write_atpg_report_json(std::ostream& os, const Netlist& nl,
                             const ParallelAtpgResult& res) {
   const AtpgRunResult& run = res.run;
   os << "{\n";
-  os << "  \"schema\": \"satpg.atpg_run.v5\",\n";
+  os << "  \"schema\": \"satpg.atpg_run.v6\",\n";
 
   os << "  \"circuit\": {\"name\": \"" << json_escape(nl.name())
      << "\", \"inputs\": " << nl.num_inputs()
@@ -58,6 +60,13 @@ void write_atpg_report_json(std::ostream& os, const Netlist& nl,
      << ", \"max_backward_frames\": " << eng.max_backward_frames
      << ", \"share_learning\": " << (eng.share_learning ? "true" : "false")
      << ", \"seed\": " << opts.run.seed << "},\n";
+
+  // v6: build provenance. Fixed per binary (the dispatched SIMD tier per
+  // binary + machine), so byte-identity across --threads still holds;
+  // satpg diff flags runs whose blocks disagree.
+  os << "  \"build_info\": ";
+  write_build_info_json(os, build_info(), 16);
+  os << ",\n";
 
   // v2: how justification cubes were classified (DESIGN.md §6). num_valid
   // and density are -1 when the BDD analysis did not complete; everything
@@ -89,7 +98,16 @@ void write_atpg_report_json(std::ostream& os, const Netlist& nl,
          << "\"}";
     }
   }
-  os << "]},\n";
+  // v6: the memory-budget verdict rides the watchdog block — both are
+  // deterministic graceful-degradation gates over the same park/requeue
+  // machinery. budget is bytes (0 = unenforced).
+  os << "],\n               \"memory\": {\"budget\": " << res.mem_budget_bytes
+     << ", \"tripped\": " << res.mem_tripped
+     << ", \"requeued\": " << res.mem_requeued << ", \"verdict\": \""
+     << (res.mem_budget_bytes == 0 ? "off"
+                                   : (res.mem_tripped == 0 ? "clean"
+                                                           : "degraded"))
+     << "\"}},\n";
 
   os << "  \"summary\": {"
      << "\"total_faults\": " << run.total_faults
@@ -159,6 +177,7 @@ void write_atpg_report_json(std::ostream& os, const Netlist& nl,
        << ",\n     \"verify_rejects\": " << s.verify_rejects
        << ", \"budget_exhausted\": "
        << (s.budget_exhausted ? "true" : "false")
+       << ", \"peak_bytes\": " << s.peak_bytes
        << ",\n     \"attr_calls\": " << attr_array(s.attribution.justify_calls)
        << ", \"attr_failures\": " << attr_array(s.attribution.justify_failures)
        << ",\n     \"attr_evals\": " << attr_array(s.attribution.justify_evals)
@@ -220,6 +239,14 @@ void write_atpg_report_json(std::ostream& os, const Netlist& nl,
     }
     os << "]},\n";
   }
+
+  // v6: folded byte accounting (base/memstats) — attempt tallies merged in
+  // unit/fault order plus the shared-subsystem registry snapshot. Logical
+  // bytes only; total.peak is the sum-of-subsystem-peaks upper bound.
+  // All-zero (but present, fixed shape) when memstats were never armed.
+  os << "  \"memory\": ";
+  res.mem.write_json(os, 2);
+  os << ",\n";
 
   os << "  \"metrics\": ";
   MetricsRegistry::global().write_json(os, 2);

@@ -1,12 +1,15 @@
 // Structured run reports: the machine-readable side of an ATPG run.
 //
-// write_atpg_report_json dumps schema "satpg.atpg_run.v5": circuit and
+// write_atpg_report_json dumps schema "satpg.atpg_run.v6": circuit and
 // engine identity (v4 adds share_learning and the CDCL solver counters —
 // conflicts/propagations/restarts/learned_clauses/cube_exports — in the
 // summary and per-fault records; v5 adds cube-sharing provenance: a
 // per-fault "cube_sources" array naming which exporter fault and epoch
 // each imported cube came from, and a top-level "cube_provenance" block
-// whose exports total equals the summary cube_exports counter), the
+// whose exports total equals the summary cube_exports counter; v6 adds
+// the "build_info" provenance block, the top-level "memory" block of
+// per-subsystem byte accounting, a per-fault "peak_bytes" field, and the
+// watchdog block's "memory" budget verdict — see DESIGN.md §11), the
 // invalid-state attribution block (oracle mode,
 // num_valid, density, bucket order), the watchdog block (threshold, defer
 // mode, stuck-fault verdicts — empty when the watchdog is off), the

@@ -1,5 +1,5 @@
 // Tier-2 regression-gate test: runs the real satpg CLI and bench_gate
-// binaries against checked-in golden atpg_run.v5 reports (bench/golden/)
+// binaries against checked-in golden atpg_run.v6 reports (bench/golden/)
 // for one cached MCNC circuit and its retimed twin, for both the default
 // (hitec) engine and the cdcl engine.
 //
@@ -12,7 +12,9 @@
 //     the Figure-3 blowup the gate exists to catch;
 //   * on the retimed twin, cdcl with cross-fault cube sharing spends
 //     strictly fewer conflicts than the same run with
-//     --no-shared-learning (the headline benefit of the shared cache).
+//     --no-shared-learning (the headline benefit of the shared cache);
+//   * the --mem gate passes a fresh run against its golden at the default
+//     ratio and flags the same pair once the ratio is squeezed below 1.
 //
 // Paths are injected by CMake: SATPG_CLI_PATH / BENCH_GATE_PATH are the
 // built tools, SATPG_GOLDEN_DIR the committed reports, SATPG_SMOKE_CIRCUIT
@@ -69,12 +71,12 @@ class BenchGateTest : public ::testing::Test {
  protected:
   void SetUp() override {
     dir_ = ::testing::TempDir();
-    golden_parent_ = std::string(SATPG_GOLDEN_DIR) + "/dk16_parent.v5.json";
-    golden_twin_ = std::string(SATPG_GOLDEN_DIR) + "/dk16_retimed.v5.json";
+    golden_parent_ = std::string(SATPG_GOLDEN_DIR) + "/dk16_parent.v6.json";
+    golden_twin_ = std::string(SATPG_GOLDEN_DIR) + "/dk16_retimed.v6.json";
     golden_parent_cdcl_ =
-        std::string(SATPG_GOLDEN_DIR) + "/dk16_parent_cdcl.v5.json";
+        std::string(SATPG_GOLDEN_DIR) + "/dk16_parent_cdcl.v6.json";
     golden_twin_cdcl_ =
-        std::string(SATPG_GOLDEN_DIR) + "/dk16_retimed_cdcl.v5.json";
+        std::string(SATPG_GOLDEN_DIR) + "/dk16_retimed_cdcl.v6.json";
   }
 
   // Regenerate the twin netlist and a fresh report for `bench`.
@@ -158,6 +160,20 @@ TEST_F(BenchGateTest, SharedLearningSpendsFewerConflictsOnTheTwin) {
          "retimed twin";
   EXPECT_GT(json_counter_sum(read_file(shared), "cube_blocks"), 0ull)
       << "the shared run never imported a proven cube — sharing was inert";
+}
+
+TEST_F(BenchGateTest, MemGatePassesCleanRunsAndCatchesGrowth) {
+  const std::string fresh = fresh_report(SATPG_SMOKE_CIRCUIT, "parent_mem");
+  // Deterministic accounting: a fresh run's peak bytes sit within the
+  // default 1.25x of the golden's.
+  EXPECT_EQ(run_cmd(sh_quote(BENCH_GATE_PATH) + " " + sh_quote(golden_parent_) +
+                    " " + sh_quote(fresh) + " --mem"),
+            0);
+  // A ratio below 1.0 makes even byte-identical accounting a violation —
+  // proves the check is wired, not vacuous.
+  EXPECT_EQ(run_cmd(sh_quote(BENCH_GATE_PATH) + " " + sh_quote(golden_parent_) +
+                    " " + sh_quote(fresh) + " --mem --max-mem-ratio=0.5"),
+            1);
 }
 
 TEST_F(BenchGateTest, UsageErrorsExitTwo) {

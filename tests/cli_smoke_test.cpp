@@ -6,7 +6,9 @@
 // the DESIGN.md §7 contract must not perturb the deterministic report.
 // Also covers the replay round-trip (capture a watchdog-flagged search,
 // re-run it, expect exit 0), the flight-recorder/--events-json and
-// `satpg inspect` smoke (DESIGN.md §10), and the `--help` convention
+// `satpg inspect` smoke (DESIGN.md §10), the §11 memory surface
+// (--mem-budget-mb graceful degradation, inspect --memory, strict
+// numeric-flag validation), and the `--help` convention
 // (usage on stdout, exit 0, every subcommand). Paths are injected by CMake: SATPG_CLI_PATH
 // is the built tool, SATPG_SMOKE_CIRCUIT a committed circuits_cache
 // netlist (no FSM synthesis at test time).
@@ -63,10 +65,18 @@ TEST(CliSmokeTest, MetricsAndTraceJsonAreValid) {
   ASSERT_FALSE(mjson.empty());
   std::string err;
   EXPECT_TRUE(json_valid(mjson, &err)) << err;
-  EXPECT_NE(mjson.find("\"schema\": \"satpg.atpg_run.v5\""),
+  EXPECT_NE(mjson.find("\"schema\": \"satpg.atpg_run.v6\""),
             std::string::npos);
   EXPECT_NE(mjson.find("\"per_fault\""), std::string::npos);
   EXPECT_NE(mjson.find("\"metrics\""), std::string::npos);
+  // v6: build provenance and the per-subsystem memory accounting block,
+  // with a per-fault peak and the watchdog's budget verdict.
+  EXPECT_NE(mjson.find("\"build_info\""), std::string::npos);
+  EXPECT_NE(mjson.find("\"simd_dispatched\""), std::string::npos);
+  EXPECT_NE(mjson.find("\"memory\""), std::string::npos);
+  EXPECT_NE(mjson.find("\"subsystems\""), std::string::npos);
+  EXPECT_NE(mjson.find("\"peak_bytes\""), std::string::npos);
+  EXPECT_NE(mjson.find("\"verdict\": \"off\""), std::string::npos);
   // v5: the cube-sharing provenance rollup.
   EXPECT_NE(mjson.find("\"cube_provenance\""), std::string::npos);
   // v2: the invalid-state attribution block and run-level fraction.
@@ -146,6 +156,11 @@ TEST(CliSmokeTest, HeartbeatStreamIsValidNdjson) {
   // instant run emits at least one heartbeat, phase "done".
   ASSERT_GE(lines, 1u);
   EXPECT_NE(last.find("\"phase\": \"done\""), std::string::npos);
+  // v2 memory fields: accounted live bytes plus the kernel's peak-RSS
+  // reading (the one wall-side number, quarantined to the heartbeat
+  // stream — it must never appear in the deterministic report).
+  EXPECT_NE(last.find("\"mem_live_bytes\""), std::string::npos);
+  EXPECT_NE(last.find("\"peak_rss_kb\""), std::string::npos);
 
   const std::string progress_text = slurp(progress_err);
   EXPECT_NE(progress_text.find("done"), std::string::npos);
@@ -295,6 +310,74 @@ TEST(CliSmokeTest, FsimEngineFlagErrors) {
       std::string("fsim \"") + SATPG_SMOKE_CIRCUIT + "\" ";
   EXPECT_EQ(run_satpg(args_prefix + "--width=7"), 2);
   EXPECT_EQ(run_satpg(args_prefix + "--engine=bogus"), 2);
+}
+
+// Malformed numeric telemetry flags are usage errors: exit 2 with a usage
+// message, never a silent clamp to some default (README "Exit codes",
+// DESIGN.md §11). Zero is out of range for all three — an interval of 0
+// would spin, a stuck threshold of 0 would flag everything, a budget of 0
+// is spelled by omitting the flag.
+TEST(CliSmokeTest, MalformedTelemetryFlagsExitUsage) {
+  const std::string dir = ::testing::TempDir();
+  const std::string args_prefix =
+      std::string("atpg \"") + SATPG_SMOKE_CIRCUIT + "\" --budget=0.05 ";
+  for (const char* bad :
+       {"--mem-budget-mb=-3", "--mem-budget-mb=0", "--mem-budget-mb=abc",
+        "--mem-budget-mb=", "--stuck-evals=0", "--stuck-evals=-1",
+        "--stuck-evals=20x", "--heartbeat-interval-ms=0",
+        "--heartbeat-interval-ms=fast"}) {
+    const std::string err = dir + "cli_badflag.err";
+    EXPECT_EQ(run_satpg(args_prefix + bad, "", err), 2) << bad;
+    EXPECT_NE(slurp(err).find("usage: satpg"), std::string::npos) << bad;
+  }
+}
+
+// Memory budget smoke (DESIGN.md §11): a deliberately tiny budget trips
+// mid-search, parks the offenders, and requeues them with the limit
+// lifted — so the final coverage and per-fault statuses are identical to
+// the unbudgeted run, and the watchdog block says so. The report stays
+// byte-identical across thread counts, and `satpg inspect --memory`
+// renders the accounting block in both formats.
+TEST(CliSmokeTest, MemBudgetDegradesGracefullyAndInspectReadsItBack) {
+  const std::string dir = ::testing::TempDir();
+  const std::string plain = dir + "cli_mem_plain.json";
+  ASSERT_EQ(run_cli(2, plain, ""), 0);
+  const std::string b1 = dir + "cli_mem_b1.json";
+  const std::string b2 = dir + "cli_mem_b2.json";
+  ASSERT_EQ(run_cli(1, b1, "", "--mem-budget-mb=0.05"), 0);
+  ASSERT_EQ(run_cli(2, b2, "", "--mem-budget-mb=0.05"), 0);
+  const std::string budgeted = slurp(b1);
+  ASSERT_FALSE(budgeted.empty());
+  EXPECT_EQ(budgeted, slurp(b2));
+  EXPECT_NE(budgeted.find("\"memory\": {\"budget\": 52428"),
+            std::string::npos);
+
+  // Same coverage line with and without the budget: degradation must not
+  // cost detections. (Compare the summary blocks; effort counters differ
+  // because tripped attempts run twice.)
+  const std::string plain_text = slurp(plain);
+  const auto coverage_of = [](const std::string& text) {
+    const std::size_t pos = text.find("\"fault_coverage\"");
+    return text.substr(pos, text.find('\n', pos) - pos);
+  };
+  EXPECT_EQ(coverage_of(budgeted), coverage_of(plain_text));
+
+  const std::string out = dir + "cli_mem_inspect.out";
+  ASSERT_EQ(run_satpg("inspect " + b1 + " --memory", out), 0);
+  const std::string txt = slurp(out);
+  EXPECT_NE(txt.find("subsystem"), std::string::npos);
+  EXPECT_NE(txt.find("hungriest faults"), std::string::npos);
+  ASSERT_EQ(run_satpg("inspect " + b1 + " --memory --format=json", out), 0);
+  const std::string mem_json = slurp(out);
+  std::string err;
+  EXPECT_TRUE(json_valid(mem_json, &err)) << err;
+  EXPECT_NE(mem_json.find("\"schema\": \"satpg.inspect_memory.v1\""),
+            std::string::npos);
+  // An event log has no memory block: runtime failure, exit 1.
+  const std::string ev = dir + "cli_mem_events.ndjson";
+  ASSERT_EQ(run_cli(1, dir + "cli_mem_ev_m.json", "", "--events-json=" + ev),
+            0);
+  EXPECT_EQ(run_satpg("inspect " + ev + " --memory"), 1);
 }
 
 // `--help` anywhere prints usage to stdout and exits 0, for every

@@ -1,8 +1,9 @@
 // Unit tests for the `satpg inspect` analytics layer (harness/inspect):
 // artifact detection (events NDJSON vs atpg_run report), hardest-fault
 // ranking, provenance aggregation from both source kinds, per-fault
-// timelines, trajectory diffs, and the error paths the CLI maps to exit
-// code 1. All inputs are synthetic strings, so these tests double as the
+// timelines, trajectory diffs, the v6 --memory view (subsystem table,
+// budget verdict, hungriest-fault ranking, pre-v6 rejection), and the
+// error paths the CLI maps to exit code 1. All inputs are synthetic strings, so these tests double as the
 // byte-stability contract: the expected substrings never depend on the
 // machine.
 #include <gtest/gtest.h>
@@ -180,6 +181,72 @@ TEST(InspectDiffTest, EventLogsAreRejected) {
   EXPECT_FALSE(
       inspect_diff(os, kEventsLog, report_text("c17", 400), {}, &err));
   EXPECT_NE(err.find("atpg_run reports"), std::string::npos);
+}
+
+// A minimal v6 report with the DESIGN.md §11 memory surface: two
+// subsystems with activity, a tripped budget, per-fault peak_bytes.
+std::string report_text_v6() {
+  return
+      "{\n  \"schema\": \"satpg.atpg_run.v6\",\n"
+      "  \"circuit\": {\"name\": \"c17\"},\n"
+      "  \"engine\": {\"kind\": \"cdcl\", \"seed\": 7},\n"
+      "  \"watchdog\": {\"memory\": {\"budget\": 1000, \"tripped\": 1, "
+      "\"requeued\": 1, \"verdict\": \"degraded\"}},\n"
+      "  \"summary\": {\"total_faults\": 2, \"fault_coverage\": 100,\n"
+      "    \"fault_efficiency\": 100, \"evals\": 1300, \"cube_exports\": 0},\n"
+      "  \"per_fault\": [\n"
+      "    {\"fault\": \"a s-a-0\", \"status\": \"detected\", "
+      "\"attempted\": true, \"evals\": 900, \"peak_bytes\": 1500, "
+      "\"cube_sources\": []},\n"
+      "    {\"fault\": \"b s-a-1\", \"status\": \"detected\", "
+      "\"attempted\": true, \"evals\": 400, \"peak_bytes\": 700, "
+      "\"cube_sources\": []}\n"
+      "  ],\n"
+      "  \"memory\": {\"subsystems\": {\n"
+      "    \"cdcl_clause_db\": {\"live\": 0, \"peak\": 1400, "
+      "\"allocated\": 2000, \"allocs\": 4},\n"
+      "    \"cnf_encoder\": {\"live\": 0, \"peak\": 100, "
+      "\"allocated\": 200, \"allocs\": 2}},\n"
+      "   \"total\": {\"live\": 0, \"peak\": 1500, \"allocated\": 2200}}\n"
+      "}\n";
+}
+
+TEST(InspectMemoryTest, RendersSubsystemsBudgetAndHungriestFaults) {
+  InspectOptions opts;
+  opts.memory = true;
+  const std::string out = inspect_text(report_text_v6(), opts);
+  EXPECT_NE(out.find("cdcl_clause_db"), std::string::npos);
+  EXPECT_NE(out.find("1400"), std::string::npos);
+  EXPECT_NE(out.find("verdict: degraded"), std::string::npos);
+  EXPECT_NE(out.find("hungriest faults"), std::string::npos);
+  // Ranked by peak bytes: a s-a-0 (1500) above b s-a-1 (700).
+  const std::size_t pos_a = out.find("a s-a-0");
+  const std::size_t pos_b = out.find("b s-a-1");
+  ASSERT_NE(pos_a, std::string::npos);
+  ASSERT_NE(pos_b, std::string::npos);
+  EXPECT_LT(pos_a, pos_b);
+
+  InspectOptions jopts = opts;
+  jopts.json = true;
+  const std::string json = inspect_text(report_text_v6(), jopts);
+  EXPECT_NE(json.find("\"schema\": \"satpg.inspect_memory.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"budget\""), std::string::npos);
+}
+
+TEST(InspectMemoryTest, SourcesWithoutTheBlockAreRejected) {
+  InspectOptions opts;
+  opts.memory = true;
+  std::ostringstream os;
+  std::string err;
+  // Pre-v6 report: parses, but carries no memory block.
+  EXPECT_FALSE(inspect_source(os, report_text("c17", 400), opts, &err));
+  EXPECT_NE(err.find("no memory block"), std::string::npos);
+  // Event logs never carry one.
+  err.clear();
+  EXPECT_FALSE(inspect_source(os, kEventsLog, opts, &err));
+  EXPECT_NE(err.find("no memory block"), std::string::npos);
+  EXPECT_TRUE(os.str().empty()) << "error paths must write nothing";
 }
 
 }  // namespace

@@ -1,16 +1,25 @@
 // bench_gate — CI regression gate over two atpg_run reports.
 //
 //   bench_gate <baseline> <candidate> [--max-coverage-drop=F]
-//              [--max-effort-ratio=F] [--dir=DIR]
+//              [--max-effort-ratio=F] [--mem] [--max-mem-ratio=F]
+//              [--dir=DIR]
 //   bench_gate --fsim <BENCH_fsim.json> [--min-fsim-speedup=F]
 //
 // <baseline>/<candidate> are report file paths or archive hash prefixes
-// (resolved against --dir, default "runs"); any satpg.atpg_run.v1-v5
+// (resolved against --dir, default "runs"); any satpg.atpg_run.v1-v6
 // schema is accepted. Prints the full deterministic diff, then PASS or
 // FAIL with one line per violated threshold. v5 reports additionally get
 // an internal-consistency check: the cube_provenance block's exports
 // total must equal the summary cube_exports counter (a mismatch means
 // the provenance plumbing dropped or double-counted an export).
+//
+// --mem adds a memory check over the v6 memory block totals: the
+// candidate's accounted peak bytes must stay within --max-mem-ratio
+// (default 1.25x) of the baseline's. Skipped with a note when either
+// side reports zero peak bytes (pre-v6 report, or a run with memstats
+// disarmed) — absence of accounting is not evidence of regression.
+// Wired non-blocking in CI, like --fsim: logical-byte footprints are
+// deterministic, but budget tuning belongs to a human.
 //
 // --fsim mode reads the packed-vs-baseline table the microbench writes
 // (schema satpg.bench_fsim.v2), prints it, and passes iff the engines
@@ -41,7 +50,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: bench_gate <baseline> <candidate>"
                " [--max-coverage-drop=F] [--max-effort-ratio=F]"
-               " [--dir=DIR]\n"
+               " [--mem] [--max-mem-ratio=F] [--dir=DIR]\n"
                "       bench_gate --fsim <BENCH_fsim.json>"
                " [--min-fsim-speedup=F]\n"
                "  baseline/candidate: report file path or archive hash\n");
@@ -84,15 +93,16 @@ int run_fsim_gate(const std::string& path, double min_speedup) {
               static_cast<unsigned long long>(
                   doc.uint_or("frames_per_sequence", 0)),
               static_cast<unsigned long long>(doc.uint_or("num_threads", 0)));
-  std::printf("  %-14s %10s %16s %10s\n", "engine", "seconds", "patterns/s",
-              "speedup");
+  std::printf("  %-14s %10s %16s %10s %14s\n", "engine", "seconds",
+              "patterns/s", "speedup", "peak bytes");
   double best_wide_speedup = 0.0;
   for (const JsonValue& row : rows->array()) {
     const std::string engine = row.str_or("engine", "?");
     const double speedup = row.num_or("speedup_vs_baseline", 0.0);
-    std::printf("  %-14s %10.4f %16.0f %9.2fx\n", engine.c_str(),
+    std::printf("  %-14s %10.4f %16.0f %9.2fx %14llu\n", engine.c_str(),
                 row.num_or("seconds", 0.0),
-                row.num_or("patterns_per_second", 0.0), speedup);
+                row.num_or("patterns_per_second", 0.0), speedup,
+                static_cast<unsigned long long>(row.uint_or("peak_bytes", 0)));
     if (engine.compare(0, 5, "wide/") == 0)
       best_wide_speedup = std::max(best_wide_speedup, speedup);
   }
@@ -147,12 +157,18 @@ int main(int argc, char** argv) {
   std::string fsim_path;
   double min_fsim_speedup = 2.0;
   bool fsim_mode = false;
+  bool mem_gate = false;
+  double max_mem_ratio = 1.25;
   std::vector<std::string> specs;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fsim") == 0) {
       if (i + 1 >= argc) return usage();
       fsim_mode = true;
       fsim_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--mem") == 0) {
+      mem_gate = true;
+    } else if (const char* v5 = flag_value(argv[i], "--max-mem-ratio=")) {
+      max_mem_ratio = std::atof(v5);
     } else if (const char* v4 = flag_value(argv[i], "--min-fsim-speedup=")) {
       min_fsim_speedup = std::atof(v4);
     } else if (const char* v = flag_value(argv[i], "--max-coverage-drop=")) {
@@ -201,10 +217,30 @@ int main(int argc, char** argv) {
     gate.pass = false;
   if (!check_provenance("candidate", candidate_text, &gate.violations))
     gate.pass = false;
+  if (mem_gate) {
+    if (baseline.mem_peak_bytes == 0 || candidate.mem_peak_bytes == 0) {
+      std::cout << "memory gate: skipped (peak bytes unavailable on "
+                << (baseline.mem_peak_bytes == 0 ? "baseline" : "candidate")
+                << " — pre-v6 report or memstats disarmed)\n";
+    } else {
+      const double limit =
+          static_cast<double>(baseline.mem_peak_bytes) * max_mem_ratio;
+      if (static_cast<double>(candidate.mem_peak_bytes) > limit) {
+        gate.violations.push_back(
+            "peak mem bytes " + std::to_string(candidate.mem_peak_bytes) +
+            " exceeds " + std::to_string(max_mem_ratio) + "x baseline " +
+            std::to_string(baseline.mem_peak_bytes));
+        gate.pass = false;
+      }
+    }
+  }
   std::cout << "\ngate thresholds: coverage drop <= "
             << gopts.max_coverage_drop << " points, effort ratio <= "
             << gopts.max_effort_ratio
-            << "x, cube_provenance.exports == cube_exports\n";
+            << "x, cube_provenance.exports == cube_exports";
+  if (mem_gate)
+    std::cout << ", peak mem ratio <= " << max_mem_ratio << "x";
+  std::cout << "\n";
   for (const std::string& v : gate.violations)
     std::cout << "VIOLATION: " << v << "\n";
   std::cout << (gate.pass ? "PASS" : "FAIL") << "\n";

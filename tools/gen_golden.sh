@@ -1,5 +1,5 @@
 #!/bin/sh
-# Regenerates the checked-in golden atpg_run.v5 reports in bench/golden/
+# Regenerates the checked-in golden atpg_run.v6 reports in bench/golden/
 # that the tier-2 bench_gate_test gates against: the default (hitec)
 # engine and the cdcl engine, each on one cached MCNC circuit and its
 # retimed twin.
@@ -10,7 +10,10 @@
 # coverage or effort; the flags below must stay in lockstep with
 # tests/bench_gate_test.cpp (kGoldenFlags). Reports are deterministic
 # (DESIGN.md §5/§6), so regeneration on any machine gives the same bytes
-# apart from the circuit name, which echoes the path passed here.
+# apart from the circuit name (which echoes the path passed here) and the
+# v6 build_info block, which records the generating compiler and SIMD
+# tiers on purpose — bench_gate compares thresholds, not bytes, so the
+# goldens stay usable across toolchains.
 set -eu
 
 BUILD="${1:-build}"
@@ -25,13 +28,13 @@ mkdir -p "$OUT"
 TWIN="$(mktemp -t gate_twin.XXXXXX.bench)"
 trap 'rm -f "$TWIN"' EXIT
 
-"$SATPG" atpg "$CIRCUIT" $FLAGS --metrics-json="$OUT/dk16_parent.v5.json"
+"$SATPG" atpg "$CIRCUIT" $FLAGS --metrics-json="$OUT/dk16_parent.v6.json"
 "$SATPG" retime "$CIRCUIT" "$TWIN" --dffs=6
-"$SATPG" atpg "$TWIN" $FLAGS --metrics-json="$OUT/dk16_retimed.v5.json"
+"$SATPG" atpg "$TWIN" $FLAGS --metrics-json="$OUT/dk16_retimed.v6.json"
 
 "$SATPG" atpg "$CIRCUIT" $FLAGS --engine=cdcl \
-    --metrics-json="$OUT/dk16_parent_cdcl.v5.json"
+    --metrics-json="$OUT/dk16_parent_cdcl.v6.json"
 "$SATPG" atpg "$TWIN" $FLAGS --engine=cdcl \
-    --metrics-json="$OUT/dk16_retimed_cdcl.v5.json"
+    --metrics-json="$OUT/dk16_retimed_cdcl.v6.json"
 
 echo "golden reports written to $OUT/"

@@ -22,6 +22,7 @@
 //               --trace-json=FILE (Chrome trace_event timeline; wall-clock)
 //               --heartbeat-json=FILE / --progress (live monitor, §7)
 //               --stuck-evals=N / --stuck-seconds=F / --defer-stuck
+//               --mem-budget-mb=F (deterministic per-attempt byte cap)
 //               --capture-json=FILE / --capture-fault=ID
 // Every engine-running subcommand accepts --metrics-json/--trace-json; the
 // flags are parsed by the shared TelemetryFlags helper. The monitor,
@@ -54,6 +55,7 @@
 #include "atpg/compact.h"
 #include "atpg/engine.h"
 #include "atpg/parallel.h"
+#include "base/memstats.h"
 #include "base/metrics.h"
 #include "base/telemetry_flags.h"
 #include "dft/scan.h"
@@ -92,6 +94,8 @@ void print_usage(std::FILE* f) {
       " [--progress]\n"
       "                [--stuck-evals=N] [--stuck-seconds=F]"
       " [--defer-stuck]\n"
+      "                [--mem-budget-mb=F] (per-attempt accounted-byte cap;"
+      " trips park + requeue)\n"
       "                [--capture-json=FILE] [--capture-fault=NAME|INDEX]\n"
       "  satpg fsim    c.bench [--sequences=N] [--length=N] [--seed=N]"
       " [--threads=N]\n"
@@ -106,7 +110,7 @@ void print_usage(std::FILE* f) {
       "  satpg archive --list [--dir=DIR]\n"
       "  satpg diff    <a> <b> [--dir=DIR] [--top=N]"
       "   (a/b: file path or archive hash)\n"
-      "  satpg inspect <src> [--fault=NAME|INDEX] [--top=N]"
+      "  satpg inspect <src> [--fault=NAME|INDEX] [--top=N] [--memory]"
       " [--format=txt|json] [--dir=DIR]\n"
       "  satpg inspect --diff <a> <b> [--top=N] [--format=txt|json]"
       " [--dir=DIR]\n"
@@ -211,7 +215,19 @@ int cmd_atpg(const Netlist& nl, const std::string& circuit_path, int argc,
     } else if (const char* v6 = flag_value(argv[i], "--deadline-ms=")) {
       popts.deadline_ms = static_cast<std::uint64_t>(std::atoll(v6));
     } else if (const char* v7 = flag_value(argv[i], "--stuck-evals=")) {
-      popts.watchdog.stuck_evals = static_cast<std::uint64_t>(std::atoll(v7));
+      if (!parse_positive_u64(v7, &popts.watchdog.stuck_evals)) {
+        std::fprintf(stderr, "error: bad value --stuck-evals=%s\n", v7);
+        return usage();
+      }
+    } else if (const char* vm = flag_value(argv[i], "--mem-budget-mb=")) {
+      // Fractional MB are legal: small circuits trip at sub-MB footprints.
+      double mb = 0.0;
+      if (!parse_positive_double(vm, &mb)) {
+        std::fprintf(stderr, "error: bad value --mem-budget-mb=%s\n", vm);
+        return usage();
+      }
+      popts.mem_budget_bytes =
+          static_cast<std::uint64_t>(mb * 1024.0 * 1024.0);
     } else if (const char* v8 = flag_value(argv[i], "--stuck-seconds=")) {
       popts.watchdog.stuck_seconds = std::atof(v8);
     } else if (!std::strcmp(argv[i], "--defer-stuck")) {
@@ -223,6 +239,10 @@ int cmd_atpg(const Netlist& nl, const std::string& circuit_path, int argc,
     } else {
       return usage();
     }
+  }
+  if (!telemetry.error.empty()) {
+    std::fprintf(stderr, "error: bad value %s\n", telemetry.error.c_str());
+    return usage();
   }
   if (popts.watchdog.defer && !popts.watchdog.enabled()) {
     std::fprintf(stderr, "--defer-stuck requires --stuck-evals=N\n");
@@ -267,8 +287,10 @@ int cmd_atpg(const Netlist& nl, const std::string& circuit_path, int argc,
   }
   if (telemetry.metrics_enabled()) {
     // atpg has a richer schema than the generic registry dump: the full
-    // satpg.atpg_run.v5 report (harness/report).
+    // satpg.atpg_run.v6 report (harness/report). Freeze both registries
+    // first so writing the report cannot perturb what it reports.
     set_metrics_enabled(false);
+    set_memstats_enabled(false);
     if (!write_atpg_report_json(telemetry.metrics_json, nl, popts, pres)) {
       std::fprintf(stderr, "cannot write %s\n",
                    telemetry.metrics_json.c_str());
@@ -301,6 +323,10 @@ int cmd_atpg(const Netlist& nl, const std::string& circuit_path, int argc,
   if (popts.watchdog.enabled())
     std::printf("watchdog         : %zu stuck faults, %zu requeued\n",
                 pres.stuck_faults.size(), pres.deferred_requeued);
+  if (popts.mem_budget_bytes != 0)
+    std::printf("memory budget    : %llu bytes, %zu tripped, %zu requeued\n",
+                static_cast<unsigned long long>(pres.mem_budget_bytes),
+                pres.mem_tripped, pres.mem_requeued);
   if (do_compact) {
     const auto c = compact_tests(nl, run.tests);
     std::printf("compacted        : %zu -> %zu sequences\n", c.before,
@@ -435,6 +461,10 @@ int cmd_fsim(const Netlist& nl, int argc, char** argv) {
       return usage();
     }
   }
+  if (!telemetry.error.empty()) {
+    std::fprintf(stderr, "error: bad value %s\n", telemetry.error.c_str());
+    return usage();
+  }
   if (telemetry.monitor_enabled())
     std::fprintf(stderr,
                  "note: --heartbeat-json/--progress are wired in `satpg atpg`"
@@ -564,6 +594,8 @@ int cmd_inspect(int argc, char** argv) {
         iopts.json = true;
       else if (std::strcmp(v4, "txt") != 0)
         return usage();
+    } else if (!std::strcmp(argv[i], "--memory")) {
+      iopts.memory = true;
     } else if (!std::strcmp(argv[i], "--diff")) {
       do_diff = true;
     } else if (argv[i][0] == '-') {
