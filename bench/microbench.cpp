@@ -12,13 +12,17 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/reach.h"
+#include "base/cpu.h"
 #include "base/memstats.h"
 #include "base/metrics.h"
+#include "base/profiler.h"
 #include "base/threadpool.h"
+#include "harness/build_info.h"
 #include "atpg/engine.h"
 #include "atpg/parallel.h"
 #include "atpg/podem.h"
@@ -137,6 +141,13 @@ void BM_ScoapAnalysis(benchmark::State& state) {
 }
 BENCHMARK(BM_ScoapAnalysis);
 
+// The build_info block rendered for embedding in fprintf-written JSON.
+std::string build_info_str(int indent) {
+  std::ostringstream ss;
+  write_build_info_json(ss, build_info(), indent);
+  return ss.str();
+}
+
 // Packed-vs-baseline fault-simulation comparison on the Table-8 replay
 // workload (full s820, collapsed faults, 64 random sequences x 32
 // frames), written to BENCH_fsim.json. One row for the seed 64-slot
@@ -144,6 +155,9 @@ BENCHMARK(BM_ScoapAnalysis);
 // hardware threads so the comparison isolates the pattern-parallel
 // dimension. Detection counts are cross-checked on the spot: every
 // engine/tier must agree or the file records a determinism violation.
+// v3 adds build_info + host_cpu provenance and per-row cycle costs from
+// one extra profiled (untimed) pass per row — cycles are zero under the
+// fallback backend, task-clock is always live.
 // tools/bench_gate --fsim consumes this file (non-blocking in CI).
 void write_fsim_bench_json() {
   FsmGenSpec spec;
@@ -170,6 +184,8 @@ void write_fsim_bench_json() {
     double seconds = 0.0;
     std::size_t detected = 0;
     std::uint64_t peak_bytes = 0;  ///< accounted arena/lane peak (memstats)
+    std::uint64_t span_task_ns = 0;  ///< profiled pass: span task-clock
+    std::uint64_t span_cycles = 0;   ///< profiled pass: span cycles (perf)
   };
   std::vector<Row> rows;
   rows.push_back({"baseline64", FsimEngine::kBaseline64, SimdTier::kAuto});
@@ -180,6 +196,7 @@ void write_fsim_bench_json() {
                     FsimEngine::kWide, tier});
   }
 
+  ProfBackend prof_backend = ProfBackend::kOff;
   for (auto& row : rows) {
     FsimOptions opts;
     opts.num_threads = hw;
@@ -195,6 +212,16 @@ void write_fsim_bench_json() {
     row.detected = warm.num_detected;
     row.peak_bytes = MemStatsRegistry::global().snapshot().peak_upper_bound();
     MemStatsRegistry::global().reset();
+    // One profiled (untimed) pass per row: where do this engine's cycles
+    // go. The timed loop below runs with the profiler disarmed.
+    Profiler::global().start();
+    run_fault_simulation(nl, faults, seqs, opts);
+    Profiler::global().stop();
+    const ProfSnapshot prof = Profiler::global().snapshot();
+    const ProfPhaseTotals prof_total = prof.total();
+    row.span_task_ns = prof_total.counter(ProfCounter::kTaskClockNs);
+    row.span_cycles = prof_total.counter(ProfCounter::kCycles);
+    prof_backend = prof.backend;
     double best = 1e100;
     for (int r = 0; r < 3; ++r) {
       const auto t0 = std::chrono::steady_clock::now();
@@ -228,7 +255,7 @@ void write_fsim_bench_json() {
   }
   std::fprintf(f,
                "{\n"
-               "  \"schema\": \"satpg.bench_fsim.v2\",\n"
+               "  \"schema\": \"satpg.bench_fsim.v3\",\n"
                "  \"bench\": \"fsim_packed_vs_baseline\",\n"
                "  \"circuit\": \"%s\",\n"
                "  \"nodes\": %zu,\n"
@@ -237,11 +264,16 @@ void write_fsim_bench_json() {
                "  \"sequences\": %zu,\n"
                "  \"frames_per_sequence\": %zu,\n"
                "  \"num_threads\": %u,\n"
+               "  \"build_info\": %s,\n"
+               "  \"host_cpu\": \"%s\",\n"
+               "  \"profile_backend\": \"%s\",\n"
                "  \"deterministic\": %s,\n"
                "  \"rows\": [\n",
                nl.name().c_str(), nl.num_nodes(), nl.num_dffs(),
                faults.size(), seqs.size(),
                seqs.empty() ? std::size_t{0} : seqs[0].size(), hw,
+               build_info_str(16).c_str(), cpu_model_name().c_str(),
+               prof_backend_name(prof_backend),
                deterministic ? "true" : "false");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& row = rows[i];
@@ -250,13 +282,19 @@ void write_fsim_bench_json() {
                  "\"patterns_per_second\": %.1f, "
                  "\"faults_per_second\": %.1f, "
                  "\"speedup_vs_baseline\": %.3f, "
-                 "\"peak_bytes\": %llu}%s\n",
+                 "\"peak_bytes\": %llu, "
+                 "\"task_clock_ns_per_pattern\": %.1f, "
+                 "\"cycles_per_pattern\": %.1f}%s\n",
                  row.label.c_str(), row.seconds,
                  patterns / std::max(row.seconds, 1e-12),
                  static_cast<double>(faults.size()) /
                      std::max(row.seconds, 1e-12),
                  base_s / std::max(row.seconds, 1e-12),
                  static_cast<unsigned long long>(row.peak_bytes),
+                 static_cast<double>(row.span_task_ns) /
+                     std::max(patterns, 1.0),
+                 static_cast<double>(row.span_cycles) /
+                     std::max(patterns, 1.0),
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f,
@@ -267,11 +305,13 @@ void write_fsim_bench_json() {
   std::fclose(f);
   for (const auto& row : rows)
     std::printf("BENCH_fsim.json: %-12s %.3fs  %9.0f patterns/s  %.2fx  "
-                "%llu peak bytes\n",
+                "%llu peak bytes  %.0f cyc/pat\n",
                 row.label.c_str(), row.seconds,
                 patterns / std::max(row.seconds, 1e-12),
                 base_s / std::max(row.seconds, 1e-12),
-                static_cast<unsigned long long>(row.peak_bytes));
+                static_cast<unsigned long long>(row.peak_bytes),
+                static_cast<double>(row.span_cycles) /
+                    std::max(patterns, 1.0));
 }
 
 // Serial-vs-parallel comparison of the fault-parallel ATPG driver
@@ -432,6 +472,25 @@ void write_metrics_overhead_json() {
                  "armed %.6fs vs disabled %.6fs (%.2f%% > 3%%)\n",
                  ev_on_s, ev_off_s, ev_overhead * 100.0);
 
+  // Profiler pair: the same fsim workload with the cycle profiler
+  // disarmed vs armed. The fsim spans are coarse (one per good-machine
+  // pass / 63-fault batch / kernel dispatch), so an armed run must stay
+  // inside the same 3% budget as the metrics registry.
+  double prof_off_s = 1e100, prof_on_s = 1e100;
+  for (int r = 0; r < kReps; ++r) {
+    prof_off_s = std::min(prof_off_s, timed_run());
+    Profiler::global().start();
+    prof_on_s = std::min(prof_on_s, timed_run());
+    Profiler::global().stop();
+  }
+  const double prof_overhead = prof_on_s / std::max(prof_off_s, 1e-12) - 1.0;
+  const bool prof_ok = prof_overhead < 0.03;
+  if (!prof_ok)
+    std::fprintf(stderr,
+                 "BENCH_metrics_overhead: PROFILER OVERHEAD VIOLATION: "
+                 "armed %.6fs vs disabled %.6fs (%.2f%% > 3%%)\n",
+                 prof_on_s, prof_off_s, prof_overhead * 100.0);
+
   std::FILE* f = std::fopen("BENCH_metrics_overhead.json", "w");
   if (!f) {
     std::fprintf(stderr,
@@ -452,12 +511,17 @@ void write_metrics_overhead_json() {
                "  \"events_disabled_seconds\": %.6f,\n"
                "  \"events_armed_seconds\": %.6f,\n"
                "  \"events_overhead_fraction\": %.4f,\n"
-               "  \"events_within_budget\": %s\n"
+               "  \"events_within_budget\": %s,\n"
+               "  \"profile_disabled_seconds\": %.6f,\n"
+               "  \"profile_armed_seconds\": %.6f,\n"
+               "  \"profile_overhead_fraction\": %.4f,\n"
+               "  \"profile_within_budget\": %s\n"
                "}\n",
                nl.name().c_str(), faults.size(), off_s, on_s, overhead,
                ok ? "true" : "false",
                static_cast<unsigned long long>(fsim_peak_bytes), ev_off_s,
-               ev_on_s, ev_overhead, ev_ok ? "true" : "false");
+               ev_on_s, ev_overhead, ev_ok ? "true" : "false", prof_off_s,
+               prof_on_s, prof_overhead, prof_ok ? "true" : "false");
   std::fclose(f);
   std::printf("BENCH_metrics_overhead.json: disabled %.3fs, enabled %.3fs, "
               "overhead %.2f%% (budget 3%%)\n",
@@ -465,6 +529,9 @@ void write_metrics_overhead_json() {
   std::printf("BENCH_metrics_overhead.json: events disabled %.3fs, "
               "armed %.3fs, overhead %.2f%% (budget 3%%)\n",
               ev_off_s, ev_on_s, ev_overhead * 100.0);
+  std::printf("BENCH_metrics_overhead.json: profiler disabled %.3fs, "
+              "armed %.3fs, overhead %.2f%% (budget 3%%)\n",
+              prof_off_s, prof_on_s, prof_overhead * 100.0);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include "atpg/podem.h"
 #include "base/check.h"
 #include "base/memstats.h"
+#include "base/profiler.h"
 
 namespace satpg {
 
@@ -140,6 +141,7 @@ void CdclSolver::enqueue(CnfLit l, int reason) {
 }
 
 int CdclSolver::propagate() {
+  ProfileSpan prof_span(ProfPhase::kCdclPropagate);
   while (qhead_ < trail_.size()) {
     const CnfLit p = trail_[qhead_++];  // p is now true
     std::vector<int>& ws = watches_[static_cast<std::size_t>(lit_not(p))];
@@ -193,6 +195,7 @@ void CdclSolver::decay_var_inc() { var_inc_ *= (1.0 / 0.95); }
 
 void CdclSolver::analyze(int confl, std::vector<CnfLit>* learnt,
                          int* bt_level) {
+  ProfileSpan prof_span(ProfPhase::kCdclAnalyze);
   // Standard first-UIP resolution walk over the implication graph, with no
   // clause minimization afterwards: the result is exactly the asserting
   // clause the textbook construction yields, which the hand-built conflict
@@ -275,6 +278,7 @@ void CdclSolver::rebuild_watches() {
 }
 
 void CdclSolver::reduce_db() {
+  ProfileSpan prof_span(ProfPhase::kCdclReduceDb);
   // Candidates: learned, not binary, not a reason, LBD above the
   // keep-forever threshold. Order by (LBD, clause index): older clauses of
   // equal quality die first — a total order independent of anything but

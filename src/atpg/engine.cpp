@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "atpg/capture.h"
 #include "atpg/cdcl/cdcl.h"
 #include "base/metrics.h"
+#include "base/profiler.h"
 #include "base/rng.h"
 #include "base/trace.h"
 
@@ -57,6 +59,10 @@ AtpgEngine::JustifyOutcome AtpgEngine::justify(
     const std::vector<std::pair<NodeId, V3>>& cube, int depth,
     StateSet& on_path, PodemBudget& budget) {
   if (cube.empty()) return {true, {}};
+  // Span only the outermost call: justification recurses through nested
+  // frames, and a span per level would double-count every inner cycle.
+  std::optional<ProfileSpan> prof_span;
+  if (depth == 0) prof_span.emplace(ProfPhase::kPodemJustify);
   if (progress_ != nullptr)
     progress_->phase.store(static_cast<std::uint32_t>(SearchPhase::kJustify),
                            std::memory_order_relaxed);

@@ -10,6 +10,7 @@
 #include "base/json.h"
 #include "base/memstats.h"
 #include "base/metrics.h"
+#include "base/profiler.h"
 #include "base/strutil.h"
 #include "base/threadpool.h"
 #include "base/trace.h"
@@ -657,6 +658,7 @@ ParallelAtpgResult run_parallel_atpg(const Netlist& nl,
 
     // ---- merge barrier: unit order, fault order within a unit ----
     TraceSpan merge_span("atpg.merge", "atpg");
+    ProfileSpan merge_prof(ProfPhase::kAtpgMerge);
     for (std::size_t u = 0; u < num_units; ++u) {
       const std::size_t lo = u * kUnitSize;
       UnitOutcome& out = outcome[u];

@@ -4,6 +4,7 @@
 
 #include "atpg/capture.h"
 #include "base/metrics.h"
+#include "base/profiler.h"
 
 namespace satpg {
 
@@ -208,6 +209,7 @@ std::optional<Podem::Objective> Podem::pick_objective() const {
 }
 
 std::optional<Podem::Objective> Podem::backtrace(Objective obj) const {
+  ProfileSpan prof_span(ProfPhase::kPodemBacktrace);
   const Netlist& nl = tfm_.netlist();
   int frame = obj.frame;
   NodeId node = obj.node;

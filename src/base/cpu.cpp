@@ -1,5 +1,6 @@
 #include "base/cpu.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -109,6 +110,56 @@ SimdTier best_supported_tier() {
   if (f.avx2) return SimdTier::kAvx2;
   if (f.sse2) return SimdTier::kSse2;
   return SimdTier::kScalar;
+}
+
+namespace {
+
+std::string probe_cpu_model() {
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned max_ext = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(0x80000000u, &max_ext, &ebx, &ecx, &edx) &&
+      max_ext >= 0x80000004u) {
+    char brand[49] = {};
+    auto* words = reinterpret_cast<unsigned*>(brand);
+    for (unsigned leaf = 0; leaf < 3; ++leaf)
+      __get_cpuid(0x80000002u + leaf, &words[leaf * 4 + 0],
+                  &words[leaf * 4 + 1], &words[leaf * 4 + 2],
+                  &words[leaf * 4 + 3]);
+    std::string name(brand);
+    // The brand string is padded; trim the edges.
+    while (!name.empty() && name.front() == ' ') name.erase(name.begin());
+    while (!name.empty() && (name.back() == ' ' || name.back() == '\0'))
+      name.pop_back();
+    if (!name.empty()) return name;
+  }
+#endif
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/cpuinfo", "r")) {
+    char line[512];
+    while (std::fgets(line, sizeof(line), f)) {
+      if (std::strncmp(line, "model name", 10) != 0) continue;
+      const char* colon = std::strchr(line, ':');
+      if (colon == nullptr) continue;
+      std::string name(colon + 1);
+      while (!name.empty() && (name.front() == ' ' || name.front() == '\t'))
+        name.erase(name.begin());
+      while (!name.empty() && (name.back() == '\n' || name.back() == ' '))
+        name.pop_back();
+      std::fclose(f);
+      if (!name.empty()) return name;
+      break;
+    }
+    std::fclose(f);
+  }
+#endif
+  return "unknown";
+}
+
+}  // namespace
+
+const std::string& cpu_model_name() {
+  static const std::string name = probe_cpu_model();
+  return name;
 }
 
 bool simd_force_scalar_env() {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace satpg {
 
@@ -51,5 +52,12 @@ SimdTier best_supported_tier();
 
 /// Cached one-time read of SATPG_FORCE_SCALAR: set and not "0" => true.
 bool simd_force_scalar_env();
+
+/// Marketing name of the running CPU ("AMD EPYC 7B13", ...), read once
+/// from the CPUID brand string (x86) or /proc/cpuinfo; "unknown" when
+/// neither works. Wall-plane provenance only — it names the machine, so
+/// it may appear in bench/profile artifacts but never in deterministic
+/// reports.
+const std::string& cpu_model_name();
 
 }  // namespace satpg

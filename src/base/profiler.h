@@ -1,0 +1,223 @@
+// Cycle-level profiling: hardware counters attributed to engine phases.
+//
+// The profiler answers "where do the cycles go" for the hot phases of
+// every engine — the fsim good-machine pass and faulty batches, the wide
+// kernel per dispatched SIMD tier, PODEM justify/backtrace, the CDCL
+// solver's propagate/analyze/reduce, and the parallel driver's merge
+// barrier — with per-worker lanes so the attribution survives any
+// `--threads` value.
+//
+// Like the monitor (DESIGN.md §7) and the trace recorder, everything here
+// lives on the wall-clock plane: counter readings are nondeterministic by
+// nature and may only ever reach the `satpg.profile.v1` sidecar
+// (`--profile-json`), never the deterministic metrics/events artifacts.
+// While disabled, a ProfileSpan costs one relaxed load in the constructor
+// and nothing in the destructor — the same contract as TraceSpan — so the
+// spans can sit on per-decision paths without perturbing unprofiled runs.
+//
+// Backend ladder (probed once per start()):
+//   * perf_event  per-thread perf_event_open counter group (cycles,
+//                 instructions, cache-references, cache-misses,
+//                 branch-misses) plus CLOCK_THREAD_CPUTIME_ID task-clock.
+//   * fallback    CLOCK_THREAD_CPUTIME_ID task-clock only — containers
+//                 with perf_event_paranoid locked down, and non-Linux.
+// `SATPG_PROFILE_BACKEND=fallback` pins the fallback (CI runners mask
+// perf_event); `=perf` requests the perf backend but still degrades to
+// the fallback when the syscall is refused — arming the profiler must
+// never fail a run.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/cpu.h"
+
+namespace satpg {
+
+/// One profiled phase. Enum order is sorted-name order (like
+/// MemSubsystem), so iterating the enum emits sorted JSON keys.
+enum class ProfPhase : std::uint8_t {
+  kAtpgMerge = 0,         ///< parallel driver merge barrier
+  kCdclAnalyze,           ///< CDCL conflict analysis (1UIP)
+  kCdclPropagate,         ///< CDCL unit propagation
+  kCdclReduceDb,          ///< CDCL learned-clause DB reduction
+  kFsimBatch,             ///< 64-slot faulty-batch simulation
+  kFsimGood,              ///< 64-slot good-machine pass
+  kFsimWideGood,          ///< wide engine group good-machine pass
+  kFsimWideKernelAvx2,    ///< wide kernel, avx2 tier
+  kFsimWideKernelAvx512,  ///< wide kernel, avx512 tier
+  kFsimWideKernelScalar,  ///< wide kernel, scalar tier
+  kFsimWideKernelSse2,    ///< wide kernel, sse2 tier
+  kPodemBacktrace,        ///< PODEM objective backtrace
+  kPodemJustify,          ///< multi-frame state justification (depth 0)
+};
+inline constexpr std::size_t kNumProfPhases = 13;
+
+/// "atpg.merge", "cdcl.propagate", ... — stable JSON keys.
+const char* prof_phase_name(ProfPhase p);
+/// Owning subsystem for rollups: "atpg", "cdcl", "fsim", "podem".
+const char* prof_phase_subsystem(ProfPhase p);
+/// The wide-kernel phase for a resolved (non-auto) SIMD tier.
+ProfPhase prof_phase_for_wide_kernel(SimdTier tier);
+
+/// Per-span counter slots. kTaskClockNs is sampled from
+/// CLOCK_THREAD_CPUTIME_ID under both backends; the rest only move under
+/// the perf_event backend.
+enum class ProfCounter : std::uint8_t {
+  kTaskClockNs = 0,
+  kCycles,
+  kInstructions,
+  kCacheReferences,
+  kCacheMisses,
+  kBranchMisses,
+};
+inline constexpr std::size_t kNumProfCounters = 6;
+const char* prof_counter_name(ProfCounter c);
+
+enum class ProfBackend : std::uint8_t { kOff = 0, kPerfEvent, kFallback };
+const char* prof_backend_name(ProfBackend b);
+
+namespace detail {
+extern std::atomic<bool> g_profiler_enabled;
+}
+
+inline bool profiler_enabled() {
+  return detail::g_profiler_enabled.load(std::memory_order_relaxed);
+}
+
+/// Folded counters for one phase (one lane, or a fold across lanes).
+struct ProfPhaseTotals {
+  std::uint64_t calls = 0;
+  std::uint64_t counters[kNumProfCounters] = {};
+
+  void add(const ProfPhaseTotals& o) {
+    calls += o.calls;
+    for (std::size_t c = 0; c < kNumProfCounters; ++c)
+      counters[c] += o.counters[c];
+  }
+  std::uint64_t counter(ProfCounter c) const {
+    return counters[static_cast<std::size_t>(c)];
+  }
+};
+
+/// Plain copy of the profiler state taken at stop()/snapshot() time.
+struct ProfSnapshot {
+  struct Lane {
+    unsigned lane = 0;
+    ProfPhaseTotals phases[kNumProfPhases];
+  };
+  struct Sample {
+    std::uint64_t at_ms = 0;         ///< wall offset from start()
+    std::uint64_t task_clock_ns = 0; ///< cross-lane total at the sample
+    std::uint64_t cycles = 0;
+  };
+
+  ProfBackend backend = ProfBackend::kOff;
+  double wall_seconds = 0.0;
+  std::vector<Lane> lanes;  ///< lanes with activity, ascending lane id
+  std::vector<Sample> samples;
+  std::uint64_t samples_dropped = 0;
+
+  /// Fold of one phase across all lanes.
+  ProfPhaseTotals phase(ProfPhase p) const;
+  /// Fold of every phase across all lanes.
+  ProfPhaseTotals total() const;
+};
+
+/// Process-wide profiler. start()/stop() bracket the measured work;
+/// ProfileSpans accumulate into fixed per-worker lanes (indexed by
+/// telemetry_thread_index(); threads past the lane cap share the last
+/// lane). Not reentrant: one start()/stop() pair at a time.
+class Profiler {
+ public:
+  static constexpr std::size_t kMaxLanes = 64;
+
+  struct Options {
+    /// Sampler period; 0 = no sampler thread. The sampler appends
+    /// cross-lane totals to the snapshot's timeline on the wall clock.
+    std::uint64_t sample_interval_ms = 0;
+    /// Timeline cap; samples past it are counted as dropped.
+    std::uint64_t max_samples = 4096;
+  };
+
+  /// Reset lanes, probe the backend (honoring SATPG_PROFILE_BACKEND),
+  /// optionally spawn the sampler, and enable span recording.
+  void start(const Options& opts);
+  void start() { start(Options()); }
+  /// Disable recording, join the sampler, and freeze wall_seconds.
+  void stop();
+
+  /// Backend selected by the last start() (kOff before any start()).
+  ProfBackend backend() const {
+    return static_cast<ProfBackend>(
+        backend_.load(std::memory_order_relaxed));
+  }
+
+  /// Copy of everything recorded since the last start().
+  ProfSnapshot snapshot() const;
+
+  static Profiler& global();
+
+  // --- ProfileSpan internals -----------------------------------------------
+  /// Read the calling thread's counters into vals[kNumProfCounters].
+  void read_thread_counters(std::uint64_t* vals);
+  /// Accumulate one completed span's deltas into the caller's lane.
+  void accumulate(ProfPhase phase, const std::uint64_t* deltas);
+
+ private:
+  struct alignas(64) Lane {
+    struct Phase {
+      std::atomic<std::uint64_t> calls{0};
+      std::atomic<std::uint64_t> counters[kNumProfCounters];
+    };
+    Phase phases[kNumProfPhases];
+  };
+
+  void sampler_loop(std::uint64_t interval_ms, std::uint64_t max_samples);
+
+  Lane lanes_[kMaxLanes];
+  std::atomic<std::uint8_t> backend_{0};
+  std::chrono::steady_clock::time_point epoch_;
+  double wall_seconds_ = 0.0;
+
+  mutable std::mutex samples_mu_;
+  std::vector<ProfSnapshot::Sample> samples_;
+  std::uint64_t samples_dropped_ = 0;
+
+  std::thread sampler_;
+  std::atomic<bool> sampler_stop_{false};
+  std::mutex sampler_mu_;
+  std::condition_variable sampler_cv_;
+};
+
+/// RAII phase span: reads the thread's counters at construction and
+/// destruction and charges the delta to the phase on the calling thread's
+/// lane. One relaxed load and an early return while the profiler is off.
+class ProfileSpan {
+ public:
+  explicit ProfileSpan(ProfPhase phase) : active_(profiler_enabled()) {
+    if (active_) {
+      phase_ = phase;
+      Profiler::global().read_thread_counters(at_);
+    }
+  }
+  ~ProfileSpan() {
+    if (active_) end();
+  }
+  ProfileSpan(const ProfileSpan&) = delete;
+  ProfileSpan& operator=(const ProfileSpan&) = delete;
+
+ private:
+  void end();
+
+  ProfPhase phase_{};
+  bool active_;
+  std::uint64_t at_[kNumProfCounters];
+};
+
+}  // namespace satpg

@@ -11,6 +11,7 @@
 #include "base/json.h"
 #include "base/memstats.h"
 #include "base/metrics.h"
+#include "base/profiler.h"
 #include "base/trace.h"
 
 namespace satpg {
@@ -66,6 +67,20 @@ bool TelemetryFlags::parse(const char* arg) {
       error = arg;
     return true;
   }
+  if (const char* v = flag_value(arg, "--profile-json=")) {
+    profile_json = v;
+    return true;
+  }
+  if (const char* v = flag_value(arg, "--profile-interval-ms=")) {
+    if (!parse_positive_u64(v, &profile_interval_ms) && error.empty())
+      error = arg;
+    return true;
+  }
+  if (const char* v = flag_value(arg, "--profile-max-samples=")) {
+    if (!parse_positive_u64(v, &profile_max_samples) && error.empty())
+      error = arg;
+    return true;
+  }
   if (std::strcmp(arg, "--progress") == 0) {
     progress = true;
     return true;
@@ -81,6 +96,12 @@ void TelemetryFlags::arm() const {
     set_memstats_enabled(true);
   }
   if (trace_enabled()) TraceRecorder::global().start();
+  if (profile_enabled()) {
+    Profiler::Options popts;
+    popts.sample_interval_ms = profile_interval_ms;
+    popts.max_samples = profile_max_samples;
+    Profiler::global().start(popts);
+  }
 }
 
 bool TelemetryFlags::finish_trace(std::ostream* info) const {

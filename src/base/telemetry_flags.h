@@ -7,6 +7,10 @@
 //   --heartbeat-json=FILE        live NDJSON heartbeat stream (wall-clock)
 //   --heartbeat-interval-ms=N    monitor sampling period (default 500)
 //   --progress                   one-line live progress samples on stderr
+//   --profile-json=FILE          cycle profiler sidecar (wall-clock plane)
+//   --profile-interval-ms=N      profiler timeline sampler period (off by
+//                                default; counters alone need no thread)
+//   --profile-max-samples=N      profiler timeline cap (default 4096)
 // TelemetryFlags is the one place those flags are recognized and acted on,
 // so the CLI subcommands, the bench mains, and the experiment harness all
 // agree on spelling and arming semantics instead of each carrying a copy.
@@ -40,8 +44,13 @@ struct TelemetryFlags {
   std::string events_json;     ///< empty = flight recorder disabled
   std::string trace_json;      ///< empty = tracing disabled
   std::string heartbeat_json;  ///< empty = no heartbeat stream
+  std::string profile_json;    ///< empty = cycle profiler disabled
   bool progress = false;       ///< live progress lines on stderr
   std::uint64_t heartbeat_interval_ms = 500;
+  /// Profiler timeline sampler period (0 = counters only, no sampler)
+  /// and its sample cap (--profile-interval-ms / --profile-max-samples).
+  std::uint64_t profile_interval_ms = 0;
+  std::uint64_t profile_max_samples = 4096;
   /// First flag whose value failed strict validation ("" = all valid).
   /// parse() still consumes such a flag; callers must check error after
   /// their flag loop and exit 2 with usage.
@@ -57,6 +66,7 @@ struct TelemetryFlags {
   bool monitor_enabled() const {
     return !heartbeat_json.empty() || progress;
   }
+  bool profile_enabled() const { return !profile_json.empty(); }
 
   /// The parsed monitor flags in the shape base/monitor.h consumes.
   RunMonitorOptions monitor_options() const {

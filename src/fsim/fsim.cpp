@@ -5,6 +5,7 @@
 
 #include "base/memstats.h"
 #include "base/metrics.h"
+#include "base/profiler.h"
 #include "base/threadpool.h"
 #include "base/trace.h"
 #include "fsim/wide_driver.h"
@@ -448,7 +449,10 @@ FsimResult run_fault_simulation(const Netlist& nl,
     // The good machine runs once per sequence; batches only re-simulate
     // the faulty cones against it. This also records the state trajectory
     // without ever simulating an empty batch.
-    simulate_good(nl, sequences[si], trace, &res.good_states);
+    {
+      ProfileSpan good_span(ProfPhase::kFsimGood);
+      simulate_good(nl, sequences[si], trace, &res.good_states);
+    }
 
     // Remaining (undetected) faults, batched 63 at a time. The batch
     // partition is fixed before any batch runs and every batch writes only
@@ -471,6 +475,7 @@ FsimResult run_fault_simulation(const Netlist& nl,
       const std::size_t lo = b * 63;
       const std::size_t n =
           std::min<std::size_t>(63, remaining.size() - lo);
+      ProfileSpan batch_span(ProfPhase::kFsimBatch);
       simulate_batch(nl, faults, remaining.data() + lo, n, sequences[si],
                      trace, arena, newly.data(), newly_pot.data());
     };

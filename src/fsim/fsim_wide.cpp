@@ -29,6 +29,7 @@
 #include "base/cpu.h"
 #include "base/memstats.h"
 #include "base/metrics.h"
+#include "base/profiler.h"
 #include "base/threadpool.h"
 #include "fsim/wide_driver.h"
 #include "fsim/wide_internal.h"
@@ -303,7 +304,8 @@ void simulate_group_batch(const Netlist& nl, const Topo& tp,
                           const std::vector<Fault>& faults,
                           const std::size_t* batch, std::size_t batch_size,
                           const GroupGood& gg, KernelFn kernel,
-                          WideArena& a, std::uint8_t* det_lanes,
+                          ProfPhase kernel_phase, WideArena& a,
+                          std::uint8_t* det_lanes,
                           std::uint8_t* pot_lanes) {
   SATPG_DCHECK(batch_size >= 1 && batch_size <= 63);
   a.prepare(nl, tp.max_fanins);
@@ -393,7 +395,12 @@ void simulate_group_batch(const Netlist& nl, const Topo& tp,
   w.gate_evals = &gate_evals;
   w.activity_skips = &activity_skips;
 
-  kernel(w);
+  {
+    // Attributed to the dispatched tier's phase, so a profile splits the
+    // wide-kernel cycles by the instruction set that actually ran.
+    ProfileSpan kernel_span(kernel_phase);
+    kernel(w);
+  }
 
   for (std::size_t k = 0; k < batch_size; ++k) {
     const unsigned slot = static_cast<unsigned>(k + 1);
@@ -432,6 +439,7 @@ FsimResult run_wide(const Netlist& nl, const std::vector<Fault>& faults,
                   "machine/build (see satpg fsim --width/--force-scalar)");
   KernelFn kernel = tier_kernel(tier);
   SATPG_CHECK(kernel != nullptr);
+  const ProfPhase kernel_phase = prof_phase_for_wide_kernel(tier);
 
   Topo tp;
   build_topo(nl, tp);
@@ -471,7 +479,11 @@ FsimResult run_wide(const Netlist& nl, const std::vector<Fault>& faults,
   for (std::size_t base = 0; base < sequences.size(); base += kLanes) {
     const unsigned lanes = static_cast<unsigned>(
         std::min<std::size_t>(kLanes, sequences.size() - base));
-    simulate_group_good(nl, sequences, base, lanes, gg, &res.good_states);
+    {
+      ProfileSpan good_span(ProfPhase::kFsimWideGood);
+      simulate_group_good(nl, sequences, base, lanes, gg,
+                          &res.good_states);
+    }
 
     remaining.clear();
     for (std::size_t i = 0; i < faults.size(); ++i)
@@ -484,7 +496,7 @@ FsimResult run_wide(const Netlist& nl, const std::vector<Fault>& faults,
       const std::size_t nb =
           std::min<std::size_t>(63, remaining.size() - lo);
       simulate_group_batch(nl, tp, faults, remaining.data() + lo, nb, gg,
-                           kernel, arena, det_lanes.data(),
+                           kernel, kernel_phase, arena, det_lanes.data(),
                            pot_lanes.data());
     };
     const auto workers = static_cast<unsigned>(

@@ -33,9 +33,12 @@ ArchiveEntry identity_of(const std::string& report_text) {
     throw std::runtime_error("report is not a JSON object");
   ArchiveEntry e;
   e.schema = root.str_or("schema", "");
-  if (e.schema.rfind("satpg.atpg_run.", 0) != 0)
-    throw std::runtime_error("not an atpg_run report (schema \"" + e.schema +
-                             "\")");
+  // Profile sidecars carry the same circuit/engine identity blocks as the
+  // reports they ride along with, so the same digest joins the two planes.
+  if (e.schema.rfind("satpg.atpg_run.", 0) != 0 &&
+      e.schema.rfind("satpg.profile.", 0) != 0)
+    throw std::runtime_error("not an atpg_run report or profile (schema \"" +
+                             e.schema + "\")");
   const JsonValue* circuit = root.find("circuit");
   const JsonValue* engine = root.find("engine");
   if (circuit == nullptr || engine == nullptr)

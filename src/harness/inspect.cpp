@@ -577,6 +577,201 @@ void render_memory_json(std::ostream& os, const Doc& doc,
   os << "]\n}\n";
 }
 
+// ---- profile sidecar view ---------------------------------------------------
+
+/// One phase row of a satpg.profile.v1 sidecar.
+struct ProfRow {
+  std::string name;
+  std::string subsystem;
+  std::uint64_t calls = 0;
+  std::uint64_t task_ns = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_refs = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+/// A parsed satpg.profile.v1 sidecar, plus the same configuration string
+/// the archive digests — the join key for the trend view.
+struct ProfDoc {
+  std::string schema;
+  std::string tool;
+  std::string circuit;
+  std::string engine;
+  std::string backend;
+  std::string host_cpu;
+  std::string config;  ///< archive identity string (pre-digest)
+  double wall_seconds = 0.0;
+  std::uint64_t evals = 0;
+  std::uint64_t patterns = 0;
+  std::vector<ProfRow> phases;  ///< writer's sorted-name order
+  ProfRow total;
+  /// Derived rates, in writer order (cycles_per_eval, evals_per_second, …).
+  std::vector<std::pair<std::string, double>> derived;
+};
+
+void parse_prof_row(const JsonValue& v, ProfRow* r) {
+  r->calls = v.uint_or("calls", 0);
+  r->task_ns = v.uint_or("task_clock_ns", 0);
+  r->cycles = v.uint_or("cycles", 0);
+  r->instructions = v.uint_or("instructions", 0);
+  r->cache_refs = v.uint_or("cache_references", 0);
+  r->cache_misses = v.uint_or("cache_misses", 0);
+}
+
+/// The archive's pre-digest identity string for any document carrying the
+/// shared circuit/engine identity blocks (report or profile sidecar).
+std::string config_of(const JsonValue& root) {
+  std::string circuit = "?";
+  if (const JsonValue* c = root.find("circuit"))
+    circuit = c->str_or("name", "?");
+  std::string config = circuit + "|";
+  const JsonValue* e = root.find("engine");
+  static const JsonValue kEmpty;
+  if (e == nullptr) e = &kEmpty;
+  config += strprintf(
+      "%s eval=%llu bt=%llu fwd=%llu bwd=%llu seed=%llu",
+      e->str_or("kind", "?").c_str(),
+      static_cast<unsigned long long>(e->uint_or("eval_limit", 0)),
+      static_cast<unsigned long long>(e->uint_or("backtrack_limit", 0)),
+      static_cast<unsigned long long>(e->uint_or("max_forward_frames", 0)),
+      static_cast<unsigned long long>(e->uint_or("max_backward_frames", 0)),
+      static_cast<unsigned long long>(e->uint_or("seed", 0)));
+  return config;
+}
+
+bool parse_profile_doc(const JsonValue& root, ProfDoc* doc,
+                       std::string* error) {
+  doc->schema = root.str_or("schema", "?");
+  if (doc->schema.rfind("satpg.profile.", 0) != 0) {
+    if (error)
+      *error = "not a profile sidecar (schema \"" + doc->schema +
+               "\"; need --profile-json output)";
+    return false;
+  }
+  doc->tool = root.str_or("tool", "?");
+  if (const JsonValue* c = root.find("circuit"))
+    doc->circuit = c->str_or("name", "?");
+  if (const JsonValue* e = root.find("engine"))
+    doc->engine = e->str_or("kind", "?");
+  doc->backend = root.str_or("backend", "?");
+  doc->host_cpu = root.str_or("host_cpu", "");
+  doc->config = config_of(root);
+  doc->wall_seconds = root.num_or("wall_seconds", 0.0);
+  if (const JsonValue* w = root.find("work")) {
+    doc->evals = w->uint_or("evals", 0);
+    doc->patterns = w->uint_or("patterns", 0);
+  }
+  if (const JsonValue* ph = root.find("phases"); ph && ph->is_object())
+    for (const auto& [name, v] : ph->members()) {
+      ProfRow r;
+      r.name = name;
+      r.subsystem = v.str_or("subsystem", "?");
+      parse_prof_row(v, &r);
+      doc->phases.push_back(std::move(r));
+    }
+  if (const JsonValue* tot = root.find("total"))
+    parse_prof_row(*tot, &doc->total);
+  if (const JsonValue* d = root.find("derived"); d && d->is_object())
+    for (const auto& [name, v] : d->members())
+      if (v.is_number()) doc->derived.emplace_back(name, v.number());
+  return true;
+}
+
+/// Phases ranked costliest-first: task-clock desc (the counter both
+/// backends drive), then name asc. Zero-call phases are dropped.
+std::vector<const ProfRow*> ranked_phases(const ProfDoc& doc) {
+  std::vector<const ProfRow*> ranked;
+  for (const ProfRow& r : doc.phases)
+    if (r.calls > 0) ranked.push_back(&r);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const ProfRow* x, const ProfRow* y) {
+              if (x->task_ns != y->task_ns) return x->task_ns > y->task_ns;
+              return x->name < y->name;
+            });
+  return ranked;
+}
+
+std::string pct_of(std::uint64_t part, std::uint64_t whole) {
+  if (whole == 0) return "-";
+  return strprintf("%.1f",
+                   100.0 * static_cast<double>(part) /
+                       static_cast<double>(whole));
+}
+
+void render_profile_txt(std::ostream& os, const ProfDoc& doc) {
+  os << "=== profile: " << doc.circuit << " (" << doc.engine << ", "
+     << doc.tool << ") — " << doc.schema << " ===\n";
+  os << "backend: " << doc.backend << ", wall: "
+     << strprintf("%.6g", doc.wall_seconds) << " s, work: " << doc.evals
+     << " evals, " << doc.patterns << " patterns\n\n";
+
+  const auto ranked = ranked_phases(doc);
+  os << "phases (by task-clock):\n";
+  Table t({"rank", "phase", "subsystem", "calls", "task_ms", "task %",
+           "cycles", "ipc", "miss %"});
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    const ProfRow& r = *ranked[i];
+    t.add_row({strprintf("%zu", i + 1), r.name, r.subsystem,
+               fmt_u64(r.calls),
+               strprintf("%.3f", static_cast<double>(r.task_ns) / 1e6),
+               pct_of(r.task_ns, doc.total.task_ns),
+               r.cycles == 0 ? "-" : fmt_u64(r.cycles),
+               r.cycles == 0 || r.instructions == 0
+                   ? "-"
+                   : strprintf("%.2f", static_cast<double>(r.instructions) /
+                                           static_cast<double>(r.cycles)),
+               r.cache_refs == 0 ? "-"
+                                 : pct_of(r.cache_misses, r.cache_refs)});
+  }
+  os << t.to_string() << "\n";
+
+  os << "total: " << doc.total.calls << " spans, "
+     << strprintf("%.3f", static_cast<double>(doc.total.task_ns) / 1e6)
+     << " ms task-clock";
+  if (doc.total.cycles > 0) os << ", " << doc.total.cycles << " cycles";
+  os << "\n";
+  if (!doc.derived.empty()) {
+    os << "derived:\n";
+    Table d({"rate", "value"});
+    for (const auto& [name, value] : doc.derived)
+      d.add_row({name, strprintf("%.6g", value)});
+    os << d.to_string();
+  }
+}
+
+void render_profile_json(std::ostream& os, const ProfDoc& doc) {
+  os << "{\n  \"schema\": \"satpg.inspect_profile.v1\",\n";
+  os << "  \"source\": {\"schema\": \"" << json_escape(doc.schema)
+     << "\", \"tool\": \"" << json_escape(doc.tool) << "\", \"circuit\": \""
+     << json_escape(doc.circuit) << "\", \"engine\": \""
+     << json_escape(doc.engine) << "\"},\n";
+  os << "  \"backend\": \"" << json_escape(doc.backend) << "\",\n";
+  os << "  \"wall_seconds\": " << strprintf("%.6g", doc.wall_seconds)
+     << ",\n";
+  os << "  \"work\": {\"evals\": " << doc.evals << ", \"patterns\": "
+     << doc.patterns << "},\n";
+  os << "  \"phases\": [";
+  const auto ranked = ranked_phases(doc);
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    const ProfRow& r = *ranked[i];
+    os << (i == 0 ? "\n    " : ",\n    ") << "{\"phase\": \""
+       << json_escape(r.name) << "\", \"subsystem\": \""
+       << json_escape(r.subsystem) << "\", \"calls\": " << r.calls
+       << ", \"task_clock_ns\": " << r.task_ns << ", \"cycles\": "
+       << r.cycles << ", \"instructions\": " << r.instructions << "}";
+  }
+  os << "],\n";
+  os << "  \"total\": {\"calls\": " << doc.total.calls
+     << ", \"task_clock_ns\": " << doc.total.task_ns << ", \"cycles\": "
+     << doc.total.cycles << "},\n";
+  os << "  \"derived\": {";
+  for (std::size_t i = 0; i < doc.derived.size(); ++i)
+    os << (i == 0 ? "" : ", ") << "\"" << json_escape(doc.derived[i].first)
+       << "\": " << strprintf("%.6g", doc.derived[i].second);
+  os << "}\n}\n";
+}
+
 void render_fault_txt(std::ostream& os, const Doc& doc, const FaultRec& f) {
   os << "=== fault " << f.name << " (index " << f.index << ") — "
      << doc.circuit << " (" << doc.engine << ") ===\n";
@@ -629,6 +824,21 @@ void render_fault_json(std::ostream& os, const Doc& doc, const FaultRec& f) {
 
 bool inspect_source(std::ostream& os, const std::string& text,
                     const InspectOptions& opts, std::string* error) {
+  if (opts.profile) {
+    JsonValue root;
+    std::string jerr;
+    if (!json_parse(text, &root, &jerr)) {
+      if (error) *error = jerr;
+      return false;
+    }
+    ProfDoc doc;
+    if (!parse_profile_doc(root, &doc, error)) return false;
+    if (opts.json)
+      render_profile_json(os, doc);
+    else
+      render_profile_txt(os, doc);
+    return true;
+  }
   Doc doc;
   if (!parse_doc(text, &doc, error)) return false;
   if (opts.memory) {
@@ -785,6 +995,121 @@ bool inspect_diff(std::ostream& os, const std::string& a_text,
                  fmt_u64(d.fa->evals), fmt_u64(d.fb->evals)});
     os << t.to_string();
   }
+  return true;
+}
+
+bool inspect_trend(std::ostream& os, const std::vector<TrendEntry>& entries,
+                   const InspectOptions& opts, std::string* error) {
+  struct TrendRow {
+    std::string hash;
+    Doc report;
+    std::string config;
+    const ProfDoc* profile = nullptr;  ///< joined sidecar, if any
+  };
+
+  // Pass 1: parse everything; last profile per configuration wins, so a
+  // re-profiled run supersedes its older sidecar no matter where the
+  // report sits in append order.
+  std::vector<TrendRow> rows;
+  std::map<std::string, ProfDoc> profiles;
+  for (const TrendEntry& entry : entries) {
+    JsonValue root;
+    std::string jerr;
+    if (!json_parse(entry.text, &root, &jerr)) {
+      if (error) *error = "entry " + entry.hash + ": " + jerr;
+      return false;
+    }
+    const std::string schema = root.str_or("schema", "");
+    if (schema.rfind("satpg.profile.", 0) == 0) {
+      ProfDoc p;
+      if (!parse_profile_doc(root, &p, error)) return false;
+      profiles[p.config] = std::move(p);
+      continue;
+    }
+    if (schema.rfind("satpg.atpg_run.", 0) != 0) {
+      if (error)
+        *error = "entry " + entry.hash +
+                 ": not an atpg_run report or profile (schema \"" + schema +
+                 "\")";
+      return false;
+    }
+    TrendRow row;
+    row.hash = entry.hash;
+    row.config = config_of(root);
+    if (!parse_report_doc(root, &row.report, error)) {
+      if (error) *error = "entry " + entry.hash + ": " + *error;
+      return false;
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    if (error)
+      *error = strprintf("no atpg_run reports among %zu archived documents",
+                         entries.size());
+    return false;
+  }
+  for (TrendRow& row : rows) {
+    const auto it = profiles.find(row.config);
+    if (it != profiles.end()) row.profile = &it->second;
+  }
+
+  // Joined rates come off the profile's derived block; "-" when no
+  // sidecar matched or the backend could not drive the counter.
+  const auto derived_of = [](const ProfDoc* p,
+                             const char* key) -> std::string {
+    if (p == nullptr) return "-";
+    for (const auto& [name, value] : p->derived)
+      if (name == key) return strprintf("%.6g", value);
+    return "-";
+  };
+
+  if (opts.json) {
+    os << "{\n  \"schema\": \"satpg.inspect_trend.v1\",\n";
+    os << "  \"rows\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const TrendRow& r = rows[i];
+      os << (i == 0 ? "\n    " : ",\n    ") << "{\"hash\": \""
+         << json_escape(r.hash) << "\", \"circuit\": \""
+         << json_escape(r.report.circuit) << "\", \"engine\": \""
+         << json_escape(r.report.engine) << "\", \"coverage\": "
+         << strprintf("%.17g", r.report.fault_coverage)
+         << ", \"evals\": " << r.report.evals << ", \"peak_bytes\": "
+         << r.report.mem_total_peak;
+      if (r.profile == nullptr) {
+        os << ", \"profile\": null}";
+      } else {
+        os << ", \"profile\": {\"backend\": \""
+           << json_escape(r.profile->backend)
+           << "\", \"wall_seconds\": "
+           << strprintf("%.6g", r.profile->wall_seconds);
+        for (const char* key : {"evals_per_second", "cycles_per_eval"}) {
+          const std::string v = derived_of(r.profile, key);
+          if (v != "-") os << ", \"" << key << "\": " << v;
+        }
+        os << "}}";
+      }
+    }
+    os << "\n  ]\n}\n";
+    return true;
+  }
+
+  os << "=== trend: " << rows.size() << " archived run"
+     << (rows.size() == 1 ? "" : "s") << ", " << profiles.size()
+     << " profile sidecar" << (profiles.size() == 1 ? "" : "s")
+     << " ===\n";
+  Table t({"run", "hash", "circuit", "engine", "coverage %", "evals",
+           "peak_bytes", "evals/s", "cycles/eval"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const TrendRow& r = rows[i];
+    t.add_row({strprintf("%zu", i + 1), r.hash.substr(0, 12),
+               r.report.circuit, r.report.engine,
+               strprintf("%.2f", r.report.fault_coverage),
+               fmt_u64(r.report.evals),
+               r.report.has_memory ? fmt_u64(r.report.mem_total_peak) : "-",
+               derived_of(r.profile, "evals_per_second"),
+               derived_of(r.profile, "cycles_per_eval")});
+  }
+  os << t.to_string();
   return true;
 }
 

@@ -13,9 +13,15 @@
 //     (report);
 //   * --memory: the v6 per-subsystem byte-accounting block, the budget
 //     verdict, and the hungriest faults ranked by per-attempt peak bytes.
+// inspect_source also accepts a satpg.profile.v1 sidecar when --profile
+// is set, rendering the ranked where-do-the-cycles-go phase table.
 // inspect_diff compares two reports as trajectories: summary deltas,
 // fault-efficiency milestones from the fe_trace, and the per-fault
 // divergence table.
+// inspect_trend walks a sequence of archived documents (reports and
+// profile sidecars, in archive append order) and renders one row per
+// report — coverage, evals, peak bytes, plus evals/s and cycles/eval
+// joined from the latest profile sidecar with the same configuration.
 //
 // Everything here is a pure function of the input texts — identical
 // inputs give byte-identical output in both txt and json formats, so
@@ -24,6 +30,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 namespace satpg {
 
@@ -36,8 +43,18 @@ struct InspectOptions {
   /// Memory view (--memory): the report's per-subsystem byte accounting
   /// plus the hungriest faults by peak_bytes. Requires a v6+ report.
   bool memory = false;
+  /// Profile view (--profile): the ranked per-phase cost table from a
+  /// satpg.profile.v1 sidecar (--profile-json output).
+  bool profile = false;
   /// Machine-readable output (--format=json) instead of aligned text.
   bool json = false;
+};
+
+/// One archived document handed to inspect_trend: the archive hash and
+/// the stored text (report or profile sidecar), in append order.
+struct TrendEntry {
+  std::string hash;
+  std::string text;
 };
 
 /// Inspect one artifact (event log or report text). Returns false with a
@@ -51,5 +68,13 @@ bool inspect_source(std::ostream& os, const std::string& text,
 bool inspect_diff(std::ostream& os, const std::string& a_text,
                   const std::string& b_text, const InspectOptions& opts,
                   std::string* error = nullptr);
+
+/// Cross-run trend table over archived documents in append order: one
+/// row per atpg_run report; profile sidecars in the sequence contribute
+/// evals/s and cycles/eval to the latest same-configuration report row
+/// ("-" when no profile matches). Returns false with *error when an
+/// entry is malformed or no report rows remain.
+bool inspect_trend(std::ostream& os, const std::vector<TrendEntry>& entries,
+                   const InspectOptions& opts, std::string* error = nullptr);
 
 }  // namespace satpg

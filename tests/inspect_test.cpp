@@ -2,14 +2,18 @@
 // artifact detection (events NDJSON vs atpg_run report), hardest-fault
 // ranking, provenance aggregation from both source kinds, per-fault
 // timelines, trajectory diffs, the v6 --memory view (subsystem table,
-// budget verdict, hungriest-fault ranking, pre-v6 rejection), and the
-// error paths the CLI maps to exit code 1. All inputs are synthetic strings, so these tests double as the
-// byte-stability contract: the expected substrings never depend on the
-// machine.
+// budget verdict, hungriest-fault ranking, pre-v6 rejection), the §12
+// --profile view (ranked phase table, fallback-backend "-" columns,
+// non-sidecar rejection), the --trend view (config-keyed profile join,
+// last-sidecar-wins, error paths), and the error paths the CLI maps to
+// exit code 1. All inputs are synthetic strings, so these tests double
+// as the byte-stability contract: the expected substrings never depend
+// on the machine.
 #include <gtest/gtest.h>
 
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "harness/inspect.h"
 
@@ -246,6 +250,161 @@ TEST(InspectMemoryTest, SourcesWithoutTheBlockAreRejected) {
   err.clear();
   EXPECT_FALSE(inspect_source(os, kEventsLog, opts, &err));
   EXPECT_NE(err.find("no memory block"), std::string::npos);
+  EXPECT_TRUE(os.str().empty()) << "error paths must write nothing";
+}
+
+// A minimal satpg.profile.v1 sidecar whose circuit/engine identity block
+// matches report_text(circuit, ...) — so it joins in the trend view.
+// `with_cycles` models the perf_event backend; without it, the fallback.
+std::string profile_text(const char* circuit, double evals_per_second,
+                         bool with_cycles = false) {
+  std::ostringstream os;
+  const char* cyc = with_cycles ? "4000000" : "0";
+  os << "{\n  \"schema\": \"satpg.profile.v1\",\n"
+     << "  \"tool\": \"atpg\",\n"
+     << "  \"circuit\": {\"name\": \"" << circuit << "\"},\n"
+     << "  \"engine\": {\"kind\": \"cdcl\", \"seed\": 7},\n"
+     << "  \"backend\": \"" << (with_cycles ? "perf_event" : "fallback")
+     << "\",\n"
+     << "  \"wall_seconds\": 0.5,\n"
+     << "  \"work\": {\"evals\": 1300, \"patterns\": 0},\n"
+     << "  \"phases\": {\n"
+     << "    \"cdcl.propagate\": {\"subsystem\": \"cdcl\", \"calls\": 10, "
+        "\"task_clock_ns\": 9000000, \"cycles\": " << cyc
+     << ", \"instructions\": " << (with_cycles ? "8000000" : "0") << "},\n"
+     << "    \"fsim.good\": {\"subsystem\": \"fsim\", \"calls\": 4, "
+        "\"task_clock_ns\": 1000000, \"cycles\": 0, \"instructions\": 0},\n"
+     << "    \"podem.justify\": {\"subsystem\": \"podem\", \"calls\": 0, "
+        "\"task_clock_ns\": 0, \"cycles\": 0, \"instructions\": 0}},\n"
+     << "  \"total\": {\"calls\": 14, \"task_clock_ns\": 10000000, "
+        "\"cycles\": " << cyc << "},\n"
+     << "  \"derived\": {\"evals_per_second\": " << evals_per_second;
+  if (with_cycles) os << ", \"cycles_per_eval\": 3076.92";
+  os << "}\n}\n";
+  return os.str();
+}
+
+TEST(InspectProfileTest, RendersRankedPhaseTable) {
+  InspectOptions opts;
+  opts.profile = true;
+  const std::string out = inspect_text(profile_text("c17", 2600.0), opts);
+  EXPECT_NE(out.find("backend: fallback"), std::string::npos);
+  EXPECT_NE(out.find("1300 evals"), std::string::npos);
+  // Ranked by task-clock: propagate (9 ms) above fsim.good (1 ms); the
+  // zero-call podem.justify row is dropped entirely.
+  const std::size_t pos_prop = out.find("cdcl.propagate");
+  const std::size_t pos_good = out.find("fsim.good");
+  ASSERT_NE(pos_prop, std::string::npos);
+  ASSERT_NE(pos_good, std::string::npos);
+  EXPECT_LT(pos_prop, pos_good);
+  EXPECT_EQ(out.find("podem.justify"), std::string::npos);
+  // Task-clock shares: 90.0% / 10.0% of the 10 ms total.
+  EXPECT_NE(out.find("90.0"), std::string::npos);
+  // Fallback backend: cycle-derived columns render "-", never 0.
+  EXPECT_NE(out.find("-"), std::string::npos);
+  EXPECT_NE(out.find("evals_per_second"), std::string::npos);
+
+  // perf_event sidecar: cycles and IPC (8e6 instructions / 4e6 cycles).
+  const std::string perf =
+      inspect_text(profile_text("c17", 2600.0, true), opts);
+  EXPECT_NE(perf.find("backend: perf_event"), std::string::npos);
+  EXPECT_NE(perf.find("2.00"), std::string::npos) << "ipc column";
+  EXPECT_NE(perf.find("cycles_per_eval"), std::string::npos);
+}
+
+TEST(InspectProfileTest, JsonFormatIsValidAndStable) {
+  InspectOptions opts;
+  opts.profile = true;
+  opts.json = true;
+  const std::string a = inspect_text(profile_text("c17", 2600.0), opts);
+  EXPECT_NE(a.find("\"schema\": \"satpg.inspect_profile.v1\""),
+            std::string::npos);
+  EXPECT_NE(a.find("\"backend\": \"fallback\""), std::string::npos);
+  EXPECT_NE(a.find("\"phase\": \"cdcl.propagate\""), std::string::npos);
+  EXPECT_NE(a.find("\"evals_per_second\": 2600"), std::string::npos);
+  EXPECT_EQ(a, inspect_text(profile_text("c17", 2600.0), opts));
+}
+
+TEST(InspectProfileTest, NonProfileSourcesAreRejected) {
+  InspectOptions opts;
+  opts.profile = true;
+  std::ostringstream os;
+  std::string err;
+  EXPECT_FALSE(inspect_source(os, report_text("c17", 400), opts, &err));
+  EXPECT_NE(err.find("not a profile sidecar"), std::string::npos);
+  err.clear();
+  EXPECT_FALSE(inspect_source(os, kEventsLog, opts, &err));
+  EXPECT_TRUE(os.str().empty()) << "error paths must write nothing";
+}
+
+std::string trend_text(const std::vector<TrendEntry>& entries,
+                       const InspectOptions& opts) {
+  std::ostringstream os;
+  std::string err;
+  EXPECT_TRUE(inspect_trend(os, entries, opts, &err)) << err;
+  return os.str();
+}
+
+TEST(InspectTrendTest, JoinsProfilesByConfigInAppendOrder) {
+  // Run 1 (c17) has a matching sidecar; run 2 (c17.re) does not — its
+  // row joins to "-". The sidecar's position in append order is
+  // irrelevant: the join key is the circuit/engine configuration.
+  const std::vector<TrendEntry> entries = {
+      {"aaaa000000000001", report_text("c17", 400)},
+      {"bbbb000000000002", report_text("c17.re", 700)},
+      {"cccc000000000003", profile_text("c17", 2600.0)},
+  };
+  const std::string out = trend_text(entries, {});
+  EXPECT_NE(out.find("2 archived runs, 1 profile sidecar"),
+            std::string::npos);
+  // Rows stay in append order, abbreviated to 12 hash chars.
+  const std::size_t pos_1 = out.find("aaaa00000000");
+  const std::size_t pos_2 = out.find("bbbb00000000");
+  ASSERT_NE(pos_1, std::string::npos);
+  ASSERT_NE(pos_2, std::string::npos);
+  EXPECT_LT(pos_1, pos_2);
+  EXPECT_NE(out.find("2600"), std::string::npos) << "joined evals/s";
+
+  InspectOptions jopts;
+  jopts.json = true;
+  const std::string json = trend_text(entries, jopts);
+  EXPECT_NE(json.find("\"schema\": \"satpg.inspect_trend.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"evals_per_second\": 2600"), std::string::npos);
+  EXPECT_NE(json.find("\"profile\": null"), std::string::npos)
+      << "the unmatched c17.re row must say so explicitly";
+  // Fallback sidecar: no cycles_per_eval key, rather than a bogus 0.
+  EXPECT_EQ(json.find("cycles_per_eval"), std::string::npos);
+  EXPECT_EQ(json, trend_text(entries, jopts)) << "byte-stable";
+}
+
+TEST(InspectTrendTest, LastSidecarPerConfigWins) {
+  // Re-profiling a configuration supersedes the older sidecar.
+  const std::vector<TrendEntry> entries = {
+      {"aaaa000000000001", profile_text("c17", 1111.0)},
+      {"bbbb000000000002", report_text("c17", 400)},
+      {"cccc000000000003", profile_text("c17", 2222.0)},
+  };
+  const std::string out = trend_text(entries, {});
+  EXPECT_NE(out.find("2222"), std::string::npos);
+  EXPECT_EQ(out.find("1111"), std::string::npos);
+}
+
+TEST(InspectTrendTest, ErrorPaths) {
+  std::ostringstream os;
+  std::string err;
+  // A malformed archived document names the offending entry.
+  EXPECT_FALSE(inspect_trend(
+      os, {{"deadbeef00000000", "not json"}}, {}, &err));
+  EXPECT_NE(err.find("deadbeef"), std::string::npos);
+  // Profiles alone make no trend: there is nothing to put in a row.
+  err.clear();
+  EXPECT_FALSE(inspect_trend(
+      os, {{"aaaa000000000001", profile_text("c17", 2600.0)}}, {}, &err));
+  EXPECT_NE(err.find("no atpg_run reports"), std::string::npos);
+  // So does an empty archive.
+  err.clear();
+  EXPECT_FALSE(inspect_trend(os, {}, {}, &err));
   EXPECT_TRUE(os.str().empty()) << "error paths must write nothing";
 }
 

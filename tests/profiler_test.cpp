@@ -1,0 +1,282 @@
+// Tests for the base/profiler cycle-accounting layer (DESIGN.md §12): the
+// phase taxonomy invariants the JSON writers rely on (sorted enum order,
+// subsystem-contiguous blocks, wide-kernel tier mapping), the disabled-span
+// no-op contract, the fallback backend ladder (SATPG_PROFILE_BACKEND pins
+// it; task-clock moves, hardware counters stay zero), per-worker lane
+// attribution through the thread pool, the snapshot fold identity
+// (total == sum of lanes == sum of phases), the timeline sampler cap, and
+// the strict --profile-* flag validation shared by every tool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/profiler.h"
+#include "base/telemetry_flags.h"
+#include "base/threadpool.h"
+
+namespace satpg {
+namespace {
+
+// Spin long enough for CLOCK_THREAD_CPUTIME_ID to observe the span.
+void burn_cpu() {
+  volatile std::uint64_t acc = 0;
+  for (std::uint64_t i = 0; i < 400000; ++i) acc += i * i;
+}
+
+// Every test arms and disarms the process-wide profiler; pin the backend
+// explicitly per test so a developer machine with perf_event available
+// behaves like the CI runner where it matters.
+struct BackendGuard {
+  explicit BackendGuard(const char* backend) {
+    if (backend)
+      ::setenv("SATPG_PROFILE_BACKEND", backend, 1);
+    else
+      ::unsetenv("SATPG_PROFILE_BACKEND");
+  }
+  ~BackendGuard() { ::unsetenv("SATPG_PROFILE_BACKEND"); }
+};
+
+// --- phase taxonomy ---------------------------------------------------------
+
+TEST(ProfPhaseTest, NamesAreSortedUniqueAndMatchEnumOrder) {
+  // The JSON writers iterate the enum and emit keys in declaration order;
+  // sorted-name order is what makes the sidecar's phase block sorted.
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < kNumProfPhases; ++i)
+    names.push_back(prof_phase_name(static_cast<ProfPhase>(i)));
+  for (std::size_t i = 1; i < names.size(); ++i)
+    EXPECT_LT(names[i - 1], names[i])
+        << "enum order must be sorted-name order";
+  EXPECT_EQ(std::set<std::string>(names.begin(), names.end()).size(),
+            names.size());
+}
+
+TEST(ProfPhaseTest, SubsystemsAreContiguousAndPrefixNames) {
+  // The subsystem rollup in the sidecar assumes each subsystem owns one
+  // contiguous enum range, and that "sub.phase" names carry their owner.
+  std::vector<std::string> seen_order;
+  for (std::size_t i = 0; i < kNumProfPhases; ++i) {
+    const auto p = static_cast<ProfPhase>(i);
+    const std::string sub = prof_phase_subsystem(p);
+    const std::string name = prof_phase_name(p);
+    EXPECT_EQ(name.rfind(sub + ".", 0), 0u)
+        << name << " must start with \"" << sub << ".\"";
+    if (seen_order.empty() || seen_order.back() != sub) {
+      for (const auto& earlier : seen_order)
+        EXPECT_NE(earlier, sub) << "subsystem " << sub << " is split";
+      seen_order.push_back(sub);
+    }
+  }
+  EXPECT_EQ(seen_order,
+            (std::vector<std::string>{"atpg", "cdcl", "fsim", "podem"}));
+}
+
+TEST(ProfPhaseTest, WideKernelTierMapping) {
+  EXPECT_EQ(prof_phase_for_wide_kernel(SimdTier::kScalar),
+            ProfPhase::kFsimWideKernelScalar);
+  EXPECT_EQ(prof_phase_for_wide_kernel(SimdTier::kSse2),
+            ProfPhase::kFsimWideKernelSse2);
+  EXPECT_EQ(prof_phase_for_wide_kernel(SimdTier::kAvx2),
+            ProfPhase::kFsimWideKernelAvx2);
+  EXPECT_EQ(prof_phase_for_wide_kernel(SimdTier::kAvx512),
+            ProfPhase::kFsimWideKernelAvx512);
+}
+
+TEST(ProfCounterTest, NamesAreStable) {
+  EXPECT_STREQ(prof_counter_name(ProfCounter::kTaskClockNs),
+               "task_clock_ns");
+  EXPECT_STREQ(prof_counter_name(ProfCounter::kCycles), "cycles");
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kNumProfCounters; ++i)
+    names.insert(prof_counter_name(static_cast<ProfCounter>(i)));
+  EXPECT_EQ(names.size(), kNumProfCounters);
+}
+
+// --- span / backend contracts ----------------------------------------------
+
+TEST(ProfilerTest, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(profiler_enabled())
+      << "tests must leave the global profiler stopped";
+  {
+    ProfileSpan span(ProfPhase::kFsimGood);
+    burn_cpu();
+  }
+  // Arm once just to read a snapshot; the span above must not be in it.
+  BackendGuard guard("fallback");
+  Profiler::global().start();
+  Profiler::global().stop();
+  const ProfSnapshot snap = Profiler::global().snapshot();
+  EXPECT_EQ(snap.total().calls, 0u);
+}
+
+TEST(ProfilerTest, FallbackBackendCountsTaskClockOnly) {
+  BackendGuard guard("fallback");
+  Profiler::global().start();
+  EXPECT_TRUE(profiler_enabled());
+  {
+    ProfileSpan span(ProfPhase::kPodemJustify);
+    burn_cpu();
+  }
+  Profiler::global().stop();
+  EXPECT_FALSE(profiler_enabled());
+
+  const ProfSnapshot snap = Profiler::global().snapshot();
+  EXPECT_EQ(snap.backend, ProfBackend::kFallback);
+  EXPECT_GT(snap.wall_seconds, 0.0);
+  const ProfPhaseTotals justify = snap.phase(ProfPhase::kPodemJustify);
+  EXPECT_EQ(justify.calls, 1u);
+  EXPECT_GT(justify.counter(ProfCounter::kTaskClockNs), 0u)
+      << "task-clock moves under both backends";
+  // Hardware counters only move under the perf_event backend.
+  EXPECT_EQ(justify.counter(ProfCounter::kCycles), 0u);
+  EXPECT_EQ(justify.counter(ProfCounter::kInstructions), 0u);
+  EXPECT_EQ(justify.counter(ProfCounter::kCacheMisses), 0u);
+  // Other phases stay untouched.
+  EXPECT_EQ(snap.phase(ProfPhase::kCdclPropagate).calls, 0u);
+}
+
+TEST(ProfilerTest, AutoProbeNeverFailsToArm) {
+  // Arming must never fail a run: the probe lands on perf_event where the
+  // kernel allows it and degrades to the fallback otherwise.
+  BackendGuard guard(nullptr);
+  Profiler::global().start();
+  const ProfBackend backend = Profiler::global().backend();
+  EXPECT_TRUE(backend == ProfBackend::kPerfEvent ||
+              backend == ProfBackend::kFallback);
+  {
+    ProfileSpan span(ProfPhase::kCdclPropagate);
+    burn_cpu();
+  }
+  Profiler::global().stop();
+  const ProfSnapshot snap = Profiler::global().snapshot();
+  EXPECT_EQ(snap.phase(ProfPhase::kCdclPropagate).calls, 1u);
+  EXPECT_GT(snap.phase(ProfPhase::kCdclPropagate)
+                .counter(ProfCounter::kTaskClockNs),
+            0u);
+}
+
+TEST(ProfilerTest, RestartResetsLanes) {
+  BackendGuard guard("fallback");
+  Profiler::global().start();
+  { ProfileSpan span(ProfPhase::kFsimBatch); burn_cpu(); }
+  Profiler::global().stop();
+  EXPECT_EQ(Profiler::global().snapshot().phase(ProfPhase::kFsimBatch).calls,
+            1u);
+
+  Profiler::global().start();
+  Profiler::global().stop();
+  EXPECT_EQ(Profiler::global().snapshot().total().calls, 0u)
+      << "start() must reset the lanes from the previous run";
+}
+
+// --- lanes ------------------------------------------------------------------
+
+TEST(ProfilerTest, WorkerLanesAttributeSpansPerThread) {
+  constexpr unsigned kWorkers = 4;
+  constexpr std::uint64_t kSpansPerWorker = 3;
+  ThreadPool pool(kWorkers);
+
+  BackendGuard guard("fallback");
+  Profiler::global().start();
+  pool.run_on_workers(kWorkers, [&](unsigned) {
+    for (std::uint64_t i = 0; i < kSpansPerWorker; ++i) {
+      ProfileSpan span(ProfPhase::kAtpgMerge);
+      burn_cpu();
+    }
+  });
+  Profiler::global().stop();
+
+  const ProfSnapshot snap = Profiler::global().snapshot();
+  const ProfPhaseTotals merge = snap.phase(ProfPhase::kAtpgMerge);
+  EXPECT_EQ(merge.calls, kWorkers * kSpansPerWorker);
+  EXPECT_GT(merge.counter(ProfCounter::kTaskClockNs), 0u);
+
+  // Lanes appear ascending and only for threads that recorded activity;
+  // the calling thread is lane 0, pool workers register as >= 1.
+  ASSERT_FALSE(snap.lanes.empty());
+  std::uint64_t lane_calls = 0;
+  for (std::size_t i = 0; i < snap.lanes.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LT(snap.lanes[i - 1].lane, snap.lanes[i].lane);
+    }
+    for (std::size_t p = 0; p < kNumProfPhases; ++p)
+      lane_calls += snap.lanes[i].phases[p].calls;
+  }
+  EXPECT_EQ(lane_calls, snap.total().calls)
+      << "total() must be exactly the fold of the per-lane totals";
+  EXPECT_EQ(snap.lanes.front().lane, 0u)
+      << "run_on_workers executes fn(0) on the calling thread";
+}
+
+// --- sampler ----------------------------------------------------------------
+
+TEST(ProfilerTest, SamplerHonorsMaxSamplesCap) {
+  BackendGuard guard("fallback");
+  Profiler::Options opts;
+  opts.sample_interval_ms = 1;
+  opts.max_samples = 3;
+  Profiler::global().start(opts);
+  {
+    ProfileSpan span(ProfPhase::kFsimGood);
+    // Enough wall time for well over max_samples ticks.
+    for (int i = 0; i < 60; ++i) burn_cpu();
+  }
+  Profiler::global().stop();
+
+  const ProfSnapshot snap = Profiler::global().snapshot();
+  EXPECT_LE(snap.samples.size(), 3u);
+  for (std::size_t i = 1; i < snap.samples.size(); ++i)
+    EXPECT_LE(snap.samples[i - 1].at_ms, snap.samples[i].at_ms);
+}
+
+TEST(ProfilerTest, NoSamplerWhenIntervalIsZero) {
+  BackendGuard guard("fallback");
+  Profiler::global().start();  // default Options: interval 0
+  { ProfileSpan span(ProfPhase::kFsimGood); burn_cpu(); }
+  Profiler::global().stop();
+  const ProfSnapshot snap = Profiler::global().snapshot();
+  EXPECT_TRUE(snap.samples.empty());
+  EXPECT_EQ(snap.samples_dropped, 0u);
+}
+
+// --- flag validation --------------------------------------------------------
+
+TEST(TelemetryFlagsTest, ProfileFlagsParseStrictly) {
+  TelemetryFlags good;
+  EXPECT_TRUE(good.parse("--profile-json=prof.json"));
+  EXPECT_TRUE(good.parse("--profile-interval-ms=25"));
+  EXPECT_TRUE(good.parse("--profile-max-samples=128"));
+  EXPECT_TRUE(good.error.empty()) << good.error;
+  EXPECT_TRUE(good.profile_enabled());
+  EXPECT_EQ(good.profile_interval_ms, 25u);
+  EXPECT_EQ(good.profile_max_samples, 128u);
+
+  // Anything but a positive decimal number must be flagged, never clamped.
+  const char* bad[] = {
+      "--profile-interval-ms=abc", "--profile-interval-ms=",
+      "--profile-interval-ms=0",   "--profile-interval-ms=-3",
+      "--profile-interval-ms=5x",  "--profile-max-samples=abc",
+      "--profile-max-samples=0",   "--profile-max-samples=-1",
+  };
+  for (const char* arg : bad) {
+    TelemetryFlags f;
+    EXPECT_TRUE(f.parse(arg)) << arg << " is ours to consume";
+    EXPECT_FALSE(f.error.empty()) << arg << " must fail strict validation";
+  }
+}
+
+TEST(TelemetryFlagsTest, ProfileDisabledByDefault) {
+  TelemetryFlags f;
+  EXPECT_FALSE(f.profile_enabled());
+  EXPECT_EQ(f.profile_interval_ms, 0u);
+  EXPECT_EQ(f.profile_max_samples, 4096u);
+}
+
+}  // namespace
+}  // namespace satpg

@@ -22,10 +22,16 @@
 // deterministic, but budget tuning belongs to a human.
 //
 // --fsim mode reads the packed-vs-baseline table the microbench writes
-// (schema satpg.bench_fsim.v2), prints it, and passes iff the engines
+// (schema satpg.bench_fsim.v3), prints it, and passes iff the engines
 // agreed on detection counts and the best wide row reached the speedup
 // floor (default 2.0x over the 64-slot baseline). Wired non-blocking in
 // CI: wall-clock on shared runners is advisory, determinism is not.
+//
+// --profile mode is purely advisory: it reads a satpg.profile.v1 sidecar
+// (--profile-json output), prints the backend and the ranked per-phase
+// cost table plus cycles/eval, and exits 0 for any well-formed sidecar
+// (2 when malformed). There is no threshold — cycle counts on shared
+// runners are for reading trends, not for gating merges.
 //
 // Exit codes: 0 = pass, 1 = threshold violated, 2 = usage/load error.
 #include <algorithm>
@@ -53,6 +59,8 @@ int usage() {
                " [--mem] [--max-mem-ratio=F] [--dir=DIR]\n"
                "       bench_gate --fsim <BENCH_fsim.json>"
                " [--min-fsim-speedup=F]\n"
+               "       bench_gate --profile <profile.json>   (advisory,"
+               " always 0 when well-formed)\n"
                "  baseline/candidate: report file path or archive hash\n");
   return 2;
 }
@@ -123,6 +131,81 @@ int run_fsim_gate(const std::string& path, double min_speedup) {
   return pass ? 0 : 1;
 }
 
+// --profile mode: advisory where-do-the-cycles-go report off a
+// satpg.profile.v1 sidecar. No thresholds; exit 0 iff well-formed.
+int run_profile_report(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+
+  JsonValue doc;
+  std::string err;
+  if (!json_parse(ss.str(), &doc, &err)) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), err.c_str());
+    return 2;
+  }
+  const std::string schema = doc.str_or("schema", "");
+  if (schema.rfind("satpg.profile.", 0) != 0) {
+    std::fprintf(stderr, "error: %s: not a profile sidecar (schema \"%s\")\n",
+                 path.c_str(), schema.c_str());
+    return 2;
+  }
+  const JsonValue* phases = doc.find("phases");
+  if (!phases || !phases->is_object()) {
+    std::fprintf(stderr, "error: %s: missing phases{}\n", path.c_str());
+    return 2;
+  }
+
+  std::string circuit = "?";
+  if (const JsonValue* c = doc.find("circuit"))
+    circuit = c->str_or("name", "?");
+  std::printf("profile: %s (%s) backend=%s wall=%.6g s\n", circuit.c_str(),
+              doc.str_or("tool", "?").c_str(),
+              doc.str_or("backend", "?").c_str(),
+              doc.num_or("wall_seconds", 0.0));
+
+  struct Row {
+    std::string name;
+    std::uint64_t calls;
+    std::uint64_t task_ns;
+    std::uint64_t cycles;
+  };
+  std::vector<Row> rows;
+  std::uint64_t total_ns = 0;
+  for (const auto& [name, v] : phases->members()) {
+    const std::uint64_t calls = v.uint_or("calls", 0);
+    if (calls == 0) continue;
+    rows.push_back({name, calls, v.uint_or("task_clock_ns", 0),
+                    v.uint_or("cycles", 0)});
+    total_ns += rows.back().task_ns;
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.task_ns != b.task_ns) return a.task_ns > b.task_ns;
+    return a.name < b.name;
+  });
+  std::printf("  %-26s %10s %12s %7s %16s\n", "phase", "calls", "task ms",
+              "share", "cycles");
+  for (const Row& r : rows)
+    std::printf("  %-26s %10llu %12.3f %6.1f%% %16llu\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.calls),
+                static_cast<double>(r.task_ns) / 1e6,
+                total_ns == 0 ? 0.0
+                              : 100.0 * static_cast<double>(r.task_ns) /
+                                    static_cast<double>(total_ns),
+                static_cast<unsigned long long>(r.cycles));
+  if (const JsonValue* d = doc.find("derived"); d && d->is_object())
+    for (const auto& [name, v] : d->members())
+      if (v.is_number())
+        std::printf("  derived %-32s %.6g\n", name.c_str(), v.number());
+  std::printf("advisory: no thresholds (cycle counts on shared runners"
+              " are for trends, not gates)\nPASS\n");
+  return 0;
+}
+
 // v5 internal consistency: cube_provenance.exports must mirror the
 // summary cube_exports counter. Pre-v5 reports (no provenance block) pass
 // vacuously. Returns false and appends a violation line on mismatch.
@@ -155,8 +238,10 @@ int main(int argc, char** argv) {
   std::string dir = "runs";
   GateOptions gopts;
   std::string fsim_path;
+  std::string profile_path;
   double min_fsim_speedup = 2.0;
   bool fsim_mode = false;
+  bool profile_mode = false;
   bool mem_gate = false;
   double max_mem_ratio = 1.25;
   std::vector<std::string> specs;
@@ -165,6 +250,10 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) return usage();
       fsim_mode = true;
       fsim_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      if (i + 1 >= argc) return usage();
+      profile_mode = true;
+      profile_path = argv[++i];
     } else if (std::strcmp(argv[i], "--mem") == 0) {
       mem_gate = true;
     } else if (const char* v5 = flag_value(argv[i], "--max-mem-ratio=")) {
@@ -183,9 +272,14 @@ int main(int argc, char** argv) {
       specs.emplace_back(argv[i]);
     }
   }
+  if (fsim_mode && profile_mode) return usage();
   if (fsim_mode) {
     if (!specs.empty()) return usage();
     return run_fsim_gate(fsim_path, min_fsim_speedup);
+  }
+  if (profile_mode) {
+    if (!specs.empty()) return usage();
+    return run_profile_report(profile_path);
   }
   if (specs.size() != 2) return usage();
 

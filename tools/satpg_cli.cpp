@@ -24,17 +24,22 @@
 //               --stuck-evals=N / --stuck-seconds=F / --defer-stuck
 //               --mem-budget-mb=F (deterministic per-attempt byte cap)
 //               --capture-json=FILE / --capture-fault=ID
+//               --profile-json=FILE (cycle-level profile sidecar; wall-clock)
+//               --profile-interval-ms=N / --profile-max-samples=N
 // Every engine-running subcommand accepts --metrics-json/--trace-json; the
 // flags are parsed by the shared TelemetryFlags helper. The monitor,
 // watchdog, capture, and flight-recorder flags are wired in `satpg atpg`
-// only.
+// only; --profile-json is wired in atpg and fsim.
 //
 // archive/diff/inspect operate on satpg.atpg_run.* reports (inspect also
-// reads satpg.events.v1 logs); <a>/<b>/<src> may each be a file path or a
-// stored report's hash prefix (see harness/archive.h).
+// reads satpg.events.v1 logs and, with --profile, satpg.profile.v1
+// sidecars; the archive stores profile sidecars too so `inspect --trend`
+// can join them to their runs); <a>/<b>/<src> may each be a file path or
+// a stored report's hash prefix (see harness/archive.h).
 //
 // Exit codes: 0 success; 1 runtime failure (bad file, replay mismatch);
-// 2 usage error. `--help` anywhere prints usage to stdout and exits 0.
+// 2 usage error. `--help` anywhere prints usage to stdout and exits 0;
+// `--version` anywhere prints build provenance to stdout and exits 0.
 // (tools/bench_gate uses the same convention: 0 pass, 1 regression,
 // 2 usage/missing-golden.)
 //
@@ -55,15 +60,19 @@
 #include "atpg/compact.h"
 #include "atpg/engine.h"
 #include "atpg/parallel.h"
+#include "base/cpu.h"
 #include "base/memstats.h"
 #include "base/metrics.h"
+#include "base/profiler.h"
 #include "base/telemetry_flags.h"
 #include "dft/scan.h"
 #include "fsim/fsim.h"
 #include "base/trace.h"
 #include "harness/archive.h"
+#include "harness/build_info.h"
 #include "harness/diff.h"
 #include "harness/inspect.h"
+#include "harness/profile.h"
 #include "harness/report.h"
 #include "netlist/bench_io.h"
 #include "retime/retime.h"
@@ -97,11 +106,14 @@ void print_usage(std::FILE* f) {
       "                [--mem-budget-mb=F] (per-attempt accounted-byte cap;"
       " trips park + requeue)\n"
       "                [--capture-json=FILE] [--capture-fault=NAME|INDEX]\n"
+      "                [--profile-json=FILE] [--profile-interval-ms=N]"
+      " [--profile-max-samples=N]\n"
       "  satpg fsim    c.bench [--sequences=N] [--length=N] [--seed=N]"
       " [--threads=N]\n"
       "                [--engine=auto|baseline|wide]"
       " [--width=64|128|256|512] [--force-scalar]\n"
-      "                [--metrics-json=FILE] [--trace-json=FILE]\n"
+      "                [--metrics-json=FILE] [--trace-json=FILE]"
+      " [--profile-json=FILE]\n"
       "                (SATPG_FORCE_SCALAR=1 in the environment pins the"
       " scalar kernel too)\n"
       "  satpg retime  in.bench out.bench [--dffs=N]\n"
@@ -112,12 +124,18 @@ void print_usage(std::FILE* f) {
       "   (a/b: file path or archive hash)\n"
       "  satpg inspect <src> [--fault=NAME|INDEX] [--top=N] [--memory]"
       " [--format=txt|json] [--dir=DIR]\n"
+      "  satpg inspect --profile <profile.json> [--format=txt|json]"
+      " [--dir=DIR]\n"
+      "  satpg inspect --trend [--format=txt|json] [--dir=DIR]"
+      "   (whole archive, append order)\n"
       "  satpg inspect --diff <a> <b> [--top=N] [--format=txt|json]"
       " [--dir=DIR]\n"
       "                (src: events-json log, report file, or archive"
       " hash)\n"
       "  satpg replay  capture.json [--circuit=FILE] [--dump]\n"
-      "exit codes: 0 ok, 1 failure/replay-mismatch, 2 usage\n");
+      "exit codes: 0 ok, 1 failure/replay-mismatch, 2 usage\n"
+      "`satpg --version` (any position) prints build provenance and"
+      " exits 0\n");
 }
 
 int usage() {
@@ -297,6 +315,29 @@ int cmd_atpg(const Netlist& nl, const std::string& circuit_path, int argc,
       return 1;
     }
     std::printf("metrics written  : %s\n", telemetry.metrics_json.c_str());
+  }
+  if (telemetry.profile_enabled()) {
+    // Stop before snapshotting so the sidecar sees a frozen wall clock;
+    // the profile lives entirely on the wall-clock plane and never feeds
+    // back into the deterministic artifacts above.
+    Profiler::global().stop();
+    ProfileArtifact pa;
+    pa.tool = "atpg";
+    pa.circuit = nl.name();
+    pa.engine_kind = engine_kind_name(opts.engine.kind);
+    pa.eval_limit = opts.engine.eval_limit;
+    pa.backtrack_limit = opts.engine.backtrack_limit;
+    pa.max_forward_frames =
+        static_cast<std::uint64_t>(opts.engine.max_forward_frames);
+    pa.max_backward_frames =
+        static_cast<std::uint64_t>(opts.engine.max_backward_frames);
+    pa.seed = opts.seed;
+    pa.evals = pres.run.evals;
+    pa.snap = Profiler::global().snapshot();
+    if (!write_profile_json(telemetry.profile_json, pa)) return 1;
+    std::printf("profile written  : %s (backend %s)\n",
+                telemetry.profile_json.c_str(),
+                prof_backend_name(pa.snap.backend));
   }
   AtpgRunResult& run = pres.run;
   std::printf("engine           : %s\n", engine_kind_name(opts.engine.kind));
@@ -481,6 +522,22 @@ int cmd_fsim(const Netlist& nl, int argc, char** argv) {
   if (!telemetry.write_metrics_registry("satpg.metrics.v1", "fsim",
                                         &std::cout))
     return 1;
+  if (telemetry.profile_enabled()) {
+    Profiler::global().stop();
+    ProfileArtifact pa;
+    pa.tool = "fsim";
+    pa.circuit = nl.name();
+    pa.seed = seed;
+    // One pattern = one simulated frame across all sequences: the unit the
+    // per-tier cycles_per_pattern rates divide by.
+    pa.patterns = static_cast<std::uint64_t>(sequences) *
+                  static_cast<std::uint64_t>(length);
+    pa.snap = Profiler::global().snapshot();
+    if (!write_profile_json(telemetry.profile_json, pa)) return 1;
+    std::printf("profile written  : %s (backend %s)\n",
+                telemetry.profile_json.c_str(),
+                prof_backend_name(pa.snap.backend));
+  }
 
   const auto [detected_weight, total_weight] =
       graded_coverage(collapsed, r.detected_at);
@@ -581,6 +638,7 @@ int cmd_inspect(int argc, char** argv) {
   std::string dir = "runs";
   InspectOptions iopts;
   bool do_diff = false;
+  bool do_trend = false;
   std::vector<std::string> specs;
   for (int i = 0; i < argc; ++i) {
     if (const char* v = flag_value(argv[i], "--dir=")) {
@@ -596,6 +654,10 @@ int cmd_inspect(int argc, char** argv) {
         return usage();
     } else if (!std::strcmp(argv[i], "--memory")) {
       iopts.memory = true;
+    } else if (!std::strcmp(argv[i], "--profile")) {
+      iopts.profile = true;
+    } else if (!std::strcmp(argv[i], "--trend")) {
+      do_trend = true;
     } else if (!std::strcmp(argv[i], "--diff")) {
       do_diff = true;
     } else if (argv[i][0] == '-') {
@@ -604,7 +666,8 @@ int cmd_inspect(int argc, char** argv) {
       specs.emplace_back(argv[i]);
     }
   }
-  if (specs.size() != (do_diff ? 2u : 1u)) return usage();
+  if (do_diff + do_trend + (iopts.profile ? 1 : 0) > 1) return usage();
+  if (specs.size() != (do_diff ? 2u : do_trend ? 0u : 1u)) return usage();
   const RunArchive archive(dir);
   std::string err;
   bool ok = false;
@@ -612,6 +675,13 @@ int cmd_inspect(int argc, char** argv) {
     if (do_diff) {
       ok = inspect_diff(std::cout, load_report_spec(archive, specs[0]),
                         load_report_spec(archive, specs[1]), iopts, &err);
+    } else if (do_trend) {
+      // The whole archive in append order; inspect joins profile sidecars
+      // to their reports by configuration.
+      std::vector<TrendEntry> entries;
+      for (const ArchiveEntry& e : archive.list())
+        entries.push_back({e.hash, archive.load(e)});
+      ok = inspect_trend(std::cout, entries, iopts, &err);
     } else {
       ok = inspect_source(std::cout, load_report_spec(archive, specs[0]),
                           iopts, &err);
@@ -668,6 +738,18 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--help")) {
       print_usage(stdout);
+      return 0;
+    }
+    if (!std::strcmp(argv[i], "--version")) {
+      // Build provenance (DESIGN.md §11) plus the host CPU: everything
+      // needed to label a measurement taken with this binary.
+      const BuildInfo& b = build_info();
+      std::printf("satpg (%s %s, %s, sanitizer %s)\n", b.compiler.c_str(),
+                  b.compiler_version.c_str(), b.build_type.c_str(),
+                  b.sanitizer.c_str());
+      std::printf("simd     : compiled %s, dispatched %s\n",
+                  b.simd_compiled.c_str(), b.simd_dispatched.c_str());
+      std::printf("host cpu : %s\n", cpu_model_name().c_str());
       return 0;
     }
   }
